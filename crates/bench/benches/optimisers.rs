@@ -1,0 +1,56 @@
+//! Criterion benches for the optimiser stack on the paper's Eq. 9
+//! surface: how much compute each global method spends to find the
+//! boundary optimum.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use doe::ModelSpec;
+use optim::{Bounds, GeneticAlgorithm, Optimizer, ParticleSwarm, SimulatedAnnealing};
+use wsn_bench::PAPER_EQ9;
+
+fn optimisers_on_eq9(c: &mut Criterion) {
+    let model = ModelSpec::quadratic(3);
+    let bounds = Bounds::symmetric(3, 1.0).expect("valid bounds");
+    let f = move |x: &[f64]| model.predict(&PAPER_EQ9, x);
+
+    let mut group = c.benchmark_group("optimise_eq9");
+    group.sample_size(20);
+    group.bench_function("simulated_annealing", |b| {
+        b.iter(|| {
+            black_box(
+                SimulatedAnnealing::new()
+                    .seed(7)
+                    .maximize(&bounds, &f)
+                    .expect("valid config")
+                    .value,
+            )
+        })
+    });
+    group.bench_function("genetic_algorithm", |b| {
+        b.iter(|| {
+            black_box(
+                GeneticAlgorithm::new()
+                    .seed(7)
+                    .maximize(&bounds, &f)
+                    .expect("valid config")
+                    .value,
+            )
+        })
+    });
+    group.bench_function("particle_swarm", |b| {
+        b.iter(|| {
+            black_box(
+                ParticleSwarm::new()
+                    .seed(7)
+                    .maximize(&bounds, &f)
+                    .expect("valid config")
+                    .value,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, optimisers_on_eq9);
+criterion_main!(benches);

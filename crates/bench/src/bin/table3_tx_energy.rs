@@ -1,0 +1,40 @@
+//! Regenerates **Table III** — current draw of the sensor node — plus the
+//! derived per-transmission energy and the Eq. 8 equivalent resistances.
+//!
+//! Run with: `cargo run --release -p wsn-bench --bin table3_tx_energy`
+
+use wsn_node::power;
+
+fn main() {
+    println!("TABLE III: current draw of the sensor node");
+    wsn_bench::rule(52);
+    println!("{:<16} {:>10} {:>12}", "operation", "time", "current");
+    wsn_bench::rule(52);
+    println!("{:<16} {:>10} {:>12}", "sleep mode", "N/A", "0.5 uA");
+    for phase in power::TX_PHASES {
+        println!(
+            "{:<16} {:>8.1} ms {:>10.1} mA",
+            phase.name,
+            phase.duration * 1e3,
+            phase.current * 1e3
+        );
+    }
+    wsn_bench::rule(52);
+
+    let duration_ms = power::tx_duration() * 1e3;
+    let energy_uj = power::tx_energy_at(power::SUPPLY_VOLTAGE) * 1e6;
+    println!(
+        "one transmission: {duration_ms:.1} ms, {energy_uj:.0} µJ at {} V (paper quotes 227 µJ)",
+        power::SUPPLY_VOLTAGE
+    );
+
+    // Eq. 8 equivalent resistances.
+    let q: f64 = power::TX_PHASES.iter().map(|p| p.charge()).sum();
+    let r_tx = power::SUPPLY_VOLTAGE / (q / power::tx_duration());
+    let r_sleep = power::SUPPLY_VOLTAGE / power::NODE_SLEEP_CURRENT;
+    println!(
+        "Eq. 8: R_node = {r_tx:.0} Ω in transmission (paper: 167 Ω), \
+         {:.1} MΩ in sleep (paper: 5.8 MΩ)",
+        r_sleep / 1e6
+    );
+}

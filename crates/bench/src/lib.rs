@@ -1,0 +1,103 @@
+//! Shared helpers and paper reference values for the table/figure
+//! regeneration binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper's evaluation; this library holds the printed reference values
+//! they compare against and small formatting utilities.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The paper's Eq. 9 coefficients in this workspace's term order
+/// `(1, x1, x2, x3, x1², x2², x3², x1x2, x1x3, x2x3)`.
+pub const PAPER_EQ9: [f64; 10] = [
+    484.02, -121.79, -16.77, -208.43, 120.98, 106.69, -69.75, -34.23, -121.79, 32.54,
+];
+
+/// Table VI reference rows: `(label, clock Hz, watchdog s, interval s,
+/// transmissions)`.
+pub const PAPER_TABLE6: [(&str, f64, f64, f64, u64); 3] = [
+    ("original", 4e6, 320.0, 5.0, 405),
+    ("simulated annealing", 8e6, 60.0, 0.005, 899),
+    ("genetic algorithm", 125e3, 600.0, 3.065, 894),
+];
+
+/// Prints a horizontal rule sized to `width`.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+/// Formats a frequency in engineering units.
+pub fn fmt_hz(hz: f64) -> String {
+    if hz >= 1e6 {
+        format!("{:.3} MHz", hz / 1e6)
+    } else if hz >= 1e3 {
+        format!("{:.0} kHz", hz / 1e3)
+    } else {
+        format!("{hz:.0} Hz")
+    }
+}
+
+/// Renders a simple ASCII line chart of `series` (label, ys) sharing an
+/// x-axis, `rows` high.
+pub fn ascii_chart(series: &[(&str, &[f64])], rows: usize) {
+    let all: Vec<f64> = series
+        .iter()
+        .flat_map(|(_, ys)| ys.iter().copied())
+        .filter(|v| v.is_finite())
+        .collect();
+    if all.is_empty() {
+        println!("(no data)");
+        return;
+    }
+    let lo = all.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = all.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-12);
+    let width = series.iter().map(|(_, ys)| ys.len()).max().unwrap_or(0);
+    let marks = ['#', '*', 'o', '+'];
+
+    for row in (0..=rows).rev() {
+        let mut line: Vec<char> = vec![' '; width];
+        for (si, (_, ys)) in series.iter().enumerate() {
+            for (x, y) in ys.iter().enumerate() {
+                let bucket = ((y - lo) / span * rows as f64).round() as usize;
+                if bucket == row {
+                    line[x] = marks[si % marks.len()];
+                }
+            }
+        }
+        println!(
+            "{:>9.2} |{}",
+            lo + span * row as f64 / rows as f64,
+            line.iter().collect::<String>()
+        );
+    }
+    for (si, (label, _)) in series.iter().enumerate() {
+        println!("  {} = {label}", marks[si % marks.len()]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq9_matches_published_count() {
+        assert_eq!(PAPER_EQ9.len(), 10);
+        assert_eq!(PAPER_EQ9[0], 484.02);
+    }
+
+    #[test]
+    fn table6_reference_rows() {
+        assert_eq!(PAPER_TABLE6[0].4, 405);
+        assert_eq!(PAPER_TABLE6[1].4, 899);
+        assert_eq!(PAPER_TABLE6[2].4, 894);
+    }
+
+    #[test]
+    fn hz_formatting() {
+        assert_eq!(fmt_hz(8e6), "8.000 MHz");
+        assert_eq!(fmt_hz(125e3), "125 kHz");
+        assert_eq!(fmt_hz(80.0), "80 Hz");
+    }
+}

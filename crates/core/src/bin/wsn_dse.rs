@@ -1,0 +1,210 @@
+//! `wsn-dse` — command-line front end for the reproduction.
+//!
+//! ```text
+//! wsn_dse run       [--seed N] [--runs N] [--f0 HZ] [--horizon S]
+//! wsn_dse simulate  --clock HZ --watchdog S --interval S [--f0 HZ] [--horizon S] [--trace]
+//! wsn_dse sweep     --factor {clock|watchdog|interval} [--samples N] [--validate]
+//! wsn_dse refine    [--seed N] [--shrink F] [--runs N]
+//! ```
+//!
+//! `run` executes the full paper flow; `simulate` evaluates one
+//! configuration; `sweep` prints a Fig. 4 style panel; `refine` runs the
+//! two-phase sequential flow.
+
+use std::process::ExitCode;
+
+use harvester::VibrationProfile;
+use wsn_dse::DseFlow;
+use wsn_node::{EnvelopeSim, NodeConfig, SystemConfig};
+
+/// Minimal flag parser: `--key value` pairs after the subcommand.
+struct Args {
+    pairs: Vec<(String, String)>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut pairs = Vec::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let arg = &argv[i];
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument: {arg}"));
+            };
+            if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                pairs.push((key.to_owned(), argv[i + 1].clone()));
+                i += 2;
+            } else {
+                flags.push(key.to_owned());
+                i += 1;
+            }
+        }
+        Ok(Args { pairs, flags })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_f64(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.get(key) {
+            Some(v) => v.parse().map_err(|_| format!("--{key}: expected a number, got {v}")),
+            None => Ok(default),
+        }
+    }
+
+    fn get_u64(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.get(key) {
+            Some(v) => v.parse().map_err(|_| format!("--{key}: expected an integer, got {v}")),
+            None => Ok(default),
+        }
+    }
+
+    fn has_flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+fn usage() -> &'static str {
+    "usage: wsn_dse <run|simulate|sweep|refine> [options]\n\
+     \n\
+     run       --seed N --runs N --f0 HZ --horizon S [--csv DIR]\n\
+     simulate  --clock HZ --watchdog S --interval S [--f0 HZ] [--horizon S] [--trace]\n\
+     sweep     --factor clock|watchdog|interval [--samples N] [--validate]\n\
+     refine    --seed N --shrink F --runs N"
+}
+
+fn flow_from(args: &Args) -> Result<DseFlow, String> {
+    let seed = args.get_u64("seed", 12)?;
+    let runs = args.get_u64("runs", 10)? as usize;
+    let f0 = args.get_f64("f0", 75.0)?;
+    let horizon = args.get_f64("horizon", 3600.0)?;
+    let template = SystemConfig::paper(NodeConfig::original())
+        .with_horizon(horizon)
+        .with_vibration(VibrationProfile::paper_profile(f0));
+    Ok(DseFlow::paper()
+        .with_template(template)
+        .seed(seed)
+        .doe_runs(runs))
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let flow = flow_from(args)?;
+    let report = flow.run().map_err(|e| e.to_string())?;
+    println!("{report}");
+    if let Some(dir) = args.get("csv") {
+        let dir = std::path::Path::new(dir);
+        std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+        let mut runs = std::fs::File::create(dir.join("runs.csv")).map_err(|e| e.to_string())?;
+        report.write_runs_csv(&mut runs).map_err(|e| e.to_string())?;
+        let mut designs =
+            std::fs::File::create(dir.join("designs.csv")).map_err(|e| e.to_string())?;
+        report
+            .write_designs_csv(&mut designs)
+            .map_err(|e| e.to_string())?;
+        println!("wrote {}/runs.csv and {}/designs.csv", dir.display(), dir.display());
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), String> {
+    let clock = args.get_f64("clock", 4e6)?;
+    let watchdog = args.get_f64("watchdog", 320.0)?;
+    let interval = args.get_f64("interval", 5.0)?;
+    let f0 = args.get_f64("f0", 75.0)?;
+    let horizon = args.get_f64("horizon", 3600.0)?;
+    let node = NodeConfig::new(clock, watchdog, interval).map_err(|e| e.to_string())?;
+    let mut cfg = SystemConfig::paper(node)
+        .with_horizon(horizon)
+        .with_vibration(VibrationProfile::paper_profile(f0));
+    if !args.has_flag("trace") {
+        cfg.trace_interval = None;
+    }
+    let out = EnvelopeSim::new(cfg).run();
+    println!("{out}");
+    if args.has_flag("trace") {
+        println!("time_s,voltage_v");
+        for s in &out.trace {
+            println!("{:.1},{:.5}", s.time, s.voltage);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_sweep(args: &Args) -> Result<(), String> {
+    let factor = match args.get("factor") {
+        Some("clock") => 0,
+        Some("watchdog") => 1,
+        Some("interval") => 2,
+        other => {
+            return Err(format!(
+                "--factor must be clock|watchdog|interval, got {other:?}"
+            ))
+        }
+    };
+    let samples = args.get_u64("samples", 21)? as usize;
+    let flow = flow_from(args)?;
+    let design = flow.build_design().map_err(|e| e.to_string())?;
+    let responses = flow.simulate_design(&design).map_err(|e| e.to_string())?;
+    let surface = flow.fit(&design, &responses).map_err(|e| e.to_string())?;
+    let sweep = flow
+        .sweep1d(&surface, factor, samples, args.has_flag("validate"))
+        .map_err(|e| e.to_string())?;
+    println!("# sweep of {} (others at coded 0)", sweep.name);
+    println!("coded,natural,rsm_prediction,simulated");
+    for p in &sweep.points {
+        match p.simulated {
+            Some(sim) => println!("{:.3},{:.6},{:.1},{sim:.0}", p.coded, p.natural, p.predicted),
+            None => println!("{:.3},{:.6},{:.1},", p.coded, p.natural, p.predicted),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_refine(args: &Args) -> Result<(), String> {
+    let shrink = args.get_f64("shrink", 0.35)?;
+    let flow = flow_from(args)?;
+    let first = flow.run().map_err(|e| e.to_string())?;
+    println!("== phase 1 ==\n{first}\n");
+    let refined = flow
+        .refine(&first, shrink)
+        .map_err(|e| e.to_string())?
+        .doe_runs(16);
+    let second = refined.run().map_err(|e| e.to_string())?;
+    println!("== phase 2 (zoom {shrink}) ==\n{second}");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = argv.split_first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let args = match Args::parse(rest) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "run" => cmd_run(&args),
+        "simulate" => cmd_simulate(&args),
+        "sweep" => cmd_sweep(&args),
+        "refine" => cmd_refine(&args),
+        other => Err(format!("unknown command {other}\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,493 @@
+use doe::{DOptimal, Design, DesignSpace, ModelSpec};
+use optim::{Bounds, GeneticAlgorithm, Optimizer, SimulatedAnnealing};
+use rsm::ResponseSurface;
+use wsn_node::{EnvelopeSim, NodeConfig, SimOutcome, SystemConfig};
+
+use crate::report::{DesignEval, DseReport};
+use crate::space::{coded_to_config, config_to_coded, paper_design_space};
+use crate::Result;
+
+/// One point of a one-dimensional design-space sweep (the paper's Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Coded coordinate of the swept factor.
+    pub coded: f64,
+    /// The swept factor's value in natural units.
+    pub natural: f64,
+    /// RSM prediction at this point (other factors at their centres).
+    pub predicted: f64,
+    /// Simulated transmission count, when the sweep was run with
+    /// validation enabled.
+    pub simulated: Option<f64>,
+}
+
+/// A complete Fig. 4 style sweep of one factor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSeries {
+    /// Index of the swept factor (0 = x1 clock, 1 = x2 watchdog,
+    /// 2 = x3 interval).
+    pub factor: usize,
+    /// Factor name.
+    pub name: String,
+    /// The sweep samples in coded order.
+    pub points: Vec<SweepPoint>,
+}
+
+/// The paper's RSM-based design space exploration flow.
+///
+/// Construct with [`DseFlow::paper`] for the exact evaluation setup
+/// (10-run D-optimal design, quadratic model, one-hour 60 mg stepped
+/// scenario, SA + GA optimisers), adjust with the builder methods, then
+/// call [`run`](Self::run).
+///
+/// # Example
+///
+/// ```no_run
+/// # fn main() -> Result<(), wsn_dse::DseError> {
+/// let report = wsn_dse::DseFlow::paper().seed(42).run()?;
+/// assert!(report.surface.stats().r_squared > 0.5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DseFlow {
+    template: SystemConfig,
+    space: DesignSpace,
+    model: ModelSpec,
+    doe_runs: usize,
+    seed: u64,
+}
+
+impl DseFlow {
+    /// The paper's flow: Table V space, quadratic model, 10 D-optimal
+    /// runs, the §V scenario.
+    pub fn paper() -> Self {
+        let mut template = SystemConfig::paper(NodeConfig::original());
+        template.trace_interval = None; // traces are requested separately
+        DseFlow {
+            template,
+            space: paper_design_space(),
+            model: ModelSpec::quadratic(3),
+            doe_runs: 10,
+            seed: 12,
+        }
+    }
+
+    /// Replaces the simulated scenario (vibration, horizon, physics).
+    /// The `node` field of the template is overwritten per design point.
+    pub fn with_template(mut self, template: SystemConfig) -> Self {
+        self.template = template;
+        self.template.trace_interval = None;
+        self
+    }
+
+    /// Sets the number of DOE runs (must be at least the model size, 10).
+    pub fn doe_runs(mut self, runs: usize) -> Self {
+        self.doe_runs = runs;
+        self
+    }
+
+    /// Seeds the D-optimal search and the stochastic optimisers.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The design space.
+    pub fn space(&self) -> &DesignSpace {
+        &self.space
+    }
+
+    /// The model basis.
+    pub fn model(&self) -> &ModelSpec {
+        &self.model
+    }
+
+    /// Simulates one configuration under the flow's scenario.
+    pub fn evaluate(&self, node: NodeConfig) -> SimOutcome {
+        let mut config = self.template.clone();
+        config.node = node;
+        EnvelopeSim::new(config).run()
+    }
+
+    /// Simulates a coded design point, returning the transmission count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode/validation errors.
+    pub fn evaluate_coded(&self, coded: &[f64]) -> Result<f64> {
+        let node = coded_to_config(&self.space, coded)?;
+        Ok(self.evaluate(node).transmissions as f64)
+    }
+
+    /// Builds the D-optimal experimental design (step 2 of the flow).
+    ///
+    /// # Errors
+    ///
+    /// Propagates infeasible-design errors.
+    pub fn build_design(&self) -> Result<Design> {
+        Ok(DOptimal::new(self.space.dimension(), self.model.clone())
+            .runs(self.doe_runs)
+            .seed(self.seed)
+            .build()?)
+    }
+
+    /// Simulates every run of a design (step 3).
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode/validation errors.
+    pub fn simulate_design(&self, design: &Design) -> Result<Vec<f64>> {
+        design
+            .points()
+            .iter()
+            .map(|p| self.evaluate_coded(p))
+            .collect()
+    }
+
+    /// Fits the response surface to simulated responses (step 4).
+    ///
+    /// # Errors
+    ///
+    /// Propagates fitting errors (rank deficiency etc.).
+    pub fn fit(&self, design: &Design, responses: &[f64]) -> Result<ResponseSurface> {
+        Ok(ResponseSurface::fit(
+            design,
+            self.model.clone(),
+            responses,
+        )?)
+    }
+
+    /// Maximises a fitted surface with both of the paper's optimisers
+    /// (step 5), returning `(label, coded_optimum, predicted)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates optimiser failures.
+    pub fn optimise(&self, surface: &ResponseSurface) -> Result<Vec<(String, Vec<f64>, f64)>> {
+        let bounds = Bounds::symmetric(self.space.dimension(), 1.0)?;
+        let objective = |x: &[f64]| surface.predict(x);
+
+        let sa = SimulatedAnnealing::new()
+            .seed(self.seed)
+            .moves_per_temperature(80)
+            .maximize(&bounds, objective)?;
+        let ga = GeneticAlgorithm::new()
+            .seed(self.seed)
+            .maximize(&bounds, objective)?;
+
+        Ok(vec![
+            ("simulated annealing".to_owned(), sa.x, sa.value),
+            ("genetic algorithm".to_owned(), ga.x, ga.value),
+        ])
+    }
+
+    /// Runs the complete flow and assembles the report (steps 1–6).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any stage's failure.
+    pub fn run(&self) -> Result<DseReport> {
+        let design = self.build_design()?;
+        let responses = self.simulate_design(&design)?;
+        let surface = self.fit(&design, &responses)?;
+        let d_efficiency = doe::diagnostics::d_efficiency(&design, &self.model)?;
+
+        let original_cfg = NodeConfig::original();
+        let original = DesignEval {
+            label: "original".to_owned(),
+            coded: config_to_coded(&self.space, &original_cfg)?,
+            predicted: None,
+            simulated: self.evaluate(original_cfg).transmissions,
+            config: original_cfg,
+        };
+
+        let mut optimised = Vec::new();
+        for (label, coded, predicted) in self.optimise(&surface)? {
+            let config = coded_to_config(&self.space, &coded)?;
+            let simulated = self.evaluate(config).transmissions;
+            optimised.push(DesignEval {
+                label,
+                config,
+                coded,
+                predicted: Some(predicted),
+                simulated,
+            });
+        }
+
+        Ok(DseReport {
+            design,
+            responses,
+            surface,
+            d_efficiency,
+            original,
+            optimised,
+        })
+    }
+
+    /// Fig. 4 companion: evaluates the fitted surface on an `n × n` coded
+    /// grid over two factors (the remaining factor at its centre),
+    /// returning row-major values — the data behind an interaction
+    /// contour plot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::DseError::InvalidArgument`] for equal or
+    /// out-of-range factor indices or `n < 2`.
+    pub fn sweep2d(
+        &self,
+        surface: &ResponseSurface,
+        factor_a: usize,
+        factor_b: usize,
+        n: usize,
+    ) -> Result<Vec<Vec<f64>>> {
+        let k = self.space.dimension();
+        if factor_a >= k || factor_b >= k || factor_a == factor_b {
+            return Err(crate::DseError::InvalidArgument(
+                "sweep2d: need two distinct in-range factors",
+            ));
+        }
+        if n < 2 {
+            return Err(crate::DseError::InvalidArgument(
+                "sweep2d: need at least a 2x2 grid",
+            ));
+        }
+        let coded = |i: usize| -1.0 + 2.0 * i as f64 / (n - 1) as f64;
+        let mut grid = Vec::with_capacity(n);
+        for row in 0..n {
+            let mut values = Vec::with_capacity(n);
+            for col in 0..n {
+                let mut x = vec![0.0; k];
+                x[factor_a] = coded(row);
+                x[factor_b] = coded(col);
+                values.push(surface.predict(&x));
+            }
+            grid.push(values);
+        }
+        Ok(grid)
+    }
+
+    /// Sequential RSM refinement: zooms the design space around the best
+    /// optimised design of a previous [`run`](Self::run) and returns a new
+    /// flow over the shrunken region.
+    ///
+    /// Each factor's range contracts to `shrink` times its width, centred
+    /// on the optimum (clamped inside the original region). Running the
+    /// returned flow fits a fresh surface where the first-pass surrogate
+    /// was most strained — the textbook "second-phase" RSM step the paper
+    /// leaves as future work.
+    ///
+    /// # Errors
+    ///
+    /// * [`crate::DseError::InvalidArgument`] when `shrink` is outside
+    ///   `(0, 1)` or the report has no optimised design.
+    pub fn refine(&self, report: &DseReport, shrink: f64) -> Result<DseFlow> {
+        if !(shrink > 0.0 && shrink < 1.0) {
+            return Err(crate::DseError::InvalidArgument(
+                "refine: shrink factor must be in (0, 1)",
+            ));
+        }
+        let Some(best) = report.best_optimised() else {
+            return Err(crate::DseError::InvalidArgument(
+                "refine: report has no optimised design",
+            ));
+        };
+        let centre = [
+            best.config.clock_hz,
+            best.config.watchdog_s,
+            best.config.tx_interval_s,
+        ];
+        let mut factors = Vec::with_capacity(self.space.dimension());
+        for (factor, c) in self.space.factors().iter().zip(centre) {
+            let half = factor.half_range() * shrink;
+            // Clamp the zoomed window inside the original range.
+            let lo = (c - half).clamp(factor.min(), factor.max() - 2.0 * half);
+            let hi = lo + 2.0 * half;
+            factors.push(doe::Factor::new(factor.name(), lo, hi)?);
+        }
+        let mut refined = self.clone();
+        refined.space = DesignSpace::new(factors)?;
+        Ok(refined)
+    }
+
+    /// Fig. 4: sweeps one factor across `[-1, 1]` with the other factors
+    /// at their coded centres, sampling the fitted surface and (when
+    /// `validate` is set) the simulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::DseError::InvalidArgument`] for a bad factor index
+    /// and propagates simulation errors.
+    pub fn sweep1d(
+        &self,
+        surface: &ResponseSurface,
+        factor: usize,
+        samples: usize,
+        validate: bool,
+    ) -> Result<SweepSeries> {
+        if factor >= self.space.dimension() {
+            return Err(crate::DseError::InvalidArgument(
+                "sweep factor index out of range",
+            ));
+        }
+        if samples < 2 {
+            return Err(crate::DseError::InvalidArgument(
+                "sweep needs at least 2 samples",
+            ));
+        }
+        let mut points = Vec::with_capacity(samples);
+        for i in 0..samples {
+            let coded_value = -1.0 + 2.0 * i as f64 / (samples - 1) as f64;
+            let mut x = vec![0.0; self.space.dimension()];
+            x[factor] = coded_value;
+            let predicted = surface.predict(&x);
+            let simulated = if validate {
+                Some(self.evaluate_coded(&x)?)
+            } else {
+                None
+            };
+            points.push(SweepPoint {
+                coded: coded_value,
+                natural: self.space.factors()[factor].decode(coded_value),
+                predicted,
+                simulated,
+            });
+        }
+        Ok(SweepSeries {
+            factor,
+            name: self.space.factors()[factor].name().to_owned(),
+            points,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harvester::VibrationProfile;
+
+    /// A fast scenario for unit tests: 10-minute horizon.
+    fn fast_flow() -> DseFlow {
+        let template = SystemConfig::paper(NodeConfig::original())
+            .with_horizon(600.0)
+            .with_vibration(VibrationProfile::stepped(
+                0.5886,
+                vec![(0.0, 75.0), (300.0, 80.0)],
+            ));
+        DseFlow::paper().with_template(template)
+    }
+
+    #[test]
+    fn evaluate_matches_direct_simulation() {
+        let flow = fast_flow();
+        let direct = {
+            let mut cfg = flow.template.clone();
+            cfg.node = NodeConfig::original();
+            EnvelopeSim::new(cfg).run().transmissions
+        };
+        assert_eq!(flow.evaluate(NodeConfig::original()).transmissions, direct);
+    }
+
+    #[test]
+    fn design_has_requested_runs() {
+        let flow = fast_flow();
+        let design = flow.build_design().unwrap();
+        assert_eq!(design.len(), 10);
+        assert_eq!(design.dimension(), 3);
+    }
+
+    #[test]
+    fn full_flow_produces_consistent_report() {
+        let report = fast_flow().run().unwrap();
+        assert_eq!(report.responses.len(), 10);
+        assert!(report.d_efficiency > 0.0);
+        // All validated counts positive; improvement factor sane.
+        assert!(report.original.simulated > 0);
+        assert_eq!(report.optimised.len(), 2);
+        let factor = report.best_improvement_factor();
+        assert!(factor >= 0.9, "optimised should not be much worse: {factor}");
+        // Report formats without panicking.
+        let text = report.to_string();
+        assert!(text.contains("D-optimal design"));
+    }
+
+    #[test]
+    fn sweep_has_expected_shape() {
+        let flow = fast_flow();
+        let design = flow.build_design().unwrap();
+        let responses = flow.simulate_design(&design).unwrap();
+        let surface = flow.fit(&design, &responses).unwrap();
+        let sweep = flow.sweep1d(&surface, 2, 5, false).unwrap();
+        assert_eq!(sweep.points.len(), 5);
+        assert_eq!(sweep.name, "tx_interval_s");
+        assert_eq!(sweep.points[0].coded, -1.0);
+        assert!((sweep.points[0].natural - 0.005).abs() < 1e-9);
+        assert_eq!(sweep.points[4].coded, 1.0);
+        assert!(sweep.points.iter().all(|p| p.simulated.is_none()));
+    }
+
+    #[test]
+    fn sweep_argument_validation() {
+        let flow = fast_flow();
+        let design = flow.build_design().unwrap();
+        let responses = flow.simulate_design(&design).unwrap();
+        let surface = flow.fit(&design, &responses).unwrap();
+        assert!(flow.sweep1d(&surface, 5, 5, false).is_err());
+        assert!(flow.sweep1d(&surface, 0, 1, false).is_err());
+    }
+
+    #[test]
+    fn too_few_doe_runs_rejected() {
+        let flow = fast_flow().doe_runs(5);
+        assert!(flow.build_design().is_err());
+    }
+
+    #[test]
+    fn refine_zooms_around_the_optimum() {
+        let flow = fast_flow();
+        let report = flow.run().unwrap();
+        let refined = flow.refine(&report, 0.3).unwrap();
+        let best = report.best_optimised().unwrap();
+        // The refined space is 30 % of the original width, inside it, and
+        // contains the first-pass optimum.
+        for (orig, new) in flow.space().factors().iter().zip(refined.space().factors()) {
+            assert!(new.min() >= orig.min() - 1e-9);
+            assert!(new.max() <= orig.max() + 1e-9);
+            let ratio = new.half_range() / orig.half_range();
+            assert!((ratio - 0.3).abs() < 1e-9, "shrink ratio {ratio}");
+        }
+        assert!(refined
+            .space()
+            .contains(&[
+                best.config.clock_hz,
+                best.config.watchdog_s,
+                best.config.tx_interval_s
+            ])
+            .unwrap());
+    }
+
+    #[test]
+    fn refined_run_does_not_regress() {
+        let flow = fast_flow();
+        let first = flow.run().unwrap();
+        let refined_flow = flow.refine(&first, 0.35).unwrap();
+        let second = refined_flow.run().unwrap();
+        let best1 = first.best_optimised().unwrap().simulated;
+        let best2 = second.best_optimised().unwrap().simulated;
+        // The refined region contains the first optimum, so the validated
+        // result should be at least ~as good (small slack for surrogate
+        // wobble at the new corners).
+        assert!(
+            best2 as f64 >= 0.9 * best1 as f64,
+            "refinement regressed: {best1} -> {best2}"
+        );
+    }
+
+    #[test]
+    fn refine_argument_validation() {
+        let flow = fast_flow();
+        let report = flow.run().unwrap();
+        assert!(flow.refine(&report, 0.0).is_err());
+        assert!(flow.refine(&report, 1.0).is_err());
+    }
+}

@@ -1,0 +1,173 @@
+use std::fmt;
+
+use doe::Design;
+use rsm::ResponseSurface;
+use wsn_node::NodeConfig;
+
+/// One evaluated design: a configuration, its coded coordinates, the
+/// RSM prediction (when applicable) and the simulator's verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignEval {
+    /// Human-readable label ("original", "simulated annealing", ...).
+    pub label: String,
+    /// The configuration in natural units.
+    pub config: NodeConfig,
+    /// The configuration in coded Table V coordinates.
+    pub coded: Vec<f64>,
+    /// The fitted surface's prediction of the transmission count, if this
+    /// design was produced by optimising the surface.
+    pub predicted: Option<f64>,
+    /// The simulator's transmission count.
+    pub simulated: u64,
+}
+
+impl fmt::Display for DesignEval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<22} clock = {:>9.0} Hz, watchdog = {:>5.0} s, interval = {:>6.3} s → {} tx",
+            self.label,
+            self.config.clock_hz,
+            self.config.watchdog_s,
+            self.config.tx_interval_s,
+            self.simulated
+        )?;
+        if let Some(p) = self.predicted {
+            write!(f, " (RSM predicted {p:.0})")?;
+        }
+        Ok(())
+    }
+}
+
+/// Complete output of one RSM-based design space exploration — everything
+/// the paper's evaluation section reports.
+#[derive(Debug, Clone)]
+pub struct DseReport {
+    /// The coded experimental design (the 10 D-optimal points).
+    pub design: Design,
+    /// Simulated transmission counts at the design points (the regression
+    /// responses).
+    pub responses: Vec<f64>,
+    /// The fitted quadratic response surface (the Eq. 9 analogue).
+    pub surface: ResponseSurface,
+    /// D-efficiency of the design for the fitted model (%).
+    pub d_efficiency: f64,
+    /// The paper's original design, simulated.
+    pub original: DesignEval,
+    /// The optimised designs (Simulated Annealing, Genetic Algorithm, ...),
+    /// each validated in the simulator.
+    pub optimised: Vec<DesignEval>,
+}
+
+impl DseReport {
+    /// The best validated transmission count among the optimised designs.
+    pub fn best_optimised(&self) -> Option<&DesignEval> {
+        self.optimised.iter().max_by_key(|e| e.simulated)
+    }
+
+    /// Improvement factor of the best optimised design over the original
+    /// (the paper's headline is ≈ 2×).
+    pub fn best_improvement_factor(&self) -> f64 {
+        match self.best_optimised() {
+            Some(best) if self.original.simulated > 0 => {
+                best.simulated as f64 / self.original.simulated as f64
+            }
+            _ => 1.0,
+        }
+    }
+}
+
+impl DseReport {
+    /// Writes the experimental design and its simulated responses as CSV
+    /// (`x1,x2,x3,...,transmissions`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    pub fn write_runs_csv<W: std::io::Write>(&self, writer: &mut W) -> std::io::Result<()> {
+        for i in 0..self.design.dimension() {
+            write!(writer, "x{},", i + 1)?;
+        }
+        writeln!(writer, "transmissions")?;
+        for (point, y) in self.design.points().iter().zip(&self.responses) {
+            for v in point {
+                write!(writer, "{v},")?;
+            }
+            writeln!(writer, "{y}")?;
+        }
+        Ok(())
+    }
+
+    /// Writes the evaluated designs (original + optimised) as CSV
+    /// (`label,clock_hz,watchdog_s,tx_interval_s,predicted,simulated`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    pub fn write_designs_csv<W: std::io::Write>(&self, writer: &mut W) -> std::io::Result<()> {
+        writeln!(
+            writer,
+            "label,clock_hz,watchdog_s,tx_interval_s,predicted,simulated"
+        )?;
+        for eval in std::iter::once(&self.original).chain(&self.optimised) {
+            writeln!(
+                writer,
+                "{},{},{},{},{},{}",
+                eval.label.replace(',', ";"),
+                eval.config.clock_hz,
+                eval.config.watchdog_s,
+                eval.config.tx_interval_s,
+                eval.predicted.map_or(String::new(), |p| format!("{p:.1}")),
+                eval.simulated
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for DseReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "D-optimal design: {} runs, D-efficiency {:.1} %",
+            self.design.len(),
+            self.d_efficiency
+        )?;
+        writeln!(f, "fitted surface: {}", self.surface)?;
+        writeln!(
+            f,
+            "fit quality: R² = {:.4}, adj R² = {:.4}",
+            self.surface.stats().r_squared,
+            self.surface.stats().adj_r_squared
+        )?;
+        writeln!(f, "{}", self.original)?;
+        for eval in &self.optimised {
+            writeln!(f, "{eval}")?;
+        }
+        write!(
+            f,
+            "best improvement: {:.2}x the original design",
+            self.best_improvement_factor()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_display() {
+        let e = DesignEval {
+            label: "original".into(),
+            config: NodeConfig::original(),
+            coded: vec![0.0; 3],
+            predicted: Some(410.0),
+            simulated: 405,
+        };
+        let s = e.to_string();
+        assert!(s.contains("original"));
+        assert!(s.contains("405"));
+        assert!(s.contains("410"));
+    }
+}

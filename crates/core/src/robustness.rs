@@ -1,0 +1,182 @@
+//! Robustness analysis of optimised configurations.
+//!
+//! The paper optimises for one fixed scenario (75 Hz start, two 5 Hz
+//! steps). A configuration tuned to a single scenario can be fragile;
+//! this module re-evaluates any configuration across scenario ensembles —
+//! starting-frequency sweeps and random-walk drifts — and summarises the
+//! distribution of transmission counts. Ensembles run on all available
+//! cores (the envelope engine is `Send`).
+
+use harvester::VibrationProfile;
+use numkit::stats;
+use wsn_node::{EnvelopeSim, NodeConfig, SystemConfig};
+
+/// Distribution summary of an ensemble of scenario evaluations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustnessSummary {
+    /// Transmission counts per scenario, in input order.
+    pub samples: Vec<f64>,
+    /// Ensemble mean.
+    pub mean: f64,
+    /// Ensemble standard deviation.
+    pub std_dev: f64,
+    /// Worst scenario.
+    pub min: f64,
+    /// Best scenario.
+    pub max: f64,
+}
+
+impl RobustnessSummary {
+    fn of(samples: Vec<f64>) -> Self {
+        RobustnessSummary {
+            mean: stats::mean(&samples),
+            std_dev: stats::std_dev(&samples),
+            min: stats::min(&samples),
+            max: stats::max(&samples),
+            samples,
+        }
+    }
+
+    /// Coefficient of variation (`σ / µ`); a scale-free fragility score.
+    pub fn fragility(&self) -> f64 {
+        if self.mean > 0.0 {
+            self.std_dev / self.mean
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Evaluates `config` across a list of fully specified scenarios, in
+/// parallel.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (propagated from the simulation).
+pub fn evaluate_ensemble(
+    template: &SystemConfig,
+    config: NodeConfig,
+    scenarios: &[VibrationProfile],
+) -> RobustnessSummary {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(scenarios.len().max(1));
+    let mut samples = vec![0.0; scenarios.len()];
+    std::thread::scope(|scope| {
+        for (chunk_idx, (scenario_chunk, out_chunk)) in scenarios
+            .chunks(scenarios.len().div_ceil(threads))
+            .zip(samples.chunks_mut(scenarios.len().div_ceil(threads)))
+            .enumerate()
+        {
+            let _ = chunk_idx;
+            let template = template.clone();
+            scope.spawn(move || {
+                for (scenario, out) in scenario_chunk.iter().zip(out_chunk) {
+                    let mut cfg = template.clone();
+                    cfg.node = config;
+                    cfg.vibration = scenario.clone();
+                    cfg.trace_interval = None;
+                    *out = EnvelopeSim::new(cfg).run().transmissions as f64;
+                }
+            });
+        }
+    });
+    RobustnessSummary::of(samples)
+}
+
+/// Robustness against the *starting frequency*: replays the paper's
+/// stepped profile with `f0` swept across `f0_values`.
+pub fn frequency_robustness(
+    template: &SystemConfig,
+    config: NodeConfig,
+    f0_values: &[f64],
+) -> RobustnessSummary {
+    let scenarios: Vec<VibrationProfile> = f0_values
+        .iter()
+        .map(|&f0| VibrationProfile::paper_profile(f0))
+        .collect();
+    evaluate_ensemble(template, config, &scenarios)
+}
+
+/// Robustness against *frequency drift*: bounded random walks (one step
+/// per minute over the horizon), one per seed.
+pub fn drift_robustness(
+    template: &SystemConfig,
+    config: NodeConfig,
+    sigma_hz: f64,
+    seeds: &[u64],
+) -> RobustnessSummary {
+    let steps = (template.horizon / 60.0).ceil().max(1.0) as usize;
+    let scenarios: Vec<VibrationProfile> = seeds
+        .iter()
+        .map(|&seed| {
+            VibrationProfile::random_walk(
+                template.vibration.amplitude(),
+                80.0,
+                sigma_hz,
+                60.0,
+                steps,
+                69.0,
+                96.0,
+                seed,
+            )
+        })
+        .collect();
+    evaluate_ensemble(template, config, &scenarios)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn template() -> SystemConfig {
+        let mut t = SystemConfig::paper(NodeConfig::original()).with_horizon(600.0);
+        t.trace_interval = None;
+        t
+    }
+
+    #[test]
+    fn ensemble_matches_sequential_evaluation() {
+        let t = template();
+        let scenarios: Vec<VibrationProfile> = [72.0, 78.0, 84.0]
+            .iter()
+            .map(|&f| VibrationProfile::paper_profile(f))
+            .collect();
+        let summary = evaluate_ensemble(&t, NodeConfig::original(), &scenarios);
+        // Cross-check each sample against a direct run.
+        for (scenario, &sample) in scenarios.iter().zip(&summary.samples) {
+            let mut cfg = t.clone();
+            cfg.vibration = scenario.clone();
+            let direct = EnvelopeSim::new(cfg).run().transmissions as f64;
+            assert_eq!(sample, direct);
+        }
+        assert_eq!(summary.samples.len(), 3);
+        assert!(summary.min <= summary.mean && summary.mean <= summary.max);
+    }
+
+    #[test]
+    fn frequency_robustness_covers_the_band() {
+        let t = template();
+        let summary =
+            frequency_robustness(&t, NodeConfig::original(), &[70.0, 75.0, 80.0, 85.0]);
+        assert_eq!(summary.samples.len(), 4);
+        assert!(summary.mean > 0.0);
+        assert!(summary.fragility().is_finite());
+    }
+
+    #[test]
+    fn drift_robustness_is_deterministic_per_seed_set() {
+        let t = template();
+        let a = drift_robustness(&t, NodeConfig::original(), 0.3, &[1, 2, 3]);
+        let b = drift_robustness(&t, NodeConfig::original(), 0.3, &[1, 2, 3]);
+        assert_eq!(a, b);
+        assert_eq!(a.samples.len(), 3);
+    }
+
+    #[test]
+    fn fragility_of_zero_mean_is_infinite() {
+        let s = RobustnessSummary::of(vec![0.0, 0.0]);
+        assert!(s.fragility().is_infinite());
+    }
+}

@@ -1,0 +1,115 @@
+use doe::{DesignSpace, Factor};
+use wsn_node::NodeConfig;
+
+use crate::{DseError, Result};
+
+/// The paper's Table V design space:
+///
+/// | factor          | range           | coded symbol |
+/// |-----------------|-----------------|--------------|
+/// | `clock_hz`      | 125 kHz – 8 MHz | x1           |
+/// | `watchdog_s`    | 60 – 600 s      | x2           |
+/// | `tx_interval_s` | 0.005 – 10 s    | x3           |
+///
+/// # Example
+///
+/// ```
+/// let space = wsn_dse::paper_design_space();
+/// assert_eq!(space.dimension(), 3);
+/// assert_eq!(space.factors()[0].name(), "clock_hz");
+/// ```
+pub fn paper_design_space() -> DesignSpace {
+    DesignSpace::new(vec![
+        Factor::new("clock_hz", 125e3, 8e6).expect("valid Table V range"),
+        Factor::new("watchdog_s", 60.0, 600.0).expect("valid Table V range"),
+        Factor::new("tx_interval_s", 0.005, 10.0).expect("valid Table V range"),
+    ])
+    .expect("three factors")
+}
+
+/// Decodes a coded point `(x1, x2, x3)` of the Table V space into a
+/// validated [`NodeConfig`], clamping the tiny floating-point overshoot
+/// that exact ±1 coordinates can produce.
+///
+/// # Errors
+///
+/// Returns [`DseError::InvalidArgument`] for a wrong-dimension point and
+/// propagates configuration errors for points far outside the space.
+pub fn coded_to_config(space: &DesignSpace, coded: &[f64]) -> Result<NodeConfig> {
+    if coded.len() != space.dimension() || space.dimension() != 3 {
+        return Err(DseError::InvalidArgument(
+            "coded point must have exactly 3 coordinates",
+        ));
+    }
+    let natural = space.decode(coded)?;
+    let clamp = |v: f64, f: &Factor| v.clamp(f.min(), f.max());
+    let factors = space.factors();
+    Ok(NodeConfig::new(
+        clamp(natural[0], &factors[0]),
+        clamp(natural[1], &factors[1]),
+        clamp(natural[2], &factors[2]),
+    )?)
+}
+
+/// Codes a [`NodeConfig`] into the Table V coded coordinates.
+///
+/// # Errors
+///
+/// Returns dimension errors from the space (none for the paper space).
+pub fn config_to_coded(space: &DesignSpace, config: &NodeConfig) -> Result<Vec<f64>> {
+    Ok(space.code(&[
+        config.clock_hz,
+        config.watchdog_s,
+        config.tx_interval_s,
+    ])?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_space_matches_table_v() {
+        let s = paper_design_space();
+        let f = s.factors();
+        assert_eq!((f[0].min(), f[0].max()), (125e3, 8e6));
+        assert_eq!((f[1].min(), f[1].max()), (60.0, 600.0));
+        assert_eq!((f[2].min(), f[2].max()), (0.005, 10.0));
+    }
+
+    #[test]
+    fn config_roundtrip() {
+        let space = paper_design_space();
+        let original = NodeConfig::original();
+        let coded = config_to_coded(&space, &original).unwrap();
+        let back = coded_to_config(&space, &coded).unwrap();
+        assert!((back.clock_hz - original.clock_hz).abs() < 1.0);
+        assert!((back.watchdog_s - original.watchdog_s).abs() < 1e-9);
+        assert!((back.tx_interval_s - original.tx_interval_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn corners_decode_to_range_ends() {
+        let space = paper_design_space();
+        let lo = coded_to_config(&space, &[-1.0, -1.0, -1.0]).unwrap();
+        assert!((lo.clock_hz - 125e3).abs() < 1e-6);
+        assert!((lo.tx_interval_s - 0.005).abs() < 1e-12);
+        let hi = coded_to_config(&space, &[1.0, 1.0, 1.0]).unwrap();
+        assert!((hi.clock_hz - 8e6).abs() < 1e-3);
+        assert!((hi.watchdog_s - 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slight_overshoot_is_clamped() {
+        let space = paper_design_space();
+        let cfg = coded_to_config(&space, &[1.0 + 1e-12, -1.0 - 1e-12, 0.0]).unwrap();
+        assert!(cfg.clock_hz <= 8e6);
+        assert!(cfg.watchdog_s >= 60.0);
+    }
+
+    #[test]
+    fn wrong_dimension_rejected() {
+        let space = paper_design_space();
+        assert!(coded_to_config(&space, &[0.0, 0.0]).is_err());
+    }
+}

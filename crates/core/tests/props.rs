@@ -1,0 +1,90 @@
+//! Property-based tests for the DSE flow: coding round-trips over the
+//! Table V space, refinement nesting and budget-analysis consistency on
+//! randomly drawn configurations.
+
+use proptest::prelude::*;
+use wsn_dse::{coded_to_config, config_to_coded, paper_design_space};
+use wsn_node::{NodeConfig, PowerBudget, SystemConfig};
+
+proptest! {
+    /// Any coded point in the cube decodes to a valid configuration and
+    /// codes back to the same point.
+    #[test]
+    fn coded_config_roundtrip(
+        x1 in -1.0..1.0f64,
+        x2 in -1.0..1.0f64,
+        x3 in -1.0..1.0f64,
+    ) {
+        let space = paper_design_space();
+        let config = coded_to_config(&space, &[x1, x2, x3]).expect("in range");
+        let back = config_to_coded(&space, &config).expect("codable");
+        for (orig, got) in [x1, x2, x3].iter().zip(&back) {
+            prop_assert!((orig - got).abs() < 1e-9, "{orig} vs {got}");
+        }
+        // Decoded values respect Table V.
+        prop_assert!(config.clock_hz >= 125e3 && config.clock_hz <= 8e6);
+        prop_assert!(config.watchdog_s >= 60.0 && config.watchdog_s <= 600.0);
+        prop_assert!(config.tx_interval_s >= 0.005 && config.tx_interval_s <= 10.0);
+    }
+
+    /// The static power budget is internally consistent for any valid
+    /// configuration: non-negative components, monotone helpers, and the
+    /// binding-constraint classification agrees with the rate comparison.
+    #[test]
+    fn power_budget_consistency(
+        clock in 125e3..8e6f64,
+        watchdog in 60.0..600.0f64,
+        interval in 0.005..10.0f64,
+    ) {
+        let node = NodeConfig::new(clock, watchdog, interval).expect("in range");
+        let cfg = SystemConfig::paper(node);
+        let b = PowerBudget::of(&cfg).expect("valid");
+        prop_assert!(b.harvest >= 0.0 && b.baseline > 0.0 && b.watchdog > 0.0);
+        prop_assert!(b.tx_energy > 0.0);
+        prop_assert!(b.tx_power_available() <= b.harvest);
+        let rate = b.sustainable_tx_rate();
+        prop_assert!(rate >= 0.0);
+        match b.binding_constraint(interval) {
+            wsn_node::BindingConstraint::Interval => {
+                prop_assert!(rate >= 1.0 / interval)
+            }
+            wsn_node::BindingConstraint::Energy => {
+                prop_assert!(rate < 1.0 / interval)
+            }
+        }
+        // The upper bound is the min of the two ceilings.
+        let bound = b.tx_upper_bound(interval, 3600.0);
+        prop_assert!(bound <= 3600.0 / interval + 1e-9);
+        prop_assert!(bound <= rate * 3600.0 + 1e-9);
+    }
+}
+
+/// Refinement nesting as a property over random optima: any refined space
+/// is inside the original and contains the point it zoomed around.
+#[test]
+fn refinement_nesting_over_random_shrinks() {
+    use wsn_dse::DseFlow;
+
+    let template = SystemConfig::paper(NodeConfig::original()).with_horizon(300.0);
+    let flow = DseFlow::paper().with_template(template).seed(3);
+    let report = flow.run().expect("flow runs");
+    for shrink in [0.1, 0.25, 0.5, 0.75, 0.9] {
+        let refined = flow.refine(&report, shrink).expect("refine");
+        let best = report.best_optimised().expect("has optimum");
+        let centre = [
+            best.config.clock_hz,
+            best.config.watchdog_s,
+            best.config.tx_interval_s,
+        ];
+        assert!(refined.space().contains(&centre).expect("dims"));
+        for (orig, new) in flow
+            .space()
+            .factors()
+            .iter()
+            .zip(refined.space().factors())
+        {
+            assert!(new.min() >= orig.min() - 1e-9);
+            assert!(new.max() <= orig.max() + 1e-9);
+        }
+    }
+}

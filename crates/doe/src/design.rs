@@ -1,0 +1,193 @@
+use std::fmt;
+
+use numkit::Matrix;
+
+use crate::{DesignSpace, DoeError, ModelSpec, Result};
+
+/// A set of design points in *coded* units (each coordinate in `[-1, 1]`).
+///
+/// Every row is one simulation run. Expansion through a [`ModelSpec`]
+/// produces the regression design matrix `X` of the paper's Eq. 5.
+///
+/// # Example
+///
+/// ```
+/// use doe::{Design, ModelSpec};
+///
+/// # fn main() -> Result<(), doe::DoeError> {
+/// let d = Design::from_points(2, vec![vec![-1.0, -1.0], vec![1.0, 1.0]])?;
+/// let x = d.model_matrix(&ModelSpec::linear(2))?;
+/// assert_eq!(x.shape(), (2, 3));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Design {
+    dimension: usize,
+    points: Vec<Vec<f64>>,
+}
+
+impl Design {
+    /// Creates a design from coded points.
+    ///
+    /// # Errors
+    ///
+    /// * [`DoeError::InvalidArgument`] when `points` is empty.
+    /// * [`DoeError::DimensionMismatch`] when a point has the wrong length.
+    pub fn from_points(dimension: usize, points: Vec<Vec<f64>>) -> Result<Self> {
+        if points.is_empty() {
+            return Err(DoeError::InvalidArgument("design needs >= 1 point"));
+        }
+        for p in &points {
+            if p.len() != dimension {
+                return Err(DoeError::DimensionMismatch {
+                    expected: dimension,
+                    got: p.len(),
+                });
+            }
+        }
+        Ok(Design { dimension, points })
+    }
+
+    /// Number of factors.
+    pub fn dimension(&self) -> usize {
+        self.dimension
+    }
+
+    /// Number of runs.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` if the design has no runs (never true for constructed values).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The coded points.
+    pub fn points(&self) -> &[Vec<f64>] {
+        &self.points
+    }
+
+    /// One coded point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `run` is out of bounds.
+    pub fn point(&self, run: usize) -> &[f64] {
+        &self.points[run]
+    }
+
+    /// Decodes every run into natural units for the given space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DoeError::DimensionMismatch`] if the space dimensionality
+    /// differs from the design's.
+    pub fn to_natural(&self, space: &DesignSpace) -> Result<Vec<Vec<f64>>> {
+        self.points.iter().map(|p| space.decode(p)).collect()
+    }
+
+    /// Builds the model matrix `X` (runs × terms) for a model basis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DoeError::DimensionMismatch`] when the model dimension
+    /// differs from the design dimension.
+    pub fn model_matrix(&self, model: &ModelSpec) -> Result<Matrix> {
+        if model.dimension() != self.dimension {
+            return Err(DoeError::DimensionMismatch {
+                expected: self.dimension,
+                got: model.dimension(),
+            });
+        }
+        let rows: Vec<Vec<f64>> = self.points.iter().map(|p| model.expand(p)).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        Ok(Matrix::from_rows(&refs)?)
+    }
+
+    /// Appends a run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DoeError::DimensionMismatch`] for a wrong-length point.
+    pub fn push(&mut self, point: Vec<f64>) -> Result<()> {
+        if point.len() != self.dimension {
+            return Err(DoeError::DimensionMismatch {
+                expected: self.dimension,
+                got: point.len(),
+            });
+        }
+        self.points.push(point);
+        Ok(())
+    }
+}
+
+impl fmt::Display for Design {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, p) in self.points.iter().enumerate() {
+            write!(f, "run {:>3}: [", i + 1)?;
+            for (j, v) in p.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{v:>6.2}")?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Factor;
+
+    #[test]
+    fn construction_validates() {
+        assert!(Design::from_points(2, vec![]).is_err());
+        assert!(Design::from_points(2, vec![vec![1.0]]).is_err());
+        let d = Design::from_points(1, vec![vec![0.0], vec![1.0]]).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.dimension(), 1);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn model_matrix_shape_and_values() {
+        let d = Design::from_points(2, vec![vec![-1.0, 1.0], vec![0.5, 0.0]]).unwrap();
+        let x = d.model_matrix(&ModelSpec::quadratic(2)).unwrap();
+        assert_eq!(x.shape(), (2, 6));
+        // row 0: 1, -1, 1, 1, 1, -1
+        assert_eq!(x.row(0), &[1.0, -1.0, 1.0, 1.0, 1.0, -1.0]);
+    }
+
+    #[test]
+    fn model_dimension_checked() {
+        let d = Design::from_points(2, vec![vec![0.0, 0.0]]).unwrap();
+        assert!(d.model_matrix(&ModelSpec::linear(3)).is_err());
+    }
+
+    #[test]
+    fn to_natural_decodes() {
+        let d = Design::from_points(1, vec![vec![-1.0], vec![1.0]]).unwrap();
+        let space = DesignSpace::new(vec![Factor::new("a", 10.0, 20.0).unwrap()]).unwrap();
+        let nat = d.to_natural(&space).unwrap();
+        assert_eq!(nat, vec![vec![10.0], vec![20.0]]);
+    }
+
+    #[test]
+    fn push_validates_dimension() {
+        let mut d = Design::from_points(2, vec![vec![0.0, 0.0]]).unwrap();
+        assert!(d.push(vec![1.0]).is_err());
+        d.push(vec![1.0, -1.0]).unwrap();
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn display_lists_runs() {
+        let d = Design::from_points(1, vec![vec![0.5]]).unwrap();
+        assert!(format!("{d}").contains("run"));
+    }
+}

@@ -1,0 +1,169 @@
+//! Quality metrics for experimental designs.
+//!
+//! These diagnostics quantify how well a design supports fitting a given
+//! model: D-efficiency (the normalised determinant criterion the paper's
+//! D-optimal search maximises), the information-matrix condition number,
+//! leverage of individual runs and the scaled prediction variance.
+
+use numkit::Matrix;
+
+use crate::{Design, ModelSpec, Result};
+
+/// D-efficiency in percent:
+/// `100 · det(XᵀX)^(1/p) / n`.
+///
+/// 100 % corresponds to the (usually unattainable) orthogonal design; higher
+/// is better. This is the standard normalisation of the `det(XᵀX)` criterion
+/// of the paper's §II-B.
+///
+/// # Errors
+///
+/// Propagates model/design dimension mismatches and determinant failures.
+///
+/// # Example
+///
+/// ```
+/// use doe::{diagnostics, full_factorial, ModelSpec};
+///
+/// # fn main() -> Result<(), doe::DoeError> {
+/// let d = full_factorial(2, 2)?;
+/// let eff = diagnostics::d_efficiency(&d, &ModelSpec::linear(2))?;
+/// assert!((eff - 100.0).abs() < 1e-9); // 2^2 factorial is orthogonal
+/// # Ok(())
+/// # }
+/// ```
+pub fn d_efficiency(design: &Design, model: &ModelSpec) -> Result<f64> {
+    let x = design.model_matrix(model)?;
+    let p = model.num_terms() as f64;
+    let n = design.len() as f64;
+    let det = x.gram().det()?;
+    if det <= 0.0 {
+        return Ok(0.0);
+    }
+    Ok(100.0 * det.powf(1.0 / p) / n)
+}
+
+/// Condition number of the information matrix `XᵀX` (ratio of extreme
+/// eigenvalues). Large values indicate poorly separable coefficients.
+///
+/// # Errors
+///
+/// Propagates dimension mismatches and eigen-decomposition failures.
+pub fn condition_number(design: &Design, model: &ModelSpec) -> Result<f64> {
+    let x = design.model_matrix(model)?;
+    let eig = x.gram().sym_eigen()?;
+    let vals = eig.eigenvalues();
+    let min = vals.first().copied().unwrap_or(0.0);
+    let max = vals.last().copied().unwrap_or(0.0);
+    if min <= 0.0 {
+        return Ok(f64::INFINITY);
+    }
+    Ok(max / min)
+}
+
+/// Leverage (hat-matrix diagonal) of every run:
+/// `h_i = x_iᵀ (XᵀX)⁻¹ x_i`.
+///
+/// Leverages sum to `p` and lie in `[0, 1]` for estimable designs; values
+/// near 1 flag runs whose response the fit must reproduce exactly.
+///
+/// # Errors
+///
+/// Propagates dimension mismatches; returns a numerical error for singular
+/// designs.
+pub fn leverage(design: &Design, model: &ModelSpec) -> Result<Vec<f64>> {
+    let x = design.model_matrix(model)?;
+    let inv = x.gram().inverse()?;
+    Ok(compute_quadratic_forms(&x, &inv))
+}
+
+/// Scaled prediction variance `n · xᵀ (XᵀX)⁻¹ x` at one coded point.
+///
+/// # Errors
+///
+/// Propagates dimension mismatches; returns a numerical error for singular
+/// designs.
+pub fn prediction_variance(design: &Design, model: &ModelSpec, point: &[f64]) -> Result<f64> {
+    let x = design.model_matrix(model)?;
+    let inv = x.gram().inverse()?;
+    let row = model.expand(point);
+    let v = quadratic_form(&row, &inv);
+    Ok(design.len() as f64 * v)
+}
+
+fn compute_quadratic_forms(x: &Matrix, inv: &Matrix) -> Vec<f64> {
+    x.rows_iter().map(|row| quadratic_form(row, inv)).collect()
+}
+
+fn quadratic_form(row: &[f64], inv: &Matrix) -> f64 {
+    let p = row.len();
+    let mut v = 0.0;
+    for i in 0..p {
+        for j in 0..p {
+            v += row[i] * inv[(i, j)] * row[j];
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{full_factorial, DOptimal};
+
+    #[test]
+    fn orthogonal_design_has_full_efficiency() {
+        let d = full_factorial(3, 2).unwrap();
+        let eff = d_efficiency(&d, &ModelSpec::linear(3)).unwrap();
+        assert!((eff - 100.0).abs() < 1e-9, "got {eff}");
+        let cond = condition_number(&d, &ModelSpec::linear(3)).unwrap();
+        assert!((cond - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn singular_design_reports_zero_efficiency() {
+        // Two identical points cannot estimate a 3-term model.
+        let d = crate::Design::from_points(2, vec![vec![0.0, 0.0], vec![0.0, 0.0], vec![0.0, 0.0]])
+            .unwrap();
+        let eff = d_efficiency(&d, &ModelSpec::linear(2)).unwrap();
+        assert_eq!(eff, 0.0);
+        let cond = condition_number(&d, &ModelSpec::linear(2)).unwrap();
+        assert!(cond.is_infinite());
+    }
+
+    #[test]
+    fn leverages_sum_to_p() {
+        let model = ModelSpec::quadratic(3);
+        let d = DOptimal::new(3, model.clone()).runs(12).seed(4).build().unwrap();
+        let lev = leverage(&d, &model).unwrap();
+        assert_eq!(lev.len(), 12);
+        let sum: f64 = lev.iter().sum();
+        assert!((sum - 10.0).abs() < 1e-8, "leverage sum {sum} != p = 10");
+        assert!(lev.iter().all(|&h| h > -1e-12 && h < 1.0 + 1e-12));
+    }
+
+    #[test]
+    fn prediction_variance_grows_towards_extrapolation() {
+        let model = ModelSpec::quadratic(2);
+        let d = full_factorial(2, 3).unwrap();
+        let at_centre = prediction_variance(&d, &model, &[0.0, 0.0]).unwrap();
+        let outside = prediction_variance(&d, &model, &[2.0, 2.0]).unwrap();
+        assert!(outside > at_centre, "{outside} should exceed {at_centre}");
+    }
+
+    #[test]
+    fn d_optimal_10_run_efficiency_is_reasonable() {
+        // The paper's headline: 10 runs suffice for the quadratic in 3
+        // factors. The D-optimal design should retain most of the
+        // 27-run full factorial's efficiency.
+        let model = ModelSpec::quadratic(3);
+        let opt = DOptimal::new(3, model.clone()).runs(10).seed(9).build().unwrap();
+        let full = full_factorial(3, 3).unwrap();
+        let e_opt = d_efficiency(&opt, &model).unwrap();
+        let e_full = d_efficiency(&full, &model).unwrap();
+        assert!(
+            e_opt > 0.8 * e_full,
+            "10-run D-optimal ({e_opt}) should be close to the factorial ({e_full})"
+        );
+    }
+}

@@ -1,0 +1,683 @@
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use numkit::Matrix;
+
+use crate::{full_factorial, Design, DoeError, ModelSpec, Result};
+
+/// Builder for a D-optimal design via Fedorov exchange.
+///
+/// The D-optimality criterion selects the `n` runs (out of a candidate set)
+/// that maximise `det(XᵀX)`, where `X` is the model matrix — "the
+/// information matrix" in the paper's §II-B. The paper uses this to reduce
+/// 27 full-factorial simulations to 10.
+///
+/// The search is the classic Fedorov exchange: start from a greedy
+/// initial design, then repeatedly swap the design point / candidate pair
+/// that most improves the determinant, until a pass yields no improvement.
+///
+/// # Example
+///
+/// ```
+/// use doe::{DOptimal, ModelSpec};
+///
+/// # fn main() -> Result<(), doe::DoeError> {
+/// let design = DOptimal::new(3, ModelSpec::quadratic(3))
+///     .runs(10)
+///     .seed(1)
+///     .build()?;
+/// assert_eq!(design.len(), 10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DOptimal {
+    dimension: usize,
+    model: ModelSpec,
+    runs: usize,
+    candidates: Option<Design>,
+    seed: u64,
+    max_passes: usize,
+    criterion: OptimalityCriterion,
+}
+
+/// Alphabetic optimality criterion driving the exchange search.
+///
+/// The paper uses D-optimality; A and I are standard alternatives exposed
+/// for the `doe_ablation` comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OptimalityCriterion {
+    /// Maximise `det(XᵀX)` — minimal volume of the coefficient
+    /// confidence ellipsoid (the paper's §II-B choice).
+    #[default]
+    D,
+    /// Minimise `trace((XᵀX)⁻¹)` — minimal average coefficient variance.
+    A,
+    /// Minimise the average prediction variance over the candidate set.
+    I,
+}
+
+/// Ridge added to the information matrix so that partially built designs
+/// can still be ranked by `ln det`.
+const RIDGE: f64 = 1e-9;
+
+impl DOptimal {
+    /// Starts a builder for `dimension` factors and the given model basis.
+    /// The default run count equals the number of model terms (the minimum
+    /// for estimability).
+    pub fn new(dimension: usize, model: ModelSpec) -> Self {
+        let runs = model.num_terms();
+        DOptimal {
+            dimension,
+            model,
+            runs,
+            candidates: None,
+            seed: 0,
+            max_passes: 50,
+            criterion: OptimalityCriterion::D,
+        }
+    }
+
+    /// Selects the optimality criterion (default: D, as in the paper).
+    pub fn criterion(mut self, criterion: OptimalityCriterion) -> Self {
+        self.criterion = criterion;
+        self
+    }
+
+    /// Sets the number of runs `n`.
+    pub fn runs(mut self, n: usize) -> Self {
+        self.runs = n;
+        self
+    }
+
+    /// Sets a custom candidate set. Defaults to the three-level full
+    /// factorial grid, the usual choice for quadratic models.
+    pub fn candidates(mut self, candidates: Design) -> Self {
+        self.candidates = Some(candidates);
+        self
+    }
+
+    /// Seeds the (deterministic) initial shuffle.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Caps the number of full exchange passes (default 50).
+    pub fn max_passes(mut self, passes: usize) -> Self {
+        self.max_passes = passes;
+        self
+    }
+
+    /// Runs the exchange search.
+    ///
+    /// # Errors
+    ///
+    /// * [`DoeError::InfeasibleDesign`] when `runs` is below the number of
+    ///   model terms or exceeds the candidate count, or when the model
+    ///   dimension disagrees with the design dimension.
+    /// * Numerical errors from degenerate candidate sets.
+    pub fn build(&self) -> Result<Design> {
+        let p = self.model.num_terms();
+        if self.model.dimension() != self.dimension {
+            return Err(DoeError::DimensionMismatch {
+                expected: self.dimension,
+                got: self.model.dimension(),
+            });
+        }
+        if self.runs < p {
+            return Err(DoeError::InfeasibleDesign(
+                "d-optimal: runs must be >= number of model terms",
+            ));
+        }
+        let candidates = match &self.candidates {
+            Some(c) => c.clone(),
+            None => full_factorial(self.dimension, 3)?,
+        };
+        if candidates.dimension() != self.dimension {
+            return Err(DoeError::DimensionMismatch {
+                expected: self.dimension,
+                got: candidates.dimension(),
+            });
+        }
+        if self.runs > candidates.len() {
+            return Err(DoeError::InfeasibleDesign(
+                "d-optimal: runs exceed candidate count",
+            ));
+        }
+
+        // Pre-expand every candidate into its model-matrix row.
+        let rows: Vec<Vec<f64>> = candidates
+            .points()
+            .iter()
+            .map(|c| self.model.expand(c))
+            .collect();
+        let criterion = self.criterion;
+        let score = |selected: &[usize]| score_selection(&rows, selected, p, criterion, None);
+
+        // Greedy initialisation from a shuffled candidate order: repeatedly
+        // add the candidate that most increases ln det(XᵀX + ridge I).
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let mut order: Vec<usize> = (0..candidates.len()).collect();
+        order.shuffle(&mut rng);
+
+        let mut selected: Vec<usize> = Vec::with_capacity(self.runs);
+        selected.push(order[0]);
+        while selected.len() < self.runs {
+            let mut best = None;
+            let mut best_ld = f64::NEG_INFINITY;
+            for &c in &order {
+                selected.push(c);
+                let ld = score(&selected);
+                selected.pop();
+                if ld > best_ld {
+                    best_ld = ld;
+                    best = Some(c);
+                }
+            }
+            selected.push(best.expect("candidate set is non-empty"));
+        }
+
+        // Fedorov exchange passes.
+        let mut current_ld = score(&selected);
+        for _pass in 0..self.max_passes {
+            let mut improved = false;
+            for slot in 0..selected.len() {
+                let original = selected[slot];
+                let mut best_swap = original;
+                let mut best_ld = current_ld;
+                for c in 0..rows.len() {
+                    if c == original {
+                        continue;
+                    }
+                    selected[slot] = c;
+                    let ld = score(&selected);
+                    if ld > best_ld + 1e-12 {
+                        best_ld = ld;
+                        best_swap = c;
+                    }
+                }
+                selected[slot] = best_swap;
+                if best_swap != original {
+                    current_ld = best_ld;
+                    improved = true;
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+
+        let points: Vec<Vec<f64>> = selected
+            .iter()
+            .map(|&i| candidates.points()[i].clone())
+            .collect();
+        Design::from_points(self.dimension, points)
+    }
+
+    /// Augments an existing design: keeps every run of `base` fixed and
+    /// selects `runs − base.len()` additional candidate points that
+    /// optimise the criterion of the *combined* design. This is how a
+    /// sequential (zoomed) experiment reuses already-simulated runs.
+    ///
+    /// # Errors
+    ///
+    /// * [`DoeError::InfeasibleDesign`] when `runs <= base.len()` or the
+    ///   extra runs exceed the candidate count.
+    /// * [`DoeError::DimensionMismatch`] when dimensions disagree.
+    pub fn augment(&self, base: &Design) -> Result<Design> {
+        let p = self.model.num_terms();
+        if base.dimension() != self.dimension {
+            return Err(DoeError::DimensionMismatch {
+                expected: self.dimension,
+                got: base.dimension(),
+            });
+        }
+        if self.runs <= base.len() {
+            return Err(DoeError::InfeasibleDesign(
+                "augment: total runs must exceed the base design",
+            ));
+        }
+        let extra = self.runs - base.len();
+        let candidates = match &self.candidates {
+            Some(c) => c.clone(),
+            None => full_factorial(self.dimension, 3)?,
+        };
+        if extra > candidates.len() {
+            return Err(DoeError::InfeasibleDesign(
+                "augment: extra runs exceed candidate count",
+            ));
+        }
+
+        // Fixed information from the base design.
+        let base_rows: Vec<Vec<f64>> = base
+            .points()
+            .iter()
+            .map(|pt| self.model.expand(pt))
+            .collect();
+        let mut base_gram = Matrix::from_fn(p, p, |i, j| if i == j { RIDGE } else { 0.0 });
+        for row in &base_rows {
+            for i in 0..p {
+                for j in 0..p {
+                    let v = base_gram[(i, j)] + row[i] * row[j];
+                    base_gram[(i, j)] = v;
+                }
+            }
+        }
+
+        let rows: Vec<Vec<f64>> = candidates
+            .points()
+            .iter()
+            .map(|c| self.model.expand(c))
+            .collect();
+        let criterion = self.criterion;
+        let score =
+            |selected: &[usize]| score_selection(&rows, selected, p, criterion, Some(&base_gram));
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let mut order: Vec<usize> = (0..candidates.len()).collect();
+        order.shuffle(&mut rng);
+
+        // Greedy fill of the extra slots.
+        let mut selected: Vec<usize> = Vec::with_capacity(extra);
+        while selected.len() < extra {
+            let mut best = None;
+            let mut best_score = f64::NEG_INFINITY;
+            for &c in &order {
+                selected.push(c);
+                let s = score(&selected);
+                selected.pop();
+                if s > best_score {
+                    best_score = s;
+                    best = Some(c);
+                }
+            }
+            selected.push(best.expect("candidate set is non-empty"));
+        }
+
+        // Exchange over the new slots only.
+        let mut current = score(&selected);
+        for _pass in 0..self.max_passes {
+            let mut improved = false;
+            for slot in 0..selected.len() {
+                let original = selected[slot];
+                let mut best_swap = original;
+                let mut best_score = current;
+                for c in 0..rows.len() {
+                    if c == original {
+                        continue;
+                    }
+                    selected[slot] = c;
+                    let s = score(&selected);
+                    if s > best_score + 1e-12 {
+                        best_score = s;
+                        best_swap = c;
+                    }
+                }
+                selected[slot] = best_swap;
+                if best_swap != original {
+                    current = best_score;
+                    improved = true;
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+
+        let mut combined = base.clone();
+        for &i in &selected {
+            combined.push(candidates.points()[i].clone())?;
+        }
+        Ok(combined)
+    }
+}
+
+/// Ridged information matrix `XᵀX + ridge I` of a selection, optionally
+/// on top of a fixed base gram (for design augmentation).
+fn information_matrix(
+    rows: &[Vec<f64>],
+    selected: &[usize],
+    p: usize,
+    base: Option<&Matrix>,
+) -> Matrix {
+    let mut gram = match base {
+        Some(b) => b.clone(),
+        None => Matrix::from_fn(p, p, |i, j| if i == j { RIDGE } else { 0.0 }),
+    };
+    for &s in selected {
+        let row = &rows[s];
+        for i in 0..p {
+            for j in i..p {
+                let v = gram[(i, j)] + row[i] * row[j];
+                gram[(i, j)] = v;
+            }
+        }
+    }
+    for i in 0..p {
+        for j in 0..i {
+            gram[(i, j)] = gram[(j, i)];
+        }
+    }
+    gram
+}
+
+/// Exchange score of a selection — larger is better for every criterion
+/// (A and I are negated so the maximising exchange loop applies
+/// unchanged).
+fn score_selection(
+    rows: &[Vec<f64>],
+    selected: &[usize],
+    p: usize,
+    criterion: OptimalityCriterion,
+    base: Option<&Matrix>,
+) -> f64 {
+    let gram = information_matrix(rows, selected, p, base);
+    let Ok(ch) = gram.cholesky() else {
+        return f64::NEG_INFINITY;
+    };
+    match criterion {
+        OptimalityCriterion::D => ch.ln_det(),
+        OptimalityCriterion::A => {
+            let mut trace = 0.0;
+            for j in 0..p {
+                let mut e = vec![0.0; p];
+                e[j] = 1.0;
+                match ch.solve_vec(&e) {
+                    Ok(col) => trace += col[j],
+                    Err(_) => return f64::NEG_INFINITY,
+                }
+            }
+            -trace
+        }
+        OptimalityCriterion::I => {
+            // Average prediction variance over the full candidate set.
+            let mut total = 0.0;
+            for row in rows {
+                match ch.solve_vec(row) {
+                    Ok(sol) => {
+                        total += row.iter().zip(&sol).map(|(a, b)| a * b).sum::<f64>()
+                    }
+                    Err(_) => return f64::NEG_INFINITY,
+                }
+            }
+            -(total / rows.len() as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostics;
+
+    #[test]
+    fn paper_configuration_ten_runs_three_factors() {
+        let model = ModelSpec::quadratic(3);
+        let design = DOptimal::new(3, model.clone())
+            .runs(10)
+            .seed(3)
+            .build()
+            .unwrap();
+        assert_eq!(design.len(), 10);
+        assert_eq!(design.dimension(), 3);
+        let x = design.model_matrix(&model).unwrap();
+        let det = x.gram().det().unwrap();
+        assert!(det > 0.0, "design must be non-singular, det = {det}");
+    }
+
+    #[test]
+    fn d_optimal_beats_random_subset() {
+        let model = ModelSpec::quadratic(2);
+        let opt = DOptimal::new(2, model.clone())
+            .runs(6)
+            .seed(11)
+            .build()
+            .unwrap();
+        let opt_eff = diagnostics::d_efficiency(&opt, &model).unwrap();
+        // A poor hand-picked 6-subset clustered in one corner.
+        let poor = Design::from_points(
+            2,
+            vec![
+                vec![1.0, 1.0],
+                vec![1.0, 0.0],
+                vec![0.0, 1.0],
+                vec![0.0, 0.0],
+                vec![1.0, -1.0],
+                vec![-1.0, 1.0],
+            ],
+        )
+        .unwrap();
+        let poor_eff = diagnostics::d_efficiency(&poor, &model).unwrap();
+        assert!(
+            opt_eff > poor_eff,
+            "optimal {opt_eff} should beat clustered {poor_eff}"
+        );
+    }
+
+    #[test]
+    fn runs_below_terms_rejected() {
+        let r = DOptimal::new(3, ModelSpec::quadratic(3)).runs(9).build();
+        assert!(matches!(r, Err(DoeError::InfeasibleDesign(_))));
+    }
+
+    #[test]
+    fn runs_above_candidates_rejected() {
+        // Default candidate set for k = 2 is the 9-point grid.
+        let r = DOptimal::new(2, ModelSpec::linear(2)).runs(9).build();
+        assert!(r.is_ok());
+        let r = DOptimal::new(2, ModelSpec::linear(2)).runs(10).build();
+        assert!(matches!(r, Err(DoeError::InfeasibleDesign(_))));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let model = ModelSpec::quadratic(3);
+        let a = DOptimal::new(3, model.clone()).runs(10).seed(5).build().unwrap();
+        let b = DOptimal::new(3, model).runs(10).seed(5).build().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn custom_candidates_are_respected() {
+        // Candidates only on the x-axis: the design must stay on it.
+        let candidates = Design::from_points(
+            2,
+            (0..9)
+                .map(|i| vec![-1.0 + 0.25 * i as f64, 0.0])
+                .collect(),
+        )
+        .unwrap();
+        let model = ModelSpec::custom(
+            2,
+            vec![
+                crate::Term::Intercept,
+                crate::Term::Linear(0),
+                crate::Term::Quadratic(0),
+            ],
+        );
+        let d = DOptimal::new(2, model)
+            .runs(4)
+            .candidates(candidates)
+            .build()
+            .unwrap();
+        assert!(d.points().iter().all(|p| p[1] == 0.0));
+    }
+
+    #[test]
+    fn a_and_i_criteria_produce_estimable_designs() {
+        let model = ModelSpec::quadratic(3);
+        for criterion in [
+            OptimalityCriterion::D,
+            OptimalityCriterion::A,
+            OptimalityCriterion::I,
+        ] {
+            let d = DOptimal::new(3, model.clone())
+                .runs(12)
+                .seed(4)
+                .criterion(criterion)
+                .build()
+                .unwrap();
+            let det = d.model_matrix(&model).unwrap().gram().det().unwrap();
+            assert!(det > 0.0, "{criterion:?} design singular");
+        }
+    }
+
+    #[test]
+    fn a_optimal_minimises_trace_relative_to_d() {
+        // The A-optimal design should have a no-worse coefficient-variance
+        // trace than the D-optimal one (they optimise different targets).
+        let model = ModelSpec::quadratic(2);
+        let trace_of = |d: &Design| {
+            let inv = d
+                .model_matrix(&model)
+                .unwrap()
+                .gram()
+                .inverse()
+                .unwrap();
+            (0..model.num_terms()).map(|j| inv[(j, j)]).sum::<f64>()
+        };
+        let d_opt = DOptimal::new(2, model.clone())
+            .runs(9)
+            .seed(1)
+            .build()
+            .unwrap();
+        let a_opt = DOptimal::new(2, model.clone())
+            .runs(9)
+            .seed(1)
+            .criterion(OptimalityCriterion::A)
+            .build()
+            .unwrap();
+        assert!(
+            trace_of(&a_opt) <= trace_of(&d_opt) + 1e-9,
+            "A-optimal trace {} vs D-optimal {}",
+            trace_of(&a_opt),
+            trace_of(&d_opt)
+        );
+    }
+
+    #[test]
+    fn i_optimal_minimises_average_prediction_variance() {
+        let model = ModelSpec::quadratic(2);
+        let candidates = crate::full_factorial(2, 3).unwrap();
+        let avg_pv = |d: &Design| {
+            let inv = d
+                .model_matrix(&model)
+                .unwrap()
+                .gram()
+                .inverse()
+                .unwrap();
+            let mut total = 0.0;
+            for c in candidates.points() {
+                let row = model.expand(c);
+                let mut v = 0.0;
+                for i in 0..row.len() {
+                    for j in 0..row.len() {
+                        v += row[i] * inv[(i, j)] * row[j];
+                    }
+                }
+                total += v;
+            }
+            total / candidates.len() as f64
+        };
+        let d_opt = DOptimal::new(2, model.clone()).runs(8).seed(2).build().unwrap();
+        let i_opt = DOptimal::new(2, model.clone())
+            .runs(8)
+            .seed(2)
+            .criterion(OptimalityCriterion::I)
+            .build()
+            .unwrap();
+        assert!(
+            avg_pv(&i_opt) <= avg_pv(&d_opt) + 1e-9,
+            "I-optimal {} vs D-optimal {}",
+            avg_pv(&i_opt),
+            avg_pv(&d_opt)
+        );
+    }
+
+    #[test]
+    fn augment_keeps_base_and_improves_information() {
+        let model = ModelSpec::quadratic(2);
+        let base = DOptimal::new(2, model.clone()).runs(6).seed(1).build().unwrap();
+        let augmented = DOptimal::new(2, model.clone())
+            .runs(9)
+            .seed(1)
+            .augment(&base)
+            .unwrap();
+        assert_eq!(augmented.len(), 9);
+        // The base runs appear unchanged as the leading rows.
+        for (b, a) in base.points().iter().zip(augmented.points()) {
+            assert_eq!(b, a);
+        }
+        // Information never decreases when rows are added.
+        let det_base = base.model_matrix(&model).unwrap().gram().det().unwrap();
+        let det_aug = augmented
+            .model_matrix(&model)
+            .unwrap()
+            .gram()
+            .det()
+            .unwrap();
+        assert!(det_aug > det_base, "augmentation lost information");
+    }
+
+    #[test]
+    fn augment_validation() {
+        let model = ModelSpec::quadratic(2);
+        let base = DOptimal::new(2, model.clone()).runs(6).seed(1).build().unwrap();
+        // Total runs must exceed the base.
+        assert!(matches!(
+            DOptimal::new(2, model.clone()).runs(6).augment(&base),
+            Err(DoeError::InfeasibleDesign(_))
+        ));
+        // Dimension mismatch.
+        let base3 = DOptimal::new(3, ModelSpec::quadratic(3)).runs(10).build().unwrap();
+        assert!(matches!(
+            DOptimal::new(2, model).runs(12).augment(&base3),
+            Err(DoeError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn augmented_design_beats_fresh_small_design() {
+        // Augmenting 10 paper runs with 6 more must give at least the
+        // information of the 10-run design and usually beats a fresh
+        // 6-run... (6 < p is infeasible; compare against the 10-run base).
+        let model = ModelSpec::quadratic(3);
+        let base = DOptimal::new(3, model.clone()).runs(10).seed(2).build().unwrap();
+        let augmented = DOptimal::new(3, model.clone())
+            .runs(16)
+            .seed(2)
+            .augment(&base)
+            .unwrap();
+        let eff_base = diagnostics::d_efficiency(&base, &model).unwrap();
+        let eff_aug = diagnostics::d_efficiency(&augmented, &model).unwrap();
+        // D-efficiency normalises by n, so it may dip slightly; the raw
+        // determinant must grow strongly.
+        let det_base = base.model_matrix(&model).unwrap().gram().det().unwrap();
+        let det_aug = augmented.model_matrix(&model).unwrap().gram().det().unwrap();
+        assert!(det_aug > 10.0 * det_base);
+        assert!(eff_aug > 0.5 * eff_base);
+    }
+
+    #[test]
+    fn exchange_improves_over_greedy_or_matches() {
+        // The exchanged design should be at least as good as the pure greedy
+        // initial design; verify with one pass vs many.
+        let model = ModelSpec::quadratic(3);
+        let one = DOptimal::new(3, model.clone())
+            .runs(10)
+            .seed(2)
+            .max_passes(0)
+            .build()
+            .unwrap();
+        let many = DOptimal::new(3, model.clone())
+            .runs(10)
+            .seed(2)
+            .max_passes(50)
+            .build()
+            .unwrap();
+        let e1 = diagnostics::d_efficiency(&one, &model).unwrap();
+        let e2 = diagnostics::d_efficiency(&many, &model).unwrap();
+        assert!(e2 >= e1 - 1e-9, "exchange must not degrade: {e1} -> {e2}");
+    }
+}

@@ -1,0 +1,77 @@
+use std::fmt;
+
+/// Error type for design-of-experiments operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DoeError {
+    /// A factor range is empty or reversed.
+    InvalidRange {
+        /// Factor name.
+        name: String,
+        /// Lower bound supplied.
+        min: f64,
+        /// Upper bound supplied.
+        max: f64,
+    },
+    /// A design point has the wrong dimensionality.
+    DimensionMismatch {
+        /// Expected number of factors.
+        expected: usize,
+        /// Number of coordinates supplied.
+        got: usize,
+    },
+    /// The requested design cannot be constructed.
+    InfeasibleDesign(&'static str),
+    /// An argument was invalid.
+    InvalidArgument(&'static str),
+    /// A numerical operation failed.
+    Numerical(numkit::NumError),
+}
+
+impl fmt::Display for DoeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DoeError::InvalidRange { name, min, max } => {
+                write!(f, "invalid range for factor {name}: [{min}, {max}]")
+            }
+            DoeError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected} factors, got {got}")
+            }
+            DoeError::InfeasibleDesign(msg) => write!(f, "infeasible design: {msg}"),
+            DoeError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            DoeError::Numerical(e) => write!(f, "numerical failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DoeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DoeError::Numerical(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<numkit::NumError> for DoeError {
+    fn from(e: numkit::NumError) -> Self {
+        DoeError::Numerical(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = DoeError::InvalidRange {
+            name: "clock".into(),
+            min: 2.0,
+            max: 1.0,
+        };
+        assert!(e.to_string().contains("clock"));
+        let e: DoeError = numkit::NumError::Singular.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

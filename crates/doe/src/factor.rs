@@ -1,0 +1,308 @@
+use std::fmt;
+
+use crate::{DoeError, Result};
+
+/// One design parameter with its natural-unit range.
+///
+/// A factor corresponds to one row of the paper's Table V — e.g. the
+/// microcontroller clock frequency with range 125 kHz – 8 MHz. Coding maps
+/// the natural range onto `[-1, 1]`:
+///
+/// ```text
+/// x = (a − (a_max + a_min)/2) / ((a_max − a_min)/2)        (Eq. 3)
+/// ```
+///
+/// (The paper's printed Eq. 3 repeats `a_max + a_min` in the denominator;
+/// that is a typesetting slip — the standard half-range denominator used
+/// here is the only transform that sends `a_min → −1` and `a_max → +1`.)
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), doe::DoeError> {
+/// let f = doe::Factor::new("watchdog_s", 60.0, 600.0)?;
+/// assert_eq!(f.code(330.0), 0.0);
+/// assert_eq!(f.code(60.0), -1.0);
+/// assert_eq!(f.decode(1.0), 600.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Factor {
+    name: String,
+    min: f64,
+    max: f64,
+}
+
+impl Factor {
+    /// Creates a factor with the given natural range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DoeError::InvalidRange`] if `min >= max` or either bound is
+    /// not finite.
+    pub fn new(name: &str, min: f64, max: f64) -> Result<Self> {
+        if !(min.is_finite() && max.is_finite()) || min >= max {
+            return Err(DoeError::InvalidRange {
+                name: name.to_owned(),
+                min,
+                max,
+            });
+        }
+        Ok(Factor {
+            name: name.to_owned(),
+            min,
+            max,
+        })
+    }
+
+    /// Factor name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Lower bound in natural units.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Upper bound in natural units.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Midpoint of the natural range (the coded origin).
+    pub fn center(&self) -> f64 {
+        0.5 * (self.min + self.max)
+    }
+
+    /// Half-width of the natural range.
+    pub fn half_range(&self) -> f64 {
+        0.5 * (self.max - self.min)
+    }
+
+    /// Natural → coded transform (Eq. 3). Values outside the range map
+    /// outside `[-1, 1]`.
+    pub fn code(&self, natural: f64) -> f64 {
+        (natural - self.center()) / self.half_range()
+    }
+
+    /// Coded → natural transform (inverse of Eq. 3).
+    pub fn decode(&self, coded: f64) -> f64 {
+        self.center() + coded * self.half_range()
+    }
+
+    /// `true` if `natural` lies within the factor range (inclusive).
+    pub fn contains(&self, natural: f64) -> bool {
+        natural >= self.min && natural <= self.max
+    }
+}
+
+impl fmt::Display for Factor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ∈ [{}, {}]", self.name, self.min, self.max)
+    }
+}
+
+/// An ordered collection of [`Factor`]s — the design space being explored.
+///
+/// # Example
+///
+/// ```
+/// use doe::{DesignSpace, Factor};
+///
+/// # fn main() -> Result<(), doe::DoeError> {
+/// let space = DesignSpace::new(vec![
+///     Factor::new("clock_hz", 125e3, 8e6)?,
+///     Factor::new("watchdog_s", 60.0, 600.0)?,
+/// ])?;
+/// let coded = space.code(&[4.0625e6, 330.0])?;
+/// assert!(coded.iter().all(|x| x.abs() < 1e-12));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignSpace {
+    factors: Vec<Factor>,
+}
+
+impl DesignSpace {
+    /// Creates a design space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DoeError::InvalidArgument`] when `factors` is empty.
+    pub fn new(factors: Vec<Factor>) -> Result<Self> {
+        if factors.is_empty() {
+            return Err(DoeError::InvalidArgument("design space needs >= 1 factor"));
+        }
+        Ok(DesignSpace { factors })
+    }
+
+    /// Number of factors.
+    pub fn dimension(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// The factors in order.
+    pub fn factors(&self) -> &[Factor] {
+        &self.factors
+    }
+
+    /// Factor lookup by name.
+    pub fn factor(&self, name: &str) -> Option<&Factor> {
+        self.factors.iter().find(|f| f.name() == name)
+    }
+
+    /// Codes a natural-unit point into `[-1, 1]^k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DoeError::DimensionMismatch`] for wrong-length input.
+    pub fn code(&self, natural: &[f64]) -> Result<Vec<f64>> {
+        self.check_dim(natural.len())?;
+        Ok(self
+            .factors
+            .iter()
+            .zip(natural)
+            .map(|(f, &a)| f.code(a))
+            .collect())
+    }
+
+    /// Decodes a coded point back to natural units.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DoeError::DimensionMismatch`] for wrong-length input.
+    pub fn decode(&self, coded: &[f64]) -> Result<Vec<f64>> {
+        self.check_dim(coded.len())?;
+        Ok(self
+            .factors
+            .iter()
+            .zip(coded)
+            .map(|(f, &x)| f.decode(x))
+            .collect())
+    }
+
+    /// `true` if the natural-unit point lies inside every factor range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DoeError::DimensionMismatch`] for wrong-length input.
+    pub fn contains(&self, natural: &[f64]) -> Result<bool> {
+        self.check_dim(natural.len())?;
+        Ok(self
+            .factors
+            .iter()
+            .zip(natural)
+            .all(|(f, &a)| f.contains(a)))
+    }
+
+    /// The centre of the space in natural units.
+    pub fn center(&self) -> Vec<f64> {
+        self.factors.iter().map(Factor::center).collect()
+    }
+
+    fn check_dim(&self, got: usize) -> Result<()> {
+        if got != self.factors.len() {
+            return Err(DoeError::DimensionMismatch {
+                expected: self.factors.len(),
+                got,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for DesignSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for factor in &self.factors {
+            writeln!(f, "{factor}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coding_roundtrip() {
+        let f = Factor::new("x", 0.005, 10.0).unwrap();
+        for a in [0.005, 1.0, 5.0025, 10.0] {
+            let back = f.decode(f.code(a));
+            assert!((back - a).abs() < 1e-12);
+        }
+        assert!((f.code(0.005) + 1.0).abs() < 1e-12);
+        assert!((f.code(10.0) - 1.0).abs() < 1e-12);
+        assert!((f.code(5.0025)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reversed_range_rejected() {
+        assert!(Factor::new("bad", 2.0, 1.0).is_err());
+        assert!(Factor::new("bad", 1.0, 1.0).is_err());
+        assert!(Factor::new("bad", f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn contains_is_inclusive() {
+        let f = Factor::new("x", -1.0, 1.0).unwrap();
+        assert!(f.contains(-1.0));
+        assert!(f.contains(1.0));
+        assert!(!f.contains(1.0001));
+    }
+
+    #[test]
+    fn paper_table_v_coding() {
+        // Clock frequency 125 kHz – 8 MHz; original design 4 MHz is near 0.
+        let f = Factor::new("clock_hz", 125e3, 8e6).unwrap();
+        let x = f.code(4e6);
+        assert!(x.abs() < 0.02, "4 MHz should be near the coded centre: {x}");
+    }
+
+    #[test]
+    fn space_code_decode() {
+        let space = DesignSpace::new(vec![
+            Factor::new("a", 0.0, 10.0).unwrap(),
+            Factor::new("b", -5.0, 5.0).unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(space.dimension(), 2);
+        let coded = space.code(&[10.0, -5.0]).unwrap();
+        assert_eq!(coded, vec![1.0, -1.0]);
+        let nat = space.decode(&[0.0, 0.0]).unwrap();
+        assert_eq!(nat, vec![5.0, 0.0]);
+        assert_eq!(space.center(), vec![5.0, 0.0]);
+        assert!(space.contains(&[5.0, 0.0]).unwrap());
+        assert!(!space.contains(&[11.0, 0.0]).unwrap());
+    }
+
+    #[test]
+    fn dimension_mismatch_detected() {
+        let space = DesignSpace::new(vec![Factor::new("a", 0.0, 1.0).unwrap()]).unwrap();
+        assert!(matches!(
+            space.code(&[1.0, 2.0]),
+            Err(DoeError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_space_rejected() {
+        assert!(DesignSpace::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let space = DesignSpace::new(vec![Factor::new("clock", 1.0, 2.0).unwrap()]).unwrap();
+        assert!(space.factor("clock").is_some());
+        assert!(space.factor("nope").is_none());
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let f = Factor::new("x", 0.0, 1.0).unwrap();
+        assert!(format!("{f}").contains('x'));
+    }
+}

@@ -1,0 +1,69 @@
+//! Design of experiments (DOE) for simulation-driven design space
+//! exploration.
+//!
+//! The reproduced paper selects its simulation runs with a *D-optimal*
+//! design: instead of the 3³ = 27 runs of a full factorial over the three
+//! sensor-node parameters, it simulates only 10 carefully chosen points and
+//! still fits an accurate quadratic response surface. This crate implements
+//! that machinery from scratch:
+//!
+//! * [`Factor`], [`DesignSpace`] — named parameters with ranges and the
+//!   coded-variable transform of the paper's Eq. 3 (natural ↔ `[-1, 1]`).
+//! * [`ModelSpec`] — polynomial model bases (linear, interaction,
+//!   full quadratic — the paper's Eq. 4).
+//! * [`Design`] — a set of coded design points plus expansion into a model
+//!   matrix `X`.
+//! * Classic designs: [`full_factorial`], [`two_level_factorial`],
+//!   [`central_composite`], [`box_behnken`], [`plackett_burman`],
+//!   [`latin_hypercube`].
+//! * [`DOptimal`] — Fedorov-exchange search for the design maximising
+//!   `det(XᵀX)` over a candidate grid.
+//! * [`diagnostics`] — D-efficiency, condition number, leverage.
+//!
+//! # Example: the paper's 10-run D-optimal design
+//!
+//! ```
+//! use doe::{DesignSpace, DOptimal, Factor, ModelSpec};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let space = DesignSpace::new(vec![
+//!     Factor::new("clock_hz", 125e3, 8e6)?,
+//!     Factor::new("watchdog_s", 60.0, 600.0)?,
+//!     Factor::new("tx_interval_s", 0.005, 10.0)?,
+//! ])?;
+//! let model = ModelSpec::quadratic(3);
+//! let design = DOptimal::new(space.dimension(), model.clone())
+//!     .runs(10)
+//!     .seed(7)
+//!     .build()?;
+//! assert_eq!(design.len(), 10);
+//! // The design supports estimating all 10 quadratic coefficients.
+//! let x = design.model_matrix(&model)?;
+//! assert!(x.gram().det()? > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod design;
+pub mod diagnostics;
+mod doptimal;
+mod error;
+mod factor;
+mod model;
+mod standard;
+
+pub use design::Design;
+pub use doptimal::{DOptimal, OptimalityCriterion};
+pub use error::DoeError;
+pub use factor::{DesignSpace, Factor};
+pub use model::{ModelSpec, Term};
+pub use standard::{
+    box_behnken, central_composite, fractional_factorial, full_factorial, latin_hypercube,
+    plackett_burman, two_level_factorial,
+};
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, DoeError>;

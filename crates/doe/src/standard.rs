@@ -1,0 +1,408 @@
+//! Classic experimental designs in coded units.
+//!
+//! All constructors return a [`Design`] whose coordinates lie in `[-1, 1]`
+//! (except rotatable central composite axial points, which may exceed 1).
+
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::{Design, DoeError, Result};
+
+/// Full factorial design with `levels` evenly spaced levels per factor.
+///
+/// `levels = 3` over `k = 3` factors yields the 27-run grid the paper
+/// contrasts with its 10-run D-optimal design.
+///
+/// # Errors
+///
+/// Returns [`DoeError::InvalidArgument`] when `k == 0` or `levels < 2`.
+///
+/// # Example
+///
+/// ```
+/// let d = doe::full_factorial(3, 3).expect("valid arguments");
+/// assert_eq!(d.len(), 27);
+/// ```
+pub fn full_factorial(k: usize, levels: usize) -> Result<Design> {
+    if k == 0 {
+        return Err(DoeError::InvalidArgument("full_factorial: k must be >= 1"));
+    }
+    if levels < 2 {
+        return Err(DoeError::InvalidArgument(
+            "full_factorial: need at least 2 levels",
+        ));
+    }
+    let level_values: Vec<f64> = (0..levels)
+        .map(|i| -1.0 + 2.0 * i as f64 / (levels - 1) as f64)
+        .collect();
+    let n = levels.pow(k as u32);
+    let mut points = Vec::with_capacity(n);
+    for mut idx in 0..n {
+        let mut p = Vec::with_capacity(k);
+        for _ in 0..k {
+            p.push(level_values[idx % levels]);
+            idx /= levels;
+        }
+        points.push(p);
+    }
+    Design::from_points(k, points)
+}
+
+/// Two-level full factorial (`2^k` corner points).
+///
+/// # Errors
+///
+/// Returns [`DoeError::InvalidArgument`] when `k == 0`.
+pub fn two_level_factorial(k: usize) -> Result<Design> {
+    full_factorial(k, 2)
+}
+
+/// Central composite design: `2^k` corners, `2k` axial points at `±alpha`,
+/// plus `center_points` centre runs.
+///
+/// `alpha = 1.0` gives the face-centred variant (stays in `[-1, 1]`);
+/// `alpha = 2^(k/4)` gives the rotatable variant.
+///
+/// # Errors
+///
+/// Returns [`DoeError::InvalidArgument`] for `k == 0` or non-positive
+/// `alpha`.
+pub fn central_composite(k: usize, alpha: f64, center_points: usize) -> Result<Design> {
+    if k == 0 {
+        return Err(DoeError::InvalidArgument("ccd: k must be >= 1"));
+    }
+    if alpha <= 0.0 {
+        return Err(DoeError::InvalidArgument("ccd: alpha must be positive"));
+    }
+    let mut design = two_level_factorial(k)?;
+    for i in 0..k {
+        let mut lo = vec![0.0; k];
+        lo[i] = -alpha;
+        design.push(lo)?;
+        let mut hi = vec![0.0; k];
+        hi[i] = alpha;
+        design.push(hi)?;
+    }
+    for _ in 0..center_points {
+        design.push(vec![0.0; k])?;
+    }
+    Ok(design)
+}
+
+/// Box–Behnken design: for every factor pair, the four `(±1, ±1)`
+/// combinations with all other factors at the centre, plus `center_points`
+/// centre runs. Requires `k >= 3`.
+///
+/// For `k = 3` this is the textbook 12-run (+centres) design.
+///
+/// # Errors
+///
+/// Returns [`DoeError::InfeasibleDesign`] when `k < 3`.
+pub fn box_behnken(k: usize, center_points: usize) -> Result<Design> {
+    if k < 3 {
+        return Err(DoeError::InfeasibleDesign("box-behnken requires k >= 3"));
+    }
+    let mut points = Vec::new();
+    for i in 0..k {
+        for j in (i + 1)..k {
+            for (si, sj) in [(-1.0, -1.0), (-1.0, 1.0), (1.0, -1.0), (1.0, 1.0)] {
+                let mut p = vec![0.0; k];
+                p[i] = si;
+                p[j] = sj;
+                points.push(p);
+            }
+        }
+    }
+    for _ in 0..center_points {
+        points.push(vec![0.0; k]);
+    }
+    Design::from_points(k, points)
+}
+
+/// Two-level fractional factorial `2^(k−p)`: the first `k − p` factors
+/// form a full two-level factorial; each remaining factor is *generated*
+/// as the product of a set of base factors.
+///
+/// `generators[i]` lists the base-factor indices whose product defines
+/// factor `k − p + i` — e.g. the classic `2^(3−1)` half fraction with
+/// `C = AB` is `fractional_factorial(3, &[&[0, 1]])`.
+///
+/// # Errors
+///
+/// Returns [`DoeError::InvalidArgument`] when a generator is empty or
+/// references a non-base factor, and [`DoeError::InfeasibleDesign`] when
+/// `p >= k` or `k == 0`.
+///
+/// # Example
+///
+/// ```
+/// // 2^(4-1) half fraction with D = ABC: 8 runs screen 4 factors.
+/// let d = doe::fractional_factorial(4, &[&[0, 1, 2]]).expect("valid generators");
+/// assert_eq!(d.len(), 8);
+/// ```
+pub fn fractional_factorial(k: usize, generators: &[&[usize]]) -> Result<Design> {
+    let p = generators.len();
+    if k == 0 {
+        return Err(DoeError::InfeasibleDesign("fractional factorial: k must be >= 1"));
+    }
+    if p >= k {
+        return Err(DoeError::InfeasibleDesign(
+            "fractional factorial: need fewer generators than factors",
+        ));
+    }
+    let base = k - p;
+    for g in generators {
+        if g.is_empty() {
+            return Err(DoeError::InvalidArgument(
+                "fractional factorial: empty generator",
+            ));
+        }
+        if g.iter().any(|&i| i >= base) {
+            return Err(DoeError::InvalidArgument(
+                "fractional factorial: generator references a non-base factor",
+            ));
+        }
+    }
+    let base_design = two_level_factorial(base)?;
+    let points: Vec<Vec<f64>> = base_design
+        .points()
+        .iter()
+        .map(|b| {
+            let mut point = b.clone();
+            for g in generators {
+                let value: f64 = g.iter().map(|&i| b[i]).product();
+                point.push(value);
+            }
+            point
+        })
+        .collect();
+    Design::from_points(k, points)
+}
+
+/// First rows of the cyclic Plackett–Burman generators.
+const PB8: [f64; 7] = [1.0, 1.0, 1.0, -1.0, 1.0, -1.0, -1.0];
+const PB12: [f64; 11] = [
+    1.0, 1.0, -1.0, 1.0, 1.0, 1.0, -1.0, -1.0, -1.0, 1.0, -1.0,
+];
+const PB20: [f64; 19] = [
+    1.0, 1.0, -1.0, -1.0, 1.0, 1.0, 1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0, -1.0, -1.0, -1.0, 1.0,
+    1.0, -1.0,
+];
+
+/// Plackett–Burman screening design for `k` factors.
+///
+/// Chooses the smallest supported run count (8, 12 or 20) that can screen
+/// `k` main effects; the last row is all `-1` as usual.
+///
+/// # Errors
+///
+/// Returns [`DoeError::InfeasibleDesign`] for `k == 0` or `k > 19`.
+pub fn plackett_burman(k: usize) -> Result<Design> {
+    if k == 0 {
+        return Err(DoeError::InfeasibleDesign("plackett-burman: k must be >= 1"));
+    }
+    let generator: &[f64] = if k <= 7 {
+        &PB8
+    } else if k <= 11 {
+        &PB12
+    } else if k <= 19 {
+        &PB20
+    } else {
+        return Err(DoeError::InfeasibleDesign(
+            "plackett-burman: supported up to 19 factors",
+        ));
+    };
+    let n = generator.len() + 1;
+    let mut points = Vec::with_capacity(n);
+    for shift in 0..generator.len() {
+        let mut p = Vec::with_capacity(k);
+        for col in 0..k {
+            p.push(generator[(col + shift) % generator.len()]);
+        }
+        points.push(p);
+    }
+    points.push(vec![-1.0; k]);
+    Design::from_points(k, points)
+}
+
+/// Latin hypercube sample: `n` points, each factor stratified into `n`
+/// equal bins with one point per bin, shuffled independently per factor.
+///
+/// # Errors
+///
+/// Returns [`DoeError::InvalidArgument`] for `k == 0` or `n == 0`.
+pub fn latin_hypercube(k: usize, n: usize, seed: u64) -> Result<Design> {
+    if k == 0 || n == 0 {
+        return Err(DoeError::InvalidArgument(
+            "latin_hypercube: k and n must be >= 1",
+        ));
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut columns: Vec<Vec<f64>> = Vec::with_capacity(k);
+    for _ in 0..k {
+        let mut perm: Vec<usize> = (0..n).collect();
+        perm.shuffle(&mut rng);
+        let col: Vec<f64> = perm
+            .into_iter()
+            .map(|bin| {
+                let u: f64 = rng.gen();
+                -1.0 + 2.0 * (bin as f64 + u) / n as f64
+            })
+            .collect();
+        columns.push(col);
+    }
+    let points: Vec<Vec<f64>> = (0..n)
+        .map(|row| (0..k).map(|col| columns[col][row]).collect())
+        .collect();
+    Design::from_points(k, points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelSpec;
+
+    #[test]
+    fn full_factorial_sizes() {
+        assert_eq!(full_factorial(3, 3).unwrap().len(), 27);
+        assert_eq!(full_factorial(2, 5).unwrap().len(), 25);
+        assert_eq!(two_level_factorial(4).unwrap().len(), 16);
+        assert!(full_factorial(0, 3).is_err());
+        assert!(full_factorial(2, 1).is_err());
+    }
+
+    #[test]
+    fn full_factorial_levels_are_symmetric() {
+        let d = full_factorial(1, 3).unwrap();
+        let mut vals: Vec<f64> = d.points().iter().map(|p| p[0]).collect();
+        vals.sort_by(f64::total_cmp);
+        assert_eq!(vals, vec![-1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn ccd_structure() {
+        let d = central_composite(3, 1.0, 1).unwrap();
+        // 8 corners + 6 axial + 1 center
+        assert_eq!(d.len(), 15);
+        // all face-centered points within [-1,1]
+        assert!(d
+            .points()
+            .iter()
+            .all(|p| p.iter().all(|v| v.abs() <= 1.0)));
+        assert!(central_composite(0, 1.0, 0).is_err());
+        assert!(central_composite(2, -1.0, 0).is_err());
+    }
+
+    #[test]
+    fn rotatable_ccd_axial_distance() {
+        let alpha = 2f64.powf(3.0 / 4.0);
+        let d = central_composite(3, alpha, 0).unwrap();
+        let axial = &d.points()[8]; // first axial point
+        let norm: f64 = axial.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!((norm - alpha).abs() < 1e-12);
+    }
+
+    #[test]
+    fn box_behnken_k3_is_12_runs_plus_centres() {
+        let d = box_behnken(3, 3).unwrap();
+        assert_eq!(d.len(), 15);
+        // Every non-centre point has exactly two nonzero coordinates.
+        for p in &d.points()[..12] {
+            let nonzero = p.iter().filter(|v| **v != 0.0).count();
+            assert_eq!(nonzero, 2);
+        }
+        assert!(box_behnken(2, 0).is_err());
+    }
+
+    #[test]
+    fn box_behnken_supports_quadratic_fit() {
+        let d = box_behnken(3, 1).unwrap();
+        let x = d.model_matrix(&ModelSpec::quadratic(3)).unwrap();
+        assert!(x.gram().det().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn plackett_burman_orthogonality() {
+        let d = plackett_burman(11).unwrap();
+        assert_eq!(d.len(), 12);
+        // Columns of a PB design are orthogonal: dot product of any two = 0.
+        for i in 0..11 {
+            for j in (i + 1)..11 {
+                let dot: f64 = d.points().iter().map(|p| p[i] * p[j]).sum();
+                assert_eq!(dot, 0.0, "columns {i},{j} not orthogonal");
+            }
+        }
+        // Each column balanced: sum = 0 over 12 runs? PB columns have 6 of each sign.
+        for i in 0..11 {
+            let sum: f64 = d.points().iter().map(|p| p[i]).sum();
+            assert_eq!(sum, 0.0, "column {i} unbalanced");
+        }
+    }
+
+    #[test]
+    fn plackett_burman_run_count_selection() {
+        assert_eq!(plackett_burman(5).unwrap().len(), 8);
+        assert_eq!(plackett_burman(11).unwrap().len(), 12);
+        assert_eq!(plackett_burman(15).unwrap().len(), 20);
+        assert!(plackett_burman(0).is_err());
+        assert!(plackett_burman(20).is_err());
+    }
+
+    #[test]
+    fn latin_hypercube_stratification() {
+        let n = 10;
+        let d = latin_hypercube(2, n, 42).unwrap();
+        assert_eq!(d.len(), n);
+        for dim in 0..2 {
+            let mut bins = vec![false; n];
+            for p in d.points() {
+                let bin = (((p[dim] + 1.0) / 2.0) * n as f64).floor() as usize;
+                let bin = bin.min(n - 1);
+                assert!(!bins[bin], "two points in bin {bin} of dim {dim}");
+                bins[bin] = true;
+            }
+            assert!(bins.iter().all(|b| *b), "bins not all covered");
+        }
+    }
+
+    #[test]
+    fn fractional_factorial_half_fraction() {
+        // 2^(3-1) with C = AB.
+        let d = fractional_factorial(3, &[&[0, 1]]).unwrap();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.dimension(), 3);
+        for p in d.points() {
+            assert!((p[2] - p[0] * p[1]).abs() < 1e-12, "aliasing broken: {p:?}");
+        }
+        // Main-effect columns stay orthogonal and balanced.
+        for i in 0..3 {
+            let sum: f64 = d.points().iter().map(|p| p[i]).sum();
+            assert_eq!(sum, 0.0, "column {i} unbalanced");
+        }
+    }
+
+    #[test]
+    fn fractional_factorial_supports_linear_fit() {
+        let d = fractional_factorial(4, &[&[0, 1, 2]]).unwrap();
+        assert_eq!(d.len(), 8);
+        let x = d.model_matrix(&ModelSpec::linear(4)).unwrap();
+        assert!(x.gram().det().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn fractional_factorial_validation() {
+        assert!(fractional_factorial(0, &[]).is_err());
+        assert!(fractional_factorial(3, &[&[0], &[1], &[0]]).is_err()); // p >= k
+        assert!(fractional_factorial(3, &[&[]]).is_err());
+        assert!(fractional_factorial(3, &[&[5]]).is_err());
+    }
+
+    #[test]
+    fn latin_hypercube_is_seeded_deterministic() {
+        let a = latin_hypercube(3, 8, 7).unwrap();
+        let b = latin_hypercube(3, 8, 7).unwrap();
+        assert_eq!(a, b);
+        let c = latin_hypercube(3, 8, 8).unwrap();
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,180 @@
+//! Property-based tests for the DOE crate: coding transforms, design
+//! structure and the D-optimality criterion.
+
+use doe::{
+    diagnostics, full_factorial, latin_hypercube, DOptimal, Design, DesignSpace, Factor,
+    ModelSpec, Term,
+};
+use proptest::prelude::*;
+
+/// Strategy: a valid factor with a non-degenerate range.
+fn factor() -> impl Strategy<Value = Factor> {
+    (-1e6..1e6f64, 1e-3..1e6f64)
+        .prop_map(|(min, width)| Factor::new("f", min, min + width).expect("valid range"))
+}
+
+proptest! {
+    /// Coding is a bijection between the natural range and [-1, 1].
+    #[test]
+    fn factor_coding_roundtrip(f in factor(), u in 0.0..1.0f64) {
+        let natural = f.min() + u * (f.max() - f.min());
+        let coded = f.code(natural);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&coded));
+        let back = f.decode(coded);
+        prop_assert!((back - natural).abs() <= 1e-9 * natural.abs().max(1.0));
+    }
+
+    /// Coding maps the range ends to ±1 and the centre to 0.
+    #[test]
+    fn factor_coding_landmarks(f in factor()) {
+        prop_assert!((f.code(f.min()) + 1.0).abs() < 1e-9);
+        prop_assert!((f.code(f.max()) - 1.0).abs() < 1e-9);
+        prop_assert!(f.code(f.center()).abs() < 1e-9);
+    }
+
+    /// Space-level coding round-trips for random 3-factor spaces.
+    #[test]
+    fn space_coding_roundtrip(
+        f1 in factor(),
+        f2 in factor(),
+        f3 in factor(),
+        u in prop::collection::vec(0.0..1.0f64, 3),
+    ) {
+        let space = DesignSpace::new(vec![f1, f2, f3]).expect("non-empty");
+        let natural: Vec<f64> = space
+            .factors()
+            .iter()
+            .zip(&u)
+            .map(|(f, ui)| f.min() + ui * (f.max() - f.min()))
+            .collect();
+        let coded = space.code(&natural).expect("dims");
+        let back = space.decode(&coded).expect("dims");
+        for (b, n) in back.iter().zip(&natural) {
+            prop_assert!((b - n).abs() <= 1e-9 * n.abs().max(1.0));
+        }
+        prop_assert!(space.contains(&natural).expect("dims"));
+    }
+
+    /// Full factorial size and level structure for random parameters.
+    #[test]
+    fn full_factorial_structure(k in 1usize..4, levels in 2usize..5) {
+        let d = full_factorial(k, levels).expect("valid");
+        prop_assert_eq!(d.len(), levels.pow(k as u32));
+        prop_assert_eq!(d.dimension(), k);
+        // Every coordinate is one of the evenly spaced levels.
+        for p in d.points() {
+            for &v in p {
+                let snapped = (v + 1.0) / 2.0 * (levels - 1) as f64;
+                prop_assert!((snapped - snapped.round()).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Model expansion is consistent with per-term evaluation and the
+    /// gradient matches finite differences.
+    #[test]
+    fn model_expand_and_gradient(
+        point in prop::collection::vec(-1.0..1.0f64, 3),
+        beta in prop::collection::vec(-5.0..5.0f64, 10),
+    ) {
+        let m = ModelSpec::quadratic(3);
+        let row = m.expand(&point);
+        for (value, term) in row.iter().zip(m.terms()) {
+            prop_assert!((value - term.eval(&point)).abs() < 1e-12);
+        }
+        let g = m.gradient(&beta, &point);
+        let h = 1e-6;
+        for i in 0..3 {
+            let mut hi = point.clone();
+            hi[i] += h;
+            let mut lo = point.clone();
+            lo[i] -= h;
+            let fd = (m.predict(&beta, &hi) - m.predict(&beta, &lo)) / (2.0 * h);
+            prop_assert!((g[i] - fd).abs() < 1e-5, "grad[{i}] {} vs fd {fd}", g[i]);
+        }
+    }
+
+    /// D-efficiency is non-negative and bounded by 100 for two-level
+    /// factorials with main-effect models (the orthogonal optimum).
+    #[test]
+    fn d_efficiency_bounds(k in 1usize..4) {
+        let model = ModelSpec::linear(k);
+        let d = full_factorial(k, 2).expect("valid");
+        let eff = diagnostics::d_efficiency(&d, &model).expect("estimable");
+        prop_assert!((eff - 100.0).abs() < 1e-6, "2^k factorial is orthogonal: {eff}");
+        // Any subset design cannot beat it.
+        let lhs = latin_hypercube(k, 2usize.pow(k as u32), 7).expect("valid");
+        let eff_lhs = diagnostics::d_efficiency(&lhs, &model).expect("estimable");
+        prop_assert!(eff_lhs <= 100.0 + 1e-9);
+    }
+
+    /// The Fedorov exchange never returns a singular design and its
+    /// determinant weakly beats a same-size Latin hypercube.
+    #[test]
+    fn d_optimal_beats_random_designs(seed in 0u64..50) {
+        let model = ModelSpec::quadratic(2);
+        let opt = DOptimal::new(2, model.clone())
+            .runs(8)
+            .seed(seed)
+            .build()
+            .expect("feasible");
+        let opt_eff = diagnostics::d_efficiency(&opt, &model).expect("estimable");
+        prop_assert!(opt_eff > 0.0);
+        let lhs = latin_hypercube(2, 8, seed).expect("valid");
+        let lhs_eff = diagnostics::d_efficiency(&lhs, &model).expect("estimable");
+        prop_assert!(
+            opt_eff + 1e-9 >= lhs_eff,
+            "exchange ({opt_eff}) lost to random LHS ({lhs_eff})"
+        );
+    }
+
+    /// Leverages of any estimable design sum to the number of terms.
+    #[test]
+    fn leverages_sum_to_p(seed in 0u64..30, extra in 0usize..6) {
+        let model = ModelSpec::quadratic(2);
+        let runs = model.num_terms() + extra;
+        if runs > 9 {
+            return Ok(()); // candidate grid for k=2 has only 9 points
+        }
+        let d = DOptimal::new(2, model.clone())
+            .runs(runs)
+            .seed(seed)
+            .build()
+            .expect("feasible");
+        let lev = diagnostics::leverage(&d, &model).expect("estimable");
+        let sum: f64 = lev.iter().sum();
+        prop_assert!((sum - model.num_terms() as f64).abs() < 1e-6);
+    }
+
+    /// Latin hypercube stratification holds for arbitrary sizes/seeds.
+    #[test]
+    fn latin_hypercube_stratified(k in 1usize..4, n in 1usize..20, seed in 0u64..100) {
+        let d = latin_hypercube(k, n, seed).expect("valid");
+        for dim in 0..k {
+            let mut bins = vec![false; n];
+            for p in d.points() {
+                let bin = (((p[dim] + 1.0) / 2.0) * n as f64).floor() as usize;
+                let bin = bin.min(n - 1);
+                prop_assert!(!bins[bin], "duplicate bin {bin} in dim {dim}");
+                bins[bin] = true;
+            }
+        }
+    }
+
+    /// Model matrices expand custom bases faithfully.
+    #[test]
+    fn custom_model_matrix(points in prop::collection::vec(prop::collection::vec(-1.0..1.0f64, 2), 3..6)) {
+        let model = ModelSpec::custom(
+            2,
+            vec![Term::Intercept, Term::Quadratic(1), Term::Interaction(0, 1)],
+        );
+        let d = Design::from_points(2, points.clone()).expect("non-empty");
+        let x = d.model_matrix(&model).expect("dims");
+        prop_assert_eq!(x.shape(), (points.len(), 3));
+        for (i, p) in points.iter().enumerate() {
+            prop_assert!((x[(i, 0)] - 1.0).abs() < 1e-12);
+            prop_assert!((x[(i, 1)] - p[1] * p[1]).abs() < 1e-12);
+            prop_assert!((x[(i, 2)] - p[0] * p[1]).abs() < 1e-12);
+        }
+    }
+}

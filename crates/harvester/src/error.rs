@@ -1,0 +1,78 @@
+use std::fmt;
+
+/// Error type for harvester model construction and evaluation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum HarvesterError {
+    /// A physical parameter is out of its valid range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Supplied value.
+        value: f64,
+    },
+    /// A requested frequency is outside the tunable range.
+    FrequencyOutOfRange {
+        /// Requested frequency in Hz.
+        requested: f64,
+        /// Lower end of the tunable range in Hz.
+        min: f64,
+        /// Upper end of the tunable range in Hz.
+        max: f64,
+    },
+    /// A load id does not belong to this load bank.
+    UnknownLoad(usize),
+    /// A simulation-layer failure.
+    Sim(msim::SimError),
+}
+
+impl fmt::Display for HarvesterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HarvesterError::InvalidParameter { name, value } => {
+                write!(f, "invalid parameter {name} = {value}")
+            }
+            HarvesterError::FrequencyOutOfRange {
+                requested,
+                min,
+                max,
+            } => write!(
+                f,
+                "frequency {requested} Hz outside tunable range [{min}, {max}] Hz"
+            ),
+            HarvesterError::UnknownLoad(id) => write!(f, "unknown load id {id}"),
+            HarvesterError::Sim(e) => write!(f, "simulation failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HarvesterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HarvesterError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<msim::SimError> for HarvesterError {
+    fn from(e: msim::SimError) -> Self {
+        HarvesterError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = HarvesterError::InvalidParameter {
+            name: "mass",
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("mass"));
+        let e: HarvesterError = msim::SimError::SingularJacobian.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,323 @@
+use crate::{DiodeBridge, HarvesterError, Result};
+
+/// The electromagnetic microgenerator: a base-excited spring–mass–damper
+/// with a coil/magnet transducer, feeding a [`DiodeBridge`].
+///
+/// Mechanics (paper §IV-A, ref \[9\]):
+///
+/// ```text
+/// m z̈ + (c_m + c_e) ż + k z = −m a(t),    EMF e = Γ ż
+/// ```
+///
+/// where `z` is the proof-mass displacement relative to the base, `a(t)`
+/// the base acceleration, `Γ` the electromagnetic coupling and `c_e` the
+/// electrical damping reflected from the load. [`steady_state`] solves the
+/// loaded sinusoidal response self-consistently: the rectifier's average
+/// extracted power defines `c_e`, which feeds back into the velocity
+/// amplitude (fixed-point iteration).
+///
+/// [`steady_state`]: Microgenerator::steady_state
+///
+/// # Example
+///
+/// ```
+/// let g = harvester::Microgenerator::paper();
+/// let ss = g.steady_state(82.0, 82.0, 0.59, 2.8);
+/// // At resonance and 60 mg the device class delivers on the order of
+/// // 100 µW into the store.
+/// assert!(ss.power_into_store > 20e-6 && ss.power_into_store < 500e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Microgenerator {
+    mass: f64,
+    mech_damping_ratio: f64,
+    coupling: f64,
+    coil_resistance: f64,
+    bridge: DiodeBridge,
+}
+
+/// Steady-state operating point of the loaded generator at one frequency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SteadyState {
+    /// Relative displacement amplitude of the proof mass (m).
+    pub displacement_amp: f64,
+    /// Relative velocity amplitude (m/s).
+    pub velocity_amp: f64,
+    /// Open-loop EMF amplitude `Γ · velocity` (V).
+    pub emf_amplitude: f64,
+    /// Cycle-averaged current into the store (A).
+    pub current_avg: f64,
+    /// Cycle-averaged power delivered into the store (W).
+    pub power_into_store: f64,
+    /// Cycle-averaged power extracted from the mechanics (W).
+    pub power_mechanical: f64,
+    /// Effective electrical damping coefficient (N·s/m).
+    pub electrical_damping: f64,
+}
+
+impl Microgenerator {
+    /// Creates a generator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarvesterError::InvalidParameter`] for non-positive mass,
+    /// damping ratio, coupling or coil resistance.
+    pub fn new(
+        mass: f64,
+        mech_damping_ratio: f64,
+        coupling: f64,
+        coil_resistance: f64,
+        bridge: DiodeBridge,
+    ) -> Result<Self> {
+        for (name, value) in [
+            ("mass", mass),
+            ("mech_damping_ratio", mech_damping_ratio),
+            ("coupling", coupling),
+            ("coil_resistance", coil_resistance),
+        ] {
+            if !(value > 0.0 && value.is_finite()) {
+                return Err(HarvesterError::InvalidParameter { name, value });
+            }
+        }
+        Ok(Microgenerator {
+            mass,
+            mech_damping_ratio,
+            coupling,
+            coil_resistance,
+            bridge,
+        })
+    }
+
+    /// Calibration used throughout the reproduction, matching the device
+    /// class of the paper's refs \[9\]/\[12\]: 13 g proof mass, mechanical
+    /// Q ≈ 160, 2.3 kΩ coil with a high-turn coupling of 55 V·s/m, Schottky
+    /// bridge. Delivers ≈ 125 µW into a 2.8 V store at 60 mg on resonance,
+    /// within the published 61.6–156.6 µW band of the real device.
+    pub fn paper() -> Self {
+        Microgenerator::new(0.013, 1.0 / (2.0 * 160.0), 55.0, 2300.0, DiodeBridge::paper())
+            .expect("paper calibration is valid")
+    }
+
+    /// Proof mass (kg).
+    pub fn mass(&self) -> f64 {
+        self.mass
+    }
+
+    /// Mechanical damping ratio ζ_m.
+    pub fn mech_damping_ratio(&self) -> f64 {
+        self.mech_damping_ratio
+    }
+
+    /// Electromagnetic coupling Γ (V·s/m).
+    pub fn coupling(&self) -> f64 {
+        self.coupling
+    }
+
+    /// Coil resistance (Ω).
+    pub fn coil_resistance(&self) -> f64 {
+        self.coil_resistance
+    }
+
+    /// The rectifier bridge this generator feeds.
+    pub fn bridge(&self) -> &DiodeBridge {
+        &self.bridge
+    }
+
+    /// Mechanical damping coefficient `c_m = 2 ζ_m m ω₀` at resonant
+    /// frequency `f_res` (N·s/m).
+    pub fn mech_damping(&self, f_res: f64) -> f64 {
+        2.0 * self.mech_damping_ratio * self.mass * 2.0 * std::f64::consts::PI * f_res
+    }
+
+    /// Relative velocity amplitude of the undamped-by-load generator for a
+    /// base acceleration amplitude `accel` at `f_vib`, given a total
+    /// damping coefficient `c_total`.
+    fn velocity_amplitude(&self, f_vib: f64, f_res: f64, accel: f64, c_total: f64) -> f64 {
+        let omega = 2.0 * std::f64::consts::PI * f_vib;
+        let omega0 = 2.0 * std::f64::consts::PI * f_res;
+        let denom = ((omega0 * omega0 - omega * omega).powi(2)
+            + (c_total / self.mass * omega).powi(2))
+        .sqrt();
+        // |Z| = accel / denom, velocity = ω |Z|
+        omega * accel / denom
+    }
+
+    /// Equivalent electrical damping at a trial velocity amplitude:
+    /// the rectifier's average extracted power `P` defines `c_e` through
+    /// `P = ½ c_e v²`.
+    fn electrical_damping_at(&self, velocity: f64, v_store: f64) -> f64 {
+        if velocity <= 1e-12 {
+            return 0.0;
+        }
+        let emf = self.coupling * velocity;
+        let avg = self.bridge.averages(emf, v_store, self.coil_resistance);
+        2.0 * avg.power_from_source / (velocity * velocity)
+    }
+
+    /// Solves the loaded steady state at vibration frequency `f_vib` (Hz),
+    /// generator resonance `f_res` (Hz), base acceleration amplitude
+    /// `accel` (m/s²) and store voltage `v_store` (V).
+    ///
+    /// The self-consistent velocity amplitude solves
+    /// `v = V(c_m + c_e(v))`; the residual is monotone over
+    /// `(0, v_unloaded]`, so a bisection finds the equilibrium robustly
+    /// (a plain fixed-point iteration oscillates for strongly coupled
+    /// coils).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f_vib`, `f_res` or `accel` is not positive.
+    pub fn steady_state(&self, f_vib: f64, f_res: f64, accel: f64, v_store: f64) -> SteadyState {
+        assert!(f_vib > 0.0 && f_res > 0.0, "frequencies must be positive");
+        assert!(accel > 0.0, "acceleration must be positive");
+        let c_m = self.mech_damping(f_res);
+        let v_unloaded = self.velocity_amplitude(f_vib, f_res, accel, c_m);
+
+        // r(v) = V(c_m + c_e(v)) − v: positive at v→0⁺, non-positive at
+        // v_unloaded.
+        let residual = |v: f64| {
+            let c_e = self.electrical_damping_at(v, v_store);
+            self.velocity_amplitude(f_vib, f_res, accel, c_m + c_e) - v
+        };
+
+        let mut velocity = if residual(v_unloaded) >= 0.0 {
+            // Bridge never conducts: the unloaded response is the answer.
+            v_unloaded
+        } else {
+            let mut lo = 1e-12;
+            let mut hi = v_unloaded;
+            for _ in 0..80 {
+                let mid = 0.5 * (lo + hi);
+                if residual(mid) > 0.0 {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            0.5 * (lo + hi)
+        };
+
+        // Report a fully consistent operating point.
+        let c_e = self.electrical_damping_at(velocity, v_store);
+        velocity = self.velocity_amplitude(f_vib, f_res, accel, c_m + c_e);
+
+        let omega = 2.0 * std::f64::consts::PI * f_vib;
+        let emf = self.coupling * velocity;
+        let avg = self.bridge.averages(emf.max(1e-12), v_store, self.coil_resistance);
+        SteadyState {
+            displacement_amp: velocity / omega,
+            velocity_amp: velocity,
+            emf_amplitude: emf,
+            current_avg: avg.current_avg,
+            power_into_store: avg.power_into_store,
+            power_mechanical: avg.power_from_source,
+            electrical_damping: c_e,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ACCEL_60MG: f64 = 0.06 * 9.81;
+
+    #[test]
+    fn resonant_power_in_published_range() {
+        let g = Microgenerator::paper();
+        let ss = g.steady_state(82.0, 82.0, ACCEL_60MG, 2.8);
+        // Published device: ~60–160 µW at 60 mg. Allow a generous band.
+        assert!(
+            ss.power_into_store > 3.0e-5 && ss.power_into_store < 4.0e-4,
+            "P_store = {} W",
+            ss.power_into_store
+        );
+        assert!(ss.emf_amplitude > 3.4, "EMF must clear the bridge: {}", ss.emf_amplitude);
+    }
+
+    #[test]
+    fn power_drops_sharply_off_resonance() {
+        let g = Microgenerator::paper();
+        let tuned = g.steady_state(82.0, 82.0, ACCEL_60MG, 2.8);
+        let detuned = g.steady_state(87.0, 82.0, ACCEL_60MG, 2.8);
+        // 5 Hz detuning on a high-Q device: output collapses (paper §I).
+        assert!(
+            detuned.power_into_store < 0.05 * tuned.power_into_store,
+            "tuned {} vs detuned {}",
+            tuned.power_into_store,
+            detuned.power_into_store
+        );
+    }
+
+    #[test]
+    fn power_scales_with_acceleration() {
+        let g = Microgenerator::paper();
+        let low = g.steady_state(82.0, 82.0, 0.3, 2.8);
+        let high = g.steady_state(82.0, 82.0, 0.9, 2.8);
+        assert!(high.power_into_store > low.power_into_store);
+    }
+
+    #[test]
+    fn no_charging_into_overfull_store() {
+        let g = Microgenerator::paper();
+        // Store voltage far above the achievable EMF: no current flows.
+        let ss = g.steady_state(82.0, 82.0, 0.01, 50.0);
+        assert_eq!(ss.power_into_store, 0.0);
+        assert_eq!(ss.current_avg, 0.0);
+    }
+
+    #[test]
+    fn electrical_damping_reduces_motion() {
+        let g = Microgenerator::paper();
+        let loaded = g.steady_state(82.0, 82.0, ACCEL_60MG, 2.8);
+        // Unloaded amplitude (store voltage so high the bridge never opens).
+        let unloaded = g.steady_state(82.0, 82.0, ACCEL_60MG, 100.0);
+        assert!(loaded.velocity_amp < unloaded.velocity_amp);
+        assert!(loaded.electrical_damping > 0.0);
+        assert_eq!(unloaded.electrical_damping, 0.0);
+    }
+
+    #[test]
+    fn energy_balance_holds() {
+        let g = Microgenerator::paper();
+        let ss = g.steady_state(82.0, 82.0, ACCEL_60MG, 2.8);
+        assert!(ss.power_mechanical >= ss.power_into_store);
+        // Extracted power must not exceed the theoretical resonant bound
+        // P_max = m a² / (16 ζ_m ω) (maximum power transfer at c_e = c_m).
+        let omega = 2.0 * std::f64::consts::PI * 82.0;
+        let p_max =
+            g.mass() * ACCEL_60MG * ACCEL_60MG / (16.0 * g.mech_damping_ratio() * omega);
+        assert!(
+            ss.power_mechanical <= p_max * 1.001,
+            "P_mech {} exceeds bound {}",
+            ss.power_mechanical,
+            p_max
+        );
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(Microgenerator::new(0.0, 0.01, 50.0, 2300.0, DiodeBridge::paper()).is_err());
+        assert!(Microgenerator::new(0.01, -0.1, 50.0, 2300.0, DiodeBridge::paper()).is_err());
+        assert!(Microgenerator::new(0.01, 0.01, 50.0, f64::NAN, DiodeBridge::paper()).is_err());
+    }
+
+    #[test]
+    fn steady_state_is_continuous_in_frequency() {
+        // The fixed point should not jump wildly between nearby inputs.
+        let g = Microgenerator::paper();
+        let mut prev = g.steady_state(78.0, 82.0, ACCEL_60MG, 2.8).power_into_store;
+        let mut f = 78.1;
+        while f <= 86.0 {
+            let p = g.steady_state(f, 82.0, ACCEL_60MG, 2.8).power_into_store;
+            // Allow the physical conduction-onset snap (the EMF first
+            // clearing the bridge threshold) but no larger jumps.
+            assert!(
+                (p - prev).abs() < (0.6 * prev).max(4e-5),
+                "jump at {f}: {prev} -> {p}"
+            );
+            prev = p;
+            f += 0.1;
+        }
+    }
+}

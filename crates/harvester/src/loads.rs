@@ -1,0 +1,274 @@
+use std::fmt;
+
+use crate::{HarvesterError, Result};
+
+/// One switchable electrical load on the supercapacitor rail.
+///
+/// The paper characterises every consumer as either an equivalent
+/// resistance (Table III's Eq. 8, Table IV's `Req` column) or a measured
+/// constant current; both forms are supported.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Load {
+    /// Ohmic load: draws `V / R`.
+    Resistive {
+        /// Equivalent resistance in ohms.
+        resistance: f64,
+    },
+    /// Constant-current load (e.g. a regulated sleep current).
+    ConstantCurrent {
+        /// Drawn current in amperes.
+        current: f64,
+    },
+}
+
+impl Load {
+    /// Current drawn at rail voltage `v` (A).
+    pub fn current(&self, v: f64) -> f64 {
+        match *self {
+            Load::Resistive { resistance } => v / resistance,
+            Load::ConstantCurrent { current } => current,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        match *self {
+            Load::Resistive { resistance } if !(resistance > 0.0) => {
+                Err(HarvesterError::InvalidParameter {
+                    name: "resistance",
+                    value: resistance,
+                })
+            }
+            Load::ConstantCurrent { current } if !(current >= 0.0) => {
+                Err(HarvesterError::InvalidParameter {
+                    name: "current",
+                    value: current,
+                })
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Identifier of a load registered in a [`LoadBank`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LoadId(usize);
+
+/// A named collection of switchable loads.
+///
+/// Digital processes (the MCU model, the sensor node model) register their
+/// power-consumption models here and toggle them as their activities start
+/// and stop; the analogue solver only ever sees the total current.
+///
+/// # Example
+///
+/// ```
+/// use harvester::{Load, LoadBank};
+///
+/// # fn main() -> Result<(), harvester::HarvesterError> {
+/// let mut bank = LoadBank::new();
+/// let tx = bank.add("transmission", Load::Resistive { resistance: 167.0 })?;
+/// assert_eq!(bank.total_current(2.8), 0.0); // everything off
+/// bank.set_active(tx, true)?;
+/// assert!((bank.total_current(2.8) - 2.8 / 167.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LoadBank {
+    names: Vec<String>,
+    loads: Vec<Load>,
+    active: Vec<bool>,
+}
+
+impl LoadBank {
+    /// Creates an empty bank.
+    pub fn new() -> Self {
+        LoadBank::default()
+    }
+
+    /// Registers a load (initially inactive).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarvesterError::InvalidParameter`] for a non-positive
+    /// resistance or negative current.
+    pub fn add(&mut self, name: &str, load: Load) -> Result<LoadId> {
+        load.validate()?;
+        self.names.push(name.to_owned());
+        self.loads.push(load);
+        self.active.push(false);
+        Ok(LoadId(self.names.len() - 1))
+    }
+
+    /// Switches a load on or off.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarvesterError::UnknownLoad`] for a foreign id.
+    pub fn set_active(&mut self, id: LoadId, active: bool) -> Result<()> {
+        let slot = self
+            .active
+            .get_mut(id.0)
+            .ok_or(HarvesterError::UnknownLoad(id.0))?;
+        *slot = active;
+        Ok(())
+    }
+
+    /// Updates the draw of a [`Load::ConstantCurrent`] load (used for
+    /// activity loads whose average current varies per duty cycle).
+    ///
+    /// # Errors
+    ///
+    /// * [`HarvesterError::UnknownLoad`] for a foreign id.
+    /// * [`HarvesterError::InvalidParameter`] for a negative current or a
+    ///   resistive load.
+    pub fn set_current(&mut self, id: LoadId, current: f64) -> Result<()> {
+        let load = self
+            .loads
+            .get_mut(id.0)
+            .ok_or(HarvesterError::UnknownLoad(id.0))?;
+        match load {
+            Load::ConstantCurrent { current: c } if current >= 0.0 => {
+                *c = current;
+                Ok(())
+            }
+            _ => Err(HarvesterError::InvalidParameter {
+                name: "current",
+                value: current,
+            }),
+        }
+    }
+
+    /// Whether a load is currently on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarvesterError::UnknownLoad`] for a foreign id.
+    pub fn is_active(&self, id: LoadId) -> Result<bool> {
+        self.active
+            .get(id.0)
+            .copied()
+            .ok_or(HarvesterError::UnknownLoad(id.0))
+    }
+
+    /// Looks a load up by name.
+    pub fn lookup(&self, name: &str) -> Option<LoadId> {
+        self.names.iter().position(|n| n == name).map(LoadId)
+    }
+
+    /// Total current drawn by all active loads at rail voltage `v` (A).
+    pub fn total_current(&self, v: f64) -> f64 {
+        self.loads
+            .iter()
+            .zip(&self.active)
+            .filter(|(_, on)| **on)
+            .map(|(load, _)| load.current(v))
+            .sum()
+    }
+
+    /// Number of registered loads.
+    pub fn len(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// `true` if no load has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.loads.is_empty()
+    }
+
+    /// Names of the currently active loads.
+    pub fn active_names(&self) -> Vec<&str> {
+        self.names
+            .iter()
+            .zip(&self.active)
+            .filter(|(_, on)| **on)
+            .map(|(n, _)| n.as_str())
+            .collect()
+    }
+}
+
+impl fmt::Display for LoadBank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.names.len() {
+            writeln!(
+                f,
+                "{} [{}]: {:?}",
+                self.names[i],
+                if self.active[i] { "on" } else { "off" },
+                self.loads[i]
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resistive_and_constant_current() {
+        let r = Load::Resistive { resistance: 167.0 };
+        assert!((r.current(2.8) - 0.016766).abs() < 1e-5);
+        let c = Load::ConstantCurrent { current: 0.5e-6 };
+        assert_eq!(c.current(2.8), 0.5e-6);
+        assert_eq!(c.current(0.0), 0.5e-6);
+    }
+
+    #[test]
+    fn bank_accumulates_active_loads() {
+        let mut bank = LoadBank::new();
+        let a = bank.add("a", Load::Resistive { resistance: 100.0 }).unwrap();
+        let b = bank
+            .add("b", Load::ConstantCurrent { current: 1e-3 })
+            .unwrap();
+        assert_eq!(bank.total_current(1.0), 0.0);
+        bank.set_active(a, true).unwrap();
+        bank.set_active(b, true).unwrap();
+        assert!((bank.total_current(1.0) - (0.01 + 1e-3)).abs() < 1e-12);
+        bank.set_active(a, false).unwrap();
+        assert!((bank.total_current(1.0) - 1e-3).abs() < 1e-15);
+        assert_eq!(bank.active_names(), vec!["b"]);
+        assert_eq!(bank.len(), 2);
+        assert!(!bank.is_empty());
+    }
+
+    #[test]
+    fn unknown_ids_rejected() {
+        let mut bank = LoadBank::new();
+        let id = bank.add("x", Load::ConstantCurrent { current: 0.0 }).unwrap();
+        let mut other = LoadBank::new();
+        assert!(matches!(
+            other.set_active(id, true),
+            Err(HarvesterError::UnknownLoad(_))
+        ));
+        assert!(other.is_active(id).is_err());
+    }
+
+    #[test]
+    fn invalid_loads_rejected() {
+        let mut bank = LoadBank::new();
+        assert!(bank.add("bad", Load::Resistive { resistance: 0.0 }).is_err());
+        assert!(bank
+            .add("bad", Load::ConstantCurrent { current: -1.0 })
+            .is_err());
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let mut bank = LoadBank::new();
+        let id = bank.add("sleep", Load::ConstantCurrent { current: 0.5e-6 }).unwrap();
+        assert_eq!(bank.lookup("sleep"), Some(id));
+        assert_eq!(bank.lookup("nope"), None);
+    }
+
+    #[test]
+    fn display_shows_state() {
+        let mut bank = LoadBank::new();
+        let id = bank.add("tx", Load::Resistive { resistance: 167.0 }).unwrap();
+        bank.set_active(id, true).unwrap();
+        let s = format!("{bank}");
+        assert!(s.contains("tx"));
+        assert!(s.contains("on"));
+    }
+}

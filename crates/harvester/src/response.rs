@@ -1,0 +1,166 @@
+//! Frequency-response characterisation of the loaded microgenerator.
+//!
+//! These helpers answer the questions a harvester designer asks before
+//! any system simulation: what does the output-power curve look like
+//! around resonance, how wide is the usable band, and how much does an
+//! off-by-one tuning position cost? They drive the `fig4`-adjacent
+//! analyses and several property tests.
+
+use crate::Microgenerator;
+
+/// One sample of a frequency response sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResponsePoint {
+    /// Vibration frequency (Hz).
+    pub frequency: f64,
+    /// Cycle-averaged power delivered into the store (W).
+    pub power: f64,
+    /// EMF amplitude at the operating point (V).
+    pub emf: f64,
+}
+
+/// Sweeps the loaded steady-state output power across `[f_min, f_max]`
+/// with the generator resonance fixed at `f_res`.
+///
+/// # Panics
+///
+/// Panics if the range is empty, `samples < 2`, or the physical inputs
+/// are non-positive (propagated from
+/// [`Microgenerator::steady_state`]).
+///
+/// # Example
+///
+/// ```
+/// use harvester::{frequency_response, Microgenerator};
+///
+/// let g = Microgenerator::paper();
+/// let sweep = frequency_response(&g, 80.0, 0.59, 2.8, 75.0, 85.0, 51);
+/// let peak = sweep.iter().map(|p| p.power).fold(0.0, f64::max);
+/// assert!(peak > 0.0);
+/// ```
+pub fn frequency_response(
+    generator: &Microgenerator,
+    f_res: f64,
+    accel: f64,
+    v_store: f64,
+    f_min: f64,
+    f_max: f64,
+    samples: usize,
+) -> Vec<ResponsePoint> {
+    assert!(f_max > f_min && f_min > 0.0, "invalid sweep range");
+    assert!(samples >= 2, "need at least two samples");
+    (0..samples)
+        .map(|i| {
+            let f = f_min + (f_max - f_min) * i as f64 / (samples - 1) as f64;
+            let ss = generator.steady_state(f, f_res, accel, v_store);
+            ResponsePoint {
+                frequency: f,
+                power: ss.power_into_store,
+                emf: ss.emf_amplitude,
+            }
+        })
+        .collect()
+}
+
+/// The half-power bandwidth of the loaded generator around resonance:
+/// the width of the band where the delivered power stays above half its
+/// peak. Returns `None` when the peak power is zero (no conduction) or
+/// the band extends beyond the swept range.
+///
+/// # Example
+///
+/// ```
+/// use harvester::{half_power_bandwidth, Microgenerator};
+///
+/// let g = Microgenerator::paper();
+/// let bw = half_power_bandwidth(&g, 80.0, 0.59, 2.8).expect("conducting");
+/// // A high-Q device: usable band well under 2 Hz.
+/// assert!(bw > 0.0 && bw < 2.0);
+/// ```
+pub fn half_power_bandwidth(
+    generator: &Microgenerator,
+    f_res: f64,
+    accel: f64,
+    v_store: f64,
+) -> Option<f64> {
+    let span = 6.0;
+    let sweep = frequency_response(
+        generator,
+        f_res,
+        accel,
+        v_store,
+        f_res - span,
+        f_res + span,
+        601,
+    );
+    let peak = sweep.iter().map(|p| p.power).fold(0.0, f64::max);
+    if peak <= 0.0 {
+        return None;
+    }
+    let half = peak / 2.0;
+    let above: Vec<&ResponsePoint> = sweep.iter().filter(|p| p.power >= half).collect();
+    let lo = above.first()?.frequency;
+    let hi = above.last()?.frequency;
+    if lo <= f_res - span + 1e-9 || hi >= f_res + span - 1e-9 {
+        return None; // band clipped by the sweep window
+    }
+    Some(hi - lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_peaks_at_resonance() {
+        let g = Microgenerator::paper();
+        let sweep = frequency_response(&g, 82.0, 0.59, 2.8, 76.0, 88.0, 121);
+        let peak = sweep
+            .iter()
+            .max_by(|a, b| a.power.total_cmp(&b.power))
+            .expect("non-empty");
+        assert!(
+            (peak.frequency - 82.0).abs() < 0.5,
+            "peak at {} Hz",
+            peak.frequency
+        );
+        // Ends of the sweep are far down.
+        assert!(sweep.first().expect("non-empty").power < 0.05 * peak.power);
+        assert!(sweep.last().expect("non-empty").power < 0.05 * peak.power);
+    }
+
+    #[test]
+    fn bandwidth_is_narrow_for_high_q() {
+        let g = Microgenerator::paper();
+        let bw = half_power_bandwidth(&g, 80.0, 0.59, 2.8).expect("conducting");
+        // The paper's premise: a 5 Hz mismatch kills the output, so the
+        // half-power band must be far below 5 Hz.
+        assert!(bw < 2.0, "bandwidth {bw} Hz");
+        assert!(bw > 0.05, "bandwidth suspiciously tight: {bw} Hz");
+    }
+
+    #[test]
+    fn no_bandwidth_when_not_conducting() {
+        let g = Microgenerator::paper();
+        // Store voltage far above any achievable EMF.
+        assert_eq!(half_power_bandwidth(&g, 80.0, 0.01, 50.0), None);
+    }
+
+    #[test]
+    fn emf_tracks_velocity_peak() {
+        let g = Microgenerator::paper();
+        let sweep = frequency_response(&g, 80.0, 0.59, 2.8, 74.0, 86.0, 61);
+        let peak_emf = sweep
+            .iter()
+            .max_by(|a, b| a.emf.total_cmp(&b.emf))
+            .expect("non-empty");
+        assert!((peak_emf.frequency - 80.0).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid sweep range")]
+    fn empty_range_panics() {
+        let g = Microgenerator::paper();
+        let _ = frequency_response(&g, 80.0, 0.59, 2.8, 90.0, 80.0, 11);
+    }
+}

@@ -1,0 +1,166 @@
+use crate::{HarvesterError, Result};
+
+/// The supercapacitor energy store (0.55 F in the paper's system).
+///
+/// The store integrates the rectifier current minus the load and leakage
+/// currents: `C dV/dt = I_in − I_load − V/R_leak`. Helpers convert between
+/// voltage and stored energy and answer "how long until V crosses a
+/// threshold" questions for the envelope engine.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), harvester::HarvesterError> {
+/// let cap = harvester::Supercapacitor::paper();
+/// let e = cap.energy(2.8) - cap.energy(2.7);
+/// // Dropping 0.1 V around 2.75 V releases ≈ C·V·ΔV ≈ 151 mJ.
+/// assert!((e - 0.151).abs() < 5e-3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Supercapacitor {
+    capacitance: f64,
+    leakage_resistance: f64,
+}
+
+impl Supercapacitor {
+    /// Creates a supercapacitor model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarvesterError::InvalidParameter`] for non-positive
+    /// capacitance or leakage resistance.
+    pub fn new(capacitance: f64, leakage_resistance: f64) -> Result<Self> {
+        if !(capacitance > 0.0 && capacitance.is_finite()) {
+            return Err(HarvesterError::InvalidParameter {
+                name: "capacitance",
+                value: capacitance,
+            });
+        }
+        if !(leakage_resistance > 0.0) {
+            return Err(HarvesterError::InvalidParameter {
+                name: "leakage_resistance",
+                value: leakage_resistance,
+            });
+        }
+        Ok(Supercapacitor {
+            capacitance,
+            leakage_resistance,
+        })
+    }
+
+    /// The paper's 0.55 F supercapacitor with a 10 MΩ leakage path.
+    pub fn paper() -> Self {
+        Supercapacitor::new(0.55, 10e6).expect("paper parameters are valid")
+    }
+
+    /// Capacitance in farads.
+    pub fn capacitance(&self) -> f64 {
+        self.capacitance
+    }
+
+    /// Leakage resistance in ohms.
+    pub fn leakage_resistance(&self) -> f64 {
+        self.leakage_resistance
+    }
+
+    /// Stored energy at voltage `v`: `½ C V²` (J).
+    pub fn energy(&self, v: f64) -> f64 {
+        0.5 * self.capacitance * v * v
+    }
+
+    /// Voltage for a stored energy (inverse of [`energy`](Self::energy)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `energy` is negative.
+    pub fn voltage_for_energy(&self, energy: f64) -> f64 {
+        assert!(energy >= 0.0, "energy must be non-negative");
+        (2.0 * energy / self.capacitance).sqrt()
+    }
+
+    /// Leakage current at voltage `v` (A).
+    pub fn leakage_current(&self, v: f64) -> f64 {
+        v / self.leakage_resistance
+    }
+
+    /// Rate of voltage change for a given net current (A): `dV/dt = I/C`.
+    pub fn voltage_rate(&self, net_current: f64) -> f64 {
+        net_current / self.capacitance
+    }
+
+    /// New voltage after extracting `energy` joules (clamped at zero).
+    pub fn voltage_after_discharge(&self, v: f64, energy: f64) -> f64 {
+        let remaining = (self.energy(v) - energy).max(0.0);
+        self.voltage_for_energy(remaining)
+    }
+
+    /// New voltage after injecting `energy` joules.
+    pub fn voltage_after_charge(&self, v: f64, energy: f64) -> f64 {
+        self.voltage_for_energy(self.energy(v) + energy.max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_capacitance() {
+        let c = Supercapacitor::paper();
+        assert_eq!(c.capacitance(), 0.55);
+        // Energy at 2.8 V: ½·0.55·7.84 ≈ 2.156 J.
+        assert!((c.energy(2.8) - 2.156).abs() < 1e-3);
+    }
+
+    #[test]
+    fn energy_voltage_roundtrip() {
+        let c = Supercapacitor::paper();
+        for v in [0.0, 1.0, 2.5, 3.3] {
+            let back = c.voltage_for_energy(c.energy(v));
+            assert!((back - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn discharge_and_charge() {
+        let c = Supercapacitor::paper();
+        let v = 2.8;
+        let v_after = c.voltage_after_discharge(v, 0.1);
+        assert!(v_after < v);
+        let v_back = c.voltage_after_charge(v_after, 0.1);
+        assert!((v_back - v).abs() < 1e-12);
+        // Cannot discharge below zero.
+        assert_eq!(c.voltage_after_discharge(1.0, 100.0), 0.0);
+        // Negative charge is ignored.
+        assert_eq!(c.voltage_after_charge(1.0, -5.0), 1.0);
+    }
+
+    #[test]
+    fn leakage_current_small() {
+        let c = Supercapacitor::paper();
+        // At 3 V with 10 MΩ: 0.3 µA.
+        assert!((c.leakage_current(3.0) - 0.3e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn voltage_rate() {
+        let c = Supercapacitor::paper();
+        // 55 µA into 0.55 F → 100 µV/s.
+        assert!((c.voltage_rate(55e-6) - 1e-4).abs() < 1e-15);
+    }
+
+    #[test]
+    fn invalid_construction() {
+        assert!(Supercapacitor::new(0.0, 1e6).is_err());
+        assert!(Supercapacitor::new(0.55, 0.0).is_err());
+        assert!(Supercapacitor::new(f64::NAN, 1e6).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_energy_panics() {
+        Supercapacitor::paper().voltage_for_energy(-1.0);
+    }
+}

@@ -1,0 +1,256 @@
+use crate::{HarvesterError, Result};
+
+/// The magnetic frequency-tuning mechanism of the microgenerator.
+///
+/// Per the paper's §IV-A: one tuning magnet sits on the cantilever tip, the
+/// other on a linear actuator. Closing the gap `g` between them raises the
+/// effective stiffness, modelled as
+///
+/// ```text
+/// k_eff(g) = k_base + C / (g + g₀)³
+/// ```
+///
+/// (the cube law of the attractive force gradient between axially
+/// magnetised magnets). The actuator exposes an 8-bit position — the
+/// resolution the paper's Algorithm 1 quotes as `1/2⁸` — mapped linearly
+/// onto the gap range. [`TuningMechanism::calibrated`] solves `k_base` and
+/// `C` so the tunable range matches measured end frequencies.
+///
+/// # Example
+///
+/// ```
+/// let tuning = harvester::TuningMechanism::paper();
+/// let (f_lo, f_hi) = tuning.frequency_range();
+/// assert!((f_lo - 67.6).abs() < 0.1);
+/// assert!((f_hi - 98.0).abs() < 0.1);
+/// // The firmware lookup table inverts the map:
+/// let pos = tuning.position_for_frequency(80.0);
+/// assert!((tuning.resonant_frequency(pos) - 80.0).abs() < 0.2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuningMechanism {
+    mass: f64,
+    gap_min: f64,
+    gap_max: f64,
+    gap_offset: f64,
+    k_base: f64,
+    k_mag_coeff: f64,
+}
+
+/// Geometry defaults for the tuning magnets (metres).
+const GAP_MIN: f64 = 0.5e-3;
+const GAP_MAX: f64 = 5.0e-3;
+const GAP_OFFSET: f64 = 1.1e-3;
+
+impl TuningMechanism {
+    /// Calibrates the magnetic model so that actuator position 0 (gap
+    /// fully open) resonates at `f_low` Hz and position 255 (gap closed)
+    /// at `f_high` Hz for a proof mass of `mass` kg.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarvesterError::InvalidParameter`] for non-positive mass
+    /// or a non-increasing frequency pair.
+    pub fn calibrated(mass: f64, f_low: f64, f_high: f64) -> Result<Self> {
+        if !(mass > 0.0 && mass.is_finite()) {
+            return Err(HarvesterError::InvalidParameter {
+                name: "mass",
+                value: mass,
+            });
+        }
+        if !(f_low > 0.0 && f_high > f_low && f_high.is_finite()) {
+            return Err(HarvesterError::InvalidParameter {
+                name: "f_high",
+                value: f_high,
+            });
+        }
+        let omega = |f: f64| 2.0 * std::f64::consts::PI * f;
+        let k_low = mass * omega(f_low).powi(2);
+        let k_high = mass * omega(f_high).powi(2);
+        let inv_min = (GAP_MIN + GAP_OFFSET).powi(-3);
+        let inv_max = (GAP_MAX + GAP_OFFSET).powi(-3);
+        let k_mag_coeff = (k_high - k_low) / (inv_min - inv_max);
+        let k_base = k_low - k_mag_coeff * inv_max;
+        Ok(TuningMechanism {
+            mass,
+            gap_min: GAP_MIN,
+            gap_max: GAP_MAX,
+            gap_offset: GAP_OFFSET,
+            k_base,
+            k_mag_coeff,
+        })
+    }
+
+    /// The calibration used throughout the reproduction: 13 g proof mass,
+    /// 67.6–98 Hz tunable range (the published device of the paper's
+    /// refs \[9\]/\[12\]).
+    pub fn paper() -> Self {
+        Self::calibrated(0.013, 67.6, 98.0).expect("paper calibration is valid")
+    }
+
+    /// Proof mass in kg.
+    pub fn mass(&self) -> f64 {
+        self.mass
+    }
+
+    /// Magnet gap for an actuator position (position 255 → minimum gap).
+    pub fn gap_for_position(&self, position: u8) -> f64 {
+        let frac = f64::from(position) / 255.0;
+        self.gap_max - frac * (self.gap_max - self.gap_min)
+    }
+
+    /// Effective stiffness at a magnet gap (N/m).
+    pub fn stiffness(&self, gap: f64) -> f64 {
+        self.k_base + self.k_mag_coeff / (gap + self.gap_offset).powi(3)
+    }
+
+    /// Resonant frequency (Hz) at an actuator position.
+    pub fn resonant_frequency(&self, position: u8) -> f64 {
+        let k = self.stiffness(self.gap_for_position(position));
+        (k / self.mass).sqrt() / (2.0 * std::f64::consts::PI)
+    }
+
+    /// The tunable range `(f_min, f_max)` in Hz.
+    pub fn frequency_range(&self) -> (f64, f64) {
+        (self.resonant_frequency(0), self.resonant_frequency(255))
+    }
+
+    /// The firmware lookup table (§IV-C, Algorithm 1 line 10): the actuator
+    /// position whose resonant frequency is closest to `target_hz`,
+    /// saturating at the range ends like the real table.
+    pub fn position_for_frequency(&self, target_hz: f64) -> u8 {
+        let (f_min, f_max) = self.frequency_range();
+        if target_hz <= f_min {
+            return 0;
+        }
+        if target_hz >= f_max {
+            return 255;
+        }
+        // resonant_frequency is monotonically increasing in position.
+        let mut lo = 0u8;
+        let mut hi = 255u8;
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if self.resonant_frequency(mid) < target_hz {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let err_lo = (self.resonant_frequency(lo) - target_hz).abs();
+        let err_hi = (self.resonant_frequency(hi) - target_hz).abs();
+        if err_lo <= err_hi {
+            lo
+        } else {
+            hi
+        }
+    }
+
+    /// Strict variant of [`position_for_frequency`](Self::position_for_frequency)
+    /// that rejects targets outside the tunable range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarvesterError::FrequencyOutOfRange`] for targets outside
+    /// the tunable range.
+    pub fn try_position_for_frequency(&self, target_hz: f64) -> Result<u8> {
+        let (f_min, f_max) = self.frequency_range();
+        if target_hz < f_min || target_hz > f_max {
+            return Err(HarvesterError::FrequencyOutOfRange {
+                requested: target_hz,
+                min: f_min,
+                max: f_max,
+            });
+        }
+        Ok(self.position_for_frequency(target_hz))
+    }
+
+    /// The full 256-entry lookup table: resonant frequency per position.
+    pub fn lookup_table(&self) -> Vec<f64> {
+        (0..=255u8).map(|p| self.resonant_frequency(p)).collect()
+    }
+
+    /// Frequency resolution around a position: the tuning error incurred by
+    /// an off-by-one actuator position (Hz).
+    pub fn frequency_resolution(&self, position: u8) -> f64 {
+        let here = self.resonant_frequency(position);
+        let next = self.resonant_frequency(position.saturating_add(1).max(1));
+        let prev = self.resonant_frequency(position.saturating_sub(1));
+        ((next - here).abs()).max((here - prev).abs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_hits_end_frequencies() {
+        let t = TuningMechanism::paper();
+        assert!((t.resonant_frequency(0) - 67.6).abs() < 1e-9);
+        assert!((t.resonant_frequency(255) - 98.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frequency_monotonically_increases_with_position() {
+        let t = TuningMechanism::paper();
+        let lut = t.lookup_table();
+        assert_eq!(lut.len(), 256);
+        for w in lut.windows(2) {
+            assert!(w[1] > w[0], "lookup table must be monotone");
+        }
+    }
+
+    #[test]
+    fn lookup_inverse_is_accurate() {
+        let t = TuningMechanism::paper();
+        for f in [68.0, 72.5, 80.0, 90.0, 97.5] {
+            let pos = t.position_for_frequency(f);
+            let back = t.resonant_frequency(pos);
+            // 8-bit table: error bounded by one position step.
+            assert!(
+                (back - f).abs() <= t.frequency_resolution(pos),
+                "f = {f}: got {back}"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_targets_saturate_or_error() {
+        let t = TuningMechanism::paper();
+        assert_eq!(t.position_for_frequency(10.0), 0);
+        assert_eq!(t.position_for_frequency(500.0), 255);
+        assert!(matches!(
+            t.try_position_for_frequency(10.0),
+            Err(HarvesterError::FrequencyOutOfRange { .. })
+        ));
+        assert!(t.try_position_for_frequency(80.0).is_ok());
+    }
+
+    #[test]
+    fn stiffness_increases_as_gap_closes() {
+        let t = TuningMechanism::paper();
+        assert!(t.stiffness(0.5e-3) > t.stiffness(5e-3));
+        // position 255 is the smallest gap
+        assert!(t.gap_for_position(255) < t.gap_for_position(0));
+        assert!((t.gap_for_position(0) - 5e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_calibration_rejected() {
+        assert!(TuningMechanism::calibrated(0.0, 60.0, 90.0).is_err());
+        assert!(TuningMechanism::calibrated(0.01, 90.0, 60.0).is_err());
+        assert!(TuningMechanism::calibrated(-1.0, 60.0, 90.0).is_err());
+    }
+
+    #[test]
+    fn resolution_is_subhertz() {
+        // 30 Hz range over 256 positions: ~0.05 Hz per step at the open end,
+        // up to ~0.9 Hz near the closed gap where the cube law steepens.
+        let t = TuningMechanism::paper();
+        for pos in [0u8, 100, 200, 255] {
+            let r = t.frequency_resolution(pos);
+            assert!(r > 0.0 && r < 1.0, "resolution at {pos}: {r}");
+        }
+    }
+}

@@ -1,0 +1,317 @@
+use crate::STANDARD_GRAVITY;
+
+/// An ambient vibration source: a (slowly varying) dominant frequency plus
+/// an acceleration amplitude.
+///
+/// The paper's evaluation fixes the acceleration level at 60 mg and steps
+/// the dominant frequency by 5 Hz every 25 minutes over the one-hour run;
+/// [`VibrationProfile::paper_profile`] builds exactly that. The profile
+/// provides both an *envelope view* (`dominant_frequency`, used by the
+/// accelerated engine) and an *instantaneous view* (`acceleration`, with a
+/// phase-continuous sine, used by the full ODE simulation).
+///
+/// # Example
+///
+/// ```
+/// let vib = harvester::VibrationProfile::paper_profile(75.0);
+/// assert_eq!(vib.dominant_frequency(0.0), 75.0);
+/// assert_eq!(vib.dominant_frequency(1500.0), 80.0);  // +5 Hz after 25 min
+/// assert_eq!(vib.dominant_frequency(3000.0), 85.0);  // +10 Hz after 50 min
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct VibrationProfile {
+    /// Acceleration amplitude in m/s².
+    amplitude: f64,
+    /// Frequency segments: `(start_time_s, frequency_hz)`, sorted by time,
+    /// first entry at `t = 0`.
+    segments: Vec<(f64, f64)>,
+    /// Accumulated sine phase at each segment start, for phase continuity.
+    phases: Vec<f64>,
+}
+
+impl VibrationProfile {
+    /// Constant-frequency sine at `freq_hz` with amplitude `accel_ms2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq_hz` or `accel_ms2` is not positive and finite.
+    pub fn sine(freq_hz: f64, accel_ms2: f64) -> Self {
+        Self::stepped(accel_ms2, vec![(0.0, freq_hz)])
+    }
+
+    /// Piecewise-constant frequency profile. `segments` holds
+    /// `(start_time_s, frequency_hz)` pairs; the first must start at 0 and
+    /// times must be strictly increasing.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty segment list, non-positive frequency/amplitude,
+    /// a first segment not starting at 0, or non-increasing start times.
+    pub fn stepped(accel_ms2: f64, segments: Vec<(f64, f64)>) -> Self {
+        assert!(!segments.is_empty(), "need at least one segment");
+        assert!(
+            accel_ms2 > 0.0 && accel_ms2.is_finite(),
+            "amplitude must be positive"
+        );
+        assert_eq!(segments[0].0, 0.0, "first segment must start at t = 0");
+        for w in segments.windows(2) {
+            assert!(w[0].0 < w[1].0, "segment times must increase");
+        }
+        assert!(
+            segments.iter().all(|&(_, f)| f > 0.0 && f.is_finite()),
+            "frequencies must be positive"
+        );
+        // Pre-compute phase at each boundary so the sine stays continuous.
+        let mut phases = vec![0.0];
+        for w in segments.windows(2) {
+            let (t0, f0) = w[0];
+            let (t1, _) = w[1];
+            let prev = *phases.last().expect("non-empty");
+            phases.push(prev + 2.0 * std::f64::consts::PI * f0 * (t1 - t0));
+        }
+        VibrationProfile {
+            amplitude: accel_ms2,
+            segments,
+            phases,
+        }
+    }
+
+    /// The paper's evaluation profile: 60 mg amplitude, dominant frequency
+    /// starting at `f0` Hz and increasing by 5 Hz every 25 minutes.
+    pub fn paper_profile(f0: f64) -> Self {
+        Self::stepped(
+            0.060 * STANDARD_GRAVITY,
+            vec![(0.0, f0), (1500.0, f0 + 5.0), (3000.0, f0 + 10.0)],
+        )
+    }
+
+    /// Linear frequency sweep from `f_start` to `f_end` over `duration`
+    /// seconds, approximated with one segment per Hz of sweep (sufficient
+    /// for envelope analyses).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive inputs or `f_start == f_end`.
+    pub fn sweep(accel_ms2: f64, f_start: f64, f_end: f64, duration: f64) -> Self {
+        assert!(duration > 0.0, "duration must be positive");
+        assert!(f_start != f_end, "sweep needs distinct endpoints");
+        let steps = ((f_end - f_start).abs().ceil() as usize).max(2);
+        let segments: Vec<(f64, f64)> = (0..steps)
+            .map(|i| {
+                let frac = i as f64 / steps as f64;
+                (
+                    frac * duration,
+                    f_start + frac * (f_end - f_start),
+                )
+            })
+            .collect();
+        Self::stepped(accel_ms2, segments)
+    }
+
+    /// A slowly drifting dominant frequency: a bounded random walk of
+    /// `steps` dwell periods of `dwell_s` seconds each, stepping by up to
+    /// `±sigma_hz` and reflecting at `[f_lo, f_hi]`. Deterministic per
+    /// `seed` (a small internal xorshift; no external RNG dependency).
+    ///
+    /// This models real machinery whose speed wanders — the environment
+    /// where the watchdog-period trade-off (the paper's `x2`) actually
+    /// bites: slow watchdogs ride detuned through every drift step.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive amplitude/dwell/sigma, an empty walk, or a
+    /// degenerate band.
+    pub fn random_walk(
+        accel_ms2: f64,
+        f_start: f64,
+        sigma_hz: f64,
+        dwell_s: f64,
+        steps: usize,
+        f_lo: f64,
+        f_hi: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(steps >= 1, "walk needs at least one step");
+        assert!(dwell_s > 0.0 && sigma_hz > 0.0, "dwell and sigma must be positive");
+        assert!(f_lo < f_hi, "band must be non-degenerate");
+        assert!(
+            (f_lo..=f_hi).contains(&f_start),
+            "start frequency outside the band"
+        );
+        // Splitmix-style scramble so adjacent seeds diverge; never zero.
+        let mut state = seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15)
+            .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+            | 1;
+        let mut next_unit = move || {
+            // xorshift64*: deterministic, dependency-free.
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let r = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            (r >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut f = f_start;
+        let mut segments = Vec::with_capacity(steps);
+        for i in 0..steps {
+            segments.push((i as f64 * dwell_s, f));
+            let step = (2.0 * next_unit() - 1.0) * sigma_hz;
+            f += step;
+            // Reflect at the band edges.
+            if f > f_hi {
+                f = 2.0 * f_hi - f;
+            }
+            if f < f_lo {
+                f = 2.0 * f_lo - f;
+            }
+            f = f.clamp(f_lo, f_hi);
+        }
+        Self::stepped(accel_ms2, segments)
+    }
+
+    /// Acceleration amplitude in m/s².
+    pub fn amplitude(&self) -> f64 {
+        self.amplitude
+    }
+
+    /// Acceleration amplitude expressed in g.
+    pub fn amplitude_g(&self) -> f64 {
+        self.amplitude / STANDARD_GRAVITY
+    }
+
+    /// Dominant frequency at time `t` (Hz). Times before 0 use the first
+    /// segment.
+    pub fn dominant_frequency(&self, t: f64) -> f64 {
+        let idx = self.segment_index(t);
+        self.segments[idx].1
+    }
+
+    /// Time of the next frequency change after `t`, if any.
+    pub fn next_change_after(&self, t: f64) -> Option<f64> {
+        self.segments
+            .iter()
+            .map(|&(start, _)| start)
+            .find(|&start| start > t)
+    }
+
+    /// Instantaneous base acceleration at time `t`:
+    /// `A sin(φ(t))` with a phase-continuous `φ`.
+    pub fn acceleration(&self, t: f64) -> f64 {
+        let idx = self.segment_index(t);
+        let (t0, f) = self.segments[idx];
+        let phase = self.phases[idx] + 2.0 * std::f64::consts::PI * f * (t - t0);
+        self.amplitude * phase.sin()
+    }
+
+    fn segment_index(&self, t: f64) -> usize {
+        match self
+            .segments
+            .iter()
+            .rposition(|&(start, _)| start <= t)
+        {
+            Some(i) => i,
+            None => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_profile_timing() {
+        let v = VibrationProfile::paper_profile(70.0);
+        assert!((v.amplitude_g() - 0.060).abs() < 1e-12);
+        assert_eq!(v.dominant_frequency(0.0), 70.0);
+        assert_eq!(v.dominant_frequency(1499.9), 70.0);
+        assert_eq!(v.dominant_frequency(1500.0), 75.0);
+        assert_eq!(v.dominant_frequency(3600.0), 80.0);
+        assert_eq!(v.next_change_after(0.0), Some(1500.0));
+        assert_eq!(v.next_change_after(1500.0), Some(3000.0));
+        assert_eq!(v.next_change_after(3000.0), None);
+    }
+
+    #[test]
+    fn sine_is_single_segment() {
+        let v = VibrationProfile::sine(50.0, 1.0);
+        assert_eq!(v.dominant_frequency(1e6), 50.0);
+        assert_eq!(v.next_change_after(0.0), None);
+    }
+
+    #[test]
+    fn acceleration_amplitude_and_period() {
+        let v = VibrationProfile::sine(10.0, 2.0);
+        // Peak near t = 1/40 (quarter period).
+        assert!((v.acceleration(0.025) - 2.0).abs() < 1e-9);
+        assert!(v.acceleration(0.0).abs() < 1e-12);
+        // Zero crossing at half period.
+        assert!(v.acceleration(0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_is_continuous_across_steps() {
+        let v = VibrationProfile::stepped(1.0, vec![(0.0, 10.0), (0.123, 17.0)]);
+        let eps = 1e-7;
+        let before = v.acceleration(0.123 - eps);
+        let after = v.acceleration(0.123 + eps);
+        assert!(
+            (before - after).abs() < 1e-3,
+            "discontinuity at step: {before} vs {after}"
+        );
+    }
+
+    #[test]
+    fn sweep_frequency_progression() {
+        let v = VibrationProfile::sweep(1.0, 40.0, 60.0, 100.0);
+        assert_eq!(v.dominant_frequency(0.0), 40.0);
+        assert!(v.dominant_frequency(99.9) > 58.0);
+        let mid = v.dominant_frequency(50.0);
+        assert!((mid - 50.0).abs() < 1.5, "midpoint frequency {mid}");
+    }
+
+    #[test]
+    #[should_panic(expected = "t = 0")]
+    fn segments_must_start_at_zero() {
+        let _ = VibrationProfile::stepped(1.0, vec![(1.0, 10.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "increase")]
+    fn segment_times_must_increase() {
+        let _ = VibrationProfile::stepped(1.0, vec![(0.0, 10.0), (0.0, 20.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn amplitude_must_be_positive() {
+        let _ = VibrationProfile::sine(10.0, 0.0);
+    }
+
+    #[test]
+    fn random_walk_stays_in_band_and_is_deterministic() {
+        let a = VibrationProfile::random_walk(0.59, 80.0, 1.0, 60.0, 60, 70.0, 95.0, 42);
+        let b = VibrationProfile::random_walk(0.59, 80.0, 1.0, 60.0, 60, 70.0, 95.0, 42);
+        assert_eq!(a, b, "same seed must give the same walk");
+        let c = VibrationProfile::random_walk(0.59, 80.0, 1.0, 60.0, 60, 70.0, 95.0, 43);
+        assert_ne!(a, c, "different seeds should differ");
+        for i in 0..60 {
+            let f = a.dominant_frequency(i as f64 * 60.0 + 1.0);
+            assert!((70.0..=95.0).contains(&f), "walk escaped band: {f}");
+        }
+    }
+
+    #[test]
+    fn random_walk_actually_moves() {
+        let v = VibrationProfile::random_walk(0.59, 80.0, 2.0, 30.0, 40, 70.0, 95.0, 7);
+        let fs: Vec<f64> = (0..40).map(|i| v.dominant_frequency(i as f64 * 30.0 + 1.0)).collect();
+        let distinct = fs.windows(2).filter(|w| w[0] != w[1]).count();
+        assert!(distinct > 20, "walk barely moved: {distinct} changes");
+    }
+
+    #[test]
+    #[should_panic(expected = "band")]
+    fn random_walk_start_outside_band_panics() {
+        let _ = VibrationProfile::random_walk(0.59, 60.0, 1.0, 60.0, 10, 70.0, 95.0, 1);
+    }
+}

@@ -1,0 +1,143 @@
+use std::fmt;
+
+/// Identifier of a signal registered on a [`Bus`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SignalId(usize);
+
+/// A set of named scalar signals shared between digital processes.
+///
+/// SystemC models communicate through signals; this bus plays the same role
+/// for the digital half of a [`crate::MixedSim`]: the microcontroller
+/// process can publish "actuator position" or "tuning active" levels that
+/// the analogue system or other processes read.
+///
+/// # Example
+///
+/// ```
+/// let mut bus = msim::Bus::new();
+/// let pos = bus.register("actuator_position", 0.0);
+/// bus.write(pos, 42.0, 1.5);
+/// assert_eq!(bus.read(pos), 42.0);
+/// assert_eq!(bus.last_change(pos), 1.5);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Bus {
+    names: Vec<String>,
+    values: Vec<f64>,
+    changed_at: Vec<f64>,
+}
+
+impl Bus {
+    /// Creates an empty bus.
+    pub fn new() -> Self {
+        Bus::default()
+    }
+
+    /// Registers a signal with an initial value, returning its id.
+    ///
+    /// Registering the same name twice creates two independent signals;
+    /// use [`lookup`](Self::lookup) to share one.
+    pub fn register(&mut self, name: &str, initial: f64) -> SignalId {
+        self.names.push(name.to_owned());
+        self.values.push(initial);
+        self.changed_at.push(f64::NEG_INFINITY);
+        SignalId(self.names.len() - 1)
+    }
+
+    /// Finds a signal by name.
+    pub fn lookup(&self, name: &str) -> Option<SignalId> {
+        self.names.iter().position(|n| n == name).map(SignalId)
+    }
+
+    /// Current value of a signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this bus.
+    pub fn read(&self, id: SignalId) -> f64 {
+        self.values[id.0]
+    }
+
+    /// Writes `value` at simulation time `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this bus.
+    pub fn write(&mut self, id: SignalId, value: f64, now: f64) {
+        self.values[id.0] = value;
+        self.changed_at[id.0] = now;
+    }
+
+    /// Time of the most recent write (`-inf` if never written).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this bus.
+    pub fn last_change(&self, id: SignalId) -> f64 {
+        self.changed_at[id.0]
+    }
+
+    /// Name of a signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this bus.
+    pub fn name(&self, id: SignalId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Number of registered signals.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` if no signal has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+impl fmt::Display for Bus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.names.len() {
+            writeln!(f, "{} = {}", self.names[i], self.values[i])?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_read_write() {
+        let mut bus = Bus::new();
+        assert!(bus.is_empty());
+        let a = bus.register("a", 1.0);
+        let b = bus.register("b", 2.0);
+        assert_eq!(bus.len(), 2);
+        assert_eq!(bus.read(a), 1.0);
+        assert_eq!(bus.read(b), 2.0);
+        bus.write(a, 5.0, 0.25);
+        assert_eq!(bus.read(a), 5.0);
+        assert_eq!(bus.last_change(a), 0.25);
+        assert_eq!(bus.last_change(b), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let mut bus = Bus::new();
+        let a = bus.register("clock", 0.0);
+        assert_eq!(bus.lookup("clock"), Some(a));
+        assert_eq!(bus.lookup("missing"), None);
+        assert_eq!(bus.name(a), "clock");
+    }
+
+    #[test]
+    fn display_lists_signals() {
+        let mut bus = Bus::new();
+        bus.register("x", 3.0);
+        assert!(format!("{bus}").contains("x = 3"));
+    }
+}

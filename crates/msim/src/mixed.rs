@@ -1,0 +1,633 @@
+use std::any::Any;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::integrate::{rk4_step, Rkf45, TrapezoidalNewton};
+use crate::{Bus, OdeSystem, Result, SimError, Trace};
+
+/// Identifier of a process registered with a [`MixedSim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProcessId(usize);
+
+/// A digital process in a mixed-signal simulation.
+///
+/// Processes are the SystemC "digital side": firmware loops, watchdog
+/// timers, transmission schedulers. A process is woken at times it
+/// requested through [`Context::wake_at`]; while awake it can read and
+/// mutate the analogue system (e.g. switch a load resistance) and schedule
+/// its next wake-up.
+///
+/// The `Any` supertrait enables typed retrieval of a process after the run
+/// through [`MixedSim::process`].
+pub trait Process<S: OdeSystem>: Any {
+    /// Called once before the simulation starts; schedule the first wake-up
+    /// here. The default implementation does nothing (the process then
+    /// never runs).
+    fn init(&mut self, ctx: &mut Context<'_, S>) {
+        let _ = ctx;
+    }
+
+    /// Called at each time the process scheduled via [`Context::wake_at`].
+    fn wake(&mut self, ctx: &mut Context<'_, S>);
+}
+
+/// Execution context handed to a [`Process`] while it is awake.
+///
+/// Grants access to the current time, the analogue system and state, the
+/// signal [`Bus`], and event scheduling.
+pub struct Context<'a, S: OdeSystem> {
+    time: f64,
+    system: &'a mut S,
+    state: &'a mut [f64],
+    bus: &'a mut Bus,
+    pending: &'a mut Vec<(f64, usize)>,
+    current: usize,
+}
+
+impl<'a, S: OdeSystem> Context<'a, S> {
+    /// Current simulation time in seconds.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Read-only view of the analogue state vector.
+    pub fn state(&self) -> &[f64] {
+        self.state
+    }
+
+    /// Mutable view of the analogue state vector (e.g. to reset an
+    /// integrator state after a topology change).
+    pub fn state_mut(&mut self) -> &mut [f64] {
+        self.state
+    }
+
+    /// The analogue system.
+    pub fn system(&self) -> &S {
+        self.system
+    }
+
+    /// Mutable access to the analogue system, used to switch loads, change
+    /// tuning positions and similar parameter updates.
+    pub fn system_mut(&mut self) -> &mut S {
+        self.system
+    }
+
+    /// The shared signal bus.
+    pub fn bus(&self) -> &Bus {
+        self.bus
+    }
+
+    /// Mutable access to the signal bus.
+    pub fn bus_mut(&mut self) -> &mut Bus {
+        self.bus
+    }
+
+    /// Schedules the calling process to wake at absolute time `t`.
+    ///
+    /// Times in the past are clamped to the current time (the wake then
+    /// happens in the same simulation instant, after the current one).
+    /// A process may hold several outstanding wake-ups.
+    pub fn wake_at(&mut self, t: f64) {
+        let t = t.max(self.time);
+        self.pending.push((t, self.current));
+    }
+
+    /// Schedules another process to wake at absolute time `t` (clamped to
+    /// the current time like [`wake_at`](Self::wake_at)).
+    pub fn wake_process_at(&mut self, pid: ProcessId, t: f64) {
+        let t = t.max(self.time);
+        self.pending.push((t, pid.0));
+    }
+}
+
+/// Queue entry ordered by time, then FIFO sequence for determinism.
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    time: f64,
+    seq: u64,
+    pid: usize,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Analogue solver used between digital events.
+#[derive(Debug, Clone)]
+pub enum Solver {
+    /// Fixed-step classical Runge–Kutta with the given step size.
+    Rk4 {
+        /// Maximum step size in seconds.
+        dt: f64,
+    },
+    /// Adaptive Runge–Kutta–Fehlberg 4(5).
+    Adaptive(Rkf45),
+    /// A-stable implicit trapezoidal rule with the given step size, for
+    /// stiff load-switching networks.
+    ImplicitTrapezoidal {
+        /// Fixed step size in seconds.
+        dt: f64,
+        /// Newton solver configuration.
+        newton: TrapezoidalNewton,
+    },
+}
+
+/// A mixed-signal simulation: one analogue [`OdeSystem`] plus any number of
+/// digital [`Process`]es coupled through a discrete-event scheduler.
+///
+/// Between digital events the analogue state is advanced with the selected
+/// [`Solver`], landing exactly on each event time so processes observe a
+/// consistent analogue state. This mirrors the SystemC-A lock-step
+/// synchronisation used by the paper.
+///
+/// See the [crate-level example](crate) for typical usage.
+pub struct MixedSim<S: OdeSystem> {
+    system: S,
+    state: Vec<f64>,
+    time: f64,
+    solver: Solver,
+    queue: BinaryHeap<Event>,
+    seq: u64,
+    processes: Vec<Box<dyn Process<S>>>,
+    initialised: bool,
+    bus: Bus,
+    trace: Trace,
+    sample_interval: Option<f64>,
+    sample_origin: f64,
+    sample_count: u64,
+}
+
+impl<S: OdeSystem + 'static> MixedSim<S> {
+    /// Creates a simulation at `t = 0` with the given analogue system and
+    /// initial state. The default solver is RK4 with a 0.1 ms step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial_state.len() != system.dim()`.
+    pub fn new(system: S, initial_state: Vec<f64>) -> Self {
+        assert_eq!(
+            initial_state.len(),
+            system.dim(),
+            "initial state dimension must match the system"
+        );
+        MixedSim {
+            system,
+            state: initial_state,
+            time: 0.0,
+            solver: Solver::Rk4 { dt: 1e-4 },
+            queue: BinaryHeap::new(),
+            seq: 0,
+            processes: Vec::new(),
+            initialised: false,
+            bus: Bus::new(),
+            trace: Trace::new(),
+            sample_interval: None,
+            sample_origin: 0.0,
+            sample_count: 0,
+        }
+    }
+
+    /// Replaces the analogue solver.
+    pub fn set_solver(&mut self, solver: Solver) {
+        self.solver = solver;
+    }
+
+    /// Registers a digital process; its `init` runs at the start of the
+    /// first [`run_until`](Self::run_until) call.
+    pub fn add_process<P: Process<S>>(&mut self, process: P) -> ProcessId {
+        self.processes.push(Box::new(process));
+        ProcessId(self.processes.len() - 1)
+    }
+
+    /// Enables periodic recording of the analogue state every `interval`
+    /// seconds (starting at the current time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is not positive.
+    pub fn record_every(&mut self, interval: f64) {
+        assert!(interval > 0.0, "record interval must be positive");
+        self.sample_interval = Some(interval);
+        self.sample_origin = self.time;
+        self.sample_count = 0;
+    }
+
+    /// The recorded trace (empty unless [`record_every`](Self::record_every)
+    /// was called).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Current simulation time.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Current analogue state.
+    pub fn state(&self) -> &[f64] {
+        &self.state
+    }
+
+    /// The analogue system.
+    pub fn system(&self) -> &S {
+        &self.system
+    }
+
+    /// Mutable access to the analogue system between runs.
+    pub fn system_mut(&mut self) -> &mut S {
+        &mut self.system
+    }
+
+    /// The signal bus.
+    pub fn bus(&self) -> &Bus {
+        &self.bus
+    }
+
+    /// Mutable access to the signal bus (e.g. to pre-register signals).
+    pub fn bus_mut(&mut self) -> &mut Bus {
+        &mut self.bus
+    }
+
+    /// Typed read access to a registered process.
+    ///
+    /// Returns `None` if the id is stale or `P` is not the process's
+    /// concrete type.
+    pub fn process<P: Process<S>>(&self, id: ProcessId) -> Option<&P> {
+        self.processes
+            .get(id.0)
+            .and_then(|p| (p.as_ref() as &dyn Any).downcast_ref::<P>())
+    }
+
+    /// Typed mutable access to a registered process.
+    pub fn process_mut<P: Process<S>>(&mut self, id: ProcessId) -> Option<&mut P> {
+        self.processes
+            .get_mut(id.0)
+            .and_then(|p| (p.as_mut() as &mut dyn Any).downcast_mut::<P>())
+    }
+
+    /// Runs the simulation up to `t_end`, processing all digital events and
+    /// advancing the analogue state between them.
+    ///
+    /// May be called repeatedly with increasing horizons.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::InvalidArgument`] if `t_end` is before the current time.
+    /// * Solver errors ([`SimError::NonFiniteState`],
+    ///   [`SimError::StepSizeUnderflow`]) from the analogue integration.
+    pub fn run_until(&mut self, t_end: f64) -> Result<()> {
+        if t_end < self.time {
+            return Err(SimError::InvalidArgument("run_until: t_end in the past"));
+        }
+        let mut pending: Vec<(f64, usize)> = Vec::new();
+
+        if !self.initialised {
+            self.initialised = true;
+            for pid in 0..self.processes.len() {
+                self.dispatch(pid, &mut pending, true);
+            }
+            self.enqueue(&mut pending);
+        }
+
+        loop {
+            let Some(&next) = self.queue.peek() else {
+                break;
+            };
+            if next.time > t_end {
+                break;
+            }
+            let event = self.queue.pop().expect("peeked event exists");
+            self.advance_analog(event.time)?;
+            self.dispatch(event.pid, &mut pending, false);
+            self.enqueue(&mut pending);
+        }
+        self.advance_analog(t_end)
+    }
+
+    /// Wakes (or initialises) process `pid` at the current time, collecting
+    /// new wake requests.
+    fn dispatch(&mut self, pid: usize, pending: &mut Vec<(f64, usize)>, is_init: bool) {
+        // Temporarily move the process out so the context can borrow `self`
+        // fields without aliasing the process itself.
+        let mut process = std::mem::replace(
+            &mut self.processes[pid],
+            Box::new(InertProcess) as Box<dyn Process<S>>,
+        );
+        {
+            let mut ctx = Context {
+                time: self.time,
+                system: &mut self.system,
+                state: &mut self.state,
+                bus: &mut self.bus,
+                pending,
+                current: pid,
+            };
+            if is_init {
+                process.init(&mut ctx);
+            } else {
+                process.wake(&mut ctx);
+            }
+        }
+        self.processes[pid] = process;
+    }
+
+    fn enqueue(&mut self, pending: &mut Vec<(f64, usize)>) {
+        for (t, pid) in pending.drain(..) {
+            self.seq += 1;
+            self.queue.push(Event {
+                time: t,
+                seq: self.seq,
+                pid,
+            });
+        }
+    }
+
+    /// Next due sample time, computed as `origin + k * interval` to avoid
+    /// floating-point drift over long runs.
+    fn next_sample_time(&self) -> Option<f64> {
+        self.sample_interval
+            .map(|dt| self.sample_origin + self.sample_count as f64 * dt)
+    }
+
+    /// Advances the analogue state to `t_target`, emitting trace samples.
+    fn advance_analog(&mut self, t_target: f64) -> Result<()> {
+        while self.time < t_target {
+            let seg_end = match self.next_sample_time() {
+                Some(ts) if ts <= self.time => {
+                    self.trace.push(self.time, &self.state);
+                    self.sample_count += 1;
+                    continue;
+                }
+                Some(ts) => ts.min(t_target),
+                None => t_target,
+            };
+            match &self.solver {
+                Solver::Rk4 { dt } => {
+                    let mut t = self.time;
+                    while t < seg_end {
+                        let step = dt.min(seg_end - t);
+                        rk4_step(&self.system, t, &mut self.state, step);
+                        t += step;
+                    }
+                }
+                Solver::Adaptive(rkf) => {
+                    let rkf = rkf.clone();
+                    rkf.integrate(&self.system, self.time, seg_end, &mut self.state)?;
+                }
+                Solver::ImplicitTrapezoidal { dt, newton } => {
+                    let (dt, newton) = (*dt, newton.clone());
+                    newton.integrate(&self.system, self.time, seg_end, &mut self.state, dt)?;
+                }
+            }
+            if !self.state.iter().all(|v| v.is_finite()) {
+                return Err(SimError::NonFiniteState { time: seg_end });
+            }
+            self.time = seg_end;
+        }
+        // Emit a sample if one is due exactly at the target time.
+        if let Some(ts) = self.next_sample_time() {
+            if ts <= self.time {
+                self.trace.push(self.time, &self.state);
+                self.sample_count += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Placeholder swapped in while a real process is being dispatched.
+struct InertProcess;
+
+impl<S: OdeSystem> Process<S> for InertProcess {
+    fn wake(&mut self, _ctx: &mut Context<'_, S>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Decay;
+    impl OdeSystem for Decay {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn derivatives(&self, _t: f64, x: &[f64], d: &mut [f64]) {
+            d[0] = -x[0];
+        }
+    }
+
+    struct Ticker {
+        period: f64,
+        times: Vec<f64>,
+    }
+    impl Process<Decay> for Ticker {
+        fn init(&mut self, ctx: &mut Context<'_, Decay>) {
+            ctx.wake_at(self.period);
+        }
+        fn wake(&mut self, ctx: &mut Context<'_, Decay>) {
+            self.times.push(ctx.time());
+            let t = ctx.time();
+            ctx.wake_at(t + self.period);
+        }
+    }
+
+    #[test]
+    fn ticker_fires_at_exact_times() {
+        let mut sim = MixedSim::new(Decay, vec![1.0]);
+        let id = sim.add_process(Ticker {
+            period: 0.25,
+            times: Vec::new(),
+        });
+        sim.run_until(1.0).unwrap();
+        let ticker: &Ticker = sim.process(id).unwrap();
+        assert_eq!(ticker.times, vec![0.25, 0.5, 0.75, 1.0]);
+    }
+
+    #[test]
+    fn analogue_state_is_synchronised_with_events() {
+        struct Checker {
+            worst: f64,
+        }
+        impl Process<Decay> for Checker {
+            fn init(&mut self, ctx: &mut Context<'_, Decay>) {
+                ctx.wake_at(0.5);
+            }
+            fn wake(&mut self, ctx: &mut Context<'_, Decay>) {
+                let expect = (-ctx.time()).exp();
+                let err = (ctx.state()[0] - expect).abs();
+                self.worst = self.worst.max(err);
+                let t = ctx.time();
+                if t < 2.0 {
+                    ctx.wake_at(t + 0.5);
+                }
+            }
+        }
+        let mut sim = MixedSim::new(Decay, vec![1.0]);
+        let id = sim.add_process(Checker { worst: 0.0 });
+        sim.run_until(2.5).unwrap();
+        let checker: &Checker = sim.process(id).unwrap();
+        assert!(checker.worst < 1e-8, "analogue sync error: {}", checker.worst);
+    }
+
+    #[test]
+    fn recording_produces_uniform_trace() {
+        let mut sim = MixedSim::new(Decay, vec![1.0]);
+        sim.record_every(0.1);
+        sim.run_until(1.0).unwrap();
+        let trace = sim.trace();
+        assert!(trace.len() >= 10);
+        // First sample at t=0, value 1.0.
+        assert_eq!(trace.points()[0].time, 0.0);
+        assert_eq!(trace.points()[0].state[0], 1.0);
+        // Value at t=1 close to e^-1.
+        let v = trace.sample_at(0, 1.0).unwrap();
+        assert!((v - (-1.0_f64).exp()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn run_until_rejects_past() {
+        let mut sim = MixedSim::new(Decay, vec![1.0]);
+        sim.run_until(1.0).unwrap();
+        assert!(sim.run_until(0.5).is_err());
+    }
+
+    #[test]
+    fn two_processes_communicate_over_bus() {
+        struct Writer;
+        impl Process<Decay> for Writer {
+            fn init(&mut self, ctx: &mut Context<'_, Decay>) {
+                ctx.wake_at(0.2);
+            }
+            fn wake(&mut self, ctx: &mut Context<'_, Decay>) {
+                let t = ctx.time();
+                let id = ctx.bus().lookup("flag").expect("registered");
+                ctx.bus_mut().write(id, 1.0, t);
+            }
+        }
+        struct Reader {
+            saw: bool,
+        }
+        impl Process<Decay> for Reader {
+            fn init(&mut self, ctx: &mut Context<'_, Decay>) {
+                ctx.wake_at(0.4);
+            }
+            fn wake(&mut self, ctx: &mut Context<'_, Decay>) {
+                let id = ctx.bus().lookup("flag").expect("registered");
+                self.saw = ctx.bus().read(id) == 1.0;
+            }
+        }
+        let mut sim = MixedSim::new(Decay, vec![1.0]);
+        sim.bus_mut().register("flag", 0.0);
+        sim.add_process(Writer);
+        let r = sim.add_process(Reader { saw: false });
+        sim.run_until(1.0).unwrap();
+        let reader: &Reader = sim.process(r).unwrap();
+        assert!(reader.saw, "reader should observe the writer's flag");
+    }
+
+    #[test]
+    fn process_can_mutate_state() {
+        struct Kicker;
+        impl Process<Decay> for Kicker {
+            fn init(&mut self, ctx: &mut Context<'_, Decay>) {
+                ctx.wake_at(1.0);
+            }
+            fn wake(&mut self, ctx: &mut Context<'_, Decay>) {
+                ctx.state_mut()[0] = 5.0;
+            }
+        }
+        let mut sim = MixedSim::new(Decay, vec![1.0]);
+        sim.add_process(Kicker);
+        sim.run_until(1.0).unwrap();
+        assert_eq!(sim.state()[0], 5.0);
+    }
+
+    #[test]
+    fn typed_process_access_rejects_wrong_type() {
+        let mut sim = MixedSim::new(Decay, vec![1.0]);
+        let id = sim.add_process(Ticker {
+            period: 1.0,
+            times: Vec::new(),
+        });
+        assert!(sim.process::<InertProcess>(id).is_none());
+        assert!(sim.process_mut::<Ticker>(id).is_some());
+    }
+
+    #[test]
+    fn implicit_solver_handles_stiff_system_with_events() {
+        struct Stiff;
+        impl OdeSystem for Stiff {
+            fn dim(&self) -> usize {
+                1
+            }
+            fn derivatives(&self, _t: f64, x: &[f64], d: &mut [f64]) {
+                d[0] = -1e5 * x[0];
+            }
+        }
+        struct StiffTicker {
+            times: Vec<f64>,
+        }
+        impl Process<Stiff> for StiffTicker {
+            fn init(&mut self, ctx: &mut Context<'_, Stiff>) {
+                ctx.wake_at(0.25);
+            }
+            fn wake(&mut self, ctx: &mut Context<'_, Stiff>) {
+                let t = ctx.time();
+                self.times.push(t);
+                ctx.wake_at(t + 0.25);
+            }
+        }
+        let mut sim = MixedSim::new(Stiff, vec![1.0]);
+        sim.set_solver(Solver::ImplicitTrapezoidal {
+            dt: 1e-3, // far beyond the explicit stability limit (2e-5)
+            newton: crate::integrate::TrapezoidalNewton::new(),
+        });
+        let id = sim.add_process(StiffTicker { times: Vec::new() });
+        sim.run_until(1.0).unwrap();
+        assert!(sim.state()[0].abs() < 1.0, "stiff decay stayed bounded");
+        let ticker: &StiffTicker = sim.process(id).unwrap();
+        assert_eq!(ticker.times.len(), 4);
+    }
+
+    #[test]
+    fn simultaneous_events_fire_in_registration_order() {
+        struct Logger {
+            tag: f64,
+        }
+        impl Process<Decay> for Logger {
+            fn init(&mut self, ctx: &mut Context<'_, Decay>) {
+                ctx.wake_at(0.5);
+            }
+            fn wake(&mut self, ctx: &mut Context<'_, Decay>) {
+                let t = ctx.time();
+                let id = ctx.bus().lookup("order").expect("registered");
+                let prev = ctx.bus().read(id);
+                ctx.bus_mut().write(id, prev * 10.0 + self.tag, t);
+            }
+        }
+        let mut sim = MixedSim::new(Decay, vec![1.0]);
+        sim.bus_mut().register("order", 0.0);
+        sim.add_process(Logger { tag: 1.0 });
+        sim.add_process(Logger { tag: 2.0 });
+        sim.run_until(1.0).unwrap();
+        let id = sim.bus().lookup("order").unwrap();
+        assert_eq!(sim.bus().read(id), 12.0);
+    }
+}

@@ -1,0 +1,239 @@
+//! Newton–Raphson solvers for nonlinear algebraic systems.
+//!
+//! These are used by the implicit integrator in [`crate::integrate`] and by
+//! nonlinear component models such as the diode-bridge rectifier, which must
+//! solve `i = Is (exp(v/nVt) − 1)` style equations at every evaluation.
+
+use numkit::Matrix;
+
+use crate::{Result, SimError};
+
+/// Default iteration cap for all Newton solvers in this module.
+pub const DEFAULT_MAX_ITER: usize = 50;
+
+/// Solves `f(x) = 0` for scalar `x` with an analytic derivative.
+///
+/// Falls back to a damped step (halving) when a full Newton step does not
+/// reduce `|f|`, which makes the exponential diode equations converge from
+/// poor initial guesses.
+///
+/// # Errors
+///
+/// * [`SimError::NewtonDiverged`] if the residual does not fall below `tol`
+///   within `max_iter` iterations.
+/// * [`SimError::SingularJacobian`] if the derivative vanishes at an iterate.
+///
+/// # Example
+///
+/// ```
+/// // Root of x² − 2.
+/// let root = msim::newton::newton_scalar(
+///     |x| x * x - 2.0,
+///     |x| 2.0 * x,
+///     1.0,
+///     1e-12,
+///     50,
+/// ).expect("converges");
+/// assert!((root - 2.0_f64.sqrt()).abs() < 1e-10);
+/// ```
+pub fn newton_scalar<F, D>(f: F, df: D, x0: f64, tol: f64, max_iter: usize) -> Result<f64>
+where
+    F: Fn(f64) -> f64,
+    D: Fn(f64) -> f64,
+{
+    let mut x = x0;
+    let mut fx = f(x);
+    for _ in 0..max_iter {
+        if fx.abs() <= tol {
+            return Ok(x);
+        }
+        let d = df(x);
+        if d == 0.0 || !d.is_finite() {
+            return Err(SimError::SingularJacobian);
+        }
+        let mut step = fx / d;
+        // Damped update: halve the step until |f| decreases (at most 8 times).
+        let mut x_new = x - step;
+        let mut f_new = f(x_new);
+        let mut damping = 0;
+        while (!f_new.is_finite() || f_new.abs() > fx.abs()) && damping < 8 {
+            step *= 0.5;
+            x_new = x - step;
+            f_new = f(x_new);
+            damping += 1;
+        }
+        x = x_new;
+        fx = f_new;
+    }
+    if fx.abs() <= tol {
+        Ok(x)
+    } else {
+        Err(SimError::NewtonDiverged {
+            iterations: max_iter,
+            residual: fx.abs(),
+        })
+    }
+}
+
+/// Solves the vector system `F(x) = 0` using a finite-difference Jacobian.
+///
+/// `residual` writes `F(x)` into its output slice. The Jacobian is estimated
+/// with forward differences and factorised with partial-pivoting LU.
+///
+/// # Errors
+///
+/// * [`SimError::NewtonDiverged`] when the residual norm stays above `tol`.
+/// * [`SimError::SingularJacobian`] when the finite-difference Jacobian is
+///   singular.
+///
+/// # Example
+///
+/// ```
+/// // Intersection of the circle x²+y²=4 with the line y=x.
+/// let sol = msim::newton::newton_system(
+///     |x, out| {
+///         out[0] = x[0] * x[0] + x[1] * x[1] - 4.0;
+///         out[1] = x[1] - x[0];
+///     },
+///     &[1.0, 2.0],
+///     1e-12,
+///     50,
+/// ).expect("converges");
+/// assert!((sol[0] - 2.0_f64.sqrt()).abs() < 1e-8);
+/// ```
+pub fn newton_system<F>(residual: F, x0: &[f64], tol: f64, max_iter: usize) -> Result<Vec<f64>>
+where
+    F: Fn(&[f64], &mut [f64]),
+{
+    let n = x0.len();
+    let mut x = x0.to_vec();
+    let mut fx = vec![0.0; n];
+    let mut f_pert = vec![0.0; n];
+
+    for _ in 0..max_iter {
+        residual(&x, &mut fx);
+        let norm = fx.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if !norm.is_finite() {
+            return Err(SimError::NewtonDiverged {
+                iterations: max_iter,
+                residual: norm,
+            });
+        }
+        if norm <= tol {
+            return Ok(x);
+        }
+        // Forward-difference Jacobian.
+        let mut jac = Matrix::zeros(n, n);
+        for j in 0..n {
+            let h = 1e-7 * x[j].abs().max(1e-7);
+            let saved = x[j];
+            x[j] = saved + h;
+            residual(&x, &mut f_pert);
+            x[j] = saved;
+            for i in 0..n {
+                jac[(i, j)] = (f_pert[i] - fx[i]) / h;
+            }
+        }
+        let lu = jac.lu().map_err(|_| SimError::SingularJacobian)?;
+        let delta = lu
+            .solve_vec(&fx)
+            .map_err(|_| SimError::SingularJacobian)?;
+        for i in 0..n {
+            x[i] -= delta[i];
+        }
+    }
+    residual(&x, &mut fx);
+    let norm = fx.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if norm <= tol {
+        Ok(x)
+    } else {
+        Err(SimError::NewtonDiverged {
+            iterations: max_iter,
+            residual: norm,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_sqrt() {
+        let r = newton_scalar(|x| x * x - 9.0, |x| 2.0 * x, 5.0, 1e-13, 50).unwrap();
+        assert!((r - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scalar_diode_like_equation() {
+        // Solve Is (exp(v/vt) - 1) = 1 mA with Is = 1e-12, vt = 0.026.
+        let is = 1e-12;
+        let vt = 0.026;
+        let target = 1e-3;
+        let v = newton_scalar(
+            |v| is * ((v / vt).exp() - 1.0) - target,
+            |v| is / vt * (v / vt).exp(),
+            0.5,
+            1e-15,
+            100,
+        )
+        .unwrap();
+        let i = is * ((v / vt).exp() - 1.0);
+        assert!((i - target).abs() < 1e-9);
+        assert!(v > 0.4 && v < 0.7, "diode drop should be physical: {v}");
+    }
+
+    #[test]
+    fn scalar_zero_derivative_errors() {
+        let err = newton_scalar(|_x| 1.0, |_x| 0.0, 0.0, 1e-12, 10).unwrap_err();
+        assert_eq!(err, SimError::SingularJacobian);
+    }
+
+    #[test]
+    fn scalar_nonconvergent_reports_divergence() {
+        // f has no root; derivative nonzero.
+        let err = newton_scalar(|x: f64| x.exp(), |x| x.exp(), 0.0, 1e-12, 5).unwrap_err();
+        assert!(matches!(err, SimError::NewtonDiverged { .. }));
+    }
+
+    #[test]
+    fn system_linear_case_converges_in_one_step() {
+        let sol = newton_system(
+            |x, out| {
+                out[0] = 2.0 * x[0] + x[1] - 5.0;
+                out[1] = x[0] - x[1] + 1.0;
+            },
+            &[0.0, 0.0],
+            1e-10,
+            10,
+        )
+        .unwrap();
+        assert!((sol[0] - 4.0 / 3.0).abs() < 1e-6);
+        assert!((sol[1] - 7.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn system_nonlinear_circle_line() {
+        let sol = newton_system(
+            |x, out| {
+                out[0] = x[0] * x[0] + x[1] * x[1] - 2.0;
+                out[1] = x[0] - x[1];
+            },
+            &[0.5, 1.5],
+            1e-13,
+            50,
+        )
+        .unwrap();
+        assert!((sol[0] - 1.0).abs() < 1e-8);
+        assert!((sol[1] - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn system_singular_jacobian_detected() {
+        let err = newton_system(|_x, out| out.fill(1.0), &[0.0, 0.0], 1e-12, 5).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::SingularJacobian | SimError::NewtonDiverged { .. }
+        ));
+    }
+}

@@ -1,0 +1,231 @@
+//! Value Change Dump (VCD) export for simulation traces.
+//!
+//! SystemC and every HDL simulator dump waveforms as IEEE-1364 VCD files;
+//! this module gives the mixed-signal kernel the same capability, so a
+//! recorded [`Trace`] (for example the supercapacitor voltage of the
+//! paper's Fig. 5) opens directly in GTKWave or any other waveform
+//! viewer. Analogue quantities are emitted as VCD `real` variables.
+//!
+//! # Example
+//!
+//! ```
+//! use msim::{vcd, Trace};
+//!
+//! # fn main() -> std::io::Result<()> {
+//! let mut trace = Trace::new();
+//! trace.push(0.0, &[2.80, 0.0]);
+//! trace.push(0.5, &[2.79, 1e-3]);
+//! let mut out = Vec::new();
+//! vcd::write_trace(&mut out, &trace, &["v_cap", "z"], 1e-6)?;
+//! let text = String::from_utf8(out).expect("vcd is ascii");
+//! assert!(text.contains("$var real 64"));
+//! assert!(text.contains("#500000"));
+//! # Ok(())
+//! # }
+//! ```
+
+use std::io::{self, Write};
+
+use crate::Trace;
+
+/// Short printable id characters VCD uses to tag variables.
+const ID_CHARS: &[u8] = b"!\"#$%&'()*+,-./:;<=>?@[]^_`{|}~";
+
+/// Writes a multi-signal [`Trace`] as a VCD document.
+///
+/// `names` labels the state components (one VCD `real` variable each);
+/// `timescale_s` sets the VCD time unit in seconds (e.g. `1e-6` for a
+/// microsecond timescale — sample times are rounded to this grid).
+///
+/// # Errors
+///
+/// Propagates writer errors; rejects an empty or mismatched name list and
+/// a non-positive timescale with [`io::ErrorKind::InvalidInput`].
+pub fn write_trace<W: Write>(
+    writer: &mut W,
+    trace: &Trace,
+    names: &[&str],
+    timescale_s: f64,
+) -> io::Result<()> {
+    if names.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "vcd: need at least one signal name",
+        ));
+    }
+    if names.len() > ID_CHARS.len() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "vcd: too many signals for single-character ids",
+        ));
+    }
+    if !(timescale_s > 0.0 && timescale_s.is_finite()) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "vcd: timescale must be positive",
+        ));
+    }
+    if let Some(first) = trace.points().first() {
+        if first.state.len() != names.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "vcd: name count must match the state dimension",
+            ));
+        }
+    }
+
+    writeln!(writer, "$comment msim mixed-signal trace $end")?;
+    writeln!(writer, "$timescale {} $end", format_timescale(timescale_s))?;
+    writeln!(writer, "$scope module top $end")?;
+    for (i, name) in names.iter().enumerate() {
+        writeln!(
+            writer,
+            "$var real 64 {} {} $end",
+            ID_CHARS[i] as char,
+            sanitise(name)
+        )?;
+    }
+    writeln!(writer, "$upscope $end")?;
+    writeln!(writer, "$enddefinitions $end")?;
+
+    let mut last: Vec<Option<f64>> = vec![None; names.len()];
+    let mut last_tick: Option<u64> = None;
+    for point in trace.points() {
+        let tick = (point.time / timescale_s).round() as u64;
+        // Collect the components that changed since the last emission.
+        let changed: Vec<usize> = point
+            .state
+            .iter()
+            .enumerate()
+            .filter(|(i, v)| last[*i] != Some(**v))
+            .map(|(i, _)| i)
+            .collect();
+        if changed.is_empty() {
+            continue;
+        }
+        if last_tick != Some(tick) {
+            writeln!(writer, "#{tick}")?;
+            last_tick = Some(tick);
+        }
+        for i in changed {
+            let v = point.state[i];
+            writeln!(writer, "r{v:e} {}", ID_CHARS[i] as char)?;
+            last[i] = Some(v);
+        }
+    }
+    Ok(())
+}
+
+/// Writes a single named series of `(time_s, value)` samples as VCD.
+///
+/// Convenience wrapper over [`write_trace`] for quantities that are not
+/// stored in a [`Trace`] (e.g. a post-processed voltage series).
+///
+/// # Errors
+///
+/// Same conditions as [`write_trace`].
+pub fn write_series<W: Write>(
+    writer: &mut W,
+    name: &str,
+    samples: &[(f64, f64)],
+    timescale_s: f64,
+) -> io::Result<()> {
+    let mut trace = Trace::new();
+    for &(t, v) in samples {
+        trace.push(t, &[v]);
+    }
+    write_trace(writer, &trace, &[name], timescale_s)
+}
+
+/// Renders the timescale in the nearest standard VCD unit.
+fn format_timescale(seconds: f64) -> String {
+    const UNITS: [(f64, &str); 5] = [
+        (1.0, "s"),
+        (1e-3, "ms"),
+        (1e-6, "us"),
+        (1e-9, "ns"),
+        (1e-12, "ps"),
+    ];
+    for (scale, unit) in UNITS {
+        if seconds >= scale {
+            let count = (seconds / scale).round() as u64;
+            return format!("{} {}", count.max(1), unit);
+        }
+    }
+    "1 ps".to_owned()
+}
+
+/// VCD identifiers must not contain whitespace.
+fn sanitise(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_whitespace() { '_' } else { c })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let mut trace = Trace::new();
+        trace.push(0.0, &[2.8, 0.0]);
+        trace.push(1.0, &[2.79, 0.001]);
+        trace.push(2.0, &[2.79, 0.002]); // first signal unchanged
+        trace
+    }
+
+    #[test]
+    fn header_structure() {
+        let mut out = Vec::new();
+        write_trace(&mut out, &sample_trace(), &["v cap", "z"], 1e-3).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("$timescale 1 ms $end"));
+        assert!(text.contains("$var real 64 ! v_cap $end"), "{text}");
+        assert!(text.contains("$var real 64 \" z $end"));
+        assert!(text.contains("$enddefinitions $end"));
+    }
+
+    #[test]
+    fn emits_only_changes() {
+        let mut out = Vec::new();
+        write_trace(&mut out, &sample_trace(), &["v", "z"], 1e-3).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        // Timestamps in ms ticks.
+        assert!(text.contains("#0"));
+        assert!(text.contains("#1000"));
+        assert!(text.contains("#2000"));
+        // At t=2 s only the second signal changed: exactly one value line
+        // after "#2000".
+        let after: Vec<&str> = text.split("#2000\n").nth(1).unwrap().lines().collect();
+        assert_eq!(after.len(), 1, "expected one change line, got {after:?}");
+        assert!(after[0].ends_with('"'));
+    }
+
+    #[test]
+    fn single_series_roundtrip() {
+        let mut out = Vec::new();
+        write_series(&mut out, "voltage", &[(0.0, 2.8), (10.0, 2.75)], 1.0).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("$timescale 1 s $end"));
+        assert!(text.contains("voltage"));
+        assert!(text.contains("#10"));
+        assert!(text.contains("r2.75e0 !"));
+    }
+
+    #[test]
+    fn input_validation() {
+        let mut out = Vec::new();
+        assert!(write_trace(&mut out, &sample_trace(), &[], 1e-3).is_err());
+        assert!(write_trace(&mut out, &sample_trace(), &["a", "b"], 0.0).is_err());
+        assert!(write_trace(&mut out, &sample_trace(), &["only_one"], 1e-3).is_err());
+    }
+
+    #[test]
+    fn timescale_formatting() {
+        assert_eq!(format_timescale(1.0), "1 s");
+        assert_eq!(format_timescale(1e-3), "1 ms");
+        assert_eq!(format_timescale(2e-6), "2 us");
+        assert_eq!(format_timescale(1e-9), "1 ns");
+        assert_eq!(format_timescale(1e-13), "1 ps");
+    }
+}

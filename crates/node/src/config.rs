@@ -1,0 +1,232 @@
+use harvester::{Microgenerator, Supercapacitor, TuningMechanism, VibrationProfile};
+
+use crate::sensor::TX_INTERVAL_RANGE;
+use crate::mcu::CLOCK_RANGE;
+use crate::{NodeError, Result};
+
+/// Valid watchdog wake-up range (Table V): 60 – 600 s.
+pub const WATCHDOG_RANGE: (f64, f64) = (60.0, 600.0);
+
+/// The three optimisation parameters of the paper (Table V).
+///
+/// | parameter        | range           | coded symbol |
+/// |------------------|-----------------|--------------|
+/// | `clock_hz`       | 125 kHz – 8 MHz | x1           |
+/// | `watchdog_s`     | 60 – 600 s      | x2           |
+/// | `tx_interval_s`  | 0.005 – 10 s    | x3           |
+///
+/// # Example
+///
+/// ```
+/// let original = wsn_node::NodeConfig::original();
+/// assert_eq!(original.clock_hz, 4e6);
+/// assert_eq!(original.watchdog_s, 320.0);
+/// assert_eq!(original.tx_interval_s, 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeConfig {
+    /// Microcontroller clock frequency (Hz).
+    pub clock_hz: f64,
+    /// Watchdog timer wake-up period (s).
+    pub watchdog_s: f64,
+    /// Transmission interval above 2.8 V (s).
+    pub tx_interval_s: f64,
+}
+
+impl NodeConfig {
+    /// Creates a configuration, validating every parameter against its
+    /// Table V range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NodeError::ParameterOutOfRange`] naming the offending
+    /// parameter.
+    pub fn new(clock_hz: f64, watchdog_s: f64, tx_interval_s: f64) -> Result<Self> {
+        if !(clock_hz >= CLOCK_RANGE.0 && clock_hz <= CLOCK_RANGE.1) {
+            return Err(NodeError::ParameterOutOfRange {
+                name: "clock_hz",
+                value: clock_hz,
+                range: CLOCK_RANGE,
+            });
+        }
+        if !(watchdog_s >= WATCHDOG_RANGE.0 && watchdog_s <= WATCHDOG_RANGE.1) {
+            return Err(NodeError::ParameterOutOfRange {
+                name: "watchdog_s",
+                value: watchdog_s,
+                range: WATCHDOG_RANGE,
+            });
+        }
+        if !(tx_interval_s >= TX_INTERVAL_RANGE.0 && tx_interval_s <= TX_INTERVAL_RANGE.1) {
+            return Err(NodeError::ParameterOutOfRange {
+                name: "tx_interval_s",
+                value: tx_interval_s,
+                range: TX_INTERVAL_RANGE,
+            });
+        }
+        Ok(NodeConfig {
+            clock_hz,
+            watchdog_s,
+            tx_interval_s,
+        })
+    }
+
+    /// The paper's original design (Table VI column 1): 4 MHz, 320 s, 5 s.
+    pub fn original() -> Self {
+        NodeConfig {
+            clock_hz: 4e6,
+            watchdog_s: 320.0,
+            tx_interval_s: 5.0,
+        }
+    }
+
+    /// The paper's Simulated-Annealing optimum (Table VI column 2):
+    /// 8 MHz, 60 s, 0.005 s.
+    pub fn sa_optimised() -> Self {
+        NodeConfig {
+            clock_hz: 8e6,
+            watchdog_s: 60.0,
+            tx_interval_s: 0.005,
+        }
+    }
+
+    /// The paper's Genetic-Algorithm optimum (Table VI column 3):
+    /// 125 kHz, 600 s, 3.065 s.
+    pub fn ga_optimised() -> Self {
+        NodeConfig {
+            clock_hz: 125e3,
+            watchdog_s: 600.0,
+            tx_interval_s: 3.065,
+        }
+    }
+}
+
+/// Complete description of one simulated experiment: the node
+/// configuration, the physical models, the vibration scenario and the
+/// horizon.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// The three optimisation parameters.
+    pub node: NodeConfig,
+    /// Microgenerator model.
+    pub generator: Microgenerator,
+    /// Tuning mechanism model.
+    pub tuning: TuningMechanism,
+    /// Supercapacitor model.
+    pub storage: Supercapacitor,
+    /// Ambient vibration scenario.
+    pub vibration: VibrationProfile,
+    /// Simulated horizon (s).
+    pub horizon: f64,
+    /// Supercapacitor voltage at `t = 0` (V).
+    pub initial_voltage: f64,
+    /// `true` if the harvester starts tuned to the initial vibration
+    /// frequency (a commissioned node); `false` starts at position 0.
+    pub start_tuned: bool,
+    /// Voltage-trace sampling interval; `None` disables tracing.
+    pub trace_interval: Option<f64>,
+}
+
+impl SystemConfig {
+    /// The paper's evaluation scenario: paper-calibrated physics, 60 mg
+    /// stepped-frequency vibration starting at 75 Hz, one-hour horizon,
+    /// commissioned (tuned) start at 2.8 V, 10 s voltage trace.
+    pub fn paper(node: NodeConfig) -> Self {
+        SystemConfig {
+            node,
+            generator: Microgenerator::paper(),
+            tuning: TuningMechanism::paper(),
+            storage: Supercapacitor::paper(),
+            vibration: VibrationProfile::paper_profile(75.0),
+            horizon: 3600.0,
+            initial_voltage: 2.8,
+            start_tuned: true,
+            trace_interval: Some(10.0),
+        }
+    }
+
+    /// Replaces the vibration scenario.
+    pub fn with_vibration(mut self, vibration: VibrationProfile) -> Self {
+        self.vibration = vibration;
+        self
+    }
+
+    /// Replaces the horizon.
+    pub fn with_horizon(mut self, horizon: f64) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Replaces the initial voltage.
+    pub fn with_initial_voltage(mut self, v: f64) -> Self {
+        self.initial_voltage = v;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_vi_presets() {
+        let o = NodeConfig::original();
+        assert_eq!((o.clock_hz, o.watchdog_s, o.tx_interval_s), (4e6, 320.0, 5.0));
+        let sa = NodeConfig::sa_optimised();
+        assert_eq!(
+            (sa.clock_hz, sa.watchdog_s, sa.tx_interval_s),
+            (8e6, 60.0, 0.005)
+        );
+        let ga = NodeConfig::ga_optimised();
+        assert_eq!(
+            (ga.clock_hz, ga.watchdog_s, ga.tx_interval_s),
+            (125e3, 600.0, 3.065)
+        );
+    }
+
+    #[test]
+    fn presets_are_valid_configurations() {
+        for preset in [
+            NodeConfig::original(),
+            NodeConfig::sa_optimised(),
+            NodeConfig::ga_optimised(),
+        ] {
+            assert!(
+                NodeConfig::new(preset.clock_hz, preset.watchdog_s, preset.tx_interval_s).is_ok()
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_parameters_named() {
+        let e = NodeConfig::new(1e9, 320.0, 5.0).unwrap_err();
+        assert!(matches!(
+            e,
+            NodeError::ParameterOutOfRange { name: "clock_hz", .. }
+        ));
+        let e = NodeConfig::new(4e6, 10.0, 5.0).unwrap_err();
+        assert!(matches!(
+            e,
+            NodeError::ParameterOutOfRange { name: "watchdog_s", .. }
+        ));
+        let e = NodeConfig::new(4e6, 320.0, 100.0).unwrap_err();
+        assert!(matches!(
+            e,
+            NodeError::ParameterOutOfRange {
+                name: "tx_interval_s",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn paper_system_defaults() {
+        let cfg = SystemConfig::paper(NodeConfig::original());
+        assert_eq!(cfg.horizon, 3600.0);
+        assert_eq!(cfg.initial_voltage, 2.8);
+        assert!(cfg.start_tuned);
+        assert_eq!(cfg.vibration.dominant_frequency(0.0), 75.0);
+        let cfg = cfg.with_horizon(100.0).with_initial_voltage(2.9);
+        assert_eq!(cfg.horizon, 100.0);
+        assert_eq!(cfg.initial_voltage, 2.9);
+    }
+}

@@ -1,0 +1,475 @@
+use std::collections::VecDeque;
+
+use crate::firmware::FirmwareAction;
+use crate::metrics::{EnergyBreakdown, SimOutcome, VoltageSample};
+use crate::power::MCU_SLEEP_CURRENT;
+use crate::sensor::TransmissionDecision;
+use crate::{Mcu, SensorNode, SystemConfig, TuningFirmware};
+
+/// The accelerated envelope simulation engine.
+///
+/// This is the workhorse of the design space exploration — the substitute
+/// for the linearised state-space acceleration of the paper's ref \[9\].
+/// Instead of integrating the ~80 Hz mechanical oscillation, it evolves
+/// the *envelope*: the supercapacitor voltage under the cycle-averaged
+/// rectifier current ([`harvester::Microgenerator::steady_state`]), with
+/// the digital activity (transmissions, watchdog cycles, tuning moves) as
+/// timed energy withdrawals on an event queue. A one-hour scenario runs in
+/// milliseconds, which is what makes the DOE + optimisation flow over the
+/// simulator practical.
+///
+/// Fidelity is validated against [`crate::FullSystemSim`] by the
+/// `engine_ablation` bench and the cross-engine integration tests.
+///
+/// # Example
+///
+/// ```
+/// use wsn_node::{EnvelopeSim, NodeConfig, SystemConfig};
+///
+/// let outcome = EnvelopeSim::new(SystemConfig::paper(NodeConfig::original())).run();
+/// assert!(outcome.transmissions > 0);
+/// assert!(outcome.energy.harvested > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EnvelopeSim {
+    config: SystemConfig,
+}
+
+/// Maximum envelope integration segment (s): bounds how stale the cached
+/// harvest current may become.
+const MAX_SEGMENT: f64 = 5.0;
+
+/// Voltage movement that invalidates the cached harvest operating point.
+const CACHE_V_TOL: f64 = 2e-3;
+
+/// Energy withdrawal category (for the breakdown accounting).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Consumer {
+    Mcu,
+    Actuator,
+    Accelerometer,
+}
+
+/// A pending timed energy withdrawal from an in-flight firmware cycle.
+#[derive(Debug, Clone, Copy)]
+struct PendingDraw {
+    completes_at: f64,
+    energy: f64,
+    consumer: Consumer,
+}
+
+impl EnvelopeSim {
+    /// Creates an engine for the given experiment description.
+    pub fn new(config: SystemConfig) -> Self {
+        EnvelopeSim { config }
+    }
+
+    /// The experiment description.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Runs the scenario to its horizon.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node configuration violates its Table V ranges
+    /// (construct configs through [`crate::NodeConfig::new`] to get a
+    /// `Result` instead).
+    pub fn run(&self) -> SimOutcome {
+        let cfg = &self.config;
+        let mcu = Mcu::new(cfg.node.clock_hz).expect("clock within Table V range");
+        let node = SensorNode::new(cfg.node.tx_interval_s).expect("interval within range");
+        let mut firmware = TuningFirmware::new(
+            mcu,
+            cfg.tuning.clone(),
+            crate::Actuator::paper(),
+            crate::Accelerometer::paper(),
+        );
+        if cfg.start_tuned {
+            let f0 = cfg.vibration.dominant_frequency(0.0);
+            firmware.set_position(cfg.tuning.position_for_frequency(f0));
+        }
+
+        let mut state = State {
+            t: 0.0,
+            v: cfg.initial_voltage,
+            energy: EnergyBreakdown::default(),
+            trace: Vec::new(),
+            sample_count: 0,
+            cached_harvest: None,
+        };
+
+        let sleep_current = node.sleep_current() + MCU_SLEEP_CURRENT;
+        let mut next_tx = 0.0_f64;
+        let mut next_wd = cfg.node.watchdog_s;
+        let mut pending: VecDeque<PendingDraw> = VecDeque::new();
+
+        let mut transmissions = 0u64;
+        let mut watchdog_wakes = 0u64;
+        let mut coarse_moves = 0u64;
+        let mut fine_steps = 0u64;
+
+        loop {
+            let mut t_event = next_tx;
+            if pending.is_empty() {
+                t_event = t_event.min(next_wd);
+            } else {
+                t_event = t_event.min(pending.front().expect("non-empty").completes_at);
+            }
+            // Events exactly at the horizon still fire (matching the
+            // discrete-event semantics of the full co-simulation).
+            if t_event > cfg.horizon {
+                self.advance(&mut state, cfg.horizon, &firmware, sleep_current);
+                break;
+            }
+
+            self.advance(&mut state, t_event, &firmware, sleep_current);
+
+            // Firmware action completions.
+            while let Some(front) = pending.front() {
+                if front.completes_at > state.t + 1e-12 {
+                    break;
+                }
+                let draw = pending.pop_front().expect("checked non-empty");
+                state.withdraw(draw.energy, cfg);
+                match draw.consumer {
+                    Consumer::Mcu => state.energy.mcu += draw.energy,
+                    Consumer::Actuator => state.energy.actuator += draw.energy,
+                    Consumer::Accelerometer => state.energy.accelerometer += draw.energy,
+                }
+                state.cached_harvest = None;
+                if pending.is_empty() {
+                    // Algorithm 1 line 2: sleep for the watchdog period
+                    // after the tuning cycle completes.
+                    next_wd = state.t + cfg.node.watchdog_s;
+                }
+            }
+
+            // Transmission schedule (the sensor node runs independently of
+            // the tuning MCU).
+            if next_tx <= state.t + 1e-12 {
+                match node.decide(state.v) {
+                    TransmissionDecision::Skip { recheck_after } => {
+                        next_tx = state.t + recheck_after;
+                    }
+                    TransmissionDecision::Transmit { next_after } => {
+                        let e = node.tx_energy(state.v);
+                        state.withdraw(e, cfg);
+                        state.energy.transmission += e;
+                        transmissions += 1;
+                        next_tx = state.t + next_after.max(node.tx_duration());
+                    }
+                }
+            }
+
+            // Watchdog wake (only while no firmware cycle is in flight).
+            if pending.is_empty() && next_wd <= state.t + 1e-12 {
+                watchdog_wakes += 1;
+                let f_vib = cfg.vibration.dominant_frequency(state.t);
+                let outcome = firmware.wake(f_vib, state.v);
+                state.cached_harvest = None; // position may have changed
+                let mut completes = state.t;
+                for action in &outcome.actions {
+                    completes += action.duration();
+                    match action {
+                        FirmwareAction::SkipLowVoltage => {}
+                        FirmwareAction::MeasureFrequency { energy, .. } => {
+                            pending.push_back(PendingDraw {
+                                completes_at: completes,
+                                energy: *energy,
+                                consumer: Consumer::Mcu,
+                            });
+                        }
+                        FirmwareAction::CoarseMove {
+                            steps,
+                            actuator_energy,
+                            mcu_energy,
+                            ..
+                        } => {
+                            coarse_moves += 1;
+                            fine_steps += 0;
+                            let _ = steps;
+                            pending.push_back(PendingDraw {
+                                completes_at: completes,
+                                energy: *actuator_energy,
+                                consumer: Consumer::Actuator,
+                            });
+                            pending.push_back(PendingDraw {
+                                completes_at: completes,
+                                energy: *mcu_energy,
+                                consumer: Consumer::Mcu,
+                            });
+                        }
+                        FirmwareAction::FineIteration {
+                            moved,
+                            accel_energy,
+                            mcu_energy,
+                            actuator_energy,
+                            ..
+                        } => {
+                            if *moved {
+                                fine_steps += 1;
+                            }
+                            pending.push_back(PendingDraw {
+                                completes_at: completes,
+                                energy: *accel_energy,
+                                consumer: Consumer::Accelerometer,
+                            });
+                            pending.push_back(PendingDraw {
+                                completes_at: completes,
+                                energy: *mcu_energy,
+                                consumer: Consumer::Mcu,
+                            });
+                            if *actuator_energy > 0.0 {
+                                pending.push_back(PendingDraw {
+                                    completes_at: completes,
+                                    energy: *actuator_energy,
+                                    consumer: Consumer::Actuator,
+                                });
+                            }
+                        }
+                    }
+                }
+                if pending.is_empty() {
+                    // Skipped cycle (low voltage): plain periodic wake.
+                    next_wd = state.t + cfg.node.watchdog_s;
+                }
+            }
+        }
+
+        // Final trace sample at the horizon.
+        if cfg.trace_interval.is_some() {
+            state.trace.push(VoltageSample {
+                time: state.t,
+                voltage: state.v,
+            });
+        }
+
+        SimOutcome {
+            transmissions,
+            watchdog_wakes,
+            coarse_moves,
+            fine_steps,
+            final_voltage: state.v,
+            final_position: firmware.position(),
+            energy: state.energy,
+            trace: state.trace,
+            horizon: cfg.horizon,
+        }
+    }
+
+    /// Advances the envelope from `state.t` to `to`, integrating harvest,
+    /// sleep and leakage currents.
+    fn advance(
+        &self,
+        state: &mut State,
+        to: f64,
+        firmware: &TuningFirmware,
+        sleep_current: f64,
+    ) {
+        let cfg = &self.config;
+        while state.t < to - 1e-12 {
+            // Trace sampling boundary.
+            let next_sample = cfg
+                .trace_interval
+                .map(|dt| state.sample_count as f64 * dt);
+            if let Some(ts) = next_sample {
+                if ts <= state.t {
+                    state.trace.push(VoltageSample {
+                        time: state.t,
+                        voltage: state.v,
+                    });
+                    state.sample_count += 1;
+                    continue;
+                }
+            }
+            let mut seg_end = (state.t + MAX_SEGMENT).min(to);
+            if let Some(ts) = next_sample {
+                seg_end = seg_end.min(ts);
+            }
+            if let Some(change) = cfg.vibration.next_change_after(state.t) {
+                seg_end = seg_end.min(change);
+            }
+            let dt = seg_end - state.t;
+
+            let f_vib = cfg.vibration.dominant_frequency(state.t);
+            let f_res = firmware.resonant_frequency();
+            let i_harvest = state.harvest_current(cfg, f_vib, f_res);
+
+            let i_leak = cfg.storage.leakage_current(state.v);
+            let dv = cfg
+                .storage
+                .voltage_rate(i_harvest - sleep_current - i_leak)
+                * dt;
+            state.energy.harvested += i_harvest * state.v * dt;
+            state.energy.sleep += sleep_current * state.v * dt;
+            state.energy.leakage += i_leak * state.v * dt;
+            state.v = (state.v + dv).max(0.0);
+            state.t = seg_end;
+
+            // Voltage moved: the cached operating point may be stale.
+            if let Some((_, _, v_cache, _)) = state.cached_harvest {
+                if (state.v - v_cache).abs() > CACHE_V_TOL {
+                    state.cached_harvest = None;
+                }
+            }
+        }
+        state.t = to.max(state.t);
+    }
+}
+
+/// Mutable simulation state.
+#[derive(Debug, Clone)]
+struct State {
+    t: f64,
+    v: f64,
+    energy: EnergyBreakdown,
+    trace: Vec<VoltageSample>,
+    sample_count: u64,
+    /// `(f_vib, f_res, v, current)` of the last steady-state solve.
+    cached_harvest: Option<(f64, f64, f64, f64)>,
+}
+
+impl State {
+    fn withdraw(&mut self, energy: f64, cfg: &SystemConfig) {
+        self.v = cfg.storage.voltage_after_discharge(self.v, energy);
+    }
+
+    fn harvest_current(&mut self, cfg: &SystemConfig, f_vib: f64, f_res: f64) -> f64 {
+        if let Some((fv, fr, v, i)) = self.cached_harvest {
+            if fv == f_vib && fr == f_res && (self.v - v).abs() <= CACHE_V_TOL {
+                return i;
+            }
+        }
+        let ss = cfg
+            .generator
+            .steady_state(f_vib, f_res, cfg.vibration.amplitude(), self.v);
+        self.cached_harvest = Some((f_vib, f_res, self.v, ss.current_avg));
+        ss.current_avg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeConfig;
+    use harvester::VibrationProfile;
+
+    fn short_config(node: NodeConfig, horizon: f64) -> SystemConfig {
+        SystemConfig::paper(node).with_horizon(horizon)
+    }
+
+    #[test]
+    fn original_design_transmits() {
+        let out = EnvelopeSim::new(short_config(NodeConfig::original(), 600.0)).run();
+        // Tuned start above 2.8 V with a 5 s interval: roughly one tx
+        // per 5 s for the first 10 minutes.
+        assert!(
+            out.transmissions >= 80 && out.transmissions <= 130,
+            "expected ~120 transmissions, got {}",
+            out.transmissions
+        );
+        assert!(out.energy.harvested > 0.0);
+        assert!(out.final_voltage > 2.0);
+    }
+
+    #[test]
+    fn watchdog_cadence_matches_config() {
+        let out = EnvelopeSim::new(short_config(NodeConfig::original(), 1000.0)).run();
+        // 320 s watchdog: wakes near t = 320, 640, 960 → 3 wakes.
+        assert!(
+            (2..=4).contains(&out.watchdog_wakes),
+            "wakes = {}",
+            out.watchdog_wakes
+        );
+    }
+
+    #[test]
+    fn frequency_step_causes_retuning() {
+        // Horizon past the first 25-minute frequency step.
+        let out = EnvelopeSim::new(short_config(NodeConfig::original(), 2000.0)).run();
+        assert!(
+            out.coarse_moves >= 1,
+            "the +5 Hz step at 1500 s must trigger a coarse move"
+        );
+        assert!(out.final_position > 0);
+    }
+
+    #[test]
+    fn no_harvest_when_heavily_detuned_drains_capacitor() {
+        // Vibration far outside the tunable band at position 0 and no
+        // retune possible within range: the node lives off the capacitor.
+        let cfg = SystemConfig::paper(NodeConfig::original())
+            .with_vibration(VibrationProfile::sine(67.6, 0.59))
+            .with_horizon(600.0);
+        let mut cfg = cfg;
+        cfg.start_tuned = false;
+        cfg.vibration = VibrationProfile::sine(40.0, 0.59); // untunable
+        let out = EnvelopeSim::new(cfg).run();
+        assert!(
+            out.final_voltage < 2.8,
+            "without harvest the voltage must fall: {}",
+            out.final_voltage
+        );
+    }
+
+    #[test]
+    fn trace_is_time_ordered_and_covers_horizon() {
+        let out = EnvelopeSim::new(short_config(NodeConfig::original(), 300.0)).run();
+        assert!(!out.trace.is_empty());
+        for w in out.trace.windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+        let last = out.trace.last().expect("non-empty");
+        assert!((last.time - 300.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn energy_balance_is_consistent() {
+        let cfg = short_config(NodeConfig::original(), 1800.0);
+        let out = EnvelopeSim::new(cfg.clone()).run();
+        // ΔE_stored = harvested − consumed, within integration slack.
+        let e0 = cfg.storage.energy(cfg.initial_voltage);
+        let e1 = cfg.storage.energy(out.final_voltage);
+        let delta = e1 - e0;
+        let net = out.energy.net();
+        assert!(
+            (delta - net).abs() < 0.05 * net.abs().max(0.05),
+            "stored Δ {delta} vs net {net}"
+        );
+    }
+
+    #[test]
+    fn faster_interval_transmits_more_when_energy_rich() {
+        let fast = NodeConfig::new(4e6, 320.0, 1.0).unwrap();
+        let slow = NodeConfig::new(4e6, 320.0, 10.0).unwrap();
+        let out_fast = EnvelopeSim::new(short_config(fast, 600.0)).run();
+        let out_slow = EnvelopeSim::new(short_config(slow, 600.0)).run();
+        assert!(
+            out_fast.transmissions > out_slow.transmissions,
+            "fast {} vs slow {}",
+            out_fast.transmissions,
+            out_slow.transmissions
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = EnvelopeSim::new(short_config(NodeConfig::original(), 900.0)).run();
+        let b = EnvelopeSim::new(short_config(NodeConfig::original(), 900.0)).run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn full_hour_runs_quickly_and_sanely() {
+        let out = EnvelopeSim::new(SystemConfig::paper(NodeConfig::original())).run();
+        assert!(
+            out.transmissions > 100 && out.transmissions < 2000,
+            "original design transmissions: {}",
+            out.transmissions
+        );
+        assert!(out.watchdog_wakes >= 5);
+        assert!(out.final_voltage > 2.0 && out.final_voltage < 3.5);
+    }
+}

@@ -1,0 +1,78 @@
+use std::fmt;
+
+/// Error type for node configuration and simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NodeError {
+    /// A configuration parameter is outside its Table V range.
+    ParameterOutOfRange {
+        /// Parameter name.
+        name: &'static str,
+        /// Supplied value.
+        value: f64,
+        /// Valid range.
+        range: (f64, f64),
+    },
+    /// An invalid argument was supplied.
+    InvalidArgument(&'static str),
+    /// A harvester-layer failure.
+    Harvester(harvester::HarvesterError),
+    /// A simulation-kernel failure.
+    Sim(msim::SimError),
+}
+
+impl fmt::Display for NodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeError::ParameterOutOfRange { name, value, range } => write!(
+                f,
+                "parameter {name} = {value} outside range [{}, {}]",
+                range.0, range.1
+            ),
+            NodeError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            NodeError::Harvester(e) => write!(f, "harvester failure: {e}"),
+            NodeError::Sim(e) => write!(f, "simulation failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NodeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NodeError::Harvester(e) => Some(e),
+            NodeError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<harvester::HarvesterError> for NodeError {
+    fn from(e: harvester::HarvesterError) -> Self {
+        NodeError::Harvester(e)
+    }
+}
+
+impl From<msim::SimError> for NodeError {
+    fn from(e: msim::SimError) -> Self {
+        NodeError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e = NodeError::ParameterOutOfRange {
+            name: "clock_hz",
+            value: 1e9,
+            range: (125e3, 8e6),
+        };
+        assert!(e.to_string().contains("clock_hz"));
+        let e: NodeError = msim::SimError::SingularJacobian.into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e: NodeError = harvester::HarvesterError::UnknownLoad(3).into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

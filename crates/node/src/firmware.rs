@@ -1,0 +1,488 @@
+use harvester::TuningMechanism;
+
+use crate::{Accelerometer, Actuator, Mcu};
+
+/// One timed, energy-costed step taken by the firmware during a watchdog
+/// cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FirmwareAction {
+    /// Voltage below the 2.6 V actuator threshold: back to sleep
+    /// (Algorithm 1 line 3).
+    SkipLowVoltage,
+    /// Timer1 frequency measurement over eight generator periods
+    /// (Algorithm 1 lines 4–9).
+    MeasureFrequency {
+        /// Wall-clock duration (s).
+        duration: f64,
+        /// MCU energy (J).
+        energy: f64,
+    },
+    /// Coarse-grain tuning: bulk actuator move to the lookup-table
+    /// position (Algorithm 2).
+    CoarseMove {
+        /// Steps moved.
+        steps: u32,
+        /// Actuator position when the move completes.
+        position_after: u8,
+        /// Wall-clock duration including the 5 s settle (s).
+        duration: f64,
+        /// Actuator energy (J).
+        actuator_energy: f64,
+        /// MCU computation energy (J).
+        mcu_energy: f64,
+    },
+    /// One fine-grain iteration: phase measurement, and possibly a single
+    /// actuator step (Algorithm 3).
+    FineIteration {
+        /// Whether the actuator moved this iteration.
+        moved: bool,
+        /// Fine-tuning frequency offset once this iteration completes (Hz).
+        offset_after: f64,
+        /// Wall-clock duration (s).
+        duration: f64,
+        /// Accelerometer energy (J).
+        accel_energy: f64,
+        /// MCU energy (J).
+        mcu_energy: f64,
+        /// Actuator energy (J), zero when `moved` is false.
+        actuator_energy: f64,
+    },
+}
+
+impl FirmwareAction {
+    /// Wall-clock duration of the action (s).
+    pub fn duration(&self) -> f64 {
+        match *self {
+            FirmwareAction::SkipLowVoltage => 0.0,
+            FirmwareAction::MeasureFrequency { duration, .. } => duration,
+            FirmwareAction::CoarseMove { duration, .. } => duration,
+            FirmwareAction::FineIteration { duration, .. } => duration,
+        }
+    }
+
+    /// Total energy of the action (J).
+    pub fn energy(&self) -> f64 {
+        match *self {
+            FirmwareAction::SkipLowVoltage => 0.0,
+            FirmwareAction::MeasureFrequency { energy, .. } => energy,
+            FirmwareAction::CoarseMove {
+                actuator_energy,
+                mcu_energy,
+                ..
+            } => actuator_energy + mcu_energy,
+            FirmwareAction::FineIteration {
+                accel_energy,
+                mcu_energy,
+                actuator_energy,
+                ..
+            } => accel_energy + mcu_energy + actuator_energy,
+        }
+    }
+}
+
+/// Everything that happened during one watchdog wake-up.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WakeOutcome {
+    /// The actions in execution order.
+    pub actions: Vec<FirmwareAction>,
+    /// Actuator position after the cycle.
+    pub position: u8,
+    /// Fine-tuning frequency offset after the cycle (Hz, added to the
+    /// lookup-table resonance of `position`).
+    pub fine_offset_hz: f64,
+}
+
+impl WakeOutcome {
+    /// Total wall-clock duration of the cycle (s).
+    pub fn total_duration(&self) -> f64 {
+        self.actions.iter().map(FirmwareAction::duration).sum()
+    }
+
+    /// Total energy of the cycle (J).
+    pub fn total_energy(&self) -> f64 {
+        self.actions.iter().map(FirmwareAction::energy).sum()
+    }
+}
+
+/// The harvester tuning firmware: Algorithms 1–3 of the paper as an
+/// explicit state machine.
+///
+/// Both simulation engines drive the same firmware: at each watchdog
+/// wake-up, [`wake`](Self::wake) executes one full Algorithm 1 cycle
+/// against the current plant state (true vibration frequency, store
+/// voltage) and reports the timed, energy-costed actions plus the new
+/// tuning state.
+///
+/// Clock-frequency effects enter through the [`Mcu`] model: measurement
+/// energy scales with the clock, while the *measured* frequency and phase
+/// quantise to the clock-dependent polling resolution — low clocks
+/// mis-read the vibration frequency and exit Algorithm 3 on a phase
+/// reading that quantised to zero.
+///
+/// # Example
+///
+/// ```
+/// use harvester::TuningMechanism;
+/// use wsn_node::{Mcu, TuningFirmware};
+///
+/// # fn main() -> Result<(), wsn_node::NodeError> {
+/// let mut fw = TuningFirmware::paper(Mcu::new(4e6)?);
+/// // First wake with the plant at 80 Hz: the firmware retunes.
+/// let outcome = fw.wake(80.0, 2.8);
+/// assert!(outcome.total_energy() > 0.0);
+/// assert!((fw.resonant_frequency() - 80.0).abs() < 0.3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TuningFirmware {
+    mcu: Mcu,
+    tuning: TuningMechanism,
+    actuator: Actuator,
+    accelerometer: Accelerometer,
+    /// Effective (loaded) damping ratio used for the phase–detuning map.
+    zeta_eff: f64,
+    /// Frequency shift of one fine-tuning actuator microstep (Hz).
+    fine_step_hz: f64,
+    /// Algorithm 3 exit threshold on the measured phase offset (s).
+    phase_threshold: f64,
+    /// Cap on fine-tuning iterations per wake cycle.
+    max_fine_iterations: u32,
+    position: u8,
+    fine_offset_hz: f64,
+}
+
+/// Algorithm 1/3: "the phase difference is less than 100 µs".
+pub const PHASE_THRESHOLD: f64 = 100e-6;
+
+/// Minimum supercapacitor voltage for the actuator (Algorithm 1 line 3).
+pub const V_MIN_TUNING: f64 = 2.6;
+
+impl TuningFirmware {
+    /// Creates the firmware with paper-calibrated peripherals and the
+    /// given MCU.
+    pub fn paper(mcu: Mcu) -> Self {
+        TuningFirmware::new(
+            mcu,
+            TuningMechanism::paper(),
+            Actuator::paper(),
+            Accelerometer::paper(),
+        )
+    }
+
+    /// Creates the firmware from explicit component models.
+    pub fn new(
+        mcu: Mcu,
+        tuning: TuningMechanism,
+        actuator: Actuator,
+        accelerometer: Accelerometer,
+    ) -> Self {
+        TuningFirmware {
+            mcu,
+            tuning,
+            actuator,
+            accelerometer,
+            zeta_eff: 0.007,
+            fine_step_hz: 0.04,
+            phase_threshold: PHASE_THRESHOLD,
+            max_fine_iterations: 8,
+            position: 0,
+            fine_offset_hz: 0.0,
+        }
+    }
+
+    /// Overrides the effective damping ratio of the phase–detuning map.
+    pub fn set_zeta_eff(&mut self, zeta: f64) {
+        self.zeta_eff = zeta;
+    }
+
+    /// Presets the actuator position (e.g. "commissioned tuned").
+    pub fn set_position(&mut self, position: u8) {
+        self.position = position;
+        self.fine_offset_hz = 0.0;
+    }
+
+    /// Current actuator position.
+    pub fn position(&self) -> u8 {
+        self.position
+    }
+
+    /// Current fine-tuning offset (Hz).
+    pub fn fine_offset_hz(&self) -> f64 {
+        self.fine_offset_hz
+    }
+
+    /// The effective resonant frequency of the generator under this
+    /// firmware's tuning state (Hz).
+    pub fn resonant_frequency(&self) -> f64 {
+        self.tuning.resonant_frequency(self.position) + self.fine_offset_hz
+    }
+
+    /// The MCU model.
+    pub fn mcu(&self) -> &Mcu {
+        &self.mcu
+    }
+
+    /// The tuning mechanism (lookup table).
+    pub fn tuning(&self) -> &TuningMechanism {
+        &self.tuning
+    }
+
+    /// True phase offset (s) between accelerometer and generator signals
+    /// for a detuning of `detune_hz` at vibration frequency `f_vib`:
+    /// deviation from the 90° resonance phase, `atan(Δf/(ζ_eff f)) / 2πf`.
+    pub fn phase_offset_time(&self, detune_hz: f64, f_vib: f64) -> f64 {
+        let dev = (detune_hz / (self.zeta_eff * f_vib)).atan();
+        dev / (2.0 * std::f64::consts::PI * f_vib)
+    }
+
+    /// Executes one Algorithm 1 watchdog cycle against the plant.
+    ///
+    /// `true_vib_hz` is the actual dominant vibration frequency and
+    /// `v_store` the supercapacitor voltage at wake time. Returns the
+    /// timed action list; the firmware's tuning state (`position`,
+    /// `fine_offset_hz`) is updated in place.
+    pub fn wake(&mut self, true_vib_hz: f64, v_store: f64) -> WakeOutcome {
+        let mut actions = Vec::new();
+
+        // Algorithm 1 line 3: enough energy stored?
+        if v_store < V_MIN_TUNING {
+            actions.push(FirmwareAction::SkipLowVoltage);
+            return self.outcome(actions);
+        }
+
+        // Lines 4–10: measure the generator period eight times with
+        // Timer1, compute the frequency, look up the optimum position.
+        let measure_duration = self.mcu.measurement_duration(true_vib_hz);
+        let measure_energy = self.mcu.measurement_energy(true_vib_hz, 2.8);
+        actions.push(FirmwareAction::MeasureFrequency {
+            duration: measure_duration,
+            energy: measure_energy,
+        });
+        let f_measured = self.mcu.measured_frequency(true_vib_hz);
+        let target = self.tuning.position_for_frequency(f_measured);
+
+        // Lines 11–12: when the current position already matches the
+        // optimum, go straight back to sleep — no coarse move, no phase
+        // check. This is what keeps frequent wake-ups affordable.
+        if target == self.position {
+            return self.outcome(actions);
+        }
+
+        // Lines 13–15: coarse-grain tuning.
+        {
+            let steps = u32::from(target.abs_diff(self.position));
+            let mcu_energy =
+                self.mcu.active_power(2.8) * crate::power::MCU_COARSE_OP.duration;
+            actions.push(FirmwareAction::CoarseMove {
+                steps,
+                position_after: target,
+                duration: self.actuator.total_move_time(steps)
+                    + crate::power::MCU_COARSE_OP.duration,
+                actuator_energy: self.actuator.bulk_move_energy(steps),
+                mcu_energy,
+            });
+            self.position = target;
+            self.fine_offset_hz = 0.0;
+        }
+
+        // Lines 16–21 / Algorithm 3: fine-grain phase nulling.
+        for iteration in 0..self.max_fine_iterations {
+            let detune = self.resonant_frequency() - true_vib_hz;
+            let true_phase = self.phase_offset_time(detune, true_vib_hz);
+            let read_phase = self.mcu.measured_phase_offset(true_phase);
+
+            let accel_energy = self.accelerometer.measurement_energy();
+            let mcu_energy =
+                self.mcu.active_power(2.8) * crate::power::MCU_FINE_OP.duration;
+            let measure_time = self
+                .accelerometer
+                .measurement_duration()
+                .max(crate::power::MCU_FINE_OP.duration);
+
+            if read_phase.abs() < self.phase_threshold {
+                // The first phase check (Algorithm 1 line 17) still costs
+                // a measurement; subsequent exits are part of the loop.
+                if iteration == 0 {
+                    actions.push(FirmwareAction::FineIteration {
+                        moved: false,
+                        offset_after: self.fine_offset_hz,
+                        duration: measure_time,
+                        accel_energy,
+                        mcu_energy,
+                        actuator_energy: 0.0,
+                    });
+                }
+                break;
+            }
+
+            // Move one microstep toward resonance, wait for settling,
+            // re-measure (Algorithm 3 lines 2–7).
+            let direction = if detune > 0.0 { -1.0 } else { 1.0 };
+            self.fine_offset_hz += direction * self.fine_step_hz;
+            actions.push(FirmwareAction::FineIteration {
+                moved: true,
+                offset_after: self.fine_offset_hz,
+                duration: measure_time + self.actuator.total_move_time(1),
+                accel_energy,
+                mcu_energy,
+                actuator_energy: self.actuator.single_step_energy(),
+            });
+        }
+
+        self.outcome(actions)
+    }
+
+    fn outcome(&self, actions: Vec<FirmwareAction>) -> WakeOutcome {
+        WakeOutcome {
+            actions,
+            position: self.position,
+            fine_offset_hz: self.fine_offset_hz,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn firmware(clock: f64) -> TuningFirmware {
+        TuningFirmware::paper(Mcu::new(clock).expect("valid clock"))
+    }
+
+    #[test]
+    fn low_voltage_skips_everything() {
+        let mut fw = firmware(4e6);
+        let out = fw.wake(80.0, 2.5);
+        assert_eq!(out.actions, vec![FirmwareAction::SkipLowVoltage]);
+        assert_eq!(out.total_energy(), 0.0);
+    }
+
+    #[test]
+    fn first_wake_retunes_to_the_vibration() {
+        let mut fw = firmware(4e6);
+        assert_eq!(fw.position(), 0);
+        let out = fw.wake(85.0, 2.8);
+        assert!(out.actions.iter().any(|a| matches!(a, FirmwareAction::CoarseMove { .. })));
+        assert!((fw.resonant_frequency() - 85.0).abs() < 0.3);
+        assert!(out.total_energy() > 10e-3, "retune should cost tens of mJ");
+        assert!(out.total_duration() > 5.0, "settling dominates the cycle");
+    }
+
+    #[test]
+    fn tuned_plant_wakes_are_cheap() {
+        let mut fw = firmware(4e6);
+        fw.wake(80.0, 2.8); // retune
+        let steady = fw.wake(80.0, 2.8); // already tuned
+        assert!(
+            !steady
+                .actions
+                .iter()
+                .any(|a| matches!(a, FirmwareAction::CoarseMove { .. })),
+            "no coarse move expected: {:?}",
+            steady.actions
+        );
+        // Cost: one frequency measurement + at most the first phase check.
+        assert!(
+            steady.total_energy() < 8e-3,
+            "steady-state wake too expensive: {}",
+            steady.total_energy()
+        );
+    }
+
+    #[test]
+    fn fast_clock_tunes_tighter_than_slow_clock() {
+        let mut fast = firmware(8e6);
+        let mut slow = firmware(125e3);
+        // Let each converge over several wakes.
+        for _ in 0..4 {
+            fast.wake(81.3, 2.8);
+            slow.wake(81.3, 2.8);
+        }
+        let fast_err = (fast.resonant_frequency() - 81.3).abs();
+        let slow_err = (slow.resonant_frequency() - 81.3).abs();
+        assert!(
+            fast_err <= slow_err + 1e-9,
+            "fast {fast_err} should tune at least as tight as slow {slow_err}"
+        );
+        assert!(fast_err < 0.05, "8 MHz residual detune {fast_err}");
+    }
+
+    #[test]
+    fn slow_clock_measurement_is_cheaper() {
+        let mut fast = firmware(8e6);
+        let mut slow = firmware(125e3);
+        fast.wake(80.0, 2.8);
+        slow.wake(80.0, 2.8);
+        let f2 = fast.wake(80.0, 2.8);
+        let s2 = slow.wake(80.0, 2.8);
+        let f_measure: f64 = f2
+            .actions
+            .iter()
+            .filter_map(|a| match a {
+                FirmwareAction::MeasureFrequency { energy, .. } => Some(*energy),
+                _ => None,
+            })
+            .sum();
+        let s_measure: f64 = s2
+            .actions
+            .iter()
+            .filter_map(|a| match a {
+                FirmwareAction::MeasureFrequency { energy, .. } => Some(*energy),
+                _ => None,
+            })
+            .sum();
+        assert!(
+            f_measure > 3.0 * s_measure,
+            "8 MHz measure {f_measure} vs 125 kHz {s_measure}"
+        );
+    }
+
+    #[test]
+    fn frequency_step_triggers_exactly_one_retune() {
+        let mut fw = firmware(4e6);
+        fw.wake(75.0, 2.8);
+        let before = fw.position();
+        let out = fw.wake(80.0, 2.8); // +5 Hz step, like the paper profile
+        assert!(fw.position() > before, "position must move up for +5 Hz");
+        let coarse_steps: u32 = out
+            .actions
+            .iter()
+            .filter_map(|a| match a {
+                FirmwareAction::CoarseMove { steps, .. } => Some(*steps),
+                _ => None,
+            })
+            .sum();
+        assert!(
+            (10..120).contains(&coarse_steps),
+            "a 5 Hz step should take tens of coarse steps, got {coarse_steps}"
+        );
+        // Stable afterwards.
+        let again = fw.wake(80.0, 2.8);
+        assert!(!again
+            .actions
+            .iter()
+            .any(|a| matches!(a, FirmwareAction::CoarseMove { .. })));
+    }
+
+    #[test]
+    fn phase_offset_map_is_monotone_and_signed() {
+        let fw = firmware(4e6);
+        let small = fw.phase_offset_time(0.05, 80.0);
+        let large = fw.phase_offset_time(0.5, 80.0);
+        assert!(large > small && small > 0.0);
+        assert!(fw.phase_offset_time(-0.5, 80.0) < 0.0);
+        // Saturates below a quarter period.
+        assert!(large < 0.25 / 80.0);
+    }
+
+    #[test]
+    fn wake_outcome_totals_sum_actions() {
+        let mut fw = firmware(4e6);
+        let out = fw.wake(90.0, 2.8);
+        let d: f64 = out.actions.iter().map(FirmwareAction::duration).sum();
+        let e: f64 = out.actions.iter().map(FirmwareAction::energy).sum();
+        assert_eq!(out.total_duration(), d);
+        assert_eq!(out.total_energy(), e);
+    }
+}

@@ -1,0 +1,235 @@
+use crate::power;
+use crate::{NodeError, Result};
+
+/// A PIC16F884-class microcontroller model.
+///
+/// Two properties of the real part drive the paper's clock-frequency
+/// trade-off (§III, parameter 1), and both are modelled explicitly:
+///
+/// 1. **Energy** — "the total time needed to finish the counter loop is
+///    fixed and higher clock frequency means higher consumed energy":
+///    active current grows affinely with the clock
+///    (`I(f) = I_q + κ·f`, the standard CMOS model), calibrated so the
+///    4 MHz Table IV measurement is reproduced exactly.
+/// 2. **Accuracy** — the PIC executes one instruction per four clocks, so
+///    a software timing loop resolves events only to
+///    `N_poll · 4 / f_clk`. Period and phase measurements quantise to
+///    that resolution: at 125 kHz the polling grain is ≈ 0.4 ms —
+///    coarser than the 100 µs fine-tuning threshold of Algorithm 3.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), wsn_node::NodeError> {
+/// let fast = wsn_node::Mcu::new(8e6)?;
+/// let slow = wsn_node::Mcu::new(125e3)?;
+/// // Faster clock: better resolution but more power.
+/// assert!(fast.timing_resolution() < slow.timing_resolution());
+/// assert!(fast.active_power(2.8) > slow.active_power(2.8));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mcu {
+    clock_hz: f64,
+}
+
+/// Valid clock range (Table V).
+pub const CLOCK_RANGE: (f64, f64) = (125e3, 8e6);
+
+/// Instructions per polling-loop iteration of the timing loops.
+const POLL_INSTRUCTIONS: f64 = 12.0;
+
+/// Quiescent active current (A): the clock-independent analogue blocks.
+const QUIESCENT_CURRENT: f64 = 0.05e-3;
+
+/// Clock-proportional current slope (A/Hz), calibrated so that
+/// `I(4 MHz) = 1.9 mA` — the Table IV coarse-tuning measurement.
+const CURRENT_PER_HZ: f64 =
+    (1.9e-3 - QUIESCENT_CURRENT) / power::MCU_TABLE_CLOCK_HZ;
+
+/// Instruction count of the frequency/lookup computation after the eight
+/// timed periods (Algorithm 1 lines 9–10).
+const CALC_INSTRUCTIONS: f64 = 5_000.0;
+
+/// Fraction of the active power drawn while Timer1 counts the eight
+/// signal periods: the core idles while the gated timer runs, so the
+/// window costs less than full-speed execution.
+const TIMER_POWER_FRACTION: f64 = 0.35;
+
+impl Mcu {
+    /// Creates an MCU at the given clock frequency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NodeError::ParameterOutOfRange`] outside Table V's
+    /// 125 kHz – 8 MHz.
+    pub fn new(clock_hz: f64) -> Result<Self> {
+        if !(clock_hz >= CLOCK_RANGE.0 && clock_hz <= CLOCK_RANGE.1) {
+            return Err(NodeError::ParameterOutOfRange {
+                name: "clock_hz",
+                value: clock_hz,
+                range: CLOCK_RANGE,
+            });
+        }
+        Ok(Mcu { clock_hz })
+    }
+
+    /// Clock frequency in Hz.
+    pub fn clock_hz(&self) -> f64 {
+        self.clock_hz
+    }
+
+    /// Instruction rate: the PIC executes one instruction per 4 clocks.
+    pub fn instruction_rate(&self) -> f64 {
+        self.clock_hz / 4.0
+    }
+
+    /// Active supply current (A): `I_q + κ·f`.
+    pub fn active_current(&self) -> f64 {
+        QUIESCENT_CURRENT + CURRENT_PER_HZ * self.clock_hz
+    }
+
+    /// Active power at rail voltage `v` (W).
+    pub fn active_power(&self, v: f64) -> f64 {
+        self.active_current() * v
+    }
+
+    /// Timing resolution of software polling loops (s):
+    /// `N_poll · 4 / f_clk`.
+    pub fn timing_resolution(&self) -> f64 {
+        POLL_INSTRUCTIONS * 4.0 / self.clock_hz
+    }
+
+    /// Duration of one Algorithm 1 measurement cycle: timing eight periods
+    /// of a `signal_hz` input plus the frequency/lookup computation.
+    pub fn measurement_duration(&self, signal_hz: f64) -> f64 {
+        8.0 / signal_hz + CALC_INSTRUCTIONS / self.instruction_rate()
+    }
+
+    /// Energy of one measurement cycle at rail voltage `v` (J).
+    ///
+    /// Active power × duration: at high clocks the eight-period window
+    /// costs proportionally more energy — the paper's "higher clock
+    /// frequency means higher consumed energy".
+    pub fn measurement_energy(&self, signal_hz: f64, v: f64) -> f64 {
+        let window = 8.0 / signal_hz;
+        let calc = CALC_INSTRUCTIONS / self.instruction_rate();
+        self.active_power(v) * (TIMER_POWER_FRACTION * window + calc)
+    }
+
+    /// The frequency the MCU *reads* for a true input frequency: the
+    /// total duration of eight periods is quantised to the polling
+    /// resolution (round-to-nearest, like a count-based timer).
+    pub fn measured_frequency(&self, true_hz: f64) -> f64 {
+        let window = 8.0 / true_hz;
+        let res = self.timing_resolution();
+        let ticks = (window / res).round().max(1.0);
+        8.0 / (ticks * res)
+    }
+
+    /// Worst-case frequency measurement error at `true_hz` (Hz).
+    pub fn frequency_error_bound(&self, true_hz: f64) -> f64 {
+        // d f = f² / 8 · dt, dt = half a resolution step (rounding).
+        true_hz * true_hz / 8.0 * self.timing_resolution() * 0.5
+    }
+
+    /// The phase offset (in seconds) the MCU reads for a true offset:
+    /// quantised to the polling resolution (floor, as a poll loop reports
+    /// the last tick before the edge).
+    pub fn measured_phase_offset(&self, true_offset: f64) -> f64 {
+        let res = self.timing_resolution();
+        (true_offset.abs() / res).floor() * res * true_offset.signum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_range_enforced() {
+        assert!(Mcu::new(125e3).is_ok());
+        assert!(Mcu::new(8e6).is_ok());
+        assert!(matches!(
+            Mcu::new(100.0),
+            Err(NodeError::ParameterOutOfRange { .. })
+        ));
+        assert!(Mcu::new(16e6).is_err());
+    }
+
+    #[test]
+    fn table_iv_calibration_point() {
+        // At the table's 4 MHz, active current is the measured 1.9 mA.
+        let mcu = Mcu::new(4e6).unwrap();
+        assert!((mcu.active_current() - 1.9e-3).abs() < 1e-9);
+        // And the coarse-op energy at 2.8 V comes out near Table IV's
+        // 0.745 mJ for the same 149 ms duration.
+        let e = mcu.active_power(2.8) * power::MCU_COARSE_OP.duration;
+        assert!((e - 0.745e-3).abs() / 0.745e-3 < 0.15, "coarse energy {e}");
+    }
+
+    #[test]
+    fn energy_grows_with_clock() {
+        let slow = Mcu::new(125e3).unwrap();
+        let fast = Mcu::new(8e6).unwrap();
+        let e_slow = slow.measurement_energy(80.0, 2.8);
+        let e_fast = fast.measurement_energy(80.0, 2.8);
+        assert!(
+            e_fast > 3.0 * e_slow,
+            "fast {e_fast} should dwarf slow {e_slow}"
+        );
+    }
+
+    #[test]
+    fn resolution_brackets_the_fine_tuning_threshold() {
+        // The paper's Algorithm 3 exits below 100 µs phase error: an
+        // 8 MHz clock resolves far below that, a 125 kHz clock cannot.
+        let fast = Mcu::new(8e6).unwrap();
+        let slow = Mcu::new(125e3).unwrap();
+        assert!(fast.timing_resolution() < 100e-6 / 10.0);
+        assert!(slow.timing_resolution() > 100e-6);
+    }
+
+    #[test]
+    fn measured_frequency_error_within_bound() {
+        for clock in [125e3, 1e6, 8e6] {
+            let mcu = Mcu::new(clock).unwrap();
+            for f in [67.6, 80.0, 98.0] {
+                let meas = mcu.measured_frequency(f);
+                let err = (meas - f).abs();
+                let bound = mcu.frequency_error_bound(f) * 1.01;
+                assert!(
+                    err <= bound,
+                    "clock {clock}, f {f}: err {err} > bound {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn slow_clock_misreads_frequency_more() {
+        let slow = Mcu::new(125e3).unwrap();
+        let fast = Mcu::new(8e6).unwrap();
+        assert!(slow.frequency_error_bound(80.0) > 10.0 * fast.frequency_error_bound(80.0));
+    }
+
+    #[test]
+    fn phase_quantisation_floors() {
+        let slow = Mcu::new(125e3).unwrap(); // resolution 384 µs
+        // A true 300 µs offset reads as zero — Algorithm 3 would stop.
+        assert_eq!(slow.measured_phase_offset(300e-6), 0.0);
+        let fast = Mcu::new(8e6).unwrap(); // resolution 6 µs
+        let read = fast.measured_phase_offset(300e-6);
+        assert!((read - 300e-6).abs() <= fast.timing_resolution());
+        // Sign is preserved.
+        assert!(fast.measured_phase_offset(-300e-6) < 0.0);
+    }
+
+    #[test]
+    fn measurement_duration_dominated_by_signal_at_high_clock() {
+        let mcu = Mcu::new(8e6).unwrap();
+        let d = mcu.measurement_duration(80.0);
+        assert!((d - 0.1).abs() < 0.02, "8 periods of 80 Hz ≈ 0.1 s: {d}");
+    }
+}

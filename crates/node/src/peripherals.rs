@@ -1,0 +1,123 @@
+use crate::power;
+
+/// The Haydon 21000-series linear actuator moving the tuning magnet.
+///
+/// Table IV gives two operating modes: single stepping (4.06 mJ per step)
+/// used by the fine-grain tuning, and bulk moves (2.03 mJ per step, from
+/// the 100-step row) used by the coarse-grain tuning. After any move the
+/// firmware waits 5 s for the microgenerator signal to settle
+/// (Algorithms 2/3 line 4).
+///
+/// # Example
+///
+/// ```
+/// let act = wsn_node::Actuator::paper();
+/// // A 28-step coarse move costs 28 × 2.03 mJ ≈ 57 mJ.
+/// assert!((act.bulk_move_energy(28) - 28.0 * 2.03e-3).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Actuator {
+    single_step_energy: f64,
+    bulk_step_energy: f64,
+    step_duration: f64,
+    settle_time: f64,
+}
+
+impl Actuator {
+    /// The Table IV actuator with the paper's 5 s settle time.
+    pub fn paper() -> Self {
+        Actuator {
+            single_step_energy: power::ACTUATOR_STEP_ENERGY,
+            bulk_step_energy: power::ACTUATOR_BULK_STEP_ENERGY,
+            step_duration: power::ACTUATOR_SINGLE_STEP.duration,
+            settle_time: 5.0,
+        }
+    }
+
+    /// Energy of a single fine-tuning step (J).
+    pub fn single_step_energy(&self) -> f64 {
+        self.single_step_energy
+    }
+
+    /// Energy of an `n`-step bulk (coarse) move (J).
+    pub fn bulk_move_energy(&self, steps: u32) -> f64 {
+        f64::from(steps) * self.bulk_step_energy
+    }
+
+    /// Motion time of an `n`-step move, excluding settling (s).
+    pub fn move_duration(&self, steps: u32) -> f64 {
+        f64::from(steps) * self.step_duration
+    }
+
+    /// Settle wait after any move before the generator signal is valid (s).
+    pub fn settle_time(&self) -> f64 {
+        self.settle_time
+    }
+
+    /// Total wall-clock time of an `n`-step move including settling (s).
+    pub fn total_move_time(&self, steps: u32) -> f64 {
+        if steps == 0 {
+            0.0
+        } else {
+            self.move_duration(steps) + self.settle_time
+        }
+    }
+}
+
+/// The LIS3L06AL accelerometer used by the fine-grain tuning.
+///
+/// Powered only while a phase measurement runs (Table IV: 153 ms,
+/// 2.02 mJ); the microcontroller gates its supply (§III).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Accelerometer {
+    measurement_energy: f64,
+    measurement_duration: f64,
+}
+
+impl Accelerometer {
+    /// The Table IV accelerometer.
+    pub fn paper() -> Self {
+        Accelerometer {
+            measurement_energy: power::ACCEL_ENERGY,
+            measurement_duration: power::ACCEL_MEASUREMENT.duration,
+        }
+    }
+
+    /// Energy of one measurement (J).
+    pub fn measurement_energy(&self) -> f64 {
+        self.measurement_energy
+    }
+
+    /// Duration of one measurement (s).
+    pub fn measurement_duration(&self) -> f64 {
+        self.measurement_duration
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn actuator_energies_match_table_iv() {
+        let a = Actuator::paper();
+        assert_eq!(a.single_step_energy(), 4.06e-3);
+        assert!((a.bulk_move_energy(100) - 203e-3).abs() < 1e-12);
+        assert!(a.bulk_move_energy(1) < a.single_step_energy());
+    }
+
+    #[test]
+    fn move_timing() {
+        let a = Actuator::paper();
+        assert!((a.move_duration(100) - 0.5).abs() < 1e-12);
+        assert_eq!(a.total_move_time(0), 0.0);
+        assert!((a.total_move_time(1) - 5.005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accelerometer_matches_table_iv() {
+        let acc = Accelerometer::paper();
+        assert_eq!(acc.measurement_energy(), 2.02e-3);
+        assert_eq!(acc.measurement_duration(), 0.153);
+    }
+}

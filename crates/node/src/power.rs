@@ -1,0 +1,244 @@
+//! The measured power-consumption models of the paper, encoded verbatim.
+//!
+//! Table III characterises the eZ430-RF2500 sensor node per transmission
+//! phase; Table IV characterises the accelerometer, linear actuator and
+//! microcontroller tuning operations. Both tables are reproduced here as
+//! constants, together with the equivalent resistances of Eq. 8 and the
+//! `Req` column, so every simulation engine and the table-regeneration
+//! benches draw from a single source of truth.
+
+/// One timed, constant-current operation phase (a row of Table III/IV).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpPhase {
+    /// Human-readable operation name.
+    pub name: &'static str,
+    /// Duration in seconds.
+    pub duration: f64,
+    /// Current draw in amperes.
+    pub current: f64,
+}
+
+impl OpPhase {
+    /// Charge moved during the phase (C).
+    pub fn charge(&self) -> f64 {
+        self.duration * self.current
+    }
+
+    /// Energy consumed at supply voltage `v` (J).
+    pub fn energy_at(&self, v: f64) -> f64 {
+        self.charge() * v
+    }
+}
+
+/// Nominal supply voltage at which the paper's measurements were taken.
+pub const SUPPLY_VOLTAGE: f64 = 2.8;
+
+// ---------------------------------------------------------------------
+// Table III — sensor node current draw
+// ---------------------------------------------------------------------
+
+/// Table III: wake-up phase (1 ms @ 4.5 mA).
+pub const TX_WAKEUP: OpPhase = OpPhase {
+    name: "wake-up",
+    duration: 1e-3,
+    current: 4.5e-3,
+};
+
+/// Table III: sensing phase (1.5 ms @ 13.4 mA).
+pub const TX_SENSING: OpPhase = OpPhase {
+    name: "sensing",
+    duration: 1.5e-3,
+    current: 13.4e-3,
+};
+
+/// Table III: transmission phase (2 ms @ 26.8 mA).
+pub const TX_TRANSMIT: OpPhase = OpPhase {
+    name: "transmission",
+    duration: 2e-3,
+    current: 26.8e-3,
+};
+
+/// Table III: sensor-node sleep current (0.5 µA).
+pub const NODE_SLEEP_CURRENT: f64 = 0.5e-6;
+
+/// The three phases of one transmission, in order.
+pub const TX_PHASES: [OpPhase; 3] = [TX_WAKEUP, TX_SENSING, TX_TRANSMIT];
+
+/// Total duration of one transmission (the paper's 4.5 ms).
+pub fn tx_duration() -> f64 {
+    TX_PHASES.iter().map(|p| p.duration).sum()
+}
+
+/// Energy of one full transmission at supply voltage `v`.
+///
+/// At 2.8 V this evaluates to ≈ 219 µJ; the paper quotes 227 µJ for the
+/// same row data (rounding in the printed currents).
+pub fn tx_energy_at(v: f64) -> f64 {
+    TX_PHASES.iter().map(|p| p.energy_at(v)).sum()
+}
+
+/// Eq. 8: equivalent resistance of the node while transmitting (167 Ω).
+pub const NODE_TX_RESISTANCE: f64 = 167.0;
+
+/// Eq. 8: equivalent resistance of the node while sleeping (5.8 MΩ).
+pub const NODE_SLEEP_RESISTANCE: f64 = 5.8e6;
+
+// ---------------------------------------------------------------------
+// Table IV — tuning-system component power models
+// ---------------------------------------------------------------------
+
+/// Table IV: one accelerometer measurement (153 ms @ 5.1 mA, 13.2 mW,
+/// Req 509 Ω, 2.02 mJ).
+pub const ACCEL_MEASUREMENT: OpPhase = OpPhase {
+    name: "accelerometer",
+    duration: 0.153,
+    current: 5.1e-3,
+};
+
+/// Table IV: accelerometer equivalent resistance (509 Ω).
+pub const ACCEL_RESISTANCE: f64 = 509.0;
+
+/// Table IV: accelerometer energy per measurement (2.02 mJ).
+pub const ACCEL_ENERGY: f64 = 2.02e-3;
+
+/// Table IV: one actuator step in single-step mode (5 ms @ 312 mA,
+/// 811 mW, Req 8.33 Ω, 4.06 mJ).
+pub const ACTUATOR_SINGLE_STEP: OpPhase = OpPhase {
+    name: "actuator single step",
+    duration: 5e-3,
+    current: 312e-3,
+};
+
+/// Table IV: actuator single-step energy (4.06 mJ).
+pub const ACTUATOR_STEP_ENERGY: f64 = 4.06e-3;
+
+/// Table IV: actuator equivalent resistance in single-step mode (8.33 Ω).
+pub const ACTUATOR_STEP_RESISTANCE: f64 = 8.33;
+
+/// Table IV: a 100-step bulk move (500 ms @ 156 mA, 405 mW, Req 16.7 Ω,
+/// 203 mJ) — i.e. 2.03 mJ and 5 ms per step in bulk mode.
+pub const ACTUATOR_BULK_100_STEPS: OpPhase = OpPhase {
+    name: "actuator 100 steps",
+    duration: 0.5,
+    current: 156e-3,
+};
+
+/// Energy per step when moving in bulk mode (2.03 mJ/step).
+pub const ACTUATOR_BULK_STEP_ENERGY: f64 = 203e-3 / 100.0;
+
+/// Table IV: actuator equivalent resistance in bulk mode (16.7 Ω).
+pub const ACTUATOR_BULK_RESISTANCE: f64 = 16.7;
+
+/// Table IV: microcontroller coarse-grain tuning computation
+/// (149 ms @ 1.9 mA, 5.0 mW, Req 1.38 kΩ, 0.745 mJ).
+pub const MCU_COARSE_OP: OpPhase = OpPhase {
+    name: "mcu coarse-grain tuning",
+    duration: 0.149,
+    current: 1.9e-3,
+};
+
+/// Table IV: microcontroller coarse-grain equivalent resistance (1.38 kΩ).
+pub const MCU_COARSE_RESISTANCE: f64 = 1.38e3;
+
+/// Table IV: microcontroller fine-grain tuning computation
+/// (325 ms @ 5.1 mA, 6.5 mW, Req 250 Ω, 2.11 mJ).
+pub const MCU_FINE_OP: OpPhase = OpPhase {
+    name: "mcu fine-grain tuning",
+    duration: 0.325,
+    current: 5.1e-3,
+};
+
+/// Table IV: microcontroller fine-grain equivalent resistance (250 Ω).
+pub const MCU_FINE_RESISTANCE: f64 = 250.0;
+
+/// Microcontroller sleep current between watchdog wake-ups (typical
+/// PIC16F884 with active watchdog; not separately tabulated in the paper).
+pub const MCU_SLEEP_CURRENT: f64 = 1.5e-6;
+
+/// The clock frequency at which the Table IV microcontroller rows were
+/// measured (the paper's original 4 MHz design).
+pub const MCU_TABLE_CLOCK_HZ: f64 = 4e6;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tx_duration_is_4_5_ms() {
+        assert!((tx_duration() - 4.5e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tx_energy_close_to_paper_quote() {
+        // Paper: "during each transmission lasting 4.5 ms, the sensor node
+        // consumes 227 µJ". Our row-derived value is 219 µJ.
+        let e = tx_energy_at(SUPPLY_VOLTAGE);
+        assert!(
+            (e - 227e-6).abs() / 227e-6 < 0.05,
+            "tx energy {e} deviates from the paper quote by > 5%"
+        );
+    }
+
+    #[test]
+    fn tx_equivalent_resistance_consistent_with_eq8() {
+        // Eq. 8 quotes 167 Ω in transmission. The average current over
+        // 4.5 ms is Q/t; R = V / I_avg.
+        let q: f64 = TX_PHASES.iter().map(OpPhase::charge).sum();
+        let i_avg = q / tx_duration();
+        let r = SUPPLY_VOLTAGE / i_avg;
+        assert!(
+            (r - NODE_TX_RESISTANCE).abs() / NODE_TX_RESISTANCE < 0.05,
+            "derived {r} vs Eq. 8's 167"
+        );
+    }
+
+    #[test]
+    fn sleep_resistance_consistent_with_eq8() {
+        let r = SUPPLY_VOLTAGE / NODE_SLEEP_CURRENT;
+        assert!(
+            (r - NODE_SLEEP_RESISTANCE).abs() / NODE_SLEEP_RESISTANCE < 0.05,
+            "derived {r} vs Eq. 8's 5.8 MΩ"
+        );
+    }
+
+    #[test]
+    fn table_iv_energies_match_rows() {
+        // Each row's energy should equal duration × current × supply
+        // within the table's rounding.
+        let checks = [
+            (ACCEL_MEASUREMENT, ACCEL_ENERGY),
+            (ACTUATOR_SINGLE_STEP, ACTUATOR_STEP_ENERGY),
+            (MCU_COARSE_OP, 0.745e-3),
+        ];
+        for (phase, quoted) in checks {
+            let derived = phase.energy_at(SUPPLY_VOLTAGE);
+            let rel = (derived - quoted).abs() / quoted;
+            // Table IV voltages vary per component (the actuator sees the
+            // rail sag); allow 35 % envelope and require the right order.
+            assert!(
+                rel < 0.35,
+                "{}: derived {derived} vs quoted {quoted}",
+                phase.name
+            );
+        }
+        // The fine-grain row's printed current (5.1 mA) is inconsistent
+        // with its printed power (6.5 mW) at any single supply voltage;
+        // the energy column follows the power column: 6.5 mW × 325 ms.
+        assert!((6.5e-3 * MCU_FINE_OP.duration - 2.11e-3).abs() < 0.01e-3);
+    }
+
+    #[test]
+    fn bulk_move_cheaper_per_step_than_single() {
+        assert!(ACTUATOR_BULK_STEP_ENERGY < ACTUATOR_STEP_ENERGY);
+        // 100 bulk steps take as long as 100 single steps (5 ms each).
+        assert!((ACTUATOR_BULK_100_STEPS.duration - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fine_tuning_is_more_expensive_than_coarse() {
+        // §IV-C: fine tuning needs more calculation and the accelerometer.
+        let coarse = MCU_COARSE_OP.energy_at(SUPPLY_VOLTAGE);
+        let fine = MCU_FINE_OP.energy_at(SUPPLY_VOLTAGE) + ACCEL_ENERGY;
+        assert!(fine > 2.0 * coarse);
+    }
+}

@@ -1,0 +1,173 @@
+use crate::power;
+use crate::{NodeError, Result};
+
+/// What the sensor node decides to do at a transmission check.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TransmissionDecision {
+    /// Voltage below 2.7 V: no transmission; re-check after the hold-off.
+    Skip {
+        /// Seconds until the next check.
+        recheck_after: f64,
+    },
+    /// Transmit now; schedule the next check.
+    Transmit {
+        /// Seconds until the next check.
+        next_after: f64,
+    },
+}
+
+/// The eZ430-RF2500 sensor node: Table II behaviour plus the Table III
+/// transmission energy profile.
+///
+/// The node monitors the supercapacitor voltage and adapts its
+/// transmission interval (Table II):
+///
+/// | supercap voltage | interval                         |
+/// |------------------|----------------------------------|
+/// | below 2.7 V      | no transmission                  |
+/// | 2.7 – 2.8 V      | every 1 minute                   |
+/// | above 2.8 V      | every `tx_interval` (the paper's optimisation parameter `x3`) |
+///
+/// # Example
+///
+/// ```
+/// use wsn_node::{SensorNode, TransmissionDecision};
+///
+/// # fn main() -> Result<(), wsn_node::NodeError> {
+/// let node = SensorNode::new(5.0)?; // the paper's original design
+/// match node.decide(2.85) {
+///     TransmissionDecision::Transmit { next_after } => assert_eq!(next_after, 5.0),
+///     other => panic!("expected a transmission, got {other:?}"),
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensorNode {
+    tx_interval: f64,
+}
+
+/// Table II: below this voltage the node does not transmit.
+pub const V_NO_TX: f64 = 2.7;
+
+/// Table II: above this voltage the fast (configurable) interval applies.
+pub const V_FAST_TX: f64 = 2.8;
+
+/// Table II: interval in the 2.7–2.8 V band (one minute).
+pub const SLOW_INTERVAL: f64 = 60.0;
+
+/// Valid transmission-interval range (Table V).
+pub const TX_INTERVAL_RANGE: (f64, f64) = (0.005, 10.0);
+
+impl SensorNode {
+    /// Creates a node with the given above-2.8 V transmission interval.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NodeError::ParameterOutOfRange`] outside Table V's
+    /// 0.005 – 10 s.
+    pub fn new(tx_interval: f64) -> Result<Self> {
+        if !(tx_interval >= TX_INTERVAL_RANGE.0 && tx_interval <= TX_INTERVAL_RANGE.1) {
+            return Err(NodeError::ParameterOutOfRange {
+                name: "tx_interval_s",
+                value: tx_interval,
+                range: TX_INTERVAL_RANGE,
+            });
+        }
+        Ok(SensorNode { tx_interval })
+    }
+
+    /// The configured fast interval (s).
+    pub fn tx_interval(&self) -> f64 {
+        self.tx_interval
+    }
+
+    /// Table II decision at supercapacitor voltage `v`.
+    pub fn decide(&self, v: f64) -> TransmissionDecision {
+        if v < V_NO_TX {
+            TransmissionDecision::Skip {
+                recheck_after: SLOW_INTERVAL,
+            }
+        } else if v < V_FAST_TX {
+            TransmissionDecision::Transmit {
+                next_after: SLOW_INTERVAL,
+            }
+        } else {
+            TransmissionDecision::Transmit {
+                next_after: self.tx_interval,
+            }
+        }
+    }
+
+    /// Energy of one transmission at rail voltage `v` (Table III).
+    pub fn tx_energy(&self, v: f64) -> f64 {
+        power::tx_energy_at(v)
+    }
+
+    /// Duration of one transmission (4.5 ms).
+    pub fn tx_duration(&self) -> f64 {
+        power::tx_duration()
+    }
+
+    /// Sleep current between transmissions (Table III's 0.5 µA).
+    pub fn sleep_current(&self) -> f64 {
+        power::NODE_SLEEP_CURRENT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_bands() {
+        let node = SensorNode::new(5.0).unwrap();
+        assert_eq!(
+            node.decide(2.5),
+            TransmissionDecision::Skip {
+                recheck_after: 60.0
+            }
+        );
+        assert_eq!(
+            node.decide(2.75),
+            TransmissionDecision::Transmit { next_after: 60.0 }
+        );
+        assert_eq!(
+            node.decide(2.9),
+            TransmissionDecision::Transmit { next_after: 5.0 }
+        );
+    }
+
+    #[test]
+    fn band_edges() {
+        let node = SensorNode::new(1.0).unwrap();
+        // Exactly 2.7: in the slow band (Table II says "between 2.7 and 2.8").
+        assert_eq!(
+            node.decide(V_NO_TX),
+            TransmissionDecision::Transmit { next_after: 60.0 }
+        );
+        // Exactly 2.8: the fast band ("above 2.8" boundary goes to fast).
+        assert_eq!(
+            node.decide(V_FAST_TX),
+            TransmissionDecision::Transmit { next_after: 1.0 }
+        );
+    }
+
+    #[test]
+    fn interval_range_enforced() {
+        assert!(SensorNode::new(0.005).is_ok());
+        assert!(SensorNode::new(10.0).is_ok());
+        assert!(SensorNode::new(0.001).is_err());
+        assert!(SensorNode::new(11.0).is_err());
+        assert!(SensorNode::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn energy_and_duration_from_table_iii() {
+        let node = SensorNode::new(5.0).unwrap();
+        assert!((node.tx_duration() - 4.5e-3).abs() < 1e-12);
+        let e = node.tx_energy(2.8);
+        assert!(e > 200e-6 && e < 240e-6, "tx energy {e}");
+        assert_eq!(node.sleep_current(), 0.5e-6);
+    }
+}

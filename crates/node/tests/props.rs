@@ -1,0 +1,168 @@
+//! Property-based tests for the node models and the envelope engine:
+//! policy invariants, firmware convergence and system-level conservation
+//! laws over randomly drawn configurations.
+
+use harvester::VibrationProfile;
+use proptest::prelude::*;
+use wsn_node::{
+    EnvelopeSim, Mcu, NodeConfig, SensorNode, SystemConfig, TransmissionDecision, TuningFirmware,
+};
+
+/// Strategy: a valid Table V configuration.
+fn node_config() -> impl Strategy<Value = NodeConfig> {
+    (125e3..8e6f64, 60.0..600.0f64, 0.005..10.0f64)
+        .prop_map(|(c, w, t)| NodeConfig::new(c, w, t).expect("within ranges"))
+}
+
+proptest! {
+    /// Table II policy: the decision bands partition the voltage axis.
+    #[test]
+    fn policy_partitions_voltage(interval in 0.005..10.0f64, v in 0.0..4.0f64) {
+        let node = SensorNode::new(interval).expect("valid");
+        match node.decide(v) {
+            TransmissionDecision::Skip { recheck_after } => {
+                prop_assert!(v < 2.7);
+                prop_assert_eq!(recheck_after, 60.0);
+            }
+            TransmissionDecision::Transmit { next_after } => {
+                prop_assert!(v >= 2.7);
+                if v < 2.8 {
+                    prop_assert_eq!(next_after, 60.0);
+                } else {
+                    prop_assert_eq!(next_after, interval);
+                }
+            }
+        }
+    }
+
+    /// MCU monotonicities: higher clocks always cost more power and
+    /// resolve finer.
+    #[test]
+    fn mcu_monotone_in_clock(c1 in 125e3..8e6f64, c2 in 125e3..8e6f64) {
+        prop_assume!(c1 < c2);
+        let slow = Mcu::new(c1).expect("valid");
+        let fast = Mcu::new(c2).expect("valid");
+        prop_assert!(fast.active_current() > slow.active_current());
+        prop_assert!(fast.timing_resolution() < slow.timing_resolution());
+        prop_assert!(fast.frequency_error_bound(80.0) < slow.frequency_error_bound(80.0));
+    }
+
+    /// Measured frequency error stays within the analytic bound across
+    /// the whole tunable band and clock range.
+    #[test]
+    fn mcu_measurement_error_bounded(clock in 125e3..8e6f64, f in 60.0..100.0f64) {
+        let mcu = Mcu::new(clock).expect("valid");
+        let err = (mcu.measured_frequency(f) - f).abs();
+        prop_assert!(err <= mcu.frequency_error_bound(f) * 1.02);
+    }
+
+    /// Firmware convergence: after enough wakes at a fixed vibration, the
+    /// residual detune is below one coarse lookup step and further wakes
+    /// are cheap and do not move the actuator.
+    #[test]
+    fn firmware_converges_and_stabilises(clock in 125e3..8e6f64, f_vib in 68.0..97.0f64) {
+        let mut fw = TuningFirmware::paper(Mcu::new(clock).expect("valid")) ;
+        for _ in 0..6 {
+            fw.wake(f_vib, 2.8);
+        }
+        let residual = (fw.resonant_frequency() - f_vib).abs();
+        prop_assert!(residual < 0.5, "residual {residual} Hz at clock {clock}");
+        let pos = fw.position();
+        let steady = fw.wake(f_vib, 2.8);
+        prop_assert_eq!(fw.position(), pos, "position moved in steady state");
+        prop_assert!(steady.total_energy() < 10e-3, "steady wake {} J", steady.total_energy());
+    }
+
+    /// Envelope engine invariants for random configurations on a short
+    /// scenario: transmissions bounded by the interval ceiling, voltage
+    /// stays physical, energy is conserved.
+    #[test]
+    fn envelope_invariants(config in node_config()) {
+        let horizon = 400.0;
+        let mut cfg = SystemConfig::paper(config).with_horizon(horizon);
+        cfg.trace_interval = None;
+        let out = EnvelopeSim::new(cfg.clone()).run();
+
+        // Ceiling: fast-band interval plus the 60 s band cannot be beaten.
+        let ceiling = (horizon / config.tx_interval_s).ceil() as u64 + 2;
+        prop_assert!(out.transmissions <= ceiling, "{} > ceiling {ceiling}", out.transmissions);
+
+        // Physical voltage.
+        prop_assert!(out.final_voltage >= 0.0 && out.final_voltage < 5.0);
+
+        // Conservation: ΔE_stored = harvested − consumed (2 % slack for
+        // quasi-static integration).
+        let e0 = cfg.storage.energy(cfg.initial_voltage);
+        let e1 = cfg.storage.energy(out.final_voltage);
+        let delta = e1 - e0;
+        let net = out.energy.net();
+        prop_assert!(
+            (delta - net).abs() <= 0.02 * out.energy.harvested.max(1e-3),
+            "Δstored {delta} vs net {net}"
+        );
+
+        // All energy categories non-negative.
+        let e = out.energy;
+        for (name, v) in [
+            ("harvested", e.harvested),
+            ("transmission", e.transmission),
+            ("mcu", e.mcu),
+            ("actuator", e.actuator),
+            ("accelerometer", e.accelerometer),
+            ("sleep", e.sleep),
+            ("leakage", e.leakage),
+        ] {
+            prop_assert!(v >= 0.0, "{name} negative: {v}");
+        }
+    }
+
+    /// Determinism: the envelope engine is a pure function of its config.
+    #[test]
+    fn envelope_deterministic(config in node_config()) {
+        let mut cfg = SystemConfig::paper(config).with_horizon(200.0);
+        cfg.trace_interval = None;
+        let a = EnvelopeSim::new(cfg.clone()).run();
+        let b = EnvelopeSim::new(cfg).run();
+        prop_assert_eq!(a, b);
+    }
+
+    /// More harvested energy can only help: scaling the vibration level
+    /// up never reduces the transmission count.
+    #[test]
+    fn transmissions_monotone_in_vibration_level(
+        config in node_config(),
+        boost in 1.1..2.0f64,
+    ) {
+        let horizon = 300.0;
+        let base_level = 0.06 * 9.81;
+        let mk = |level: f64| {
+            let mut cfg = SystemConfig::paper(config).with_horizon(horizon);
+            cfg.vibration = VibrationProfile::sine(75.0, level);
+            cfg.trace_interval = None;
+            EnvelopeSim::new(cfg).run().transmissions
+        };
+        let weak = mk(base_level);
+        let strong = mk(base_level * boost);
+        prop_assert!(
+            strong + 1 >= weak,
+            "stronger vibration lost transmissions: {weak} -> {strong}"
+        );
+    }
+
+    /// Watchdog wake counts track the configured period.
+    #[test]
+    fn watchdog_cadence(watchdog in 60.0..600.0f64) {
+        let config = NodeConfig::new(4e6, watchdog, 5.0).expect("valid");
+        let horizon = 1800.0;
+        let mut cfg = SystemConfig::paper(config).with_horizon(horizon);
+        cfg.trace_interval = None;
+        let out = EnvelopeSim::new(cfg).run();
+        let expected = (horizon / watchdog).floor() as u64;
+        // Tuning cycles delay subsequent wakes, so allow slack below.
+        prop_assert!(
+            out.watchdog_wakes <= expected + 1 && out.watchdog_wakes + 3 >= expected.min(3),
+            "wakes {} vs expected ≈ {expected}",
+            out.watchdog_wakes
+        );
+    }
+}

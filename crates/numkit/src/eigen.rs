@@ -1,0 +1,243 @@
+use crate::{Matrix, NumError, Result};
+
+/// Eigen-decomposition of a symmetric matrix by the cyclic Jacobi method.
+///
+/// The canonical analysis of a fitted quadratic response surface classifies
+/// its stationary point (maximum / minimum / saddle) from the eigenvalues of
+/// the Hessian `B` of `ŷ = β₀ + xᵀb + xᵀBx`; this type provides them.
+///
+/// Eigenvalues are returned in ascending order with matching eigenvector
+/// columns.
+///
+/// # Example
+///
+/// ```
+/// use numkit::{Matrix, SymEigen};
+///
+/// # fn main() -> Result<(), numkit::NumError> {
+/// let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 5.0]])?;
+/// let eig = SymEigen::decompose(&a)?;
+/// assert!((eig.eigenvalues()[0] - 2.0).abs() < 1e-12);
+/// assert!((eig.eigenvalues()[1] - 5.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SymEigen {
+    eigenvalues: Vec<f64>,
+    /// Column `j` is the eigenvector for `eigenvalues[j]`.
+    eigenvectors: Matrix,
+}
+
+const MAX_SWEEPS: usize = 100;
+
+impl SymEigen {
+    /// Decomposes a symmetric matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumError::NotSquare`] for rectangular input.
+    /// * [`NumError::InvalidArgument`] for asymmetric input.
+    /// * [`NumError::NoConvergence`] if the Jacobi sweeps fail to converge
+    ///   (not expected for finite input).
+    pub fn decompose(m: &Matrix) -> Result<Self> {
+        if !m.is_square() {
+            return Err(NumError::NotSquare { shape: m.shape() });
+        }
+        let tol = 1e-8 * m.max_abs().max(1.0);
+        if !m.is_symmetric(tol) {
+            return Err(NumError::InvalidArgument("sym_eigen: matrix not symmetric"));
+        }
+        let n = m.rows();
+        let mut a = m.clone();
+        let mut v = Matrix::identity(n);
+
+        if n == 1 {
+            return Ok(SymEigen {
+                eigenvalues: vec![a[(0, 0)]],
+                eigenvectors: v,
+            });
+        }
+
+        let mut converged = false;
+        for _sweep in 0..MAX_SWEEPS {
+            let mut off = 0.0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    off += a[(i, j)] * a[(i, j)];
+                }
+            }
+            if off.sqrt() <= 1e-14 * a.max_abs().max(1.0) {
+                converged = true;
+                break;
+            }
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    let apq = a[(p, q)];
+                    if apq.abs() <= f64::MIN_POSITIVE {
+                        continue;
+                    }
+                    let app = a[(p, p)];
+                    let aqq = a[(q, q)];
+                    let theta = (aqq - app) / (2.0 * apq);
+                    // Stable computation of tan of the rotation angle.
+                    let t = if theta >= 0.0 {
+                        1.0 / (theta + (1.0 + theta * theta).sqrt())
+                    } else {
+                        1.0 / (theta - (1.0 + theta * theta).sqrt())
+                    };
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = t * c;
+
+                    for k in 0..n {
+                        let akp = a[(k, p)];
+                        let akq = a[(k, q)];
+                        a[(k, p)] = c * akp - s * akq;
+                        a[(k, q)] = s * akp + c * akq;
+                    }
+                    for k in 0..n {
+                        let apk = a[(p, k)];
+                        let aqk = a[(q, k)];
+                        a[(p, k)] = c * apk - s * aqk;
+                        a[(q, k)] = s * apk + c * aqk;
+                    }
+                    for k in 0..n {
+                        let vkp = v[(k, p)];
+                        let vkq = v[(k, q)];
+                        v[(k, p)] = c * vkp - s * vkq;
+                        v[(k, q)] = s * vkp + c * vkq;
+                    }
+                }
+            }
+        }
+        if !converged {
+            return Err(NumError::NoConvergence {
+                algorithm: "jacobi eigen",
+                iterations: MAX_SWEEPS,
+            });
+        }
+
+        // Sort ascending, permuting eigenvector columns alongside.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&i, &j| a[(i, i)].partial_cmp(&a[(j, j)]).expect("finite eigenvalues"));
+        let eigenvalues: Vec<f64> = order.iter().map(|&i| a[(i, i)]).collect();
+        let eigenvectors = Matrix::from_fn(n, n, |i, j| v[(i, order[j])]);
+
+        Ok(SymEigen {
+            eigenvalues,
+            eigenvectors,
+        })
+    }
+
+    /// Eigenvalues in ascending order.
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+
+    /// Orthonormal eigenvector matrix; column `j` pairs with
+    /// `eigenvalues()[j]`.
+    pub fn eigenvectors(&self) -> &Matrix {
+        &self.eigenvectors
+    }
+
+    /// `true` if every eigenvalue is strictly negative (the quadratic form is
+    /// negative definite — a fitted surface with an interior maximum).
+    pub fn is_negative_definite(&self) -> bool {
+        self.eigenvalues.iter().all(|&l| l < 0.0)
+    }
+
+    /// `true` if every eigenvalue is strictly positive.
+    pub fn is_positive_definite(&self) -> bool {
+        self.eigenvalues.iter().all(|&l| l > 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let m = Matrix::diagonal(&[3.0, 1.0, 2.0]);
+        let e = SymEigen::decompose(&m).unwrap();
+        let vals = e.eigenvalues();
+        assert!((vals[0] - 1.0).abs() < 1e-12);
+        assert!((vals[1] - 2.0).abs() < 1e-12);
+        assert!((vals[2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 1 and 3.
+        let m = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let e = SymEigen::decompose(&m).unwrap();
+        assert!((e.eigenvalues()[0] - 1.0).abs() < 1e-10);
+        assert!((e.eigenvalues()[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_v_lambda_vt() {
+        let m = Matrix::from_rows(&[
+            &[4.0, 1.0, -2.0],
+            &[1.0, 2.0, 0.0],
+            &[-2.0, 0.0, 3.0],
+        ])
+        .unwrap();
+        let e = SymEigen::decompose(&m).unwrap();
+        let lambda = Matrix::diagonal(e.eigenvalues());
+        let recon = e
+            .eigenvectors()
+            .matmul(&lambda)
+            .unwrap()
+            .matmul(&e.eigenvectors().transpose())
+            .unwrap();
+        assert!(recon.approx_eq(&m, 1e-9));
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let m = Matrix::from_rows(&[
+            &[5.0, 2.0, 0.0],
+            &[2.0, 5.0, 1.0],
+            &[0.0, 1.0, 5.0],
+        ])
+        .unwrap();
+        let e = SymEigen::decompose(&m).unwrap();
+        let vtv = e.eigenvectors().gram();
+        assert!(vtv.approx_eq(&Matrix::identity(3), 1e-10));
+    }
+
+    #[test]
+    fn definiteness_classification() {
+        let neg = Matrix::diagonal(&[-1.0, -2.0]);
+        assert!(SymEigen::decompose(&neg).unwrap().is_negative_definite());
+        let pos = Matrix::diagonal(&[1.0, 2.0]);
+        assert!(SymEigen::decompose(&pos).unwrap().is_positive_definite());
+        let saddle = Matrix::diagonal(&[-1.0, 2.0]);
+        let e = SymEigen::decompose(&saddle).unwrap();
+        assert!(!e.is_negative_definite());
+        assert!(!e.is_positive_definite());
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let m = Matrix::from_rows(&[&[1.0, 0.5], &[0.5, -2.0]]).unwrap();
+        let e = SymEigen::decompose(&m).unwrap();
+        let sum: f64 = e.eigenvalues().iter().sum();
+        assert!((sum - m.trace().unwrap()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn one_by_one() {
+        let m = Matrix::from_rows(&[&[7.0]]).unwrap();
+        let e = SymEigen::decompose(&m).unwrap();
+        assert_eq!(e.eigenvalues(), &[7.0]);
+    }
+
+    #[test]
+    fn asymmetric_rejected() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0]]).unwrap();
+        assert!(SymEigen::decompose(&m).is_err());
+        assert!(SymEigen::decompose(&Matrix::zeros(2, 3)).is_err());
+    }
+}

@@ -1,0 +1,96 @@
+use std::fmt;
+
+/// Error type for all fallible numerical operations in this crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NumError {
+    /// Operand shapes are incompatible for the requested operation.
+    ShapeMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Shape of the left operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right operand as `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// The operation requires a square matrix but got a rectangular one.
+    NotSquare {
+        /// Shape of the offending matrix.
+        shape: (usize, usize),
+    },
+    /// The matrix is singular (or numerically singular) to working precision.
+    Singular,
+    /// The matrix is not positive definite (Cholesky only).
+    NotPositiveDefinite,
+    /// A least-squares system is rank deficient.
+    RankDeficient {
+        /// Estimated rank of the system.
+        rank: usize,
+        /// Number of unknowns requested.
+        wanted: usize,
+    },
+    /// An iterative algorithm failed to converge.
+    NoConvergence {
+        /// Name of the algorithm that failed.
+        algorithm: &'static str,
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+    /// An argument was empty or otherwise invalid.
+    InvalidArgument(&'static str),
+}
+
+impl fmt::Display for NumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: {}x{} vs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            NumError::NotSquare { shape } => {
+                write!(f, "matrix is not square: {}x{}", shape.0, shape.1)
+            }
+            NumError::Singular => write!(f, "matrix is singular to working precision"),
+            NumError::NotPositiveDefinite => write!(f, "matrix is not positive definite"),
+            NumError::RankDeficient { rank, wanted } => {
+                write!(f, "rank deficient system: rank {rank} of {wanted} unknowns")
+            }
+            NumError::NoConvergence {
+                algorithm,
+                iterations,
+            } => write!(f, "{algorithm} did not converge after {iterations} iterations"),
+            NumError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NumError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = NumError::ShapeMismatch {
+            op: "mul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        assert_eq!(e.to_string(), "shape mismatch in mul: 2x3 vs 4x5");
+        assert_eq!(NumError::Singular.to_string(), "matrix is singular to working precision");
+        let e = NumError::NoConvergence {
+            algorithm: "jacobi",
+            iterations: 100,
+        };
+        assert!(e.to_string().contains("jacobi"));
+        assert!(e.to_string().contains("100"));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<NumError>();
+    }
+}

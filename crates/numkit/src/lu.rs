@@ -1,0 +1,273 @@
+use crate::{Matrix, NumError, Result};
+
+/// LU decomposition with partial pivoting: `P * A = L * U`.
+///
+/// Used for determinants (the D-optimality criterion maximises
+/// `det(XᵀX)`), linear solves and inverses.
+///
+/// # Example
+///
+/// ```
+/// use numkit::{Lu, Matrix};
+///
+/// # fn main() -> Result<(), numkit::NumError> {
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]])?;
+/// let lu = Lu::decompose(&a)?;
+/// assert!((lu.det() - 5.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Combined L (strict lower, unit diagonal implied) and U (upper).
+    lu: Matrix,
+    /// Row permutation: row `i` of the factorisation came from `perm[i]`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (+1.0 or -1.0).
+    perm_sign: f64,
+}
+
+/// Relative pivot threshold below which a matrix is declared singular.
+const SINGULARITY_TOL: f64 = 1e-13;
+
+impl Lu {
+    /// Factorises a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumError::NotSquare`] for rectangular input.
+    /// * [`NumError::Singular`] when a pivot falls below a relative
+    ///   threshold of the matrix magnitude.
+    pub fn decompose(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(NumError::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+        let scale = a.max_abs().max(1.0);
+
+        for k in 0..n {
+            // Partial pivoting: find the largest entry in column k at/below row k.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = i;
+                }
+            }
+            if pivot_val <= SINGULARITY_TOL * scale {
+                return Err(NumError::Singular);
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(pivot_row, j)];
+                    lu[(pivot_row, j)] = tmp;
+                }
+                perm.swap(k, pivot_row);
+                perm_sign = -perm_sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    lu[(i, j)] -= factor * lu[(k, j)];
+                }
+            }
+        }
+        Ok(Lu {
+            lu,
+            perm,
+            perm_sign,
+        })
+    }
+
+    /// Dimension of the factorised matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Determinant of the original matrix (product of U's diagonal times the
+    /// permutation sign).
+    pub fn det(&self) -> f64 {
+        let n = self.dim();
+        let mut d = self.perm_sign;
+        for i in 0..n {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+
+    /// Natural logarithm of `|det|` plus the sign, which avoids overflow for
+    /// large, well-conditioned information matrices.
+    pub fn ln_abs_det(&self) -> (f64, f64) {
+        let n = self.dim();
+        let mut ln = 0.0;
+        let mut sign = self.perm_sign;
+        for i in 0..n {
+            let d = self.lu[(i, i)];
+            ln += d.abs().ln();
+            if d < 0.0 {
+                sign = -sign;
+            }
+        }
+        (ln, sign)
+    }
+
+    /// Solves `A * x = b` for a single right-hand side given as a slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::ShapeMismatch`] if `b.len()` differs from the
+    /// matrix dimension.
+    pub fn solve_vec(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(NumError::ShapeMismatch {
+                op: "lu solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Apply permutation, then forward/backward substitution.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            let mut s = x[i];
+            for j in 0..i {
+                s -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = s;
+        }
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in (i + 1)..n {
+                s -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = s / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves `A * X = B` for a matrix right-hand side.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::ShapeMismatch`] if `B` has a different number of
+    /// rows than the factorised matrix.
+    pub fn solve(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(NumError::ShapeMismatch {
+                op: "lu solve",
+                lhs: (n, n),
+                rhs: b.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            let col = self.solve_vec(&b.col(j))?;
+            for (i, v) in col.into_iter().enumerate() {
+                out[(i, j)] = v;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Inverse of the original matrix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solve errors (none expected for a successfully factorised
+    /// matrix).
+    pub fn inverse(&self) -> Result<Matrix> {
+        self.solve(&Matrix::identity(self.dim()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_matrix() -> Matrix {
+        Matrix::from_rows(&[
+            &[2.0, 1.0, 1.0],
+            &[4.0, -6.0, 0.0],
+            &[-2.0, 7.0, 2.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = test_matrix();
+        let x_true = [1.0, -2.0, 3.0];
+        let b = a.mul_vec(&x_true).unwrap();
+        let x = Lu::decompose(&a).unwrap().solve_vec(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn det_matches_cofactor_expansion() {
+        // det of test_matrix computed by hand: 2(-12-0) -1(8-0) +1(28-12) = -24-8+16 = -16
+        let d = Lu::decompose(&test_matrix()).unwrap().det();
+        assert!((d - (-16.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ln_abs_det_consistent_with_det() {
+        let lu = Lu::decompose(&test_matrix()).unwrap();
+        let (ln, sign) = lu.ln_abs_det();
+        assert!((sign * ln.exp() - lu.det()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn singular_matrix_is_detected() {
+        let s = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(Lu::decompose(&s), Err(NumError::Singular)));
+    }
+
+    #[test]
+    fn rectangular_matrix_rejected() {
+        let r = Matrix::zeros(2, 3);
+        assert!(matches!(Lu::decompose(&r), Err(NumError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let lu = Lu::decompose(&a).unwrap();
+        assert!((lu.det() - (-1.0)).abs() < 1e-12);
+        let x = lu.solve_vec(&[3.0, 5.0]).unwrap();
+        assert!((x[0] - 5.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_agrees_with_solve() {
+        let a = test_matrix();
+        let inv = Lu::decompose(&a).unwrap().inverse().unwrap();
+        assert!(a.matmul(&inv).unwrap().approx_eq(&Matrix::identity(3), 1e-10));
+    }
+
+    #[test]
+    fn matrix_rhs_solve() {
+        let a = test_matrix();
+        let b = Matrix::from_fn(3, 2, |i, j| (i + j) as f64 + 1.0);
+        let x = Lu::decompose(&a).unwrap().solve(&b).unwrap();
+        assert!(a.matmul(&x).unwrap().approx_eq(&b, 1e-10));
+    }
+
+    #[test]
+    fn wrong_rhs_length_errors() {
+        let lu = Lu::decompose(&test_matrix()).unwrap();
+        assert!(lu.solve_vec(&[1.0, 2.0]).is_err());
+        assert!(lu.solve(&Matrix::zeros(2, 2)).is_err());
+    }
+}

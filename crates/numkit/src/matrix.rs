@@ -1,0 +1,691 @@
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+
+use crate::{Cholesky, Lu, NumError, Qr, Result, SymEigen};
+
+/// A dense, row-major matrix of `f64` values.
+///
+/// `Matrix` is the workhorse value type of the workspace: design matrices,
+/// regression systems and state-space operators are all `Matrix` values.
+/// It is deliberately small and owned — the largest matrix in the reproduced
+/// paper's flow has ten rows.
+///
+/// # Example
+///
+/// ```
+/// use numkit::Matrix;
+///
+/// # fn main() -> Result<(), numkit::NumError> {
+/// let a = Matrix::identity(3);
+/// let b = Matrix::from_fn(3, 3, |i, j| (i + j) as f64);
+/// let c = a.matmul(&b)?;
+/// assert_eq!(c, b);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// let z = numkit::Matrix::zeros(2, 3);
+    /// assert_eq!(z.shape(), (2, 3));
+    /// assert_eq!(z[(1, 2)], 0.0);
+    /// ```
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a `rows x cols` matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` for every entry.
+    pub fn from_fn<F: FnMut(usize, usize) -> f64>(rows: usize, cols: usize, mut f: F) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a matrix from a slice of row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidArgument`] if `rows` is empty or the rows
+    /// have inconsistent lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self> {
+        let nrows = rows.len();
+        if nrows == 0 {
+            return Err(NumError::InvalidArgument("from_rows: no rows"));
+        }
+        let ncols = rows[0].len();
+        if ncols == 0 {
+            return Err(NumError::InvalidArgument("from_rows: empty rows"));
+        }
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for r in rows {
+            if r.len() != ncols {
+                return Err(NumError::InvalidArgument("from_rows: ragged rows"));
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix {
+            rows: nrows,
+            cols: ncols,
+            data,
+        })
+    }
+
+    /// Creates a matrix from a flat row-major vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidArgument`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(NumError::InvalidArgument("from_vec: length != rows*cols"));
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Creates an `n x 1` column vector from a slice.
+    pub fn col_vector(values: &[f64]) -> Self {
+        Matrix {
+            rows: values.len(),
+            cols: 1,
+            data: values.to_vec(),
+        }
+    }
+
+    /// Creates a `1 x n` row vector from a slice.
+    pub fn row_vector(values: &[f64]) -> Self {
+        Matrix {
+            rows: 1,
+            cols: values.len(),
+            data: values.to_vec(),
+        }
+    }
+
+    /// Creates an `n x n` diagonal matrix from the given diagonal entries.
+    pub fn diagonal(values: &[f64]) -> Self {
+        let mut m = Matrix::zeros(values.len(), values.len());
+        for (i, &v) in values.iter().enumerate() {
+            m[(i, i)] = v;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// `true` if the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrows the underlying row-major storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Consumes the matrix and returns its row-major storage.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Returns entry `(i, j)` or `None` when out of bounds.
+    pub fn get(&self, i: usize, j: usize) -> Option<f64> {
+        if i < self.rows && j < self.cols {
+            Some(self.data[i * self.cols + j])
+        } else {
+            None
+        }
+    }
+
+    /// Borrows row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copies column `j` into a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.cols()`.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.cols, "col index {j} out of bounds ({})", self.cols);
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Iterates over rows as slices.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols)
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::ShapeMismatch`] if `self.cols() != rhs.rows()`.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(NumError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * v` returning a plain vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::ShapeMismatch`] if `v.len() != self.cols()`.
+    pub fn mul_vec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if v.len() != self.cols {
+            return Err(NumError::ShapeMismatch {
+                op: "mul_vec",
+                lhs: self.shape(),
+                rhs: (v.len(), 1),
+            });
+        }
+        Ok(self
+            .rows_iter()
+            .map(|row| row.iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect())
+    }
+
+    /// Gram matrix `selfᵀ * self` — the *information matrix* of a design
+    /// matrix in the response-surface terminology of the paper (X'X).
+    pub fn gram(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.cols);
+        for i in 0..self.cols {
+            for j in i..self.cols {
+                let mut s = 0.0;
+                for k in 0..self.rows {
+                    s += self[(k, i)] * self[(k, j)];
+                }
+                out[(i, j)] = s;
+                out[(j, i)] = s;
+            }
+        }
+        out
+    }
+
+    /// Scales every entry by `s`.
+    pub fn scale(&self, s: f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|x| x * s).collect(),
+        }
+    }
+
+    /// Frobenius norm (square root of the sum of squared entries).
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute entry.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0, |m, x| m.max(x.abs()))
+    }
+
+    /// Trace (sum of diagonal entries).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::NotSquare`] for rectangular matrices.
+    pub fn trace(&self) -> Result<f64> {
+        if !self.is_square() {
+            return Err(NumError::NotSquare { shape: self.shape() });
+        }
+        Ok((0..self.rows).map(|i| self[(i, i)]).sum())
+    }
+
+    /// `true` if `self` and `other` agree entrywise within `tol`.
+    pub fn approx_eq(&self, other: &Matrix, tol: f64) -> bool {
+        self.shape() == other.shape()
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    /// `true` if the matrix is symmetric within `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        self.is_square()
+            && (0..self.rows)
+                .all(|i| (0..i).all(|j| (self[(i, j)] - self[(j, i)]).abs() <= tol))
+    }
+
+    /// Horizontally concatenates `self` with `rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::ShapeMismatch`] if the row counts differ.
+    pub fn hcat(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.rows != rhs.rows {
+            return Err(NumError::ShapeMismatch {
+                op: "hcat",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        Ok(Matrix::from_fn(self.rows, self.cols + rhs.cols, |i, j| {
+            if j < self.cols {
+                self[(i, j)]
+            } else {
+                rhs[(i, j - self.cols)]
+            }
+        }))
+    }
+
+    /// Vertically concatenates `self` with `rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::ShapeMismatch`] if the column counts differ.
+    pub fn vcat(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.cols {
+            return Err(NumError::ShapeMismatch {
+                op: "vcat",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut data = self.data.clone();
+        data.extend_from_slice(&rhs.data);
+        Ok(Matrix {
+            rows: self.rows + rhs.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// LU decomposition with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::NotSquare`] for rectangular matrices.
+    pub fn lu(&self) -> Result<Lu> {
+        Lu::decompose(self)
+    }
+
+    /// Householder QR decomposition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidArgument`] if the matrix has fewer rows
+    /// than columns.
+    pub fn qr(&self) -> Result<Qr> {
+        Qr::decompose(self)
+    }
+
+    /// Cholesky factorisation (`self = L * Lᵀ`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::NotPositiveDefinite`] if the matrix is not
+    /// symmetric positive definite.
+    pub fn cholesky(&self) -> Result<Cholesky> {
+        Cholesky::decompose(self)
+    }
+
+    /// Jacobi eigen-decomposition of a symmetric matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidArgument`] if the matrix is not symmetric.
+    pub fn sym_eigen(&self) -> Result<SymEigen> {
+        SymEigen::decompose(self)
+    }
+
+    /// Determinant via LU decomposition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::NotSquare`] for rectangular matrices.
+    pub fn det(&self) -> Result<f64> {
+        match Lu::decompose(self) {
+            Ok(lu) => Ok(lu.det()),
+            Err(NumError::Singular) => Ok(0.0),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Matrix inverse via LU decomposition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::Singular`] if the matrix is singular and
+    /// [`NumError::NotSquare`] if it is rectangular.
+    pub fn inverse(&self) -> Result<Matrix> {
+        self.lu()?.inverse()
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Add for Matrix {
+    type Output = Matrix;
+
+    /// # Panics
+    ///
+    /// Panics if shapes differ; use explicit shape checks for fallible code.
+    fn add(self, rhs: Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "add: shape mismatch");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a + b)
+                .collect(),
+        }
+    }
+}
+
+impl Sub for Matrix {
+    type Output = Matrix;
+
+    /// # Panics
+    ///
+    /// Panics if shapes differ; use explicit shape checks for fallible code.
+    fn sub(self, rhs: Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "sub: shape mismatch");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a - b)
+                .collect(),
+        }
+    }
+}
+
+impl Neg for Matrix {
+    type Output = Matrix;
+
+    fn neg(self) -> Matrix {
+        self.scale(-1.0)
+    }
+}
+
+impl Mul<f64> for Matrix {
+    type Output = Matrix;
+
+    fn mul(self, s: f64) -> Matrix {
+        self.scale(s)
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            write!(f, "[")?;
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:>12.6}", self[(i, j)])?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_shape() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.shape(), (2, 3));
+        assert!(!z.is_square());
+        let i = Matrix::identity(3);
+        assert!(i.is_square());
+        assert_eq!(i[(0, 0)], 1.0);
+        assert_eq!(i[(0, 1)], 0.0);
+        let d = Matrix::diagonal(&[1.0, 2.0, 3.0]);
+        assert_eq!(d[(1, 1)], 2.0);
+        assert_eq!(d[(2, 1)], 0.0);
+        let f = Matrix::filled(2, 2, 7.0);
+        assert_eq!(f[(1, 0)], 7.0);
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged_input() {
+        let err = Matrix::from_rows(&[&[1.0, 2.0][..], &[3.0][..]]).unwrap_err();
+        assert_eq!(err, NumError::InvalidArgument("from_rows: ragged rows"));
+        assert!(Matrix::from_rows(&[]).is_err());
+    }
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(m[(1, 0)], 3.0);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Matrix::from_fn(3, 2, |i, j| (i * 10 + j) as f64);
+        let t = m.transpose();
+        assert_eq!(t.shape(), (2, 3));
+        assert_eq!(t[(1, 2)], m[(2, 1)]);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn matrix_multiplication() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap());
+        // identity is neutral
+        assert_eq!(Matrix::identity(2).matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn mul_shape_mismatch_errors() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(matches!(a.matmul(&b), Err(NumError::ShapeMismatch { .. })));
+        assert!(a.mul_vec(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn mul_vec_matches_mul() {
+        let a = Matrix::from_rows(&[&[1.0, -1.0, 2.0], &[0.5, 3.0, -4.0]]).unwrap();
+        let v = [2.0, 1.0, -1.0];
+        let got = a.mul_vec(&v).unwrap();
+        let expect = a.matmul(&Matrix::col_vector(&v)).unwrap();
+        assert_eq!(got, expect.col(0));
+    }
+
+    #[test]
+    fn gram_is_xtx() {
+        let x = Matrix::from_fn(4, 3, |i, j| (i as f64 + 1.0) * (j as f64 - 1.0));
+        let g = x.gram();
+        let xtx = x.transpose().matmul(&x).unwrap();
+        assert!(g.approx_eq(&xtx, 1e-12));
+        assert!(g.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn concatenation() {
+        let a = Matrix::identity(2);
+        let b = Matrix::filled(2, 1, 9.0);
+        let h = a.hcat(&b).unwrap();
+        assert_eq!(h.shape(), (2, 3));
+        assert_eq!(h[(0, 2)], 9.0);
+        let v = a.vcat(&Matrix::zeros(1, 2)).unwrap();
+        assert_eq!(v.shape(), (3, 2));
+        assert!(a.hcat(&Matrix::zeros(3, 1)).is_err());
+        assert!(a.vcat(&Matrix::zeros(1, 3)).is_err());
+    }
+
+    #[test]
+    fn norms_and_trace() {
+        let m = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]).unwrap();
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+        assert_eq!(m.max_abs(), 4.0);
+        assert_eq!(m.trace().unwrap(), 7.0);
+        assert!(Matrix::zeros(2, 3).trace().is_err());
+    }
+
+    #[test]
+    fn det_of_known_matrices() {
+        assert!((Matrix::identity(4).det().unwrap() - 1.0).abs() < 1e-12);
+        let m = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 5.0]]).unwrap();
+        assert!((m.det().unwrap() - 10.0).abs() < 1e-12);
+        let s = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(s.det().unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let m = Matrix::from_rows(&[&[4.0, 7.0], &[2.0, 6.0]]).unwrap();
+        let inv = m.inverse().unwrap();
+        assert!(m.matmul(&inv).unwrap().approx_eq(&Matrix::identity(2), 1e-12));
+    }
+
+    #[test]
+    fn operators() {
+        let a = Matrix::identity(2);
+        let b = Matrix::filled(2, 2, 1.0);
+        let s = a.clone() + b.clone();
+        assert_eq!(s[(0, 0)], 2.0);
+        assert_eq!(s[(0, 1)], 1.0);
+        let d = s - b;
+        assert_eq!(d, a);
+        let n = -a.clone();
+        assert_eq!(n[(0, 0)], -1.0);
+        let sc = a * 3.0;
+        assert_eq!(sc[(1, 1)], 3.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let m = Matrix::identity(2);
+        let s = format!("{m}");
+        assert!(s.contains('['));
+        assert!(s.lines().count() == 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn index_out_of_bounds_panics() {
+        let m = Matrix::zeros(2, 2);
+        let _ = m[(2, 0)];
+    }
+
+    #[test]
+    fn rows_iter_and_col() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let rows: Vec<&[f64]> = m.rows_iter().collect();
+        assert_eq!(rows, vec![&[1.0, 2.0][..], &[3.0, 4.0][..]]);
+        assert_eq!(m.col(1), vec![2.0, 4.0]);
+        assert_eq!(m.get(5, 5), None);
+        assert_eq!(m.get(1, 1), Some(4.0));
+    }
+}

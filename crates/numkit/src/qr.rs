@@ -1,0 +1,262 @@
+use crate::{Matrix, NumError, Result};
+
+/// Householder QR decomposition of an `m x n` matrix with `m >= n`.
+///
+/// This is the numerically stable engine behind the response-surface
+/// least-squares fit (Eq. 5–7 of the paper): solving `min ||X β − y||²`
+/// via `R β = Qᵀ y` avoids forming the information matrix `XᵀX` explicitly.
+///
+/// # Example
+///
+/// ```
+/// use numkit::{Matrix, Qr};
+///
+/// # fn main() -> Result<(), numkit::NumError> {
+/// // Fit y = 2 + 3 t by least squares.
+/// let x = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]])?;
+/// let beta = Qr::decompose(&x)?.solve_least_squares(&[2.0, 5.0, 8.0])?;
+/// assert!((beta[0] - 2.0).abs() < 1e-12);
+/// assert!((beta[1] - 3.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Householder vectors stored below the diagonal; R on and above it.
+    qr: Matrix,
+    /// Scaled diagonal of R (Householder convention).
+    r_diag: Vec<f64>,
+}
+
+impl Qr {
+    /// Factorises `a` (requires `rows >= cols`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidArgument`] when `rows < cols`.
+    pub fn decompose(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m < n {
+            return Err(NumError::InvalidArgument(
+                "qr: matrix must have rows >= cols",
+            ));
+        }
+        let mut qr = a.clone();
+        let mut r_diag = vec![0.0; n];
+
+        for k in 0..n {
+            // Norm of column k below the diagonal.
+            let mut norm = 0.0_f64;
+            for i in k..m {
+                norm = norm.hypot(qr[(i, k)]);
+            }
+            if norm != 0.0 {
+                if qr[(k, k)] < 0.0 {
+                    norm = -norm;
+                }
+                for i in k..m {
+                    qr[(i, k)] /= norm;
+                }
+                qr[(k, k)] += 1.0;
+                // Apply the transform to the remaining columns.
+                for j in (k + 1)..n {
+                    let mut s = 0.0;
+                    for i in k..m {
+                        s += qr[(i, k)] * qr[(i, j)];
+                    }
+                    s = -s / qr[(k, k)];
+                    for i in k..m {
+                        qr[(i, j)] += s * qr[(i, k)];
+                    }
+                }
+            }
+            r_diag[k] = -norm;
+        }
+        Ok(Qr { qr, r_diag })
+    }
+
+    /// `true` if R has no (numerically) zero diagonal entry.
+    pub fn is_full_rank(&self) -> bool {
+        let scale = self.qr.max_abs().max(1.0);
+        self.r_diag.iter().all(|d| d.abs() > 1e-12 * scale)
+    }
+
+    /// Estimated rank (number of non-negligible diagonal entries of R).
+    pub fn rank(&self) -> usize {
+        let scale = self.qr.max_abs().max(1.0);
+        self.r_diag
+            .iter()
+            .filter(|d| d.abs() > 1e-12 * scale)
+            .count()
+    }
+
+    /// Upper-triangular factor `R` (n x n).
+    pub fn r(&self) -> Matrix {
+        let n = self.r_diag.len();
+        Matrix::from_fn(n, n, |i, j| {
+            if i < j {
+                self.qr[(i, j)]
+            } else if i == j {
+                self.r_diag[i]
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// Thin orthogonal factor `Q` (m x n), reconstructed explicitly.
+    pub fn q(&self) -> Matrix {
+        let (m, n) = self.qr.shape();
+        let mut q = Matrix::zeros(m, n);
+        for k in (0..n).rev() {
+            q[(k, k)] = 1.0;
+            for j in k..n {
+                if self.qr[(k, k)] != 0.0 {
+                    let mut s = 0.0;
+                    for i in k..m {
+                        s += self.qr[(i, k)] * q[(i, j)];
+                    }
+                    s = -s / self.qr[(k, k)];
+                    for i in k..m {
+                        q[(i, j)] += s * self.qr[(i, k)];
+                    }
+                }
+            }
+        }
+        q
+    }
+
+    /// Solves the least-squares problem `min ||A x − b||²`.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumError::ShapeMismatch`] if `b.len()` differs from the row count.
+    /// * [`NumError::RankDeficient`] if R is numerically singular.
+    pub fn solve_least_squares(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let (m, n) = self.qr.shape();
+        if b.len() != m {
+            return Err(NumError::ShapeMismatch {
+                op: "qr least squares",
+                lhs: (m, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        if !self.is_full_rank() {
+            return Err(NumError::RankDeficient {
+                rank: self.rank(),
+                wanted: n,
+            });
+        }
+        let mut y = b.to_vec();
+        // Apply Householder reflections: y <- Qᵀ b.
+        for k in 0..n {
+            if self.qr[(k, k)] != 0.0 {
+                let mut s = 0.0;
+                for i in k..m {
+                    s += self.qr[(i, k)] * y[i];
+                }
+                s = -s / self.qr[(k, k)];
+                for i in k..m {
+                    y[i] += s * self.qr[(i, k)];
+                }
+            }
+        }
+        // Back substitution with R.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for j in (i + 1)..n {
+                s -= self.qr[(i, j)] * x[j];
+            }
+            x[i] = s / self.r_diag[i];
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qr_reconstructs_input() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 2.0],
+            &[3.0, 4.0],
+            &[5.0, 6.0],
+        ])
+        .unwrap();
+        let qr = Qr::decompose(&a).unwrap();
+        let recon = qr.q().matmul(&qr.r()).unwrap();
+        assert!(recon.approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn q_has_orthonormal_columns() {
+        let a = Matrix::from_fn(5, 3, |i, j| ((i + 1) * (j + 2)) as f64 + (i as f64).sin());
+        let q = Qr::decompose(&a).unwrap().q();
+        let qtq = q.gram();
+        assert!(qtq.approx_eq(&Matrix::identity(3), 1e-10));
+    }
+
+    #[test]
+    fn least_squares_exact_system() {
+        let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 3.0]]).unwrap();
+        let x = Qr::decompose(&a)
+            .unwrap()
+            .solve_least_squares(&[4.0, 9.0])
+            .unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn least_squares_overdetermined_matches_normal_equations() {
+        // y = 1 + 2 t + noise-free quadratic design
+        let ts = [0.0, 0.5, 1.0, 1.5, 2.0];
+        let x = Matrix::from_fn(5, 2, |i, j| if j == 0 { 1.0 } else { ts[i] });
+        let y: Vec<f64> = ts.iter().map(|t| 1.0 + 2.0 * t).collect();
+        let beta = Qr::decompose(&x).unwrap().solve_least_squares(&y).unwrap();
+        assert!((beta[0] - 1.0).abs() < 1e-10);
+        assert!((beta[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn least_squares_minimises_residual() {
+        // Inconsistent system: residual of LS solution must be orthogonal to columns.
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let b = [0.0, 1.0, 0.5];
+        let x = Qr::decompose(&a).unwrap().solve_least_squares(&b).unwrap();
+        let fitted = a.mul_vec(&x).unwrap();
+        let resid: Vec<f64> = b.iter().zip(&fitted).map(|(bi, fi)| bi - fi).collect();
+        for j in 0..2 {
+            let dot: f64 = (0..3).map(|i| a[(i, j)] * resid[i]).sum();
+            assert!(dot.abs() < 1e-10, "residual not orthogonal: {dot}");
+        }
+    }
+
+    #[test]
+    fn rank_deficient_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]).unwrap();
+        let qr = Qr::decompose(&a).unwrap();
+        assert!(!qr.is_full_rank());
+        assert_eq!(qr.rank(), 1);
+        assert!(matches!(
+            qr.solve_least_squares(&[1.0, 2.0, 3.0]),
+            Err(NumError::RankDeficient { .. })
+        ));
+    }
+
+    #[test]
+    fn wide_matrix_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(Qr::decompose(&a).is_err());
+    }
+
+    #[test]
+    fn rhs_length_checked() {
+        let a = Matrix::identity(3);
+        let qr = Qr::decompose(&a).unwrap();
+        assert!(qr.solve_least_squares(&[1.0, 2.0]).is_err());
+    }
+}

@@ -1,0 +1,219 @@
+//! Descriptive statistics used across the experiment harness.
+//!
+//! These helpers operate on plain `&[f64]` slices so every crate in the
+//! workspace (simulation traces, regression residuals, benchmark summaries)
+//! can use them without conversions.
+//!
+//! # Example
+//!
+//! ```
+//! let xs = [1.0, 2.0, 3.0, 4.0];
+//! assert_eq!(numkit::stats::mean(&xs), 2.5);
+//! assert!((numkit::stats::variance(&xs) - 5.0 / 3.0).abs() < 1e-12);
+//! ```
+
+/// Arithmetic mean. Returns `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Unbiased sample variance (divides by `n - 1`). Returns `0.0` when fewer
+/// than two samples are present.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation (square root of [`variance`]).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Minimum value. Returns `f64::INFINITY` for an empty slice.
+pub fn min(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// Maximum value. Returns `f64::NEG_INFINITY` for an empty slice.
+pub fn max(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Sum of squares of the values.
+pub fn sum_of_squares(xs: &[f64]) -> f64 {
+    xs.iter().map(|x| x * x).sum()
+}
+
+/// Total sum of squares about the mean, `Σ (x − x̄)²` — `SS_tot` in the
+/// ANOVA decomposition.
+pub fn total_sum_of_squares(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum()
+}
+
+/// Linearly interpolated quantile, `q ∈ [0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]` or `xs` is empty.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile q must be in [0,1]");
+    assert!(!xs.is_empty(), "quantile of empty slice");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Median (the 0.5 [`quantile`]).
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+/// Pearson correlation coefficient between two equal-length samples.
+/// Returns `0.0` if either sample is constant.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn correlation(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "correlation: length mismatch");
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        0.0
+    } else {
+        cov / (vx * vy).sqrt()
+    }
+}
+
+/// Root-mean-square error between predictions and observations.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn rmse(predicted: &[f64], observed: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), observed.len(), "rmse: length mismatch");
+    assert!(!predicted.is_empty(), "rmse of empty slices");
+    let sse: f64 = predicted
+        .iter()
+        .zip(observed)
+        .map(|(p, o)| (p - o) * (p - o))
+        .sum();
+    (sse / predicted.len() as f64).sqrt()
+}
+
+/// Mean absolute percentage error, skipping observations that are exactly
+/// zero. Returns `0.0` when every observation is zero.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn mape(predicted: &[f64], observed: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), observed.len(), "mape: length mismatch");
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for (p, o) in predicted.iter().zip(observed) {
+        if *o != 0.0 {
+            total += ((p - o) / o).abs();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        100.0 * total / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert!((variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - (32.0_f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton_edge_cases() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(variance(&[3.0]), 0.0);
+        assert_eq!(min(&[]), f64::INFINITY);
+        assert_eq!(max(&[]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn quantiles() {
+        let xs = [3.0, 1.0, 2.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert_eq!(median(&xs), 2.5);
+        assert_eq!(quantile(&xs, 0.25), 1.75);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn median_empty_panics() {
+        median(&[]);
+    }
+
+    #[test]
+    fn correlation_limits() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+        assert!((correlation(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = xs.iter().map(|x| -x).collect();
+        assert!((correlation(&xs, &neg) + 1.0).abs() < 1e-12);
+        assert_eq!(correlation(&xs, &[5.0; 4]), 0.0);
+    }
+
+    #[test]
+    fn error_metrics() {
+        let p = [1.0, 2.0, 3.0];
+        let o = [1.0, 2.0, 3.0];
+        assert_eq!(rmse(&p, &o), 0.0);
+        assert_eq!(mape(&p, &o), 0.0);
+        let p2 = [2.0, 2.0, 3.0];
+        assert!((rmse(&p2, &o) - (1.0_f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert!((mape(&p2, &o) - 100.0 / 3.0).abs() < 1e-12);
+        // zero observations are skipped
+        assert_eq!(mape(&[1.0], &[0.0]), 0.0);
+    }
+
+    #[test]
+    fn total_ss_matches_variance() {
+        let xs = [1.0, 3.0, 5.0, 7.0];
+        assert!((total_sum_of_squares(&xs) - variance(&xs) * 3.0).abs() < 1e-12);
+        assert_eq!(sum_of_squares(&[3.0, 4.0]), 25.0);
+    }
+}

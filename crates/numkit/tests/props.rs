@@ -1,0 +1,175 @@
+//! Property-based tests for the linear-algebra kernel: decomposition
+//! identities on randomly generated matrices.
+
+use numkit::{stats, Cholesky, Lu, Matrix, Qr, SymEigen};
+use proptest::prelude::*;
+
+/// Strategy: a square matrix with entries in [-10, 10], made diagonally
+/// dominant so it is comfortably invertible.
+fn dominant_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-10.0..10.0f64, n * n).prop_map(move |data| {
+        let mut m = Matrix::from_vec(n, n, data).expect("sized correctly");
+        for i in 0..n {
+            let row_sum: f64 = (0..n).map(|j| m[(i, j)].abs()).sum();
+            m[(i, i)] = row_sum + 1.0;
+        }
+        m
+    })
+}
+
+/// Strategy: a symmetric positive definite matrix built as AᵀA + I.
+fn spd_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-3.0..3.0f64, n * n).prop_map(move |data| {
+        let a = Matrix::from_vec(n, n, data).expect("sized correctly");
+        let mut g = a.gram();
+        for i in 0..n {
+            g[(i, i)] += 1.0;
+        }
+        g
+    })
+}
+
+/// Strategy: a symmetric matrix.
+fn symmetric_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-5.0..5.0f64, n * n).prop_map(move |data| {
+        let a = Matrix::from_vec(n, n, data).expect("sized correctly");
+        Matrix::from_fn(n, n, |i, j| 0.5 * (a[(i, j)] + a[(j, i)]))
+    })
+}
+
+proptest! {
+    /// LU solve then multiply reproduces the right-hand side.
+    #[test]
+    fn lu_solve_roundtrip(m in dominant_matrix(4), b in prop::collection::vec(-5.0..5.0f64, 4)) {
+        let lu = Lu::decompose(&m).expect("dominant matrices are invertible");
+        let x = lu.solve_vec(&b).expect("solvable");
+        let back = m.mul_vec(&x).expect("dims match");
+        for (bi, gi) in b.iter().zip(&back) {
+            prop_assert!((bi - gi).abs() < 1e-8, "{bi} vs {gi}");
+        }
+    }
+
+    /// det(A) · det(A⁻¹) = 1.
+    #[test]
+    fn det_of_inverse_is_reciprocal(m in dominant_matrix(3)) {
+        let d = m.det().expect("square");
+        let d_inv = m.inverse().expect("invertible").det().expect("square");
+        prop_assert!((d * d_inv - 1.0).abs() < 1e-6);
+    }
+
+    /// det(AB) = det(A)·det(B).
+    #[test]
+    fn det_is_multiplicative(a in dominant_matrix(3), b in dominant_matrix(3)) {
+        let ab = a.matmul(&b).expect("square");
+        let lhs = ab.det().expect("square");
+        let rhs = a.det().expect("square") * b.det().expect("square");
+        prop_assert!((lhs - rhs).abs() <= 1e-6 * rhs.abs().max(1.0));
+    }
+
+    /// QR reproduces the matrix and Q has orthonormal columns.
+    #[test]
+    fn qr_factorisation_identities(
+        data in prop::collection::vec(-10.0..10.0f64, 5 * 3),
+    ) {
+        let a = Matrix::from_vec(5, 3, data).expect("sized");
+        let qr = Qr::decompose(&a).expect("rows >= cols");
+        let recon = qr.q().matmul(&qr.r()).expect("dims");
+        prop_assert!(recon.approx_eq(&a, 1e-8));
+        let qtq = qr.q().gram();
+        prop_assert!(qtq.approx_eq(&Matrix::identity(3), 1e-8));
+    }
+
+    /// Least squares residuals are orthogonal to the column space.
+    #[test]
+    fn least_squares_normal_equations(
+        data in prop::collection::vec(-5.0..5.0f64, 6 * 2),
+        y in prop::collection::vec(-5.0..5.0f64, 6),
+    ) {
+        let a = Matrix::from_vec(6, 2, data).expect("sized");
+        let qr = Qr::decompose(&a).expect("rows >= cols");
+        if !qr.is_full_rank() {
+            return Ok(()); // degenerate random draw
+        }
+        let x = qr.solve_least_squares(&y).expect("full rank");
+        let fitted = a.mul_vec(&x).expect("dims");
+        for j in 0..2 {
+            let dot: f64 = (0..6).map(|i| a[(i, j)] * (y[i] - fitted[i])).sum();
+            prop_assert!(dot.abs() < 1e-7, "column {j} correlated: {dot}");
+        }
+    }
+
+    /// Cholesky solves agree with LU on SPD systems, and det > 0.
+    #[test]
+    fn cholesky_agrees_with_lu(m in spd_matrix(4), b in prop::collection::vec(-5.0..5.0f64, 4)) {
+        let ch = Cholesky::decompose(&m).expect("spd");
+        let lu = Lu::decompose(&m).expect("invertible");
+        let x1 = ch.solve_vec(&b).expect("solvable");
+        let x2 = lu.solve_vec(&b).expect("solvable");
+        for (a1, a2) in x1.iter().zip(&x2) {
+            prop_assert!((a1 - a2).abs() < 1e-7);
+        }
+        prop_assert!(ch.det() > 0.0);
+        prop_assert!((ch.det() - lu.det()).abs() <= 1e-6 * lu.det().abs().max(1.0));
+    }
+
+    /// Eigen reconstruction: V Λ Vᵀ = A, eigenvalue sum = trace.
+    #[test]
+    fn eigen_reconstruction(m in symmetric_matrix(4)) {
+        let e = SymEigen::decompose(&m).expect("symmetric");
+        let lambda = Matrix::diagonal(e.eigenvalues());
+        let recon = e
+            .eigenvectors()
+            .matmul(&lambda)
+            .expect("dims")
+            .matmul(&e.eigenvectors().transpose())
+            .expect("dims");
+        prop_assert!(recon.approx_eq(&m, 1e-7));
+        let sum: f64 = e.eigenvalues().iter().sum();
+        prop_assert!((sum - m.trace().expect("square")).abs() < 1e-8);
+        // Ascending order.
+        for w in e.eigenvalues().windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+
+    /// Transpose is an involution and preserves the Frobenius norm.
+    #[test]
+    fn transpose_involution(data in prop::collection::vec(-10.0..10.0f64, 12)) {
+        let m = Matrix::from_vec(3, 4, data).expect("sized");
+        prop_assert_eq!(m.transpose().transpose(), m.clone());
+        prop_assert!((m.transpose().frobenius_norm() - m.frobenius_norm()).abs() < 1e-12);
+    }
+
+    /// Variance is translation invariant and scales quadratically.
+    #[test]
+    fn variance_affine_rules(xs in prop::collection::vec(-100.0..100.0f64, 2..40), c in -10.0..10.0f64) {
+        let shifted: Vec<f64> = xs.iter().map(|x| x + c).collect();
+        let scaled: Vec<f64> = xs.iter().map(|x| x * c).collect();
+        let v = stats::variance(&xs);
+        prop_assert!((stats::variance(&shifted) - v).abs() < 1e-6 * v.max(1.0));
+        prop_assert!((stats::variance(&scaled) - c * c * v).abs() < 1e-6 * (c * c * v).max(1.0));
+    }
+
+    /// Quantiles are monotone in q and bracketed by min/max.
+    #[test]
+    fn quantiles_monotone(xs in prop::collection::vec(-100.0..100.0f64, 1..30)) {
+        let q25 = stats::quantile(&xs, 0.25);
+        let q50 = stats::quantile(&xs, 0.5);
+        let q75 = stats::quantile(&xs, 0.75);
+        prop_assert!(stats::min(&xs) <= q25 + 1e-12);
+        prop_assert!(q25 <= q50 + 1e-12);
+        prop_assert!(q50 <= q75 + 1e-12);
+        prop_assert!(q75 <= stats::max(&xs) + 1e-12);
+    }
+
+    /// Correlation is bounded and symmetric.
+    #[test]
+    fn correlation_bounded(
+        xs in prop::collection::vec(-50.0..50.0f64, 3..20),
+    ) {
+        let ys: Vec<f64> = xs.iter().enumerate().map(|(i, x)| x * 0.5 + i as f64).collect();
+        let r = stats::correlation(&xs, &ys);
+        prop_assert!((-1.0 - 1e-12..=1.0 + 1e-12).contains(&r));
+        prop_assert!((stats::correlation(&ys, &xs) - r).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,254 @@
+use std::fmt;
+
+use rand::Rng;
+
+use crate::{OptimError, Result};
+
+/// A rectangular feasible region (per-coordinate lower/upper bounds).
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), optim::OptimError> {
+/// let b = optim::Bounds::new(vec![0.0, -1.0], vec![10.0, 1.0])?;
+/// assert_eq!(b.dimension(), 2);
+/// assert_eq!(b.clamp(&[20.0, 0.0]), vec![10.0, 0.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bounds {
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+}
+
+impl Bounds {
+    /// Creates bounds from lower and upper corner vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimError::InvalidBounds`] when the lengths differ, a
+    /// bound is non-finite, or `lower[i] >= upper[i]` for some `i`.
+    pub fn new(lower: Vec<f64>, upper: Vec<f64>) -> Result<Self> {
+        if lower.is_empty() || lower.len() != upper.len() {
+            return Err(OptimError::InvalidBounds(
+                "bound vectors must be non-empty and equal length",
+            ));
+        }
+        for (l, u) in lower.iter().zip(&upper) {
+            if !(l.is_finite() && u.is_finite()) || l >= u {
+                return Err(OptimError::InvalidBounds(
+                    "each lower bound must be finite and below its upper bound",
+                ));
+            }
+        }
+        Ok(Bounds { lower, upper })
+    }
+
+    /// Symmetric box `[-half, half]^k` — e.g. the coded design cube
+    /// `[-1, 1]^k` of the paper.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimError::InvalidBounds`] for `k == 0` or non-positive
+    /// `half`.
+    pub fn symmetric(k: usize, half: f64) -> Result<Self> {
+        if k == 0 || half <= 0.0 {
+            return Err(OptimError::InvalidBounds(
+                "symmetric bounds need k >= 1 and half > 0",
+            ));
+        }
+        Bounds::new(vec![-half; k], vec![half; k])
+    }
+
+    /// Number of coordinates.
+    pub fn dimension(&self) -> usize {
+        self.lower.len()
+    }
+
+    /// Lower corner.
+    pub fn lower(&self) -> &[f64] {
+        &self.lower
+    }
+
+    /// Upper corner.
+    pub fn upper(&self) -> &[f64] {
+        &self.upper
+    }
+
+    /// Per-coordinate widths.
+    pub fn widths(&self) -> Vec<f64> {
+        self.lower
+            .iter()
+            .zip(&self.upper)
+            .map(|(l, u)| u - l)
+            .collect()
+    }
+
+    /// Centre of the box.
+    pub fn center(&self) -> Vec<f64> {
+        self.lower
+            .iter()
+            .zip(&self.upper)
+            .map(|(l, u)| 0.5 * (l + u))
+            .collect()
+    }
+
+    /// Clamps a point onto the box.
+    pub fn clamp(&self, x: &[f64]) -> Vec<f64> {
+        x.iter()
+            .zip(self.lower.iter().zip(&self.upper))
+            .map(|(v, (l, u))| v.clamp(*l, *u))
+            .collect()
+    }
+
+    /// `true` if the point lies within the box (inclusive).
+    pub fn contains(&self, x: &[f64]) -> bool {
+        x.len() == self.dimension()
+            && x.iter()
+                .zip(self.lower.iter().zip(&self.upper))
+                .all(|(v, (l, u))| *v >= *l && *v <= *u)
+    }
+
+    /// Draws a uniform random point inside the box.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> Vec<f64> {
+        self.lower
+            .iter()
+            .zip(&self.upper)
+            .map(|(l, u)| rng.gen_range(*l..=*u))
+            .collect()
+    }
+}
+
+/// Outcome of an optimisation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimResult {
+    /// Best point found.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub value: f64,
+    /// Total number of objective evaluations.
+    pub evaluations: usize,
+    /// Iterations (algorithm-specific unit: temperature steps, generations,
+    /// simplex iterations, ...).
+    pub iterations: usize,
+}
+
+impl fmt::Display for OptimResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "f = {:.6} at {:?} ({} evals, {} iters)",
+            self.value, self.x, self.evaluations, self.iterations
+        )
+    }
+}
+
+/// Common interface of every optimiser in this crate: maximise `f` over a
+/// box.
+///
+/// Implementations guarantee that the returned point lies inside `bounds`
+/// and that runs are reproducible for a fixed seed.
+pub trait Optimizer {
+    /// Maximises `f` over `bounds`.
+    ///
+    /// # Errors
+    ///
+    /// * [`OptimError::NonFiniteObjective`] when `f` returns NaN/±∞ at the
+    ///   final best point (optimisers tolerate transient non-finite values
+    ///   by treating them as −∞).
+    /// * [`OptimError::InvalidParameter`] for invalid configurations.
+    fn maximize<F: Fn(&[f64]) -> f64>(&self, bounds: &Bounds, f: F) -> Result<OptimResult>;
+
+    /// Minimises `f` by maximising `-f`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`maximize`](Self::maximize).
+    fn minimize<F: Fn(&[f64]) -> f64>(&self, bounds: &Bounds, f: F) -> Result<OptimResult> {
+        let mut result = self.maximize(bounds, |x| -f(x))?;
+        result.value = -result.value;
+        Ok(result)
+    }
+}
+
+/// Treats non-finite objective values as −∞ so optimisers can move through
+/// numerically failing regions without corrupting the incumbent.
+pub(crate) fn guard(v: f64) -> f64 {
+    if v.is_finite() {
+        v
+    } else {
+        f64::NEG_INFINITY
+    }
+}
+
+/// Draws one standard-normal sample via Box–Muller (kept local to avoid an
+/// extra distribution dependency).
+pub(crate) fn sample_standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen();
+        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bounds_validation() {
+        assert!(Bounds::new(vec![], vec![]).is_err());
+        assert!(Bounds::new(vec![0.0], vec![0.0]).is_err());
+        assert!(Bounds::new(vec![0.0, 1.0], vec![1.0]).is_err());
+        assert!(Bounds::new(vec![f64::NAN], vec![1.0]).is_err());
+        assert!(Bounds::symmetric(0, 1.0).is_err());
+        assert!(Bounds::symmetric(2, 0.0).is_err());
+        let b = Bounds::symmetric(3, 1.0).unwrap();
+        assert_eq!(b.dimension(), 3);
+        assert_eq!(b.lower(), &[-1.0, -1.0, -1.0]);
+    }
+
+    #[test]
+    fn clamp_and_contains() {
+        let b = Bounds::new(vec![0.0, 0.0], vec![1.0, 2.0]).unwrap();
+        assert_eq!(b.clamp(&[-1.0, 3.0]), vec![0.0, 2.0]);
+        assert!(b.contains(&[0.5, 1.0]));
+        assert!(!b.contains(&[1.5, 1.0]));
+        assert!(!b.contains(&[0.5]));
+        assert_eq!(b.center(), vec![0.5, 1.0]);
+        assert_eq!(b.widths(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn sampling_stays_inside() {
+        let b = Bounds::new(vec![-3.0, 5.0], vec![-1.0, 6.0]).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let p = b.sample(&mut rng);
+            assert!(b.contains(&p), "sample {p:?} escaped bounds");
+        }
+    }
+
+    #[test]
+    fn guard_maps_non_finite() {
+        assert_eq!(guard(1.0), 1.0);
+        assert_eq!(guard(f64::NAN), f64::NEG_INFINITY);
+        assert_eq!(guard(f64::INFINITY), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn result_display() {
+        let r = OptimResult {
+            x: vec![1.0],
+            value: 2.0,
+            evaluations: 10,
+            iterations: 5,
+        };
+        assert!(r.to_string().contains("evals"));
+    }
+}

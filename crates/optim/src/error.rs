@@ -1,0 +1,43 @@
+use std::fmt;
+
+/// Error type for optimiser configuration and execution.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum OptimError {
+    /// Lower/upper bound vectors disagree in length, or a lower bound is
+    /// not strictly below its upper bound.
+    InvalidBounds(&'static str),
+    /// An optimiser parameter is out of its valid range.
+    InvalidParameter(&'static str),
+    /// The objective returned a non-finite value at a feasible point.
+    NonFiniteObjective {
+        /// The point at which the objective was non-finite.
+        point: Vec<f64>,
+    },
+}
+
+impl fmt::Display for OptimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptimError::InvalidBounds(msg) => write!(f, "invalid bounds: {msg}"),
+            OptimError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            OptimError::NonFiniteObjective { point } => {
+                write!(f, "objective is non-finite at {point:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OptimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(OptimError::InvalidBounds("x").to_string().contains("x"));
+        let e = OptimError::NonFiniteObjective { point: vec![1.0] };
+        assert!(e.to_string().contains("non-finite"));
+    }
+}

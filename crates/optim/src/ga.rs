@@ -1,0 +1,319 @@
+use rand::{Rng, SeedableRng};
+
+use crate::common::{guard, sample_standard_normal};
+use crate::{Bounds, OptimError, OptimResult, Optimizer, Result};
+
+/// Real-coded genetic algorithm: tournament selection, blend (BLX-α)
+/// crossover, Gaussian mutation and elitism.
+///
+/// This plays the role of MATLAB's `ga` in the paper's Table VI. Population
+/// members are real vectors inside the bounds; each generation keeps the
+/// `elite_count` best individuals unchanged and refills the rest through
+/// selection, crossover and mutation.
+///
+/// # Example
+///
+/// ```
+/// use optim::{Bounds, GeneticAlgorithm, Optimizer};
+///
+/// # fn main() -> Result<(), optim::OptimError> {
+/// let bounds = Bounds::symmetric(2, 1.0)?;
+/// let ga = GeneticAlgorithm::new().seed(11);
+/// let r = ga.maximize(&bounds, |x| 1.0 - x[0] * x[0] - x[1] * x[1])?;
+/// assert!((r.value - 1.0).abs() < 1e-3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct GeneticAlgorithm {
+    population_size: usize,
+    generations: usize,
+    crossover_rate: f64,
+    mutation_rate: f64,
+    mutation_sigma: f64,
+    tournament_size: usize,
+    elite_count: usize,
+    blend_alpha: f64,
+    seed: u64,
+}
+
+impl Default for GeneticAlgorithm {
+    fn default() -> Self {
+        GeneticAlgorithm {
+            population_size: 60,
+            generations: 120,
+            crossover_rate: 0.9,
+            mutation_rate: 0.15,
+            mutation_sigma: 0.1,
+            tournament_size: 3,
+            elite_count: 2,
+            blend_alpha: 0.5,
+            seed: 0,
+        }
+    }
+}
+
+impl GeneticAlgorithm {
+    /// Creates a GA with default settings (population 60, 120 generations).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Population size (>= 4).
+    pub fn population_size(mut self, n: usize) -> Self {
+        self.population_size = n;
+        self
+    }
+
+    /// Number of generations.
+    pub fn generations(mut self, g: usize) -> Self {
+        self.generations = g;
+        self
+    }
+
+    /// Probability that a pair of parents is recombined.
+    pub fn crossover_rate(mut self, rate: f64) -> Self {
+        self.crossover_rate = rate;
+        self
+    }
+
+    /// Per-gene mutation probability.
+    pub fn mutation_rate(mut self, rate: f64) -> Self {
+        self.mutation_rate = rate;
+        self
+    }
+
+    /// Mutation standard deviation as a fraction of each bound width.
+    pub fn mutation_sigma(mut self, sigma: f64) -> Self {
+        self.mutation_sigma = sigma;
+        self
+    }
+
+    /// Tournament size for parent selection.
+    pub fn tournament_size(mut self, k: usize) -> Self {
+        self.tournament_size = k;
+        self
+    }
+
+    /// Number of elites copied unchanged into the next generation.
+    pub fn elite_count(mut self, n: usize) -> Self {
+        self.elite_count = n;
+        self
+    }
+
+    /// RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.population_size < 4 {
+            return Err(OptimError::InvalidParameter("population must be >= 4"));
+        }
+        if self.elite_count >= self.population_size {
+            return Err(OptimError::InvalidParameter(
+                "elite count must be below population size",
+            ));
+        }
+        if self.tournament_size == 0 {
+            return Err(OptimError::InvalidParameter("tournament size must be >= 1"));
+        }
+        if !(0.0..=1.0).contains(&self.crossover_rate)
+            || !(0.0..=1.0).contains(&self.mutation_rate)
+        {
+            return Err(OptimError::InvalidParameter(
+                "crossover and mutation rates must be in [0, 1]",
+            ));
+        }
+        if self.mutation_sigma <= 0.0 {
+            return Err(OptimError::InvalidParameter("mutation sigma must be > 0"));
+        }
+        Ok(())
+    }
+
+    fn tournament<'a, R: Rng>(
+        &self,
+        rng: &mut R,
+        population: &'a [Vec<f64>],
+        fitness: &[f64],
+    ) -> &'a [f64] {
+        let mut best = rng.gen_range(0..population.len());
+        for _ in 1..self.tournament_size {
+            let c = rng.gen_range(0..population.len());
+            if fitness[c] > fitness[best] {
+                best = c;
+            }
+        }
+        &population[best]
+    }
+}
+
+impl Optimizer for GeneticAlgorithm {
+    fn maximize<F: Fn(&[f64]) -> f64>(&self, bounds: &Bounds, f: F) -> Result<OptimResult> {
+        self.validate()?;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let widths = bounds.widths();
+
+        let mut population: Vec<Vec<f64>> = (0..self.population_size)
+            .map(|_| bounds.sample(&mut rng))
+            .collect();
+        let mut fitness: Vec<f64> = population.iter().map(|x| guard(f(x))).collect();
+        let mut evaluations = self.population_size;
+
+        for _gen in 0..self.generations {
+            // Rank current population (descending fitness).
+            let mut order: Vec<usize> = (0..population.len()).collect();
+            order.sort_by(|&a, &b| fitness[b].total_cmp(&fitness[a]));
+
+            let mut next: Vec<Vec<f64>> = order
+                .iter()
+                .take(self.elite_count)
+                .map(|&i| population[i].clone())
+                .collect();
+
+            while next.len() < self.population_size {
+                let p1 = self.tournament(&mut rng, &population, &fitness).to_vec();
+                let p2 = self.tournament(&mut rng, &population, &fitness).to_vec();
+                let mut child: Vec<f64> = if rng.gen::<f64>() < self.crossover_rate {
+                    // BLX-α blend crossover.
+                    p1.iter()
+                        .zip(&p2)
+                        .map(|(a, b)| {
+                            let lo = a.min(*b);
+                            let hi = a.max(*b);
+                            let d = hi - lo;
+                            rng.gen_range(lo - self.blend_alpha * d..=hi + self.blend_alpha * d)
+                        })
+                        .collect()
+                } else {
+                    p1
+                };
+                for (gene, w) in child.iter_mut().zip(&widths) {
+                    if rng.gen::<f64>() < self.mutation_rate {
+                        *gene += self.mutation_sigma * w * sample_standard_normal(&mut rng);
+                    }
+                }
+                next.push(bounds.clamp(&child));
+            }
+
+            population = next;
+            fitness = population.iter().map(|x| guard(f(x))).collect();
+            evaluations += self.population_size;
+        }
+
+        let (best_idx, best_val) = fitness
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .expect("population is non-empty");
+        if !best_val.is_finite() {
+            return Err(OptimError::NonFiniteObjective {
+                point: population[best_idx].clone(),
+            });
+        }
+        Ok(OptimResult {
+            x: population[best_idx].clone(),
+            value: *best_val,
+            evaluations,
+            iterations: self.generations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_shifted_quadratic_maximum() {
+        let bounds = Bounds::symmetric(3, 1.0).unwrap();
+        let f =
+            |x: &[f64]| 2.0 - (x[0] - 0.6).powi(2) - (x[1] + 0.2).powi(2) - (x[2] - 0.9).powi(2);
+        let r = GeneticAlgorithm::new().seed(4).maximize(&bounds, f).unwrap();
+        assert!(r.value > 2.0 - 1e-2, "value {}", r.value);
+        assert!((r.x[0] - 0.6).abs() < 0.1);
+    }
+
+    #[test]
+    fn multimodal_rastrigin_like() {
+        // 1-D Rastrigin flipped for maximisation; global max 0 at 0.
+        let bounds = Bounds::symmetric(1, 5.12).unwrap();
+        let f = |x: &[f64]| {
+            -(10.0 + x[0] * x[0] - 10.0 * (2.0 * std::f64::consts::PI * x[0]).cos())
+        };
+        let r = GeneticAlgorithm::new()
+            .seed(6)
+            .generations(200)
+            .maximize(&bounds, f)
+            .unwrap();
+        assert!(r.value > -1e-2, "trapped in local optimum: {}", r.value);
+    }
+
+    #[test]
+    fn elitism_never_loses_the_best() {
+        let bounds = Bounds::symmetric(2, 1.0).unwrap();
+        let f = |x: &[f64]| -(x[0] * x[0] + x[1] * x[1]);
+        let short = GeneticAlgorithm::new()
+            .seed(8)
+            .generations(5)
+            .maximize(&bounds, f)
+            .unwrap();
+        let long = GeneticAlgorithm::new()
+            .seed(8)
+            .generations(100)
+            .maximize(&bounds, f)
+            .unwrap();
+        assert!(
+            long.value >= short.value - 1e-12,
+            "more generations must not be worse: {} vs {}",
+            long.value,
+            short.value
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let bounds = Bounds::symmetric(2, 1.0).unwrap();
+        let f = |x: &[f64]| x[0] - x[1];
+        let a = GeneticAlgorithm::new().seed(13).maximize(&bounds, f).unwrap();
+        let b = GeneticAlgorithm::new().seed(13).maximize(&bounds, f).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let bounds = Bounds::symmetric(1, 1.0).unwrap();
+        let f = |_: &[f64]| 0.0;
+        assert!(GeneticAlgorithm::new()
+            .population_size(2)
+            .maximize(&bounds, f)
+            .is_err());
+        assert!(GeneticAlgorithm::new()
+            .crossover_rate(2.0)
+            .maximize(&bounds, f)
+            .is_err());
+        assert!(GeneticAlgorithm::new()
+            .tournament_size(0)
+            .maximize(&bounds, f)
+            .is_err());
+        assert!(GeneticAlgorithm::new()
+            .population_size(10)
+            .elite_count(10)
+            .maximize(&bounds, f)
+            .is_err());
+        assert!(GeneticAlgorithm::new()
+            .mutation_sigma(0.0)
+            .maximize(&bounds, f)
+            .is_err());
+    }
+
+    #[test]
+    fn result_stays_in_bounds() {
+        let bounds = Bounds::new(vec![0.0, 10.0], vec![1.0, 20.0]).unwrap();
+        let f = |x: &[f64]| x[0] + x[1]; // pushes to upper corner
+        let r = GeneticAlgorithm::new().seed(2).maximize(&bounds, f).unwrap();
+        assert!(bounds.contains(&r.x));
+        assert!(r.value > 20.8);
+    }
+}

@@ -1,0 +1,59 @@
+//! Bounded global optimisers — the MATLAB optimisation-toolbox substitute
+//! of this workspace.
+//!
+//! The reproduced paper maximises its fitted response surface (Eq. 9) with
+//! MATLAB's Simulated Annealing and Genetic Algorithm, "both of which are
+//! capable of global searching". This crate implements those two plus a set
+//! of baselines used by the ablation benches:
+//!
+//! * [`SimulatedAnnealing`] — geometric-cooling SA with Gaussian moves.
+//! * [`GeneticAlgorithm`] — real-coded GA (tournament selection, blend
+//!   crossover, Gaussian mutation, elitism).
+//! * [`NelderMead`] — bounded downhill simplex (local).
+//! * [`PatternSearch`] — Hooke–Jeeves coordinate pattern search (local).
+//! * [`ParticleSwarm`] — global swarm optimiser.
+//! * [`RandomSearch`] — uniform random sampling baseline.
+//! * [`MultiStart`] — restarts a local optimiser from scattered points.
+//!
+//! All optimisers **maximise** `f` over a box ([`Bounds`]) and return an
+//! [`OptimResult`]; they are deterministic for a fixed seed.
+//!
+//! # Example
+//!
+//! ```
+//! use optim::{Bounds, Optimizer, SimulatedAnnealing};
+//!
+//! # fn main() -> Result<(), optim::OptimError> {
+//! let bounds = Bounds::symmetric(2, 1.0)?; // [-1, 1]²
+//! let sa = SimulatedAnnealing::new().seed(42);
+//! let result = sa.maximize(&bounds, |x| -(x[0] * x[0] + x[1] * x[1]))?;
+//! assert!(result.value > -1e-3); // optimum 0 at the origin
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod common;
+mod error;
+mod ga;
+mod multi_start;
+mod nelder_mead;
+mod pattern;
+mod pso;
+mod random_search;
+mod sa;
+
+pub use common::{Bounds, OptimResult, Optimizer};
+pub use error::OptimError;
+pub use ga::GeneticAlgorithm;
+pub use multi_start::MultiStart;
+pub use nelder_mead::NelderMead;
+pub use pattern::PatternSearch;
+pub use pso::ParticleSwarm;
+pub use random_search::RandomSearch;
+pub use sa::SimulatedAnnealing;
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, OptimError>;

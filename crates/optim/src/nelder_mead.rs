@@ -1,0 +1,312 @@
+use crate::common::guard;
+use crate::{Bounds, OptimError, OptimResult, Optimizer, Result};
+
+/// Bounded Nelder–Mead downhill simplex (maximisation form).
+///
+/// A deterministic local optimiser used as a baseline against the paper's
+/// global SA/GA choices and as the inner solver of [`crate::MultiStart`].
+/// Points proposed outside the bounds are clamped onto the box.
+///
+/// # Example
+///
+/// ```
+/// use optim::{Bounds, NelderMead, Optimizer};
+///
+/// # fn main() -> Result<(), optim::OptimError> {
+/// let bounds = Bounds::symmetric(2, 2.0)?;
+/// let r = NelderMead::new()
+///     .maximize(&bounds, |x| -(x[0] - 1.0).powi(2) - (x[1] + 1.0).powi(2))?;
+/// assert!(r.value > -1e-8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct NelderMead {
+    max_iterations: usize,
+    tolerance: f64,
+    initial_step: f64,
+    start: Option<Vec<f64>>,
+    restarts: usize,
+}
+
+impl Default for NelderMead {
+    fn default() -> Self {
+        NelderMead {
+            max_iterations: 500,
+            tolerance: 1e-10,
+            initial_step: 0.25,
+            start: None,
+            restarts: 2,
+        }
+    }
+}
+
+impl NelderMead {
+    /// Creates a solver with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Iteration cap.
+    pub fn max_iterations(mut self, iters: usize) -> Self {
+        self.max_iterations = iters;
+        self
+    }
+
+    /// Convergence tolerance on the simplex value spread.
+    pub fn tolerance(mut self, tol: f64) -> Self {
+        self.tolerance = tol;
+        self
+    }
+
+    /// Initial simplex edge as a fraction of each bound width.
+    pub fn initial_step(mut self, step: f64) -> Self {
+        self.initial_step = step;
+        self
+    }
+
+    /// Starting point (defaults to the box centre). Clamped to the bounds.
+    pub fn start(mut self, x0: Vec<f64>) -> Self {
+        self.start = Some(x0);
+        self
+    }
+
+    /// Number of restarts after convergence (default 2). Bound clamping
+    /// can collapse the simplex onto a box face far from the optimum; a
+    /// restart rebuilds a fresh simplex around the incumbent and escapes
+    /// the degeneracy.
+    pub fn restarts(mut self, restarts: usize) -> Self {
+        self.restarts = restarts;
+        self
+    }
+}
+
+impl Optimizer for NelderMead {
+    fn maximize<F: Fn(&[f64]) -> f64>(&self, bounds: &Bounds, f: F) -> Result<OptimResult> {
+        if self.initial_step <= 0.0 {
+            return Err(OptimError::InvalidParameter("initial step must be > 0"));
+        }
+        let n = bounds.dimension();
+        let x0 = match &self.start {
+            Some(s) => {
+                if s.len() != n {
+                    return Err(OptimError::InvalidParameter(
+                        "start point dimension mismatch",
+                    ));
+                }
+                bounds.clamp(s)
+            }
+            None => bounds.center(),
+        };
+
+        let mut best = self.run_once(bounds, &f, x0)?;
+        for _ in 0..self.restarts {
+            let restart = self.run_once(bounds, &f, best.x.clone())?;
+            let improved = restart.value > best.value + self.tolerance;
+            let evaluations = best.evaluations + restart.evaluations;
+            let iterations = best.iterations + restart.iterations;
+            if restart.value > best.value {
+                best = restart;
+            }
+            best.evaluations = evaluations;
+            best.iterations = iterations;
+            if !improved {
+                break;
+            }
+        }
+        Ok(best)
+    }
+}
+
+impl NelderMead {
+    /// One simplex descent from `x0` to convergence.
+    fn run_once<F: Fn(&[f64]) -> f64>(
+        &self,
+        bounds: &Bounds,
+        f: &F,
+        x0: Vec<f64>,
+    ) -> Result<OptimResult> {
+        let n = bounds.dimension();
+        let widths = bounds.widths();
+
+        // Build the initial simplex: x0 plus one vertex per coordinate.
+        let mut simplex: Vec<Vec<f64>> = vec![x0.clone()];
+        for i in 0..n {
+            let mut v = x0.clone();
+            // Step towards the farther bound so the vertex stays distinct
+            // even when x0 sits on the boundary.
+            let step = self.initial_step * widths[i];
+            if v[i] + step <= bounds.upper()[i] {
+                v[i] += step;
+            } else {
+                v[i] -= step;
+            }
+            simplex.push(bounds.clamp(&v));
+        }
+        let mut values: Vec<f64> = simplex.iter().map(|v| guard(f(v))).collect();
+        let mut evaluations = simplex.len();
+
+        let (alpha, gamma, rho, sigma) = (1.0, 2.0, 0.5, 0.5);
+        let mut iterations = 0usize;
+
+        for _ in 0..self.max_iterations {
+            iterations += 1;
+            // Sort vertices by value, descending (index 0 = best).
+            let mut order: Vec<usize> = (0..simplex.len()).collect();
+            order.sort_by(|&a, &b| values[b].total_cmp(&values[a]));
+            simplex = order.iter().map(|&i| simplex[i].clone()).collect();
+            values = order.iter().map(|&i| values[i]).collect();
+
+            if (values[0] - values[n]).abs() < self.tolerance {
+                break;
+            }
+
+            // Centroid of all but the worst vertex.
+            let mut centroid = vec![0.0; n];
+            for v in simplex.iter().take(n) {
+                for i in 0..n {
+                    centroid[i] += v[i] / n as f64;
+                }
+            }
+
+            let worst = simplex[n].clone();
+            let reflect: Vec<f64> = centroid
+                .iter()
+                .zip(&worst)
+                .map(|(c, w)| c + alpha * (c - w))
+                .collect();
+            let reflect = bounds.clamp(&reflect);
+            let v_reflect = guard(f(&reflect));
+            evaluations += 1;
+
+            if v_reflect > values[0] {
+                // Try expanding further.
+                let expand: Vec<f64> = centroid
+                    .iter()
+                    .zip(&reflect)
+                    .map(|(c, r)| c + gamma * (r - c))
+                    .collect();
+                let expand = bounds.clamp(&expand);
+                let v_expand = guard(f(&expand));
+                evaluations += 1;
+                if v_expand > v_reflect {
+                    simplex[n] = expand;
+                    values[n] = v_expand;
+                } else {
+                    simplex[n] = reflect;
+                    values[n] = v_reflect;
+                }
+            } else if v_reflect > values[n - 1] {
+                simplex[n] = reflect;
+                values[n] = v_reflect;
+            } else {
+                // Contract towards the centroid.
+                let contract: Vec<f64> = centroid
+                    .iter()
+                    .zip(&worst)
+                    .map(|(c, w)| c + rho * (w - c))
+                    .collect();
+                let contract = bounds.clamp(&contract);
+                let v_contract = guard(f(&contract));
+                evaluations += 1;
+                if v_contract > values[n] {
+                    simplex[n] = contract;
+                    values[n] = v_contract;
+                } else {
+                    // Shrink everything towards the best vertex.
+                    let best = simplex[0].clone();
+                    for i in 1..=n {
+                        let shrunk: Vec<f64> = best
+                            .iter()
+                            .zip(&simplex[i])
+                            .map(|(b, v)| b + sigma * (v - b))
+                            .collect();
+                        simplex[i] = bounds.clamp(&shrunk);
+                        values[i] = guard(f(&simplex[i]));
+                        evaluations += 1;
+                    }
+                }
+            }
+        }
+
+        let (best_idx, best_val) = values
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .expect("simplex is non-empty");
+        if !best_val.is_finite() {
+            return Err(OptimError::NonFiniteObjective {
+                point: simplex[best_idx].clone(),
+            });
+        }
+        Ok(OptimResult {
+            x: simplex[best_idx].clone(),
+            value: *best_val,
+            evaluations,
+            iterations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_on_smooth_quadratic() {
+        let bounds = Bounds::symmetric(2, 2.0).unwrap();
+        let f = |x: &[f64]| -(x[0] - 0.5).powi(2) - 2.0 * (x[1] - 0.25).powi(2);
+        let r = NelderMead::new().maximize(&bounds, f).unwrap();
+        assert!(r.value > -1e-9);
+        assert!((r.x[0] - 0.5).abs() < 1e-4);
+        assert!((r.x[1] - 0.25).abs() < 1e-4);
+    }
+
+    #[test]
+    fn rosenbrock_valley() {
+        // Maximise the negated Rosenbrock; optimum 0 at (1, 1).
+        let bounds = Bounds::symmetric(2, 3.0).unwrap();
+        let f =
+            |x: &[f64]| -((1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2));
+        let r = NelderMead::new()
+            .max_iterations(5000)
+            .start(vec![-1.0, 1.0])
+            .maximize(&bounds, f)
+            .unwrap();
+        assert!(r.value > -1e-6, "rosenbrock value {}", r.value);
+    }
+
+    #[test]
+    fn boundary_optimum_found_from_boundary_start() {
+        let bounds = Bounds::symmetric(2, 1.0).unwrap();
+        let f = |x: &[f64]| x[0] + 2.0 * x[1];
+        let r = NelderMead::new()
+            .start(vec![1.0, 1.0])
+            .maximize(&bounds, f)
+            .unwrap();
+        assert!((r.value - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn start_dimension_checked() {
+        let bounds = Bounds::symmetric(2, 1.0).unwrap();
+        let r = NelderMead::new().start(vec![0.0]).maximize(&bounds, |_| 0.0);
+        assert!(matches!(r, Err(OptimError::InvalidParameter(_))));
+    }
+
+    #[test]
+    fn invalid_step_rejected() {
+        let bounds = Bounds::symmetric(1, 1.0).unwrap();
+        let r = NelderMead::new().initial_step(0.0).maximize(&bounds, |_| 0.0);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let bounds = Bounds::symmetric(3, 1.0).unwrap();
+        let f = |x: &[f64]| -x.iter().map(|v| v * v).sum::<f64>();
+        let a = NelderMead::new().maximize(&bounds, f).unwrap();
+        let b = NelderMead::new().maximize(&bounds, f).unwrap();
+        assert_eq!(a, b);
+    }
+}

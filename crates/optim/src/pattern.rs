@@ -1,0 +1,233 @@
+use crate::common::guard;
+use crate::{Bounds, OptimError, OptimResult, Optimizer, Result};
+
+/// Hooke–Jeeves pattern search (maximisation form).
+///
+/// Deterministic derivative-free local search: probe each coordinate at
+/// `±step`; on success attempt a pattern move in the improving direction,
+/// otherwise halve the step. Terminates when the step falls below
+/// `min_step`.
+///
+/// # Example
+///
+/// ```
+/// use optim::{Bounds, Optimizer, PatternSearch};
+///
+/// # fn main() -> Result<(), optim::OptimError> {
+/// let bounds = Bounds::symmetric(2, 1.0)?;
+/// let r = PatternSearch::new().maximize(&bounds, |x| -(x[0].powi(2) + x[1].powi(2)))?;
+/// assert!(r.value > -1e-8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PatternSearch {
+    initial_step: f64,
+    min_step: f64,
+    max_iterations: usize,
+    start: Option<Vec<f64>>,
+}
+
+impl Default for PatternSearch {
+    fn default() -> Self {
+        PatternSearch {
+            initial_step: 0.25,
+            min_step: 1e-8,
+            max_iterations: 10_000,
+            start: None,
+        }
+    }
+}
+
+impl PatternSearch {
+    /// Creates a search with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Initial probe step as a fraction of each bound width.
+    pub fn initial_step(mut self, step: f64) -> Self {
+        self.initial_step = step;
+        self
+    }
+
+    /// Step size below which the search stops.
+    pub fn min_step(mut self, step: f64) -> Self {
+        self.min_step = step;
+        self
+    }
+
+    /// Iteration cap.
+    pub fn max_iterations(mut self, iters: usize) -> Self {
+        self.max_iterations = iters;
+        self
+    }
+
+    /// Starting point (defaults to the box centre); clamped to the bounds.
+    pub fn start(mut self, x0: Vec<f64>) -> Self {
+        self.start = Some(x0);
+        self
+    }
+
+    /// One exploratory pass around `base`; returns the improved point and
+    /// value, if any.
+    fn explore<F: Fn(&[f64]) -> f64>(
+        &self,
+        bounds: &Bounds,
+        f: &F,
+        base: &[f64],
+        base_val: f64,
+        step_frac: f64,
+        evaluations: &mut usize,
+    ) -> (Vec<f64>, f64) {
+        let widths = bounds.widths();
+        let mut x = base.to_vec();
+        let mut val = base_val;
+        for i in 0..x.len() {
+            let step = step_frac * widths[i];
+            for dir in [1.0, -1.0] {
+                let mut probe = x.clone();
+                probe[i] = (probe[i] + dir * step).clamp(bounds.lower()[i], bounds.upper()[i]);
+                if probe[i] == x[i] {
+                    continue;
+                }
+                let v = guard(f(&probe));
+                *evaluations += 1;
+                if v > val {
+                    x = probe;
+                    val = v;
+                    break;
+                }
+            }
+        }
+        (x, val)
+    }
+}
+
+impl Optimizer for PatternSearch {
+    fn maximize<F: Fn(&[f64]) -> f64>(&self, bounds: &Bounds, f: F) -> Result<OptimResult> {
+        if self.initial_step <= 0.0 || self.min_step <= 0.0 {
+            return Err(OptimError::InvalidParameter("steps must be positive"));
+        }
+        if self.min_step >= self.initial_step {
+            return Err(OptimError::InvalidParameter(
+                "min step must be below initial step",
+            ));
+        }
+        let x0 = match &self.start {
+            Some(s) => {
+                if s.len() != bounds.dimension() {
+                    return Err(OptimError::InvalidParameter(
+                        "start point dimension mismatch",
+                    ));
+                }
+                bounds.clamp(s)
+            }
+            None => bounds.center(),
+        };
+
+        let mut base = x0;
+        let mut base_val = guard(f(&base));
+        let mut evaluations = 1usize;
+        let mut step = self.initial_step;
+        let mut iterations = 0usize;
+
+        while step > self.min_step && iterations < self.max_iterations {
+            iterations += 1;
+            let (probe, probe_val) =
+                self.explore(bounds, &f, &base, base_val, step, &mut evaluations);
+            if probe_val > base_val {
+                // Pattern move: jump again along the improving direction.
+                let pattern: Vec<f64> = probe
+                    .iter()
+                    .zip(&base)
+                    .map(|(p, b)| p + (p - b))
+                    .collect();
+                let pattern = bounds.clamp(&pattern);
+                let pattern_val = guard(f(&pattern));
+                evaluations += 1;
+                let (refined, refined_val) = self.explore(
+                    bounds,
+                    &f,
+                    &pattern,
+                    pattern_val,
+                    step,
+                    &mut evaluations,
+                );
+                if refined_val > probe_val {
+                    base = refined;
+                    base_val = refined_val;
+                } else {
+                    base = probe;
+                    base_val = probe_val;
+                }
+            } else {
+                step *= 0.5;
+            }
+        }
+
+        if !base_val.is_finite() {
+            return Err(OptimError::NonFiniteObjective { point: base });
+        }
+        Ok(OptimResult {
+            x: base,
+            value: base_val,
+            evaluations,
+            iterations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_on_quadratic() {
+        let bounds = Bounds::symmetric(3, 1.0).unwrap();
+        let f = |x: &[f64]| {
+            -(x[0] - 0.4).powi(2) - (x[1] + 0.3).powi(2) - (x[2] - 0.1).powi(2)
+        };
+        let r = PatternSearch::new().maximize(&bounds, f).unwrap();
+        assert!(r.value > -1e-8, "value {}", r.value);
+        assert!((r.x[0] - 0.4).abs() < 1e-4);
+    }
+
+    #[test]
+    fn boundary_optimum() {
+        let bounds = Bounds::symmetric(2, 1.0).unwrap();
+        let f = |x: &[f64]| x[0] - x[1];
+        let r = PatternSearch::new().maximize(&bounds, f).unwrap();
+        assert!((r.value - 2.0).abs() < 1e-6, "corner value {}", r.value);
+        assert!((r.x[0] - 1.0).abs() < 1e-6);
+        assert!((r.x[1] + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parameters_validated() {
+        let bounds = Bounds::symmetric(1, 1.0).unwrap();
+        assert!(PatternSearch::new()
+            .initial_step(0.0)
+            .maximize(&bounds, |_| 0.0)
+            .is_err());
+        assert!(PatternSearch::new()
+            .min_step(1.0)
+            .initial_step(0.5)
+            .maximize(&bounds, |_| 0.0)
+            .is_err());
+        assert!(PatternSearch::new()
+            .start(vec![0.0, 0.0])
+            .maximize(&bounds, |_| 0.0)
+            .is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let bounds = Bounds::symmetric(2, 1.0).unwrap();
+        let f = |x: &[f64]| -(x[0] * x[0] + 0.5 * x[1] * x[1]);
+        assert_eq!(
+            PatternSearch::new().maximize(&bounds, f).unwrap(),
+            PatternSearch::new().maximize(&bounds, f).unwrap()
+        );
+    }
+}

@@ -1,0 +1,218 @@
+use rand::{Rng, SeedableRng};
+
+use crate::common::guard;
+use crate::{Bounds, OptimError, OptimResult, Optimizer, Result};
+
+/// Particle swarm optimisation with inertia weight and velocity clamping.
+///
+/// A second global optimiser beyond the paper's SA/GA pair, used by the
+/// optimiser ablation bench to show that the fitted response surface is
+/// easy for any global method (the interesting comparison is against the
+/// *local* baselines).
+///
+/// # Example
+///
+/// ```
+/// use optim::{Bounds, Optimizer, ParticleSwarm};
+///
+/// # fn main() -> Result<(), optim::OptimError> {
+/// let bounds = Bounds::symmetric(2, 1.0)?;
+/// let r = ParticleSwarm::new().seed(3).maximize(&bounds, |x| -x[0].hypot(x[1]))?;
+/// assert!(r.value > -1e-2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParticleSwarm {
+    swarm_size: usize,
+    iterations: usize,
+    inertia: f64,
+    cognitive: f64,
+    social: f64,
+    seed: u64,
+}
+
+impl Default for ParticleSwarm {
+    fn default() -> Self {
+        ParticleSwarm {
+            swarm_size: 40,
+            iterations: 150,
+            inertia: 0.72,
+            cognitive: 1.49,
+            social: 1.49,
+            seed: 0,
+        }
+    }
+}
+
+impl ParticleSwarm {
+    /// Creates a swarm with the standard constriction-style parameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of particles (>= 2).
+    pub fn swarm_size(mut self, n: usize) -> Self {
+        self.swarm_size = n;
+        self
+    }
+
+    /// Number of velocity/position updates.
+    pub fn iterations(mut self, iters: usize) -> Self {
+        self.iterations = iters;
+        self
+    }
+
+    /// Inertia weight.
+    pub fn inertia(mut self, w: f64) -> Self {
+        self.inertia = w;
+        self
+    }
+
+    /// Cognitive (personal-best) acceleration coefficient.
+    pub fn cognitive(mut self, c1: f64) -> Self {
+        self.cognitive = c1;
+        self
+    }
+
+    /// Social (global-best) acceleration coefficient.
+    pub fn social(mut self, c2: f64) -> Self {
+        self.social = c2;
+        self
+    }
+
+    /// RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Optimizer for ParticleSwarm {
+    fn maximize<F: Fn(&[f64]) -> f64>(&self, bounds: &Bounds, f: F) -> Result<OptimResult> {
+        if self.swarm_size < 2 {
+            return Err(OptimError::InvalidParameter("swarm size must be >= 2"));
+        }
+        if self.inertia < 0.0 || self.cognitive < 0.0 || self.social < 0.0 {
+            return Err(OptimError::InvalidParameter(
+                "pso coefficients must be non-negative",
+            ));
+        }
+        let n = bounds.dimension();
+        let widths = bounds.widths();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+
+        let mut positions: Vec<Vec<f64>> = (0..self.swarm_size)
+            .map(|_| bounds.sample(&mut rng))
+            .collect();
+        let mut velocities: Vec<Vec<f64>> = (0..self.swarm_size)
+            .map(|_| {
+                widths
+                    .iter()
+                    .map(|w| rng.gen_range(-0.1 * w..=0.1 * w))
+                    .collect()
+            })
+            .collect();
+        let mut personal_best = positions.clone();
+        let mut personal_val: Vec<f64> = positions.iter().map(|p| guard(f(p))).collect();
+        let mut evaluations = self.swarm_size;
+
+        let mut g_idx = 0;
+        for (i, v) in personal_val.iter().enumerate() {
+            if *v > personal_val[g_idx] {
+                g_idx = i;
+            }
+        }
+        let mut global_best = personal_best[g_idx].clone();
+        let mut global_val = personal_val[g_idx];
+
+        for _ in 0..self.iterations {
+            for i in 0..self.swarm_size {
+                for d in 0..n {
+                    let r1: f64 = rng.gen();
+                    let r2: f64 = rng.gen();
+                    let v = self.inertia * velocities[i][d]
+                        + self.cognitive * r1 * (personal_best[i][d] - positions[i][d])
+                        + self.social * r2 * (global_best[d] - positions[i][d]);
+                    // Velocity clamp: half the range per step.
+                    velocities[i][d] = v.clamp(-0.5 * widths[d], 0.5 * widths[d]);
+                    positions[i][d] = (positions[i][d] + velocities[i][d])
+                        .clamp(bounds.lower()[d], bounds.upper()[d]);
+                }
+                let val = guard(f(&positions[i]));
+                evaluations += 1;
+                if val > personal_val[i] {
+                    personal_val[i] = val;
+                    personal_best[i] = positions[i].clone();
+                    if val > global_val {
+                        global_val = val;
+                        global_best = positions[i].clone();
+                    }
+                }
+            }
+        }
+
+        if !global_val.is_finite() {
+            return Err(OptimError::NonFiniteObjective { point: global_best });
+        }
+        Ok(OptimResult {
+            x: global_best,
+            value: global_val,
+            evaluations,
+            iterations: self.iterations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_on_sphere() {
+        let bounds = Bounds::symmetric(4, 2.0).unwrap();
+        let f = |x: &[f64]| -x.iter().map(|v| v * v).sum::<f64>();
+        let r = ParticleSwarm::new().seed(1).maximize(&bounds, f).unwrap();
+        assert!(r.value > -1e-4, "value {}", r.value);
+    }
+
+    #[test]
+    fn multimodal_search() {
+        let bounds = Bounds::symmetric(2, 5.12).unwrap();
+        let f = |x: &[f64]| {
+            -x.iter()
+                .map(|v| 10.0 + v * v - 10.0 * (2.0 * std::f64::consts::PI * v).cos())
+                .sum::<f64>()
+        };
+        let r = ParticleSwarm::new()
+            .seed(2)
+            .iterations(300)
+            .maximize(&bounds, f)
+            .unwrap();
+        assert!(r.value > -1.0, "rastrigin value {}", r.value);
+    }
+
+    #[test]
+    fn parameters_validated() {
+        let bounds = Bounds::symmetric(1, 1.0).unwrap();
+        assert!(ParticleSwarm::new()
+            .swarm_size(1)
+            .maximize(&bounds, |_| 0.0)
+            .is_err());
+        assert!(ParticleSwarm::new()
+            .inertia(-0.1)
+            .maximize(&bounds, |_| 0.0)
+            .is_err());
+    }
+
+    #[test]
+    fn deterministic_and_in_bounds() {
+        let bounds = Bounds::new(vec![1.0], vec![2.0]).unwrap();
+        let f = |x: &[f64]| x[0];
+        let a = ParticleSwarm::new().seed(4).maximize(&bounds, f).unwrap();
+        let b = ParticleSwarm::new().seed(4).maximize(&bounds, f).unwrap();
+        assert_eq!(a, b);
+        assert!(bounds.contains(&a.x));
+        assert!((a.value - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,98 @@
+use rand::SeedableRng;
+
+use crate::common::guard;
+use crate::{Bounds, OptimError, OptimResult, Optimizer, Result};
+
+/// Uniform random sampling — the weakest sensible baseline.
+///
+/// Evaluates `samples` uniform points and keeps the best. Any optimiser
+/// worth its complexity should beat this at an equal evaluation budget;
+/// the optimiser ablation bench uses it to anchor comparisons.
+///
+/// # Example
+///
+/// ```
+/// use optim::{Bounds, Optimizer, RandomSearch};
+///
+/// # fn main() -> Result<(), optim::OptimError> {
+/// let bounds = Bounds::symmetric(1, 1.0)?;
+/// let r = RandomSearch::new(1000).seed(5).maximize(&bounds, |x| -x[0].abs())?;
+/// assert!(r.value > -0.01);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandomSearch {
+    samples: usize,
+    seed: u64,
+}
+
+impl RandomSearch {
+    /// Creates a random search with the given sample budget.
+    pub fn new(samples: usize) -> Self {
+        RandomSearch { samples, seed: 0 }
+    }
+
+    /// RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Optimizer for RandomSearch {
+    fn maximize<F: Fn(&[f64]) -> f64>(&self, bounds: &Bounds, f: F) -> Result<OptimResult> {
+        if self.samples == 0 {
+            return Err(OptimError::InvalidParameter("samples must be >= 1"));
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let mut best = bounds.center();
+        let mut best_val = guard(f(&best));
+        for _ in 0..self.samples {
+            let candidate = bounds.sample(&mut rng);
+            let v = guard(f(&candidate));
+            if v > best_val {
+                best_val = v;
+                best = candidate;
+            }
+        }
+        if !best_val.is_finite() {
+            return Err(OptimError::NonFiniteObjective { point: best });
+        }
+        Ok(OptimResult {
+            x: best,
+            value: best_val,
+            evaluations: self.samples + 1,
+            iterations: self.samples,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improves_with_budget() {
+        let bounds = Bounds::symmetric(3, 1.0).unwrap();
+        let f = |x: &[f64]| -x.iter().map(|v| v * v).sum::<f64>();
+        let small = RandomSearch::new(10).seed(1).maximize(&bounds, f).unwrap();
+        let large = RandomSearch::new(10_000).seed(1).maximize(&bounds, f).unwrap();
+        assert!(large.value >= small.value);
+    }
+
+    #[test]
+    fn zero_budget_rejected() {
+        let bounds = Bounds::symmetric(1, 1.0).unwrap();
+        assert!(RandomSearch::new(0).maximize(&bounds, |_| 0.0).is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let bounds = Bounds::symmetric(2, 1.0).unwrap();
+        let f = |x: &[f64]| x[0] * x[1];
+        let a = RandomSearch::new(100).seed(3).maximize(&bounds, f).unwrap();
+        let b = RandomSearch::new(100).seed(3).maximize(&bounds, f).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,259 @@
+use rand::{Rng, SeedableRng};
+
+use crate::common::{guard, sample_standard_normal};
+use crate::{Bounds, OptimError, OptimResult, Optimizer, Result};
+
+/// Simulated annealing with Gaussian moves and geometric cooling.
+///
+/// This mirrors the role of MATLAB's `simulannealbnd` in the paper: a
+/// global stochastic search over the coded design cube that accepts
+/// uphill moves always and downhill moves with probability
+/// `exp(Δ / T)`. The move scale shrinks with the temperature, so the
+/// search transitions from exploration to refinement.
+///
+/// # Example
+///
+/// ```
+/// use optim::{Bounds, Optimizer, SimulatedAnnealing};
+///
+/// # fn main() -> Result<(), optim::OptimError> {
+/// let bounds = Bounds::symmetric(2, 5.0)?;
+/// // Maximum 3 at (2, -1).
+/// let f = |x: &[f64]| 3.0 - (x[0] - 2.0).powi(2) - (x[1] + 1.0).powi(2);
+/// let r = SimulatedAnnealing::new().seed(1).maximize(&bounds, f)?;
+/// assert!((r.value - 3.0).abs() < 1e-2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimulatedAnnealing {
+    initial_temperature: f64,
+    cooling_rate: f64,
+    moves_per_temperature: usize,
+    final_temperature: f64,
+    seed: u64,
+}
+
+impl Default for SimulatedAnnealing {
+    fn default() -> Self {
+        SimulatedAnnealing {
+            initial_temperature: 1.0,
+            cooling_rate: 0.95,
+            moves_per_temperature: 50,
+            final_temperature: 1e-6,
+            seed: 0,
+        }
+    }
+}
+
+impl SimulatedAnnealing {
+    /// Creates an annealer with default settings (T₀ = 1, α = 0.95,
+    /// 50 moves per temperature, T_min = 1e-6).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Initial temperature. The temperature scale should match the
+    /// objective's value scale; it is also auto-calibrated against the
+    /// first objective sample.
+    pub fn initial_temperature(mut self, t0: f64) -> Self {
+        self.initial_temperature = t0;
+        self
+    }
+
+    /// Geometric cooling factor in `(0, 1)`.
+    pub fn cooling_rate(mut self, alpha: f64) -> Self {
+        self.cooling_rate = alpha;
+        self
+    }
+
+    /// Moves attempted at each temperature.
+    pub fn moves_per_temperature(mut self, moves: usize) -> Self {
+        self.moves_per_temperature = moves;
+        self
+    }
+
+    /// Temperature at which the schedule stops.
+    pub fn final_temperature(mut self, t_min: f64) -> Self {
+        self.final_temperature = t_min;
+        self
+    }
+
+    /// RNG seed (runs are deterministic per seed).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn validate(&self) -> Result<()> {
+        if !(self.cooling_rate > 0.0 && self.cooling_rate < 1.0) {
+            return Err(OptimError::InvalidParameter(
+                "cooling rate must be in (0, 1)",
+            ));
+        }
+        if self.initial_temperature <= 0.0 || self.final_temperature <= 0.0 {
+            return Err(OptimError::InvalidParameter(
+                "temperatures must be positive",
+            ));
+        }
+        if self.final_temperature >= self.initial_temperature {
+            return Err(OptimError::InvalidParameter(
+                "final temperature must be below initial temperature",
+            ));
+        }
+        if self.moves_per_temperature == 0 {
+            return Err(OptimError::InvalidParameter(
+                "moves per temperature must be >= 1",
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Optimizer for SimulatedAnnealing {
+    fn maximize<F: Fn(&[f64]) -> f64>(&self, bounds: &Bounds, f: F) -> Result<OptimResult> {
+        self.validate()?;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let widths = bounds.widths();
+
+        let mut current = bounds.center();
+        let mut current_val = guard(f(&current));
+        let mut best = current.clone();
+        let mut best_val = current_val;
+        let mut evaluations = 1usize;
+
+        // Scale the schedule to the objective magnitude so the acceptance
+        // probabilities are meaningful for surfaces like Eq. 9 (|y| ~ 500).
+        let scale = current_val.abs().max(1.0);
+        let mut temperature = self.initial_temperature * scale;
+        let t_final = self.final_temperature * scale;
+
+        let mut iterations = 0usize;
+        while temperature > t_final {
+            // Move magnitude shrinks with temperature (fraction of range).
+            let frac = 0.5 * (temperature / (self.initial_temperature * scale)).sqrt() + 0.01;
+            for _ in 0..self.moves_per_temperature {
+                let candidate: Vec<f64> = current
+                    .iter()
+                    .zip(&widths)
+                    .map(|(x, w)| x + frac * w * sample_standard_normal(&mut rng))
+                    .collect();
+                let candidate = bounds.clamp(&candidate);
+                let v = guard(f(&candidate));
+                evaluations += 1;
+                let delta = v - current_val;
+                if delta >= 0.0 || rng.gen::<f64>() < (delta / temperature).exp() {
+                    current = candidate;
+                    current_val = v;
+                    if v > best_val {
+                        best_val = v;
+                        best = current.clone();
+                    }
+                }
+            }
+            temperature *= self.cooling_rate;
+            iterations += 1;
+        }
+
+        if !best_val.is_finite() {
+            return Err(OptimError::NonFiniteObjective { point: best });
+        }
+        Ok(OptimResult {
+            x: best,
+            value: best_val,
+            evaluations,
+            iterations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_quadratic_maximum() {
+        let bounds = Bounds::symmetric(3, 1.0).unwrap();
+        let f = |x: &[f64]| -(x[0] - 0.3).powi(2) - (x[1] + 0.5).powi(2) - x[2] * x[2];
+        let r = SimulatedAnnealing::new().seed(7).maximize(&bounds, f).unwrap();
+        assert!(r.value > -1e-3, "value {}", r.value);
+        assert!((r.x[0] - 0.3).abs() < 0.05);
+        assert!((r.x[1] + 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn respects_bounds_for_boundary_optimum() {
+        // Optimum outside the box: SA must report a point on the boundary.
+        let bounds = Bounds::symmetric(2, 1.0).unwrap();
+        let f = |x: &[f64]| x[0] + x[1];
+        let r = SimulatedAnnealing::new().seed(3).maximize(&bounds, f).unwrap();
+        assert!(bounds.contains(&r.x));
+        assert!(r.value > 1.9, "should approach the corner (1,1): {}", r.value);
+    }
+
+    #[test]
+    fn escapes_local_maximum() {
+        // Double-bump: local max 1.0 at x=-0.5, global max 2.0 at x=0.7.
+        let bounds = Bounds::symmetric(1, 1.0).unwrap();
+        let f = |x: &[f64]| {
+            let a = (-((x[0] + 0.5) / 0.1).powi(2)).exp();
+            let b = 2.0 * (-((x[0] - 0.7) / 0.1).powi(2)).exp();
+            a + b
+        };
+        let r = SimulatedAnnealing::new()
+            .seed(5)
+            .moves_per_temperature(100)
+            .maximize(&bounds, f)
+            .unwrap();
+        assert!((r.x[0] - 0.7).abs() < 0.05, "stuck at local optimum: {:?}", r.x);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let bounds = Bounds::symmetric(2, 1.0).unwrap();
+        let f = |x: &[f64]| -x[0] * x[0] - x[1] * x[1];
+        let a = SimulatedAnnealing::new().seed(9).maximize(&bounds, f).unwrap();
+        let b = SimulatedAnnealing::new().seed(9).maximize(&bounds, f).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let bounds = Bounds::symmetric(1, 1.0).unwrap();
+        let f = |_: &[f64]| 0.0;
+        assert!(SimulatedAnnealing::new()
+            .cooling_rate(1.5)
+            .maximize(&bounds, f)
+            .is_err());
+        assert!(SimulatedAnnealing::new()
+            .initial_temperature(-1.0)
+            .maximize(&bounds, f)
+            .is_err());
+        assert!(SimulatedAnnealing::new()
+            .moves_per_temperature(0)
+            .maximize(&bounds, f)
+            .is_err());
+        assert!(SimulatedAnnealing::new()
+            .final_temperature(10.0)
+            .maximize(&bounds, f)
+            .is_err());
+    }
+
+    #[test]
+    fn non_finite_objective_everywhere_errors() {
+        let bounds = Bounds::symmetric(1, 1.0).unwrap();
+        let r = SimulatedAnnealing::new().maximize(&bounds, |_| f64::NAN);
+        assert!(matches!(r, Err(OptimError::NonFiniteObjective { .. })));
+    }
+
+    #[test]
+    fn minimize_negates() {
+        let bounds = Bounds::symmetric(1, 2.0).unwrap();
+        let r = SimulatedAnnealing::new()
+            .seed(2)
+            .minimize(&bounds, |x| (x[0] - 1.0).powi(2))
+            .unwrap();
+        assert!(r.value < 1e-3);
+        assert!((r.x[0] - 1.0).abs() < 0.05);
+    }
+}

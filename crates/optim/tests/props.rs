@@ -1,0 +1,141 @@
+//! Property-based tests for the optimiser crate: feasibility, seed
+//! determinism and convergence on random concave quadratics.
+
+use optim::{
+    Bounds, GeneticAlgorithm, MultiStart, NelderMead, Optimizer, ParticleSwarm, PatternSearch,
+    RandomSearch, SimulatedAnnealing,
+};
+use proptest::prelude::*;
+
+/// Random concave quadratic with its maximum at `center`, curvature `k`.
+fn concave(center: Vec<f64>, k: f64) -> impl Fn(&[f64]) -> f64 {
+    move |x: &[f64]| {
+        -k * x
+            .iter()
+            .zip(&center)
+            .map(|(xi, ci)| (xi - ci) * (xi - ci))
+            .sum::<f64>()
+    }
+}
+
+proptest! {
+    /// Every optimiser returns a feasible point and never loses to the
+    /// box centre on a concave quadratic with an interior maximum.
+    #[test]
+    fn optimisers_feasible_and_sane(
+        cx in -0.8..0.8f64,
+        cy in -0.8..0.8f64,
+        k in 0.5..5.0f64,
+        seed in 0u64..20,
+    ) {
+        let bounds = Bounds::symmetric(2, 1.0).expect("valid");
+        let f = concave(vec![cx, cy], k);
+        let center_value = f(&bounds.center());
+
+        let results = [
+            SimulatedAnnealing::new().seed(seed).maximize(&bounds, &f).expect("runs"),
+            GeneticAlgorithm::new().seed(seed).maximize(&bounds, &f).expect("runs"),
+            ParticleSwarm::new().seed(seed).maximize(&bounds, &f).expect("runs"),
+            NelderMead::new().maximize(&bounds, &f).expect("runs"),
+            PatternSearch::new().maximize(&bounds, &f).expect("runs"),
+            MultiStart::new(4).seed(seed).maximize(&bounds, &f).expect("runs"),
+            RandomSearch::new(500).seed(seed).maximize(&bounds, &f).expect("runs"),
+        ];
+        for r in &results {
+            prop_assert!(bounds.contains(&r.x), "infeasible point {:?}", r.x);
+            prop_assert!(r.value + 1e-12 >= center_value, "worse than centre");
+            prop_assert!(r.evaluations > 0);
+        }
+        // The deterministic local methods should essentially solve it
+        // (Nelder–Mead's restart logic recovers from boundary-collapsed
+        // simplices).
+        prop_assert!(results[3].value > -1e-4, "nelder-mead: {}", results[3].value);
+        prop_assert!(results[4].value > -1e-6, "pattern search: {}", results[4].value);
+    }
+
+    /// Seed determinism for every stochastic optimiser.
+    #[test]
+    fn stochastic_optimisers_deterministic(seed in 0u64..100) {
+        let bounds = Bounds::symmetric(3, 2.0).expect("valid");
+        let f = |x: &[f64]| -(x[0] * x[0] + 2.0 * x[1] * x[1] + 0.5 * x[2] * x[2]);
+        macro_rules! check {
+            ($mk:expr) => {{
+                let a = $mk.maximize(&bounds, f).expect("runs");
+                let b = $mk.maximize(&bounds, f).expect("runs");
+                prop_assert_eq!(a, b);
+            }};
+        }
+        check!(SimulatedAnnealing::new().seed(seed));
+        check!(GeneticAlgorithm::new().seed(seed));
+        check!(ParticleSwarm::new().seed(seed));
+        check!(RandomSearch::new(200).seed(seed));
+        check!(MultiStart::new(3).seed(seed));
+    }
+
+    /// Boundary optima: on a random linear objective every optimiser must
+    /// end up near the correct corner.
+    #[test]
+    fn linear_objective_drives_to_corner(
+        g1 in prop::sample::select(vec![-2.0, -1.0, 1.0, 2.0]),
+        g2 in prop::sample::select(vec![-2.0, -1.0, 1.0, 2.0]),
+        seed in 0u64..10,
+    ) {
+        let bounds = Bounds::symmetric(2, 1.0).expect("valid");
+        let f = move |x: &[f64]| g1 * x[0] + g2 * x[1];
+        let best = g1.abs() + g2.abs();
+        for r in [
+            SimulatedAnnealing::new().seed(seed).maximize(&bounds, f).expect("runs"),
+            GeneticAlgorithm::new().seed(seed).maximize(&bounds, f).expect("runs"),
+            ParticleSwarm::new().seed(seed).maximize(&bounds, f).expect("runs"),
+            PatternSearch::new().maximize(&bounds, f).expect("runs"),
+        ] {
+            prop_assert!(
+                r.value > 0.97 * best,
+                "reached {} of corner value {best}",
+                r.value
+            );
+        }
+    }
+
+    /// minimize() is exactly maximize() of the negation.
+    #[test]
+    fn minimize_is_negated_maximize(seed in 0u64..30, shift in -1.0..1.0f64) {
+        let bounds = Bounds::symmetric(1, 2.0).expect("valid");
+        let f = move |x: &[f64]| (x[0] - shift) * (x[0] - shift);
+        let min = SimulatedAnnealing::new().seed(seed).minimize(&bounds, f).expect("runs");
+        let max = SimulatedAnnealing::new().seed(seed).maximize(&bounds, move |x| -f(x)).expect("runs");
+        prop_assert!((min.value + max.value).abs() < 1e-12);
+        prop_assert_eq!(min.x, max.x);
+    }
+
+    /// Bounds utilities: clamp is idempotent and lands inside.
+    #[test]
+    fn clamp_properties(
+        lo in -10.0..0.0f64,
+        width in 0.1..10.0f64,
+        x in prop::collection::vec(-100.0..100.0f64, 3),
+    ) {
+        let bounds = Bounds::new(vec![lo; 3], vec![lo + width; 3]).expect("valid");
+        let c = bounds.clamp(&x);
+        prop_assert!(bounds.contains(&c));
+        prop_assert_eq!(bounds.clamp(&c), c.clone());
+        // Clamping a feasible point is the identity.
+        let inside = bounds.center();
+        prop_assert_eq!(bounds.clamp(&inside), inside);
+    }
+
+    /// Larger random-search budgets never hurt (same seed prefix property
+    /// does not hold across budgets, but the optimum is monotone in
+    /// probability; we check a weaker deterministic fact: the best of a
+    /// superset of samples is at least the best of the subset when seeds
+    /// coincide sample-by-sample).
+    #[test]
+    fn random_search_budget_monotone(seed in 0u64..50) {
+        let bounds = Bounds::symmetric(2, 1.0).expect("valid");
+        let f = |x: &[f64]| -(x[0] * x[0] + x[1] * x[1]);
+        let small = RandomSearch::new(100).seed(seed).maximize(&bounds, f).expect("runs");
+        let large = RandomSearch::new(1000).seed(seed).maximize(&bounds, f).expect("runs");
+        // Same seed → the first 100 samples coincide → monotone.
+        prop_assert!(large.value + 1e-15 >= small.value);
+    }
+}

@@ -1,0 +1,151 @@
+use std::fmt;
+
+/// Analysis-of-variance decomposition of a least-squares fit.
+///
+/// Splits the total variation of the observed responses into the part
+/// explained by the regression and the residual part (the paper's Eq. 6
+/// SSE), with degrees of freedom, mean squares and the overall F statistic.
+///
+/// # Example
+///
+/// ```
+/// use doe::{full_factorial, ModelSpec};
+/// use rsm::ResponseSurface;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let design = full_factorial(1, 5)?;
+/// let ys: Vec<f64> = design.points().iter().map(|p| 2.0 * p[0]).collect();
+/// let fit = ResponseSurface::fit(&design, ModelSpec::linear(1), &ys)?;
+/// let anova = fit.anova();
+/// assert!(anova.ss_regression > 0.0);
+/// assert!(anova.ss_residual < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Anova {
+    /// Regression sum of squares `SSR = SST − SSE`.
+    pub ss_regression: f64,
+    /// Residual sum of squares `SSE`.
+    pub ss_residual: f64,
+    /// Total sum of squares about the mean `SST`.
+    pub ss_total: f64,
+    /// Regression degrees of freedom `p − 1`.
+    pub df_regression: usize,
+    /// Residual degrees of freedom `n − p`.
+    pub df_residual: usize,
+    /// Total degrees of freedom `n − 1`.
+    pub df_total: usize,
+    /// Regression mean square `SSR / df_regression`.
+    pub ms_regression: f64,
+    /// Residual mean square `SSE / df_residual` (error variance estimate).
+    pub ms_residual: f64,
+    /// Overall F statistic `MSR / MSE`; infinite for an exact fit and `NaN`
+    /// for a saturated one.
+    pub f_statistic: f64,
+}
+
+impl Anova {
+    /// Builds the table from the fit's sums of squares, observation count
+    /// `n` and term count `p`.
+    pub(crate) fn from_fit(sst: f64, sse: f64, n: usize, p: usize) -> Self {
+        let ssr = (sst - sse).max(0.0);
+        let df_regression = p.saturating_sub(1);
+        let df_residual = n.saturating_sub(p);
+        let ms_regression = if df_regression > 0 {
+            ssr / df_regression as f64
+        } else {
+            0.0
+        };
+        let ms_residual = if df_residual > 0 {
+            sse / df_residual as f64
+        } else {
+            f64::NAN
+        };
+        let f_statistic = if df_residual == 0 {
+            f64::NAN
+        } else if ms_residual == 0.0 {
+            f64::INFINITY
+        } else {
+            ms_regression / ms_residual
+        };
+        Anova {
+            ss_regression: ssr,
+            ss_residual: sse,
+            ss_total: sst,
+            df_regression,
+            df_residual,
+            df_total: n.saturating_sub(1),
+            ms_regression,
+            ms_residual,
+            f_statistic,
+        }
+    }
+}
+
+impl fmt::Display for Anova {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "source      df        SS            MS          F")?;
+        writeln!(
+            f,
+            "regression  {:>2}  {:>12.4}  {:>12.4}  {:>9.3}",
+            self.df_regression, self.ss_regression, self.ms_regression, self.f_statistic
+        )?;
+        writeln!(
+            f,
+            "residual    {:>2}  {:>12.4}  {:>12.4}",
+            self.df_residual, self.ss_residual, self.ms_residual
+        )?;
+        writeln!(
+            f,
+            "total       {:>2}  {:>12.4}",
+            self.df_total, self.ss_total
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decomposition_sums() {
+        let a = Anova::from_fit(100.0, 20.0, 12, 4);
+        assert_eq!(a.ss_regression, 80.0);
+        assert_eq!(a.df_regression, 3);
+        assert_eq!(a.df_residual, 8);
+        assert_eq!(a.df_total, 11);
+        assert!((a.ms_regression - 80.0 / 3.0).abs() < 1e-12);
+        assert!((a.ms_residual - 2.5).abs() < 1e-12);
+        assert!((a.f_statistic - (80.0 / 3.0) / 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturated_fit_has_nan_f() {
+        let a = Anova::from_fit(50.0, 0.0, 6, 6);
+        assert!(a.f_statistic.is_nan());
+        assert_eq!(a.df_residual, 0);
+    }
+
+    #[test]
+    fn exact_fit_has_infinite_f() {
+        let a = Anova::from_fit(50.0, 0.0, 10, 4);
+        assert!(a.f_statistic.is_infinite());
+    }
+
+    #[test]
+    fn negative_rounding_clamped() {
+        // SSE numerically slightly above SST should not yield negative SSR.
+        let a = Anova::from_fit(1.0, 1.0 + 1e-15, 5, 2);
+        assert!(a.ss_regression >= 0.0);
+    }
+
+    #[test]
+    fn display_contains_rows() {
+        let a = Anova::from_fit(10.0, 2.0, 8, 3);
+        let s = a.to_string();
+        assert!(s.contains("regression"));
+        assert!(s.contains("residual"));
+        assert!(s.contains("total"));
+    }
+}

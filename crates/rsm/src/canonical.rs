@@ -1,0 +1,244 @@
+use std::fmt;
+
+use doe::{ModelSpec, Term};
+use numkit::Matrix;
+
+use crate::{Result, RsmError};
+
+/// Classification of a quadratic surface's stationary point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StationaryKind {
+    /// All eigenvalues negative: the stationary point is a maximum.
+    Maximum,
+    /// All eigenvalues positive: the stationary point is a minimum.
+    Minimum,
+    /// Mixed-sign eigenvalues: a saddle point — the optimum lies on the
+    /// boundary of the design region (as it does for the paper's Eq. 9).
+    Saddle,
+}
+
+impl fmt::Display for StationaryKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StationaryKind::Maximum => write!(f, "maximum"),
+            StationaryKind::Minimum => write!(f, "minimum"),
+            StationaryKind::Saddle => write!(f, "saddle"),
+        }
+    }
+}
+
+/// Canonical analysis of a fitted quadratic response surface.
+///
+/// Writes the surface as `ŷ = β₀ + xᵀb + xᵀBx` and solves `x_s = −½ B⁻¹ b`
+/// for the stationary point. The eigenvalues of `B` classify it and give
+/// the curvature along the principal axes. RSM texts use this to decide
+/// whether a fitted optimum is interior (a true maximum) or whether, as in
+/// the paper's surface, ridge/saddle structure pushes the optimum onto the
+/// design-region boundary.
+///
+/// # Example
+///
+/// ```
+/// use doe::ModelSpec;
+/// use rsm::{CanonicalAnalysis, StationaryKind};
+///
+/// # fn main() -> Result<(), rsm::RsmError> {
+/// // y = 1 − x1² − 2 x2²: maximum at the origin.
+/// let model = ModelSpec::quadratic(2);
+/// let beta = [1.0, 0.0, 0.0, -1.0, -2.0, 0.0];
+/// let ca = CanonicalAnalysis::of(&model, &beta)?;
+/// assert_eq!(ca.kind(), StationaryKind::Maximum);
+/// assert!(ca.stationary_point().iter().all(|x| x.abs() < 1e-12));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CanonicalAnalysis {
+    stationary_point: Vec<f64>,
+    stationary_value: f64,
+    eigenvalues: Vec<f64>,
+    kind: StationaryKind,
+}
+
+impl CanonicalAnalysis {
+    /// Analyses a quadratic model with the given coefficients.
+    ///
+    /// # Errors
+    ///
+    /// * [`RsmError::NotQuadratic`] when the model has no second-order
+    ///   terms.
+    /// * [`RsmError::NoStationaryPoint`] when `B` is singular (a stationary
+    ///   ridge instead of a point).
+    /// * [`RsmError::InvalidArgument`] for a coefficient-count mismatch.
+    pub fn of(model: &ModelSpec, coefficients: &[f64]) -> Result<Self> {
+        if coefficients.len() != model.num_terms() {
+            return Err(RsmError::InvalidArgument(
+                "canonical analysis: coefficient count mismatch",
+            ));
+        }
+        let k = model.dimension();
+        let mut b_vec = vec![0.0; k];
+        let mut b_mat = Matrix::zeros(k, k);
+        let mut beta0 = 0.0;
+        let mut has_second_order = false;
+        for (term, &beta) in model.terms().iter().zip(coefficients) {
+            match *term {
+                Term::Intercept => beta0 = beta,
+                Term::Linear(i) => b_vec[i] = beta,
+                Term::Quadratic(i) => {
+                    b_mat[(i, i)] = beta;
+                    has_second_order = true;
+                }
+                Term::Interaction(i, j) => {
+                    b_mat[(i, j)] = beta / 2.0;
+                    b_mat[(j, i)] = beta / 2.0;
+                    has_second_order = true;
+                }
+            }
+        }
+        if !has_second_order {
+            return Err(RsmError::NotQuadratic);
+        }
+
+        let lu = b_mat.lu().map_err(|_| RsmError::NoStationaryPoint)?;
+        let rhs: Vec<f64> = b_vec.iter().map(|v| -0.5 * v).collect();
+        let stationary_point = lu
+            .solve_vec(&rhs)
+            .map_err(|_| RsmError::NoStationaryPoint)?;
+
+        // ŷ(x_s) = β₀ + ½ bᵀ x_s   (standard RSM identity)
+        let stationary_value = beta0
+            + 0.5
+                * b_vec
+                    .iter()
+                    .zip(&stationary_point)
+                    .map(|(b, x)| b * x)
+                    .sum::<f64>();
+
+        let eig = b_mat.sym_eigen()?;
+        let eigenvalues = eig.eigenvalues().to_vec();
+        let kind = if eigenvalues.iter().all(|&l| l < 0.0) {
+            StationaryKind::Maximum
+        } else if eigenvalues.iter().all(|&l| l > 0.0) {
+            StationaryKind::Minimum
+        } else {
+            StationaryKind::Saddle
+        };
+
+        Ok(CanonicalAnalysis {
+            stationary_point,
+            stationary_value,
+            eigenvalues,
+            kind,
+        })
+    }
+
+    /// Location of the stationary point in coded units.
+    pub fn stationary_point(&self) -> &[f64] {
+        &self.stationary_point
+    }
+
+    /// Predicted response at the stationary point.
+    pub fn stationary_value(&self) -> f64 {
+        self.stationary_value
+    }
+
+    /// Eigenvalues of the quadratic-form matrix `B`, ascending.
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+
+    /// Stationary point classification.
+    pub fn kind(&self) -> StationaryKind {
+        self.kind
+    }
+
+    /// `true` if the stationary point lies within the coded cube
+    /// `[-1, 1]^k` — i.e. inside the explored design region.
+    pub fn is_interior(&self) -> bool {
+        self.stationary_point.iter().all(|x| x.abs() <= 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maximum_detected() {
+        let model = ModelSpec::quadratic(2);
+        // y = 5 + 2x1 − x1² − x2² → max at (1, 0), value 6.
+        let beta = [5.0, 2.0, 0.0, -1.0, -1.0, 0.0];
+        let ca = CanonicalAnalysis::of(&model, &beta).unwrap();
+        assert_eq!(ca.kind(), StationaryKind::Maximum);
+        assert!((ca.stationary_point()[0] - 1.0).abs() < 1e-10);
+        assert!(ca.stationary_point()[1].abs() < 1e-10);
+        assert!((ca.stationary_value() - 6.0).abs() < 1e-10);
+        assert!(ca.is_interior());
+    }
+
+    #[test]
+    fn saddle_detected_for_eq9_shape() {
+        // The paper's Eq. 9 has mixed-sign quadratic coefficients
+        // (+120.98, +106.69, −69.75): a saddle.
+        let model = ModelSpec::quadratic(3);
+        let beta = [
+            484.02, -121.79, -16.77, -208.43, 120.98, 106.69, -69.75, -34.23, -121.79, 32.54,
+        ];
+        let ca = CanonicalAnalysis::of(&model, &beta).unwrap();
+        assert_eq!(ca.kind(), StationaryKind::Saddle);
+        // With a saddle the best transmission count must sit on the
+        // boundary of the design space, consistent with Table VI's corner
+        // solutions (8 MHz / 60 s and 125 kHz / 600 s).
+    }
+
+    #[test]
+    fn minimum_detected() {
+        let model = ModelSpec::quadratic(1);
+        let beta = [0.0, 0.0, 3.0]; // y = 3x²
+        let ca = CanonicalAnalysis::of(&model, &beta).unwrap();
+        assert_eq!(ca.kind(), StationaryKind::Minimum);
+        assert!(ca.stationary_value().abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_model_rejected() {
+        let model = ModelSpec::linear(2);
+        let r = CanonicalAnalysis::of(&model, &[1.0, 2.0, 3.0]);
+        assert!(matches!(r, Err(RsmError::NotQuadratic)));
+    }
+
+    #[test]
+    fn singular_quadratic_rejected() {
+        // y = x1² only in 2 factors: B singular (ridge along x2).
+        let model = ModelSpec::quadratic(2);
+        let beta = [0.0, 0.0, 0.0, 1.0, 0.0, 0.0];
+        let r = CanonicalAnalysis::of(&model, &beta);
+        assert!(matches!(r, Err(RsmError::NoStationaryPoint)));
+    }
+
+    #[test]
+    fn coefficient_count_checked() {
+        let model = ModelSpec::quadratic(2);
+        let r = CanonicalAnalysis::of(&model, &[1.0, 2.0]);
+        assert!(matches!(r, Err(RsmError::InvalidArgument(_))));
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(StationaryKind::Maximum.to_string(), "maximum");
+        assert_eq!(StationaryKind::Saddle.to_string(), "saddle");
+    }
+
+    #[test]
+    fn exterior_stationary_point_flagged() {
+        let model = ModelSpec::quadratic(1);
+        // y = 10x − x²: max at x = 5, outside [-1, 1].
+        let beta = [0.0, 10.0, -1.0];
+        let ca = CanonicalAnalysis::of(&model, &beta).unwrap();
+        assert!(!ca.is_interior());
+        assert_eq!(ca.kind(), StationaryKind::Maximum);
+        assert!((ca.stationary_point()[0] - 5.0).abs() < 1e-10);
+        assert!((ca.stationary_value() - 25.0).abs() < 1e-10);
+    }
+}

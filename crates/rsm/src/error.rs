@@ -1,0 +1,91 @@
+use std::fmt;
+
+/// Error type for response-surface fitting and analysis.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RsmError {
+    /// Response count does not match the number of design runs.
+    ResponseLengthMismatch {
+        /// Number of design runs.
+        runs: usize,
+        /// Number of responses supplied.
+        responses: usize,
+    },
+    /// The design cannot estimate the requested model (singular `XᵀX`).
+    NotEstimable,
+    /// The fitted quadratic has no isolated stationary point (singular
+    /// second-order coefficient matrix).
+    NoStationaryPoint,
+    /// The model contains no second-order terms, so canonical analysis is
+    /// undefined.
+    NotQuadratic,
+    /// An argument was invalid.
+    InvalidArgument(&'static str),
+    /// A design/model error from the `doe` layer.
+    Doe(doe::DoeError),
+    /// A numerical failure from the linear-algebra layer.
+    Numerical(numkit::NumError),
+}
+
+impl fmt::Display for RsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RsmError::ResponseLengthMismatch { runs, responses } => write!(
+                f,
+                "response length mismatch: {runs} design runs but {responses} responses"
+            ),
+            RsmError::NotEstimable => {
+                write!(f, "design cannot estimate the model (singular information matrix)")
+            }
+            RsmError::NoStationaryPoint => {
+                write!(f, "fitted surface has no isolated stationary point")
+            }
+            RsmError::NotQuadratic => {
+                write!(f, "canonical analysis requires second-order terms")
+            }
+            RsmError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            RsmError::Doe(e) => write!(f, "design error: {e}"),
+            RsmError::Numerical(e) => write!(f, "numerical failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RsmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RsmError::Doe(e) => Some(e),
+            RsmError::Numerical(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<doe::DoeError> for RsmError {
+    fn from(e: doe::DoeError) -> Self {
+        RsmError::Doe(e)
+    }
+}
+
+impl From<numkit::NumError> for RsmError {
+    fn from(e: numkit::NumError) -> Self {
+        RsmError::Numerical(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e = RsmError::ResponseLengthMismatch {
+            runs: 10,
+            responses: 9,
+        };
+        assert!(e.to_string().contains("10"));
+        let e: RsmError = numkit::NumError::Singular.into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e: RsmError = doe::DoeError::InvalidArgument("x").into();
+        assert!(matches!(e, RsmError::Doe(_)));
+    }
+}

@@ -1,0 +1,58 @@
+//! Response surface modelling (RSM) — the MATLAB response-surface-toolbox
+//! substitute of this workspace.
+//!
+//! Given simulated responses at the design points chosen by the [`doe`]
+//! crate, this crate fits the quadratic polynomial of the paper's Eq. 4 by
+//! least squares (Eq. 5–7), assesses the fit, and analyses the fitted
+//! surface:
+//!
+//! * [`ResponseSurface`] — the fitted model: coefficients, predictions,
+//!   gradients, residual diagnostics ([`FitStats`]), an [`Anova`] table and
+//!   coefficient t-statistics.
+//! * [`CanonicalAnalysis`] — stationary-point location and classification
+//!   (maximum / minimum / saddle) from the eigenvalues of the quadratic
+//!   form, used to understand the shape of surfaces like the paper's Eq. 9.
+//!
+//! # Example: recovering a known quadratic
+//!
+//! ```
+//! use doe::{full_factorial, ModelSpec};
+//! use rsm::ResponseSurface;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let model = ModelSpec::quadratic(2);
+//! let design = full_factorial(2, 3)?;
+//! // True surface: y = 1 + 2 x1 − 3 x2 + 0.5 x1² + x2² − 0.25 x1 x2
+//! let truth = [1.0, 2.0, -3.0, 0.5, 1.0, -0.25];
+//! let responses: Vec<f64> = design
+//!     .points()
+//!     .iter()
+//!     .map(|p| model.predict(&truth, p))
+//!     .collect();
+//! let surface = ResponseSurface::fit(&design, model, &responses)?;
+//! assert!(surface.stats().r_squared > 0.999999);
+//! for (est, tru) in surface.coefficients().iter().zip(&truth) {
+//!     assert!((est - tru).abs() < 1e-9);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod anova;
+mod canonical;
+mod error;
+mod fit;
+mod lack_of_fit;
+pub mod stepwise;
+
+pub use anova::Anova;
+pub use canonical::{CanonicalAnalysis, StationaryKind};
+pub use error::RsmError;
+pub use fit::{FitStats, ResponseSurface};
+pub use lack_of_fit::{lack_of_fit, LackOfFit};
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, RsmError>;

@@ -1,0 +1,184 @@
+//! Backward term elimination for response surface models.
+//!
+//! A saturated quadratic like the paper's Eq. 9 carries every term the
+//! basis allows; terms whose t-statistics are indistinguishable from
+//! noise inflate prediction variance. [`backward_eliminate`] repeatedly
+//! drops the least significant removable term and refits until every
+//! surviving term clears the threshold — the classic manual-RSM
+//! refinement step the paper leaves implicit.
+
+use doe::{Design, ModelSpec, Term};
+
+use crate::{ResponseSurface, Result, RsmError};
+
+/// Result of a backward elimination run.
+#[derive(Debug, Clone)]
+pub struct ReducedFit {
+    /// The final fitted surface over the surviving terms.
+    pub surface: ResponseSurface,
+    /// Terms removed, in elimination order.
+    pub removed: Vec<Term>,
+}
+
+/// Iteratively removes the least significant term (|t| below
+/// `t_threshold`) and refits, keeping the intercept unconditionally.
+///
+/// Requires a non-saturated fit at every step (`runs > terms`), since
+/// t-statistics need residual degrees of freedom; the first elimination
+/// from a saturated design therefore needs at least one extra run.
+///
+/// # Errors
+///
+/// * [`RsmError::InvalidArgument`] when the initial fit is saturated
+///   (no residual degrees of freedom to judge significance).
+/// * Any fitting error from the reduced models.
+///
+/// # Example
+///
+/// ```
+/// use doe::{full_factorial, ModelSpec};
+/// use rsm::stepwise::backward_eliminate;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let design = full_factorial(2, 4)?;
+/// // Truth uses only x1 and x1²; the x2 terms are noise-level.
+/// let ys: Vec<f64> = design
+///     .points()
+///     .iter()
+///     .enumerate()
+///     .map(|(i, p)| 5.0 + 3.0 * p[0] + 2.0 * p[0] * p[0] + 1e-4 * (i as f64))
+///     .collect();
+/// let reduced = backward_eliminate(&design, ModelSpec::quadratic(2), &ys, 2.0)?;
+/// assert!(reduced.removed.len() >= 2, "x2 terms should go");
+/// # Ok(())
+/// # }
+/// ```
+pub fn backward_eliminate(
+    design: &Design,
+    model: ModelSpec,
+    responses: &[f64],
+    t_threshold: f64,
+) -> Result<ReducedFit> {
+    if t_threshold <= 0.0 {
+        return Err(RsmError::InvalidArgument(
+            "stepwise: t threshold must be positive",
+        ));
+    }
+    let mut terms: Vec<Term> = model.terms().to_vec();
+    let dimension = model.dimension();
+    let mut removed = Vec::new();
+
+    loop {
+        let spec = ModelSpec::custom(dimension, terms.clone());
+        let surface = ResponseSurface::fit(design, spec, responses)?;
+        let Some(t_stats) = surface.t_statistics() else {
+            return Err(RsmError::InvalidArgument(
+                "stepwise: saturated fit has no residual degrees of freedom",
+            ));
+        };
+
+        // Weakest removable (non-intercept) term.
+        let weakest = terms
+            .iter()
+            .zip(&t_stats)
+            .enumerate()
+            .filter(|(_, (term, _))| !matches!(term, Term::Intercept))
+            .min_by(|a, b| a.1 .1.abs().total_cmp(&b.1 .1.abs()))
+            .map(|(idx, (_, t))| (idx, t.abs()));
+
+        match weakest {
+            Some((idx, t_abs)) if t_abs < t_threshold && terms.len() > 1 => {
+                removed.push(terms.remove(idx));
+            }
+            _ => return Ok(ReducedFit { surface, removed }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doe::full_factorial;
+
+    fn noisy_responses(design: &Design, truth: &[f64], model: &ModelSpec) -> Vec<f64> {
+        design
+            .points()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                model.predict(truth, p) + if i % 2 == 0 { 0.05 } else { -0.05 }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn eliminates_noise_terms_keeps_signal() {
+        let model = ModelSpec::quadratic(2);
+        let design = full_factorial(2, 5).unwrap();
+        // Truth: strong x1 and x1x2; everything else zero.
+        let truth = [10.0, 4.0, 0.0, 0.0, 0.0, 3.0];
+        let ys = noisy_responses(&design, &truth, &model);
+        let reduced = backward_eliminate(&design, model, &ys, 3.0).unwrap();
+        let kept: Vec<String> = reduced
+            .surface
+            .model()
+            .terms()
+            .iter()
+            .map(|t| t.to_string())
+            .collect();
+        assert!(kept.contains(&"x1".to_owned()), "kept: {kept:?}");
+        assert!(kept.contains(&"x1*x2".to_owned()), "kept: {kept:?}");
+        assert!(!kept.contains(&"x2^2".to_owned()), "kept: {kept:?}");
+        assert!(reduced.removed.len() >= 3);
+    }
+
+    #[test]
+    fn exact_signal_survives_entirely() {
+        let model = ModelSpec::quadratic(2);
+        let design = full_factorial(2, 4).unwrap();
+        let truth = [1.0, 2.0, -3.0, 4.0, -5.0, 6.0];
+        let ys = noisy_responses(&design, &truth, &model);
+        let reduced = backward_eliminate(&design, model.clone(), &ys, 2.0).unwrap();
+        assert!(
+            reduced.removed.is_empty(),
+            "strong terms eliminated: {:?}",
+            reduced.removed
+        );
+        assert_eq!(reduced.surface.model().num_terms(), model.num_terms());
+    }
+
+    #[test]
+    fn saturated_fit_rejected() {
+        let model = ModelSpec::quadratic(1); // 3 terms
+        let design = full_factorial(1, 3).unwrap(); // 3 runs: saturated
+        let r = backward_eliminate(&design, model, &[1.0, 2.0, 3.0], 2.0);
+        assert!(matches!(r, Err(RsmError::InvalidArgument(_))));
+    }
+
+    #[test]
+    fn invalid_threshold_rejected() {
+        let model = ModelSpec::linear(1);
+        let design = full_factorial(1, 3).unwrap();
+        let r = backward_eliminate(&design, model, &[1.0, 2.0, 3.0], 0.0);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn reduced_model_still_predicts_well() {
+        let model = ModelSpec::quadratic(2);
+        let design = full_factorial(2, 5).unwrap();
+        let truth = [2.0, 1.5, 0.0, -2.0, 0.0, 0.0];
+        let ys = noisy_responses(&design, &truth, &model);
+        let full = ResponseSurface::fit(&design, model.clone(), &ys).unwrap();
+        let reduced = backward_eliminate(&design, model.clone(), &ys, 3.0).unwrap();
+        // Compare predictions at a probe point.
+        let probe = [0.4, -0.6];
+        let want = model.predict(&truth, &probe);
+        let err_full = (full.predict(&probe) - want).abs();
+        let err_reduced = (reduced.surface.predict(&probe) - want).abs();
+        assert!(
+            err_reduced <= err_full + 0.1,
+            "reduced {err_reduced} much worse than full {err_full}"
+        );
+    }
+}

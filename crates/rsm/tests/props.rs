@@ -1,0 +1,136 @@
+//! Property-based tests for the response-surface crate: exact recovery,
+//! statistic bounds and canonical-analysis invariants on random surfaces.
+
+use doe::{full_factorial, DOptimal, ModelSpec};
+use proptest::prelude::*;
+use rsm::{CanonicalAnalysis, ResponseSurface, StationaryKind};
+
+proptest! {
+    /// A quadratic truth sampled on a sufficient design is recovered
+    /// exactly (interpolation property of least squares on exact data).
+    #[test]
+    fn exact_recovery_from_factorial(beta in prop::collection::vec(-100.0..100.0f64, 6)) {
+        let model = ModelSpec::quadratic(2);
+        let design = full_factorial(2, 3).expect("valid");
+        let ys: Vec<f64> = design
+            .points()
+            .iter()
+            .map(|p| model.predict(&beta, p))
+            .collect();
+        let fit = ResponseSurface::fit(&design, model, &ys).expect("estimable");
+        for (got, want) in fit.coefficients().iter().zip(&beta) {
+            prop_assert!((got - want).abs() < 1e-6 * want.abs().max(1.0));
+        }
+        prop_assert!(fit.stats().r_squared > 1.0 - 1e-9);
+    }
+
+    /// The same holds from a saturated D-optimal design (the paper's
+    /// setting: 10 runs for 10 coefficients in 3 factors).
+    #[test]
+    fn exact_recovery_from_d_optimal(beta in prop::collection::vec(-50.0..50.0f64, 10), seed in 0u64..20) {
+        let model = ModelSpec::quadratic(3);
+        let design = DOptimal::new(3, model.clone())
+            .runs(10)
+            .seed(seed)
+            .build()
+            .expect("feasible");
+        let ys: Vec<f64> = design
+            .points()
+            .iter()
+            .map(|p| model.predict(&beta, p))
+            .collect();
+        let fit = ResponseSurface::fit(&design, model, &ys).expect("estimable");
+        for (got, want) in fit.coefficients().iter().zip(&beta) {
+            prop_assert!((got - want).abs() < 1e-5 * want.abs().max(1.0),
+                "{got} vs {want}");
+        }
+    }
+
+    /// R² ∈ [0, 1], adjusted R² ≤ R², PRESS ≥ SSE, for noisy responses.
+    #[test]
+    fn statistic_bounds(noise in prop::collection::vec(-1.0..1.0f64, 25)) {
+        let model = ModelSpec::quadratic(2);
+        let design = full_factorial(2, 5).expect("valid");
+        let truth = [5.0, 2.0, -3.0, 1.0, -0.5, 0.8];
+        let ys: Vec<f64> = design
+            .points()
+            .iter()
+            .zip(&noise)
+            .map(|(p, n)| model.predict(&truth, p) + n)
+            .collect();
+        let fit = ResponseSurface::fit(&design, model, &ys).expect("estimable");
+        let s = fit.stats();
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&s.r_squared), "R² = {}", s.r_squared);
+        prop_assert!(s.adj_r_squared <= s.r_squared + 1e-12);
+        prop_assert!(s.press + 1e-12 >= s.sse, "PRESS {} < SSE {}", s.press, s.sse);
+        prop_assert!(s.sse >= 0.0 && s.sst >= 0.0);
+        // ANOVA decomposition.
+        let anova = fit.anova();
+        prop_assert!((anova.ss_regression + anova.ss_residual - anova.ss_total).abs()
+            <= 1e-9 * anova.ss_total.max(1.0));
+    }
+
+    /// Fitted values are invariant to the response's affine rescaling in
+    /// the expected way: fit(a·y + b) = a·fit(y) + b.
+    #[test]
+    fn fit_is_affine_equivariant(a in 0.1..10.0f64, b in -100.0..100.0f64) {
+        let model = ModelSpec::quadratic(2);
+        let design = full_factorial(2, 3).expect("valid");
+        let ys: Vec<f64> = design
+            .points()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| p[0] * 2.0 - p[1] + (i as f64) * 0.1)
+            .collect();
+        let scaled: Vec<f64> = ys.iter().map(|y| a * y + b).collect();
+        let f1 = ResponseSurface::fit(&design, model.clone(), &ys).expect("estimable");
+        let f2 = ResponseSurface::fit(&design, model, &scaled).expect("estimable");
+        let probe = [0.37, -0.81];
+        let expect = a * f1.predict(&probe) + b;
+        prop_assert!((f2.predict(&probe) - expect).abs() < 1e-7 * expect.abs().max(1.0));
+    }
+
+    /// Canonical analysis classifies definite quadratic forms correctly
+    /// and locates the stationary point where the gradient vanishes.
+    #[test]
+    fn canonical_analysis_consistency(
+        d1 in 0.2..5.0f64,
+        d2 in 0.2..5.0f64,
+        b1 in -2.0..2.0f64,
+        b2 in -2.0..2.0f64,
+        negate in any::<bool>(),
+    ) {
+        let model = ModelSpec::quadratic(2);
+        let sign = if negate { -1.0 } else { 1.0 };
+        // y = b1 x1 + b2 x2 ± (d1 x1² + d2 x2²)
+        let beta = [0.0, b1, b2, sign * d1, sign * d2, 0.0];
+        let ca = CanonicalAnalysis::of(&model, &beta).expect("definite");
+        prop_assert_eq!(
+            ca.kind(),
+            if negate { StationaryKind::Maximum } else { StationaryKind::Minimum }
+        );
+        let grad = model.gradient(&beta, ca.stationary_point());
+        for g in grad {
+            prop_assert!(g.abs() < 1e-8, "gradient at stationary point: {g}");
+        }
+        // Stationary value agrees with direct evaluation.
+        let direct = model.predict(&beta, ca.stationary_point());
+        prop_assert!((ca.stationary_value() - direct).abs() < 1e-8);
+    }
+
+    /// Prediction at design points equals fitted values.
+    #[test]
+    fn predictions_match_fitted_values(beta in prop::collection::vec(-10.0..10.0f64, 6)) {
+        let model = ModelSpec::quadratic(2);
+        let design = full_factorial(2, 4).expect("valid");
+        let ys: Vec<f64> = design
+            .points()
+            .iter()
+            .map(|p| model.predict(&beta, p))
+            .collect();
+        let fit = ResponseSurface::fit(&design, model, &ys).expect("estimable");
+        for (p, f) in design.points().iter().zip(fit.fitted()) {
+            prop_assert!((fit.predict(p) - f).abs() < 1e-9);
+        }
+    }
+}

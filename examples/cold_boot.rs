@@ -1,0 +1,70 @@
+//! Commissioning study: a freshly deployed node boots from an empty
+//! supercapacitor.
+//!
+//! The paper's evaluation starts from a charged store; a deployment
+//! engineer also needs the other trajectory — how long until a dead node
+//! harvests its way through the Table II thresholds:
+//!
+//! * 2.6 V — the actuator can run, frequency tuning begins (Alg. 1 l. 3);
+//! * 2.7 V — first transmissions at the slow one-minute interval;
+//! * 2.8 V — the configured fast interval takes over.
+//!
+//! Run with: `cargo run --release --example cold_boot`
+
+use harvester::VibrationProfile;
+use wsn_node::{EnvelopeSim, NodeConfig, SystemConfig};
+
+fn main() {
+    // The machine vibrates near the harvester's untuned base resonance, so
+    // some energy arrives even before the first tuning cycle can run.
+    let vibration = VibrationProfile::sine(67.7, 0.06 * 9.81);
+    let mut config = SystemConfig::paper(NodeConfig::original())
+        .with_vibration(vibration)
+        .with_horizon(10.0 * 3600.0)
+        .with_initial_voltage(0.05);
+    config.start_tuned = false;
+    config.trace_interval = Some(30.0);
+
+    let outcome = EnvelopeSim::new(config).run();
+
+    println!("== cold boot from an empty supercapacitor ==\n");
+    let mut milestones = [
+        (2.6, "tuning possible (actuator threshold)", None::<f64>),
+        (2.7, "first slow transmissions", None),
+        (2.8, "fast transmission interval", None),
+    ];
+    for sample in &outcome.trace {
+        for (threshold, _, at) in &mut milestones {
+            if at.is_none() && sample.voltage >= *threshold {
+                *at = Some(sample.time);
+            }
+        }
+    }
+    for (threshold, label, at) in &milestones {
+        match at {
+            Some(t) => println!(
+                "{threshold} V  after {:>5.1} min — {label}",
+                t / 60.0
+            ),
+            None => println!("{threshold} V  not reached within the horizon — {label}"),
+        }
+    }
+
+    println!(
+        "\nafter 10 h: {} transmissions, final voltage {:.3} V, \
+         {} tuning cycles ({} coarse moves)",
+        outcome.transmissions,
+        outcome.final_voltage,
+        outcome.watchdog_wakes,
+        outcome.coarse_moves
+    );
+    println!("{}", outcome.energy);
+
+    println!(
+        "\nReading: below 2.6 V every watchdog wake aborts immediately\n\
+         (Algorithm 1 line 3), so the node charges on whatever the untuned\n\
+         resonance overlaps with the ambient vibration — which is why the\n\
+         deployment guide should mount the device on machinery whose idle\n\
+         frequency sits near the harvester's base resonance."
+    );
+}

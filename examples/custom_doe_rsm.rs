@@ -1,0 +1,59 @@
+//! Comparing experimental designs on the sensor-node response surface.
+//!
+//! The paper argues (§II-B) that a 10-run D-optimal design explores the
+//! space as well as the 27-run full factorial. This example quantifies
+//! that claim: it fits the same quadratic model from several classic
+//! designs and reports run counts, D-efficiencies and how well each fit
+//! predicts a held-out grid of simulated configurations.
+//!
+//! Run with: `cargo run --release --example custom_doe_rsm`
+
+use doe::{box_behnken, central_composite, full_factorial, DOptimal, Design, ModelSpec};
+use numkit::stats;
+use wsn_dse::DseFlow;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let flow = DseFlow::paper();
+    let model = ModelSpec::quadratic(3);
+
+    // Hold-out set: a 3-level grid jittered off the candidate grid.
+    let holdout: Vec<Vec<f64>> = full_factorial(3, 3)?
+        .points()
+        .iter()
+        .map(|p| p.iter().map(|x| x * 0.65).collect())
+        .collect();
+    let mut holdout_truth = Vec::with_capacity(holdout.len());
+    for point in &holdout {
+        holdout_truth.push(flow.evaluate_coded(point)?);
+    }
+
+    println!("{:<22} {:>5} {:>8} {:>12}", "design", "runs", "D-eff %", "holdout RMSE");
+    let designs: Vec<(&str, Design)> = vec![
+        ("full factorial 3^3", full_factorial(3, 3)?),
+        ("face-centred CCD", central_composite(3, 1.0, 1)?),
+        ("Box-Behnken", box_behnken(3, 3)?),
+        (
+            "D-optimal (10 runs)",
+            DOptimal::new(3, model.clone()).runs(10).seed(12).build()?,
+        ),
+        (
+            "D-optimal (14 runs)",
+            DOptimal::new(3, model.clone()).runs(14).seed(12).build()?,
+        ),
+    ];
+
+    for (name, design) in designs {
+        let responses = flow.simulate_design(&design)?;
+        let surface = flow.fit(&design, &responses)?;
+        let eff = doe::diagnostics::d_efficiency(&design, &model)?;
+        let predictions: Vec<f64> = holdout.iter().map(|p| surface.predict(p)).collect();
+        let rmse = stats::rmse(&predictions, &holdout_truth);
+        println!("{name:<22} {:>5} {eff:>8.1} {rmse:>12.1}", design.len());
+    }
+
+    println!(
+        "\nThe 10-run D-optimal design estimates all 10 quadratic terms with\n\
+         about a third of the factorial's simulation cost — the paper's point."
+    );
+    Ok(())
+}

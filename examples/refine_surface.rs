@@ -1,0 +1,77 @@
+//! Sequential response-surface refinement — the classic second-phase RSM
+//! step the paper leaves as future work.
+//!
+//! Phase 1 runs the paper's flow over the full Table V space. Phase 2
+//! zooms the design space to 35 % of its width around the phase-1 optimum
+//! and repeats the DOE + fit + optimise cycle there, where the saturated
+//! first surface was most strained. A backward-elimination pass then
+//! prunes the refined model down to its significant terms.
+//!
+//! Run with: `cargo run --release --example refine_surface`
+
+use rsm::stepwise::backward_eliminate;
+use wsn_dse::DseFlow;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== phase 1: full Table V space ==");
+    let flow = DseFlow::paper().seed(12);
+    let first = flow.run()?;
+    let best1 = first.best_optimised().expect("optimised designs exist");
+    println!(
+        "optimum: {} tx at clock {:.0} Hz, watchdog {:.0} s, interval {:.3} s",
+        best1.simulated, best1.config.clock_hz, best1.config.watchdog_s,
+        best1.config.tx_interval_s
+    );
+
+    println!("\n== phase 2: 35 % zoom around the optimum ==");
+    let refined_flow = flow.refine(&first, 0.35)?;
+    for f in refined_flow.space().factors() {
+        println!("  {f}");
+    }
+    // Extra runs so the refined fit is not saturated and terms can be
+    // judged for significance.
+    let refined_flow = refined_flow.doe_runs(16);
+    let second = refined_flow.run()?;
+    let best2 = second.best_optimised().expect("optimised designs exist");
+    println!(
+        "refined optimum: {} tx at clock {:.0} Hz, watchdog {:.0} s, interval {:.3} s",
+        best2.simulated, best2.config.clock_hz, best2.config.watchdog_s,
+        best2.config.tx_interval_s
+    );
+    println!(
+        "refined fit: R² = {:.4} over {} runs (non-saturated)",
+        second.surface.stats().r_squared,
+        second.design.len()
+    );
+
+    println!("\n== term pruning on the refined surface ==");
+    let reduced = backward_eliminate(
+        &second.design,
+        second.surface.model().clone(),
+        &second.responses,
+        2.0,
+    )?;
+    println!(
+        "kept {} of {} terms; removed: {}",
+        reduced.surface.model().num_terms(),
+        second.surface.model().num_terms(),
+        if reduced.removed.is_empty() {
+            "(none)".to_owned()
+        } else {
+            reduced
+                .removed
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        }
+    );
+    println!("reduced model: {}", reduced.surface);
+
+    let gain = best2.simulated as f64 / first.original.simulated as f64;
+    println!(
+        "\noverall: {} -> {} transmissions ({gain:.2}x the original design)",
+        first.original.simulated, best2.simulated
+    );
+    Ok(())
+}

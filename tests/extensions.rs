@@ -1,0 +1,149 @@
+//! Integration tests for the features that extend the paper: sequential
+//! refinement, model reduction, lack-of-fit assessment, alternative
+//! optimality criteria and drifting-vibration scenarios.
+
+use doe::{central_composite, fractional_factorial, DOptimal, ModelSpec, OptimalityCriterion};
+use harvester::VibrationProfile;
+use rsm::stepwise::backward_eliminate;
+use rsm::{lack_of_fit, ResponseSurface};
+use wsn_dse::DseFlow;
+use wsn_node::{EnvelopeSim, NodeConfig, SystemConfig};
+
+fn fast_flow() -> DseFlow {
+    let template = SystemConfig::paper(NodeConfig::original()).with_horizon(600.0);
+    DseFlow::paper().with_template(template).seed(5)
+}
+
+/// A full two-phase sequential run stays consistent: the refined space is
+/// nested, the refined optimum is feasible and not much worse.
+#[test]
+fn sequential_refinement_end_to_end() {
+    let flow = fast_flow();
+    let first = flow.run().expect("phase 1 runs");
+    let refined = flow.refine(&first, 0.4).expect("refine").doe_runs(14);
+    let second = refined.run().expect("phase 2 runs");
+
+    let b1 = first.best_optimised().expect("phase 1 optimum").simulated;
+    let b2 = second.best_optimised().expect("phase 2 optimum").simulated;
+    assert!(b2 as f64 >= 0.85 * b1 as f64, "refinement regressed {b1} -> {b2}");
+
+    // Phase 2 is non-saturated: coefficient significance is available.
+    assert!(second.surface.t_statistics().is_some());
+}
+
+/// Backward elimination on the refined (non-saturated) sensor-node
+/// surface keeps the transmission-interval terms.
+#[test]
+fn stepwise_keeps_the_dominant_interval_terms() {
+    let flow = fast_flow();
+    let first = flow.run().expect("phase 1 runs");
+    let refined = flow.refine(&first, 0.5).expect("refine").doe_runs(16);
+    let design = refined.build_design().expect("design");
+    let responses = refined.simulate_design(&design).expect("simulate");
+    let surface = refined.fit(&design, &responses).expect("fit");
+
+    let reduced = backward_eliminate(&design, surface.model().clone(), &responses, 2.0)
+        .expect("eliminates");
+    let kept: Vec<String> = reduced
+        .surface
+        .model()
+        .terms()
+        .iter()
+        .map(|t| t.to_string())
+        .collect();
+    assert!(
+        kept.iter().any(|t| t.contains("x3")),
+        "the interval must survive pruning: kept {kept:?}"
+    );
+}
+
+/// Lack-of-fit machinery works on the real simulator with a replicated
+/// CCD: the quadratic is an imperfect but not absurd local model.
+#[test]
+fn lack_of_fit_on_simulated_responses() {
+    let flow = fast_flow();
+    let design = central_composite(3, 1.0, 3).expect("valid CCD");
+    let responses = flow.simulate_design(&design).expect("simulate");
+    let surface = ResponseSurface::fit(&design, ModelSpec::quadratic(3), &responses)
+        .expect("estimable");
+    let lof = lack_of_fit(&surface, &design).expect("replicated design");
+    // The simulator is deterministic, so centre replicates are identical:
+    // pure error is exactly zero and any misfit shows up as lack of fit.
+    assert_eq!(lof.ss_pure_error, 0.0);
+    assert_eq!(lof.df_pure_error, 2);
+    assert!(lof.ss_lack_of_fit >= 0.0);
+}
+
+/// The three optimality criteria all produce designs the flow can use
+/// end-to-end on the real simulator.
+#[test]
+fn alternative_criteria_work_in_the_flow() {
+    let flow = fast_flow();
+    let model = ModelSpec::quadratic(3);
+    for criterion in [
+        OptimalityCriterion::D,
+        OptimalityCriterion::A,
+        OptimalityCriterion::I,
+    ] {
+        let design = DOptimal::new(3, model.clone())
+            .runs(12)
+            .seed(9)
+            .criterion(criterion)
+            .build()
+            .expect("feasible");
+        let responses = flow.simulate_design(&design).expect("simulate");
+        let surface = flow.fit(&design, &responses).expect("fit");
+        assert!(
+            surface.stats().r_squared > 0.8,
+            "{criterion:?}: R² = {}",
+            surface.stats().r_squared
+        );
+    }
+}
+
+/// A fractional factorial screens the three factors and agrees with the
+/// full flow on which factor dominates.
+#[test]
+fn fractional_factorial_screens_the_interval() {
+    let flow = fast_flow();
+    // 2^(3-1) half fraction with C = AB.
+    let design = fractional_factorial(3, &[&[0, 1]]).expect("valid");
+    let responses = flow.simulate_design(&design).expect("simulate");
+    let surface = ResponseSurface::fit(&design, ModelSpec::linear(3), &responses)
+        .expect("estimable");
+    let beta = surface.coefficients();
+    assert!(
+        beta[3].abs() > beta[1].abs() && beta[3].abs() > beta[2].abs(),
+        "screening should already spot x3: {beta:?}"
+    );
+    assert!(beta[3] < 0.0);
+}
+
+/// Drifting vibration: the envelope engine runs a full hour of random
+/// walk deterministically, and never chases the drift into a dead store.
+#[test]
+fn drift_scenario_is_stable() {
+    let vibration =
+        VibrationProfile::random_walk(0.5886, 80.0, 0.5, 60.0, 60, 69.0, 96.0, 17);
+    let node = NodeConfig::new(4e6, 300.0, 1.0).expect("valid");
+    let mut cfg = SystemConfig::paper(node).with_vibration(vibration);
+    cfg.trace_interval = None;
+    let a = EnvelopeSim::new(cfg.clone()).run();
+    let b = EnvelopeSim::new(cfg).run();
+    assert_eq!(a, b, "drift scenario must stay deterministic");
+    assert!(a.final_voltage > 1.5, "store collapsed: {}", a.final_voltage);
+    assert!(a.coarse_moves >= 1, "drift must trigger retuning");
+}
+
+/// Frequency-response utilities agree with the envelope engine's view of
+/// detuning: the half-power band is narrower than the paper's 5 Hz step.
+#[test]
+fn bandwidth_explains_the_tuning_requirement() {
+    let g = harvester::Microgenerator::paper();
+    let bw = harvester::half_power_bandwidth(&g, 80.0, 0.5886, 2.8)
+        .expect("conducting at 60 mg");
+    assert!(
+        bw < 5.0,
+        "a 5 Hz step must fall outside the half-power band (bw = {bw})"
+    );
+}

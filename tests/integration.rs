@@ -1,0 +1,156 @@
+//! Cross-crate integration tests: the statistics stack (`doe` + `rsm` +
+//! `optim` + `numkit`) working together on the paper's surfaces.
+
+use doe::{full_factorial, DOptimal, ModelSpec};
+use optim::{Bounds, GeneticAlgorithm, Optimizer, SimulatedAnnealing};
+use rsm::{ResponseSurface, StationaryKind};
+
+/// The paper's Eq. 9 coefficients in this workspace's term order.
+const PAPER_EQ9: [f64; 10] = [
+    484.02, -121.79, -16.77, -208.43, 120.98, 106.69, -69.75, -34.23, -121.79, 32.54,
+];
+
+/// Fitting the paper's Eq. 9 from a 10-run D-optimal design recovers all
+/// ten coefficients exactly (the design is saturated but estimable).
+#[test]
+fn doe_plus_rsm_recover_eq9_exactly() {
+    let model = ModelSpec::quadratic(3);
+    let design = DOptimal::new(3, model.clone())
+        .runs(10)
+        .seed(3)
+        .build()
+        .expect("feasible design");
+    let responses: Vec<f64> = design
+        .points()
+        .iter()
+        .map(|p| model.predict(&PAPER_EQ9, p))
+        .collect();
+    let surface = ResponseSurface::fit(&design, model, &responses).expect("estimable");
+    for (got, want) in surface.coefficients().iter().zip(&PAPER_EQ9) {
+        assert!((got - want).abs() < 1e-6, "{got} vs {want}");
+    }
+}
+
+/// The D-optimal design predicts unseen points as well as the full
+/// factorial when the truth is exactly quadratic.
+#[test]
+fn d_optimal_generalises_like_the_factorial_on_quadratic_truth() {
+    let model = ModelSpec::quadratic(3);
+    let fit = |design: &doe::Design| {
+        let ys: Vec<f64> = design
+            .points()
+            .iter()
+            .map(|p| model.predict(&PAPER_EQ9, p))
+            .collect();
+        ResponseSurface::fit(design, model.clone(), &ys).expect("estimable")
+    };
+    let d10 = DOptimal::new(3, model.clone()).runs(10).seed(5).build().expect("feasible");
+    let d27 = full_factorial(3, 3).expect("valid");
+    let s10 = fit(&d10);
+    let s27 = fit(&d27);
+    for probe in [[0.3, -0.4, 0.8], [-0.9, 0.9, -0.1], [0.0, 0.5, -0.5]] {
+        assert!((s10.predict(&probe) - s27.predict(&probe)).abs() < 1e-6);
+    }
+}
+
+/// Both of the paper's optimisers find the same maximum of Eq. 9 on the
+/// coded cube, and it beats the centre (original-design) prediction by
+/// roughly 2x — Table VI's structure.
+#[test]
+fn sa_and_ga_agree_on_eq9_maximum() {
+    let model = ModelSpec::quadratic(3);
+    let bounds = Bounds::symmetric(3, 1.0).expect("valid");
+    let f = |x: &[f64]| model.predict(&PAPER_EQ9, x);
+
+    let sa = SimulatedAnnealing::new()
+        .seed(11)
+        .maximize(&bounds, f)
+        .expect("runs");
+    let ga = GeneticAlgorithm::new()
+        .seed(11)
+        .maximize(&bounds, f)
+        .expect("runs");
+
+    // Exhaustive grid reference.
+    let mut best = f64::NEG_INFINITY;
+    let n = 41;
+    for i in 0..n {
+        for j in 0..n {
+            for k in 0..n {
+                let x = [
+                    -1.0 + 2.0 * i as f64 / (n - 1) as f64,
+                    -1.0 + 2.0 * j as f64 / (n - 1) as f64,
+                    -1.0 + 2.0 * k as f64 / (n - 1) as f64,
+                ];
+                best = best.max(f(&x));
+            }
+        }
+    }
+    assert!(sa.value > 0.99 * best, "SA {} vs grid best {best}", sa.value);
+    assert!(ga.value > 0.99 * best, "GA {} vs grid best {best}", ga.value);
+    assert!((sa.value - ga.value).abs() < 0.02 * best);
+
+    // The paper's headline: the optimum roughly doubles the centre value.
+    let original = f(&[0.0, 0.0, 0.0]);
+    let ratio = sa.value / original;
+    assert!(
+        ratio > 1.7 && ratio < 2.6,
+        "Eq. 9 optimum/centre ratio {ratio} should be near the paper's 899/405 ≈ 2.2"
+    );
+}
+
+/// Eq. 9's quadratic form is a saddle, which is why the paper's optima sit
+/// on the boundary of the design space (Table VI corners).
+#[test]
+fn eq9_has_saddle_structure_with_boundary_optimum() {
+    let model = ModelSpec::quadratic(3);
+    let surface = {
+        let design = full_factorial(3, 3).expect("valid");
+        let ys: Vec<f64> = design
+            .points()
+            .iter()
+            .map(|p| model.predict(&PAPER_EQ9, p))
+            .collect();
+        ResponseSurface::fit(&design, model, &ys).expect("estimable")
+    };
+    let ca = surface.canonical_analysis().expect("quadratic");
+    assert_eq!(ca.kind(), StationaryKind::Saddle);
+    // With a saddle, the boundary optimum found by SA must lie on a face.
+    let bounds = Bounds::symmetric(3, 1.0).expect("valid");
+    let sa = SimulatedAnnealing::new()
+        .seed(2)
+        .maximize(&bounds, |x| surface.predict(x))
+        .expect("runs");
+    let on_boundary = sa.x.iter().any(|v| (v.abs() - 1.0).abs() < 0.05);
+    assert!(on_boundary, "optimum {:?} should touch the boundary", sa.x);
+}
+
+/// Design diagnostics and fit statistics stay mutually consistent on a
+/// non-saturated design.
+#[test]
+fn statistics_are_internally_consistent() {
+    let model = ModelSpec::quadratic(2);
+    let design = full_factorial(2, 4).expect("valid");
+    let ys: Vec<f64> = design
+        .points()
+        .iter()
+        .enumerate()
+        .map(|(i, p)| 3.0 + p[0] - 2.0 * p[1] + 0.5 * p[0] * p[1] + (i % 3) as f64 * 0.01)
+        .collect();
+    let surface = ResponseSurface::fit(&design, model.clone(), &ys).expect("estimable");
+    let anova = surface.anova();
+    let stats = surface.stats();
+    // SSR + SSE = SST
+    assert!(
+        (anova.ss_regression + anova.ss_residual - anova.ss_total).abs() < 1e-9,
+        "ANOVA decomposition broken"
+    );
+    // R² consistent between views.
+    let r2 = anova.ss_regression / anova.ss_total;
+    assert!((r2 - stats.r_squared).abs() < 1e-12);
+    // Leverages from rsm equal those from doe diagnostics.
+    let lev_doe = doe::diagnostics::leverage(&design, &model).expect("estimable");
+    for (a, b) in surface.leverages().iter().zip(&lev_doe) {
+        assert!((a - b).abs() < 1e-9);
+    }
+}

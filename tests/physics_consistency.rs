@@ -1,0 +1,138 @@
+//! Cross-engine physics consistency: the accelerated envelope engine
+//! against the full mixed-signal co-simulation, and both against
+//! analytical expectations.
+
+use harvester::{Microgenerator, Supercapacitor, VibrationProfile};
+use wsn_node::{EnvelopeSim, FullSystemSim, NodeConfig, SystemConfig};
+
+fn quiet_config(node: NodeConfig, horizon: f64) -> SystemConfig {
+    let mut cfg = SystemConfig::paper(node).with_horizon(horizon);
+    cfg.trace_interval = None;
+    cfg
+}
+
+/// Envelope and full-ODE engines agree on the charging trajectory of a
+/// tuned, lightly loaded node within a few millivolts.
+#[test]
+fn engines_agree_on_charging_rate() {
+    // Slow transmissions so the storage dynamics dominate.
+    let node = NodeConfig::new(4e6, 320.0, 10.0).expect("valid");
+    let cfg = quiet_config(node, 40.0);
+
+    let env = EnvelopeSim::new(cfg.clone()).run();
+    let full = FullSystemSim::new(cfg)
+        .with_dt(1e-4)
+        .run()
+        .expect("full sim runs");
+
+    let dv = (env.final_voltage - full.final_voltage).abs();
+    assert!(
+        dv < 5e-3,
+        "engines diverge: envelope {} vs full {}",
+        env.final_voltage,
+        full.final_voltage
+    );
+    // Same transmission count on this easy scenario.
+    assert_eq!(env.transmissions, full.transmissions);
+}
+
+/// Both engines see the collapse of harvesting when the generator is
+/// detuned from the vibration (the motivation for tuning, paper §I).
+#[test]
+fn engines_agree_detuned_harvest_is_negligible() {
+    let node = NodeConfig::new(4e6, 600.0, 10.0).expect("valid");
+    let mut cfg = quiet_config(node, 30.0);
+    cfg.start_tuned = false; // position 0 = 67.6 Hz vs vibration at 75 Hz
+    let env = EnvelopeSim::new(cfg.clone()).run();
+    let full = FullSystemSim::new(cfg).with_dt(1e-4).run().expect("runs");
+    assert!(env.energy.harvested < 1e-4, "envelope harvested {}", env.energy.harvested);
+    assert!(full.energy.harvested < 2e-4, "full harvested {}", full.energy.harvested);
+}
+
+/// The envelope engine's harvested power matches the analytic steady
+/// state within the quasi-static approximation.
+#[test]
+fn envelope_harvest_matches_steady_state_analysis() {
+    let node = NodeConfig::new(4e6, 600.0, 10.0).expect("valid");
+    let cfg = quiet_config(node, 120.0);
+    let out = EnvelopeSim::new(cfg.clone()).run();
+
+    let generator = Microgenerator::paper();
+    let f0 = cfg.vibration.dominant_frequency(0.0);
+    let pos = cfg.tuning.position_for_frequency(f0);
+    let f_res = cfg.tuning.resonant_frequency(pos);
+    let ss = generator.steady_state(f0, f_res, cfg.vibration.amplitude(), 2.8);
+    let expected = ss.power_into_store * 120.0;
+    let rel = (out.energy.harvested - expected).abs() / expected;
+    assert!(
+        rel < 0.1,
+        "harvested {} vs steady-state expectation {expected}",
+        out.energy.harvested
+    );
+}
+
+/// Energy conservation across a full paper scenario: storage delta equals
+/// harvested minus consumed, for all three Table VI configurations.
+#[test]
+fn energy_conservation_for_table_vi_configs() {
+    for node in [
+        NodeConfig::original(),
+        NodeConfig::sa_optimised(),
+        NodeConfig::ga_optimised(),
+    ] {
+        let cfg = quiet_config(node, 3600.0);
+        let out = EnvelopeSim::new(cfg.clone()).run();
+        let e0 = cfg.storage.energy(cfg.initial_voltage);
+        let e1 = cfg.storage.energy(out.final_voltage);
+        let delta = e1 - e0;
+        let net = out.energy.net();
+        assert!(
+            (delta - net).abs() < 0.02 * out.energy.harvested.max(1e-3),
+            "clock {}: stored {delta} vs net {net}",
+            node.clock_hz
+        );
+    }
+}
+
+/// A node with no harvest (vibration outside the tunable band) drains the
+/// supercapacitor at the analytic sleep rate.
+#[test]
+fn sleep_drain_matches_analytic_rate() {
+    let node = NodeConfig::new(4e6, 600.0, 10.0).expect("valid");
+    let mut cfg = quiet_config(node, 500.0);
+    cfg.vibration = VibrationProfile::sine(20.0, 0.2); // hopelessly detuned
+    cfg.start_tuned = false;
+    cfg.initial_voltage = 2.65; // below every transmission threshold
+    let out = EnvelopeSim::new(cfg.clone()).run();
+    assert_eq!(out.transmissions, 0, "no transmissions below 2.7 V");
+
+    let storage = Supercapacitor::paper();
+    let i_drain = 0.5e-6 + 1.5e-6 + storage.leakage_current(2.65);
+    let expected_dv = i_drain / storage.capacitance() * 500.0;
+    let actual_dv = cfg.initial_voltage - out.final_voltage;
+    assert!(
+        (actual_dv - expected_dv).abs() < 0.3 * expected_dv,
+        "drain {actual_dv} vs expected {expected_dv}"
+    );
+}
+
+/// Retuning restores harvesting after a frequency step in both engines.
+#[test]
+fn retuning_restores_harvest_after_frequency_step() {
+    let node = NodeConfig::new(4e6, 60.0, 10.0).expect("valid");
+    let mut cfg = quiet_config(node, 240.0);
+    cfg.vibration = VibrationProfile::stepped(0.5886, vec![(0.0, 75.0), (30.0, 80.0)]);
+
+    let out = EnvelopeSim::new(cfg.clone()).run();
+    assert!(out.coarse_moves >= 1, "retune expected");
+    // After the retune (watchdog at 60 s + tuning time), the final
+    // position must correspond to ~80 Hz.
+    let f_res = cfg.tuning.resonant_frequency(out.final_position);
+    assert!(
+        (f_res - 80.0).abs() < 0.5,
+        "final resonance {f_res} should track 80 Hz"
+    );
+    // And harvesting must have resumed: more energy harvested than a
+    // permanently detuned run would collect.
+    assert!(out.energy.harvested > 10e-3);
+}
