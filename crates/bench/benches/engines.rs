@@ -1,67 +1,52 @@
-//! Criterion benches for the simulation engines: the envelope engine's
+//! Wall-clock benches for the simulation engines: the envelope engine's
 //! one-hour scenario (the unit of cost of the whole DOE flow), the full
 //! mixed-signal co-simulation per simulated second, and the steady-state
 //! harvester solve that dominates the envelope engine's inner loop.
+//!
+//! Plain `std::time::Instant` harness (`harness = false`); run with
+//! `cargo bench -p wsn-bench --bench engines`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Duration;
 
 use harvester::Microgenerator;
+use wsn_bench::timing::bench;
 use wsn_node::{EnvelopeSim, FullSystemSim, NodeConfig, SystemConfig};
 
-fn envelope_one_hour(c: &mut Criterion) {
-    let mut group = c.benchmark_group("envelope_one_hour");
+fn main() {
+    println!("engine benches");
+    wsn_bench::rule(80);
+
     for (name, node) in [
-        ("original", NodeConfig::original()),
-        ("sa_optimised", NodeConfig::sa_optimised()),
-        ("ga_optimised", NodeConfig::ga_optimised()),
+        ("envelope_one_hour/original", NodeConfig::original()),
+        ("envelope_one_hour/sa_optimised", NodeConfig::sa_optimised()),
+        ("envelope_one_hour/ga_optimised", NodeConfig::ga_optimised()),
     ] {
         let mut cfg = SystemConfig::paper(node);
         cfg.trace_interval = None;
-        group.bench_function(name, |b| {
-            b.iter(|| black_box(EnvelopeSim::new(cfg.clone()).run().transmissions))
+        bench(name, Duration::from_secs(3), || {
+            black_box(EnvelopeSim::new(cfg.clone()).run().transmissions)
         });
     }
-    group.finish();
-}
 
-fn full_ode_per_simulated_second(c: &mut Criterion) {
     let mut cfg = SystemConfig::paper(NodeConfig::original()).with_horizon(1.0);
     cfg.trace_interval = None;
-    let mut group = c.benchmark_group("full_ode");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(8));
-    group.bench_function("1s_dt100us", |b| {
-        b.iter(|| {
-            black_box(
-                FullSystemSim::new(cfg.clone())
-                    .with_dt(1e-4)
-                    .run()
-                    .expect("valid config")
-                    .final_voltage,
-            )
-        })
+    bench("full_ode/1s_dt100us", Duration::from_secs(8), || {
+        black_box(
+            FullSystemSim::new(cfg.clone())
+                .with_dt(1e-4)
+                .run()
+                .expect("valid config")
+                .final_voltage,
+        )
     });
-    group.finish();
-}
 
-fn steady_state_solve(c: &mut Criterion) {
     let generator = Microgenerator::paper();
-    c.bench_function("harvester_steady_state", |b| {
-        b.iter(|| {
-            black_box(
-                generator
-                    .steady_state(black_box(80.0), 80.05, 0.5886, 2.8)
-                    .power_into_store,
-            )
-        })
+    bench("harvester_steady_state", Duration::from_secs(3), || {
+        black_box(
+            generator
+                .steady_state(black_box(80.0), 80.05, 0.5886, 2.8)
+                .power_into_store,
+        )
     });
 }
-
-criterion_group!(
-    benches,
-    envelope_one_hour,
-    full_ode_per_simulated_second,
-    steady_state_solve
-);
-criterion_main!(benches);

@@ -1,56 +1,50 @@
-//! Criterion benches for the optimiser stack on the paper's Eq. 9
+//! Wall-clock benches for the optimiser stack on the paper's Eq. 9
 //! surface: how much compute each global method spends to find the
 //! boundary optimum.
+//!
+//! Plain `std::time::Instant` harness (`harness = false`); run with
+//! `cargo bench -p wsn-bench --bench optimisers`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Duration;
 
 use doe::ModelSpec;
 use optim::{Bounds, GeneticAlgorithm, Optimizer, ParticleSwarm, SimulatedAnnealing};
+use wsn_bench::timing::bench;
 use wsn_bench::PAPER_EQ9;
 
-fn optimisers_on_eq9(c: &mut Criterion) {
+fn main() {
     let model = ModelSpec::quadratic(3);
     let bounds = Bounds::symmetric(3, 1.0).expect("valid bounds");
     let f = move |x: &[f64]| model.predict(&PAPER_EQ9, x);
 
-    let mut group = c.benchmark_group("optimise_eq9");
-    group.sample_size(20);
-    group.bench_function("simulated_annealing", |b| {
-        b.iter(|| {
-            black_box(
-                SimulatedAnnealing::new()
-                    .seed(7)
-                    .maximize(&bounds, &f)
-                    .expect("valid config")
-                    .value,
-            )
-        })
+    println!("optimise_eq9 benches");
+    wsn_bench::rule(80);
+    bench("simulated_annealing", Duration::from_secs(3), || {
+        black_box(
+            SimulatedAnnealing::new()
+                .seed(7)
+                .maximize(&bounds, &f)
+                .expect("valid config")
+                .value,
+        )
     });
-    group.bench_function("genetic_algorithm", |b| {
-        b.iter(|| {
-            black_box(
-                GeneticAlgorithm::new()
-                    .seed(7)
-                    .maximize(&bounds, &f)
-                    .expect("valid config")
-                    .value,
-            )
-        })
+    bench("genetic_algorithm", Duration::from_secs(3), || {
+        black_box(
+            GeneticAlgorithm::new()
+                .seed(7)
+                .maximize(&bounds, &f)
+                .expect("valid config")
+                .value,
+        )
     });
-    group.bench_function("particle_swarm", |b| {
-        b.iter(|| {
-            black_box(
-                ParticleSwarm::new()
-                    .seed(7)
-                    .maximize(&bounds, &f)
-                    .expect("valid config")
-                    .value,
-            )
-        })
+    bench("particle_swarm", Duration::from_secs(3), || {
+        black_box(
+            ParticleSwarm::new()
+                .seed(7)
+                .maximize(&bounds, &f)
+                .expect("valid config")
+                .value,
+        )
     });
-    group.finish();
 }
-
-criterion_group!(benches, optimisers_on_eq9);
-criterion_main!(benches);

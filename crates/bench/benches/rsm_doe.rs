@@ -1,76 +1,57 @@
-//! Criterion benches for the statistics stack: D-optimal design search,
+//! Wall-clock benches for the statistics stack: D-optimal design search,
 //! response-surface fitting and model evaluation.
+//!
+//! Plain `std::time::Instant` harness (`harness = false`); run with
+//! `cargo bench -p wsn-bench --bench rsm_doe`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Duration;
 
 use doe::{full_factorial, DOptimal, ModelSpec};
 use rsm::ResponseSurface;
+use wsn_bench::timing::bench;
 use wsn_bench::PAPER_EQ9;
 
-fn d_optimal_search(c: &mut Criterion) {
-    let mut group = c.benchmark_group("d_optimal");
-    group.sample_size(10);
+fn main() {
+    println!("doe / rsm benches");
+    wsn_bench::rule(80);
+
     let model = ModelSpec::quadratic(3);
-    group.bench_function("10_of_27", |b| {
-        b.iter(|| {
-            black_box(
-                DOptimal::new(3, model.clone())
-                    .runs(10)
-                    .seed(12)
-                    .build()
-                    .expect("feasible"),
-            )
-        })
+    bench("d_optimal/10_of_27", Duration::from_secs(3), || {
+        black_box(
+            DOptimal::new(3, model.clone())
+                .runs(10)
+                .seed(12)
+                .build()
+                .expect("feasible"),
+        )
     });
-    // The 5-factor search costs ~0.6 s per build; keep the sample budget
-    // tiny so `cargo bench` stays interactive.
-    group.measurement_time(std::time::Duration::from_secs(8));
+
+    // The 5-factor search costs ~0.6 s per build; keep the budget small
+    // so `cargo bench` stays interactive.
     let model5 = ModelSpec::quadratic(5);
-    group.bench_function("24_of_243", |b| {
-        b.iter(|| {
-            black_box(
-                DOptimal::new(5, model5.clone())
-                    .runs(24)
-                    .seed(12)
-                    .build()
-                    .expect("feasible"),
-            )
-        })
+    bench("d_optimal/24_of_243", Duration::from_secs(8), || {
+        black_box(
+            DOptimal::new(5, model5.clone())
+                .runs(24)
+                .seed(12)
+                .build()
+                .expect("feasible"),
+        )
     });
-    group.finish();
-}
 
-fn surface_fit(c: &mut Criterion) {
-    let model = ModelSpec::quadratic(3);
     let design = full_factorial(3, 3).expect("valid");
     let responses: Vec<f64> = design
         .points()
         .iter()
         .map(|p| model.predict(&PAPER_EQ9, p))
         .collect();
-    c.bench_function("rsm_fit_27_runs", |b| {
-        b.iter(|| {
-            black_box(
-                ResponseSurface::fit(&design, model.clone(), &responses).expect("estimable"),
-            )
-        })
+    bench("rsm_fit_27_runs", Duration::from_secs(3), || {
+        black_box(ResponseSurface::fit(&design, model.clone(), &responses).expect("estimable"))
+    });
+
+    let surface = ResponseSurface::fit(&design, model.clone(), &responses).expect("estimable");
+    bench("rsm_predict", Duration::from_secs(1), || {
+        black_box(surface.predict(black_box(&[0.3, -0.7, 0.9])))
     });
 }
-
-fn surface_predict(c: &mut Criterion) {
-    let model = ModelSpec::quadratic(3);
-    let design = full_factorial(3, 3).expect("valid");
-    let responses: Vec<f64> = design
-        .points()
-        .iter()
-        .map(|p| model.predict(&PAPER_EQ9, p))
-        .collect();
-    let surface = ResponseSurface::fit(&design, model, &responses).expect("estimable");
-    c.bench_function("rsm_predict", |b| {
-        b.iter(|| black_box(surface.predict(black_box(&[0.3, -0.7, 0.9]))))
-    });
-}
-
-criterion_group!(benches, d_optimal_search, surface_fit, surface_predict);
-criterion_main!(benches);

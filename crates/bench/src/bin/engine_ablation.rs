@@ -53,10 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let full = FullSystemSim::new(cfg.clone()).with_dt(1e-4).run()?;
         let t_full = t0.elapsed();
 
-        for (engine, out, t) in [
-            ("envelope", &env, t_env),
-            ("full ODE", &full, t_full),
-        ] {
+        for (engine, out, t) in [("envelope", &env, t_env), ("full ODE", &full, t_full)] {
             println!(
                 "{:<26} {:>10} {:>6} {:>10.4} {:>10.2} {:>12.3?} {:>12}",
                 name,
@@ -66,7 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 out.energy.harvested * 1e3,
                 t,
                 if engine == "envelope" {
-                    format!("{:.0}x", t_full.as_secs_f64() / t_env.as_secs_f64().max(1e-9))
+                    format!(
+                        "{:.0}x",
+                        t_full.as_secs_f64() / t_env.as_secs_f64().max(1e-9)
+                    )
                 } else {
                     String::new()
                 }
@@ -75,10 +75,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         let dv = (env.final_voltage - full.final_voltage).abs();
         let tx_gap = env.transmissions.abs_diff(full.transmissions);
-        println!(
-            "  agreement: |ΔV| = {:.1} mV, |Δtx| = {tx_gap}",
-            dv * 1e3
-        );
+        println!("  agreement: |ΔV| = {:.1} mV, |Δtx| = {tx_gap}", dv * 1e3);
         wsn_bench::rule(92);
     }
 

@@ -16,7 +16,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let responses = flow.simulate_design(&design)?;
     let surface = flow.fit(&design, &responses)?;
 
-    println!("Eq. 9 reproduction: quadratic RSM from {} D-optimal runs", design.len());
+    println!(
+        "Eq. 9 reproduction: quadratic RSM from {} D-optimal runs",
+        design.len()
+    );
     wsn_bench::rule(64);
     println!("{:<8} {:>14} {:>14}", "term", "this work", "paper Eq. 9");
     wsn_bench::rule(64);
@@ -54,8 +57,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let quad = format!("[{:.0}, {:.0}, {:.0}]", ours[4], ours[5], ours[6]);
     println!(
         "  mixed-sign quadratic terms (boundary optimum): ours {quad} -> {}",
-        verdict(!same_sign(&ours[4..7]) || surface.canonical_analysis().is_err()
-            || !surface.canonical_analysis().expect("quadratic").is_interior())
+        verdict(
+            !same_sign(&ours[4..7])
+                || surface.canonical_analysis().is_err()
+                || !surface
+                    .canonical_analysis()
+                    .expect("quadratic")
+                    .is_interior()
+        )
     );
     Ok(())
 }

@@ -36,9 +36,7 @@ fn main() {
     let (opt, tx_opt) = trace_for(optimised);
 
     println!("Fig. 5: supercapacitor voltage, original vs optimised (1 hour)");
-    println!(
-        "original: {tx_orig} transmissions; optimised: {tx_opt} transmissions\n"
-    );
+    println!("original: {tx_orig} transmissions; optimised: {tx_opt} transmissions\n");
     dump_vcd("fig5_original.vcd", "v_supercap_original", &orig);
     dump_vcd("fig5_optimised.vcd", "v_supercap_optimised", &opt);
     println!();
@@ -46,7 +44,10 @@ fn main() {
     // Downsample the 10 s traces to one column per 40 s for the chart.
     let ds = |v: &[(f64, f64)]| -> Vec<f64> { v.iter().step_by(4).map(|s| s.1).collect() };
     wsn_bench::ascii_chart(
-        &[("original design", &ds(&orig)), ("optimised design", &ds(&opt))],
+        &[
+            ("original design", &ds(&orig)),
+            ("optimised design", &ds(&opt)),
+        ],
         14,
     );
 

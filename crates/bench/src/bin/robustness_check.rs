@@ -7,11 +7,24 @@
 //! (b) an ensemble of random-walk drifts, and reports the distribution.
 //!
 //! Run with: `cargo run --release -p wsn-bench --bin robustness_check`
+//! (`-- --jobs N` limits the ensemble worker threads; default: all cores).
 
 use wsn_dse::robustness::{drift_robustness, frequency_robustness};
 use wsn_node::{NodeConfig, SystemConfig};
 
+/// Parses a trailing `--jobs N` argument; `0` (the default) means "all
+/// available cores".
+fn jobs_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let jobs = jobs_from_args();
     let template = SystemConfig::paper(NodeConfig::original());
     let configs = [
         ("original", NodeConfig::original()),
@@ -21,9 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
 
     let f0_values: Vec<f64> = (0..9).map(|i| 70.0 + 2.0 * i as f64).collect();
-    println!(
-        "starting-frequency robustness (stepped profile, f0 = 70..86 Hz, one hour):"
-    );
+    println!("starting-frequency robustness (stepped profile, f0 = 70..86 Hz, one hour):");
     wsn_bench::rule(76);
     println!(
         "{:<18} {:>8} {:>8} {:>8} {:>8} {:>10}",
@@ -31,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     wsn_bench::rule(76);
     for (name, config) in configs {
-        let s = frequency_robustness(&template, config, &f0_values);
+        let s = frequency_robustness(&template, config, &f0_values, jobs);
         println!(
             "{name:<18} {:>8.0} {:>8.0} {:>8.0} {:>8.0} {:>10.3}",
             s.mean,
@@ -46,7 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     wsn_bench::rule(76);
     let seeds: Vec<u64> = (100..106).collect();
     for (name, config) in configs {
-        let s = drift_robustness(&template, config, 0.5, &seeds);
+        let s = drift_robustness(&template, config, 0.5, &seeds, jobs);
         println!(
             "{name:<18} {:>8.0} {:>8.0} {:>8.0} {:>8.0} {:>10.3}",
             s.mean,

@@ -10,7 +10,10 @@ fn main() {
 
     println!("TABLE II: sensor node behaviour based on supercapacitor voltage");
     wsn_bench::rule(66);
-    println!("{:<26} {:<40}", "supercapacitor voltage", "wireless transmission interval");
+    println!(
+        "{:<26} {:<40}",
+        "supercapacitor voltage", "wireless transmission interval"
+    );
     wsn_bench::rule(66);
 
     let probe = |v: f64| match node.decide(v) {

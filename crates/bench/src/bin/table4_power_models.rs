@@ -70,7 +70,10 @@ fn main() {
 
     // The clock-scaling the Table IV rows imply (§III parameter 1).
     println!("\nMCU activity vs clock (the x1 trade-off):");
-    println!("{:<10} {:>12} {:>16} {:>18}", "clock", "I active", "wake energy", "timing resolution");
+    println!(
+        "{:<10} {:>12} {:>16} {:>18}",
+        "clock", "I active", "wake energy", "timing resolution"
+    );
     for clock in [125e3, 1e6, 4e6, 8e6] {
         let mcu = wsn_node::Mcu::new(clock).expect("valid clock");
         println!(

@@ -13,11 +13,7 @@ fn main() {
         "description", "value range", "coded symbol"
     );
     wsn_bench::rule(70);
-    let ranges = [
-        "125 kHz - 8 MHz",
-        "60 - 600 s",
-        "0.005 - 10 s",
-    ];
+    let ranges = ["125 kHz - 8 MHz", "60 - 600 s", "0.005 - 10 s"];
     for (i, factor) in space.factors().iter().enumerate() {
         println!("{:<30} {:<24} x{}", factor.name(), ranges[i], i + 1);
     }

@@ -3,13 +3,26 @@
 //! validated in the simulator.
 //!
 //! Run with: `cargo run --release -p wsn-bench --bin table6_optimisation`
+//! (`-- --jobs N` limits the simulation worker threads; default: all
+//! cores. The report is bit-identical at any job count.)
 
 use wsn_bench::{fmt_hz, PAPER_TABLE6};
 use wsn_dse::DseFlow;
 use wsn_node::{PowerBudget, SystemConfig};
 
+/// Parses a trailing `--jobs N` argument; `0` (the default) means "all
+/// available cores".
+fn jobs_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let report = DseFlow::paper().run()?;
+    let report = DseFlow::paper().jobs(jobs_from_args()).run()?;
 
     println!("TABLE VI: optimisation results");
     wsn_bench::rule(96);

@@ -27,6 +27,71 @@ pub fn rule(width: usize) {
     println!("{}", "-".repeat(width));
 }
 
+/// Minimal wall-clock timing harness for the `benches/` binaries.
+///
+/// The workspace vendors no external crates, so the benches are plain
+/// `main()` programs (`harness = false`) built on [`std::time::Instant`]:
+/// one warm-up call, then repeated timed calls until a time budget is
+/// spent, reporting mean and best per-iteration times.
+pub mod timing {
+    use std::time::{Duration, Instant};
+
+    /// Timing summary for one benchmarked closure.
+    pub struct Measurement {
+        /// Bench label as printed.
+        pub name: String,
+        /// Number of timed iterations (>= 3).
+        pub iterations: u64,
+        /// Mean wall-clock time per iteration.
+        pub mean: Duration,
+        /// Fastest single iteration.
+        pub best: Duration,
+    }
+
+    /// Runs `f` once to warm up, then repeatedly for roughly `budget`
+    /// (at least 3 iterations), printing and returning the measurement.
+    pub fn bench<R>(name: &str, budget: Duration, mut f: impl FnMut() -> R) -> Measurement {
+        std::hint::black_box(f());
+        let mut iterations = 0u64;
+        let mut best = Duration::MAX;
+        let mut spent = Duration::ZERO;
+        while (spent < budget || iterations < 3) && iterations < 100_000 {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            let dt = t0.elapsed();
+            best = best.min(dt);
+            spent += dt;
+            iterations += 1;
+        }
+        let mean = spent / iterations as u32;
+        println!(
+            "{name:<32} {iterations:>7} iters   mean {:>12}   best {:>12}",
+            fmt_duration(mean),
+            fmt_duration(best)
+        );
+        Measurement {
+            name: name.to_string(),
+            iterations,
+            mean,
+            best,
+        }
+    }
+
+    /// Formats a duration with an auto-selected unit (ns/µs/ms/s).
+    pub fn fmt_duration(d: Duration) -> String {
+        let ns = d.as_nanos();
+        if ns < 1_000 {
+            format!("{ns} ns")
+        } else if ns < 1_000_000 {
+            format!("{:.2} µs", ns as f64 / 1e3)
+        } else if ns < 1_000_000_000 {
+            format!("{:.2} ms", ns as f64 / 1e6)
+        } else {
+            format!("{:.3} s", ns as f64 / 1e9)
+        }
+    }
+}
+
 /// Formats a frequency in engineering units.
 pub fn fmt_hz(hz: f64) -> String {
     if hz >= 1e6 {

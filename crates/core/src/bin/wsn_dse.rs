@@ -1,11 +1,14 @@
 //! `wsn-dse` — command-line front end for the reproduction.
 //!
 //! ```text
-//! wsn_dse run       [--seed N] [--runs N] [--f0 HZ] [--horizon S]
+//! wsn_dse run       [--seed N] [--runs N] [--f0 HZ] [--horizon S] [--jobs N]
 //! wsn_dse simulate  --clock HZ --watchdog S --interval S [--f0 HZ] [--horizon S] [--trace]
-//! wsn_dse sweep     --factor {clock|watchdog|interval} [--samples N] [--validate]
-//! wsn_dse refine    [--seed N] [--shrink F] [--runs N]
+//! wsn_dse sweep     --factor {clock|watchdog|interval} [--samples N] [--validate] [--jobs N]
+//! wsn_dse refine    [--seed N] [--shrink F] [--runs N] [--jobs N]
 //! ```
+//!
+//! `--jobs N` caps the simulation worker threads (0 or omitted: all
+//! cores; 1: sequential). Reports are bit-identical at any job count.
 //!
 //! `run` executes the full paper flow; `simulate` evaluates one
 //! configuration; `sweep` prints a Fig. 4 style panel; `refine` runs the
@@ -53,14 +56,18 @@ impl Args {
 
     fn get_f64(&self, key: &str, default: f64) -> Result<f64, String> {
         match self.get(key) {
-            Some(v) => v.parse().map_err(|_| format!("--{key}: expected a number, got {v}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: expected a number, got {v}")),
             None => Ok(default),
         }
     }
 
     fn get_u64(&self, key: &str, default: u64) -> Result<u64, String> {
         match self.get(key) {
-            Some(v) => v.parse().map_err(|_| format!("--{key}: expected an integer, got {v}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: expected an integer, got {v}")),
             None => Ok(default),
         }
     }
@@ -73,10 +80,12 @@ impl Args {
 fn usage() -> &'static str {
     "usage: wsn_dse <run|simulate|sweep|refine> [options]\n\
      \n\
-     run       --seed N --runs N --f0 HZ --horizon S [--csv DIR]\n\
+     run       --seed N --runs N --f0 HZ --horizon S [--csv DIR] [--jobs N]\n\
      simulate  --clock HZ --watchdog S --interval S [--f0 HZ] [--horizon S] [--trace]\n\
-     sweep     --factor clock|watchdog|interval [--samples N] [--validate]\n\
-     refine    --seed N --shrink F --runs N"
+     sweep     --factor clock|watchdog|interval [--samples N] [--validate] [--jobs N]\n\
+     refine    --seed N --shrink F --runs N [--jobs N]\n\
+     \n\
+     --jobs 0 (default) uses all cores; results are identical at any job count"
 }
 
 fn flow_from(args: &Args) -> Result<DseFlow, String> {
@@ -84,13 +93,15 @@ fn flow_from(args: &Args) -> Result<DseFlow, String> {
     let runs = args.get_u64("runs", 10)? as usize;
     let f0 = args.get_f64("f0", 75.0)?;
     let horizon = args.get_f64("horizon", 3600.0)?;
+    let jobs = args.get_u64("jobs", 0)? as usize;
     let template = SystemConfig::paper(NodeConfig::original())
         .with_horizon(horizon)
         .with_vibration(VibrationProfile::paper_profile(f0));
     Ok(DseFlow::paper()
         .with_template(template)
         .seed(seed)
-        .doe_runs(runs))
+        .doe_runs(runs)
+        .jobs(jobs))
 }
 
 fn cmd_run(args: &Args) -> Result<(), String> {
@@ -101,13 +112,19 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         let dir = std::path::Path::new(dir);
         std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
         let mut runs = std::fs::File::create(dir.join("runs.csv")).map_err(|e| e.to_string())?;
-        report.write_runs_csv(&mut runs).map_err(|e| e.to_string())?;
+        report
+            .write_runs_csv(&mut runs)
+            .map_err(|e| e.to_string())?;
         let mut designs =
             std::fs::File::create(dir.join("designs.csv")).map_err(|e| e.to_string())?;
         report
             .write_designs_csv(&mut designs)
             .map_err(|e| e.to_string())?;
-        println!("wrote {}/runs.csv and {}/designs.csv", dir.display(), dir.display());
+        println!(
+            "wrote {}/runs.csv and {}/designs.csv",
+            dir.display(),
+            dir.display()
+        );
     }
     Ok(())
 }
@@ -159,7 +176,10 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     println!("coded,natural,rsm_prediction,simulated");
     for p in &sweep.points {
         match p.simulated {
-            Some(sim) => println!("{:.3},{:.6},{:.1},{sim:.0}", p.coded, p.natural, p.predicted),
+            Some(sim) => println!(
+                "{:.3},{:.6},{:.1},{sim:.0}",
+                p.coded, p.natural, p.predicted
+            ),
             None => println!("{:.3},{:.6},{:.1},", p.coded, p.natural, p.predicted),
         }
     }

@@ -3,6 +3,7 @@ use optim::{Bounds, GeneticAlgorithm, Optimizer, SimulatedAnnealing};
 use rsm::ResponseSurface;
 use wsn_node::{EnvelopeSim, NodeConfig, SimOutcome, SystemConfig};
 
+use crate::pool::SimPool;
 use crate::report::{DesignEval, DseReport};
 use crate::space::{coded_to_config, config_to_coded, paper_design_space};
 use crate::Result;
@@ -56,6 +57,7 @@ pub struct DseFlow {
     model: ModelSpec,
     doe_runs: usize,
     seed: u64,
+    pool: SimPool,
 }
 
 impl DseFlow {
@@ -70,15 +72,33 @@ impl DseFlow {
             model: ModelSpec::quadratic(3),
             doe_runs: 10,
             seed: 12,
+            pool: SimPool::new(0),
         }
     }
 
     /// Replaces the simulated scenario (vibration, horizon, physics).
     /// The `node` field of the template is overwritten per design point.
+    /// Cached evaluations belong to the old scenario, so this clears the
+    /// evaluation cache.
     pub fn with_template(mut self, template: SystemConfig) -> Self {
         self.template = template;
         self.template.trace_interval = None;
+        self.pool.cache().clear();
         self
+    }
+
+    /// Sets the number of simulation worker threads: `0` (the default)
+    /// uses all available cores, `1` runs fully sequentially. Results are
+    /// bit-identical for any setting — parallelism only changes wall-clock
+    /// time.
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.pool.set_jobs(jobs);
+        self
+    }
+
+    /// The pool that fans simulations out and memoises their results.
+    pub fn pool(&self) -> &SimPool {
+        &self.pool
     }
 
     /// Sets the number of DOE runs (must be at least the model size, 10).
@@ -132,17 +152,16 @@ impl DseFlow {
             .build()?)
     }
 
-    /// Simulates every run of a design (step 3).
+    /// Simulates every run of a design (step 3), fanning the independent
+    /// points out over the pool's worker threads. Replicated design points
+    /// (and points already seen by this flow) are simulated only once.
     ///
     /// # Errors
     ///
     /// Propagates decode/validation errors.
     pub fn simulate_design(&self, design: &Design) -> Result<Vec<f64>> {
-        design
-            .points()
-            .iter()
-            .map(|p| self.evaluate_coded(p))
-            .collect()
+        self.pool
+            .evaluate_batch(design.points(), |p| self.evaluate_coded(p))
     }
 
     /// Fits the response surface to simulated responses (step 4).
@@ -151,11 +170,7 @@ impl DseFlow {
     ///
     /// Propagates fitting errors (rank deficiency etc.).
     pub fn fit(&self, design: &Design, responses: &[f64]) -> Result<ResponseSurface> {
-        Ok(ResponseSurface::fit(
-            design,
-            self.model.clone(),
-            responses,
-        )?)
+        Ok(ResponseSurface::fit(design, self.model.clone(), responses)?)
     }
 
     /// Maximises a fitted surface with both of the paper's optimisers
@@ -202,16 +217,23 @@ impl DseFlow {
             config: original_cfg,
         };
 
+        // Validate the optimisers' candidates back in the simulator (step
+        // 6) through the pool: independent candidates run concurrently,
+        // and a candidate that coincides with a design point (or with the
+        // other optimiser's candidate) reuses the cached simulation.
+        let optima = self.optimise(&surface)?;
+        let candidates: Vec<Vec<f64>> = optima.iter().map(|(_, coded, _)| coded.clone()).collect();
+        let validated = self
+            .pool
+            .evaluate_batch(&candidates, |p| self.evaluate_coded(p))?;
         let mut optimised = Vec::new();
-        for (label, coded, predicted) in self.optimise(&surface)? {
-            let config = coded_to_config(&self.space, &coded)?;
-            let simulated = self.evaluate(config).transmissions;
+        for ((label, coded, predicted), simulated) in optima.into_iter().zip(validated) {
             optimised.push(DesignEval {
                 label,
-                config,
+                config: coded_to_config(&self.space, &coded)?,
                 coded,
                 predicted: Some(predicted),
-                simulated,
+                simulated: simulated as u64,
             });
         }
 
@@ -307,6 +329,9 @@ impl DseFlow {
         }
         let mut refined = self.clone();
         refined.space = DesignSpace::new(factors)?;
+        // Coded coordinates mean something different in the zoomed space,
+        // so the refined flow must not reuse the first phase's cache.
+        refined.pool.cache().clear();
         Ok(refined)
     }
 
@@ -335,21 +360,32 @@ impl DseFlow {
                 "sweep needs at least 2 samples",
             ));
         }
+        let sample_points: Vec<Vec<f64>> = (0..samples)
+            .map(|i| {
+                let mut x = vec![0.0; self.space.dimension()];
+                x[factor] = -1.0 + 2.0 * i as f64 / (samples - 1) as f64;
+                x
+            })
+            .collect();
+        // Validation simulations are the sweep's entire cost; run them
+        // through the pool (the centre point is usually already cached
+        // from the design or a previous sweep).
+        let simulated: Vec<Option<f64>> = if validate {
+            self.pool
+                .evaluate_batch(&sample_points, |p| self.evaluate_coded(p))?
+                .into_iter()
+                .map(Some)
+                .collect()
+        } else {
+            vec![None; samples]
+        };
         let mut points = Vec::with_capacity(samples);
-        for i in 0..samples {
-            let coded_value = -1.0 + 2.0 * i as f64 / (samples - 1) as f64;
-            let mut x = vec![0.0; self.space.dimension()];
-            x[factor] = coded_value;
-            let predicted = surface.predict(&x);
-            let simulated = if validate {
-                Some(self.evaluate_coded(&x)?)
-            } else {
-                None
-            };
+        for (x, simulated) in sample_points.iter().zip(simulated) {
+            let coded_value = x[factor];
             points.push(SweepPoint {
                 coded: coded_value,
                 natural: self.space.factors()[factor].decode(coded_value),
-                predicted,
+                predicted: surface.predict(x),
                 simulated,
             });
         }
@@ -405,7 +441,10 @@ mod tests {
         assert!(report.original.simulated > 0);
         assert_eq!(report.optimised.len(), 2);
         let factor = report.best_improvement_factor();
-        assert!(factor >= 0.9, "optimised should not be much worse: {factor}");
+        assert!(
+            factor >= 0.9,
+            "optimised should not be much worse: {factor}"
+        );
         // Report formats without panicking.
         let text = report.to_string();
         assert!(text.contains("D-optimal design"));

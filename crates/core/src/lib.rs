@@ -10,7 +10,9 @@
 //!    interval) — [`paper_design_space`];
 //! 2. choose `n = 10` D-optimal design points (§II-B);
 //! 3. simulate each point for one hour of the 60 mg stepped-frequency
-//!    scenario and record the number of transmissions;
+//!    scenario and record the number of transmissions — batches run on
+//!    a deterministic parallel [`SimPool`] with a memoising
+//!    [`EvalCache`] (see [`DseFlow::jobs`]);
 //! 4. fit the quadratic response surface of Eq. 4/9 by least squares;
 //! 5. maximise the surface with Simulated Annealing and a Genetic
 //!    Algorithm (Table VI);
@@ -35,12 +37,14 @@
 
 mod error;
 mod flow;
+pub mod pool;
 mod report;
 pub mod robustness;
 mod space;
 
 pub use error::DseError;
 pub use flow::{DseFlow, SweepPoint, SweepSeries};
+pub use pool::{EvalCache, SimPool};
 pub use report::{DesignEval, DseReport};
 pub use space::{coded_to_config, config_to_coded, paper_design_space};
 

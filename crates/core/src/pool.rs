@@ -1,0 +1,297 @@
+//! Deterministic simulation pool and memoising evaluation cache.
+//!
+//! Every stage of the DSE flow funnels through the same expensive call —
+//! "simulate one coded design point for the whole scenario horizon" — and
+//! most stages revisit points: the D-optimal design replicates runs when
+//! `n` exceeds the candidate support, 1-D sweeps share the centre with the
+//! design, and optimiser validation re-probes the predicted optimum. This
+//! module provides the two pieces the flow shares:
+//!
+//! * [`EvalCache`] — a thread-safe memo table keyed on *quantised* coded
+//!   coordinates, so points that differ only by floating-point noise
+//!   (below ~1e-9 in coded units, far under any physical resolution)
+//!   hit the same entry and never re-simulate;
+//! * [`SimPool`] — fans a batch of coded points out over
+//!   [`numkit::pool::par_map_ordered`] worker threads, consulting the
+//!   cache first and filling it afterwards, while deduplicating repeated
+//!   points *within* the batch so each distinct point is simulated
+//!   exactly once.
+//!
+//! Results are reassembled in submission order and every evaluation is a
+//! pure function of its coded point, so a fixed seed produces bit-identical
+//! reports at any `jobs` setting.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::Result;
+
+/// Quantisation step for cache keys, in coded units. Coded factors span
+/// `[-1, 1]`, so 1e-9 is far below any meaningful design distinction but
+/// above accumulated round-off from encode/decode round trips.
+const KEY_QUANTUM: f64 = 1e-9;
+
+/// Thread-safe memo table for coded-point evaluations.
+///
+/// Keys are coded coordinates quantised to [`struct@EvalCache`]'s 1e-9
+/// grid; values are the simulated response. The cache also counts hits
+/// and misses so callers (and tests) can verify that repeated probes do
+/// not re-simulate.
+#[derive(Debug, Default)]
+pub struct EvalCache {
+    entries: Mutex<HashMap<Vec<i64>, f64>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl Clone for EvalCache {
+    fn clone(&self) -> Self {
+        EvalCache {
+            entries: Mutex::new(self.entries.lock().expect("cache poisoned").clone()),
+            hits: AtomicUsize::new(self.hits.load(Ordering::Relaxed)),
+            misses: AtomicUsize::new(self.misses.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl EvalCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Quantises a coded point to its cache key.
+    pub fn key(coded: &[f64]) -> Vec<i64> {
+        coded
+            .iter()
+            .map(|&x| {
+                // Normalise -0.0 and clamp to the representable grid.
+                let q = (x / KEY_QUANTUM).round();
+                if q == 0.0 {
+                    0
+                } else {
+                    q as i64
+                }
+            })
+            .collect()
+    }
+
+    /// Looks up a coded point, counting the hit or miss.
+    pub fn get(&self, coded: &[f64]) -> Option<f64> {
+        let found = self
+            .entries
+            .lock()
+            .expect("cache poisoned")
+            .get(&Self::key(coded))
+            .copied();
+        match found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Stores the response for a coded point.
+    pub fn insert(&self, coded: &[f64], value: f64) {
+        self.entries
+            .lock()
+            .expect("cache poisoned")
+            .insert(Self::key(coded), value);
+    }
+
+    /// Number of distinct cached points.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("cache poisoned").len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups answered from the cache so far.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that fell through to simulation so far.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Drops all entries and resets the counters (used when the design
+    /// space or scenario changes and cached responses become stale).
+    pub fn clear(&self) {
+        self.entries.lock().expect("cache poisoned").clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Deterministic parallel evaluator for batches of coded design points.
+///
+/// Wraps a [`numkit::pool::par_map_ordered`] fan-out with an [`EvalCache`]
+/// front: each batch first resolves cached points, deduplicates the
+/// remaining distinct points, simulates those on up to `jobs` worker
+/// threads, and reassembles the responses in submission order.
+#[derive(Debug, Default, Clone)]
+pub struct SimPool {
+    jobs: usize,
+    cache: EvalCache,
+}
+
+impl SimPool {
+    /// Creates a pool; `jobs == 0` means "all available cores", `1` is
+    /// fully sequential.
+    pub fn new(jobs: usize) -> Self {
+        SimPool {
+            jobs,
+            cache: EvalCache::new(),
+        }
+    }
+
+    /// The configured (unresolved) job count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Sets the job count.
+    pub fn set_jobs(&mut self, jobs: usize) {
+        self.jobs = jobs;
+    }
+
+    /// The underlying evaluation cache.
+    pub fn cache(&self) -> &EvalCache {
+        &self.cache
+    }
+
+    /// Evaluates `points` through `eval`, in parallel and memoised.
+    ///
+    /// Each *distinct* uncached point is evaluated exactly once per batch,
+    /// even if it appears several times or concurrently; the output has
+    /// one response per input point, in input order, bit-identical for any
+    /// `jobs` setting.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (by input order) evaluation error, if any.
+    pub fn evaluate_batch<F>(&self, points: &[Vec<f64>], eval: F) -> Result<Vec<f64>>
+    where
+        F: Fn(&[f64]) -> Result<f64> + Sync,
+    {
+        // Resolve what the cache already knows and collect the distinct
+        // misses in first-appearance order (batch-level deduplication).
+        let mut outputs: Vec<Option<f64>> = Vec::with_capacity(points.len());
+        let mut pending: Vec<&Vec<f64>> = Vec::new();
+        let mut pending_index: HashMap<Vec<i64>, usize> = HashMap::new();
+        for point in points {
+            let cached = self.cache.get(point);
+            if cached.is_none() {
+                pending_index
+                    .entry(EvalCache::key(point))
+                    .or_insert_with(|| {
+                        pending.push(point);
+                        pending.len() - 1
+                    });
+            }
+            outputs.push(cached);
+        }
+
+        let fresh =
+            numkit::pool::par_map_ordered(self.jobs, &pending, |_, point| eval(point.as_slice()));
+        let fresh: Vec<f64> = fresh.into_iter().collect::<Result<_>>()?;
+        for (point, &value) in pending.iter().zip(&fresh) {
+            self.cache.insert(point, value);
+        }
+
+        Ok(points
+            .iter()
+            .zip(outputs)
+            .map(|(point, cached)| match cached {
+                Some(v) => v,
+                None => fresh[pending_index[&EvalCache::key(point)]],
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count_evals(pool: &SimPool, points: &[Vec<f64>]) -> (Vec<f64>, usize) {
+        let calls = AtomicUsize::new(0);
+        let out = pool
+            .evaluate_batch(points, |p| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                Ok(p.iter().sum::<f64>())
+            })
+            .unwrap();
+        (out, calls.load(Ordering::Relaxed))
+    }
+
+    #[test]
+    fn keys_quantise_noise_and_normalise_zero() {
+        assert_eq!(EvalCache::key(&[0.0]), EvalCache::key(&[-0.0]));
+        assert_eq!(EvalCache::key(&[0.5]), EvalCache::key(&[0.5 + 1e-12]));
+        assert_ne!(EvalCache::key(&[0.5]), EvalCache::key(&[0.5 + 1e-8]));
+    }
+
+    #[test]
+    fn batch_deduplicates_and_memoises() {
+        let pool = SimPool::new(4);
+        let points = vec![
+            vec![1.0, 2.0],
+            vec![0.0, 0.5],
+            vec![1.0, 2.0], // duplicate within the batch
+        ];
+        let (out, calls) = count_evals(&pool, &points);
+        assert_eq!(out, vec![3.0, 0.5, 3.0]);
+        assert_eq!(calls, 2, "duplicate point must simulate once");
+
+        // A second batch over the same points is answered from the cache.
+        let (out2, calls2) = count_evals(&pool, &points);
+        assert_eq!(out2, out);
+        assert_eq!(calls2, 0);
+        assert_eq!(pool.cache().len(), 2);
+        assert!(pool.cache().hits() >= 3);
+    }
+
+    #[test]
+    fn errors_propagate_in_input_order() {
+        let pool = SimPool::new(2);
+        let points: Vec<Vec<f64>> = (0..6).map(|i| vec![i as f64]).collect();
+        let err = pool
+            .evaluate_batch(&points, |p| {
+                if p[0] >= 2.0 {
+                    Err(crate::DseError::InvalidArgument("boom"))
+                } else {
+                    Ok(p[0])
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err, crate::DseError::InvalidArgument("boom"));
+    }
+
+    #[test]
+    fn identical_results_at_any_job_count() {
+        let points: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 * 0.05, -0.3]).collect();
+        let eval = |p: &[f64]| Ok(p[0] * p[0] - p[1]);
+        let run = |jobs: usize| SimPool::new(jobs).evaluate_batch(&points, eval).unwrap();
+        let sequential = run(1);
+        assert_eq!(sequential, run(2));
+        assert_eq!(sequential, run(8));
+    }
+
+    #[test]
+    fn clear_resets_state() {
+        let pool = SimPool::new(1);
+        let (_, calls) = count_evals(&pool, &[vec![1.0]]);
+        assert_eq!(calls, 1);
+        pool.cache().clear();
+        assert!(pool.cache().is_empty());
+        let (_, calls) = count_evals(&pool, &[vec![1.0]]);
+        assert_eq!(calls, 1, "cleared cache must re-simulate");
+    }
+}

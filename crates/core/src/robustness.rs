@@ -4,10 +4,13 @@
 //! steps). A configuration tuned to a single scenario can be fragile;
 //! this module re-evaluates any configuration across scenario ensembles —
 //! starting-frequency sweeps and random-walk drifts — and summarises the
-//! distribution of transmission counts. Ensembles run on all available
-//! cores (the envelope engine is `Send`).
+//! distribution of transmission counts. Ensembles fan out over
+//! [`numkit::pool::par_map_ordered`] worker threads (`jobs == 0` uses all
+//! available cores); samples are keyed by scenario index, so results are
+//! identical at any thread count.
 
 use harvester::VibrationProfile;
+use numkit::pool::par_map_ordered;
 use numkit::stats;
 use wsn_node::{EnvelopeSim, NodeConfig, SystemConfig};
 
@@ -47,8 +50,8 @@ impl RobustnessSummary {
     }
 }
 
-/// Evaluates `config` across a list of fully specified scenarios, in
-/// parallel.
+/// Evaluates `config` across a list of fully specified scenarios on up to
+/// `jobs` worker threads (`0` = all available cores, `1` = sequential).
 ///
 /// # Panics
 ///
@@ -57,30 +60,14 @@ pub fn evaluate_ensemble(
     template: &SystemConfig,
     config: NodeConfig,
     scenarios: &[VibrationProfile],
+    jobs: usize,
 ) -> RobustnessSummary {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(scenarios.len().max(1));
-    let mut samples = vec![0.0; scenarios.len()];
-    std::thread::scope(|scope| {
-        for (chunk_idx, (scenario_chunk, out_chunk)) in scenarios
-            .chunks(scenarios.len().div_ceil(threads))
-            .zip(samples.chunks_mut(scenarios.len().div_ceil(threads)))
-            .enumerate()
-        {
-            let _ = chunk_idx;
-            let template = template.clone();
-            scope.spawn(move || {
-                for (scenario, out) in scenario_chunk.iter().zip(out_chunk) {
-                    let mut cfg = template.clone();
-                    cfg.node = config;
-                    cfg.vibration = scenario.clone();
-                    cfg.trace_interval = None;
-                    *out = EnvelopeSim::new(cfg).run().transmissions as f64;
-                }
-            });
-        }
+    let samples = par_map_ordered(jobs, scenarios, |_, scenario| {
+        let mut cfg = template.clone();
+        cfg.node = config;
+        cfg.vibration = scenario.clone();
+        cfg.trace_interval = None;
+        EnvelopeSim::new(cfg).run().transmissions as f64
     });
     RobustnessSummary::of(samples)
 }
@@ -91,12 +78,13 @@ pub fn frequency_robustness(
     template: &SystemConfig,
     config: NodeConfig,
     f0_values: &[f64],
+    jobs: usize,
 ) -> RobustnessSummary {
     let scenarios: Vec<VibrationProfile> = f0_values
         .iter()
         .map(|&f0| VibrationProfile::paper_profile(f0))
         .collect();
-    evaluate_ensemble(template, config, &scenarios)
+    evaluate_ensemble(template, config, &scenarios, jobs)
 }
 
 /// Robustness against *frequency drift*: bounded random walks (one step
@@ -106,6 +94,7 @@ pub fn drift_robustness(
     config: NodeConfig,
     sigma_hz: f64,
     seeds: &[u64],
+    jobs: usize,
 ) -> RobustnessSummary {
     let steps = (template.horizon / 60.0).ceil().max(1.0) as usize;
     let scenarios: Vec<VibrationProfile> = seeds
@@ -123,7 +112,7 @@ pub fn drift_robustness(
             )
         })
         .collect();
-    evaluate_ensemble(template, config, &scenarios)
+    evaluate_ensemble(template, config, &scenarios, jobs)
 }
 
 #[cfg(test)]
@@ -143,7 +132,7 @@ mod tests {
             .iter()
             .map(|&f| VibrationProfile::paper_profile(f))
             .collect();
-        let summary = evaluate_ensemble(&t, NodeConfig::original(), &scenarios);
+        let summary = evaluate_ensemble(&t, NodeConfig::original(), &scenarios, 0);
         // Cross-check each sample against a direct run.
         for (scenario, &sample) in scenarios.iter().zip(&summary.samples) {
             let mut cfg = t.clone();
@@ -159,7 +148,7 @@ mod tests {
     fn frequency_robustness_covers_the_band() {
         let t = template();
         let summary =
-            frequency_robustness(&t, NodeConfig::original(), &[70.0, 75.0, 80.0, 85.0]);
+            frequency_robustness(&t, NodeConfig::original(), &[70.0, 75.0, 80.0, 85.0], 0);
         assert_eq!(summary.samples.len(), 4);
         assert!(summary.mean > 0.0);
         assert!(summary.fragility().is_finite());
@@ -168,10 +157,19 @@ mod tests {
     #[test]
     fn drift_robustness_is_deterministic_per_seed_set() {
         let t = template();
-        let a = drift_robustness(&t, NodeConfig::original(), 0.3, &[1, 2, 3]);
-        let b = drift_robustness(&t, NodeConfig::original(), 0.3, &[1, 2, 3]);
+        let a = drift_robustness(&t, NodeConfig::original(), 0.3, &[1, 2, 3], 0);
+        let b = drift_robustness(&t, NodeConfig::original(), 0.3, &[1, 2, 3], 0);
         assert_eq!(a, b);
         assert_eq!(a.samples.len(), 3);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let t = template();
+        let f0 = [71.0, 76.0, 81.0, 86.0, 91.0];
+        let sequential = frequency_robustness(&t, NodeConfig::original(), &f0, 1);
+        let parallel = frequency_robustness(&t, NodeConfig::original(), &f0, 4);
+        assert_eq!(sequential, parallel);
     }
 
     #[test]

@@ -57,11 +57,7 @@ pub fn coded_to_config(space: &DesignSpace, coded: &[f64]) -> Result<NodeConfig>
 ///
 /// Returns dimension errors from the space (none for the paper space).
 pub fn config_to_coded(space: &DesignSpace, config: &NodeConfig) -> Result<Vec<f64>> {
-    Ok(space.code(&[
-        config.clock_hz,
-        config.watchdog_s,
-        config.tx_interval_s,
-    ])?)
+    Ok(space.code(&[config.clock_hz, config.watchdog_s, config.tx_interval_s])?)
 }
 
 #[cfg(test)]

@@ -1,0 +1,83 @@
+//! Determinism and memoisation guarantees of the parallel evaluation
+//! layer: a fixed seed must produce bit-identical reports at any worker
+//! thread count, and repeated coded points must never re-simulate.
+
+use wsn_dse::{DseFlow, DseReport};
+
+/// Asserts two reports are bit-identical in every meaningful field.
+/// (`DseReport` carries a fitted `ResponseSurface`, which has no
+/// `PartialEq`; comparing its coefficients alongside everything else
+/// covers the full report state.)
+fn assert_reports_identical(a: &DseReport, b: &DseReport, label: &str) {
+    assert_eq!(a.design, b.design, "{label}: design differs");
+    assert_eq!(a.responses, b.responses, "{label}: responses differ");
+    assert_eq!(
+        a.surface.coefficients(),
+        b.surface.coefficients(),
+        "{label}: surface coefficients differ"
+    );
+    assert!(
+        a.d_efficiency == b.d_efficiency,
+        "{label}: d_efficiency differs"
+    );
+    assert_eq!(a.original, b.original, "{label}: original eval differs");
+    assert_eq!(a.optimised, b.optimised, "{label}: optimised evals differ");
+}
+
+/// The tentpole guarantee: `jobs` changes wall-clock time, never results.
+#[test]
+fn report_is_bit_identical_at_any_job_count() {
+    let run = |jobs: usize| {
+        DseFlow::paper()
+            .seed(42)
+            .jobs(jobs)
+            .run()
+            .expect("flow runs")
+    };
+    let sequential = run(1);
+    assert_reports_identical(&sequential, &run(2), "jobs=2");
+    assert_reports_identical(&sequential, &run(8), "jobs=8");
+}
+
+/// Re-simulating the same design touches the cache, not the simulator:
+/// the second pass adds no cache entries and falls through on no lookup.
+#[test]
+fn repeated_design_points_simulate_exactly_once() {
+    let flow = DseFlow::paper().seed(42).jobs(2);
+    let design = flow.build_design().expect("design builds");
+    let first = flow.simulate_design(&design).expect("simulates");
+
+    let cache = flow.pool().cache();
+    let entries = cache.len();
+    let misses = cache.misses();
+    assert!(entries <= design.len(), "at most one entry per point");
+
+    let second = flow.simulate_design(&design).expect("simulates");
+    assert_eq!(first, second);
+    assert_eq!(cache.len(), entries, "second pass must not add entries");
+    assert_eq!(cache.misses(), misses, "second pass must not miss");
+    assert!(
+        cache.hits() >= design.len(),
+        "second pass served from cache"
+    );
+}
+
+/// A validated sweep reuses points the design already simulated (the
+/// coded centre appears in both) and its own repeated calls are free.
+#[test]
+fn sweep_validation_shares_the_flow_cache() {
+    let flow = DseFlow::paper().seed(42).jobs(0);
+    let design = flow.build_design().expect("design builds");
+    let responses = flow.simulate_design(&design).expect("simulates");
+    let surface = flow.fit(&design, &responses).expect("fits");
+
+    let sweep = flow.sweep1d(&surface, 2, 5, true).expect("sweeps");
+    let entries = flow.pool().cache().len();
+    let again = flow.sweep1d(&surface, 2, 5, true).expect("sweeps");
+    assert_eq!(sweep, again, "sweep must be reproducible");
+    assert_eq!(
+        flow.pool().cache().len(),
+        entries,
+        "repeated sweep must be fully cached"
+    );
+}

@@ -77,12 +77,7 @@ fn refinement_nesting_over_random_shrinks() {
             best.config.tx_interval_s,
         ];
         assert!(refined.space().contains(&centre).expect("dims"));
-        for (orig, new) in flow
-            .space()
-            .factors()
-            .iter()
-            .zip(refined.space().factors())
-        {
+        for (orig, new) in flow.space().factors().iter().zip(refined.space().factors()) {
             assert!(new.min() >= orig.min() - 1e-9);
             assert!(new.max() <= orig.max() + 1e-9);
         }

@@ -134,7 +134,11 @@ mod tests {
     #[test]
     fn leverages_sum_to_p() {
         let model = ModelSpec::quadratic(3);
-        let d = DOptimal::new(3, model.clone()).runs(12).seed(4).build().unwrap();
+        let d = DOptimal::new(3, model.clone())
+            .runs(12)
+            .seed(4)
+            .build()
+            .unwrap();
         let lev = leverage(&d, &model).unwrap();
         assert_eq!(lev.len(), 12);
         let sum: f64 = lev.iter().sum();
@@ -157,7 +161,11 @@ mod tests {
         // factors. The D-optimal design should retain most of the
         // 27-run full factorial's efficiency.
         let model = ModelSpec::quadratic(3);
-        let opt = DOptimal::new(3, model.clone()).runs(10).seed(9).build().unwrap();
+        let opt = DOptimal::new(3, model.clone())
+            .runs(10)
+            .seed(9)
+            .build()
+            .unwrap();
         let full = full_factorial(3, 3).unwrap();
         let e_opt = d_efficiency(&opt, &model).unwrap();
         let e_full = d_efficiency(&full, &model).unwrap();

@@ -1,5 +1,4 @@
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use numkit::rng::Rng;
 
 use numkit::Matrix;
 
@@ -157,9 +156,9 @@ impl DOptimal {
 
         // Greedy initialisation from a shuffled candidate order: repeatedly
         // add the candidate that most increases ln det(XᵀX + ridge I).
-        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::new(self.seed);
         let mut order: Vec<usize> = (0..candidates.len()).collect();
-        order.shuffle(&mut rng);
+        rng.shuffle(&mut order);
 
         let mut selected: Vec<usize> = Vec::with_capacity(self.runs);
         selected.push(order[0]);
@@ -274,9 +273,9 @@ impl DOptimal {
         let score =
             |selected: &[usize]| score_selection(&rows, selected, p, criterion, Some(&base_gram));
 
-        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::new(self.seed);
         let mut order: Vec<usize> = (0..candidates.len()).collect();
-        order.shuffle(&mut rng);
+        rng.shuffle(&mut order);
 
         // Greedy fill of the extra slots.
         let mut selected: Vec<usize> = Vec::with_capacity(extra);
@@ -395,9 +394,7 @@ fn score_selection(
             let mut total = 0.0;
             for row in rows {
                 match ch.solve_vec(row) {
-                    Ok(sol) => {
-                        total += row.iter().zip(&sol).map(|(a, b)| a * b).sum::<f64>()
-                    }
+                    Ok(sol) => total += row.iter().zip(&sol).map(|(a, b)| a * b).sum::<f64>(),
                     Err(_) => return f64::NEG_INFINITY,
                 }
             }
@@ -473,7 +470,11 @@ mod tests {
     #[test]
     fn deterministic_for_fixed_seed() {
         let model = ModelSpec::quadratic(3);
-        let a = DOptimal::new(3, model.clone()).runs(10).seed(5).build().unwrap();
+        let a = DOptimal::new(3, model.clone())
+            .runs(10)
+            .seed(5)
+            .build()
+            .unwrap();
         let b = DOptimal::new(3, model).runs(10).seed(5).build().unwrap();
         assert_eq!(a, b);
     }
@@ -483,9 +484,7 @@ mod tests {
         // Candidates only on the x-axis: the design must stay on it.
         let candidates = Design::from_points(
             2,
-            (0..9)
-                .map(|i| vec![-1.0 + 0.25 * i as f64, 0.0])
-                .collect(),
+            (0..9).map(|i| vec![-1.0 + 0.25 * i as f64, 0.0]).collect(),
         )
         .unwrap();
         let model = ModelSpec::custom(
@@ -529,12 +528,7 @@ mod tests {
         // trace than the D-optimal one (they optimise different targets).
         let model = ModelSpec::quadratic(2);
         let trace_of = |d: &Design| {
-            let inv = d
-                .model_matrix(&model)
-                .unwrap()
-                .gram()
-                .inverse()
-                .unwrap();
+            let inv = d.model_matrix(&model).unwrap().gram().inverse().unwrap();
             (0..model.num_terms()).map(|j| inv[(j, j)]).sum::<f64>()
         };
         let d_opt = DOptimal::new(2, model.clone())
@@ -561,12 +555,7 @@ mod tests {
         let model = ModelSpec::quadratic(2);
         let candidates = crate::full_factorial(2, 3).unwrap();
         let avg_pv = |d: &Design| {
-            let inv = d
-                .model_matrix(&model)
-                .unwrap()
-                .gram()
-                .inverse()
-                .unwrap();
+            let inv = d.model_matrix(&model).unwrap().gram().inverse().unwrap();
             let mut total = 0.0;
             for c in candidates.points() {
                 let row = model.expand(c);
@@ -580,7 +569,11 @@ mod tests {
             }
             total / candidates.len() as f64
         };
-        let d_opt = DOptimal::new(2, model.clone()).runs(8).seed(2).build().unwrap();
+        let d_opt = DOptimal::new(2, model.clone())
+            .runs(8)
+            .seed(2)
+            .build()
+            .unwrap();
         let i_opt = DOptimal::new(2, model.clone())
             .runs(8)
             .seed(2)
@@ -598,7 +591,11 @@ mod tests {
     #[test]
     fn augment_keeps_base_and_improves_information() {
         let model = ModelSpec::quadratic(2);
-        let base = DOptimal::new(2, model.clone()).runs(6).seed(1).build().unwrap();
+        let base = DOptimal::new(2, model.clone())
+            .runs(6)
+            .seed(1)
+            .build()
+            .unwrap();
         let augmented = DOptimal::new(2, model.clone())
             .runs(9)
             .seed(1)
@@ -623,14 +620,21 @@ mod tests {
     #[test]
     fn augment_validation() {
         let model = ModelSpec::quadratic(2);
-        let base = DOptimal::new(2, model.clone()).runs(6).seed(1).build().unwrap();
+        let base = DOptimal::new(2, model.clone())
+            .runs(6)
+            .seed(1)
+            .build()
+            .unwrap();
         // Total runs must exceed the base.
         assert!(matches!(
             DOptimal::new(2, model.clone()).runs(6).augment(&base),
             Err(DoeError::InfeasibleDesign(_))
         ));
         // Dimension mismatch.
-        let base3 = DOptimal::new(3, ModelSpec::quadratic(3)).runs(10).build().unwrap();
+        let base3 = DOptimal::new(3, ModelSpec::quadratic(3))
+            .runs(10)
+            .build()
+            .unwrap();
         assert!(matches!(
             DOptimal::new(2, model).runs(12).augment(&base3),
             Err(DoeError::DimensionMismatch { .. })
@@ -643,7 +647,11 @@ mod tests {
         // information of the 10-run design and usually beats a fresh
         // 6-run... (6 < p is infeasible; compare against the 10-run base).
         let model = ModelSpec::quadratic(3);
-        let base = DOptimal::new(3, model.clone()).runs(10).seed(2).build().unwrap();
+        let base = DOptimal::new(3, model.clone())
+            .runs(10)
+            .seed(2)
+            .build()
+            .unwrap();
         let augmented = DOptimal::new(3, model.clone())
             .runs(16)
             .seed(2)
@@ -654,7 +662,12 @@ mod tests {
         // D-efficiency normalises by n, so it may dip slightly; the raw
         // determinant must grow strongly.
         let det_base = base.model_matrix(&model).unwrap().gram().det().unwrap();
-        let det_aug = augmented.model_matrix(&model).unwrap().gram().det().unwrap();
+        let det_aug = augmented
+            .model_matrix(&model)
+            .unwrap()
+            .gram()
+            .det()
+            .unwrap();
         assert!(det_aug > 10.0 * det_base);
         assert!(eff_aug > 0.5 * eff_base);
     }

@@ -35,7 +35,10 @@ impl fmt::Display for DoeError {
                 write!(f, "invalid range for factor {name}: [{min}, {max}]")
             }
             DoeError::DimensionMismatch { expected, got } => {
-                write!(f, "dimension mismatch: expected {expected} factors, got {got}")
+                write!(
+                    f,
+                    "dimension mismatch: expected {expected} factors, got {got}"
+                )
             }
             DoeError::InfeasibleDesign(msg) => write!(f, "infeasible design: {msg}"),
             DoeError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),

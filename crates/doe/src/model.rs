@@ -116,10 +116,7 @@ impl ModelSpec {
     /// matrix construction at run time.
     pub fn custom(k: usize, terms: Vec<Term>) -> Self {
         debug_assert!(
-            terms
-                .iter()
-                .filter_map(Term::max_factor)
-                .all(|i| i < k),
+            terms.iter().filter_map(Term::max_factor).all(|i| i < k),
             "term references factor outside dimension"
         );
         ModelSpec {
@@ -240,10 +237,8 @@ mod tests {
         let m = ModelSpec::quadratic(2);
         let beta = [1.0, 2.0, -1.0, 0.5, 0.25, -2.0];
         let x = [1.5, -0.5];
-        let manual = 1.0 + 2.0 * 1.5 - 1.0 * (-0.5)
-            + 0.5 * 1.5 * 1.5
-            + 0.25 * 0.25
-            - 2.0 * 1.5 * (-0.5);
+        let manual =
+            1.0 + 2.0 * 1.5 - 1.0 * (-0.5) + 0.5 * 1.5 * 1.5 + 0.25 * 0.25 - 2.0 * 1.5 * (-0.5);
         assert!((m.predict(&beta, &x) - manual).abs() < 1e-12);
     }
 

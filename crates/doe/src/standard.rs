@@ -3,8 +3,7 @@
 //! All constructors return a [`Design`] whose coordinates lie in `[-1, 1]`
 //! (except rotatable central composite axial points, which may exceed 1).
 
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use numkit::rng::Rng;
 
 use crate::{Design, DoeError, Result};
 
@@ -143,7 +142,9 @@ pub fn box_behnken(k: usize, center_points: usize) -> Result<Design> {
 pub fn fractional_factorial(k: usize, generators: &[&[usize]]) -> Result<Design> {
     let p = generators.len();
     if k == 0 {
-        return Err(DoeError::InfeasibleDesign("fractional factorial: k must be >= 1"));
+        return Err(DoeError::InfeasibleDesign(
+            "fractional factorial: k must be >= 1",
+        ));
     }
     if p >= k {
         return Err(DoeError::InfeasibleDesign(
@@ -181,9 +182,7 @@ pub fn fractional_factorial(k: usize, generators: &[&[usize]]) -> Result<Design>
 
 /// First rows of the cyclic Plackett–Burman generators.
 const PB8: [f64; 7] = [1.0, 1.0, 1.0, -1.0, 1.0, -1.0, -1.0];
-const PB12: [f64; 11] = [
-    1.0, 1.0, -1.0, 1.0, 1.0, 1.0, -1.0, -1.0, -1.0, 1.0, -1.0,
-];
+const PB12: [f64; 11] = [1.0, 1.0, -1.0, 1.0, 1.0, 1.0, -1.0, -1.0, -1.0, 1.0, -1.0];
 const PB20: [f64; 19] = [
     1.0, 1.0, -1.0, -1.0, 1.0, 1.0, 1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0, -1.0, -1.0, -1.0, 1.0,
     1.0, -1.0,
@@ -199,7 +198,9 @@ const PB20: [f64; 19] = [
 /// Returns [`DoeError::InfeasibleDesign`] for `k == 0` or `k > 19`.
 pub fn plackett_burman(k: usize) -> Result<Design> {
     if k == 0 {
-        return Err(DoeError::InfeasibleDesign("plackett-burman: k must be >= 1"));
+        return Err(DoeError::InfeasibleDesign(
+            "plackett-burman: k must be >= 1",
+        ));
     }
     let generator: &[f64] = if k <= 7 {
         &PB8
@@ -237,15 +238,15 @@ pub fn latin_hypercube(k: usize, n: usize, seed: u64) -> Result<Design> {
             "latin_hypercube: k and n must be >= 1",
         ));
     }
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
     let mut columns: Vec<Vec<f64>> = Vec::with_capacity(k);
     for _ in 0..k {
         let mut perm: Vec<usize> = (0..n).collect();
-        perm.shuffle(&mut rng);
+        rng.shuffle(&mut perm);
         let col: Vec<f64> = perm
             .into_iter()
             .map(|bin| {
-                let u: f64 = rng.gen();
+                let u = rng.next_f64();
                 -1.0 + 2.0 * (bin as f64 + u) / n as f64
             })
             .collect();
@@ -285,10 +286,7 @@ mod tests {
         // 8 corners + 6 axial + 1 center
         assert_eq!(d.len(), 15);
         // all face-centered points within [-1,1]
-        assert!(d
-            .points()
-            .iter()
-            .all(|p| p.iter().all(|v| v.abs() <= 1.0)));
+        assert!(d.points().iter().all(|p| p.iter().all(|v| v.abs() <= 1.0)));
         assert!(central_composite(0, 1.0, 0).is_err());
         assert!(central_composite(2, -1.0, 0).is_err());
     }

@@ -2,8 +2,8 @@
 //! structure and the D-optimality criterion.
 
 use doe::{
-    diagnostics, full_factorial, latin_hypercube, DOptimal, Design, DesignSpace, Factor,
-    ModelSpec, Term,
+    diagnostics, full_factorial, latin_hypercube, DOptimal, Design, DesignSpace, Factor, ModelSpec,
+    Term,
 };
 use proptest::prelude::*;
 

@@ -108,8 +108,7 @@ impl HarvesterCircuit {
         let f_res = self.resonant_frequency().max(1.0);
         let omega0 = 2.0 * std::f64::consts::PI * f_res;
         self.omega0_sq = omega0 * omega0;
-        self.damping_per_mass =
-            self.generator.mech_damping(f_res) / self.generator.mass();
+        self.damping_per_mass = self.generator.mech_damping(f_res) / self.generator.mass();
     }
 
     /// Current actuator position.
@@ -181,14 +180,13 @@ impl OdeSystem for HarvesterCircuit {
         let emf = self.generator.coupling() * zdot;
         let i_bridge = self.bridge_current(emf, v);
         // The coil current opposes the motion: F = −Γ·i·sign(ż).
-        let reaction = self.generator.coupling() * i_bridge * zdot.signum()
-            / self.generator.mass();
+        let reaction = self.generator.coupling() * i_bridge * zdot.signum() / self.generator.mass();
 
         dxdt[0] = zdot;
         dxdt[1] = -self.damping_per_mass * zdot - self.omega0_sq * z - accel - reaction;
-        dxdt[2] = self.storage.voltage_rate(
-            i_bridge - self.loads.total_current(v) - self.storage.leakage_current(v),
-        );
+        dxdt[2] = self
+            .storage
+            .voltage_rate(i_bridge - self.loads.total_current(v) - self.storage.leakage_current(v));
     }
 }
 
@@ -266,7 +264,9 @@ mod tests {
         // on the charging rate within a factor of ~2 (different diode
         // treatments and start-up transients).
         let c = tuned_circuit(82.0);
-        let ss = c.generator().steady_state(82.0, c.resonant_frequency(), 0.59, 2.8);
+        let ss = c
+            .generator()
+            .steady_state(82.0, c.resonant_frequency(), 0.59, 2.8);
 
         let mut x = vec![0.0, 0.0, 2.8];
         // Let the transient settle, then measure the charge rate.

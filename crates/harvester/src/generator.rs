@@ -94,8 +94,14 @@ impl Microgenerator {
     /// bridge. Delivers ≈ 125 µW into a 2.8 V store at 60 mg on resonance,
     /// within the published 61.6–156.6 µW band of the real device.
     pub fn paper() -> Self {
-        Microgenerator::new(0.013, 1.0 / (2.0 * 160.0), 55.0, 2300.0, DiodeBridge::paper())
-            .expect("paper calibration is valid")
+        Microgenerator::new(
+            0.013,
+            1.0 / (2.0 * 160.0),
+            55.0,
+            2300.0,
+            DiodeBridge::paper(),
+        )
+        .expect("paper calibration is valid")
     }
 
     /// Proof mass (kg).
@@ -203,7 +209,9 @@ impl Microgenerator {
 
         let omega = 2.0 * std::f64::consts::PI * f_vib;
         let emf = self.coupling * velocity;
-        let avg = self.bridge.averages(emf.max(1e-12), v_store, self.coil_resistance);
+        let avg = self
+            .bridge
+            .averages(emf.max(1e-12), v_store, self.coil_resistance);
         SteadyState {
             displacement_amp: velocity / omega,
             velocity_amp: velocity,
@@ -232,7 +240,11 @@ mod tests {
             "P_store = {} W",
             ss.power_into_store
         );
-        assert!(ss.emf_amplitude > 3.4, "EMF must clear the bridge: {}", ss.emf_amplitude);
+        assert!(
+            ss.emf_amplitude > 3.4,
+            "EMF must clear the bridge: {}",
+            ss.emf_amplitude
+        );
     }
 
     #[test]
@@ -285,8 +297,7 @@ mod tests {
         // Extracted power must not exceed the theoretical resonant bound
         // P_max = m a² / (16 ζ_m ω) (maximum power transfer at c_e = c_m).
         let omega = 2.0 * std::f64::consts::PI * 82.0;
-        let p_max =
-            g.mass() * ACCEL_60MG * ACCEL_60MG / (16.0 * g.mech_damping_ratio() * omega);
+        let p_max = g.mass() * ACCEL_60MG * ACCEL_60MG / (16.0 * g.mech_damping_ratio() * omega);
         assert!(
             ss.power_mechanical <= p_max * 1.001,
             "P_mech {} exceeds bound {}",

@@ -32,13 +32,15 @@ impl Load {
 
     fn validate(&self) -> Result<()> {
         match *self {
-            Load::Resistive { resistance } if !(resistance > 0.0) => {
+            // `is_nan` terms keep the seed's NaN-rejecting semantics: the
+            // original `!(x > 0.0)` guards were also true for NaN inputs.
+            Load::Resistive { resistance } if resistance <= 0.0 || resistance.is_nan() => {
                 Err(HarvesterError::InvalidParameter {
                     name: "resistance",
                     value: resistance,
                 })
             }
-            Load::ConstantCurrent { current } if !(current >= 0.0) => {
+            Load::ConstantCurrent { current } if current < 0.0 || current.is_nan() => {
                 Err(HarvesterError::InvalidParameter {
                     name: "current",
                     value: current,
@@ -218,7 +220,9 @@ mod tests {
     #[test]
     fn bank_accumulates_active_loads() {
         let mut bank = LoadBank::new();
-        let a = bank.add("a", Load::Resistive { resistance: 100.0 }).unwrap();
+        let a = bank
+            .add("a", Load::Resistive { resistance: 100.0 })
+            .unwrap();
         let b = bank
             .add("b", Load::ConstantCurrent { current: 1e-3 })
             .unwrap();
@@ -236,7 +240,9 @@ mod tests {
     #[test]
     fn unknown_ids_rejected() {
         let mut bank = LoadBank::new();
-        let id = bank.add("x", Load::ConstantCurrent { current: 0.0 }).unwrap();
+        let id = bank
+            .add("x", Load::ConstantCurrent { current: 0.0 })
+            .unwrap();
         let mut other = LoadBank::new();
         assert!(matches!(
             other.set_active(id, true),
@@ -248,7 +254,9 @@ mod tests {
     #[test]
     fn invalid_loads_rejected() {
         let mut bank = LoadBank::new();
-        assert!(bank.add("bad", Load::Resistive { resistance: 0.0 }).is_err());
+        assert!(bank
+            .add("bad", Load::Resistive { resistance: 0.0 })
+            .is_err());
         assert!(bank
             .add("bad", Load::ConstantCurrent { current: -1.0 })
             .is_err());
@@ -257,7 +265,9 @@ mod tests {
     #[test]
     fn lookup_by_name() {
         let mut bank = LoadBank::new();
-        let id = bank.add("sleep", Load::ConstantCurrent { current: 0.5e-6 }).unwrap();
+        let id = bank
+            .add("sleep", Load::ConstantCurrent { current: 0.5e-6 })
+            .unwrap();
         assert_eq!(bank.lookup("sleep"), Some(id));
         assert_eq!(bank.lookup("nope"), None);
     }
@@ -265,7 +275,9 @@ mod tests {
     #[test]
     fn display_shows_state() {
         let mut bank = LoadBank::new();
-        let id = bank.add("tx", Load::Resistive { resistance: 167.0 }).unwrap();
+        let id = bank
+            .add("tx", Load::Resistive { resistance: 167.0 })
+            .unwrap();
         bank.set_active(id, true).unwrap();
         let s = format!("{bank}");
         assert!(s.contains("tx"));

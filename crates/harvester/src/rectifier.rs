@@ -71,7 +71,10 @@ impl DiodeBridge {
     /// Panics if any parameter is non-positive.
     pub fn new(v_drop: f64, saturation_current: f64, thermal_voltage: f64) -> Self {
         assert!(v_drop > 0.0, "diode drop must be positive");
-        assert!(saturation_current > 0.0, "saturation current must be positive");
+        assert!(
+            saturation_current > 0.0,
+            "saturation current must be positive"
+        );
         assert!(thermal_voltage > 0.0, "thermal voltage must be positive");
         DiodeBridge {
             v_drop,
@@ -124,8 +127,8 @@ impl DiodeBridge {
 
         // Power drawn from the source: (1/π) ∫ E sinθ · i(θ) dθ
         let sin_sq_integral = span / 2.0 + sin_c * cos_c;
-        let power_from_source = emf / (std::f64::consts::PI * r_series)
-            * (emf * sin_sq_integral - clamp * 2.0 * cos_c);
+        let power_from_source =
+            emf / (std::f64::consts::PI * r_series) * (emf * sin_sq_integral - clamp * 2.0 * cos_c);
 
         BridgeAverages {
             current_avg: current_avg.max(0.0),

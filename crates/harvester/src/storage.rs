@@ -38,7 +38,8 @@ impl Supercapacitor {
                 value: capacitance,
             });
         }
-        if !(leakage_resistance > 0.0) {
+        // NaN must stay rejected, as with the original `!(x > 0.0)` guard.
+        if leakage_resistance <= 0.0 || leakage_resistance.is_nan() {
             return Err(HarvesterError::InvalidParameter {
                 name: "leakage_resistance",
                 value: leakage_resistance,

@@ -99,10 +99,7 @@ impl VibrationProfile {
         let segments: Vec<(f64, f64)> = (0..steps)
             .map(|i| {
                 let frac = i as f64 / steps as f64;
-                (
-                    frac * duration,
-                    f_start + frac * (f_end - f_start),
-                )
+                (frac * duration, f_start + frac * (f_end - f_start))
             })
             .collect();
         Self::stepped(accel_ms2, segments)
@@ -121,6 +118,7 @@ impl VibrationProfile {
     ///
     /// Panics on non-positive amplitude/dwell/sigma, an empty walk, or a
     /// degenerate band.
+    #[allow(clippy::too_many_arguments)]
     pub fn random_walk(
         accel_ms2: f64,
         f_start: f64,
@@ -132,7 +130,10 @@ impl VibrationProfile {
         seed: u64,
     ) -> Self {
         assert!(steps >= 1, "walk needs at least one step");
-        assert!(dwell_s > 0.0 && sigma_hz > 0.0, "dwell and sigma must be positive");
+        assert!(
+            dwell_s > 0.0 && sigma_hz > 0.0,
+            "dwell and sigma must be positive"
+        );
         assert!(f_lo < f_hi, "band must be non-degenerate");
         assert!(
             (f_lo..=f_hi).contains(&f_start),
@@ -204,14 +205,10 @@ impl VibrationProfile {
     }
 
     fn segment_index(&self, t: f64) -> usize {
-        match self
-            .segments
+        self.segments
             .iter()
             .rposition(|&(start, _)| start <= t)
-        {
-            Some(i) => i,
-            None => 0,
-        }
+            .unwrap_or(0)
     }
 }
 
@@ -304,7 +301,9 @@ mod tests {
     #[test]
     fn random_walk_actually_moves() {
         let v = VibrationProfile::random_walk(0.59, 80.0, 2.0, 30.0, 40, 70.0, 95.0, 7);
-        let fs: Vec<f64> = (0..40).map(|i| v.dominant_frequency(i as f64 * 30.0 + 1.0)).collect();
+        let fs: Vec<f64> = (0..40)
+            .map(|i| v.dominant_frequency(i as f64 * 30.0 + 1.0))
+            .collect();
         let distinct = fs.windows(2).filter(|w| w[0] != w[1]).count();
         assert!(distinct > 20, "walk barely moved: {distinct} changes");
     }

@@ -55,7 +55,10 @@ impl fmt::Display for SimError {
             ),
             SimError::SingularJacobian => write!(f, "singular jacobian in newton iteration"),
             SimError::EventInPast { now, requested } => {
-                write!(f, "event scheduled in the past: t = {requested} < now = {now}")
+                write!(
+                    f,
+                    "event scheduled in the past: t = {requested} < now = {now}"
+                )
             }
             SimError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
         }

@@ -207,12 +207,14 @@ impl Rkf45 {
             let mut err_norm = 0.0_f64;
             for i in 0..n {
                 let x5 = x[i]
-                    + h * (16.0 / 135.0 * k1[i] + 6656.0 / 12825.0 * k3[i]
+                    + h * (16.0 / 135.0 * k1[i]
+                        + 6656.0 / 12825.0 * k3[i]
                         + 28561.0 / 56430.0 * k4[i]
                         - 9.0 / 50.0 * k5[i]
                         + 2.0 / 55.0 * k6[i]);
                 let x4 = x[i]
-                    + h * (25.0 / 216.0 * k1[i] + 1408.0 / 2565.0 * k3[i]
+                    + h * (25.0 / 216.0 * k1[i]
+                        + 1408.0 / 2565.0 * k3[i]
                         + 2197.0 / 4104.0 * k4[i]
                         - 1.0 / 5.0 * k5[i]);
                 let scale = self.atol + self.rtol * x[i].abs().max(x5.abs());
@@ -379,7 +381,10 @@ mod tests {
             errs.push((x[0] - exact).abs());
         }
         let ratio = errs[0] / errs[1];
-        assert!(ratio > 1.7 && ratio < 2.3, "euler order wrong: ratio {ratio}");
+        assert!(
+            ratio > 1.7 && ratio < 2.3,
+            "euler order wrong: ratio {ratio}"
+        );
     }
 
     #[test]
@@ -393,7 +398,10 @@ mod tests {
             errs.push((x[0] - exact).abs());
         }
         let ratio = errs[0] / errs[1];
-        assert!(ratio > 12.0 && ratio < 20.0, "rk4 order wrong: ratio {ratio}");
+        assert!(
+            ratio > 12.0 && ratio < 20.0,
+            "rk4 order wrong: ratio {ratio}"
+        );
     }
 
     #[test]
@@ -418,10 +426,16 @@ mod tests {
     fn rkf45_matches_exact_solution() {
         let sys = Oscillator { omega: 1.0 };
         let mut x = vec![0.0, 1.0]; // x(t) = sin t
-        let steps = Rkf45::new().integrate(&sys, 0.0, std::f64::consts::PI, &mut x).unwrap();
+        let steps = Rkf45::new()
+            .integrate(&sys, 0.0, std::f64::consts::PI, &mut x)
+            .unwrap();
         assert!(steps > 0);
         assert!(x[0].abs() < 1e-5, "sin(pi) should be 0, got {}", x[0]);
-        assert!((x[1] + 1.0).abs() < 1e-5, "cos(pi) should be -1, got {}", x[1]);
+        assert!(
+            (x[1] + 1.0).abs() < 1e-5,
+            "cos(pi) should be -1, got {}",
+            x[1]
+        );
     }
 
     #[test]
@@ -460,7 +474,10 @@ mod tests {
             .integrate(&sys, 0.0, 1e-3, &mut x, 1e-4)
             .unwrap();
         assert!(x[0].abs() < 1.0, "stiff decay should shrink, got {}", x[0]);
-        assert!(x[0] >= 0.0 || x[0].abs() < 0.5, "bounded oscillation expected");
+        assert!(
+            x[0] >= 0.0 || x[0].abs() < 0.5,
+            "bounded oscillation expected"
+        );
     }
 
     #[test]
@@ -476,7 +493,10 @@ mod tests {
             errs.push((x[0] - exact).abs());
         }
         let ratio = errs[0] / errs[1];
-        assert!(ratio > 3.0 && ratio < 5.0, "trapezoidal order wrong: {ratio}");
+        assert!(
+            ratio > 3.0 && ratio < 5.0,
+            "trapezoidal order wrong: {ratio}"
+        );
     }
 
     #[test]

@@ -306,10 +306,7 @@ impl<S: OdeSystem + 'static> MixedSim<S> {
             self.enqueue(&mut pending);
         }
 
-        loop {
-            let Some(&next) = self.queue.peek() else {
-                break;
-            };
+        while let Some(&next) = self.queue.peek() {
             if next.time > t_end {
                 break;
             }
@@ -483,7 +480,11 @@ mod tests {
         let id = sim.add_process(Checker { worst: 0.0 });
         sim.run_until(2.5).unwrap();
         let checker: &Checker = sim.process(id).unwrap();
-        assert!(checker.worst < 1e-8, "analogue sync error: {}", checker.worst);
+        assert!(
+            checker.worst < 1e-8,
+            "analogue sync error: {}",
+            checker.worst
+        );
     }
 
     #[test]

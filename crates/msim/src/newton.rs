@@ -135,9 +135,7 @@ where
             }
         }
         let lu = jac.lu().map_err(|_| SimError::SingularJacobian)?;
-        let delta = lu
-            .solve_vec(&fx)
-            .map_err(|_| SimError::SingularJacobian)?;
+        let delta = lu.solve_vec(&fx).map_err(|_| SimError::SingularJacobian)?;
         for i in 0..n {
             x[i] -= delta[i];
         }

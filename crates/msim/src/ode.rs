@@ -88,16 +88,15 @@ impl<U: Fn(f64) -> Vec<f64>> OdeSystem for LinearStateSpace<U> {
     fn derivatives(&self, t: f64, x: &[f64], dxdt: &mut [f64]) {
         let u = (self.input)(t);
         debug_assert_eq!(u.len(), self.n_inputs, "input dimension mismatch");
-        let n = self.a.rows();
-        for i in 0..n {
+        for (i, out) in dxdt.iter_mut().enumerate() {
             let mut s = 0.0;
-            for j in 0..n {
-                s += self.a[(i, j)] * x[j];
+            for (j, xj) in x.iter().enumerate() {
+                s += self.a[(i, j)] * xj;
             }
             for (k, uk) in u.iter().enumerate() {
                 s += self.b[(i, k)] * uk;
             }
-            dxdt[i] = s;
+            *out = s;
         }
     }
 }

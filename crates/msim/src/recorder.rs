@@ -26,7 +26,7 @@ impl Trace {
     /// order; this is enforced with a debug assertion.
     pub fn push(&mut self, time: f64, state: &[f64]) {
         debug_assert!(
-            self.points.last().map_or(true, |p| p.time <= time),
+            self.points.last().is_none_or(|p| p.time <= time),
             "trace samples must be time-ordered"
         );
         self.points.push(TracePoint {
@@ -75,9 +75,7 @@ impl Trace {
         if time < first.time || time > last.time {
             return None;
         }
-        let pos = self
-            .points
-            .partition_point(|p| p.time <= time);
+        let pos = self.points.partition_point(|p| p.time <= time);
         if pos == 0 {
             return Some(first.state[index]);
         }

@@ -53,8 +53,8 @@ impl PowerBudget {
             .steady_state(f0, f_res, config.vibration.amplitude(), v);
 
         let mcu = Mcu::new(config.node.clock_hz)?;
-        let baseline = (NODE_SLEEP_CURRENT + MCU_SLEEP_CURRENT) * v
-            + config.storage.leakage_current(v) * v;
+        let baseline =
+            (NODE_SLEEP_CURRENT + MCU_SLEEP_CURRENT) * v + config.storage.leakage_current(v) * v;
         let watchdog = mcu.measurement_energy(f0, v) / config.node.watchdog_s;
         let tx_energy = tx_energy_at(v);
         let tx_demand = tx_energy / config.node.tx_interval_s;
@@ -113,7 +113,11 @@ mod tests {
         let b = budget(NodeConfig::original());
         // The paper-class harvester (~125 µW) comfortably covers a 5 s
         // interval (~44 µW).
-        assert!(b.harvest > 80e-6 && b.harvest < 200e-6, "harvest {}", b.harvest);
+        assert!(
+            b.harvest > 80e-6 && b.harvest < 200e-6,
+            "harvest {}",
+            b.harvest
+        );
         assert_eq!(b.binding_constraint(5.0), BindingConstraint::Interval);
     }
 
@@ -153,8 +157,7 @@ mod tests {
         // energy-limited rate to the original's interval ceiling.
         let orig = budget(NodeConfig::original());
         let opt = budget(NodeConfig::sa_optimised());
-        let predicted_factor =
-            opt.tx_upper_bound(0.005, 3600.0) / orig.tx_upper_bound(5.0, 3600.0);
+        let predicted_factor = opt.tx_upper_bound(0.005, 3600.0) / orig.tx_upper_bound(5.0, 3600.0);
         assert!(
             predicted_factor > 1.5 && predicted_factor < 3.0,
             "static analysis should predict the ~2x factor, got {predicted_factor}"

@@ -1,7 +1,7 @@
 use harvester::{Microgenerator, Supercapacitor, TuningMechanism, VibrationProfile};
 
-use crate::sensor::TX_INTERVAL_RANGE;
 use crate::mcu::CLOCK_RANGE;
+use crate::sensor::TX_INTERVAL_RANGE;
 use crate::{NodeError, Result};
 
 /// Valid watchdog wake-up range (Table V): 60 – 600 s.
@@ -170,7 +170,10 @@ mod tests {
     #[test]
     fn table_vi_presets() {
         let o = NodeConfig::original();
-        assert_eq!((o.clock_hz, o.watchdog_s, o.tx_interval_s), (4e6, 320.0, 5.0));
+        assert_eq!(
+            (o.clock_hz, o.watchdog_s, o.tx_interval_s),
+            (4e6, 320.0, 5.0)
+        );
         let sa = NodeConfig::sa_optimised();
         assert_eq!(
             (sa.clock_hz, sa.watchdog_s, sa.tx_interval_s),
@@ -201,12 +204,18 @@ mod tests {
         let e = NodeConfig::new(1e9, 320.0, 5.0).unwrap_err();
         assert!(matches!(
             e,
-            NodeError::ParameterOutOfRange { name: "clock_hz", .. }
+            NodeError::ParameterOutOfRange {
+                name: "clock_hz",
+                ..
+            }
         ));
         let e = NodeConfig::new(4e6, 10.0, 5.0).unwrap_err();
         assert!(matches!(
             e,
-            NodeError::ParameterOutOfRange { name: "watchdog_s", .. }
+            NodeError::ParameterOutOfRange {
+                name: "watchdog_s",
+                ..
+            }
         ));
         let e = NodeConfig::new(4e6, 320.0, 100.0).unwrap_err();
         assert!(matches!(

@@ -261,19 +261,11 @@ impl EnvelopeSim {
 
     /// Advances the envelope from `state.t` to `to`, integrating harvest,
     /// sleep and leakage currents.
-    fn advance(
-        &self,
-        state: &mut State,
-        to: f64,
-        firmware: &TuningFirmware,
-        sleep_current: f64,
-    ) {
+    fn advance(&self, state: &mut State, to: f64, firmware: &TuningFirmware, sleep_current: f64) {
         let cfg = &self.config;
         while state.t < to - 1e-12 {
             // Trace sampling boundary.
-            let next_sample = cfg
-                .trace_interval
-                .map(|dt| state.sample_count as f64 * dt);
+            let next_sample = cfg.trace_interval.map(|dt| state.sample_count as f64 * dt);
             if let Some(ts) = next_sample {
                 if ts <= state.t {
                     state.trace.push(VoltageSample {
@@ -298,10 +290,7 @@ impl EnvelopeSim {
             let i_harvest = state.harvest_current(cfg, f_vib, f_res);
 
             let i_leak = cfg.storage.leakage_current(state.v);
-            let dv = cfg
-                .storage
-                .voltage_rate(i_harvest - sleep_current - i_leak)
-                * dt;
+            let dv = cfg.storage.voltage_rate(i_harvest - sleep_current - i_leak) * dt;
             state.energy.harvested += i_harvest * state.v * dt;
             state.energy.sleep += sleep_current * state.v * dt;
             state.energy.leakage += i_leak * state.v * dt;

@@ -272,8 +272,7 @@ impl TuningFirmware {
         // Lines 13–15: coarse-grain tuning.
         {
             let steps = u32::from(target.abs_diff(self.position));
-            let mcu_energy =
-                self.mcu.active_power(2.8) * crate::power::MCU_COARSE_OP.duration;
+            let mcu_energy = self.mcu.active_power(2.8) * crate::power::MCU_COARSE_OP.duration;
             actions.push(FirmwareAction::CoarseMove {
                 steps,
                 position_after: target,
@@ -293,8 +292,7 @@ impl TuningFirmware {
             let read_phase = self.mcu.measured_phase_offset(true_phase);
 
             let accel_energy = self.accelerometer.measurement_energy();
-            let mcu_energy =
-                self.mcu.active_power(2.8) * crate::power::MCU_FINE_OP.duration;
+            let mcu_energy = self.mcu.active_power(2.8) * crate::power::MCU_FINE_OP.duration;
             let measure_time = self
                 .accelerometer
                 .measurement_duration()
@@ -363,7 +361,10 @@ mod tests {
         let mut fw = firmware(4e6);
         assert_eq!(fw.position(), 0);
         let out = fw.wake(85.0, 2.8);
-        assert!(out.actions.iter().any(|a| matches!(a, FirmwareAction::CoarseMove { .. })));
+        assert!(out
+            .actions
+            .iter()
+            .any(|a| matches!(a, FirmwareAction::CoarseMove { .. })));
         assert!((fw.resonant_frequency() - 85.0).abs() < 0.3);
         assert!(out.total_energy() > 10e-3, "retune should cost tens of mJ");
         assert!(out.total_duration() > 5.0, "settling dominates the cycle");

@@ -117,10 +117,9 @@ impl FullSystemSim {
                 resistance: power::NODE_TX_RESISTANCE,
             },
         )?;
-        let tuning_load = circuit.loads_mut().add(
-            "tuning cycle",
-            Load::ConstantCurrent { current: 0.0 },
-        )?;
+        let tuning_load = circuit
+            .loads_mut()
+            .add("tuning cycle", Load::ConstantCurrent { current: 0.0 })?;
         circuit.loads_mut().set_active(sleep_node, true)?;
         circuit.loads_mut().set_active(sleep_mcu, true)?;
 
@@ -378,10 +377,7 @@ mod tests {
     fn transmissions_happen_at_the_configured_interval() {
         // 12 s horizon, 5 s interval, starting above 2.8 V → 3 checks
         // transmit (t = 0, 5, 10).
-        let out = FullSystemSim::new(short(12.0))
-            .with_dt(2e-4)
-            .run()
-            .unwrap();
+        let out = FullSystemSim::new(short(12.0)).with_dt(2e-4).run().unwrap();
         assert!(
             (2..=4).contains(&out.transmissions),
             "got {} transmissions",

@@ -45,8 +45,7 @@ const QUIESCENT_CURRENT: f64 = 0.05e-3;
 
 /// Clock-proportional current slope (A/Hz), calibrated so that
 /// `I(4 MHz) = 1.9 mA` — the Table IV coarse-tuning measurement.
-const CURRENT_PER_HZ: f64 =
-    (1.9e-3 - QUIESCENT_CURRENT) / power::MCU_TABLE_CLOCK_HZ;
+const CURRENT_PER_HZ: f64 = (1.9e-3 - QUIESCENT_CURRENT) / power::MCU_TABLE_CLOCK_HZ;
 
 /// Instruction count of the frequency/lookup computation after the eight
 /// timed periods (Algorithm 1 lines 9–10).
@@ -217,7 +216,7 @@ mod tests {
     #[test]
     fn phase_quantisation_floors() {
         let slow = Mcu::new(125e3).unwrap(); // resolution 384 µs
-        // A true 300 µs offset reads as zero — Algorithm 3 would stop.
+                                             // A true 300 µs offset reads as zero — Algorithm 3 would stop.
         assert_eq!(slow.measured_phase_offset(300e-6), 0.0);
         let fast = Mcu::new(8e6).unwrap(); // resolution 6 µs
         let read = fast.measured_phase_offset(300e-6);

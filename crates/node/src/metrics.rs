@@ -32,7 +32,11 @@ pub struct EnergyBreakdown {
 impl EnergyBreakdown {
     /// Total consumed energy (everything except `harvested`).
     pub fn total_consumed(&self) -> f64 {
-        self.transmission + self.mcu + self.actuator + self.accelerometer + self.sleep
+        self.transmission
+            + self.mcu
+            + self.actuator
+            + self.accelerometer
+            + self.sleep
             + self.leakage
     }
 

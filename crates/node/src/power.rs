@@ -228,6 +228,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn bulk_move_cheaper_per_step_than_single() {
         assert!(ACTUATOR_BULK_STEP_ENERGY < ACTUATOR_STEP_ENERGY);
         // 100 bulk steps take as long as 100 single steps (5 ms each).

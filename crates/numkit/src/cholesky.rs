@@ -1,3 +1,7 @@
+// Dense triangular solves and Householder sweeps read naturally with
+// explicit indices; iterator rewrites obscure the linear algebra.
+#![allow(clippy::needless_range_loop)]
+
 use crate::{Matrix, NumError, Result};
 
 /// Cholesky factorisation `A = L Lᵀ` of a symmetric positive definite matrix.
@@ -131,12 +135,7 @@ mod tests {
     use super::*;
 
     fn spd() -> Matrix {
-        Matrix::from_rows(&[
-            &[6.0, 2.0, 1.0],
-            &[2.0, 5.0, 2.0],
-            &[1.0, 2.0, 4.0],
-        ])
-        .unwrap()
+        Matrix::from_rows(&[&[6.0, 2.0, 1.0], &[2.0, 5.0, 2.0], &[1.0, 2.0, 4.0]]).unwrap()
     }
 
     #[test]

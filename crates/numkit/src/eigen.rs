@@ -119,7 +119,11 @@ impl SymEigen {
 
         // Sort ascending, permuting eigenvector columns alongside.
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&i, &j| a[(i, i)].partial_cmp(&a[(j, j)]).expect("finite eigenvalues"));
+        order.sort_by(|&i, &j| {
+            a[(i, i)]
+                .partial_cmp(&a[(j, j)])
+                .expect("finite eigenvalues")
+        });
         let eigenvalues: Vec<f64> = order.iter().map(|&i| a[(i, i)]).collect();
         let eigenvectors = Matrix::from_fn(n, n, |i, j| v[(i, order[j])]);
 
@@ -177,12 +181,8 @@ mod tests {
 
     #[test]
     fn reconstruction_v_lambda_vt() {
-        let m = Matrix::from_rows(&[
-            &[4.0, 1.0, -2.0],
-            &[1.0, 2.0, 0.0],
-            &[-2.0, 0.0, 3.0],
-        ])
-        .unwrap();
+        let m =
+            Matrix::from_rows(&[&[4.0, 1.0, -2.0], &[1.0, 2.0, 0.0], &[-2.0, 0.0, 3.0]]).unwrap();
         let e = SymEigen::decompose(&m).unwrap();
         let lambda = Matrix::diagonal(e.eigenvalues());
         let recon = e
@@ -196,12 +196,7 @@ mod tests {
 
     #[test]
     fn eigenvectors_are_orthonormal() {
-        let m = Matrix::from_rows(&[
-            &[5.0, 2.0, 0.0],
-            &[2.0, 5.0, 1.0],
-            &[0.0, 1.0, 5.0],
-        ])
-        .unwrap();
+        let m = Matrix::from_rows(&[&[5.0, 2.0, 0.0], &[2.0, 5.0, 1.0], &[0.0, 1.0, 5.0]]).unwrap();
         let e = SymEigen::decompose(&m).unwrap();
         let vtv = e.eigenvectors().gram();
         assert!(vtv.approx_eq(&Matrix::identity(3), 1e-10));

@@ -59,7 +59,10 @@ impl fmt::Display for NumError {
             NumError::NoConvergence {
                 algorithm,
                 iterations,
-            } => write!(f, "{algorithm} did not converge after {iterations} iterations"),
+            } => write!(
+                f,
+                "{algorithm} did not converge after {iterations} iterations"
+            ),
             NumError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
         }
     }
@@ -79,7 +82,10 @@ mod tests {
             rhs: (4, 5),
         };
         assert_eq!(e.to_string(), "shape mismatch in mul: 2x3 vs 4x5");
-        assert_eq!(NumError::Singular.to_string(), "matrix is singular to working precision");
+        assert_eq!(
+            NumError::Singular.to_string(),
+            "matrix is singular to working precision"
+        );
         let e = NumError::NoConvergence {
             algorithm: "jacobi",
             iterations: 100,

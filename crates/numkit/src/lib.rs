@@ -12,6 +12,9 @@
 //! * [`SymEigen`] — Jacobi eigen-decomposition of symmetric matrices
 //!   (used by the canonical analysis of fitted response surfaces).
 //! * [`stats`] — descriptive statistics used by the experiment harness.
+//! * [`rng`] — in-tree seeded SplitMix64 PRNG (the workspace builds with
+//!   no registry dependencies).
+//! * [`pool`] — deterministic ordered parallel map over scoped threads.
 //!
 //! The matrices involved in the reproduced paper are tiny (a 10-row design
 //! matrix is the largest object in the main flow), so the implementation
@@ -39,7 +42,9 @@ mod eigen;
 mod error;
 mod lu;
 mod matrix;
+pub mod pool;
 mod qr;
+pub mod rng;
 pub mod stats;
 
 pub use cholesky::Cholesky;

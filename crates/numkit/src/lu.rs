@@ -1,3 +1,7 @@
+// Dense triangular solves and Householder sweeps read naturally with
+// explicit indices; iterator rewrites obscure the linear algebra.
+#![allow(clippy::needless_range_loop)]
+
 use crate::{Matrix, NumError, Result};
 
 /// LU decomposition with partial pivoting: `P * A = L * U`.
@@ -194,12 +198,7 @@ mod tests {
     use super::*;
 
     fn test_matrix() -> Matrix {
-        Matrix::from_rows(&[
-            &[2.0, 1.0, 1.0],
-            &[4.0, -6.0, 0.0],
-            &[-2.0, 7.0, 2.0],
-        ])
-        .unwrap()
+        Matrix::from_rows(&[&[2.0, 1.0, 1.0], &[4.0, -6.0, 0.0], &[-2.0, 7.0, 2.0]]).unwrap()
     }
 
     #[test]
@@ -253,7 +252,10 @@ mod tests {
     fn inverse_agrees_with_solve() {
         let a = test_matrix();
         let inv = Lu::decompose(&a).unwrap().inverse().unwrap();
-        assert!(a.matmul(&inv).unwrap().approx_eq(&Matrix::identity(3), 1e-10));
+        assert!(a
+            .matmul(&inv)
+            .unwrap()
+            .approx_eq(&Matrix::identity(3), 1e-10));
     }
 
     #[test]

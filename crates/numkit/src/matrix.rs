@@ -304,7 +304,9 @@ impl Matrix {
     /// Returns [`NumError::NotSquare`] for rectangular matrices.
     pub fn trace(&self) -> Result<f64> {
         if !self.is_square() {
-            return Err(NumError::NotSquare { shape: self.shape() });
+            return Err(NumError::NotSquare {
+                shape: self.shape(),
+            });
         }
         Ok((0..self.rows).map(|i| self[(i, i)]).sum())
     }
@@ -322,8 +324,7 @@ impl Matrix {
     /// `true` if the matrix is symmetric within `tol`.
     pub fn is_symmetric(&self, tol: f64) -> bool {
         self.is_square()
-            && (0..self.rows)
-                .all(|i| (0..i).all(|j| (self[(i, j)] - self[(j, i)]).abs() <= tol))
+            && (0..self.rows).all(|i| (0..i).all(|j| (self[(i, j)] - self[(j, i)]).abs() <= tol))
     }
 
     /// Horizontally concatenates `self` with `rhs`.
@@ -580,7 +581,10 @@ mod tests {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
         let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
         let c = a.matmul(&b).unwrap();
-        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap());
+        assert_eq!(
+            c,
+            Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap()
+        );
         // identity is neutral
         assert_eq!(Matrix::identity(2).matmul(&a).unwrap(), a);
     }
@@ -646,7 +650,10 @@ mod tests {
     fn inverse_roundtrip() {
         let m = Matrix::from_rows(&[&[4.0, 7.0], &[2.0, 6.0]]).unwrap();
         let inv = m.inverse().unwrap();
-        assert!(m.matmul(&inv).unwrap().approx_eq(&Matrix::identity(2), 1e-12));
+        assert!(m
+            .matmul(&inv)
+            .unwrap()
+            .approx_eq(&Matrix::identity(2), 1e-12));
     }
 
     #[test]

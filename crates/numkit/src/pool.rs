@@ -1,0 +1,173 @@
+//! Deterministic fan-out of independent work items over scoped threads.
+//!
+//! The DSE flow's hot path is embarrassingly parallel: D-optimal design
+//! points, sweep validation samples, robustness scenarios and optimiser
+//! restarts are all independent `item → result` evaluations. This module
+//! provides the one primitive they share — [`par_map_ordered`] — a
+//! std-only (no external crates) work-stealing map that:
+//!
+//! * executes `f` on every item using up to `jobs` scoped threads,
+//! * claims items through a shared atomic counter, so threads steal work
+//!   instead of idling behind a slow static partition, and
+//! * reassembles results by *input index*, so the output order is always
+//!   the submission order.
+//!
+//! Because results are keyed by index and any per-item randomness must
+//! come from the item itself (e.g. [`crate::rng::Rng::stream`]), the
+//! output is **bit-identical at any thread count** — parallelism changes
+//! scheduling, never results.
+//!
+//! # Example
+//!
+//! ```
+//! let squares = numkit::pool::par_map_ordered(4, &[1, 2, 3, 4], |_, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolves a `jobs` request against the machine: `0` means "use all
+/// available cores", anything else is taken literally.
+pub fn resolve_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        jobs
+    }
+}
+
+/// Maps `f` over `items` with up to `jobs` threads, preserving input
+/// order in the output.
+///
+/// `f` receives `(index, &item)` so callers can derive deterministic
+/// per-item state (RNG substreams, cache keys) from the index. `jobs == 0`
+/// resolves to the number of available cores; `jobs == 1` (or a single
+/// item) runs inline on the caller's thread with no spawning overhead.
+///
+/// # Panics
+///
+/// Propagates panics from `f` after all workers have been joined.
+pub fn par_map_ordered<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let jobs = resolve_jobs(jobs).min(items.len().max(1));
+    if jobs <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    // Each worker claims indices from the shared counter (work stealing —
+    // a slow item never blocks the queue behind a static partition) and
+    // buffers `(index, result)` pairs locally; buffers are merged in index
+    // order after the join, which restores submission order exactly.
+    let buffers: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let next = &next;
+        let f = &f;
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    });
+
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    for (i, r) in buffers.into_iter().flatten() {
+        debug_assert!(slots[i].is_none(), "index {i} claimed twice");
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn resolves_zero_to_cores() {
+        assert!(resolve_jobs(0) >= 1);
+        assert_eq!(resolve_jobs(3), 3);
+    }
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let out = par_map_ordered(8, &items, |i, &x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn identical_at_any_thread_count() {
+        let items: Vec<u64> = (0..100).collect();
+        // Per-item randomness comes from the item index, so the result
+        // must not depend on the thread count.
+        let run = |jobs| {
+            par_map_ordered(jobs, &items, |i, &x| {
+                let mut rng = Rng::stream(99, i as u64);
+                rng.next_f64() + x as f64
+            })
+        };
+        let sequential = run(1);
+        assert_eq!(sequential, run(2));
+        assert_eq!(sequential, run(8));
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<i32> = vec![];
+        assert!(par_map_ordered(4, &empty, |_, &x| x).is_empty());
+        assert_eq!(par_map_ordered(4, &[7], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn uneven_work_is_stolen() {
+        // One huge item plus many small ones: with work stealing the total
+        // still completes and order is preserved.
+        let items: Vec<u64> = (0..32).collect();
+        let out = par_map_ordered(4, &items, |_, &x| {
+            let spin = if x == 0 { 200_000 } else { 100 };
+            let mut acc = 0u64;
+            for k in 0..spin {
+                acc = acc.wrapping_add(k ^ x);
+            }
+            (x, acc).0
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker thread panicked")]
+    fn propagates_worker_panics() {
+        let items: Vec<u64> = (0..8).collect();
+        par_map_ordered(4, &items, |_, &x| {
+            assert!(x != 5, "boom");
+            x
+        });
+    }
+}

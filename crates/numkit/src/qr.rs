@@ -1,3 +1,7 @@
+// Dense triangular solves and Householder sweeps read naturally with
+// explicit indices; iterator rewrites obscure the linear algebra.
+#![allow(clippy::needless_range_loop)]
+
 use crate::{Matrix, NumError, Result};
 
 /// Householder QR decomposition of an `m x n` matrix with `m >= n`.
@@ -180,12 +184,7 @@ mod tests {
 
     #[test]
     fn qr_reconstructs_input() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 2.0],
-            &[3.0, 4.0],
-            &[5.0, 6.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
         let qr = Qr::decompose(&a).unwrap();
         let recon = qr.q().matmul(&qr.r()).unwrap();
         assert!(recon.approx_eq(&a, 1e-10));

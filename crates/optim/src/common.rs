@@ -1,6 +1,6 @@
 use std::fmt;
 
-use rand::Rng;
+use numkit::rng::Rng;
 
 use crate::{OptimError, Result};
 
@@ -111,11 +111,11 @@ impl Bounds {
     }
 
     /// Draws a uniform random point inside the box.
-    pub fn sample<R: Rng>(&self, rng: &mut R) -> Vec<f64> {
+    pub fn sample(&self, rng: &mut Rng) -> Vec<f64> {
         self.lower
             .iter()
             .zip(&self.upper)
-            .map(|(l, u)| rng.gen_range(*l..=*u))
+            .map(|(l, u)| rng.uniform(*l, *u))
             .collect()
     }
 }
@@ -158,14 +158,14 @@ pub trait Optimizer {
     ///   final best point (optimisers tolerate transient non-finite values
     ///   by treating them as −∞).
     /// * [`OptimError::InvalidParameter`] for invalid configurations.
-    fn maximize<F: Fn(&[f64]) -> f64>(&self, bounds: &Bounds, f: F) -> Result<OptimResult>;
+    fn maximize<F: Fn(&[f64]) -> f64 + Sync>(&self, bounds: &Bounds, f: F) -> Result<OptimResult>;
 
     /// Minimises `f` by maximising `-f`.
     ///
     /// # Errors
     ///
     /// Same as [`maximize`](Self::maximize).
-    fn minimize<F: Fn(&[f64]) -> f64>(&self, bounds: &Bounds, f: F) -> Result<OptimResult> {
+    fn minimize<F: Fn(&[f64]) -> f64 + Sync>(&self, bounds: &Bounds, f: F) -> Result<OptimResult> {
         let mut result = self.maximize(bounds, |x| -f(x))?;
         result.value = -result.value;
         Ok(result)
@@ -182,23 +182,9 @@ pub(crate) fn guard(v: f64) -> f64 {
     }
 }
 
-/// Draws one standard-normal sample via Box–Muller (kept local to avoid an
-/// extra distribution dependency).
-pub(crate) fn sample_standard_normal<R: Rng>(rng: &mut R) -> f64 {
-    loop {
-        let u1: f64 = rng.gen();
-        if u1 <= f64::MIN_POSITIVE {
-            continue;
-        }
-        let u2: f64 = rng.gen();
-        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn bounds_validation() {
@@ -227,7 +213,7 @@ mod tests {
     #[test]
     fn sampling_stays_inside() {
         let b = Bounds::new(vec![-3.0, 5.0], vec![-1.0, 6.0]).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = Rng::new(1);
         for _ in 0..100 {
             let p = b.sample(&mut rng);
             assert!(b.contains(&p), "sample {p:?} escaped bounds");

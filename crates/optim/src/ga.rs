@@ -1,6 +1,6 @@
-use rand::{Rng, SeedableRng};
+use numkit::rng::Rng;
 
-use crate::common::{guard, sample_standard_normal};
+use crate::common::guard;
 use crate::{Bounds, OptimError, OptimResult, Optimizer, Result};
 
 /// Real-coded genetic algorithm: tournament selection, blend (BLX-α)
@@ -119,8 +119,7 @@ impl GeneticAlgorithm {
         if self.tournament_size == 0 {
             return Err(OptimError::InvalidParameter("tournament size must be >= 1"));
         }
-        if !(0.0..=1.0).contains(&self.crossover_rate)
-            || !(0.0..=1.0).contains(&self.mutation_rate)
+        if !(0.0..=1.0).contains(&self.crossover_rate) || !(0.0..=1.0).contains(&self.mutation_rate)
         {
             return Err(OptimError::InvalidParameter(
                 "crossover and mutation rates must be in [0, 1]",
@@ -132,15 +131,15 @@ impl GeneticAlgorithm {
         Ok(())
     }
 
-    fn tournament<'a, R: Rng>(
+    fn tournament<'a>(
         &self,
-        rng: &mut R,
+        rng: &mut Rng,
         population: &'a [Vec<f64>],
         fitness: &[f64],
     ) -> &'a [f64] {
-        let mut best = rng.gen_range(0..population.len());
+        let mut best = rng.index(population.len());
         for _ in 1..self.tournament_size {
-            let c = rng.gen_range(0..population.len());
+            let c = rng.index(population.len());
             if fitness[c] > fitness[best] {
                 best = c;
             }
@@ -150,9 +149,9 @@ impl GeneticAlgorithm {
 }
 
 impl Optimizer for GeneticAlgorithm {
-    fn maximize<F: Fn(&[f64]) -> f64>(&self, bounds: &Bounds, f: F) -> Result<OptimResult> {
+    fn maximize<F: Fn(&[f64]) -> f64 + Sync>(&self, bounds: &Bounds, f: F) -> Result<OptimResult> {
         self.validate()?;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::new(self.seed);
         let widths = bounds.widths();
 
         let mut population: Vec<Vec<f64>> = (0..self.population_size)
@@ -175,7 +174,7 @@ impl Optimizer for GeneticAlgorithm {
             while next.len() < self.population_size {
                 let p1 = self.tournament(&mut rng, &population, &fitness).to_vec();
                 let p2 = self.tournament(&mut rng, &population, &fitness).to_vec();
-                let mut child: Vec<f64> = if rng.gen::<f64>() < self.crossover_rate {
+                let mut child: Vec<f64> = if rng.next_f64() < self.crossover_rate {
                     // BLX-α blend crossover.
                     p1.iter()
                         .zip(&p2)
@@ -183,15 +182,23 @@ impl Optimizer for GeneticAlgorithm {
                             let lo = a.min(*b);
                             let hi = a.max(*b);
                             let d = hi - lo;
-                            rng.gen_range(lo - self.blend_alpha * d..=hi + self.blend_alpha * d)
+                            rng.uniform(lo - self.blend_alpha * d, hi + self.blend_alpha * d)
                         })
                         .collect()
                 } else {
                     p1
                 };
-                for (gene, w) in child.iter_mut().zip(&widths) {
-                    if rng.gen::<f64>() < self.mutation_rate {
-                        *gene += self.mutation_sigma * w * sample_standard_normal(&mut rng);
+                for (d, (gene, w)) in child.iter_mut().zip(&widths).enumerate() {
+                    if rng.next_f64() < self.mutation_rate {
+                        // Mostly local Gaussian steps, with an occasional
+                        // uniform redraw so a converged population can
+                        // still jump between faces of the design cube
+                        // (Eq. 9's saddle has competing corner optima).
+                        if rng.next_f64() < 0.2 {
+                            *gene = rng.uniform(bounds.lower()[d], bounds.upper()[d]);
+                        } else {
+                            *gene += self.mutation_sigma * w * rng.normal();
+                        }
                     }
                 }
                 next.push(bounds.clamp(&child));
@@ -230,7 +237,10 @@ mod tests {
         let bounds = Bounds::symmetric(3, 1.0).unwrap();
         let f =
             |x: &[f64]| 2.0 - (x[0] - 0.6).powi(2) - (x[1] + 0.2).powi(2) - (x[2] - 0.9).powi(2);
-        let r = GeneticAlgorithm::new().seed(4).maximize(&bounds, f).unwrap();
+        let r = GeneticAlgorithm::new()
+            .seed(4)
+            .maximize(&bounds, f)
+            .unwrap();
         assert!(r.value > 2.0 - 1e-2, "value {}", r.value);
         assert!((r.x[0] - 0.6).abs() < 0.1);
     }
@@ -239,9 +249,8 @@ mod tests {
     fn multimodal_rastrigin_like() {
         // 1-D Rastrigin flipped for maximisation; global max 0 at 0.
         let bounds = Bounds::symmetric(1, 5.12).unwrap();
-        let f = |x: &[f64]| {
-            -(10.0 + x[0] * x[0] - 10.0 * (2.0 * std::f64::consts::PI * x[0]).cos())
-        };
+        let f =
+            |x: &[f64]| -(10.0 + x[0] * x[0] - 10.0 * (2.0 * std::f64::consts::PI * x[0]).cos());
         let r = GeneticAlgorithm::new()
             .seed(6)
             .generations(200)
@@ -276,8 +285,14 @@ mod tests {
     fn deterministic_per_seed() {
         let bounds = Bounds::symmetric(2, 1.0).unwrap();
         let f = |x: &[f64]| x[0] - x[1];
-        let a = GeneticAlgorithm::new().seed(13).maximize(&bounds, f).unwrap();
-        let b = GeneticAlgorithm::new().seed(13).maximize(&bounds, f).unwrap();
+        let a = GeneticAlgorithm::new()
+            .seed(13)
+            .maximize(&bounds, f)
+            .unwrap();
+        let b = GeneticAlgorithm::new()
+            .seed(13)
+            .maximize(&bounds, f)
+            .unwrap();
         assert_eq!(a, b);
     }
 
@@ -312,7 +327,10 @@ mod tests {
     fn result_stays_in_bounds() {
         let bounds = Bounds::new(vec![0.0, 10.0], vec![1.0, 20.0]).unwrap();
         let f = |x: &[f64]| x[0] + x[1]; // pushes to upper corner
-        let r = GeneticAlgorithm::new().seed(2).maximize(&bounds, f).unwrap();
+        let r = GeneticAlgorithm::new()
+            .seed(2)
+            .maximize(&bounds, f)
+            .unwrap();
         assert!(bounds.contains(&r.x));
         assert!(r.value > 20.8);
     }

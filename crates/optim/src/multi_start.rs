@@ -1,4 +1,5 @@
-use rand::SeedableRng;
+use numkit::pool::par_map_ordered;
+use numkit::rng::Rng;
 
 use crate::{Bounds, NelderMead, OptimError, OptimResult, Optimizer, Result};
 
@@ -8,6 +9,12 @@ use crate::{Bounds, NelderMead, OptimError, OptimResult, Optimizer, Result};
 /// On multimodal surfaces this recovers much of the robustness of a global
 /// optimiser at a predictable cost, and it is the classic practitioner's
 /// alternative to the paper's SA/GA choice.
+///
+/// Restarts are independent, so they fan out over the deterministic
+/// thread pool ([`numkit::pool`]): each restart draws its starting point
+/// from its own RNG substream (`Rng::stream(seed, restart)`), which makes
+/// the result **bit-identical at any thread count** — including the
+/// sequential `jobs = 1` default.
 ///
 /// # Example
 ///
@@ -30,6 +37,7 @@ pub struct MultiStart {
     starts: usize,
     inner: NelderMead,
     seed: u64,
+    jobs: usize,
 }
 
 impl MultiStart {
@@ -40,6 +48,7 @@ impl MultiStart {
             starts,
             inner: NelderMead::new(),
             seed: 0,
+            jobs: 1,
         }
     }
 
@@ -54,25 +63,43 @@ impl MultiStart {
         self.seed = seed;
         self
     }
+
+    /// Worker threads for the restarts (`0` = all available cores,
+    /// default `1` = sequential). The result is identical at any value.
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
 }
 
 impl Optimizer for MultiStart {
-    fn maximize<F: Fn(&[f64]) -> f64>(&self, bounds: &Bounds, f: F) -> Result<OptimResult> {
+    fn maximize<F: Fn(&[f64]) -> f64 + Sync>(&self, bounds: &Bounds, f: F) -> Result<OptimResult> {
         if self.starts == 0 {
             return Err(OptimError::InvalidParameter("starts must be >= 1"));
         }
-        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        // Starting points are derived per restart index, never from a
+        // shared sequential stream, so the fan-out below cannot change
+        // them regardless of scheduling.
+        let starts: Vec<Vec<f64>> = (0..self.starts)
+            .map(|s| {
+                if s == 0 {
+                    bounds.center()
+                } else {
+                    bounds.sample(&mut Rng::stream(self.seed, s as u64))
+                }
+            })
+            .collect();
+
+        let f = &f;
+        let runs = par_map_ordered(self.jobs, &starts, |_, start| {
+            self.inner.clone().start(start.clone()).maximize(bounds, f)
+        });
+
         let mut best: Option<OptimResult> = None;
         let mut total_evals = 0usize;
         let mut total_iters = 0usize;
-
-        for s in 0..self.starts {
-            let start = if s == 0 {
-                bounds.center()
-            } else {
-                bounds.sample(&mut rng)
-            };
-            let run = self.inner.clone().start(start).maximize(bounds, &f)?;
+        for run in runs {
+            let run = run?;
             total_evals += run.evaluations;
             total_iters += run.iterations;
             best = match best {
@@ -103,7 +130,11 @@ mod tests {
         let single = NelderMead::new().maximize(&bounds, f).unwrap();
         let multi = MultiStart::new(16).seed(2).maximize(&bounds, f).unwrap();
         assert!(multi.value >= single.value);
-        assert!((multi.x[0] - 0.8).abs() < 1e-2, "missed global: {:?}", multi.x);
+        assert!(
+            (multi.x[0] - 0.8).abs() < 1e-2,
+            "missed global: {:?}",
+            multi.x
+        );
     }
 
     #[test]
@@ -119,5 +150,30 @@ mod tests {
         let one = MultiStart::new(1).maximize(&bounds, f).unwrap();
         let five = MultiStart::new(5).maximize(&bounds, f).unwrap();
         assert!(five.evaluations > one.evaluations);
+    }
+
+    #[test]
+    fn parallel_restarts_match_sequential() {
+        let bounds = Bounds::symmetric(2, 1.0).unwrap();
+        let f = |x: &[f64]| {
+            (-((x[0] - 0.6) / 0.2).powi(2)).exp() + 0.5 * (-((x[1] + 0.3) / 0.3).powi(2)).exp()
+        };
+        let sequential = MultiStart::new(8)
+            .seed(5)
+            .jobs(1)
+            .maximize(&bounds, f)
+            .unwrap();
+        let parallel2 = MultiStart::new(8)
+            .seed(5)
+            .jobs(2)
+            .maximize(&bounds, f)
+            .unwrap();
+        let parallel8 = MultiStart::new(8)
+            .seed(5)
+            .jobs(8)
+            .maximize(&bounds, f)
+            .unwrap();
+        assert_eq!(sequential, parallel2);
+        assert_eq!(sequential, parallel8);
     }
 }

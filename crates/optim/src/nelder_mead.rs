@@ -82,7 +82,7 @@ impl NelderMead {
 }
 
 impl Optimizer for NelderMead {
-    fn maximize<F: Fn(&[f64]) -> f64>(&self, bounds: &Bounds, f: F) -> Result<OptimResult> {
+    fn maximize<F: Fn(&[f64]) -> f64 + Sync>(&self, bounds: &Bounds, f: F) -> Result<OptimResult> {
         if self.initial_step <= 0.0 {
             return Err(OptimError::InvalidParameter("initial step must be > 0"));
         }
@@ -266,8 +266,7 @@ mod tests {
     fn rosenbrock_valley() {
         // Maximise the negated Rosenbrock; optimum 0 at (1, 1).
         let bounds = Bounds::symmetric(2, 3.0).unwrap();
-        let f =
-            |x: &[f64]| -((1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2));
+        let f = |x: &[f64]| -((1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2));
         let r = NelderMead::new()
             .max_iterations(5000)
             .start(vec![-1.0, 1.0])
@@ -290,14 +289,18 @@ mod tests {
     #[test]
     fn start_dimension_checked() {
         let bounds = Bounds::symmetric(2, 1.0).unwrap();
-        let r = NelderMead::new().start(vec![0.0]).maximize(&bounds, |_| 0.0);
+        let r = NelderMead::new()
+            .start(vec![0.0])
+            .maximize(&bounds, |_| 0.0);
         assert!(matches!(r, Err(OptimError::InvalidParameter(_))));
     }
 
     #[test]
     fn invalid_step_rejected() {
         let bounds = Bounds::symmetric(1, 1.0).unwrap();
-        let r = NelderMead::new().initial_step(0.0).maximize(&bounds, |_| 0.0);
+        let r = NelderMead::new()
+            .initial_step(0.0)
+            .maximize(&bounds, |_| 0.0);
         assert!(r.is_err());
     }
 

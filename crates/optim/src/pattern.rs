@@ -105,7 +105,7 @@ impl PatternSearch {
 }
 
 impl Optimizer for PatternSearch {
-    fn maximize<F: Fn(&[f64]) -> f64>(&self, bounds: &Bounds, f: F) -> Result<OptimResult> {
+    fn maximize<F: Fn(&[f64]) -> f64 + Sync>(&self, bounds: &Bounds, f: F) -> Result<OptimResult> {
         if self.initial_step <= 0.0 || self.min_step <= 0.0 {
             return Err(OptimError::InvalidParameter("steps must be positive"));
         }
@@ -138,22 +138,12 @@ impl Optimizer for PatternSearch {
                 self.explore(bounds, &f, &base, base_val, step, &mut evaluations);
             if probe_val > base_val {
                 // Pattern move: jump again along the improving direction.
-                let pattern: Vec<f64> = probe
-                    .iter()
-                    .zip(&base)
-                    .map(|(p, b)| p + (p - b))
-                    .collect();
+                let pattern: Vec<f64> = probe.iter().zip(&base).map(|(p, b)| p + (p - b)).collect();
                 let pattern = bounds.clamp(&pattern);
                 let pattern_val = guard(f(&pattern));
                 evaluations += 1;
-                let (refined, refined_val) = self.explore(
-                    bounds,
-                    &f,
-                    &pattern,
-                    pattern_val,
-                    step,
-                    &mut evaluations,
-                );
+                let (refined, refined_val) =
+                    self.explore(bounds, &f, &pattern, pattern_val, step, &mut evaluations);
                 if refined_val > probe_val {
                     base = refined;
                     base_val = refined_val;
@@ -185,9 +175,7 @@ mod tests {
     #[test]
     fn converges_on_quadratic() {
         let bounds = Bounds::symmetric(3, 1.0).unwrap();
-        let f = |x: &[f64]| {
-            -(x[0] - 0.4).powi(2) - (x[1] + 0.3).powi(2) - (x[2] - 0.1).powi(2)
-        };
+        let f = |x: &[f64]| -(x[0] - 0.4).powi(2) - (x[1] + 0.3).powi(2) - (x[2] - 0.1).powi(2);
         let r = PatternSearch::new().maximize(&bounds, f).unwrap();
         assert!(r.value > -1e-8, "value {}", r.value);
         assert!((r.x[0] - 0.4).abs() < 1e-4);

@@ -1,4 +1,4 @@
-use rand::{Rng, SeedableRng};
+use numkit::rng::Rng;
 
 use crate::common::guard;
 use crate::{Bounds, OptimError, OptimResult, Optimizer, Result};
@@ -89,7 +89,7 @@ impl ParticleSwarm {
 }
 
 impl Optimizer for ParticleSwarm {
-    fn maximize<F: Fn(&[f64]) -> f64>(&self, bounds: &Bounds, f: F) -> Result<OptimResult> {
+    fn maximize<F: Fn(&[f64]) -> f64 + Sync>(&self, bounds: &Bounds, f: F) -> Result<OptimResult> {
         if self.swarm_size < 2 {
             return Err(OptimError::InvalidParameter("swarm size must be >= 2"));
         }
@@ -100,7 +100,7 @@ impl Optimizer for ParticleSwarm {
         }
         let n = bounds.dimension();
         let widths = bounds.widths();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::new(self.seed);
 
         let mut positions: Vec<Vec<f64>> = (0..self.swarm_size)
             .map(|_| bounds.sample(&mut rng))
@@ -109,7 +109,7 @@ impl Optimizer for ParticleSwarm {
             .map(|_| {
                 widths
                     .iter()
-                    .map(|w| rng.gen_range(-0.1 * w..=0.1 * w))
+                    .map(|w| rng.uniform(-0.1 * w, 0.1 * w))
                     .collect()
             })
             .collect();
@@ -129,8 +129,8 @@ impl Optimizer for ParticleSwarm {
         for _ in 0..self.iterations {
             for i in 0..self.swarm_size {
                 for d in 0..n {
-                    let r1: f64 = rng.gen();
-                    let r2: f64 = rng.gen();
+                    let r1 = rng.next_f64();
+                    let r2 = rng.next_f64();
                     let v = self.inertia * velocities[i][d]
                         + self.cognitive * r1 * (personal_best[i][d] - positions[i][d])
                         + self.social * r2 * (global_best[d] - positions[i][d]);

@@ -1,4 +1,4 @@
-use rand::SeedableRng;
+use numkit::rng::Rng;
 
 use crate::common::guard;
 use crate::{Bounds, OptimError, OptimResult, Optimizer, Result};
@@ -41,11 +41,11 @@ impl RandomSearch {
 }
 
 impl Optimizer for RandomSearch {
-    fn maximize<F: Fn(&[f64]) -> f64>(&self, bounds: &Bounds, f: F) -> Result<OptimResult> {
+    fn maximize<F: Fn(&[f64]) -> f64 + Sync>(&self, bounds: &Bounds, f: F) -> Result<OptimResult> {
         if self.samples == 0 {
             return Err(OptimError::InvalidParameter("samples must be >= 1"));
         }
-        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::new(self.seed);
         let mut best = bounds.center();
         let mut best_val = guard(f(&best));
         for _ in 0..self.samples {
@@ -77,7 +77,10 @@ mod tests {
         let bounds = Bounds::symmetric(3, 1.0).unwrap();
         let f = |x: &[f64]| -x.iter().map(|v| v * v).sum::<f64>();
         let small = RandomSearch::new(10).seed(1).maximize(&bounds, f).unwrap();
-        let large = RandomSearch::new(10_000).seed(1).maximize(&bounds, f).unwrap();
+        let large = RandomSearch::new(10_000)
+            .seed(1)
+            .maximize(&bounds, f)
+            .unwrap();
         assert!(large.value >= small.value);
     }
 

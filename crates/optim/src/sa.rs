@@ -1,6 +1,6 @@
-use rand::{Rng, SeedableRng};
+use numkit::rng::Rng;
 
-use crate::common::{guard, sample_standard_normal};
+use crate::common::guard;
 use crate::{Bounds, OptimError, OptimResult, Optimizer, Result};
 
 /// Simulated annealing with Gaussian moves and geometric cooling.
@@ -111,9 +111,9 @@ impl SimulatedAnnealing {
 }
 
 impl Optimizer for SimulatedAnnealing {
-    fn maximize<F: Fn(&[f64]) -> f64>(&self, bounds: &Bounds, f: F) -> Result<OptimResult> {
+    fn maximize<F: Fn(&[f64]) -> f64 + Sync>(&self, bounds: &Bounds, f: F) -> Result<OptimResult> {
         self.validate()?;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::new(self.seed);
         let widths = bounds.widths();
 
         let mut current = bounds.center();
@@ -136,13 +136,13 @@ impl Optimizer for SimulatedAnnealing {
                 let candidate: Vec<f64> = current
                     .iter()
                     .zip(&widths)
-                    .map(|(x, w)| x + frac * w * sample_standard_normal(&mut rng))
+                    .map(|(x, w)| x + frac * w * rng.normal())
                     .collect();
                 let candidate = bounds.clamp(&candidate);
                 let v = guard(f(&candidate));
                 evaluations += 1;
                 let delta = v - current_val;
-                if delta >= 0.0 || rng.gen::<f64>() < (delta / temperature).exp() {
+                if delta >= 0.0 || rng.next_f64() < (delta / temperature).exp() {
                     current = candidate;
                     current_val = v;
                     if v > best_val {
@@ -175,7 +175,10 @@ mod tests {
     fn finds_quadratic_maximum() {
         let bounds = Bounds::symmetric(3, 1.0).unwrap();
         let f = |x: &[f64]| -(x[0] - 0.3).powi(2) - (x[1] + 0.5).powi(2) - x[2] * x[2];
-        let r = SimulatedAnnealing::new().seed(7).maximize(&bounds, f).unwrap();
+        let r = SimulatedAnnealing::new()
+            .seed(7)
+            .maximize(&bounds, f)
+            .unwrap();
         assert!(r.value > -1e-3, "value {}", r.value);
         assert!((r.x[0] - 0.3).abs() < 0.05);
         assert!((r.x[1] + 0.5).abs() < 0.05);
@@ -186,9 +189,16 @@ mod tests {
         // Optimum outside the box: SA must report a point on the boundary.
         let bounds = Bounds::symmetric(2, 1.0).unwrap();
         let f = |x: &[f64]| x[0] + x[1];
-        let r = SimulatedAnnealing::new().seed(3).maximize(&bounds, f).unwrap();
+        let r = SimulatedAnnealing::new()
+            .seed(3)
+            .maximize(&bounds, f)
+            .unwrap();
         assert!(bounds.contains(&r.x));
-        assert!(r.value > 1.9, "should approach the corner (1,1): {}", r.value);
+        assert!(
+            r.value > 1.9,
+            "should approach the corner (1,1): {}",
+            r.value
+        );
     }
 
     #[test]
@@ -205,15 +215,25 @@ mod tests {
             .moves_per_temperature(100)
             .maximize(&bounds, f)
             .unwrap();
-        assert!((r.x[0] - 0.7).abs() < 0.05, "stuck at local optimum: {:?}", r.x);
+        assert!(
+            (r.x[0] - 0.7).abs() < 0.05,
+            "stuck at local optimum: {:?}",
+            r.x
+        );
     }
 
     #[test]
     fn deterministic_per_seed() {
         let bounds = Bounds::symmetric(2, 1.0).unwrap();
         let f = |x: &[f64]| -x[0] * x[0] - x[1] * x[1];
-        let a = SimulatedAnnealing::new().seed(9).maximize(&bounds, f).unwrap();
-        let b = SimulatedAnnealing::new().seed(9).maximize(&bounds, f).unwrap();
+        let a = SimulatedAnnealing::new()
+            .seed(9)
+            .maximize(&bounds, f)
+            .unwrap();
+        let b = SimulatedAnnealing::new()
+            .seed(9)
+            .maximize(&bounds, f)
+            .unwrap();
         assert_eq!(a, b);
     }
 

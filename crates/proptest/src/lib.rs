@@ -1,0 +1,427 @@
+//! In-tree property-testing shim.
+//!
+//! The workspace must build in network-restricted environments, so it
+//! cannot fetch the registry `proptest` crate. This crate vendors the
+//! *subset* of proptest's API that the workspace's property tests use —
+//! the [`proptest!`] macro, [`Strategy`] with `prop_map`, range and tuple
+//! strategies, `prop::collection::vec`, `prop::sample::select`,
+//! [`any`]`::<bool>()` and the `prop_assert*` macros — on top of a seeded
+//! SplitMix64 generator.
+//!
+//! Differences from upstream proptest, by design:
+//!
+//! * **No shrinking.** A failing case panics with the generated values in
+//!   scope; rerun with `PROPTEST_CASES=1` and the printed assertion to
+//!   debug. Inputs here are small enough that shrinking buys little.
+//! * **Deterministic.** Case `i` of test `t` always sees the same values
+//!   (seeded from the test's name), so CI failures reproduce locally.
+//! * **32 cases per property** by default; override with the
+//!   `PROPTEST_CASES` environment variable.
+
+#![forbid(unsafe_code)]
+
+/// Strategy trait and combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A recipe for generating values of `Value` from a seeded RNG.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            rng.uniform(self.start, self.end)
+        }
+    }
+
+    impl Strategy for Range<usize> {
+        type Value = usize;
+        fn generate(&self, rng: &mut TestRng) -> usize {
+            self.start + rng.below((self.end - self.start) as u64) as usize
+        }
+    }
+
+    impl Strategy for Range<u64> {
+        type Value = u64;
+        fn generate(&self, rng: &mut TestRng) -> u64 {
+            self.start + rng.below(self.end - self.start)
+        }
+    }
+
+    impl Strategy for Range<i32> {
+        type Value = i32;
+        fn generate(&self, rng: &mut TestRng) -> i32 {
+            self.start + rng.below((self.end - self.start) as u64) as i32
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+    }
+
+    /// Types with a canonical strategy (only what the workspace needs).
+    pub trait Arbitrary {
+        /// The canonical strategy for this type.
+        type Strategy: Strategy<Value = Self>;
+        /// Returns the canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// Canonical strategy for `bool`: a fair coin.
+    pub struct AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.below(2) == 1
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = AnyBool;
+        fn arbitrary() -> AnyBool {
+            AnyBool
+        }
+    }
+}
+
+/// Canonical strategy for a type: `any::<bool>()` etc.
+pub fn any<A: strategy::Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Namespaced strategy constructors mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        use std::ops::Range;
+
+        /// Anything usable as a collection size: a fixed length or a
+        /// half-open range of lengths.
+        pub trait IntoSizeRange {
+            /// Lower bound (inclusive) and upper bound (exclusive).
+            fn bounds(&self) -> (usize, usize);
+        }
+
+        impl IntoSizeRange for usize {
+            fn bounds(&self) -> (usize, usize) {
+                (*self, *self + 1)
+            }
+        }
+
+        impl IntoSizeRange for Range<usize> {
+            fn bounds(&self) -> (usize, usize) {
+                (self.start, self.end)
+            }
+        }
+
+        /// Strategy for `Vec`s of values drawn from `element`.
+        pub struct VecStrategy<S> {
+            element: S,
+            min: usize,
+            max: usize,
+        }
+
+        /// `Vec` strategy with a fixed or ranged length, like
+        /// `proptest::collection::vec`.
+        pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+            let (min, max) = size.bounds();
+            assert!(min < max, "vec: empty size range");
+            VecStrategy { element, min, max }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = self.min + rng.below((self.max - self.min) as u64) as usize;
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Strategy choosing uniformly from a fixed list.
+        pub struct Select<T> {
+            options: Vec<T>,
+        }
+
+        /// Uniform choice among `options`, like `proptest::sample::select`.
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select: empty option list");
+            Select { options }
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn generate(&self, rng: &mut TestRng) -> T {
+                self.options[rng.below(self.options.len() as u64) as usize].clone()
+            }
+        }
+    }
+}
+
+/// Seeded generation machinery used by the [`proptest!`] macro.
+pub mod test_runner {
+    /// Error type test-case bodies may return with `Err(...)`; bodies in
+    /// this shim normally panic via `prop_assert!` instead, but the real
+    /// proptest allows `return Ok(())` to skip degenerate draws, so the
+    /// macro wraps each case body in a closure returning this.
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+
+    /// SplitMix64 generator driving all strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Generator for case `case` of the test seeded by `base`.
+        pub fn new(base: u64, case: u64) -> Self {
+            let mut boot = TestRng {
+                state: base ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            };
+            let state = boot.next_u64() ^ case;
+            TestRng { state }
+        }
+
+        /// Next raw 64-bit output.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[lo, hi)`.
+        pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+            let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            let v = lo + u * (hi - lo);
+            if v >= hi && hi > lo {
+                lo
+            } else {
+                v
+            }
+        }
+
+        /// Uniform `u64` in `[0, n)` (unbiased).
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0, "below: n must be positive");
+            let zone = u64::MAX - (u64::MAX % n);
+            loop {
+                let v = self.next_u64();
+                if v < zone {
+                    return v % n;
+                }
+            }
+        }
+    }
+
+    /// Number of cases to run per property (`PROPTEST_CASES`, default 32).
+    pub fn cases() -> u64 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(32)
+    }
+
+    /// Stable seed derived from a test's name (FNV-1a).
+    pub fn name_seed(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+}
+
+/// Declares property tests: each `fn` runs its body for `PROPTEST_CASES`
+/// seeded cases with the named arguments drawn from their strategies.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cases = $crate::test_runner::cases();
+            let base = $crate::test_runner::name_seed(stringify!($name));
+            for case in 0..cases {
+                let mut __proptest_rng = $crate::test_runner::TestRng::new(base, case);
+                $( let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __proptest_rng); )+
+                // Wrapping the body in a `Result` closure lets cases use
+                // `return Ok(())` to skip degenerate draws, as with the
+                // real proptest.
+                #[allow(clippy::redundant_closure_call)]
+                let __proptest_outcome: ::core::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > = (|| {
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                })();
+                if let ::core::result::Result::Err(e) = __proptest_outcome {
+                    panic!("property '{}' case {} failed: {}", stringify!($name), case, e);
+                }
+            }
+        }
+    )*};
+}
+
+/// Skips the current case when the assumption does not hold. The shim
+/// does not re-draw rejected cases (no shrinking either); the case simply
+/// counts as passed, matching how sparse rejections behave in practice.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Ok(());
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
+/// Asserts a property; panics (failing the case) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Asserts equality of two property values.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// One-stop import mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{any, prop, prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_and_vecs_generate_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::new(1, 0);
+        for _ in 0..100 {
+            let x = Strategy::generate(&(-2.0..3.0f64), &mut rng);
+            assert!((-2.0..3.0).contains(&x));
+            let n = Strategy::generate(&(1usize..5), &mut rng);
+            assert!((1..5).contains(&n));
+        }
+        let v = Strategy::generate(&prop::collection::vec(0.0..1.0f64, 2..6), &mut rng);
+        assert!((2..6).contains(&v.len()));
+        assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+    }
+
+    #[test]
+    fn select_and_any_bool() {
+        let mut rng = crate::test_runner::TestRng::new(2, 0);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            let v = Strategy::generate(&prop::sample::select(vec![0usize, 1, 2]), &mut rng);
+            seen[v] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+        let mut heads = 0;
+        for _ in 0..200 {
+            if Strategy::generate(&any::<bool>(), &mut rng) {
+                heads += 1;
+            }
+        }
+        assert!((50..150).contains(&heads));
+    }
+
+    #[test]
+    fn prop_map_and_tuples() {
+        let mut rng = crate::test_runner::TestRng::new(3, 0);
+        let s = (0.0..1.0f64, 1.0..2.0f64).prop_map(|(a, b)| a + b);
+        for _ in 0..100 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!((1.0..3.0).contains(&v));
+        }
+    }
+
+    proptest! {
+        /// The macro itself: generated values respect their strategies.
+        #[test]
+        fn macro_generates_in_range(x in -1.0..1.0f64, n in 0u64..10, v in prop::collection::vec(0.0..1.0f64, 3)) {
+            prop_assert!((-1.0..1.0).contains(&x));
+            prop_assert!(n < 10);
+            prop_assert_eq!(v.len(), 3);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let a = crate::test_runner::TestRng::new(crate::test_runner::name_seed("t"), 5);
+        let b = crate::test_runner::TestRng::new(crate::test_runner::name_seed("t"), 5);
+        assert_eq!({ a }.next_u64(), { b }.next_u64());
+    }
+}

@@ -35,7 +35,10 @@ impl fmt::Display for RsmError {
                 "response length mismatch: {runs} design runs but {responses} responses"
             ),
             RsmError::NotEstimable => {
-                write!(f, "design cannot estimate the model (singular information matrix)")
+                write!(
+                    f,
+                    "design cannot estimate the model (singular information matrix)"
+                )
             }
             RsmError::NoStationaryPoint => {
                 write!(f, "fitted surface has no isolated stationary point")

@@ -93,11 +93,7 @@ impl ResponseSurface {
         })?;
 
         let fitted = x.mul_vec(&coefficients)?;
-        let residuals: Vec<f64> = responses
-            .iter()
-            .zip(&fitted)
-            .map(|(y, f)| y - f)
-            .collect();
+        let residuals: Vec<f64> = responses.iter().zip(&fitted).map(|(y, f)| y - f).collect();
         let sse = stats::sum_of_squares(&residuals);
         let sst = stats::total_sum_of_squares(responses);
         let r_squared = if sst > 0.0 { 1.0 - sse / sst } else { 1.0 };
@@ -331,7 +327,11 @@ mod tests {
         // Reproduce the paper's workflow on a synthetic truth: 10 D-optimal
         // runs determine all 10 coefficients exactly.
         let model = ModelSpec::quadratic(3);
-        let design = DOptimal::new(3, model.clone()).runs(10).seed(1).build().unwrap();
+        let design = DOptimal::new(3, model.clone())
+            .runs(10)
+            .seed(1)
+            .build()
+            .unwrap();
         let truth = eq9();
         let responses: Vec<f64> = design
             .points()
@@ -365,7 +365,12 @@ mod tests {
         assert!(s.r_squared > 0.99 && s.r_squared < 1.0);
         assert!(s.adj_r_squared <= s.r_squared);
         assert!(s.sse > 0.0);
-        assert!(s.press >= s.sse, "PRESS {} should exceed SSE {}", s.press, s.sse);
+        assert!(
+            s.press >= s.sse,
+            "PRESS {} should exceed SSE {}",
+            s.press,
+            s.sse
+        );
         let se = fit.coefficient_standard_errors().unwrap();
         assert_eq!(se.len(), 6);
         assert!(se.iter().all(|v| *v > 0.0));
@@ -408,8 +413,7 @@ mod tests {
 
     #[test]
     fn degenerate_design_not_estimable() {
-        let design =
-            Design::from_points(2, vec![vec![0.0, 0.0]; 4]).unwrap();
+        let design = Design::from_points(2, vec![vec![0.0, 0.0]; 4]).unwrap();
         let r = ResponseSurface::fit(&design, ModelSpec::linear(2), &[1.0; 4]);
         assert!(matches!(r, Err(RsmError::NotEstimable)));
     }
@@ -418,10 +422,8 @@ mod tests {
     fn predict_natural_units() {
         use doe::{DesignSpace, Factor};
         let design = full_factorial(1, 3).unwrap();
-        let fit = ResponseSurface::fit(&design, ModelSpec::quadratic(1), &[4.0, 0.0, 4.0])
-            .unwrap(); // y = 4x²
-        let space =
-            DesignSpace::new(vec![Factor::new("a", 0.0, 10.0).unwrap()]).unwrap();
+        let fit = ResponseSurface::fit(&design, ModelSpec::quadratic(1), &[4.0, 0.0, 4.0]).unwrap(); // y = 4x²
+        let space = DesignSpace::new(vec![Factor::new("a", 0.0, 10.0).unwrap()]).unwrap();
         // natural 7.5 → coded 0.5 → y = 1
         let y = fit.predict_natural(&space, &[7.5]).unwrap();
         assert!((y - 1.0).abs() < 1e-9);
@@ -431,7 +433,11 @@ mod tests {
     #[test]
     fn display_resembles_eq9() {
         let model = ModelSpec::quadratic(3);
-        let design = DOptimal::new(3, model.clone()).runs(10).seed(1).build().unwrap();
+        let design = DOptimal::new(3, model.clone())
+            .runs(10)
+            .seed(1)
+            .build()
+            .unwrap();
         let truth = eq9();
         let responses: Vec<f64> = design
             .points()
@@ -466,8 +472,7 @@ mod tests {
         // Saturated fits cannot estimate prediction error.
         let small = full_factorial(2, 3).unwrap();
         let ys: Vec<f64> = small.points().iter().map(|p| p[0]).collect();
-        let saturated =
-            ResponseSurface::fit(&small, ModelSpec::quadratic(2), &ys).unwrap();
+        let saturated = ResponseSurface::fit(&small, ModelSpec::quadratic(2), &ys).unwrap();
         // 9 runs, 6 terms: not saturated; take a truly saturated case:
         assert!(saturated.prediction_standard_error(&[0.0, 0.0]).is_some());
     }

@@ -142,14 +142,11 @@ pub fn lack_of_fit(surface: &ResponseSurface, design: &Design) -> Result<LackOfF
 #[cfg(test)]
 mod tests {
     use super::*;
-    use doe::{central_composite, full_factorial, ModelSpec};
     use crate::ResponseSurface;
+    use doe::{central_composite, full_factorial, ModelSpec};
 
     /// CCD with centre replicates and deterministic "noise".
-    fn fit_with_truth<F: Fn(&[f64]) -> f64>(
-        truth: F,
-        noise: f64,
-    ) -> (ResponseSurface, Design) {
+    fn fit_with_truth<F: Fn(&[f64]) -> f64>(truth: F, noise: f64) -> (ResponseSurface, Design) {
         let design = central_composite(2, 1.0, 4).unwrap();
         let model = ModelSpec::quadratic(2);
         let ys: Vec<f64> = design
@@ -166,8 +163,7 @@ mod tests {
 
     #[test]
     fn quadratic_truth_shows_no_lack_of_fit() {
-        let (fit, design) =
-            fit_with_truth(|p| 3.0 + p[0] - 2.0 * p[1] + p[0] * p[0], 0.01);
+        let (fit, design) = fit_with_truth(|p| 3.0 + p[0] - 2.0 * p[1] + p[0] * p[0], 0.01);
         let lof = lack_of_fit(&fit, &design).unwrap();
         assert!(
             !lof.is_significant(5.0),
@@ -181,8 +177,10 @@ mod tests {
     #[test]
     fn cubic_truth_is_flagged() {
         // Strong cubic the quadratic basis cannot represent.
-        let (fit, design) =
-            fit_with_truth(|p| 20.0 * p[0] * p[0] * p[0] + 20.0 * p[1] * p[0] * p[1], 0.01);
+        let (fit, design) = fit_with_truth(
+            |p| 20.0 * p[0] * p[0] * p[0] + 20.0 * p[1] * p[0] * p[1],
+            0.01,
+        );
         let lof = lack_of_fit(&fit, &design).unwrap();
         assert!(
             lof.is_significant(5.0),

@@ -105,9 +105,7 @@ mod tests {
             .points()
             .iter()
             .enumerate()
-            .map(|(i, p)| {
-                model.predict(truth, p) + if i % 2 == 0 { 0.05 } else { -0.05 }
-            })
+            .map(|(i, p)| model.predict(truth, p) + if i % 2 == 0 { 0.05 } else { -0.05 })
             .collect()
     }
 

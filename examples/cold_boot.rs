@@ -42,10 +42,7 @@ fn main() {
     }
     for (threshold, label, at) in &milestones {
         match at {
-            Some(t) => println!(
-                "{threshold} V  after {:>5.1} min — {label}",
-                t / 60.0
-            ),
+            Some(t) => println!("{threshold} V  after {:>5.1} min — {label}", t / 60.0),
             None => println!("{threshold} V  not reached within the horizon — {label}"),
         }
     }
@@ -53,10 +50,7 @@ fn main() {
     println!(
         "\nafter 10 h: {} transmissions, final voltage {:.3} V, \
          {} tuning cycles ({} coarse moves)",
-        outcome.transmissions,
-        outcome.final_voltage,
-        outcome.watchdog_wakes,
-        outcome.coarse_moves
+        outcome.transmissions, outcome.final_voltage, outcome.watchdog_wakes, outcome.coarse_moves
     );
     println!("{}", outcome.energy);
 

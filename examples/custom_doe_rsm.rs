@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         holdout_truth.push(flow.evaluate_coded(point)?);
     }
 
-    println!("{:<22} {:>5} {:>8} {:>12}", "design", "runs", "D-eff %", "holdout RMSE");
+    println!(
+        "{:<22} {:>5} {:>8} {:>12}",
+        "design", "runs", "D-eff %", "holdout RMSE"
+    );
     let designs: Vec<(&str, Design)> = vec![
         ("full factorial 3^3", full_factorial(3, 3)?),
         ("face-centred CCD", central_composite(3, 1.0, 1)?),

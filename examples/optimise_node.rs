@@ -33,13 +33,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let f = |x: &[f64]| surface.predict(x);
     let runs: Vec<(&str, optim::OptimResult)> = vec![
-        ("simulated annealing", SimulatedAnnealing::new().seed(3).maximize(&bounds, f)?),
-        ("genetic algorithm", GeneticAlgorithm::new().seed(3).maximize(&bounds, f)?),
-        ("particle swarm", ParticleSwarm::new().seed(3).maximize(&bounds, f)?),
+        (
+            "simulated annealing",
+            SimulatedAnnealing::new().seed(3).maximize(&bounds, f)?,
+        ),
+        (
+            "genetic algorithm",
+            GeneticAlgorithm::new().seed(3).maximize(&bounds, f)?,
+        ),
+        (
+            "particle swarm",
+            ParticleSwarm::new().seed(3).maximize(&bounds, f)?,
+        ),
         ("nelder-mead", NelderMead::new().maximize(&bounds, f)?),
         ("pattern search", PatternSearch::new().maximize(&bounds, f)?),
-        ("multi-start (8)", MultiStart::new(8).seed(3).maximize(&bounds, f)?),
-        ("random search", RandomSearch::new(2000).seed(3).maximize(&bounds, f)?),
+        (
+            "multi-start (8)",
+            MultiStart::new(8).seed(3).maximize(&bounds, f)?,
+        ),
+        (
+            "random search",
+            RandomSearch::new(2000).seed(3).maximize(&bounds, f)?,
+        ),
     ];
     for (name, result) in &runs {
         let config = coded_to_config(flow.space(), &result.x)?;

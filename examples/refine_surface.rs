@@ -19,8 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let best1 = first.best_optimised().expect("optimised designs exist");
     println!(
         "optimum: {} tx at clock {:.0} Hz, watchdog {:.0} s, interval {:.3} s",
-        best1.simulated, best1.config.clock_hz, best1.config.watchdog_s,
-        best1.config.tx_interval_s
+        best1.simulated, best1.config.clock_hz, best1.config.watchdog_s, best1.config.tx_interval_s
     );
 
     println!("\n== phase 2: 35 % zoom around the optimum ==");
@@ -35,8 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let best2 = second.best_optimised().expect("optimised designs exist");
     println!(
         "refined optimum: {} tx at clock {:.0} Hz, watchdog {:.0} s, interval {:.3} s",
-        best2.simulated, best2.config.clock_hz, best2.config.watchdog_s,
-        best2.config.tx_interval_s
+        best2.simulated, best2.config.clock_hz, best2.config.watchdog_s, best2.config.tx_interval_s
     );
     println!(
         "refined fit: R² = {:.4} over {} runs (non-saturated)",

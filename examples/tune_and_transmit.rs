@@ -31,10 +31,12 @@ fn main() {
 
     // A coarse ASCII rendering of the Fig. 5 voltage waveform.
     println!("\nsupercapacitor voltage (one column per 2 minutes):");
-    let (v_min, v_max) = outcome.trace.iter().fold(
-        (f64::INFINITY, f64::NEG_INFINITY),
-        |(lo, hi), s| (lo.min(s.voltage), hi.max(s.voltage)),
-    );
+    let (v_min, v_max) = outcome
+        .trace
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), s| {
+            (lo.min(s.voltage), hi.max(s.voltage))
+        });
     let rows = 10;
     for row in (0..=rows).rev() {
         let level = v_min + (v_max - v_min) * row as f64 / rows as f64;

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 verification, runnable fully offline (the workspace has no
+# registry dependencies: `proptest` is vendored in crates/proptest and
+# randomness comes from the in-tree numkit::rng).
+#
+#   scripts/verify.sh
+#
+# Runs: release build, the full test suite, rustfmt in check mode and
+# clippy with warnings denied. Fails on the first broken step.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release --offline =="
+cargo build --release --offline
+
+echo "== cargo test --offline =="
+cargo test -q --offline
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --offline --all-targets -- -D warnings
+
+echo "verify: all checks passed"

@@ -25,7 +25,10 @@ fn sequential_refinement_end_to_end() {
 
     let b1 = first.best_optimised().expect("phase 1 optimum").simulated;
     let b2 = second.best_optimised().expect("phase 2 optimum").simulated;
-    assert!(b2 as f64 >= 0.85 * b1 as f64, "refinement regressed {b1} -> {b2}");
+    assert!(
+        b2 as f64 >= 0.85 * b1 as f64,
+        "refinement regressed {b1} -> {b2}"
+    );
 
     // Phase 2 is non-saturated: coefficient significance is available.
     assert!(second.surface.t_statistics().is_some());
@@ -42,8 +45,8 @@ fn stepwise_keeps_the_dominant_interval_terms() {
     let responses = refined.simulate_design(&design).expect("simulate");
     let surface = refined.fit(&design, &responses).expect("fit");
 
-    let reduced = backward_eliminate(&design, surface.model().clone(), &responses, 2.0)
-        .expect("eliminates");
+    let reduced =
+        backward_eliminate(&design, surface.model().clone(), &responses, 2.0).expect("eliminates");
     let kept: Vec<String> = reduced
         .surface
         .model()
@@ -64,8 +67,8 @@ fn lack_of_fit_on_simulated_responses() {
     let flow = fast_flow();
     let design = central_composite(3, 1.0, 3).expect("valid CCD");
     let responses = flow.simulate_design(&design).expect("simulate");
-    let surface = ResponseSurface::fit(&design, ModelSpec::quadratic(3), &responses)
-        .expect("estimable");
+    let surface =
+        ResponseSurface::fit(&design, ModelSpec::quadratic(3), &responses).expect("estimable");
     let lof = lack_of_fit(&surface, &design).expect("replicated design");
     // The simulator is deterministic, so centre replicates are identical:
     // pure error is exactly zero and any misfit shows up as lack of fit.
@@ -109,8 +112,8 @@ fn fractional_factorial_screens_the_interval() {
     // 2^(3-1) half fraction with C = AB.
     let design = fractional_factorial(3, &[&[0, 1]]).expect("valid");
     let responses = flow.simulate_design(&design).expect("simulate");
-    let surface = ResponseSurface::fit(&design, ModelSpec::linear(3), &responses)
-        .expect("estimable");
+    let surface =
+        ResponseSurface::fit(&design, ModelSpec::linear(3), &responses).expect("estimable");
     let beta = surface.coefficients();
     assert!(
         beta[3].abs() > beta[1].abs() && beta[3].abs() > beta[2].abs(),
@@ -123,15 +126,18 @@ fn fractional_factorial_screens_the_interval() {
 /// walk deterministically, and never chases the drift into a dead store.
 #[test]
 fn drift_scenario_is_stable() {
-    let vibration =
-        VibrationProfile::random_walk(0.5886, 80.0, 0.5, 60.0, 60, 69.0, 96.0, 17);
+    let vibration = VibrationProfile::random_walk(0.5886, 80.0, 0.5, 60.0, 60, 69.0, 96.0, 17);
     let node = NodeConfig::new(4e6, 300.0, 1.0).expect("valid");
     let mut cfg = SystemConfig::paper(node).with_vibration(vibration);
     cfg.trace_interval = None;
     let a = EnvelopeSim::new(cfg.clone()).run();
     let b = EnvelopeSim::new(cfg).run();
     assert_eq!(a, b, "drift scenario must stay deterministic");
-    assert!(a.final_voltage > 1.5, "store collapsed: {}", a.final_voltage);
+    assert!(
+        a.final_voltage > 1.5,
+        "store collapsed: {}",
+        a.final_voltage
+    );
     assert!(a.coarse_moves >= 1, "drift must trigger retuning");
 }
 
@@ -140,8 +146,7 @@ fn drift_scenario_is_stable() {
 #[test]
 fn bandwidth_explains_the_tuning_requirement() {
     let g = harvester::Microgenerator::paper();
-    let bw = harvester::half_power_bandwidth(&g, 80.0, 0.5886, 2.8)
-        .expect("conducting at 60 mg");
+    let bw = harvester::half_power_bandwidth(&g, 80.0, 0.5886, 2.8).expect("conducting at 60 mg");
     assert!(
         bw < 5.0,
         "a 5 Hz step must fall outside the half-power band (bw = {bw})"

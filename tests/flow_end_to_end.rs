@@ -25,8 +25,7 @@ fn sa_and_ga_optima_are_equivalent() {
     let [sa, ga] = &report.optimised[..] else {
         panic!("expected exactly two optimised designs");
     };
-    let gap = sa.simulated.abs_diff(ga.simulated) as f64
-        / sa.simulated.max(ga.simulated) as f64;
+    let gap = sa.simulated.abs_diff(ga.simulated) as f64 / sa.simulated.max(ga.simulated) as f64;
     assert!(
         gap < 0.15,
         "SA {} and GA {} should agree within 15 %",

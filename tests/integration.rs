@@ -44,7 +44,11 @@ fn d_optimal_generalises_like_the_factorial_on_quadratic_truth() {
             .collect();
         ResponseSurface::fit(design, model.clone(), &ys).expect("estimable")
     };
-    let d10 = DOptimal::new(3, model.clone()).runs(10).seed(5).build().expect("feasible");
+    let d10 = DOptimal::new(3, model.clone())
+        .runs(10)
+        .seed(5)
+        .build()
+        .expect("feasible");
     let d27 = full_factorial(3, 3).expect("valid");
     let s10 = fit(&d10);
     let s27 = fit(&d27);
@@ -86,8 +90,16 @@ fn sa_and_ga_agree_on_eq9_maximum() {
             }
         }
     }
-    assert!(sa.value > 0.99 * best, "SA {} vs grid best {best}", sa.value);
-    assert!(ga.value > 0.99 * best, "GA {} vs grid best {best}", ga.value);
+    assert!(
+        sa.value > 0.99 * best,
+        "SA {} vs grid best {best}",
+        sa.value
+    );
+    assert!(
+        ga.value > 0.99 * best,
+        "GA {} vs grid best {best}",
+        ga.value
+    );
     assert!((sa.value - ga.value).abs() < 0.02 * best);
 
     // The paper's headline: the optimum roughly doubles the centre value.

@@ -45,8 +45,16 @@ fn engines_agree_detuned_harvest_is_negligible() {
     cfg.start_tuned = false; // position 0 = 67.6 Hz vs vibration at 75 Hz
     let env = EnvelopeSim::new(cfg.clone()).run();
     let full = FullSystemSim::new(cfg).with_dt(1e-4).run().expect("runs");
-    assert!(env.energy.harvested < 1e-4, "envelope harvested {}", env.energy.harvested);
-    assert!(full.energy.harvested < 2e-4, "full harvested {}", full.energy.harvested);
+    assert!(
+        env.energy.harvested < 1e-4,
+        "envelope harvested {}",
+        env.energy.harvested
+    );
+    assert!(
+        full.energy.harvested < 2e-4,
+        "full harvested {}",
+        full.energy.harvested
+    );
 }
 
 /// The envelope engine's harvested power matches the analytic steady
