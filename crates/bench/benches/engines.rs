@@ -11,7 +11,7 @@ use std::time::Duration;
 
 use harvester::Microgenerator;
 use wsn_bench::timing::bench;
-use wsn_node::{EnvelopeSim, FullSystemSim, NodeConfig, SystemConfig};
+use wsn_node::{EngineKind, NodeConfig, SystemConfig};
 
 fn main() {
     println!("engine benches");
@@ -24,21 +24,17 @@ fn main() {
     ] {
         let mut cfg = SystemConfig::paper(node);
         cfg.trace_interval = None;
+        let engine = EngineKind::Envelope.engine();
         bench(name, Duration::from_secs(3), || {
-            black_box(EnvelopeSim::new(cfg.clone()).run().transmissions)
+            black_box(engine.simulate(&cfg).expect("valid config").transmissions)
         });
     }
 
     let mut cfg = SystemConfig::paper(NodeConfig::original()).with_horizon(1.0);
     cfg.trace_interval = None;
+    let full = EngineKind::Full.engine_with_dt(1e-4);
     bench("full_ode/1s_dt100us", Duration::from_secs(8), || {
-        black_box(
-            FullSystemSim::new(cfg.clone())
-                .with_dt(1e-4)
-                .run()
-                .expect("valid config")
-                .final_voltage,
-        )
+        black_box(full.simulate(&cfg).expect("valid config").final_voltage)
     });
 
     let generator = Microgenerator::paper();

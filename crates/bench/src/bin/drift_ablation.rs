@@ -3,29 +3,24 @@
 //! The paper's scenario steps the frequency only twice per hour, which
 //! makes the watchdog period (`x2`) a weak effect. Real machinery drifts
 //! continuously; this bench replays a bounded random-walk frequency drift
-//! and measures whether short watchdog periods (fast re-tuning) pay for
-//! their energy — the trade-off §III describes qualitatively.
+//! (via `wsn_dse::robustness::drift_robustness`, so the ensembles share
+//! the flow's deterministic pool and memoisation) and measures whether
+//! short watchdog periods (fast re-tuning) pay for their energy — the
+//! trade-off §III describes qualitatively.
 //!
 //! Run with: `cargo run --release -p wsn-bench --bin drift_ablation`
 
-use harvester::VibrationProfile;
-use wsn_node::{EnvelopeSim, NodeConfig, SystemConfig};
+use wsn_dse::robustness::drift_robustness;
+use wsn_node::{NodeConfig, SystemConfig};
 
-fn run(watchdog: f64, clock: f64, drift_sigma: f64, seed: u64) -> u64 {
-    let vibration = VibrationProfile::random_walk(
-        0.06 * 9.81,
-        80.0,
-        drift_sigma,
-        60.0, // one drift step per minute
-        60,   // one hour
-        69.0,
-        96.0,
-        seed,
-    );
+/// Mean transmissions over a 3-seed drift ensemble (one-hour horizon,
+/// 1 s transmission interval).
+fn mean_tx(watchdog: f64, clock: f64, drift_sigma: f64, seed_base: u64) -> f64 {
     let node = NodeConfig::new(clock, watchdog, 1.0).expect("within ranges");
-    let mut cfg = SystemConfig::paper(node).with_vibration(vibration);
-    cfg.trace_interval = None;
-    EnvelopeSim::new(cfg).run().transmissions
+    let mut template = SystemConfig::paper(node);
+    template.trace_interval = None;
+    let seeds: Vec<u64> = (0..3).map(|s| seed_base + s).collect();
+    drift_robustness(&template, node, drift_sigma, &seeds, 0).mean
 }
 
 fn main() {
@@ -40,10 +35,7 @@ fn main() {
     for watchdog in [60.0, 120.0, 300.0, 600.0] {
         print!("{watchdog:<14}");
         for sigma in [0.1, 0.5, 1.0, 2.0] {
-            let mean: f64 = (0..3)
-                .map(|s| run(watchdog, 4e6, sigma, 100 + s) as f64)
-                .sum::<f64>()
-                / 3.0;
+            let mean = mean_tx(watchdog, 4e6, sigma, 100);
             print!(" {mean:>14.0}");
         }
         println!();
@@ -52,10 +44,7 @@ fn main() {
 
     println!("\nclock effect at heavy drift (1.0 Hz steps), watchdog 60 s:");
     for clock in [125e3, 1e6, 8e6] {
-        let mean: f64 = (0..3)
-            .map(|s| run(60.0, clock, 1.0, 200 + s) as f64)
-            .sum::<f64>()
-            / 3.0;
+        let mean = mean_tx(60.0, clock, 1.0, 200);
         println!("  {:<10} {mean:>8.0} tx", wsn_bench::fmt_hz(clock));
     }
 

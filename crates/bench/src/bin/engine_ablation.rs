@@ -9,7 +9,7 @@
 
 use std::time::Instant;
 
-use wsn_node::{EnvelopeSim, FullSystemSim, NodeConfig, SystemConfig};
+use wsn_node::{EngineAgreement, EngineKind, NodeConfig, SystemConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("engine ablation: accelerated envelope vs full ODE co-simulation");
@@ -46,11 +46,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cfg.trace_interval = None;
 
         let t0 = Instant::now();
-        let env = EnvelopeSim::new(cfg.clone()).run();
+        let env = EngineKind::Envelope.engine().simulate(&cfg)?;
         let t_env = t0.elapsed();
 
         let t0 = Instant::now();
-        let full = FullSystemSim::new(cfg.clone()).with_dt(1e-4).run()?;
+        let full = EngineKind::Full.engine_with_dt(1e-4).simulate(&cfg)?;
         let t_full = t0.elapsed();
 
         for (engine, out, t) in [("envelope", &env, t_env), ("full ODE", &full, t_full)] {
@@ -73,9 +73,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
         }
 
-        let dv = (env.final_voltage - full.final_voltage).abs();
-        let tx_gap = env.transmissions.abs_diff(full.transmissions);
-        println!("  agreement: |ΔV| = {:.1} mV, |Δtx| = {tx_gap}", dv * 1e3);
+        let agreement = EngineAgreement {
+            envelope: env,
+            full,
+        };
+        println!(
+            "  agreement: |ΔV| = {:.1} mV, |Δtx| = {}",
+            agreement.voltage_delta() * 1e3,
+            agreement.tx_delta()
+        );
         wsn_bench::rule(92);
     }
 

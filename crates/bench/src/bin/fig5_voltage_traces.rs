@@ -4,10 +4,13 @@
 //!
 //! Run with: `cargo run --release -p wsn-bench --bin fig5_voltage_traces`
 
-use wsn_node::{EnvelopeSim, NodeConfig, SystemConfig};
+use wsn_node::{EngineKind, NodeConfig, SystemConfig};
 
 fn trace_for(node: NodeConfig) -> (Vec<(f64, f64)>, u64) {
-    let out = EnvelopeSim::new(SystemConfig::paper(node)).run();
+    let out = EngineKind::Envelope
+        .engine()
+        .simulate(&SystemConfig::paper(node))
+        .expect("paper configuration is valid");
     (
         out.trace.iter().map(|s| (s.time, s.voltage)).collect(),
         out.transmissions,

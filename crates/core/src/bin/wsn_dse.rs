@@ -1,8 +1,8 @@
 //! `wsn-dse` — command-line front end for the reproduction.
 //!
 //! ```text
-//! wsn_dse run       [--seed N] [--runs N] [--f0 HZ] [--horizon S] [--jobs N]
-//! wsn_dse simulate  --clock HZ --watchdog S --interval S [--f0 HZ] [--horizon S] [--trace]
+//! wsn_dse run       [--seed N] [--runs N] [--f0 HZ] [--horizon S] [--jobs N] [--engine E] [--json]
+//! wsn_dse simulate  --clock HZ --watchdog S --interval S [--f0 HZ] [--horizon S] [--engine E] [--trace]
 //! wsn_dse sweep     --factor {clock|watchdog|interval} [--samples N] [--validate] [--jobs N]
 //! wsn_dse refine    [--seed N] [--shrink F] [--runs N] [--jobs N]
 //! ```
@@ -10,15 +10,24 @@
 //! `--jobs N` caps the simulation worker threads (0 or omitted: all
 //! cores; 1: sequential). Reports are bit-identical at any job count.
 //!
-//! `run` executes the full paper flow; `simulate` evaluates one
-//! configuration; `sweep` prints a Fig. 4 style panel; `refine` runs the
-//! two-phase sequential flow.
+//! `--engine envelope|full` selects the simulation engine (default:
+//! `envelope`, the accelerated energy-balance model; `full` is the
+//! fine-timestep mixed-signal co-simulation — orders of magnitude
+//! slower, so pair it with a short `--horizon`). `--dt S` overrides the
+//! full engine's analogue step.
+//!
+//! `run` executes the full paper flow (`--json` emits the report as one
+//! machine-readable line); `simulate` evaluates one configuration;
+//! `sweep` prints a Fig. 4 style panel; `refine` runs the two-phase
+//! sequential flow.
 
 use std::process::ExitCode;
 
+use std::sync::Arc;
+
 use harvester::VibrationProfile;
 use wsn_dse::DseFlow;
-use wsn_node::{EnvelopeSim, NodeConfig, SystemConfig};
+use wsn_node::{EngineKind, NodeConfig, SimEngine, SystemConfig};
 
 /// Minimal flag parser: `--key value` pairs after the subcommand.
 struct Args {
@@ -80,12 +89,29 @@ impl Args {
 fn usage() -> &'static str {
     "usage: wsn_dse <run|simulate|sweep|refine> [options]\n\
      \n\
-     run       --seed N --runs N --f0 HZ --horizon S [--csv DIR] [--jobs N]\n\
+     run       --seed N --runs N --f0 HZ --horizon S [--csv DIR] [--jobs N] [--json]\n\
      simulate  --clock HZ --watchdog S --interval S [--f0 HZ] [--horizon S] [--trace]\n\
      sweep     --factor clock|watchdog|interval [--samples N] [--validate] [--jobs N]\n\
      refine    --seed N --shrink F --runs N [--jobs N]\n\
      \n\
+     --engine envelope|full selects the simulation engine (all commands;\n\
+       default envelope; full is slow — use a short --horizon);\n\
+       --dt S overrides the full engine's analogue step\n\
      --jobs 0 (default) uses all cores; results are identical at any job count"
+}
+
+/// Builds the engine selected by `--engine` (default envelope) and the
+/// optional `--dt` analogue-step override.
+fn engine_from(args: &Args) -> Result<Arc<dyn SimEngine>, String> {
+    let kind: EngineKind = match args.get("engine") {
+        Some(name) => name.parse().map_err(|e| format!("--engine: {e}"))?,
+        None => EngineKind::Envelope,
+    };
+    match args.get_f64("dt", 0.0)? {
+        dt if dt > 0.0 => Ok(kind.engine_with_dt(dt)),
+        0.0 => Ok(kind.engine()),
+        _ => Err("--dt: expected a positive step".to_owned()),
+    }
 }
 
 fn flow_from(args: &Args) -> Result<DseFlow, String> {
@@ -101,13 +127,18 @@ fn flow_from(args: &Args) -> Result<DseFlow, String> {
         .with_template(template)
         .seed(seed)
         .doe_runs(runs)
-        .jobs(jobs))
+        .jobs(jobs)
+        .with_engine(engine_from(args)?))
 }
 
 fn cmd_run(args: &Args) -> Result<(), String> {
     let flow = flow_from(args)?;
     let report = flow.run().map_err(|e| e.to_string())?;
-    println!("{report}");
+    if args.has_flag("json") {
+        println!("{}", report.to_json());
+    } else {
+        println!("{report}");
+    }
     if let Some(dir) = args.get("csv") {
         let dir = std::path::Path::new(dir);
         std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
@@ -142,7 +173,9 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     if !args.has_flag("trace") {
         cfg.trace_interval = None;
     }
-    let out = EnvelopeSim::new(cfg).run();
+    let out = engine_from(args)?
+        .simulate(&cfg)
+        .map_err(|e| e.to_string())?;
     println!("{out}");
     if args.has_flag("trace") {
         println!("time_s,voltage_v");

@@ -1,9 +1,11 @@
+use std::sync::Arc;
+
 use doe::{DOptimal, Design, DesignSpace, ModelSpec};
 use optim::{Bounds, GeneticAlgorithm, Optimizer, SimulatedAnnealing};
 use rsm::ResponseSurface;
-use wsn_node::{EnvelopeSim, NodeConfig, SimOutcome, SystemConfig};
+use wsn_node::{EngineKind, NodeConfig, SimEngine, SimOutcome, SystemConfig};
 
-use crate::pool::SimPool;
+use crate::pool::{EvalKey, SimPool};
 use crate::report::{DesignEval, DseReport};
 use crate::space::{coded_to_config, config_to_coded, paper_design_space};
 use crate::Result;
@@ -58,6 +60,7 @@ pub struct DseFlow {
     doe_runs: usize,
     seed: u64,
     pool: SimPool,
+    engine: Arc<dyn SimEngine>,
 }
 
 impl DseFlow {
@@ -73,18 +76,41 @@ impl DseFlow {
             doe_runs: 10,
             seed: 12,
             pool: SimPool::new(0),
+            engine: EngineKind::Envelope.engine(),
         }
     }
 
     /// Replaces the simulated scenario (vibration, horizon, physics).
     /// The `node` field of the template is overwritten per design point.
-    /// Cached evaluations belong to the old scenario, so this clears the
-    /// evaluation cache.
+    /// Cache keys carry the scenario fingerprint, so old entries could
+    /// never be confused with the new scenario's — but they are also dead
+    /// weight, so the cache is dropped.
     pub fn with_template(mut self, template: SystemConfig) -> Self {
         self.template = template;
         self.template.trace_interval = None;
         self.pool.cache().clear();
         self
+    }
+
+    /// Selects the simulation engine by kind (the default is
+    /// [`EngineKind::Envelope`]). Cache keys carry the engine
+    /// discriminant, so switching engines never mixes cached responses.
+    pub fn engine(mut self, kind: EngineKind) -> Self {
+        self.engine = kind.engine();
+        self
+    }
+
+    /// Installs a pre-built engine (for example
+    /// [`EngineKind::engine_with_dt`] with a custom analogue step, or a
+    /// third-party [`SimEngine`] implementation).
+    pub fn with_engine(mut self, engine: Arc<dyn SimEngine>) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The kind of the installed engine.
+    pub fn engine_kind(&self) -> EngineKind {
+        self.engine.kind()
     }
 
     /// Sets the number of simulation worker threads: `0` (the default)
@@ -123,11 +149,16 @@ impl DseFlow {
         &self.model
     }
 
-    /// Simulates one configuration under the flow's scenario.
-    pub fn evaluate(&self, node: NodeConfig) -> SimOutcome {
+    /// Simulates one configuration under the flow's scenario on the
+    /// installed engine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and engine errors.
+    pub fn evaluate(&self, node: NodeConfig) -> Result<SimOutcome> {
         let mut config = self.template.clone();
         config.node = node;
-        EnvelopeSim::new(config).run()
+        Ok(self.engine.simulate(&config)?)
     }
 
     /// Simulates a coded design point, returning the transmission count.
@@ -137,7 +168,19 @@ impl DseFlow {
     /// Propagates decode/validation errors.
     pub fn evaluate_coded(&self, coded: &[f64]) -> Result<f64> {
         let node = coded_to_config(&self.space, coded)?;
-        Ok(self.evaluate(node).transmissions as f64)
+        Ok(self.evaluate(node)?.transmissions as f64)
+    }
+
+    /// Memoisation keys for a batch of coded points: the installed
+    /// engine's discriminant, the template scenario's fingerprint and the
+    /// quantised coordinates.
+    fn keys_for(&self, points: &[Vec<f64>]) -> Vec<EvalKey> {
+        let kind = self.engine.kind();
+        let scenario = self.template.scenario().fingerprint();
+        points
+            .iter()
+            .map(|p| EvalKey::new(kind, scenario, p))
+            .collect()
     }
 
     /// Builds the D-optimal experimental design (step 2 of the flow).
@@ -160,8 +203,9 @@ impl DseFlow {
     ///
     /// Propagates decode/validation errors.
     pub fn simulate_design(&self, design: &Design) -> Result<Vec<f64>> {
+        let points = design.points();
         self.pool
-            .evaluate_batch(design.points(), |p| self.evaluate_coded(p))
+            .evaluate_batch(&self.keys_for(points), |i| self.evaluate_coded(&points[i]))
     }
 
     /// Fits the response surface to simulated responses (step 4).
@@ -209,23 +253,29 @@ impl DseFlow {
         let d_efficiency = doe::diagnostics::d_efficiency(&design, &self.model)?;
 
         let original_cfg = NodeConfig::original();
+        let original_coded = config_to_coded(&self.space, &original_cfg)?;
+
+        // Validate the original design and the optimisers' candidates
+        // back in the simulator (step 6) through the pool: independent
+        // candidates run concurrently, and a candidate that coincides
+        // with a design point (or with the other optimiser's candidate)
+        // reuses the cached simulation.
+        let optima = self.optimise(&surface)?;
+        let mut candidates: Vec<Vec<f64>> = vec![original_coded.clone()];
+        candidates.extend(optima.iter().map(|(_, coded, _)| coded.clone()));
+        let mut validated = self
+            .pool
+            .evaluate_batch(&self.keys_for(&candidates), |i| {
+                self.evaluate_coded(&candidates[i])
+            })?
+            .into_iter();
         let original = DesignEval {
             label: "original".to_owned(),
-            coded: config_to_coded(&self.space, &original_cfg)?,
+            coded: original_coded,
             predicted: None,
-            simulated: self.evaluate(original_cfg).transmissions,
+            simulated: validated.next().expect("one response per candidate") as u64,
             config: original_cfg,
         };
-
-        // Validate the optimisers' candidates back in the simulator (step
-        // 6) through the pool: independent candidates run concurrently,
-        // and a candidate that coincides with a design point (or with the
-        // other optimiser's candidate) reuses the cached simulation.
-        let optima = self.optimise(&surface)?;
-        let candidates: Vec<Vec<f64>> = optima.iter().map(|(_, coded, _)| coded.clone()).collect();
-        let validated = self
-            .pool
-            .evaluate_batch(&candidates, |p| self.evaluate_coded(p))?;
         let mut optimised = Vec::new();
         for ((label, coded, predicted), simulated) in optima.into_iter().zip(validated) {
             optimised.push(DesignEval {
@@ -372,7 +422,9 @@ impl DseFlow {
         // from the design or a previous sweep).
         let simulated: Vec<Option<f64>> = if validate {
             self.pool
-                .evaluate_batch(&sample_points, |p| self.evaluate_coded(p))?
+                .evaluate_batch(&self.keys_for(&sample_points), |i| {
+                    self.evaluate_coded(&sample_points[i])
+                })?
                 .into_iter()
                 .map(Some)
                 .collect()
@@ -416,12 +468,28 @@ mod tests {
     #[test]
     fn evaluate_matches_direct_simulation() {
         let flow = fast_flow();
+        assert_eq!(flow.engine_kind(), EngineKind::Envelope);
         let direct = {
             let mut cfg = flow.template.clone();
             cfg.node = NodeConfig::original();
-            EnvelopeSim::new(cfg).run().transmissions
+            EngineKind::Envelope
+                .engine()
+                .simulate(&cfg)
+                .expect("valid config")
+                .transmissions
         };
-        assert_eq!(flow.evaluate(NodeConfig::original()).transmissions, direct);
+        assert_eq!(
+            flow.evaluate(NodeConfig::original()).unwrap().transmissions,
+            direct
+        );
+    }
+
+    #[test]
+    fn engine_builder_swaps_the_engine() {
+        let flow = fast_flow().engine(EngineKind::Full);
+        assert_eq!(flow.engine_kind(), EngineKind::Full);
+        let flow = flow.with_engine(EngineKind::Envelope.engine());
+        assert_eq!(flow.engine_kind(), EngineKind::Envelope);
     }
 
     #[test]

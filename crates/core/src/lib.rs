@@ -12,7 +12,9 @@
 //! 3. simulate each point for one hour of the 60 mg stepped-frequency
 //!    scenario and record the number of transmissions — batches run on
 //!    a deterministic parallel [`SimPool`] with a memoising
-//!    [`EvalCache`] (see [`DseFlow::jobs`]);
+//!    [`EvalCache`] keyed per engine and scenario (see [`DseFlow::jobs`]
+//!    and [`DseFlow::engine`]); the engine itself is swappable via
+//!    [`wsn_node::SimEngine`];
 //! 4. fit the quadratic response surface of Eq. 4/9 by least squares;
 //! 5. maximise the surface with Simulated Annealing and a Genetic
 //!    Algorithm (Table VI);
@@ -44,7 +46,7 @@ mod space;
 
 pub use error::DseError;
 pub use flow::{DseFlow, SweepPoint, SweepSeries};
-pub use pool::{EvalCache, SimPool};
+pub use pool::{EvalCache, EvalKey, SimPool};
 pub use report::{DesignEval, DseReport};
 pub use space::{coded_to_config, config_to_coded, paper_design_space};
 

@@ -1,46 +1,95 @@
 //! Deterministic simulation pool and memoising evaluation cache.
 //!
 //! Every stage of the DSE flow funnels through the same expensive call —
-//! "simulate one coded design point for the whole scenario horizon" — and
-//! most stages revisit points: the D-optimal design replicates runs when
-//! `n` exceeds the candidate support, 1-D sweeps share the centre with the
+//! "simulate one design point for the whole scenario horizon" — and most
+//! stages revisit points: the D-optimal design replicates runs when `n`
+//! exceeds the candidate support, 1-D sweeps share the centre with the
 //! design, and optimiser validation re-probes the predicted optimum. This
 //! module provides the two pieces the flow shares:
 //!
-//! * [`EvalCache`] — a thread-safe memo table keyed on *quantised* coded
-//!   coordinates, so points that differ only by floating-point noise
-//!   (below ~1e-9 in coded units, far under any physical resolution)
-//!   hit the same entry and never re-simulate;
-//! * [`SimPool`] — fans a batch of coded points out over
+//! * [`EvalKey`] — the identity of one evaluation: which engine ran it
+//!   (via [`wsn_node::EngineKind::discriminant`]), which scenario it was
+//!   subjected to (via [`wsn_node::Scenario::fingerprint`]) and the
+//!   *quantised* design coordinates, so points that differ only by
+//!   floating-point noise (below ~1e-9 in coded units, far under any
+//!   physical resolution) hit the same entry while evaluations from
+//!   different engines or scenarios never collide;
+//! * [`EvalCache`] — a thread-safe memo table over [`EvalKey`]s;
+//! * [`SimPool`] — fans a batch of keys out over
 //!   [`numkit::pool::par_map_ordered`] worker threads, consulting the
 //!   cache first and filling it afterwards, while deduplicating repeated
-//!   points *within* the batch so each distinct point is simulated
-//!   exactly once.
+//!   keys *within* the batch so each distinct evaluation runs exactly
+//!   once.
 //!
 //! Results are reassembled in submission order and every evaluation is a
-//! pure function of its coded point, so a fixed seed produces bit-identical
+//! pure function of its key, so a fixed seed produces bit-identical
 //! reports at any `jobs` setting.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use wsn_node::EngineKind;
+
 use crate::Result;
 
-/// Quantisation step for cache keys, in coded units. Coded factors span
-/// `[-1, 1]`, so 1e-9 is far below any meaningful design distinction but
-/// above accumulated round-off from encode/decode round trips.
+/// Quantisation step for cache keys. Coded factors span `[-1, 1]`, so
+/// 1e-9 is far below any meaningful design distinction but above
+/// accumulated round-off from encode/decode round trips. (Natural-unit
+/// coordinates quantise on the same grid; their magnitudes are so much
+/// larger that the two key families occupy disjoint integer ranges.)
 const KEY_QUANTUM: f64 = 1e-9;
 
-/// Thread-safe memo table for coded-point evaluations.
+/// The identity of one simulation-engine evaluation, used as the memo key
+/// by [`EvalCache`] and [`SimPool`].
 ///
-/// Keys are coded coordinates quantised to [`struct@EvalCache`]'s 1e-9
-/// grid; values are the simulated response. The cache also counts hits
-/// and misses so callers (and tests) can verify that repeated probes do
-/// not re-simulate.
+/// Two evaluations share a key — and therefore a cached response — only
+/// when they agree on all three components: engine, scenario and
+/// (quantised) design coordinates.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct EvalKey {
+    engine: u8,
+    scenario: u64,
+    point: Vec<i64>,
+}
+
+impl EvalKey {
+    /// Builds the key for evaluating `coords` on `engine` under the
+    /// scenario identified by `scenario_fingerprint` (see
+    /// [`wsn_node::Scenario::fingerprint`]).
+    pub fn new(engine: EngineKind, scenario_fingerprint: u64, coords: &[f64]) -> Self {
+        EvalKey {
+            engine: engine.discriminant(),
+            scenario: scenario_fingerprint,
+            point: Self::quantise(coords),
+        }
+    }
+
+    /// Quantises coordinates to the shared cache grid, normalising
+    /// `-0.0`.
+    fn quantise(coords: &[f64]) -> Vec<i64> {
+        coords
+            .iter()
+            .map(|&x| {
+                let q = (x / KEY_QUANTUM).round();
+                if q == 0.0 {
+                    0
+                } else {
+                    q as i64
+                }
+            })
+            .collect()
+    }
+}
+
+/// Thread-safe memo table for engine evaluations.
+///
+/// Keys are [`EvalKey`]s; values are the simulated response. The cache
+/// also counts hits and misses so callers (and tests) can verify that
+/// repeated probes do not re-simulate.
 #[derive(Debug, Default)]
 pub struct EvalCache {
-    entries: Mutex<HashMap<Vec<i64>, f64>>,
+    entries: Mutex<HashMap<EvalKey, f64>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
 }
@@ -61,29 +110,13 @@ impl EvalCache {
         Self::default()
     }
 
-    /// Quantises a coded point to its cache key.
-    pub fn key(coded: &[f64]) -> Vec<i64> {
-        coded
-            .iter()
-            .map(|&x| {
-                // Normalise -0.0 and clamp to the representable grid.
-                let q = (x / KEY_QUANTUM).round();
-                if q == 0.0 {
-                    0
-                } else {
-                    q as i64
-                }
-            })
-            .collect()
-    }
-
-    /// Looks up a coded point, counting the hit or miss.
-    pub fn get(&self, coded: &[f64]) -> Option<f64> {
+    /// Looks up a key, counting the hit or miss.
+    pub fn get(&self, key: &EvalKey) -> Option<f64> {
         let found = self
             .entries
             .lock()
             .expect("cache poisoned")
-            .get(&Self::key(coded))
+            .get(key)
             .copied();
         match found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
@@ -92,15 +125,15 @@ impl EvalCache {
         found
     }
 
-    /// Stores the response for a coded point.
-    pub fn insert(&self, coded: &[f64], value: f64) {
+    /// Stores the response for a key.
+    pub fn insert(&self, key: EvalKey, value: f64) {
         self.entries
             .lock()
             .expect("cache poisoned")
-            .insert(Self::key(coded), value);
+            .insert(key, value);
     }
 
-    /// Number of distinct cached points.
+    /// Number of distinct cached evaluations.
     pub fn len(&self) -> usize {
         self.entries.lock().expect("cache poisoned").len()
     }
@@ -121,7 +154,8 @@ impl EvalCache {
     }
 
     /// Drops all entries and resets the counters (used when the design
-    /// space or scenario changes and cached responses become stale).
+    /// space changes and cached responses become stale; engine and
+    /// scenario changes are already kept apart by the key).
     pub fn clear(&self) {
         self.entries.lock().expect("cache poisoned").clear();
         self.hits.store(0, Ordering::Relaxed);
@@ -129,11 +163,11 @@ impl EvalCache {
     }
 }
 
-/// Deterministic parallel evaluator for batches of coded design points.
+/// Deterministic parallel evaluator for batches of keyed design points.
 ///
 /// Wraps a [`numkit::pool::par_map_ordered`] fan-out with an [`EvalCache`]
-/// front: each batch first resolves cached points, deduplicates the
-/// remaining distinct points, simulates those on up to `jobs` worker
+/// front: each batch first resolves cached keys, deduplicates the
+/// remaining distinct keys, simulates those on up to `jobs` worker
 /// threads, and reassembles the responses in submission order.
 #[derive(Debug, Default, Clone)]
 pub struct SimPool {
@@ -166,51 +200,49 @@ impl SimPool {
         &self.cache
     }
 
-    /// Evaluates `points` through `eval`, in parallel and memoised.
+    /// Evaluates the batch identified by `keys`, in parallel and memoised.
     ///
-    /// Each *distinct* uncached point is evaluated exactly once per batch,
-    /// even if it appears several times or concurrently; the output has
-    /// one response per input point, in input order, bit-identical for any
+    /// `eval(i)` must compute the response of `keys[i]`; the pool invokes
+    /// it once per *distinct* uncached key (at that key's first batch
+    /// index), even if the key appears several times. The output has one
+    /// response per input key, in input order, bit-identical for any
     /// `jobs` setting.
     ///
     /// # Errors
     ///
     /// Returns the first (by input order) evaluation error, if any.
-    pub fn evaluate_batch<F>(&self, points: &[Vec<f64>], eval: F) -> Result<Vec<f64>>
+    pub fn evaluate_batch<F>(&self, keys: &[EvalKey], eval: F) -> Result<Vec<f64>>
     where
-        F: Fn(&[f64]) -> Result<f64> + Sync,
+        F: Fn(usize) -> Result<f64> + Sync,
     {
         // Resolve what the cache already knows and collect the distinct
         // misses in first-appearance order (batch-level deduplication).
-        let mut outputs: Vec<Option<f64>> = Vec::with_capacity(points.len());
-        let mut pending: Vec<&Vec<f64>> = Vec::new();
-        let mut pending_index: HashMap<Vec<i64>, usize> = HashMap::new();
-        for point in points {
-            let cached = self.cache.get(point);
+        let mut outputs: Vec<Option<f64>> = Vec::with_capacity(keys.len());
+        let mut pending: Vec<usize> = Vec::new();
+        let mut pending_index: HashMap<&EvalKey, usize> = HashMap::new();
+        for (i, key) in keys.iter().enumerate() {
+            let cached = self.cache.get(key);
             if cached.is_none() {
-                pending_index
-                    .entry(EvalCache::key(point))
-                    .or_insert_with(|| {
-                        pending.push(point);
-                        pending.len() - 1
-                    });
+                pending_index.entry(key).or_insert_with(|| {
+                    pending.push(i);
+                    pending.len() - 1
+                });
             }
             outputs.push(cached);
         }
 
-        let fresh =
-            numkit::pool::par_map_ordered(self.jobs, &pending, |_, point| eval(point.as_slice()));
+        let fresh = numkit::pool::par_map_ordered(self.jobs, &pending, |_, &input| eval(input));
         let fresh: Vec<f64> = fresh.into_iter().collect::<Result<_>>()?;
-        for (point, &value) in pending.iter().zip(&fresh) {
-            self.cache.insert(point, value);
+        for (&input, &value) in pending.iter().zip(&fresh) {
+            self.cache.insert(keys[input].clone(), value);
         }
 
-        Ok(points
+        Ok(keys
             .iter()
             .zip(outputs)
-            .map(|(point, cached)| match cached {
+            .map(|(key, cached)| match cached {
                 Some(v) => v,
-                None => fresh[pending_index[&EvalCache::key(point)]],
+                None => fresh[pending_index[key]],
             })
             .collect())
     }
@@ -220,12 +252,20 @@ impl SimPool {
 mod tests {
     use super::*;
 
+    fn keys_of(points: &[Vec<f64>]) -> Vec<EvalKey> {
+        points
+            .iter()
+            .map(|p| EvalKey::new(EngineKind::Envelope, 7, p))
+            .collect()
+    }
+
     fn count_evals(pool: &SimPool, points: &[Vec<f64>]) -> (Vec<f64>, usize) {
+        let keys = keys_of(points);
         let calls = AtomicUsize::new(0);
         let out = pool
-            .evaluate_batch(points, |p| {
+            .evaluate_batch(&keys, |i| {
                 calls.fetch_add(1, Ordering::Relaxed);
-                Ok(p.iter().sum::<f64>())
+                Ok(points[i].iter().sum::<f64>())
             })
             .unwrap();
         (out, calls.load(Ordering::Relaxed))
@@ -233,9 +273,19 @@ mod tests {
 
     #[test]
     fn keys_quantise_noise_and_normalise_zero() {
-        assert_eq!(EvalCache::key(&[0.0]), EvalCache::key(&[-0.0]));
-        assert_eq!(EvalCache::key(&[0.5]), EvalCache::key(&[0.5 + 1e-12]));
-        assert_ne!(EvalCache::key(&[0.5]), EvalCache::key(&[0.5 + 1e-8]));
+        let key = |coords: &[f64]| EvalKey::new(EngineKind::Envelope, 0, coords);
+        assert_eq!(key(&[0.0]), key(&[-0.0]));
+        assert_eq!(key(&[0.5]), key(&[0.5 + 1e-12]));
+        assert_ne!(key(&[0.5]), key(&[0.5 + 1e-8]));
+    }
+
+    #[test]
+    fn keys_separate_engines_and_scenarios() {
+        let p = [0.25, -0.5, 1.0];
+        let base = EvalKey::new(EngineKind::Envelope, 42, &p);
+        assert_ne!(base, EvalKey::new(EngineKind::Full, 42, &p));
+        assert_ne!(base, EvalKey::new(EngineKind::Envelope, 43, &p));
+        assert_eq!(base, EvalKey::new(EngineKind::Envelope, 42, &p));
     }
 
     #[test]
@@ -259,15 +309,28 @@ mod tests {
     }
 
     #[test]
+    fn engine_discriminant_prevents_cross_engine_hits() {
+        let pool = SimPool::new(1);
+        let p = vec![0.5, 0.5];
+        let envelope = vec![EvalKey::new(EngineKind::Envelope, 9, &p)];
+        let full = vec![EvalKey::new(EngineKind::Full, 9, &p)];
+        let a = pool.evaluate_batch(&envelope, |_| Ok(1.0)).unwrap();
+        let b = pool.evaluate_batch(&full, |_| Ok(2.0)).unwrap();
+        assert_eq!((a[0], b[0]), (1.0, 2.0));
+        assert_eq!(pool.cache().len(), 2, "engines must not share entries");
+    }
+
+    #[test]
     fn errors_propagate_in_input_order() {
         let pool = SimPool::new(2);
         let points: Vec<Vec<f64>> = (0..6).map(|i| vec![i as f64]).collect();
+        let keys = keys_of(&points);
         let err = pool
-            .evaluate_batch(&points, |p| {
-                if p[0] >= 2.0 {
+            .evaluate_batch(&keys, |i| {
+                if points[i][0] >= 2.0 {
                     Err(crate::DseError::InvalidArgument("boom"))
                 } else {
-                    Ok(p[0])
+                    Ok(points[i][0])
                 }
             })
             .unwrap_err();
@@ -277,8 +340,12 @@ mod tests {
     #[test]
     fn identical_results_at_any_job_count() {
         let points: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 * 0.05, -0.3]).collect();
-        let eval = |p: &[f64]| Ok(p[0] * p[0] - p[1]);
-        let run = |jobs: usize| SimPool::new(jobs).evaluate_batch(&points, eval).unwrap();
+        let run = |jobs: usize| {
+            let keys = keys_of(&points);
+            SimPool::new(jobs)
+                .evaluate_batch(&keys, |i| Ok(points[i][0] * points[i][0] - points[i][1]))
+                .unwrap()
+        };
         let sequential = run(1);
         assert_eq!(sequential, run(2));
         assert_eq!(sequential, run(8));

@@ -77,6 +77,96 @@ impl DseReport {
     }
 }
 
+/// Formats an `f64` as a JSON token: `Display` for finite values (which
+/// round-trips all values the flow produces), `null` for NaN/infinities
+/// (JSON has no spelling for them).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Quotes a string as a JSON token, escaping the characters JSON requires
+/// (labels here are ASCII identifiers, but correctness is cheap).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Joins JSON tokens into an array.
+fn json_array<I: IntoIterator<Item = String>>(items: I) -> String {
+    let items: Vec<String> = items.into_iter().collect();
+    format!("[{}]", items.join(","))
+}
+
+impl DesignEval {
+    /// This evaluation as a single-line JSON object.
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"label\":{},\"clock_hz\":{},\"watchdog_s\":{},\"tx_interval_s\":{},\
+             \"coded\":{},\"predicted\":{},\"simulated\":{}}}",
+            json_str(&self.label),
+            json_f64(self.config.clock_hz),
+            json_f64(self.config.watchdog_s),
+            json_f64(self.config.tx_interval_s),
+            json_array(self.coded.iter().map(|&v| json_f64(v))),
+            self.predicted.map_or("null".to_owned(), json_f64),
+            self.simulated
+        )
+    }
+}
+
+impl DseReport {
+    /// Serialises the report as one machine-readable JSON line (design
+    /// points and responses, surface coefficients and fit statistics,
+    /// evaluated designs), so bench trajectories can be diffed across
+    /// revisions. Hand-rolled — the workspace takes no serialisation
+    /// dependency. Non-finite numbers serialise as `null`.
+    pub fn to_json(&self) -> String {
+        let points = json_array(
+            self.design
+                .points()
+                .iter()
+                .map(|p| json_array(p.iter().map(|&v| json_f64(v)))),
+        );
+        format!(
+            "{{\"design\":{{\"runs\":{},\"dimension\":{},\"points\":{}}},\
+             \"responses\":{},\
+             \"surface\":{{\"coefficients\":{},\"r_squared\":{},\"adj_r_squared\":{}}},\
+             \"d_efficiency\":{},\
+             \"original\":{},\
+             \"optimised\":{},\
+             \"best_improvement_factor\":{}}}",
+            self.design.len(),
+            self.design.dimension(),
+            points,
+            json_array(self.responses.iter().map(|&v| json_f64(v))),
+            json_array(self.surface.coefficients().iter().map(|&v| json_f64(v))),
+            json_f64(self.surface.stats().r_squared),
+            json_f64(self.surface.stats().adj_r_squared),
+            json_f64(self.d_efficiency),
+            self.original.to_json(),
+            json_array(self.optimised.iter().map(|e| e.to_json())),
+            json_f64(self.best_improvement_factor())
+        )
+    }
+}
+
 impl DseReport {
     /// Writes the experimental design and its simulated responses as CSV
     /// (`x1,x2,x3,...,transmissions`).
@@ -155,6 +245,32 @@ impl fmt::Display for DseReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_tokens() {
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_array(vec!["1".to_owned(), "2".to_owned()]), "[1,2]");
+    }
+
+    #[test]
+    fn eval_serialises_to_one_json_line() {
+        let e = DesignEval {
+            label: "simulated annealing".into(),
+            config: NodeConfig::sa_optimised(),
+            coded: vec![1.0, -1.0, -1.0],
+            predicted: None,
+            simulated: 810,
+        };
+        let json = e.to_json();
+        assert!(!json.contains('\n'));
+        assert!(json.contains("\"label\":\"simulated annealing\""));
+        assert!(json.contains("\"predicted\":null"));
+        assert!(json.contains("\"simulated\":810"));
+        assert!(json.contains("\"coded\":[1,-1,-1]"));
+    }
 
     #[test]
     fn eval_display() {

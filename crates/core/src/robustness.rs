@@ -4,15 +4,21 @@
 //! steps). A configuration tuned to a single scenario can be fragile;
 //! this module re-evaluates any configuration across scenario ensembles —
 //! starting-frequency sweeps and random-walk drifts — and summarises the
-//! distribution of transmission counts. Ensembles fan out over
-//! [`numkit::pool::par_map_ordered`] worker threads (`jobs == 0` uses all
-//! available cores); samples are keyed by scenario index, so results are
-//! identical at any thread count.
+//! distribution of transmission counts. Ensembles run through a
+//! [`SimPool`], so they fan out over worker threads (`jobs == 0` uses all
+//! available cores), memoise per `(engine, scenario, design)` key, and
+//! are identical at any thread count. [`evaluate_ensemble_with`] accepts
+//! any [`SimEngine`] plus a shared pool; [`evaluate_ensemble`] is the
+//! envelope-engine convenience wrapper.
+
+use std::sync::Arc;
 
 use harvester::VibrationProfile;
-use numkit::pool::par_map_ordered;
 use numkit::stats;
-use wsn_node::{EnvelopeSim, NodeConfig, SystemConfig};
+use wsn_node::{EngineKind, NodeConfig, Scenario, SimEngine, SystemConfig};
+
+use crate::pool::{EvalKey, SimPool};
+use crate::Result;
 
 /// Distribution summary of an ensemble of scenario evaluations.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,26 +56,61 @@ impl RobustnessSummary {
     }
 }
 
-/// Evaluates `config` across a list of fully specified scenarios on up to
-/// `jobs` worker threads (`0` = all available cores, `1` = sequential).
+/// Evaluates `config` across a list of fully specified scenarios on
+/// `engine`, through `pool` (parallelism and memoisation).
+///
+/// The design point is keyed in *natural* units (clock, watchdog,
+/// interval) together with the engine discriminant and each scenario's
+/// fingerprint, so ensembles sharing a pool — across calls or with a
+/// DSE flow — reuse every evaluation they can.
+///
+/// # Errors
+///
+/// Propagates configuration and engine errors.
+pub fn evaluate_ensemble_with(
+    engine: &Arc<dyn SimEngine>,
+    pool: &SimPool,
+    template: &SystemConfig,
+    config: NodeConfig,
+    scenarios: &[VibrationProfile],
+) -> Result<RobustnessSummary> {
+    let kind = engine.kind();
+    let point = [config.clock_hz, config.watchdog_s, config.tx_interval_s];
+    let keys: Vec<EvalKey> = scenarios
+        .iter()
+        .map(|s| {
+            let fingerprint = Scenario::new(s.clone(), template.horizon).fingerprint();
+            EvalKey::new(kind, fingerprint, &point)
+        })
+        .collect();
+    let samples = pool.evaluate_batch(&keys, |i| {
+        let mut cfg = template.clone();
+        cfg.node = config;
+        cfg.vibration = scenarios[i].clone();
+        cfg.trace_interval = None;
+        Ok(engine.simulate(&cfg)?.transmissions as f64)
+    })?;
+    Ok(RobustnessSummary::of(samples))
+}
+
+/// Evaluates `config` across a list of fully specified scenarios on the
+/// envelope engine, on up to `jobs` worker threads (`0` = all available
+/// cores, `1` = sequential).
 ///
 /// # Panics
 ///
-/// Panics if a worker thread panics (propagated from the simulation).
+/// Panics on configuration errors (the template and `config` are expected
+/// to be within Table V ranges) and propagated worker panics.
 pub fn evaluate_ensemble(
     template: &SystemConfig,
     config: NodeConfig,
     scenarios: &[VibrationProfile],
     jobs: usize,
 ) -> RobustnessSummary {
-    let samples = par_map_ordered(jobs, scenarios, |_, scenario| {
-        let mut cfg = template.clone();
-        cfg.node = config;
-        cfg.vibration = scenario.clone();
-        cfg.trace_interval = None;
-        EnvelopeSim::new(cfg).run().transmissions as f64
-    });
-    RobustnessSummary::of(samples)
+    let engine = EngineKind::Envelope.engine();
+    let pool = SimPool::new(jobs);
+    evaluate_ensemble_with(&engine, &pool, template, config, scenarios)
+        .expect("configuration within Table V ranges")
 }
 
 /// Robustness against the *starting frequency*: replays the paper's
@@ -133,15 +174,46 @@ mod tests {
             .map(|&f| VibrationProfile::paper_profile(f))
             .collect();
         let summary = evaluate_ensemble(&t, NodeConfig::original(), &scenarios, 0);
-        // Cross-check each sample against a direct run.
+        // Cross-check each sample against a direct engine run.
+        let engine = EngineKind::Envelope.engine();
         for (scenario, &sample) in scenarios.iter().zip(&summary.samples) {
             let mut cfg = t.clone();
             cfg.vibration = scenario.clone();
-            let direct = EnvelopeSim::new(cfg).run().transmissions as f64;
+            let direct = engine.simulate(&cfg).unwrap().transmissions as f64;
             assert_eq!(sample, direct);
         }
         assert_eq!(summary.samples.len(), 3);
         assert!(summary.min <= summary.mean && summary.mean <= summary.max);
+    }
+
+    #[test]
+    fn shared_pool_memoises_across_ensembles() {
+        let t = template();
+        let engine = EngineKind::Envelope.engine();
+        let pool = SimPool::new(1);
+        let scenarios: Vec<VibrationProfile> = [70.0, 75.0]
+            .iter()
+            .map(|&f| VibrationProfile::paper_profile(f))
+            .collect();
+        let first =
+            evaluate_ensemble_with(&engine, &pool, &t, NodeConfig::original(), &scenarios).unwrap();
+        assert_eq!(pool.cache().len(), 2);
+        let again =
+            evaluate_ensemble_with(&engine, &pool, &t, NodeConfig::original(), &scenarios).unwrap();
+        assert_eq!(first, again);
+        assert_eq!(pool.cache().len(), 2, "repeat ensemble must hit the cache");
+        assert!(pool.cache().hits() >= 2);
+    }
+
+    #[test]
+    fn ensemble_reports_invalid_configurations() {
+        let t = template();
+        let engine = EngineKind::Envelope.engine();
+        let pool = SimPool::new(1);
+        let mut bad = NodeConfig::original();
+        bad.clock_hz = 1.0;
+        let scenarios = [VibrationProfile::paper_profile(75.0)];
+        assert!(evaluate_ensemble_with(&engine, &pool, &t, bad, &scenarios).is_err());
     }
 
     #[test]

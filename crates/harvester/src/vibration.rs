@@ -175,6 +175,23 @@ impl VibrationProfile {
         self.amplitude
     }
 
+    /// A stable 64-bit fingerprint of the profile (FNV-1a over the
+    /// amplitude and segment bit patterns).
+    ///
+    /// Two profiles with identical amplitude and segments fingerprint
+    /// identically; any bit-level difference in either almost surely
+    /// changes the value. Scenario-aware memoisation layers (the DSE
+    /// evaluation cache) use this to keep results from different
+    /// vibration scenarios apart.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = fnv1a_mix(FNV_OFFSET, self.amplitude.to_bits());
+        for &(t, f) in &self.segments {
+            h = fnv1a_mix(h, t.to_bits());
+            h = fnv1a_mix(h, f.to_bits());
+        }
+        h
+    }
+
     /// Acceleration amplitude expressed in g.
     pub fn amplitude_g(&self) -> f64 {
         self.amplitude / STANDARD_GRAVITY
@@ -210,6 +227,19 @@ impl VibrationProfile {
             .rposition(|&(start, _)| start <= t)
             .unwrap_or(0)
     }
+}
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Folds the eight bytes of `bits` into an FNV-1a running hash.
+fn fnv1a_mix(mut h: u64, bits: u64) -> u64 {
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    for byte in bits.to_le_bytes() {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
 }
 
 #[cfg(test)]
@@ -312,5 +342,16 @@ mod tests {
     #[should_panic(expected = "band")]
     fn random_walk_start_outside_band_panics() {
         let _ = VibrationProfile::random_walk(0.59, 60.0, 1.0, 60.0, 10, 70.0, 95.0, 1);
+    }
+
+    #[test]
+    fn fingerprint_separates_distinct_profiles() {
+        let a = VibrationProfile::paper_profile(75.0);
+        let b = VibrationProfile::paper_profile(75.0);
+        assert_eq!(a.fingerprint(), b.fingerprint(), "equal profiles agree");
+        let c = VibrationProfile::paper_profile(76.0);
+        assert_ne!(a.fingerprint(), c.fingerprint(), "frequency shift differs");
+        let d = VibrationProfile::stepped(0.59, vec![(0.0, 75.0), (1500.0, 80.0), (3000.0, 85.0)]);
+        assert_ne!(a.fingerprint(), d.fingerprint(), "amplitude change differs");
     }
 }

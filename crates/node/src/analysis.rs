@@ -6,9 +6,16 @@
 //! harvest-limited transmission rate, and whether the configured interval
 //! or the energy budget is the binding constraint. The Table VI structure
 //! (optimised ≈ 2× original) drops out of exactly this arithmetic.
+//!
+//! It also hosts the cross-engine validation harness
+//! ([`compare_engines`]): the same experiment run on both built-in
+//! engines with the outcome deltas side by side, mirroring the paper's
+//! validation of its fast model against the full SystemC-A
+//! co-simulation.
 
+use crate::engine::EngineKind;
 use crate::power::{tx_energy_at, MCU_SLEEP_CURRENT, NODE_SLEEP_CURRENT};
-use crate::{Mcu, Result, SystemConfig};
+use crate::{Mcu, Result, SimOutcome, SystemConfig};
 
 /// Static power budget of a configuration at the 2.8 V threshold.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -99,6 +106,68 @@ impl PowerBudget {
     }
 }
 
+/// Side-by-side outcomes of one experiment on both built-in engines.
+///
+/// Produced by [`compare_engines`]; the delta accessors quantify how far
+/// the accelerated envelope engine strays from the fine-timestep
+/// co-simulation.
+#[derive(Debug, Clone)]
+pub struct EngineAgreement {
+    /// Outcome of the accelerated envelope engine.
+    pub envelope: SimOutcome,
+    /// Outcome of the full mixed-signal co-simulation.
+    pub full: SimOutcome,
+}
+
+impl EngineAgreement {
+    /// Absolute difference in transmission counts.
+    pub fn tx_delta(&self) -> u64 {
+        self.envelope
+            .transmissions
+            .abs_diff(self.full.transmissions)
+    }
+
+    /// Transmission-count difference relative to the full engine's count
+    /// (0.0 when both engines report zero transmissions).
+    pub fn tx_relative_delta(&self) -> f64 {
+        let reference = self.full.transmissions.max(1) as f64;
+        if self.envelope.transmissions == 0 && self.full.transmissions == 0 {
+            0.0
+        } else {
+            self.tx_delta() as f64 / reference
+        }
+    }
+
+    /// Absolute difference in final supercapacitor voltage (V).
+    pub fn voltage_delta(&self) -> f64 {
+        (self.envelope.final_voltage - self.full.final_voltage).abs()
+    }
+
+    /// `true` if both deltas sit within the given tolerances.
+    pub fn within(&self, tx_tolerance: u64, voltage_tolerance: f64) -> bool {
+        self.tx_delta() <= tx_tolerance && self.voltage_delta() <= voltage_tolerance
+    }
+}
+
+/// Runs the same experiment on both built-in engines and reports the
+/// outcome deltas.
+///
+/// Voltage tracing is disabled on the copy handed to the engines (the
+/// comparison cares about counts and final state, and the full engine's
+/// trace at fine steps is large). `full_dt` sets the full co-simulation's
+/// analogue step.
+///
+/// # Errors
+///
+/// Propagates configuration or solver errors from either engine.
+pub fn compare_engines(config: &SystemConfig, full_dt: f64) -> Result<EngineAgreement> {
+    let mut cfg = config.clone();
+    cfg.trace_interval = None;
+    let envelope = EngineKind::Envelope.engine().simulate(&cfg)?;
+    let full = EngineKind::Full.engine_with_dt(full_dt).simulate(&cfg)?;
+    Ok(EngineAgreement { envelope, full })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,7 +209,7 @@ mod tests {
             cfg.trace_interval = None;
             let b = PowerBudget::of(&cfg).expect("valid");
             let bound = b.tx_upper_bound(node.tx_interval_s, cfg.horizon);
-            let simulated = EnvelopeSim::new(cfg).run().transmissions as f64;
+            let simulated = EnvelopeSim::new().run(&cfg).transmissions as f64;
             // The static bound ignores the slow-band 60 s transmissions,
             // which add a little on top when the voltage dips; allow 15 %.
             assert!(

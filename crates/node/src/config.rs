@@ -1,5 +1,6 @@
 use harvester::{Microgenerator, Supercapacitor, TuningMechanism, VibrationProfile};
 
+use crate::engine::Scenario;
 use crate::mcu::CLOCK_RANGE;
 use crate::sensor::TX_INTERVAL_RANGE;
 use crate::{NodeError, Result};
@@ -159,6 +160,20 @@ impl SystemConfig {
     /// Replaces the initial voltage.
     pub fn with_initial_voltage(mut self, v: f64) -> Self {
         self.initial_voltage = v;
+        self
+    }
+
+    /// The environment half of this configuration as a [`Scenario`]
+    /// (vibration profile plus horizon).
+    pub fn scenario(&self) -> Scenario {
+        Scenario::new(self.vibration.clone(), self.horizon)
+    }
+
+    /// Replaces the environment half (vibration profile and horizon) with
+    /// `scenario`, keeping the design point and component models.
+    pub fn with_scenario(mut self, scenario: Scenario) -> Self {
+        self.vibration = scenario.vibration;
+        self.horizon = scenario.horizon;
         self
     }
 }

@@ -1,10 +1,11 @@
 use std::collections::VecDeque;
 
+use crate::engine::{EngineKind, SimEngine};
 use crate::firmware::FirmwareAction;
 use crate::metrics::{EnergyBreakdown, SimOutcome, VoltageSample};
 use crate::power::MCU_SLEEP_CURRENT;
 use crate::sensor::TransmissionDecision;
-use crate::{Mcu, SensorNode, SystemConfig, TuningFirmware};
+use crate::{Mcu, Result, SensorNode, SystemConfig, TuningFirmware};
 
 /// The accelerated envelope simulation engine.
 ///
@@ -18,22 +19,23 @@ use crate::{Mcu, SensorNode, SystemConfig, TuningFirmware};
 /// milliseconds, which is what makes the DOE + optimisation flow over the
 /// simulator practical.
 ///
-/// Fidelity is validated against [`crate::FullSystemSim`] by the
-/// `engine_ablation` bench and the cross-engine integration tests.
+/// The engine is a stateless evaluator (see [`SimEngine`]): one instance
+/// runs any number of experiment descriptions, concurrently if desired.
+/// Fidelity is validated against [`crate::FullSystemSim`] by
+/// [`crate::analysis::compare_engines`], the `engine_ablation` bench and
+/// the gated cross-engine integration tests.
 ///
 /// # Example
 ///
 /// ```
 /// use wsn_node::{EnvelopeSim, NodeConfig, SystemConfig};
 ///
-/// let outcome = EnvelopeSim::new(SystemConfig::paper(NodeConfig::original())).run();
+/// let outcome = EnvelopeSim::new().run(&SystemConfig::paper(NodeConfig::original()));
 /// assert!(outcome.transmissions > 0);
 /// assert!(outcome.energy.harvested > 0.0);
 /// ```
-#[derive(Debug, Clone)]
-pub struct EnvelopeSim {
-    config: SystemConfig,
-}
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EnvelopeSim;
 
 /// Maximum envelope integration segment (s): bounds how stale the cached
 /// harvest current may become.
@@ -59,27 +61,28 @@ struct PendingDraw {
 }
 
 impl EnvelopeSim {
-    /// Creates an engine for the given experiment description.
-    pub fn new(config: SystemConfig) -> Self {
-        EnvelopeSim { config }
+    /// Creates the engine.
+    pub fn new() -> Self {
+        EnvelopeSim
     }
 
-    /// The experiment description.
-    pub fn config(&self) -> &SystemConfig {
-        &self.config
-    }
-
-    /// Runs the scenario to its horizon.
+    /// Runs `config` to its horizon.
     ///
     /// # Panics
     ///
     /// Panics if the node configuration violates its Table V ranges
-    /// (construct configs through [`crate::NodeConfig::new`] to get a
-    /// `Result` instead).
-    pub fn run(&self) -> SimOutcome {
-        let cfg = &self.config;
-        let mcu = Mcu::new(cfg.node.clock_hz).expect("clock within Table V range");
-        let node = SensorNode::new(cfg.node.tx_interval_s).expect("interval within range");
+    /// (construct configs through [`crate::NodeConfig::new`], or run
+    /// through [`SimEngine::simulate`], to get a `Result` instead).
+    pub fn run(&self, config: &SystemConfig) -> SimOutcome {
+        self.simulate_config(config)
+            .expect("configuration within Table V ranges")
+    }
+
+    /// Fallible core of [`run`](Self::run), shared with the [`SimEngine`]
+    /// implementation.
+    fn simulate_config(&self, cfg: &SystemConfig) -> Result<SimOutcome> {
+        let mcu = Mcu::new(cfg.node.clock_hz)?;
+        let node = SensorNode::new(cfg.node.tx_interval_s)?;
         let mut firmware = TuningFirmware::new(
             mcu,
             cfg.tuning.clone(),
@@ -120,11 +123,11 @@ impl EnvelopeSim {
             // Events exactly at the horizon still fire (matching the
             // discrete-event semantics of the full co-simulation).
             if t_event > cfg.horizon {
-                self.advance(&mut state, cfg.horizon, &firmware, sleep_current);
+                self.advance(cfg, &mut state, cfg.horizon, &firmware, sleep_current);
                 break;
             }
 
-            self.advance(&mut state, t_event, &firmware, sleep_current);
+            self.advance(cfg, &mut state, t_event, &firmware, sleep_current);
 
             // Firmware action completions.
             while let Some(front) = pending.front() {
@@ -246,7 +249,7 @@ impl EnvelopeSim {
             });
         }
 
-        SimOutcome {
+        Ok(SimOutcome {
             transmissions,
             watchdog_wakes,
             coarse_moves,
@@ -256,13 +259,19 @@ impl EnvelopeSim {
             energy: state.energy,
             trace: state.trace,
             horizon: cfg.horizon,
-        }
+        })
     }
 
     /// Advances the envelope from `state.t` to `to`, integrating harvest,
     /// sleep and leakage currents.
-    fn advance(&self, state: &mut State, to: f64, firmware: &TuningFirmware, sleep_current: f64) {
-        let cfg = &self.config;
+    fn advance(
+        &self,
+        cfg: &SystemConfig,
+        state: &mut State,
+        to: f64,
+        firmware: &TuningFirmware,
+        sleep_current: f64,
+    ) {
         while state.t < to - 1e-12 {
             // Trace sampling boundary.
             let next_sample = cfg.trace_interval.map(|dt| state.sample_count as f64 * dt);
@@ -305,6 +314,16 @@ impl EnvelopeSim {
             }
         }
         state.t = to.max(state.t);
+    }
+}
+
+impl SimEngine for EnvelopeSim {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Envelope
+    }
+
+    fn simulate(&self, config: &SystemConfig) -> Result<SimOutcome> {
+        self.simulate_config(config)
     }
 }
 
@@ -351,7 +370,7 @@ mod tests {
 
     #[test]
     fn original_design_transmits() {
-        let out = EnvelopeSim::new(short_config(NodeConfig::original(), 600.0)).run();
+        let out = EnvelopeSim::new().run(&short_config(NodeConfig::original(), 600.0));
         // Tuned start above 2.8 V with a 5 s interval: roughly one tx
         // per 5 s for the first 10 minutes.
         assert!(
@@ -365,7 +384,7 @@ mod tests {
 
     #[test]
     fn watchdog_cadence_matches_config() {
-        let out = EnvelopeSim::new(short_config(NodeConfig::original(), 1000.0)).run();
+        let out = EnvelopeSim::new().run(&short_config(NodeConfig::original(), 1000.0));
         // 320 s watchdog: wakes near t = 320, 640, 960 → 3 wakes.
         assert!(
             (2..=4).contains(&out.watchdog_wakes),
@@ -377,7 +396,7 @@ mod tests {
     #[test]
     fn frequency_step_causes_retuning() {
         // Horizon past the first 25-minute frequency step.
-        let out = EnvelopeSim::new(short_config(NodeConfig::original(), 2000.0)).run();
+        let out = EnvelopeSim::new().run(&short_config(NodeConfig::original(), 2000.0));
         assert!(
             out.coarse_moves >= 1,
             "the +5 Hz step at 1500 s must trigger a coarse move"
@@ -395,7 +414,7 @@ mod tests {
         let mut cfg = cfg;
         cfg.start_tuned = false;
         cfg.vibration = VibrationProfile::sine(40.0, 0.59); // untunable
-        let out = EnvelopeSim::new(cfg).run();
+        let out = EnvelopeSim::new().run(&cfg);
         assert!(
             out.final_voltage < 2.8,
             "without harvest the voltage must fall: {}",
@@ -405,7 +424,7 @@ mod tests {
 
     #[test]
     fn trace_is_time_ordered_and_covers_horizon() {
-        let out = EnvelopeSim::new(short_config(NodeConfig::original(), 300.0)).run();
+        let out = EnvelopeSim::new().run(&short_config(NodeConfig::original(), 300.0));
         assert!(!out.trace.is_empty());
         for w in out.trace.windows(2) {
             assert!(w[0].time <= w[1].time);
@@ -417,7 +436,7 @@ mod tests {
     #[test]
     fn energy_balance_is_consistent() {
         let cfg = short_config(NodeConfig::original(), 1800.0);
-        let out = EnvelopeSim::new(cfg.clone()).run();
+        let out = EnvelopeSim::new().run(&cfg);
         // ΔE_stored = harvested − consumed, within integration slack.
         let e0 = cfg.storage.energy(cfg.initial_voltage);
         let e1 = cfg.storage.energy(out.final_voltage);
@@ -433,8 +452,8 @@ mod tests {
     fn faster_interval_transmits_more_when_energy_rich() {
         let fast = NodeConfig::new(4e6, 320.0, 1.0).unwrap();
         let slow = NodeConfig::new(4e6, 320.0, 10.0).unwrap();
-        let out_fast = EnvelopeSim::new(short_config(fast, 600.0)).run();
-        let out_slow = EnvelopeSim::new(short_config(slow, 600.0)).run();
+        let out_fast = EnvelopeSim::new().run(&short_config(fast, 600.0));
+        let out_slow = EnvelopeSim::new().run(&short_config(slow, 600.0));
         assert!(
             out_fast.transmissions > out_slow.transmissions,
             "fast {} vs slow {}",
@@ -445,14 +464,14 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let a = EnvelopeSim::new(short_config(NodeConfig::original(), 900.0)).run();
-        let b = EnvelopeSim::new(short_config(NodeConfig::original(), 900.0)).run();
+        let a = EnvelopeSim::new().run(&short_config(NodeConfig::original(), 900.0));
+        let b = EnvelopeSim::new().run(&short_config(NodeConfig::original(), 900.0));
         assert_eq!(a, b);
     }
 
     #[test]
     fn full_hour_runs_quickly_and_sanely() {
-        let out = EnvelopeSim::new(SystemConfig::paper(NodeConfig::original())).run();
+        let out = EnvelopeSim::new().run(&SystemConfig::paper(NodeConfig::original()));
         assert!(
             out.transmissions > 100 && out.transmissions < 2000,
             "original design transmissions: {}",

@@ -1,6 +1,7 @@
 use harvester::{HarvesterCircuit, Load, LoadId};
 use msim::{Context, MixedSim, Process, Solver};
 
+use crate::engine::{EngineKind, SimEngine};
 use crate::metrics::{EnergyBreakdown, SimOutcome, VoltageSample};
 use crate::power;
 use crate::sensor::TransmissionDecision;
@@ -23,8 +24,11 @@ use crate::{Mcu, Result, SensorNode, SystemConfig, TuningFirmware};
 ///
 /// This engine is orders of magnitude slower than [`crate::EnvelopeSim`]
 /// (it is the reason the paper's ref \[9\] developed an accelerated
-/// technique) and exists to validate the envelope engine — see the
-/// `engine_ablation` bench.
+/// technique) and exists to validate the envelope engine — see
+/// [`crate::analysis::compare_engines`] and the `engine_ablation` bench.
+///
+/// The engine value carries only its analogue step (see [`SimEngine`]):
+/// one instance runs any number of experiment descriptions.
 ///
 /// # Example
 ///
@@ -33,21 +37,26 @@ use crate::{Mcu, Result, SensorNode, SystemConfig, TuningFirmware};
 ///
 /// # fn main() -> Result<(), wsn_node::NodeError> {
 /// let config = SystemConfig::paper(NodeConfig::original()).with_horizon(30.0);
-/// let outcome = FullSystemSim::new(config).run()?;
+/// let outcome = FullSystemSim::new().run(&config)?;
 /// println!("{} transmissions", outcome.transmissions);
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FullSystemSim {
-    config: SystemConfig,
     dt: f64,
+}
+
+impl Default for FullSystemSim {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl FullSystemSim {
     /// Creates the engine with the default 50 µs analogue step.
-    pub fn new(config: SystemConfig) -> Self {
-        FullSystemSim { config, dt: 5e-5 }
+    pub fn new() -> Self {
+        FullSystemSim { dt: 5e-5 }
     }
 
     /// Overrides the analogue integration step.
@@ -61,19 +70,18 @@ impl FullSystemSim {
         self
     }
 
-    /// The experiment description.
-    pub fn config(&self) -> &SystemConfig {
-        &self.config
+    /// The analogue integration step (s).
+    pub fn dt(&self) -> f64 {
+        self.dt
     }
 
-    /// Runs the scenario to its horizon.
+    /// Runs `config` to its horizon.
     ///
     /// # Errors
     ///
     /// Returns configuration errors (Table V violations) and analogue
     /// solver failures.
-    pub fn run(&self) -> Result<SimOutcome> {
-        let cfg = &self.config;
+    pub fn run(&self, cfg: &SystemConfig) -> Result<SimOutcome> {
         let mcu = Mcu::new(cfg.node.clock_hz)?;
         let node = SensorNode::new(cfg.node.tx_interval_s)?;
         let mut firmware = TuningFirmware::new(
@@ -186,6 +194,16 @@ impl FullSystemSim {
             trace,
             horizon: cfg.horizon,
         })
+    }
+}
+
+impl SimEngine for FullSystemSim {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Full
+    }
+
+    fn simulate(&self, config: &SystemConfig) -> Result<SimOutcome> {
+        self.run(config)
     }
 }
 
@@ -377,7 +395,10 @@ mod tests {
     fn transmissions_happen_at_the_configured_interval() {
         // 12 s horizon, 5 s interval, starting above 2.8 V → 3 checks
         // transmit (t = 0, 5, 10).
-        let out = FullSystemSim::new(short(12.0)).with_dt(2e-4).run().unwrap();
+        let out = FullSystemSim::new()
+            .with_dt(2e-4)
+            .run(&short(12.0))
+            .unwrap();
         assert!(
             (2..=4).contains(&out.transmissions),
             "got {} transmissions",
@@ -389,7 +410,7 @@ mod tests {
     fn capacitor_charges_when_tuned() {
         let mut cfg = short(10.0);
         cfg.node.tx_interval_s = 10.0; // minimise tx drain
-        let out = FullSystemSim::new(cfg).with_dt(2e-4).run().unwrap();
+        let out = FullSystemSim::new().with_dt(2e-4).run(&cfg).unwrap();
         assert!(
             out.final_voltage > 2.8,
             "tuned start should charge: {}",
@@ -402,7 +423,7 @@ mod tests {
     fn trace_records_voltage() {
         let mut cfg = short(5.0);
         cfg.trace_interval = Some(1.0);
-        let out = FullSystemSim::new(cfg).with_dt(2e-4).run().unwrap();
+        let out = FullSystemSim::new().with_dt(2e-4).run(&cfg).unwrap();
         assert!(out.trace.len() >= 5);
         assert!(out.trace.iter().all(|s| s.voltage > 2.0));
     }
@@ -411,7 +432,7 @@ mod tests {
     fn invalid_config_is_an_error_not_a_panic() {
         let mut cfg = short(1.0);
         cfg.node.clock_hz = 1.0;
-        assert!(FullSystemSim::new(cfg).run().is_err());
+        assert!(FullSystemSim::new().run(&cfg).is_err());
     }
 
     #[test]
@@ -420,7 +441,7 @@ mod tests {
         let mut cfg = short(70.0);
         cfg.node.watchdog_s = 60.0;
         cfg.start_tuned = false;
-        let out = FullSystemSim::new(cfg).with_dt(2e-4).run().unwrap();
+        let out = FullSystemSim::new().with_dt(2e-4).run(&cfg).unwrap();
         assert_eq!(out.watchdog_wakes, 1);
         assert!(out.coarse_moves >= 1);
         assert!(out.final_position > 0);

@@ -23,6 +23,9 @@
 //! * [`FullSystemSim`] — the fine-timestep mixed-signal co-simulation on
 //!   [`msim`], the direct SystemC-A analogue, used to validate the
 //!   envelope engine.
+//! * [`SimEngine`] / [`EngineKind`] / [`Scenario`] — the engine
+//!   abstraction layer: every consumer (DSE flow, robustness ensembles,
+//!   CLI, benches) selects an engine at runtime instead of naming one.
 //!
 //! # Example: reproduce one design point of the paper
 //!
@@ -33,7 +36,7 @@
 //! // transmission interval, one-hour horizon with the 60 mg stepped
 //! // vibration profile.
 //! let config = SystemConfig::paper(NodeConfig::original());
-//! let outcome = EnvelopeSim::new(config).run();
+//! let outcome = EnvelopeSim::new().run(&config);
 //! assert!(outcome.transmissions > 100);
 //! ```
 
@@ -42,6 +45,7 @@
 
 pub mod analysis;
 mod config;
+mod engine;
 mod envelope;
 mod error;
 mod firmware;
@@ -52,8 +56,9 @@ mod peripherals;
 pub mod power;
 mod sensor;
 
-pub use analysis::{BindingConstraint, PowerBudget};
+pub use analysis::{BindingConstraint, EngineAgreement, PowerBudget};
 pub use config::{NodeConfig, SystemConfig};
+pub use engine::{EngineKind, Scenario, SimEngine};
 pub use envelope::EnvelopeSim;
 pub use error::NodeError;
 pub use firmware::{FirmwareAction, TuningFirmware};

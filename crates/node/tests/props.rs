@@ -81,7 +81,7 @@ proptest! {
         let horizon = 400.0;
         let mut cfg = SystemConfig::paper(config).with_horizon(horizon);
         cfg.trace_interval = None;
-        let out = EnvelopeSim::new(cfg.clone()).run();
+        let out = EnvelopeSim::new().run(&cfg);
 
         // Ceiling: fast-band interval plus the 60 s band cannot be beaten.
         let ceiling = (horizon / config.tx_interval_s).ceil() as u64 + 2;
@@ -121,8 +121,8 @@ proptest! {
     fn envelope_deterministic(config in node_config()) {
         let mut cfg = SystemConfig::paper(config).with_horizon(200.0);
         cfg.trace_interval = None;
-        let a = EnvelopeSim::new(cfg.clone()).run();
-        let b = EnvelopeSim::new(cfg).run();
+        let a = EnvelopeSim::new().run(&cfg);
+        let b = EnvelopeSim::new().run(&cfg);
         prop_assert_eq!(a, b);
     }
 
@@ -139,7 +139,7 @@ proptest! {
             let mut cfg = SystemConfig::paper(config).with_horizon(horizon);
             cfg.vibration = VibrationProfile::sine(75.0, level);
             cfg.trace_interval = None;
-            EnvelopeSim::new(cfg).run().transmissions
+            EnvelopeSim::new().run(&cfg).transmissions
         };
         let weak = mk(base_level);
         let strong = mk(base_level * boost);
@@ -156,7 +156,7 @@ proptest! {
         let horizon = 1800.0;
         let mut cfg = SystemConfig::paper(config).with_horizon(horizon);
         cfg.trace_interval = None;
-        let out = EnvelopeSim::new(cfg).run();
+        let out = EnvelopeSim::new().run(&cfg);
         let expected = (horizon / watchdog).floor() as u64;
         // Tuning cycles delay subsequent wakes, so allow slack below.
         prop_assert!(

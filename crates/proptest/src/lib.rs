@@ -3,7 +3,7 @@
 //! The workspace must build in network-restricted environments, so it
 //! cannot fetch the registry `proptest` crate. This crate vendors the
 //! *subset* of proptest's API that the workspace's property tests use —
-//! the [`proptest!`] macro, [`Strategy`] with `prop_map`, range and tuple
+//! the [`proptest!`] macro, [`strategy::Strategy`] with `prop_map`, range and tuple
 //! strategies, `prop::collection::vec`, `prop::sample::select`,
 //! [`any`]`::<bool>()` and the `prop_assert*` macros — on top of a seeded
 //! SplitMix64 generator.

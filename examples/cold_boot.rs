@@ -12,7 +12,7 @@
 //! Run with: `cargo run --release --example cold_boot`
 
 use harvester::VibrationProfile;
-use wsn_node::{EnvelopeSim, NodeConfig, SystemConfig};
+use wsn_node::{EngineKind, NodeConfig, SystemConfig};
 
 fn main() {
     // The machine vibrates near the harvester's untuned base resonance, so
@@ -25,7 +25,10 @@ fn main() {
     config.start_tuned = false;
     config.trace_interval = Some(30.0);
 
-    let outcome = EnvelopeSim::new(config).run();
+    let outcome = EngineKind::Envelope
+        .engine()
+        .simulate(&config)
+        .expect("paper configuration is valid");
 
     println!("== cold boot from an empty supercapacitor ==\n");
     let mut milestones = [

@@ -58,7 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
     for (name, result) in &runs {
         let config = coded_to_config(flow.space(), &result.x)?;
-        let simulated = flow.evaluate(config).transmissions;
+        let simulated = flow.evaluate(config)?.transmissions;
         println!(
             "{name:<22} {:>12.0} {simulated:>12} {:>8}",
             result.value, result.evaluations

@@ -9,7 +9,7 @@
 //! Run with: `cargo run --release --example tune_and_transmit`
 
 use harvester::VibrationProfile;
-use wsn_node::{EnvelopeSim, NodeConfig, SystemConfig};
+use wsn_node::{EngineKind, NodeConfig, SystemConfig};
 
 fn main() {
     // A machine spinning up in two stages: 72 Hz, then 77 Hz, then 82 Hz.
@@ -19,7 +19,10 @@ fn main() {
     );
     let config = SystemConfig::paper(NodeConfig::original()).with_vibration(vibration);
 
-    let outcome = EnvelopeSim::new(config).run();
+    let outcome = EngineKind::Envelope
+        .engine()
+        .simulate(&config)
+        .expect("paper configuration is valid");
 
     println!("== one hour of monitoring ==");
     println!("{outcome}\n");

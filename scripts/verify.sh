@@ -5,8 +5,10 @@
 #
 #   scripts/verify.sh
 #
-# Runs: release build, the full test suite, rustfmt in check mode and
-# clippy with warnings denied. Fails on the first broken step.
+# Runs: release build, the full test suite (plus the cross-engine
+# agreement gate explicitly), rustfmt in check mode, clippy with warnings
+# denied and rustdoc with warnings denied (the workspace carries
+# `#![warn(missing_docs)]`). Fails on the first broken step.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,10 +18,16 @@ cargo build --release --offline
 echo "== cargo test --offline =="
 cargo test -q --offline
 
+echo "== cargo test cross_engine (envelope vs full co-simulation) =="
+cargo test -q --offline -p wsn-dse --test cross_engine
+
 echo "== cargo fmt --check =="
 cargo fmt --check
 
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --offline --all-targets -- -D warnings
+
+echo "== cargo doc (deny warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --quiet
 
 echo "verify: all checks passed"

@@ -7,7 +7,7 @@ use harvester::VibrationProfile;
 use rsm::stepwise::backward_eliminate;
 use rsm::{lack_of_fit, ResponseSurface};
 use wsn_dse::DseFlow;
-use wsn_node::{EnvelopeSim, NodeConfig, SystemConfig};
+use wsn_node::{EngineKind, NodeConfig, SystemConfig};
 
 fn fast_flow() -> DseFlow {
     let template = SystemConfig::paper(NodeConfig::original()).with_horizon(600.0);
@@ -130,8 +130,9 @@ fn drift_scenario_is_stable() {
     let node = NodeConfig::new(4e6, 300.0, 1.0).expect("valid");
     let mut cfg = SystemConfig::paper(node).with_vibration(vibration);
     cfg.trace_interval = None;
-    let a = EnvelopeSim::new(cfg.clone()).run();
-    let b = EnvelopeSim::new(cfg).run();
+    let engine = EngineKind::Envelope.engine();
+    let a = engine.simulate(&cfg).expect("valid");
+    let b = engine.simulate(&cfg).expect("valid");
     assert_eq!(a, b, "drift scenario must stay deterministic");
     assert!(
         a.final_voltage > 1.5,

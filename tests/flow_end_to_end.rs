@@ -2,7 +2,7 @@
 //! the Table VI reproduction claims, stated as assertions.
 
 use wsn_dse::{coded_to_config, paper_design_space, DseFlow};
-use wsn_node::{EnvelopeSim, NodeConfig, SystemConfig};
+use wsn_node::{EngineKind, NodeConfig, SystemConfig};
 
 /// The full paper flow: D-optimal DOE → simulate → fit → optimise →
 /// validate. The optimised design must roughly double the original's
@@ -95,7 +95,11 @@ fn table_vi_reference_configs_ordering() {
     let run = |node: NodeConfig| {
         let mut cfg = SystemConfig::paper(node);
         cfg.trace_interval = None;
-        EnvelopeSim::new(cfg).run().transmissions
+        EngineKind::Envelope
+            .engine()
+            .simulate(&cfg)
+            .expect("valid")
+            .transmissions
     };
     let original = run(NodeConfig::original());
     let sa = run(NodeConfig::sa_optimised());
@@ -119,7 +123,7 @@ fn every_design_corner_is_simulatable() {
         let config = coded_to_config(&space, &coded).expect("corner decodes");
         let mut cfg = SystemConfig::paper(config).with_horizon(120.0);
         cfg.trace_interval = None;
-        let out = EnvelopeSim::new(cfg).run();
+        let out = EngineKind::Envelope.engine().simulate(&cfg).expect("valid");
         assert!(out.final_voltage > 0.0);
     }
 }

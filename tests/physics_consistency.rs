@@ -3,7 +3,7 @@
 //! analytical expectations.
 
 use harvester::{Microgenerator, Supercapacitor, VibrationProfile};
-use wsn_node::{EnvelopeSim, FullSystemSim, NodeConfig, SystemConfig};
+use wsn_node::{EngineKind, NodeConfig, SystemConfig};
 
 fn quiet_config(node: NodeConfig, horizon: f64) -> SystemConfig {
     let mut cfg = SystemConfig::paper(node).with_horizon(horizon);
@@ -19,10 +19,10 @@ fn engines_agree_on_charging_rate() {
     let node = NodeConfig::new(4e6, 320.0, 10.0).expect("valid");
     let cfg = quiet_config(node, 40.0);
 
-    let env = EnvelopeSim::new(cfg.clone()).run();
-    let full = FullSystemSim::new(cfg)
-        .with_dt(1e-4)
-        .run()
+    let env = EngineKind::Envelope.engine().simulate(&cfg).expect("valid");
+    let full = EngineKind::Full
+        .engine_with_dt(1e-4)
+        .simulate(&cfg)
         .expect("full sim runs");
 
     let dv = (env.final_voltage - full.final_voltage).abs();
@@ -43,8 +43,11 @@ fn engines_agree_detuned_harvest_is_negligible() {
     let node = NodeConfig::new(4e6, 600.0, 10.0).expect("valid");
     let mut cfg = quiet_config(node, 30.0);
     cfg.start_tuned = false; // position 0 = 67.6 Hz vs vibration at 75 Hz
-    let env = EnvelopeSim::new(cfg.clone()).run();
-    let full = FullSystemSim::new(cfg).with_dt(1e-4).run().expect("runs");
+    let env = EngineKind::Envelope.engine().simulate(&cfg).expect("valid");
+    let full = EngineKind::Full
+        .engine_with_dt(1e-4)
+        .simulate(&cfg)
+        .expect("runs");
     assert!(
         env.energy.harvested < 1e-4,
         "envelope harvested {}",
@@ -63,7 +66,7 @@ fn engines_agree_detuned_harvest_is_negligible() {
 fn envelope_harvest_matches_steady_state_analysis() {
     let node = NodeConfig::new(4e6, 600.0, 10.0).expect("valid");
     let cfg = quiet_config(node, 120.0);
-    let out = EnvelopeSim::new(cfg.clone()).run();
+    let out = EngineKind::Envelope.engine().simulate(&cfg).expect("valid");
 
     let generator = Microgenerator::paper();
     let f0 = cfg.vibration.dominant_frequency(0.0);
@@ -89,7 +92,7 @@ fn energy_conservation_for_table_vi_configs() {
         NodeConfig::ga_optimised(),
     ] {
         let cfg = quiet_config(node, 3600.0);
-        let out = EnvelopeSim::new(cfg.clone()).run();
+        let out = EngineKind::Envelope.engine().simulate(&cfg).expect("valid");
         let e0 = cfg.storage.energy(cfg.initial_voltage);
         let e1 = cfg.storage.energy(out.final_voltage);
         let delta = e1 - e0;
@@ -111,7 +114,7 @@ fn sleep_drain_matches_analytic_rate() {
     cfg.vibration = VibrationProfile::sine(20.0, 0.2); // hopelessly detuned
     cfg.start_tuned = false;
     cfg.initial_voltage = 2.65; // below every transmission threshold
-    let out = EnvelopeSim::new(cfg.clone()).run();
+    let out = EngineKind::Envelope.engine().simulate(&cfg).expect("valid");
     assert_eq!(out.transmissions, 0, "no transmissions below 2.7 V");
 
     let storage = Supercapacitor::paper();
@@ -131,7 +134,7 @@ fn retuning_restores_harvest_after_frequency_step() {
     let mut cfg = quiet_config(node, 240.0);
     cfg.vibration = VibrationProfile::stepped(0.5886, vec![(0.0, 75.0), (30.0, 80.0)]);
 
-    let out = EnvelopeSim::new(cfg.clone()).run();
+    let out = EngineKind::Envelope.engine().simulate(&cfg).expect("valid");
     assert!(out.coarse_moves >= 1, "retune expected");
     // After the retune (watchdog at 60 s + tuning time), the final
     // position must correspond to ~80 Hz.
