@@ -20,7 +20,9 @@ fn mean_tx(watchdog: f64, clock: f64, drift_sigma: f64, seed_base: u64) -> f64 {
     let mut template = SystemConfig::paper(node);
     template.trace_interval = None;
     let seeds: Vec<u64> = (0..3).map(|s| seed_base + s).collect();
-    drift_robustness(&template, node, drift_sigma, &seeds, 0).mean
+    drift_robustness(&template, node, drift_sigma, &seeds, 0)
+        .expect("within ranges")
+        .mean
 }
 
 fn main() {

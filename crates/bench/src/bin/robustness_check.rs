@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     wsn_bench::rule(76);
     for (name, config) in configs {
-        let s = frequency_robustness(&template, config, &f0_values, jobs);
+        let s = frequency_robustness(&template, config, &f0_values, jobs)?;
         println!(
             "{name:<18} {:>8.0} {:>8.0} {:>8.0} {:>8.0} {:>10.3}",
             s.mean,
@@ -57,7 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     wsn_bench::rule(76);
     let seeds: Vec<u64> = (100..106).collect();
     for (name, config) in configs {
-        let s = drift_robustness(&template, config, 0.5, &seeds, jobs);
+        let s = drift_robustness(&template, config, 0.5, &seeds, jobs)?;
         println!(
             "{name:<18} {:>8.0} {:>8.0} {:>8.0} {:>8.0} {:>10.3}",
             s.mean,

@@ -5,6 +5,8 @@
 //! wsn_dse simulate  --clock HZ --watchdog S --interval S [--f0 HZ] [--horizon S] [--engine E] [--trace]
 //! wsn_dse sweep     --factor {clock|watchdog|interval} [--samples N] [--validate] [--jobs N]
 //! wsn_dse refine    [--seed N] [--shrink F] [--runs N] [--jobs N]
+//! wsn_dse faults    [--clock HZ --watchdog S --interval S] [--fault-seed N] [--fault-rate R]
+//!                   [--seeds N] [--f0 HZ] [--horizon S] [--jobs N] [--engine E] [--json]
 //! ```
 //!
 //! `--jobs N` caps the simulation worker threads (0 or omitted: all
@@ -19,15 +21,25 @@
 //! `run` executes the full paper flow (`--json` emits the report as one
 //! machine-readable line); `simulate` evaluates one configuration;
 //! `sweep` prints a Fig. 4 style panel; `refine` runs the two-phase
-//! sequential flow.
+//! sequential flow; `faults` evaluates one configuration under a seeded
+//! fault-injection ensemble and reports the throughput distribution and
+//! fault counters.
+//!
+//! `--fault-seed N --fault-rate R` (accepted by `run`, `simulate` and
+//! `faults`) inject deterministic faults: each radio transmission fails
+//! with probability `R`, each watchdog wake is missed with probability
+//! `R`, and the vibration source drops out `20 R` times per hour for
+//! 60 s. The schedule is a pure function of the seed, so reports stay
+//! bit-identical at any `--jobs`.
 
 use std::process::ExitCode;
 
 use std::sync::Arc;
 
 use harvester::VibrationProfile;
-use wsn_dse::DseFlow;
-use wsn_node::{EngineKind, NodeConfig, SimEngine, SystemConfig};
+use wsn_dse::robustness::{evaluate_scenarios_with, fault_robustness_with};
+use wsn_dse::{DseFlow, SimPool};
+use wsn_node::{EngineKind, FaultPlan, NodeConfig, SimEngine, SystemConfig};
 
 /// Minimal flag parser: `--key value` pairs after the subcommand.
 struct Args {
@@ -87,16 +99,20 @@ impl Args {
 }
 
 fn usage() -> &'static str {
-    "usage: wsn_dse <run|simulate|sweep|refine> [options]\n\
+    "usage: wsn_dse <run|simulate|sweep|refine|faults> [options]\n\
      \n\
      run       --seed N --runs N --f0 HZ --horizon S [--csv DIR] [--jobs N] [--json]\n\
      simulate  --clock HZ --watchdog S --interval S [--f0 HZ] [--horizon S] [--trace]\n\
      sweep     --factor clock|watchdog|interval [--samples N] [--validate] [--jobs N]\n\
      refine    --seed N --shrink F --runs N [--jobs N]\n\
+     faults    --clock HZ --watchdog S --interval S --fault-seed N --fault-rate R\n\
+               [--seeds N] [--f0 HZ] [--horizon S] [--jobs N] [--json]\n\
      \n\
      --engine envelope|full selects the simulation engine (all commands;\n\
        default envelope; full is slow — use a short --horizon);\n\
        --dt S overrides the full engine's analogue step\n\
+     --fault-seed N --fault-rate R (run, simulate, faults) inject\n\
+       deterministic radio/watchdog/vibration faults at rate R\n\
      --jobs 0 (default) uses all cores; results are identical at any job count"
 }
 
@@ -114,6 +130,19 @@ fn engine_from(args: &Args) -> Result<Arc<dyn SimEngine>, String> {
     }
 }
 
+/// Builds the fault plan selected by `--fault-seed`/`--fault-rate`
+/// (default: nominal — no faults).
+fn fault_plan_from(args: &Args) -> Result<FaultPlan, String> {
+    let seed = args.get_u64("fault-seed", 0)?;
+    let rate = args.get_f64("fault-rate", 0.0)?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(format!(
+            "--fault-rate: expected a rate in [0, 1], got {rate}"
+        ));
+    }
+    Ok(FaultPlan::uniform(seed, rate))
+}
+
 fn flow_from(args: &Args) -> Result<DseFlow, String> {
     let seed = args.get_u64("seed", 12)?;
     let runs = args.get_u64("runs", 10)? as usize;
@@ -125,6 +154,7 @@ fn flow_from(args: &Args) -> Result<DseFlow, String> {
         .with_vibration(VibrationProfile::paper_profile(f0));
     Ok(DseFlow::paper()
         .with_template(template)
+        .faults(fault_plan_from(args)?)
         .seed(seed)
         .doe_runs(runs)
         .jobs(jobs)
@@ -169,7 +199,8 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     let node = NodeConfig::new(clock, watchdog, interval).map_err(|e| e.to_string())?;
     let mut cfg = SystemConfig::paper(node)
         .with_horizon(horizon)
-        .with_vibration(VibrationProfile::paper_profile(f0));
+        .with_vibration(VibrationProfile::paper_profile(f0))
+        .with_faults(fault_plan_from(args)?);
     if !args.has_flag("trace") {
         cfg.trace_interval = None;
     }
@@ -233,6 +264,99 @@ fn cmd_refine(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Evaluates one configuration under a seeded fault-injection ensemble:
+/// a nominal baseline plus `--seeds` independent realisations of the
+/// `--fault-seed`/`--fault-rate` plan, all through one deterministic
+/// pool.
+fn cmd_faults(args: &Args) -> Result<(), String> {
+    let clock = args.get_f64("clock", 4e6)?;
+    let watchdog = args.get_f64("watchdog", 320.0)?;
+    let interval = args.get_f64("interval", 5.0)?;
+    let f0 = args.get_f64("f0", 75.0)?;
+    let horizon = args.get_f64("horizon", 3600.0)?;
+    let jobs = args.get_u64("jobs", 0)? as usize;
+    let n_seeds = args.get_u64("seeds", 8)?;
+    if n_seeds == 0 {
+        return Err("--seeds: expected at least one realisation".to_owned());
+    }
+    let plan = fault_plan_from(args)?;
+    if plan.is_none() {
+        return Err("faults: --fault-rate must be positive (try --fault-rate 0.1)".to_owned());
+    }
+
+    let node = NodeConfig::new(clock, watchdog, interval).map_err(|e| e.to_string())?;
+    let mut template = SystemConfig::paper(node)
+        .with_horizon(horizon)
+        .with_vibration(VibrationProfile::paper_profile(f0));
+    template.trace_interval = None;
+
+    let engine = engine_from(args)?;
+    let pool = SimPool::new(jobs);
+    let nominal = evaluate_scenarios_with(&engine, &pool, &template, node, &[template.scenario()])
+        .map_err(|e| e.to_string())?;
+    let nominal_tx = nominal.samples[0];
+
+    let seeds: Vec<u64> = (0..n_seeds).map(|i| plan.seed().wrapping_add(i)).collect();
+    let summary = fault_robustness_with(&engine, &pool, &template, node, plan, &seeds)
+        .map_err(|e| e.to_string())?;
+
+    // Fault counters from the first realisation (the ensemble memoises
+    // only the response, so one direct deterministic re-run recovers
+    // them).
+    let mut counted = template.clone().with_faults(plan.reseeded(seeds[0]));
+    counted.node = node;
+    let outcome = engine.simulate(&counted).map_err(|e| e.to_string())?;
+
+    if args.has_flag("json") {
+        let samples: Vec<String> = summary.samples.iter().map(|s| format!("{s}")).collect();
+        println!(
+            "{{\"fault_seed\":{},\"fault_rate\":{},\"realisations\":{},\
+             \"nominal_tx\":{},\
+             \"ensemble\":{{\"samples\":[{}],\"mean\":{},\"std_dev\":{},\"min\":{},\"max\":{},\
+             \"fragility\":{:.6},\"p10\":{},\"worst_case_ratio\":{:.6}}},\
+             \"counters\":{{\"tx_failures\":{},\"tx_retries\":{},\"tx_aborts\":{},\
+             \"brownouts\":{},\"watchdog_misses\":{}}}}}",
+            plan.seed(),
+            plan.tx_failure_rate(),
+            n_seeds,
+            nominal_tx,
+            samples.join(","),
+            summary.mean,
+            summary.std_dev,
+            summary.min,
+            summary.max,
+            summary.fragility(),
+            summary.percentile(10.0),
+            summary.worst_case_ratio(),
+            outcome.faults.tx_failures,
+            outcome.faults.tx_retries,
+            outcome.faults.tx_aborts,
+            outcome.faults.brownouts,
+            outcome.faults.watchdog_misses,
+        );
+    } else {
+        println!(
+            "fault injection: seed {}, rate {}, {} realisations over {horizon} s",
+            plan.seed(),
+            plan.tx_failure_rate(),
+            n_seeds
+        );
+        println!("nominal:     {nominal_tx:.0} tx");
+        println!(
+            "ensemble:    mean {:.1}, min {:.0}, max {:.0}, σ {:.1}",
+            summary.mean, summary.min, summary.max, summary.std_dev
+        );
+        println!(
+            "tail:        p10 {:.1}, worst-case retention {:.3}, fragility {:.3}",
+            summary.percentile(10.0),
+            summary.worst_case_ratio(),
+            summary.fragility()
+        );
+        println!("counters[0]: {}", outcome.faults);
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = argv.split_first() else {
@@ -251,6 +375,7 @@ fn main() -> ExitCode {
         "simulate" => cmd_simulate(&args),
         "sweep" => cmd_sweep(&args),
         "refine" => cmd_refine(&args),
+        "faults" => cmd_faults(&args),
         other => Err(format!("unknown command {other}\n{}", usage())),
     };
     match result {

@@ -14,6 +14,11 @@ pub enum DseError {
     Node(wsn_node::NodeError),
     /// An invalid argument to the flow itself.
     InvalidArgument(&'static str),
+    /// An evaluation closure panicked inside a pool worker; the payload
+    /// is the panic message. Produced by the fault-tolerant batch mode
+    /// (see [`crate::SimPool::evaluate_batch_partial`]), which converts
+    /// worker panics into errors instead of tearing the batch down.
+    EvalPanicked(String),
 }
 
 impl fmt::Display for DseError {
@@ -24,6 +29,7 @@ impl fmt::Display for DseError {
             DseError::Optim(e) => write!(f, "optimisation failed: {e}"),
             DseError::Node(e) => write!(f, "simulation failed: {e}"),
             DseError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            DseError::EvalPanicked(msg) => write!(f, "evaluation panicked: {msg}"),
         }
     }
 }
@@ -36,6 +42,7 @@ impl std::error::Error for DseError {
             DseError::Optim(e) => Some(e),
             DseError::Node(e) => Some(e),
             DseError::InvalidArgument(_) => None,
+            DseError::EvalPanicked(_) => None,
         }
     }
 }

@@ -3,7 +3,9 @@ use std::sync::Arc;
 use doe::{DOptimal, Design, DesignSpace, ModelSpec};
 use optim::{Bounds, GeneticAlgorithm, Optimizer, SimulatedAnnealing};
 use rsm::ResponseSurface;
-use wsn_node::{EngineKind, NodeConfig, SimEngine, SimOutcome, SystemConfig};
+use wsn_node::{
+    EngineKind, FaultCounters, FaultPlan, NodeConfig, SimEngine, SimOutcome, SystemConfig,
+};
 
 use crate::pool::{EvalKey, SimPool};
 use crate::report::{DesignEval, DseReport};
@@ -90,6 +92,22 @@ impl DseFlow {
         self.template.trace_interval = None;
         self.pool.cache().clear();
         self
+    }
+
+    /// Installs a fault plan: every simulation of the flow — design
+    /// points, validations, sweeps — runs under `plan`'s seeded fault
+    /// schedule. The default is [`FaultPlan::none`]; scenario fingerprints
+    /// fold the plan in, so faulty and nominal evaluations never share a
+    /// cache entry (stale nominal entries are dropped anyway).
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.template.faults = plan;
+        self.pool.cache().clear();
+        self
+    }
+
+    /// The installed fault plan.
+    pub fn fault_plan(&self) -> FaultPlan {
+        self.template.faults
     }
 
     /// Selects the simulation engine by kind (the default is
@@ -269,21 +287,35 @@ impl DseFlow {
                 self.evaluate_coded(&candidates[i])
             })?
             .into_iter();
+        // The pool memoises only the response (transmissions); fault
+        // counters come from one direct deterministic re-run per
+        // validated candidate, and only when faults are injected — the
+        // nominal path stays exactly as cheap as before.
+        let counters_for = |config: NodeConfig| -> Result<FaultCounters> {
+            if self.template.faults.is_none() {
+                Ok(FaultCounters::default())
+            } else {
+                Ok(self.evaluate(config)?.faults)
+            }
+        };
         let original = DesignEval {
             label: "original".to_owned(),
             coded: original_coded,
             predicted: None,
             simulated: validated.next().expect("one response per candidate") as u64,
+            faults: counters_for(original_cfg)?,
             config: original_cfg,
         };
         let mut optimised = Vec::new();
         for ((label, coded, predicted), simulated) in optima.into_iter().zip(validated) {
+            let config = coded_to_config(&self.space, &coded)?;
             optimised.push(DesignEval {
                 label,
-                config: coded_to_config(&self.space, &coded)?,
+                config,
                 coded,
                 predicted: Some(predicted),
                 simulated: simulated as u64,
+                faults: counters_for(config)?,
             });
         }
 
@@ -588,6 +620,40 @@ mod tests {
             best2 as f64 >= 0.9 * best1 as f64,
             "refinement regressed: {best1} -> {best2}"
         );
+    }
+
+    #[test]
+    fn fault_plan_threads_through_the_flow() {
+        // Radio loss only: unlike watchdog misses (which can *save*
+        // tuning energy), failed transmissions strictly waste energy.
+        let plan = FaultPlan::seeded(5).with_tx_failure_rate(0.4);
+        let nominal = fast_flow().run().unwrap();
+        let faulty = fast_flow().faults(plan).run().unwrap();
+        assert_eq!(faulty.original.config, nominal.original.config);
+        assert!(
+            !faulty.original.faults.is_nominal(),
+            "40% radio loss must register in the validation counters"
+        );
+        assert!(
+            faulty.original.simulated < nominal.original.simulated,
+            "injected radio loss must cost transmissions ({} vs {})",
+            faulty.original.simulated,
+            nominal.original.simulated
+        );
+        assert!(nominal.original.faults.is_nominal());
+        // Counters reach the JSON report.
+        assert!(faulty.to_json().contains("\"tx_failures\":"));
+    }
+
+    #[test]
+    fn faulty_flows_are_deterministic_across_jobs() {
+        let plan = FaultPlan::uniform(5, 0.2);
+        let a = fast_flow().faults(plan).jobs(1).run().unwrap();
+        let b = fast_flow().faults(plan).jobs(4).run().unwrap();
+        assert_eq!(a.responses, b.responses);
+        assert_eq!(a.original, b.original);
+        assert_eq!(a.optimised, b.optimised);
+        assert_eq!(a.to_json(), b.to_json());
     }
 
     #[test]

@@ -46,7 +46,7 @@ mod space;
 
 pub use error::DseError;
 pub use flow::{DseFlow, SweepPoint, SweepSeries};
-pub use pool::{EvalCache, EvalKey, SimPool};
+pub use pool::{BatchFailure, BatchReport, EvalCache, EvalKey, SimPool, MAX_EVAL_ATTEMPTS};
 pub use report::{DesignEval, DseReport};
 pub use space::{coded_to_config, config_to_coded, paper_design_space};
 

@@ -24,14 +24,29 @@
 //! Results are reassembled in submission order and every evaluation is a
 //! pure function of its key, so a fixed seed produces bit-identical
 //! reports at any `jobs` setting.
+//!
+//! Batches come in two flavours: [`SimPool::evaluate_batch`] is
+//! all-or-nothing (first failure, in input order, aborts the batch),
+//! while [`SimPool::evaluate_batch_partial`] is fault-tolerant — each
+//! failing or panicking key is isolated (panics are caught on the worker
+//! via `catch_unwind`), retried up to [`MAX_EVAL_ATTEMPTS`] times, and
+//! reported in a structured [`BatchReport`] while every other point
+//! completes. Failed keys are never cached, so a later batch re-attempts
+//! them from scratch.
 
 use std::collections::HashMap;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use wsn_node::EngineKind;
 
-use crate::Result;
+use crate::{DseError, Result};
+
+/// Maximum evaluation attempts per failing key in
+/// [`SimPool::evaluate_batch_partial`] (the first try plus bounded
+/// retries for transient failures).
+pub const MAX_EVAL_ATTEMPTS: u32 = 2;
 
 /// Quantisation step for cache keys. Coded factors span `[-1, 1]`, so
 /// 1e-9 is far below any meaningful design distinction but above
@@ -163,6 +178,69 @@ impl EvalCache {
     }
 }
 
+/// One failed distinct key from a fault-tolerant batch evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchFailure {
+    /// First input index (in the submitted batch) at which the failing
+    /// key appears; duplicates of the key later in the batch fail with
+    /// it.
+    pub index: usize,
+    /// The failing key.
+    pub key: EvalKey,
+    /// Evaluation attempts spent before giving up (bounded by
+    /// [`MAX_EVAL_ATTEMPTS`]).
+    pub attempts: u32,
+    /// The final error; a caught worker panic surfaces as
+    /// [`DseError::EvalPanicked`].
+    pub error: DseError,
+}
+
+/// Structured outcome of [`SimPool::evaluate_batch_partial`]: per-key
+/// results in submission order plus a description of every failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchReport {
+    /// One slot per input key, in input order: `Some(response)` when the
+    /// evaluation succeeded, `None` when it failed.
+    pub results: Vec<Option<f64>>,
+    /// Every failed distinct key, in first-appearance (input) order.
+    pub failures: Vec<BatchFailure>,
+}
+
+impl BatchReport {
+    /// Whether every point evaluated successfully.
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Number of input slots with a response.
+    pub fn succeeded(&self) -> usize {
+        self.results.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// Number of input slots without a response (counting duplicates of a
+    /// failed key once per appearance).
+    pub fn failed(&self) -> usize {
+        self.results.len() - self.succeeded()
+    }
+
+    /// Converts to the all-or-nothing view: the full response vector, or
+    /// the first failure's error (in input order).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`BatchFailure::error`] when any point failed.
+    pub fn into_complete(self) -> Result<Vec<f64>> {
+        match self.failures.into_iter().next() {
+            Some(failure) => Err(failure.error),
+            None => Ok(self
+                .results
+                .into_iter()
+                .map(|r| r.expect("no failures recorded"))
+                .collect()),
+        }
+    }
+}
+
 /// Deterministic parallel evaluator for batches of keyed design points.
 ///
 /// Wraps a [`numkit::pool::par_map_ordered`] fan-out with an [`EvalCache`]
@@ -208,10 +286,37 @@ impl SimPool {
     /// response per input key, in input order, bit-identical for any
     /// `jobs` setting.
     ///
+    /// This is the all-or-nothing view of
+    /// [`evaluate_batch_partial`](Self::evaluate_batch_partial):
+    /// successful points still complete (and are cached), but any failure
+    /// surfaces as the batch's error.
+    ///
     /// # Errors
     ///
     /// Returns the first (by input order) evaluation error, if any.
     pub fn evaluate_batch<F>(&self, keys: &[EvalKey], eval: F) -> Result<Vec<f64>>
+    where
+        F: Fn(usize) -> Result<f64> + Sync,
+    {
+        self.evaluate_batch_partial(keys, eval).into_complete()
+    }
+
+    /// Fault-tolerant batch evaluation: isolates per-key failures instead
+    /// of aborting the batch.
+    ///
+    /// Like [`evaluate_batch`](Self::evaluate_batch) — cache-first,
+    /// deduplicated, order-preserving, bit-identical at any `jobs`
+    /// setting — but a failing key cannot take the batch down:
+    ///
+    /// * an `Err` from `eval` (or a panic inside it, caught on the worker
+    ///   via `catch_unwind`) is retried up to [`MAX_EVAL_ATTEMPTS`] total
+    ///   attempts, to ride out transient failures;
+    /// * a key still failing after its last attempt is reported in
+    ///   [`BatchReport::failures`] with its first input index, attempt
+    ///   count and final error ([`DseError::EvalPanicked`] for panics);
+    /// * failed keys are **never cached** — a later batch re-attempts
+    ///   them — while every successful point is cached as usual.
+    pub fn evaluate_batch_partial<F>(&self, keys: &[EvalKey], eval: F) -> BatchReport
     where
         F: Fn(usize) -> Result<f64> + Sync,
     {
@@ -231,20 +336,63 @@ impl SimPool {
             outputs.push(cached);
         }
 
-        let fresh = numkit::pool::par_map_ordered(self.jobs, &pending, |_, &input| eval(input));
-        let fresh: Vec<f64> = fresh.into_iter().collect::<Result<_>>()?;
-        for (&input, &value) in pending.iter().zip(&fresh) {
-            self.cache.insert(keys[input].clone(), value);
+        // `AssertUnwindSafe` is sound here: a panicking attempt's partial
+        // state is confined to the attempt itself — the closure is re-run
+        // from scratch on retry, and nothing from a failed attempt ever
+        // reaches the cache or the report's successful slots.
+        let run_one = |input: usize| -> std::result::Result<f64, (u32, DseError)> {
+            let mut attempts = 0;
+            loop {
+                attempts += 1;
+                let error = match std::panic::catch_unwind(AssertUnwindSafe(|| eval(input))) {
+                    Ok(Ok(value)) => return Ok(value),
+                    Ok(Err(e)) => e,
+                    Err(payload) => DseError::EvalPanicked(panic_message(payload.as_ref())),
+                };
+                if attempts >= MAX_EVAL_ATTEMPTS {
+                    return Err((attempts, error));
+                }
+            }
+        };
+        let fresh = numkit::pool::par_map_ordered(self.jobs, &pending, |_, &input| run_one(input));
+
+        let mut fresh_values: Vec<Option<f64>> = Vec::with_capacity(fresh.len());
+        let mut failures = Vec::new();
+        for (&input, outcome) in pending.iter().zip(fresh) {
+            match outcome {
+                Ok(value) => {
+                    self.cache.insert(keys[input].clone(), value);
+                    fresh_values.push(Some(value));
+                }
+                Err((attempts, error)) => {
+                    failures.push(BatchFailure {
+                        index: input,
+                        key: keys[input].clone(),
+                        attempts,
+                        error,
+                    });
+                    fresh_values.push(None);
+                }
+            }
         }
 
-        Ok(keys
+        let results = keys
             .iter()
             .zip(outputs)
-            .map(|(key, cached)| match cached {
-                Some(v) => v,
-                None => fresh[pending_index[key]],
-            })
-            .collect())
+            .map(|(key, cached)| cached.or_else(|| fresh_values[pending_index[key]]))
+            .collect();
+        BatchReport { results, failures }
+    }
+}
+
+/// Extracts a printable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
     }
 }
 
@@ -335,6 +483,103 @@ mod tests {
             })
             .unwrap_err();
         assert_eq!(err, crate::DseError::InvalidArgument("boom"));
+    }
+
+    #[test]
+    fn partial_batch_isolates_failures_and_keeps_cache_clean() {
+        let pool = SimPool::new(2);
+        let points: Vec<Vec<f64>> = (0..6).map(|i| vec![i as f64]).collect();
+        let keys = keys_of(&points);
+        let calls = AtomicUsize::new(0);
+        let report = pool.evaluate_batch_partial(&keys, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            if i == 3 {
+                Err(crate::DseError::InvalidArgument("bad point"))
+            } else {
+                Ok(points[i][0])
+            }
+        });
+        assert!(!report.is_complete());
+        assert_eq!(report.succeeded(), 5);
+        assert_eq!(report.failed(), 1);
+        assert_eq!(report.results[0], Some(0.0));
+        assert_eq!(report.results[3], None, "the failing point has no slot");
+        let failure = &report.failures[0];
+        assert_eq!(failure.index, 3);
+        assert_eq!(failure.key, keys[3]);
+        assert_eq!(failure.attempts, MAX_EVAL_ATTEMPTS);
+        assert_eq!(failure.error, crate::DseError::InvalidArgument("bad point"));
+        // The failing key burns its full retry budget; the others run once.
+        assert_eq!(
+            calls.load(Ordering::Relaxed),
+            5 + MAX_EVAL_ATTEMPTS as usize
+        );
+
+        // Cache hygiene: only the successes are cached — no poisoned
+        // entry for the failed key.
+        assert_eq!(pool.cache().len(), 5);
+        let calls2 = AtomicUsize::new(0);
+        let report2 = pool.evaluate_batch_partial(&keys, |i| {
+            calls2.fetch_add(1, Ordering::Relaxed);
+            Ok(points[i][0] * 10.0)
+        });
+        assert!(report2.is_complete());
+        assert_eq!(
+            report2.results[3],
+            Some(30.0),
+            "a previously failed key must re-evaluate from scratch"
+        );
+        assert_eq!(
+            report2.results[0],
+            Some(0.0),
+            "successful keys answer from the cache"
+        );
+        assert_eq!(calls2.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn panicking_evaluations_are_caught_and_reported() {
+        let pool = SimPool::new(4);
+        let points: Vec<Vec<f64>> = (0..4).map(|i| vec![i as f64]).collect();
+        let keys = keys_of(&points);
+        let report = pool.evaluate_batch_partial(&keys, |i| {
+            if i == 1 {
+                panic!("degenerate design point");
+            }
+            Ok(points[i][0])
+        });
+        assert_eq!(report.succeeded(), 3);
+        assert_eq!(report.failures.len(), 1);
+        match &report.failures[0].error {
+            crate::DseError::EvalPanicked(msg) => assert!(msg.contains("degenerate")),
+            other => panic!("expected EvalPanicked, got {other:?}"),
+        }
+        assert_eq!(pool.cache().len(), 3, "panicked key must not be cached");
+        // The all-or-nothing wrapper surfaces the same panic as an error.
+        let err = pool
+            .evaluate_batch(&keys_of(&[vec![100.0]]), |_| -> Result<f64> {
+                panic!("boom {}", 2)
+            })
+            .unwrap_err();
+        assert!(matches!(err, crate::DseError::EvalPanicked(m) if m == "boom 2"));
+    }
+
+    #[test]
+    fn transient_failures_are_retried_within_the_batch() {
+        let pool = SimPool::new(1);
+        let keys = keys_of(&[vec![1.0]]);
+        let attempts = AtomicUsize::new(0);
+        let report = pool.evaluate_batch_partial(&keys, |_| {
+            if attempts.fetch_add(1, Ordering::Relaxed) == 0 {
+                Err(crate::DseError::InvalidArgument("transient"))
+            } else {
+                Ok(7.0)
+            }
+        });
+        assert!(report.is_complete());
+        assert_eq!(report.results[0], Some(7.0));
+        assert_eq!(attempts.load(Ordering::Relaxed), 2);
+        assert_eq!(pool.cache().len(), 1);
     }
 
     #[test]

@@ -2,7 +2,7 @@ use std::fmt;
 
 use doe::Design;
 use rsm::ResponseSurface;
-use wsn_node::NodeConfig;
+use wsn_node::{FaultCounters, NodeConfig};
 
 /// One evaluated design: a configuration, its coded coordinates, the
 /// RSM prediction (when applicable) and the simulator's verdict.
@@ -19,6 +19,9 @@ pub struct DesignEval {
     pub predicted: Option<f64>,
     /// The simulator's transmission count.
     pub simulated: u64,
+    /// Injected-fault counters from the validation run (all zero under
+    /// the nominal [`wsn_node::FaultPlan::none`] plan).
+    pub faults: FaultCounters,
 }
 
 impl fmt::Display for DesignEval {
@@ -34,6 +37,9 @@ impl fmt::Display for DesignEval {
         )?;
         if let Some(p) = self.predicted {
             write!(f, " (RSM predicted {p:.0})")?;
+        }
+        if !self.faults.is_nominal() {
+            write!(f, " [faults: {}]", self.faults)?;
         }
         Ok(())
     }
@@ -114,19 +120,30 @@ fn json_array<I: IntoIterator<Item = String>>(items: I) -> String {
     format!("[{}]", items.join(","))
 }
 
+/// Serialises fault counters as a JSON object (all zero under the
+/// nominal plan).
+fn json_faults(c: &FaultCounters) -> String {
+    format!(
+        "{{\"tx_failures\":{},\"tx_retries\":{},\"tx_aborts\":{},\
+         \"brownouts\":{},\"watchdog_misses\":{}}}",
+        c.tx_failures, c.tx_retries, c.tx_aborts, c.brownouts, c.watchdog_misses
+    )
+}
+
 impl DesignEval {
     /// This evaluation as a single-line JSON object.
     fn to_json(&self) -> String {
         format!(
             "{{\"label\":{},\"clock_hz\":{},\"watchdog_s\":{},\"tx_interval_s\":{},\
-             \"coded\":{},\"predicted\":{},\"simulated\":{}}}",
+             \"coded\":{},\"predicted\":{},\"simulated\":{},\"faults\":{}}}",
             json_str(&self.label),
             json_f64(self.config.clock_hz),
             json_f64(self.config.watchdog_s),
             json_f64(self.config.tx_interval_s),
             json_array(self.coded.iter().map(|&v| json_f64(v))),
             self.predicted.map_or("null".to_owned(), json_f64),
-            self.simulated
+            self.simulated,
+            json_faults(&self.faults)
         )
     }
 }
@@ -263,6 +280,7 @@ mod tests {
             coded: vec![1.0, -1.0, -1.0],
             predicted: None,
             simulated: 810,
+            faults: FaultCounters::default(),
         };
         let json = e.to_json();
         assert!(!json.contains('\n'));
@@ -270,20 +288,30 @@ mod tests {
         assert!(json.contains("\"predicted\":null"));
         assert!(json.contains("\"simulated\":810"));
         assert!(json.contains("\"coded\":[1,-1,-1]"));
+        assert!(json.contains(
+            "\"faults\":{\"tx_failures\":0,\"tx_retries\":0,\"tx_aborts\":0,\
+             \"brownouts\":0,\"watchdog_misses\":0}"
+        ));
     }
 
     #[test]
     fn eval_display() {
-        let e = DesignEval {
+        let mut e = DesignEval {
             label: "original".into(),
             config: NodeConfig::original(),
             coded: vec![0.0; 3],
             predicted: Some(410.0),
             simulated: 405,
+            faults: FaultCounters::default(),
         };
         let s = e.to_string();
         assert!(s.contains("original"));
         assert!(s.contains("405"));
         assert!(s.contains("410"));
+        assert!(!s.contains("faults"), "nominal display stays fault-free");
+        e.faults.tx_failures = 2;
+        e.faults.tx_retries = 2;
+        assert!(e.to_string().contains("faults"));
+        assert!(e.to_json().contains("\"tx_failures\":2"));
     }
 }

@@ -3,19 +3,24 @@
 //! The paper optimises for one fixed scenario (75 Hz start, two 5 Hz
 //! steps). A configuration tuned to a single scenario can be fragile;
 //! this module re-evaluates any configuration across scenario ensembles —
-//! starting-frequency sweeps and random-walk drifts — and summarises the
-//! distribution of transmission counts. Ensembles run through a
-//! [`SimPool`], so they fan out over worker threads (`jobs == 0` uses all
-//! available cores), memoise per `(engine, scenario, design)` key, and
-//! are identical at any thread count. [`evaluate_ensemble_with`] accepts
+//! starting-frequency sweeps, random-walk drifts and injected-fault
+//! ensembles ([`fault_robustness`], seeded [`FaultPlan`]s) — and
+//! summarises the distribution of transmission counts, including
+//! worst-case and percentile views alongside [`fragility`]. Ensembles run
+//! through a [`SimPool`], so they fan out over worker threads
+//! (`jobs == 0` uses all available cores), memoise per
+//! `(engine, scenario, design)` key, and are identical at any thread
+//! count. [`evaluate_scenarios_with`]/[`evaluate_ensemble_with`] accept
 //! any [`SimEngine`] plus a shared pool; [`evaluate_ensemble`] is the
 //! envelope-engine convenience wrapper.
+//!
+//! [`fragility`]: RobustnessSummary::fragility
 
 use std::sync::Arc;
 
 use harvester::VibrationProfile;
 use numkit::stats;
-use wsn_node::{EngineKind, NodeConfig, Scenario, SimEngine, SystemConfig};
+use wsn_node::{EngineKind, FaultPlan, NodeConfig, Scenario, SimEngine, SystemConfig};
 
 use crate::pool::{EvalKey, SimPool};
 use crate::Result;
@@ -54,15 +59,82 @@ impl RobustnessSummary {
             f64::INFINITY
         }
     }
+
+    /// Empirical `p`-th percentile of the samples (`0 ≤ p ≤ 100`), with
+    /// linear interpolation between order statistics. `percentile(0)` is
+    /// the worst scenario, `percentile(50)` the median.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+        if self.samples.is_empty() {
+            return f64::NAN;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let rank = p / 100.0 * (sorted.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        sorted[lo] + (sorted[hi] - sorted[lo]) * (rank - lo as f64)
+    }
+
+    /// Worst-case retention `min / µ`: the fraction of the mean response
+    /// the worst scenario still delivers (1 = flat ensemble, 0 = a
+    /// scenario collapses completely). `NaN` when the mean is not
+    /// positive.
+    pub fn worst_case_ratio(&self) -> f64 {
+        if self.mean > 0.0 {
+            self.min / self.mean
+        } else {
+            f64::NAN
+        }
+    }
 }
 
-/// Evaluates `config` across a list of fully specified scenarios on
-/// `engine`, through `pool` (parallelism and memoisation).
+/// Evaluates `config` across a list of complete [`Scenario`]s (vibration
+/// profile, horizon and fault plan) on `engine`, through `pool`
+/// (parallelism and memoisation). This is the most general ensemble
+/// primitive — every other entry point builds scenarios and delegates
+/// here.
 ///
 /// The design point is keyed in *natural* units (clock, watchdog,
 /// interval) together with the engine discriminant and each scenario's
-/// fingerprint, so ensembles sharing a pool — across calls or with a
-/// DSE flow — reuse every evaluation they can.
+/// fingerprint (which folds in any fault plan), so ensembles sharing a
+/// pool — across calls or with a DSE flow — reuse every evaluation they
+/// can, while faulty and nominal runs never share an entry.
+///
+/// # Errors
+///
+/// Propagates configuration and engine errors (first failing scenario in
+/// input order).
+pub fn evaluate_scenarios_with(
+    engine: &Arc<dyn SimEngine>,
+    pool: &SimPool,
+    template: &SystemConfig,
+    config: NodeConfig,
+    scenarios: &[Scenario],
+) -> Result<RobustnessSummary> {
+    let kind = engine.kind();
+    let point = [config.clock_hz, config.watchdog_s, config.tx_interval_s];
+    let keys: Vec<EvalKey> = scenarios
+        .iter()
+        .map(|s| EvalKey::new(kind, s.fingerprint(), &point))
+        .collect();
+    let samples = pool.evaluate_batch(&keys, |i| {
+        let mut cfg = template.clone().with_scenario(scenarios[i].clone());
+        cfg.node = config;
+        cfg.trace_interval = None;
+        Ok(engine.simulate(&cfg)?.transmissions as f64)
+    })?;
+    Ok(RobustnessSummary::of(samples))
+}
+
+/// Evaluates `config` across a list of vibration profiles on `engine`,
+/// through `pool`. Each profile runs for the template's horizon under the
+/// template's fault plan ([`FaultPlan::none`] unless the template says
+/// otherwise).
 ///
 /// # Errors
 ///
@@ -74,53 +146,44 @@ pub fn evaluate_ensemble_with(
     config: NodeConfig,
     scenarios: &[VibrationProfile],
 ) -> Result<RobustnessSummary> {
-    let kind = engine.kind();
-    let point = [config.clock_hz, config.watchdog_s, config.tx_interval_s];
-    let keys: Vec<EvalKey> = scenarios
+    let scenarios: Vec<Scenario> = scenarios
         .iter()
-        .map(|s| {
-            let fingerprint = Scenario::new(s.clone(), template.horizon).fingerprint();
-            EvalKey::new(kind, fingerprint, &point)
-        })
+        .map(|s| Scenario::new(s.clone(), template.horizon).with_faults(template.faults))
         .collect();
-    let samples = pool.evaluate_batch(&keys, |i| {
-        let mut cfg = template.clone();
-        cfg.node = config;
-        cfg.vibration = scenarios[i].clone();
-        cfg.trace_interval = None;
-        Ok(engine.simulate(&cfg)?.transmissions as f64)
-    })?;
-    Ok(RobustnessSummary::of(samples))
+    evaluate_scenarios_with(engine, pool, template, config, &scenarios)
 }
 
 /// Evaluates `config` across a list of fully specified scenarios on the
 /// envelope engine, on up to `jobs` worker threads (`0` = all available
 /// cores, `1` = sequential).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on configuration errors (the template and `config` are expected
-/// to be within Table V ranges) and propagated worker panics.
+/// Propagates configuration errors (Table V violations in the template or
+/// `config`) instead of panicking.
 pub fn evaluate_ensemble(
     template: &SystemConfig,
     config: NodeConfig,
     scenarios: &[VibrationProfile],
     jobs: usize,
-) -> RobustnessSummary {
+) -> Result<RobustnessSummary> {
     let engine = EngineKind::Envelope.engine();
     let pool = SimPool::new(jobs);
     evaluate_ensemble_with(&engine, &pool, template, config, scenarios)
-        .expect("configuration within Table V ranges")
 }
 
 /// Robustness against the *starting frequency*: replays the paper's
 /// stepped profile with `f0` swept across `f0_values`.
+///
+/// # Errors
+///
+/// Propagates configuration errors.
 pub fn frequency_robustness(
     template: &SystemConfig,
     config: NodeConfig,
     f0_values: &[f64],
     jobs: usize,
-) -> RobustnessSummary {
+) -> Result<RobustnessSummary> {
     let scenarios: Vec<VibrationProfile> = f0_values
         .iter()
         .map(|&f0| VibrationProfile::paper_profile(f0))
@@ -130,30 +193,85 @@ pub fn frequency_robustness(
 
 /// Robustness against *frequency drift*: bounded random walks (one step
 /// per minute over the horizon), one per seed.
+///
+/// The walk's centre is the template's initial dominant vibration
+/// frequency and the clamp band is the template's tunable range
+/// ([`harvester::TuningMechanism::frequency_range`]), so non-paper
+/// scenarios drift around their own operating point instead of being
+/// silently clamped to paper constants.
+///
+/// # Errors
+///
+/// Propagates configuration errors.
 pub fn drift_robustness(
     template: &SystemConfig,
     config: NodeConfig,
     sigma_hz: f64,
     seeds: &[u64],
     jobs: usize,
-) -> RobustnessSummary {
+) -> Result<RobustnessSummary> {
     let steps = (template.horizon / 60.0).ceil().max(1.0) as usize;
+    let (f_lo, f_hi) = template.tuning.frequency_range();
+    let centre = template.vibration.dominant_frequency(0.0).clamp(f_lo, f_hi);
     let scenarios: Vec<VibrationProfile> = seeds
         .iter()
         .map(|&seed| {
             VibrationProfile::random_walk(
                 template.vibration.amplitude(),
-                80.0,
+                centre,
                 sigma_hz,
                 60.0,
                 steps,
-                69.0,
-                96.0,
+                f_lo,
+                f_hi,
                 seed,
             )
         })
         .collect();
     evaluate_ensemble(template, config, &scenarios, jobs)
+}
+
+/// Robustness against *injected faults*: replays the template's own
+/// scenario under `plan` re-seeded with each of `seeds` — an ensemble of
+/// fault realisations at fixed rates. Pair it with a nominal run (or
+/// [`FaultPlan::none`] in `seeds`' place) to quantify how much a design's
+/// throughput degrades under radio loss, brownouts, dropouts and timer
+/// glitches; [`RobustnessSummary::percentile`] and
+/// [`RobustnessSummary::worst_case_ratio`] summarise the tail.
+///
+/// # Errors
+///
+/// Propagates configuration errors.
+pub fn fault_robustness(
+    template: &SystemConfig,
+    config: NodeConfig,
+    plan: FaultPlan,
+    seeds: &[u64],
+    jobs: usize,
+) -> Result<RobustnessSummary> {
+    let engine = EngineKind::Envelope.engine();
+    let pool = SimPool::new(jobs);
+    fault_robustness_with(&engine, &pool, template, config, plan, seeds)
+}
+
+/// [`fault_robustness`] against an explicit engine and shared pool.
+///
+/// # Errors
+///
+/// Propagates configuration and engine errors.
+pub fn fault_robustness_with(
+    engine: &Arc<dyn SimEngine>,
+    pool: &SimPool,
+    template: &SystemConfig,
+    config: NodeConfig,
+    plan: FaultPlan,
+    seeds: &[u64],
+) -> Result<RobustnessSummary> {
+    let scenarios: Vec<Scenario> = seeds
+        .iter()
+        .map(|&seed| template.scenario().with_faults(plan.reseeded(seed)))
+        .collect();
+    evaluate_scenarios_with(engine, pool, template, config, &scenarios)
 }
 
 #[cfg(test)]
@@ -173,7 +291,7 @@ mod tests {
             .iter()
             .map(|&f| VibrationProfile::paper_profile(f))
             .collect();
-        let summary = evaluate_ensemble(&t, NodeConfig::original(), &scenarios, 0);
+        let summary = evaluate_ensemble(&t, NodeConfig::original(), &scenarios, 0).unwrap();
         // Cross-check each sample against a direct engine run.
         let engine = EngineKind::Envelope.engine();
         for (scenario, &sample) in scenarios.iter().zip(&summary.samples) {
@@ -220,7 +338,7 @@ mod tests {
     fn frequency_robustness_covers_the_band() {
         let t = template();
         let summary =
-            frequency_robustness(&t, NodeConfig::original(), &[70.0, 75.0, 80.0, 85.0], 0);
+            frequency_robustness(&t, NodeConfig::original(), &[70.0, 75.0, 80.0, 85.0], 0).unwrap();
         assert_eq!(summary.samples.len(), 4);
         assert!(summary.mean > 0.0);
         assert!(summary.fragility().is_finite());
@@ -229,18 +347,32 @@ mod tests {
     #[test]
     fn drift_robustness_is_deterministic_per_seed_set() {
         let t = template();
-        let a = drift_robustness(&t, NodeConfig::original(), 0.3, &[1, 2, 3], 0);
-        let b = drift_robustness(&t, NodeConfig::original(), 0.3, &[1, 2, 3], 0);
+        let a = drift_robustness(&t, NodeConfig::original(), 0.3, &[1, 2, 3], 0).unwrap();
+        let b = drift_robustness(&t, NodeConfig::original(), 0.3, &[1, 2, 3], 0).unwrap();
         assert_eq!(a, b);
         assert_eq!(a.samples.len(), 3);
+    }
+
+    #[test]
+    fn drift_band_follows_the_template_tuning_range() {
+        // A template whose vibration starts outside the paper band must
+        // still produce valid drift scenarios: the walk is clamped to the
+        // tunable range, not to hard-coded paper constants.
+        let mut t = template();
+        t.vibration = VibrationProfile::paper_profile(95.0);
+        let summary = drift_robustness(&t, NodeConfig::original(), 0.5, &[4, 5], 0).unwrap();
+        assert_eq!(summary.samples.len(), 2);
+        let (f_lo, f_hi) = t.tuning.frequency_range();
+        let centre = t.vibration.dominant_frequency(0.0).clamp(f_lo, f_hi);
+        assert!((f_lo..=f_hi).contains(&centre));
     }
 
     #[test]
     fn thread_count_does_not_change_results() {
         let t = template();
         let f0 = [71.0, 76.0, 81.0, 86.0, 91.0];
-        let sequential = frequency_robustness(&t, NodeConfig::original(), &f0, 1);
-        let parallel = frequency_robustness(&t, NodeConfig::original(), &f0, 4);
+        let sequential = frequency_robustness(&t, NodeConfig::original(), &f0, 1).unwrap();
+        let parallel = frequency_robustness(&t, NodeConfig::original(), &f0, 4).unwrap();
         assert_eq!(sequential, parallel);
     }
 
@@ -248,5 +380,71 @@ mod tests {
     fn fragility_of_zero_mean_is_infinite() {
         let s = RobustnessSummary::of(vec![0.0, 0.0]);
         assert!(s.fragility().is_infinite());
+        assert!(s.worst_case_ratio().is_nan());
+    }
+
+    #[test]
+    fn percentiles_interpolate_order_statistics() {
+        let s = RobustnessSummary::of(vec![30.0, 10.0, 20.0, 40.0]);
+        assert_eq!(s.percentile(0.0), 10.0);
+        assert_eq!(s.percentile(100.0), 40.0);
+        assert_eq!(s.percentile(50.0), 25.0);
+        assert!((s.percentile(25.0) - 17.5).abs() < 1e-12);
+        assert!((s.worst_case_ratio() - 10.0 / 25.0).abs() < 1e-12);
+        assert!(RobustnessSummary::of(Vec::new()).percentile(50.0).is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in [0, 100]")]
+    fn percentile_rejects_out_of_range() {
+        let _ = RobustnessSummary::of(vec![1.0]).percentile(101.0);
+    }
+
+    #[test]
+    fn fault_ensembles_are_deterministic_and_degrade_throughput() {
+        let t = template();
+        let plan = FaultPlan::none().with_tx_failure_rate(0.4);
+        let seeds = [11, 12, 13];
+        let a = fault_robustness(&t, NodeConfig::original(), plan, &seeds, 0).unwrap();
+        let b = fault_robustness(&t, NodeConfig::original(), plan, &seeds, 2).unwrap();
+        assert_eq!(a, b, "fault ensembles must not depend on thread count");
+        assert_eq!(a.samples.len(), 3);
+        let nominal = evaluate_ensemble(
+            &t,
+            NodeConfig::original(),
+            std::slice::from_ref(&t.vibration),
+            1,
+        )
+        .unwrap();
+        assert!(
+            a.mean < nominal.mean,
+            "40% radio loss must cost transmissions ({} vs nominal {})",
+            a.mean,
+            nominal.mean
+        );
+    }
+
+    #[test]
+    fn fault_scenarios_do_not_pollute_the_nominal_cache() {
+        let t = template();
+        let engine = EngineKind::Envelope.engine();
+        let pool = SimPool::new(1);
+        let scenarios = [t.vibration.clone()];
+        let nominal =
+            evaluate_ensemble_with(&engine, &pool, &t, NodeConfig::original(), &scenarios).unwrap();
+        let plan = FaultPlan::none().with_tx_failure_rate(0.4);
+        let faulty =
+            fault_robustness_with(&engine, &pool, &t, NodeConfig::original(), plan, &[7]).unwrap();
+        assert_eq!(
+            pool.cache().len(),
+            2,
+            "nominal and faulty runs must occupy distinct cache entries"
+        );
+        assert_ne!(nominal.samples, faulty.samples);
+        // Re-running the nominal ensemble must hit the cache, untouched.
+        let again =
+            evaluate_ensemble_with(&engine, &pool, &t, NodeConfig::original(), &scenarios).unwrap();
+        assert_eq!(nominal, again);
+        assert_eq!(pool.cache().len(), 2);
     }
 }

@@ -1,8 +1,10 @@
 //! Determinism and memoisation guarantees of the parallel evaluation
 //! layer: a fixed seed must produce bit-identical reports at any worker
-//! thread count, and repeated coded points must never re-simulate.
+//! thread count, repeated coded points must never re-simulate, and
+//! fault-injected runs must be exactly as reproducible as nominal ones.
 
 use wsn_dse::{DseFlow, DseReport};
+use wsn_node::{FaultPlan, NodeConfig, SystemConfig};
 
 /// Asserts two reports are bit-identical in every meaningful field.
 /// (`DseReport` carries a fitted `ResponseSurface`, which has no
@@ -60,6 +62,57 @@ fn repeated_design_points_simulate_exactly_once() {
         cache.hits() >= design.len(),
         "second pass served from cache"
     );
+}
+
+/// A ten-minute flow for the fault tests — fault schedules don't care
+/// about the horizon, and the short runs keep the suite quick.
+fn short_flow() -> DseFlow {
+    let template = SystemConfig::paper(NodeConfig::original()).with_horizon(600.0);
+    DseFlow::paper().with_template(template).seed(42)
+}
+
+/// Fault injection must not cost determinism: the same (fault seed,
+/// plan, scenario, design) produces bit-identical reports at any worker
+/// thread count and across repeated runs.
+#[test]
+fn fault_injected_report_is_bit_identical_at_any_job_count() {
+    let plan = FaultPlan::uniform(7, 0.25).with_brownout_voltage(2.4);
+    let run = |jobs: usize| {
+        short_flow()
+            .faults(plan)
+            .jobs(jobs)
+            .run()
+            .expect("faulty flow runs")
+    };
+    let sequential = run(1);
+    assert_reports_identical(&sequential, &run(2), "faults jobs=2");
+    assert_reports_identical(&sequential, &run(8), "faults jobs=8");
+    assert_reports_identical(&sequential, &run(1), "faults repeat");
+    assert_eq!(
+        run(1).to_json(),
+        run(8).to_json(),
+        "JSON serialisation must match too"
+    );
+}
+
+/// The nominal-preservation guarantee: an explicit `FaultPlan::none()` —
+/// or any plan whose rates are all zero, whatever its seed — reproduces
+/// the fault-free report exactly, counters included (all zero).
+#[test]
+fn nominal_fault_plan_reproduces_the_baseline_report() {
+    let baseline = short_flow().run().expect("baseline flow runs");
+    let none = short_flow()
+        .faults(FaultPlan::none())
+        .run()
+        .expect("nominal-plan flow runs");
+    let seeded_idle = short_flow()
+        .faults(FaultPlan::seeded(99))
+        .run()
+        .expect("seeded idle-plan flow runs");
+    assert_reports_identical(&baseline, &none, "FaultPlan::none()");
+    assert_reports_identical(&baseline, &seeded_idle, "zero-rate seeded plan");
+    assert!(baseline.original.faults.is_nominal());
+    assert_eq!(baseline.to_json(), none.to_json());
 }
 
 /// A validated sweep reuses points the design already simulated (the

@@ -27,6 +27,9 @@ pub struct VibrationProfile {
     segments: Vec<(f64, f64)>,
     /// Accumulated sine phase at each segment start, for phase continuity.
     phases: Vec<f64>,
+    /// Blackout windows `(start_s, end_s)` during which the source delivers
+    /// no acceleration (vibration dropout faults), sorted and disjoint.
+    blackouts: Vec<(f64, f64)>,
 }
 
 impl VibrationProfile {
@@ -73,6 +76,7 @@ impl VibrationProfile {
             amplitude: accel_ms2,
             segments,
             phases,
+            blackouts: Vec::new(),
         }
     }
 
@@ -175,6 +179,60 @@ impl VibrationProfile {
         self.amplitude
     }
 
+    /// Adds vibration blackout (dropout) windows: half-open `[start, end)`
+    /// intervals during which the source delivers no acceleration —
+    /// machinery halts, decoupled mounts, sensor faults. Windows must be
+    /// sorted, disjoint and well-formed; an empty list is the nominal
+    /// (always-on) source.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a window with `end <= start`, a negative start, or
+    /// overlapping/unsorted windows.
+    pub fn with_blackouts(mut self, windows: Vec<(f64, f64)>) -> Self {
+        for &(start, end) in &windows {
+            assert!(
+                start >= 0.0 && end > start && end.is_finite(),
+                "blackout window [{start}, {end}) must be well-formed"
+            );
+        }
+        for w in windows.windows(2) {
+            assert!(
+                w[0].1 <= w[1].0,
+                "blackout windows must be sorted and disjoint"
+            );
+        }
+        self.blackouts = windows;
+        self
+    }
+
+    /// The blackout windows, sorted and disjoint (empty when nominal).
+    pub fn blackouts(&self) -> &[(f64, f64)] {
+        &self.blackouts
+    }
+
+    /// Whether the source is blacked out (delivering no acceleration) at
+    /// time `t`.
+    pub fn is_blacked_out(&self, t: f64) -> bool {
+        self.blackouts
+            .iter()
+            .any(|&(start, end)| t >= start && t < end)
+    }
+
+    /// Effective acceleration amplitude at time `t` (m/s²): the nominal
+    /// amplitude, or zero inside a blackout window. Envelope engines
+    /// should drive the harvester with this rather than [`amplitude`]
+    /// (which stays the nominal level).
+    ///
+    /// [`amplitude`]: Self::amplitude
+    pub fn amplitude_at(&self, t: f64) -> f64 {
+        if self.is_blacked_out(t) {
+            0.0
+        } else {
+            self.amplitude
+        }
+    }
+
     /// A stable 64-bit fingerprint of the profile (FNV-1a over the
     /// amplitude and segment bit patterns).
     ///
@@ -188,6 +246,13 @@ impl VibrationProfile {
         for &(t, f) in &self.segments {
             h = fnv1a_mix(h, t.to_bits());
             h = fnv1a_mix(h, f.to_bits());
+        }
+        // Blackout windows change the delivered excitation, so they must
+        // change the fingerprint too; the loop is a no-op for nominal
+        // (blackout-free) profiles, preserving their historical values.
+        for &(start, end) in &self.blackouts {
+            h = fnv1a_mix(h, start.to_bits());
+            h = fnv1a_mix(h, end.to_bits());
         }
         h
     }
@@ -204,17 +269,36 @@ impl VibrationProfile {
         self.segments[idx].1
     }
 
-    /// Time of the next frequency change after `t`, if any.
+    /// Time of the next change in the source after `t`, if any: a
+    /// frequency-segment boundary or a blackout window edge. Envelope
+    /// engines segment their integration on these times so piecewise
+    /// constants stay constant within a segment.
     pub fn next_change_after(&self, t: f64) -> Option<f64> {
-        self.segments
+        let seg = self
+            .segments
             .iter()
             .map(|&(start, _)| start)
-            .find(|&start| start > t)
+            .find(|&start| start > t);
+        let blk = self
+            .blackouts
+            .iter()
+            .flat_map(|&(start, end)| [start, end])
+            .filter(|&edge| edge > t)
+            .fold(f64::INFINITY, f64::min);
+        match seg {
+            Some(s) if s <= blk => Some(s),
+            _ if blk.is_finite() => Some(blk),
+            other => other,
+        }
     }
 
     /// Instantaneous base acceleration at time `t`:
-    /// `A sin(φ(t))` with a phase-continuous `φ`.
+    /// `A sin(φ(t))` with a phase-continuous `φ`, gated to zero inside
+    /// blackout windows.
     pub fn acceleration(&self, t: f64) -> f64 {
+        if self.is_blacked_out(t) {
+            return 0.0;
+        }
         let idx = self.segment_index(t);
         let (t0, f) = self.segments[idx];
         let phase = self.phases[idx] + 2.0 * std::f64::consts::PI * f * (t - t0);
@@ -342,6 +426,44 @@ mod tests {
     #[should_panic(expected = "band")]
     fn random_walk_start_outside_band_panics() {
         let _ = VibrationProfile::random_walk(0.59, 60.0, 1.0, 60.0, 10, 70.0, 95.0, 1);
+    }
+
+    #[test]
+    fn blackouts_gate_amplitude_and_acceleration() {
+        let v = VibrationProfile::sine(10.0, 2.0).with_blackouts(vec![(1.0, 2.0), (5.0, 6.5)]);
+        assert!(!v.is_blacked_out(0.5));
+        assert!(v.is_blacked_out(1.5));
+        assert!(v.is_blacked_out(5.0), "start edge is inside");
+        assert!(!v.is_blacked_out(6.5), "end edge is outside");
+        assert_eq!(v.amplitude_at(1.5), 0.0);
+        assert_eq!(v.amplitude_at(3.0), 2.0);
+        assert_eq!(v.acceleration(1.5), 0.0);
+        assert_eq!(v.amplitude(), 2.0, "nominal amplitude is unchanged");
+    }
+
+    #[test]
+    fn blackout_edges_are_change_points() {
+        let v = VibrationProfile::stepped(1.0, vec![(0.0, 10.0), (4.0, 12.0)])
+            .with_blackouts(vec![(1.0, 2.0)]);
+        assert_eq!(v.next_change_after(0.0), Some(1.0));
+        assert_eq!(v.next_change_after(1.0), Some(2.0));
+        assert_eq!(v.next_change_after(2.0), Some(4.0));
+        assert_eq!(v.next_change_after(4.0), None);
+    }
+
+    #[test]
+    fn blackouts_change_the_fingerprint() {
+        let nominal = VibrationProfile::paper_profile(75.0);
+        let faulty = VibrationProfile::paper_profile(75.0).with_blackouts(vec![(10.0, 20.0)]);
+        assert_ne!(nominal.fingerprint(), faulty.fingerprint());
+        let empty = VibrationProfile::paper_profile(75.0).with_blackouts(vec![]);
+        assert_eq!(nominal.fingerprint(), empty.fingerprint());
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn overlapping_blackouts_panic() {
+        let _ = VibrationProfile::sine(10.0, 1.0).with_blackouts(vec![(0.0, 2.0), (1.0, 3.0)]);
     }
 
     #[test]

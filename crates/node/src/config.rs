@@ -1,6 +1,7 @@
 use harvester::{Microgenerator, Supercapacitor, TuningMechanism, VibrationProfile};
 
 use crate::engine::Scenario;
+use crate::faults::FaultPlan;
 use crate::mcu::CLOCK_RANGE;
 use crate::sensor::TX_INTERVAL_RANGE;
 use crate::{NodeError, Result};
@@ -125,6 +126,8 @@ pub struct SystemConfig {
     pub start_tuned: bool,
     /// Voltage-trace sampling interval; `None` disables tracing.
     pub trace_interval: Option<f64>,
+    /// Injected-fault schedule ([`FaultPlan::none`] for nominal runs).
+    pub faults: FaultPlan,
 }
 
 impl SystemConfig {
@@ -142,6 +145,7 @@ impl SystemConfig {
             initial_voltage: 2.8,
             start_tuned: true,
             trace_interval: Some(10.0),
+            faults: FaultPlan::none(),
         }
     }
 
@@ -163,17 +167,25 @@ impl SystemConfig {
         self
     }
 
-    /// The environment half of this configuration as a [`Scenario`]
-    /// (vibration profile plus horizon).
-    pub fn scenario(&self) -> Scenario {
-        Scenario::new(self.vibration.clone(), self.horizon)
+    /// Replaces the injected-fault schedule.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
     }
 
-    /// Replaces the environment half (vibration profile and horizon) with
-    /// `scenario`, keeping the design point and component models.
+    /// The environment half of this configuration as a [`Scenario`]
+    /// (vibration profile, horizon and fault plan).
+    pub fn scenario(&self) -> Scenario {
+        Scenario::new(self.vibration.clone(), self.horizon).with_faults(self.faults)
+    }
+
+    /// Replaces the environment half (vibration profile, horizon and
+    /// fault plan) with `scenario`, keeping the design point and
+    /// component models.
     pub fn with_scenario(mut self, scenario: Scenario) -> Self {
         self.vibration = scenario.vibration;
         self.horizon = scenario.horizon;
+        self.faults = scenario.faults;
         self
     }
 }

@@ -28,6 +28,7 @@ use std::sync::Arc;
 
 use harvester::VibrationProfile;
 
+use crate::faults::FaultPlan;
 use crate::{EnvelopeSim, FullSystemSim, NodeError, Result, SimOutcome, SystemConfig};
 
 /// A full-system simulation engine: anything that can run one experiment
@@ -153,10 +154,12 @@ pub struct Scenario {
     pub vibration: VibrationProfile,
     /// Simulated horizon (s).
     pub horizon: f64,
+    /// Injected-fault schedule ([`FaultPlan::none`] for nominal runs).
+    pub faults: FaultPlan,
 }
 
 impl Scenario {
-    /// Creates a scenario.
+    /// Creates a nominal (fault-free) scenario.
     ///
     /// # Panics
     ///
@@ -166,7 +169,17 @@ impl Scenario {
             horizon > 0.0 && horizon.is_finite(),
             "horizon must be positive and finite"
         );
-        Scenario { vibration, horizon }
+        Scenario {
+            vibration,
+            horizon,
+            faults: FaultPlan::none(),
+        }
+    }
+
+    /// Replaces the injected-fault schedule.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// The paper's evaluation scenario: 60 mg stepped profile starting at
@@ -181,16 +194,25 @@ impl Scenario {
     }
 
     /// A stable 64-bit fingerprint of the scenario, combining the
-    /// vibration profile's fingerprint with the horizon. Memoisation
-    /// layers use this to keep evaluations of different scenarios apart.
+    /// vibration profile's fingerprint with the horizon and — when one is
+    /// active — the fault plan. Memoisation layers use this to keep
+    /// evaluations of different scenarios apart; in particular faulty and
+    /// nominal runs never share a cache entry. Nominal scenarios
+    /// ([`FaultPlan::none`]) keep their historical fingerprint values.
     pub fn fingerprint(&self) -> u64 {
-        // Mix the horizon into the profile fingerprint with one more
-        // FNV-style multiply-xor round.
+        // Mix the horizon (and any fault plan) into the profile
+        // fingerprint with more FNV-style multiply-xor rounds.
         const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
         let mut h = self.vibration.fingerprint();
         for byte in self.horizon.to_bits().to_le_bytes() {
             h ^= u64::from(byte);
             h = h.wrapping_mul(FNV_PRIME);
+        }
+        if !self.faults.is_none() {
+            for byte in self.faults.fingerprint().to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
         }
         h
     }
@@ -262,6 +284,21 @@ mod tests {
         let shorter = Scenario::new(a.vibration.clone(), 600.0);
         assert_ne!(a.fingerprint(), shorter.fingerprint());
         assert!((a.amplitude() - 0.060 * harvester::STANDARD_GRAVITY).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_plans_separate_scenario_fingerprints() {
+        let nominal = Scenario::paper(75.0);
+        let seeded_but_empty = nominal.clone().with_faults(FaultPlan::seeded(9));
+        assert_eq!(
+            nominal.fingerprint(),
+            seeded_but_empty.fingerprint(),
+            "a plan with no enabled fault kind is nominal"
+        );
+        let faulty = nominal.clone().with_faults(FaultPlan::uniform(9, 0.1));
+        assert_ne!(nominal.fingerprint(), faulty.fingerprint());
+        let reseeded = nominal.clone().with_faults(FaultPlan::uniform(10, 0.1));
+        assert_ne!(faulty.fingerprint(), reseeded.fingerprint());
     }
 
     #[test]

@@ -1,8 +1,9 @@
 use std::collections::VecDeque;
 
 use crate::engine::{EngineKind, SimEngine};
+use crate::faults::{FaultPlan, BROWNOUT_HYSTERESIS_V, MAX_TX_RETRIES};
 use crate::firmware::FirmwareAction;
-use crate::metrics::{EnergyBreakdown, SimOutcome, VoltageSample};
+use crate::metrics::{EnergyBreakdown, FaultCounters, SimOutcome, VoltageSample};
 use crate::power::MCU_SLEEP_CURRENT;
 use crate::sensor::TransmissionDecision;
 use crate::{Mcu, Result, SensorNode, SystemConfig, TuningFirmware};
@@ -81,6 +82,20 @@ impl EnvelopeSim {
     /// Fallible core of [`run`](Self::run), shared with the [`SimEngine`]
     /// implementation.
     fn simulate_config(&self, cfg: &SystemConfig) -> Result<SimOutcome> {
+        // The fault plan's vibration dropouts become blackout windows on
+        // the profile, so the envelope integrator sees them as ordinary
+        // amplitude change points.
+        let faulted;
+        let blackout_windows = cfg.faults.blackout_windows(cfg.horizon);
+        let cfg = if blackout_windows.is_empty() {
+            cfg
+        } else {
+            faulted = cfg
+                .clone()
+                .with_vibration(cfg.vibration.clone().with_blackouts(blackout_windows));
+            &faulted
+        };
+        let plan = cfg.faults;
         let mcu = Mcu::new(cfg.node.clock_hz)?;
         let node = SensorNode::new(cfg.node.tx_interval_s)?;
         let mut firmware = TuningFirmware::new(
@@ -112,6 +127,17 @@ impl EnvelopeSim {
         let mut watchdog_wakes = 0u64;
         let mut coarse_moves = 0u64;
         let mut fine_steps = 0u64;
+
+        // Fault-injection state: RNG ordinals (per-event substream keys,
+        // independent of thread count), the per-message retry budget and
+        // the brownout detector's arming latch.
+        let mut faults = FaultCounters::default();
+        let mut tx_attempts = 0u64;
+        let mut retries_used = 0u32;
+        let mut wd_schedules = 0u64;
+        let mut brownout_armed = plan
+            .brownout_voltage()
+            .is_some_and(|bv| cfg.initial_voltage >= bv);
 
         loop {
             let mut t_event = next_tx;
@@ -157,17 +183,51 @@ impl EnvelopeSim {
                         next_tx = state.t + recheck_after;
                     }
                     TransmissionDecision::Transmit { next_after } => {
+                        // Every attempt — failed or not — spends the full
+                        // Table III transmission energy.
                         let e = node.tx_energy(state.v);
                         state.withdraw(e, cfg);
                         state.energy.transmission += e;
-                        transmissions += 1;
-                        next_tx = state.t + next_after.max(node.tx_duration());
+                        let attempt = tx_attempts;
+                        tx_attempts += 1;
+                        if plan.tx_attempt_fails(attempt) {
+                            faults.tx_failures += 1;
+                            if retries_used < MAX_TX_RETRIES {
+                                retries_used += 1;
+                                faults.tx_retries += 1;
+                                next_tx = state.t
+                                    + FaultPlan::tx_retry_backoff(retries_used)
+                                        .max(node.tx_duration());
+                            } else {
+                                // Retry budget exhausted: drop the message
+                                // and fall back to the nominal schedule.
+                                faults.tx_aborts += 1;
+                                retries_used = 0;
+                                next_tx = state.t + next_after.max(node.tx_duration());
+                            }
+                        } else {
+                            transmissions += 1;
+                            retries_used = 0;
+                            next_tx = state.t + next_after.max(node.tx_duration());
+                        }
                     }
                 }
             }
 
             // Watchdog wake (only while no firmware cycle is in flight).
-            if pending.is_empty() && next_wd <= state.t + 1e-12 {
+            // A missed wake (timer glitch) skips the whole Algorithm 1
+            // cycle; the node sleeps through to the next period.
+            if pending.is_empty() && next_wd <= state.t + 1e-12 && {
+                let scheduled = wd_schedules;
+                wd_schedules += 1;
+                if plan.watchdog_missed(scheduled) {
+                    faults.watchdog_misses += 1;
+                    next_wd = state.t + cfg.node.watchdog_s;
+                    false
+                } else {
+                    true
+                }
+            } {
                 watchdog_wakes += 1;
                 let f_vib = cfg.vibration.dominant_frequency(state.t);
                 let outcome = firmware.wake(f_vib, state.v);
@@ -239,6 +299,25 @@ impl EnvelopeSim {
                     next_wd = state.t + cfg.node.watchdog_s;
                 }
             }
+
+            // Supply brownout: below the threshold the MCU resets and
+            // re-runs the cold-boot path — the in-flight firmware cycle
+            // (and any pending retransmission state) is lost. The
+            // detector re-arms once the supply recovers by the
+            // hysteresis margin, so one dip causes one reset.
+            if let Some(bv) = plan.brownout_voltage() {
+                if brownout_armed && state.v < bv {
+                    brownout_armed = false;
+                    faults.brownouts += 1;
+                    firmware.cold_boot();
+                    pending.clear();
+                    retries_used = 0;
+                    state.cached_harvest = None;
+                    next_wd = state.t + cfg.node.watchdog_s;
+                } else if !brownout_armed && state.v >= bv + BROWNOUT_HYSTERESIS_V {
+                    brownout_armed = true;
+                }
+            }
         }
 
         // Final trace sample at the horizon.
@@ -259,6 +338,7 @@ impl EnvelopeSim {
             energy: state.energy,
             trace: state.trace,
             horizon: cfg.horizon,
+            faults,
         })
     }
 
@@ -307,7 +387,7 @@ impl EnvelopeSim {
             state.t = seg_end;
 
             // Voltage moved: the cached operating point may be stale.
-            if let Some((_, _, v_cache, _)) = state.cached_harvest {
+            if let Some((_, _, _, v_cache, _)) = state.cached_harvest {
                 if (state.v - v_cache).abs() > CACHE_V_TOL {
                     state.cached_harvest = None;
                 }
@@ -335,8 +415,9 @@ struct State {
     energy: EnergyBreakdown,
     trace: Vec<VoltageSample>,
     sample_count: u64,
-    /// `(f_vib, f_res, v, current)` of the last steady-state solve.
-    cached_harvest: Option<(f64, f64, f64, f64)>,
+    /// `(f_vib, f_res, amplitude, v, current)` of the last steady-state
+    /// solve (the amplitude varies in time once blackout windows gate it).
+    cached_harvest: Option<(f64, f64, f64, f64, f64)>,
 }
 
 impl State {
@@ -345,15 +426,18 @@ impl State {
     }
 
     fn harvest_current(&mut self, cfg: &SystemConfig, f_vib: f64, f_res: f64) -> f64 {
-        if let Some((fv, fr, v, i)) = self.cached_harvest {
-            if fv == f_vib && fr == f_res && (self.v - v).abs() <= CACHE_V_TOL {
+        let amp = cfg.vibration.amplitude_at(self.t);
+        if amp <= 0.0 {
+            // Blackout window: the source is silent, nothing to solve.
+            return 0.0;
+        }
+        if let Some((fv, fr, a, v, i)) = self.cached_harvest {
+            if fv == f_vib && fr == f_res && a == amp && (self.v - v).abs() <= CACHE_V_TOL {
                 return i;
             }
         }
-        let ss = cfg
-            .generator
-            .steady_state(f_vib, f_res, cfg.vibration.amplitude(), self.v);
-        self.cached_harvest = Some((f_vib, f_res, self.v, ss.current_avg));
+        let ss = cfg.generator.steady_state(f_vib, f_res, amp, self.v);
+        self.cached_harvest = Some((f_vib, f_res, amp, self.v, ss.current_avg));
         ss.current_avg
     }
 }
@@ -467,6 +551,87 @@ mod tests {
         let a = EnvelopeSim::new().run(&short_config(NodeConfig::original(), 900.0));
         let b = EnvelopeSim::new().run(&short_config(NodeConfig::original(), 900.0));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nominal_plan_reproduces_the_fault_free_run() {
+        let base = short_config(NodeConfig::original(), 900.0);
+        // A seeded plan with no enabled fault kind is still nominal.
+        let seeded = base.clone().with_faults(FaultPlan::seeded(42));
+        assert_eq!(
+            EnvelopeSim::new().run(&base),
+            EnvelopeSim::new().run(&seeded)
+        );
+    }
+
+    #[test]
+    fn tx_failures_burn_energy_without_counting_transmissions() {
+        let base = short_config(NodeConfig::original(), 600.0);
+        let faulty = base
+            .clone()
+            .with_faults(FaultPlan::seeded(7).with_tx_failure_rate(0.3));
+        let nominal = EnvelopeSim::new().run(&base);
+        let out = EnvelopeSim::new().run(&faulty);
+        assert!(out.faults.tx_failures > 0, "30% loss over 600 s must fire");
+        assert!(
+            out.transmissions < nominal.transmissions,
+            "failed attempts must not count as transmissions"
+        );
+        // Every failed attempt either schedules a retry or aborts.
+        assert_eq!(
+            out.faults.tx_failures,
+            out.faults.tx_retries + out.faults.tx_aborts
+        );
+        assert_eq!(EnvelopeSim::new().run(&faulty), out, "deterministic");
+    }
+
+    #[test]
+    fn missed_watchdog_wakes_are_counted_not_executed() {
+        let base = short_config(NodeConfig::original(), 2000.0);
+        let faulty = base
+            .clone()
+            .with_faults(FaultPlan::seeded(3).with_watchdog_miss_rate(0.9));
+        let nominal = EnvelopeSim::new().run(&base);
+        let out = EnvelopeSim::new().run(&faulty);
+        assert!(out.faults.watchdog_misses > 0);
+        assert!(
+            out.watchdog_wakes < nominal.watchdog_wakes,
+            "missed wakes must not execute: {} vs {}",
+            out.watchdog_wakes,
+            nominal.watchdog_wakes
+        );
+    }
+
+    #[test]
+    fn brownout_dip_resets_once_per_excursion() {
+        // No harvest (untunable vibration, untuned start): the node lives
+        // off the capacitor and dips through the brownout threshold once.
+        let mut cfg = short_config(NodeConfig::original(), 600.0);
+        cfg.start_tuned = false;
+        cfg.vibration = VibrationProfile::sine(40.0, 0.59);
+        let cfg = cfg.with_faults(FaultPlan::seeded(1).with_brownout_voltage(2.797));
+        let out = EnvelopeSim::new().run(&cfg);
+        assert_eq!(
+            out.faults.brownouts, 1,
+            "one monotone dip, one reset (hysteresis)"
+        );
+        assert_eq!(out.final_position, 0, "cold boot re-homes the actuator");
+    }
+
+    #[test]
+    fn vibration_dropouts_reduce_harvested_energy() {
+        let base = short_config(NodeConfig::original(), 3600.0);
+        let faulty = base
+            .clone()
+            .with_faults(FaultPlan::seeded(11).with_vibration_dropouts(30.0, 60.0));
+        let nominal = EnvelopeSim::new().run(&base);
+        let out = EnvelopeSim::new().run(&faulty);
+        assert!(
+            out.energy.harvested < 0.95 * nominal.energy.harvested,
+            "~30 min of blackout must cut harvest: {} vs {}",
+            out.energy.harvested,
+            nominal.energy.harvested
+        );
     }
 
     #[test]

@@ -202,6 +202,16 @@ impl TuningFirmware {
         self.fine_offset_hz = 0.0;
     }
 
+    /// Re-runs the cold-boot path after a supply brownout reset: the
+    /// open-loop actuator position is unknown once the MCU loses state,
+    /// so boot re-homes the actuator to its reference position 0 and
+    /// clears the fine-tuning offset — the same untuned state as a
+    /// non-commissioned start (`start_tuned = false`). The next watchdog
+    /// cycle re-tunes from scratch.
+    pub fn cold_boot(&mut self) {
+        self.set_position(0);
+    }
+
     /// Current actuator position.
     pub fn position(&self) -> u8 {
         self.position
@@ -475,6 +485,16 @@ mod tests {
         assert!(fw.phase_offset_time(-0.5, 80.0) < 0.0);
         // Saturates below a quarter period.
         assert!(large < 0.25 / 80.0);
+    }
+
+    #[test]
+    fn cold_boot_rehomes_the_actuator() {
+        let mut fw = firmware(4e6);
+        fw.wake(85.0, 2.8);
+        assert!(fw.position() > 0);
+        fw.cold_boot();
+        assert_eq!(fw.position(), 0);
+        assert_eq!(fw.fine_offset_hz(), 0.0);
     }
 
     #[test]

@@ -2,7 +2,8 @@ use harvester::{HarvesterCircuit, Load, LoadId};
 use msim::{Context, MixedSim, Process, Solver};
 
 use crate::engine::{EngineKind, SimEngine};
-use crate::metrics::{EnergyBreakdown, SimOutcome, VoltageSample};
+use crate::faults::{FaultPlan, BROWNOUT_HYSTERESIS_V, MAX_TX_RETRIES};
+use crate::metrics::{EnergyBreakdown, FaultCounters, SimOutcome, VoltageSample};
 use crate::power;
 use crate::sensor::TransmissionDecision;
 use crate::{Mcu, Result, SensorNode, SystemConfig, TuningFirmware};
@@ -91,11 +92,20 @@ impl FullSystemSim {
             crate::Accelerometer::paper(),
         );
 
+        // Vibration dropouts become blackout windows on the profile; the
+        // analogue integrator then sees zero base acceleration inside
+        // them.
+        let blackout_windows = cfg.faults.blackout_windows(cfg.horizon);
+        let vibration = if blackout_windows.is_empty() {
+            cfg.vibration.clone()
+        } else {
+            cfg.vibration.clone().with_blackouts(blackout_windows)
+        };
         let mut circuit = HarvesterCircuit::new(
             cfg.generator.clone(),
             cfg.tuning.clone(),
             cfg.storage.clone(),
-            cfg.vibration.clone(),
+            vibration,
             harvester::LoadBank::new(),
         );
         if cfg.start_tuned {
@@ -137,12 +147,17 @@ impl FullSystemSim {
             sim.record_every(interval);
         }
 
+        let plan = cfg.faults;
         let sensor_id = sim.add_process(SensorProcess {
             node,
             tx_load,
             transmissions: 0,
             tx_energy: 0.0,
             in_flight: false,
+            plan,
+            attempts: 0,
+            retries_used: 0,
+            faults: FaultCounters::default(),
         });
         let mcu_id = sim.add_process(McuProcess {
             firmware,
@@ -153,6 +168,12 @@ impl FullSystemSim {
             coarse_moves: 0,
             fine_steps: 0,
             activity_energy: 0.0,
+            plan,
+            schedules: 0,
+            brownout_armed: plan
+                .brownout_voltage()
+                .is_some_and(|bv| cfg.initial_voltage >= bv),
+            faults: FaultCounters::default(),
         });
 
         sim.run_until(cfg.horizon).map_err(crate::NodeError::Sim)?;
@@ -183,6 +204,16 @@ impl FullSystemSim {
         };
         energy.harvested = (e1 - e0) + energy.total_consumed();
 
+        // The sensor process meters the radio faults, the MCU process the
+        // supply/timer faults.
+        let faults = FaultCounters {
+            tx_failures: sensor.faults.tx_failures,
+            tx_retries: sensor.faults.tx_retries,
+            tx_aborts: sensor.faults.tx_aborts,
+            brownouts: mcu_proc.faults.brownouts,
+            watchdog_misses: mcu_proc.faults.watchdog_misses,
+        };
+
         Ok(SimOutcome {
             transmissions: sensor.transmissions,
             watchdog_wakes: mcu_proc.wakes,
@@ -193,6 +224,7 @@ impl FullSystemSim {
             energy,
             trace,
             horizon: cfg.horizon,
+            faults,
         })
     }
 }
@@ -215,6 +247,14 @@ struct SensorProcess {
     tx_energy: f64,
     /// `true` while the transmission load is switched on.
     in_flight: bool,
+    /// Injected-fault schedule.
+    plan: FaultPlan,
+    /// Transmission attempt ordinal (the RNG substream key).
+    attempts: u64,
+    /// Retries already spent on the current message.
+    retries_used: u32,
+    /// Radio fault counters (`tx_*` fields only).
+    faults: FaultCounters,
 }
 
 impl Process<HarvesterCircuit> for SensorProcess {
@@ -239,16 +279,38 @@ impl Process<HarvesterCircuit> for SensorProcess {
                 ctx.wake_at(t + recheck_after);
             }
             TransmissionDecision::Transmit { next_after } => {
+                // Every attempt — failed or not — switches the radio load
+                // on for the full window and spends its energy.
                 ctx.system_mut()
                     .loads_mut()
                     .set_active(self.tx_load, true)
                     .expect("own load id");
                 self.in_flight = true;
-                self.transmissions += 1;
                 self.tx_energy += self.node.tx_energy(v);
                 let duration = self.node.tx_duration();
                 ctx.wake_at(t + duration);
-                ctx.wake_at(t + next_after.max(duration));
+                let attempt = self.attempts;
+                self.attempts += 1;
+                if self.plan.tx_attempt_fails(attempt) {
+                    self.faults.tx_failures += 1;
+                    if self.retries_used < MAX_TX_RETRIES {
+                        self.retries_used += 1;
+                        self.faults.tx_retries += 1;
+                        ctx.wake_at(
+                            t + FaultPlan::tx_retry_backoff(self.retries_used).max(duration),
+                        );
+                    } else {
+                        // Retry budget exhausted: drop the message and
+                        // fall back to the nominal schedule.
+                        self.faults.tx_aborts += 1;
+                        self.retries_used = 0;
+                        ctx.wake_at(t + next_after.max(duration));
+                    }
+                } else {
+                    self.transmissions += 1;
+                    self.retries_used = 0;
+                    ctx.wake_at(t + next_after.max(duration));
+                }
             }
         }
     }
@@ -284,6 +346,16 @@ struct McuProcess {
     coarse_moves: u64,
     fine_steps: u64,
     activity_energy: f64,
+    /// Injected-fault schedule.
+    plan: FaultPlan,
+    /// Scheduled-watchdog-wake ordinal (the RNG substream key; counts
+    /// missed wakes too).
+    schedules: u64,
+    /// Brownout detector latch: disarmed after a reset until the supply
+    /// recovers by the hysteresis margin.
+    brownout_armed: bool,
+    /// Supply/timer fault counters (`brownouts`/`watchdog_misses` only).
+    faults: FaultCounters,
 }
 
 impl McuProcess {
@@ -323,6 +395,32 @@ impl Process<HarvesterCircuit> for McuProcess {
     fn wake(&mut self, ctx: &mut Context<'_, HarvesterCircuit>) {
         let t = ctx.time();
 
+        // Brownout detector, checked at every MCU activity point: below
+        // the threshold the MCU resets and re-runs the cold-boot path —
+        // the in-flight tuning cycle is lost, the actuator re-homes and
+        // the detector re-arms only once the supply recovers by the
+        // hysteresis margin.
+        if let Some(bv) = self.plan.brownout_voltage() {
+            let v = ctx.state()[2];
+            if self.brownout_armed && v < bv {
+                self.brownout_armed = false;
+                self.faults.brownouts += 1;
+                self.firmware.cold_boot();
+                self.queue.clear();
+                ctx.system_mut()
+                    .loads_mut()
+                    .set_active(self.tuning_load, false)
+                    .expect("own load id");
+                ctx.system_mut().set_actuator_position(0);
+                ctx.system_mut().set_fine_offset_hz(0.0);
+                ctx.wake_at(t + self.watchdog_s);
+                return;
+            }
+            if !self.brownout_armed && v >= bv + BROWNOUT_HYSTERESIS_V {
+                self.brownout_armed = true;
+            }
+        }
+
         // Action completion?
         if let Some(front) = self.queue.front().copied() {
             if front.completes_at <= t + 1e-9 {
@@ -339,7 +437,17 @@ impl Process<HarvesterCircuit> for McuProcess {
             return;
         }
 
-        // Watchdog wake: plan the full Algorithm 1 cycle.
+        // Watchdog wake — unless the timer glitches and the node sleeps
+        // through to the next period.
+        let scheduled = self.schedules;
+        self.schedules += 1;
+        if self.plan.watchdog_missed(scheduled) {
+            self.faults.watchdog_misses += 1;
+            ctx.wake_at(t + self.watchdog_s);
+            return;
+        }
+
+        // Plan the full Algorithm 1 cycle.
         self.wakes += 1;
         let v = ctx.state()[2];
         let f_vib = ctx.system().vibration().dominant_frequency(t);
@@ -433,6 +541,27 @@ mod tests {
         let mut cfg = short(1.0);
         cfg.node.clock_hz = 1.0;
         assert!(FullSystemSim::new().run(&cfg).is_err());
+    }
+
+    #[test]
+    fn nominal_plan_reproduces_the_fault_free_run() {
+        let base = short(12.0);
+        let seeded = base.clone().with_faults(FaultPlan::seeded(5));
+        let engine = FullSystemSim::new().with_dt(2e-4);
+        assert_eq!(engine.run(&base).unwrap(), engine.run(&seeded).unwrap());
+    }
+
+    #[test]
+    fn tx_failures_fire_in_the_full_engine() {
+        let cfg = short(40.0).with_faults(FaultPlan::seeded(7).with_tx_failure_rate(0.5));
+        let out = FullSystemSim::new().with_dt(2e-4).run(&cfg).unwrap();
+        assert!(out.faults.tx_failures > 0, "50% loss over 8 attempts");
+        assert_eq!(
+            out.faults.tx_failures,
+            out.faults.tx_retries + out.faults.tx_aborts
+        );
+        let again = FullSystemSim::new().with_dt(2e-4).run(&cfg).unwrap();
+        assert_eq!(out, again, "deterministic");
     }
 
     #[test]

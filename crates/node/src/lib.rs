@@ -26,6 +26,11 @@
 //! * [`SimEngine`] / [`EngineKind`] / [`Scenario`] — the engine
 //!   abstraction layer: every consumer (DSE flow, robustness ensembles,
 //!   CLI, benches) selects an engine at runtime instead of naming one.
+//! * [`FaultPlan`] ([`faults`]) — deterministic, seeded fault injection:
+//!   radio TX failures with bounded retry/backoff, supply brownout
+//!   resets through the cold-boot path, vibration dropouts, and missed
+//!   watchdog wakeups, honoured by both engines and surfaced as
+//!   [`FaultCounters`] on every [`SimOutcome`].
 //!
 //! # Example: reproduce one design point of the paper
 //!
@@ -48,6 +53,7 @@ mod config;
 mod engine;
 mod envelope;
 mod error;
+pub mod faults;
 mod firmware;
 mod fullsim;
 mod mcu;
@@ -61,10 +67,11 @@ pub use config::{NodeConfig, SystemConfig};
 pub use engine::{EngineKind, Scenario, SimEngine};
 pub use envelope::EnvelopeSim;
 pub use error::NodeError;
+pub use faults::FaultPlan;
 pub use firmware::{FirmwareAction, TuningFirmware};
 pub use fullsim::FullSystemSim;
 pub use mcu::Mcu;
-pub use metrics::{EnergyBreakdown, SimOutcome, VoltageSample};
+pub use metrics::{EnergyBreakdown, FaultCounters, SimOutcome, VoltageSample};
 pub use peripherals::{Accelerometer, Actuator};
 pub use sensor::{SensorNode, TransmissionDecision};
 

@@ -58,6 +58,49 @@ impl fmt::Display for EnergyBreakdown {
     }
 }
 
+/// Counters of injected faults observed during one simulation run.
+///
+/// All-zero (the [`Default`]) for nominal runs — a run under
+/// [`crate::FaultPlan::none`] always reports the default value, so
+/// outcome comparisons against pre-fault-layer baselines still hold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultCounters {
+    /// Radio transmission attempts that failed (each attempt still spends
+    /// the full transmission energy).
+    pub tx_failures: u64,
+    /// Retransmission attempts scheduled by the retry/backoff policy.
+    pub tx_retries: u64,
+    /// Messages dropped after exhausting the bounded retry budget.
+    pub tx_aborts: u64,
+    /// Supply brownout resets (each re-runs the cold-boot path).
+    pub brownouts: u64,
+    /// Scheduled watchdog wakeups that were missed.
+    pub watchdog_misses: u64,
+}
+
+impl FaultCounters {
+    /// Total injected-fault events (retries are consequences, not faults,
+    /// so they are excluded).
+    pub fn total(&self) -> u64 {
+        self.tx_failures + self.brownouts + self.watchdog_misses
+    }
+
+    /// Whether no fault fired during the run.
+    pub fn is_nominal(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
+impl fmt::Display for FaultCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tx_failures {} (retries {}, aborts {}), brownouts {}, watchdog_misses {}",
+            self.tx_failures, self.tx_retries, self.tx_aborts, self.brownouts, self.watchdog_misses
+        )
+    }
+}
+
 /// Result of one full-system simulation run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimOutcome {
@@ -79,6 +122,8 @@ pub struct SimOutcome {
     pub trace: Vec<VoltageSample>,
     /// Simulated horizon (s).
     pub horizon: f64,
+    /// Injected-fault counters (all zero for nominal runs).
+    pub faults: FaultCounters,
 }
 
 impl SimOutcome {
@@ -121,6 +166,9 @@ impl fmt::Display for SimOutcome {
             "{} transmissions in {:.0} s (final V = {:.3})",
             self.transmissions, self.horizon, self.final_voltage
         )?;
+        if !self.faults.is_nominal() {
+            writeln!(f, "faults: {}", self.faults)?;
+        }
         write!(f, "{}", self.energy)
     }
 }
@@ -145,6 +193,19 @@ mod tests {
     }
 
     #[test]
+    fn fault_counters_roll_up() {
+        let mut c = FaultCounters::default();
+        assert!(c.is_nominal());
+        c.tx_failures = 2;
+        c.tx_retries = 2;
+        c.brownouts = 1;
+        c.watchdog_misses = 3;
+        assert_eq!(c.total(), 6, "retries are consequences, not faults");
+        assert!(!c.is_nominal());
+        assert!(c.to_string().contains("brownouts 1"));
+    }
+
+    #[test]
     fn outcome_helpers() {
         let o = SimOutcome {
             transmissions: 360,
@@ -165,6 +226,7 @@ mod tests {
                 },
             ],
             horizon: 3600.0,
+            faults: FaultCounters::default(),
         };
         assert!((o.tx_rate() - 0.1).abs() < 1e-12);
         assert_eq!(o.min_voltage(), 2.7);

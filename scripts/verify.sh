@@ -21,6 +21,19 @@ cargo test -q --offline
 echo "== cargo test cross_engine (envelope vs full co-simulation) =="
 cargo test -q --offline -p wsn-dse --test cross_engine
 
+echo "== fault-injection gate: determinism + nominal preservation =="
+cargo test -q --offline -p wsn-dse --test determinism -- \
+  fault_injected_report_is_bit_identical_at_any_job_count \
+  nominal_fault_plan_reproduces_the_baseline_report
+cargo test -q --offline -p wsn-node --lib -- \
+  nominal_plan_reproduces_the_fault_free_run
+
+echo "== fault-injection gate: partial batches never poison the cache =="
+cargo test -q --offline -p wsn-dse --lib -- \
+  partial_batch_isolates_failures_and_keeps_cache_clean \
+  panicking_evaluations_are_caught_and_reported \
+  transient_failures_are_retried_within_the_batch
+
 echo "== cargo fmt --check =="
 cargo fmt --check
 
