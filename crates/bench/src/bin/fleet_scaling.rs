@@ -1,0 +1,79 @@
+//! Fleet-evaluation scaling: wall-clock and channel outcomes as the
+//! network grows from a single node to a 32-node ring.
+//!
+//! Each row evaluates one fleet (paper heterogeneity, shared slotted
+//! channel, one-hour horizon) at the original Table VI design point and
+//! reports how collisions erode the sink goodput as the ring fills up.
+//! The measured trajectory is also written to `BENCH_fleet.json` so
+//! revisions can be diffed.
+//!
+//! Run with: `cargo run --release -p wsn-bench --bin fleet_scaling`
+//! (`-- --jobs N` limits worker threads; default: all cores).
+
+use std::time::Instant;
+
+use wsn_net::{FleetSpec, NetworkSim};
+use wsn_node::NodeConfig;
+
+/// Parses a trailing `--jobs N` argument; `0` (the default) means "all
+/// available cores".
+fn jobs_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let jobs = jobs_from_args();
+    let sim = NetworkSim::new().jobs(jobs);
+    let node = NodeConfig::original();
+
+    println!("fleet scaling (paper ring, original design, one hour, envelope engine):");
+    wsn_bench::rule(92);
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>10} {:>12} {:>12}",
+        "nodes", "attempted", "delivered", "collided", "unique", "goodput/h", "seconds"
+    );
+    wsn_bench::rule(92);
+
+    let mut rows = Vec::new();
+    for nodes in [1usize, 2, 4, 8, 16, 32] {
+        let spec = FleetSpec::paper(nodes);
+        let t0 = Instant::now();
+        let report = sim.evaluate(&spec, node)?;
+        let seconds = t0.elapsed().as_secs_f64();
+        println!(
+            "{:>6} {:>10} {:>10} {:>10} {:>10} {:>12.1} {:>12.3}",
+            nodes,
+            report.attempted(),
+            report.delivered(),
+            report.collided(),
+            report.unique_delivered(),
+            report.goodput_per_hour(),
+            seconds
+        );
+        rows.push(format!(
+            "{{\"nodes\":{},\"attempted\":{},\"delivered\":{},\"collided\":{},\
+             \"unique_delivered\":{},\"goodput_per_hour\":{},\"seconds\":{seconds}}}",
+            nodes,
+            report.attempted(),
+            report.delivered(),
+            report.collided(),
+            report.unique_delivered(),
+            report.goodput_per_hour()
+        ));
+    }
+    wsn_bench::rule(92);
+
+    let json = format!(
+        "{{\"bench\":\"fleet_scaling\",\"design\":\"original\",\"horizon_s\":3600,\
+         \"engine\":\"envelope\",\"rows\":[{}]}}\n",
+        rows.join(",")
+    );
+    std::fs::write("BENCH_fleet.json", &json)?;
+    println!("wrote BENCH_fleet.json");
+    Ok(())
+}

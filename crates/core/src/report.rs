@@ -81,6 +81,20 @@ impl DseReport {
             _ => 1.0,
         }
     }
+
+    /// Injected-fault counters summed over every validated design
+    /// (original plus optimised) — all zero under the nominal plan.
+    pub fn fault_totals(&self) -> FaultCounters {
+        let mut totals = FaultCounters::default();
+        for eval in std::iter::once(&self.original).chain(&self.optimised) {
+            totals.tx_failures += eval.faults.tx_failures;
+            totals.tx_retries += eval.faults.tx_retries;
+            totals.tx_aborts += eval.faults.tx_aborts;
+            totals.brownouts += eval.faults.brownouts;
+            totals.watchdog_misses += eval.faults.watchdog_misses;
+        }
+        totals
+    }
 }
 
 /// Formats an `f64` as a JSON token: `Display` for finite values (which
@@ -151,9 +165,13 @@ impl DesignEval {
 impl DseReport {
     /// Serialises the report as one machine-readable JSON line (design
     /// points and responses, surface coefficients and fit statistics,
-    /// evaluated designs), so bench trajectories can be diffed across
-    /// revisions. Hand-rolled — the workspace takes no serialisation
-    /// dependency. Non-finite numbers serialise as `null`.
+    /// evaluated designs, aggregated fault counters), so bench
+    /// trajectories can be diffed across revisions. Hand-rolled — the
+    /// workspace takes no serialisation dependency. Non-finite numbers
+    /// serialise as `null`; every fault-counter field is emitted
+    /// explicitly (zeros included), so the schema is identical for
+    /// nominal and faulty runs and downstream diffs never see fields
+    /// appear or vanish.
     pub fn to_json(&self) -> String {
         let points = json_array(
             self.design
@@ -168,6 +186,7 @@ impl DseReport {
              \"d_efficiency\":{},\
              \"original\":{},\
              \"optimised\":{},\
+             \"fault_totals\":{},\
              \"best_improvement_factor\":{}}}",
             self.design.len(),
             self.design.dimension(),
@@ -179,6 +198,7 @@ impl DseReport {
             json_f64(self.d_efficiency),
             self.original.to_json(),
             json_array(self.optimised.iter().map(|e| e.to_json())),
+            json_faults(&self.fault_totals()),
             json_f64(self.best_improvement_factor())
         )
     }

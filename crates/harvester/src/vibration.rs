@@ -179,6 +179,47 @@ impl VibrationProfile {
         self.amplitude
     }
 
+    /// A copy of this profile with every segment frequency offset by
+    /// `df_hz` — the "same machine, slightly different speed" variation a
+    /// fleet of co-located nodes observes. Blackout windows are preserved
+    /// and the sine phase map is recomputed for the new frequencies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any offset frequency would become non-positive.
+    pub fn with_frequency_offset(self, df_hz: f64) -> Self {
+        assert!(df_hz.is_finite(), "frequency offset must be finite");
+        let segments = self.segments.iter().map(|&(t, f)| (t, f + df_hz)).collect();
+        Self::stepped(self.amplitude, segments).with_blackouts(self.blackouts)
+    }
+
+    /// A copy of this profile with every *later* segment boundary (and
+    /// every blackout window) delayed by `shift_s`; the first segment
+    /// still starts at `t = 0`, its dwell simply stretches. This is the
+    /// deterministic "phase shift" used to decorrelate fleet members that
+    /// share one excitation schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shift_s` is negative or not finite.
+    pub fn time_shifted(self, shift_s: f64) -> Self {
+        assert!(
+            shift_s >= 0.0 && shift_s.is_finite(),
+            "time shift must be non-negative and finite"
+        );
+        let segments = self
+            .segments
+            .iter()
+            .map(|&(t, f)| (if t > 0.0 { t + shift_s } else { t }, f))
+            .collect();
+        let blackouts = self
+            .blackouts
+            .iter()
+            .map(|&(s, e)| (s + shift_s, e + shift_s))
+            .collect();
+        Self::stepped(self.amplitude, segments).with_blackouts(blackouts)
+    }
+
     /// Adds vibration blackout (dropout) windows: half-open `[start, end)`
     /// intervals during which the source delivers no acceleration —
     /// machinery halts, decoupled mounts, sensor faults. Windows must be
@@ -464,6 +505,51 @@ mod tests {
     #[should_panic(expected = "disjoint")]
     fn overlapping_blackouts_panic() {
         let _ = VibrationProfile::sine(10.0, 1.0).with_blackouts(vec![(0.0, 2.0), (1.0, 3.0)]);
+    }
+
+    #[test]
+    fn frequency_offset_shifts_every_segment() {
+        let v = VibrationProfile::paper_profile(75.0).with_frequency_offset(1.5);
+        assert_eq!(v.dominant_frequency(0.0), 76.5);
+        assert_eq!(v.dominant_frequency(1500.0), 81.5);
+        assert_eq!(v.dominant_frequency(3000.0), 86.5);
+        assert_ne!(
+            v.fingerprint(),
+            VibrationProfile::paper_profile(75.0).fingerprint()
+        );
+        // Blackouts survive the derivation.
+        let b = VibrationProfile::sine(50.0, 1.0)
+            .with_blackouts(vec![(1.0, 2.0)])
+            .with_frequency_offset(-2.0);
+        assert_eq!(b.dominant_frequency(0.0), 48.0);
+        assert!(b.is_blacked_out(1.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn frequency_offset_cannot_cross_zero() {
+        let _ = VibrationProfile::sine(10.0, 1.0).with_frequency_offset(-10.0);
+    }
+
+    #[test]
+    fn time_shift_delays_boundaries_but_not_the_origin() {
+        let v = VibrationProfile::paper_profile(75.0).time_shifted(90.0);
+        assert_eq!(v.dominant_frequency(0.0), 75.0);
+        assert_eq!(v.dominant_frequency(1500.0), 75.0, "step moved to 1590 s");
+        assert_eq!(v.dominant_frequency(1590.0), 80.0);
+        assert_eq!(v.next_change_after(0.0), Some(1590.0));
+        // Zero shift is the identity (same fingerprint).
+        let same = VibrationProfile::paper_profile(75.0).time_shifted(0.0);
+        assert_eq!(
+            same.fingerprint(),
+            VibrationProfile::paper_profile(75.0).fingerprint()
+        );
+        // Blackout windows shift with the schedule.
+        let b = VibrationProfile::sine(50.0, 1.0)
+            .with_blackouts(vec![(1.0, 2.0)])
+            .time_shifted(10.0);
+        assert!(b.is_blacked_out(11.5));
+        assert!(!b.is_blacked_out(1.5));
     }
 
     #[test]

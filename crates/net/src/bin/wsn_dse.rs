@@ -1,12 +1,17 @@
-//! `wsn-dse` — command-line front end for the reproduction.
+//! `wsn_dse` — command-line front end for the reproduction.
 //!
 //! ```text
 //! wsn_dse run       [--seed N] [--runs N] [--f0 HZ] [--horizon S] [--jobs N] [--engine E] [--json]
-//! wsn_dse simulate  --clock HZ --watchdog S --interval S [--f0 HZ] [--horizon S] [--engine E] [--trace]
+//! wsn_dse simulate  --clock HZ --watchdog S --interval S [--f0 HZ] [--horizon S] [--engine E]
+//!                   [--trace] [--json]
 //! wsn_dse sweep     --factor {clock|watchdog|interval} [--samples N] [--validate] [--jobs N]
 //! wsn_dse refine    [--seed N] [--shrink F] [--runs N] [--jobs N]
 //! wsn_dse faults    [--clock HZ --watchdog S --interval S] [--fault-seed N] [--fault-rate R]
 //!                   [--seeds N] [--f0 HZ] [--horizon S] [--jobs N] [--engine E] [--json]
+//! wsn_dse network   [--nodes N] [--fleet-seed N] [--clock HZ --watchdog S --interval S]
+//!                   [--freq-spread HZ] [--phase-spread S] [--slot S] [--interference M]
+//!                   [--delivery M] [--ring-radius M | --grid-pitch M] [--ideal]
+//!                   [--dse] [--seed N] [--runs N] [--jobs N] [--engine E] [--json]
 //! ```
 //!
 //! `--jobs N` caps the simulation worker threads (0 or omitted: all
@@ -19,18 +24,21 @@
 //! full engine's analogue step.
 //!
 //! `run` executes the full paper flow (`--json` emits the report as one
-//! machine-readable line); `simulate` evaluates one configuration;
-//! `sweep` prints a Fig. 4 style panel; `refine` runs the two-phase
-//! sequential flow; `faults` evaluates one configuration under a seeded
-//! fault-injection ensemble and reports the throughput distribution and
-//! fault counters.
+//! machine-readable line); `simulate` evaluates one configuration
+//! (`--json` includes the per-transmission timestamps); `sweep` prints a
+//! Fig. 4 style panel; `refine` runs the two-phase sequential flow;
+//! `faults` evaluates one configuration under a seeded fault-injection
+//! ensemble and reports the throughput distribution and fault counters;
+//! `network` evaluates a fleet of nodes on a shared radio channel (and,
+//! with `--dse`, optimises the fleet's sink goodput with the RSM + SA/GA
+//! flow).
 //!
-//! `--fault-seed N --fault-rate R` (accepted by `run`, `simulate` and
-//! `faults`) inject deterministic faults: each radio transmission fails
-//! with probability `R`, each watchdog wake is missed with probability
-//! `R`, and the vibration source drops out `20 R` times per hour for
-//! 60 s. The schedule is a pure function of the seed, so reports stay
-//! bit-identical at any `--jobs`.
+//! `--fault-seed N --fault-rate R` (accepted by `run`, `simulate`,
+//! `faults` and `network`) inject deterministic faults: each radio
+//! transmission fails with probability `R`, each watchdog wake is missed
+//! with probability `R`, and the vibration source drops out `20 R` times
+//! per hour for 60 s. The schedule is a pure function of the seed, so
+//! reports stay bit-identical at any `--jobs`.
 
 use std::process::ExitCode;
 
@@ -39,7 +47,8 @@ use std::sync::Arc;
 use harvester::VibrationProfile;
 use wsn_dse::robustness::{evaluate_scenarios_with, fault_robustness_with};
 use wsn_dse::{DseFlow, SimPool};
-use wsn_node::{EngineKind, FaultPlan, NodeConfig, SimEngine, SystemConfig};
+use wsn_net::{FleetDseFlow, FleetSpec, FleetTopology, NetworkSim, RadioChannel};
+use wsn_node::{EngineKind, FaultPlan, NodeConfig, SimEngine, SimOutcome, SystemConfig};
 
 /// Minimal flag parser: `--key value` pairs after the subcommand.
 struct Args {
@@ -99,19 +108,23 @@ impl Args {
 }
 
 fn usage() -> &'static str {
-    "usage: wsn_dse <run|simulate|sweep|refine|faults> [options]\n\
+    "usage: wsn_dse <run|simulate|sweep|refine|faults|network> [options]\n\
      \n\
      run       --seed N --runs N --f0 HZ --horizon S [--csv DIR] [--jobs N] [--json]\n\
-     simulate  --clock HZ --watchdog S --interval S [--f0 HZ] [--horizon S] [--trace]\n\
+     simulate  --clock HZ --watchdog S --interval S [--f0 HZ] [--horizon S] [--trace] [--json]\n\
      sweep     --factor clock|watchdog|interval [--samples N] [--validate] [--jobs N]\n\
      refine    --seed N --shrink F --runs N [--jobs N]\n\
      faults    --clock HZ --watchdog S --interval S --fault-seed N --fault-rate R\n\
                [--seeds N] [--f0 HZ] [--horizon S] [--jobs N] [--json]\n\
+     network   --nodes N [--fleet-seed N] [--clock HZ --watchdog S --interval S]\n\
+               [--freq-spread HZ] [--phase-spread S] [--slot S] [--interference M]\n\
+               [--delivery M] [--ring-radius M | --grid-pitch M] [--ideal]\n\
+               [--dse --seed N --runs N] [--jobs N] [--json]\n\
      \n\
      --engine envelope|full selects the simulation engine (all commands;\n\
        default envelope; full is slow — use a short --horizon);\n\
        --dt S overrides the full engine's analogue step\n\
-     --fault-seed N --fault-rate R (run, simulate, faults) inject\n\
+     --fault-seed N --fault-rate R (run, simulate, faults, network) inject\n\
        deterministic radio/watchdog/vibration faults at rate R\n\
      --jobs 0 (default) uses all cores; results are identical at any job count"
 }
@@ -190,6 +203,40 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// One simulation outcome as a machine-readable JSON line, including the
+/// per-transmission timestamps the network layer arbitrates over.
+fn outcome_json(out: &SimOutcome) -> String {
+    let times: Vec<String> = out.tx_times.iter().map(|t| format!("{t}")).collect();
+    format!(
+        "{{\"transmissions\":{},\"horizon_s\":{},\"final_voltage\":{},\
+         \"watchdog_wakes\":{},\"coarse_moves\":{},\"fine_steps\":{},\
+         \"energy\":{{\"harvested\":{},\"transmission\":{},\"mcu\":{},\"actuator\":{},\
+         \"accelerometer\":{},\"sleep\":{},\"leakage\":{}}},\
+         \"faults\":{{\"tx_failures\":{},\"tx_retries\":{},\"tx_aborts\":{},\
+         \"brownouts\":{},\"watchdog_misses\":{}}},\
+         \"tx_times\":[{}]}}",
+        out.transmissions,
+        out.horizon,
+        out.final_voltage,
+        out.watchdog_wakes,
+        out.coarse_moves,
+        out.fine_steps,
+        out.energy.harvested,
+        out.energy.transmission,
+        out.energy.mcu,
+        out.energy.actuator,
+        out.energy.accelerometer,
+        out.energy.sleep,
+        out.energy.leakage,
+        out.faults.tx_failures,
+        out.faults.tx_retries,
+        out.faults.tx_aborts,
+        out.faults.brownouts,
+        out.faults.watchdog_misses,
+        times.join(","),
+    )
+}
+
 fn cmd_simulate(args: &Args) -> Result<(), String> {
     let clock = args.get_f64("clock", 4e6)?;
     let watchdog = args.get_f64("watchdog", 320.0)?;
@@ -207,7 +254,11 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     let out = engine_from(args)?
         .simulate(&cfg)
         .map_err(|e| e.to_string())?;
-    println!("{out}");
+    if args.has_flag("json") {
+        println!("{}", outcome_json(&out));
+    } else {
+        println!("{out}");
+    }
     if args.has_flag("trace") {
         println!("time_s,voltage_v");
         for s in &out.trace {
@@ -357,6 +408,116 @@ fn cmd_faults(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Builds the fleet described by the `network` options.
+fn fleet_spec_from(args: &Args) -> Result<FleetSpec, String> {
+    let nodes = args.get_u64("nodes", 16)? as usize;
+    if nodes == 0 {
+        return Err("--nodes: a fleet needs at least one node".to_owned());
+    }
+    let f0 = args.get_f64("f0", 75.0)?;
+    let horizon = args.get_f64("horizon", 3600.0)?;
+    let freq_spread = args.get_f64("freq-spread", 2.0)?;
+    let phase_spread = args.get_f64("phase-spread", 30.0)?;
+    if !(freq_spread >= 0.0 && freq_spread.is_finite()) {
+        return Err("--freq-spread: expected a non-negative spread".to_owned());
+    }
+    if !(phase_spread >= 0.0 && phase_spread.is_finite()) {
+        return Err("--phase-spread: expected a non-negative spread".to_owned());
+    }
+
+    let mut channel = if args.has_flag("ideal") {
+        RadioChannel::ideal()
+    } else {
+        RadioChannel::paper_default()
+    };
+    if let Some(slot) = args.get("slot") {
+        let slot: f64 = slot
+            .parse()
+            .map_err(|_| format!("--slot: expected a number, got {slot}"))?;
+        if !(slot > 0.0 && slot.is_finite()) {
+            return Err("--slot: expected a positive slot".to_owned());
+        }
+        channel = channel.with_slot(slot);
+    }
+    if args.get("interference").is_some() {
+        let range = args.get_f64("interference", 0.0)?;
+        if range < 0.0 {
+            return Err("--interference: expected a non-negative range".to_owned());
+        }
+        channel = channel.with_interference_range(range);
+    }
+    if args.get("delivery").is_some() {
+        let range = args.get_f64("delivery", 0.0)?;
+        if range < 0.0 {
+            return Err("--delivery: expected a non-negative range".to_owned());
+        }
+        channel = channel.with_delivery_range(range);
+    }
+
+    let topology = if args.get("grid-pitch").is_some() {
+        FleetTopology::Grid {
+            pitch_m: args.get_f64("grid-pitch", 5.0)?,
+        }
+    } else {
+        FleetTopology::Ring {
+            radius_m: args.get_f64("ring-radius", 10.0)?,
+        }
+    };
+
+    let template = SystemConfig::paper(NodeConfig::original())
+        .with_horizon(horizon)
+        .with_vibration(VibrationProfile::paper_profile(f0));
+    let mut spec = FleetSpec::paper(nodes)
+        .with_seed(args.get_u64("fleet-seed", 99)?)
+        .with_template(template)
+        .with_spreads(freq_spread, phase_spread)
+        .with_channel(channel)
+        .with_topology(topology);
+    let plan = fault_plan_from(args)?;
+    if !plan.is_none() {
+        spec = spec.with_faults(plan);
+    }
+    Ok(spec)
+}
+
+/// Evaluates (or, with `--dse`, optimises) a fleet of nodes on a shared
+/// radio channel. The objective is the sink goodput: unique packets
+/// delivered per hour.
+fn cmd_network(args: &Args) -> Result<(), String> {
+    let spec = fleet_spec_from(args)?;
+    let jobs = args.get_u64("jobs", 0)? as usize;
+    if args.has_flag("dse") {
+        let flow = FleetDseFlow::paper(spec.nodes)
+            .with_spec(spec)
+            .seed(args.get_u64("seed", 12)?)
+            .doe_runs(args.get_u64("runs", 10)? as usize)
+            .jobs(jobs)
+            .with_engine(engine_from(args)?);
+        let report = flow.run().map_err(|e| e.to_string())?;
+        if args.has_flag("json") {
+            println!("{}", report.to_json());
+        } else {
+            println!("{report}");
+        }
+    } else {
+        let clock = args.get_f64("clock", 4e6)?;
+        let watchdog = args.get_f64("watchdog", 320.0)?;
+        let interval = args.get_f64("interval", 5.0)?;
+        let node = NodeConfig::new(clock, watchdog, interval).map_err(|e| e.to_string())?;
+        let report = NetworkSim::new()
+            .jobs(jobs)
+            .with_engine(engine_from(args)?)
+            .evaluate(&spec, node)
+            .map_err(|e| e.to_string())?;
+        if args.has_flag("json") {
+            println!("{}", report.to_json());
+        } else {
+            println!("{report}");
+        }
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = argv.split_first() else {
@@ -376,6 +537,7 @@ fn main() -> ExitCode {
         "sweep" => cmd_sweep(&args),
         "refine" => cmd_refine(&args),
         "faults" => cmd_faults(&args),
+        "network" => cmd_network(&args),
         other => Err(format!("unknown command {other}\n{}", usage())),
     };
     match result {

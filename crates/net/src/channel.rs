@@ -1,0 +1,418 @@
+//! The shared radio channel: a slotted collision model arbitrated
+//! deterministically from recorded transmission timestamps.
+//!
+//! Every node's simulation records the start time of each completed
+//! transmission ([`wsn_node::SimOutcome::tx_times`]). The channel replays
+//! those timestamps *after* the per-node simulations finish: each
+//! transmission opens an airtime window of [`RadioChannel::airtime_s`]
+//! seconds, and two windows that overlap in time — from different nodes
+//! within interference range of each other — destroy both packets. The
+//! energy is already spent inside the node simulation (Table III charges
+//! per attempt), so a collision costs throughput, not extra energy.
+//!
+//! Arbitration is a pure function of the timestamp multiset and the node
+//! positions: packets are processed in a total order (time, then node
+//! index), so the verdict is bit-identical however the per-node runs were
+//! scheduled across worker threads.
+
+use std::fmt;
+
+/// Default airtime of one packet (s). Matches the Table III transmission
+/// duration used by the node model ([`wsn_node::SensorNode::tx_duration`]).
+pub const DEFAULT_AIRTIME_S: f64 = 4.5e-3;
+
+/// Default sink deduplication slot (s): repeat deliveries from one node
+/// within the same slot carry no new information (the measurand cannot
+/// have changed) and count as duplicates.
+pub const DEFAULT_SLOT_S: f64 = 1.0;
+
+/// The shared medium all fleet nodes transmit on.
+///
+/// The model is intentionally coarse — a slotted-ALOHA-style collision
+/// rule over recorded timestamps — because the interesting coupling is
+/// *energy policy → transmission times → contention*, not RF propagation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RadioChannel {
+    /// Airtime of one packet (s). Two transmissions whose start times are
+    /// closer than this overlap on the medium.
+    pub airtime_s: f64,
+    /// Sink deduplication slot (s): extra deliveries by the same node
+    /// within one slot are counted as duplicates.
+    pub slot_s: f64,
+    /// Interference range (m): transmitters farther apart than this never
+    /// collide with each other. `0` disables collisions entirely.
+    pub interference_range_m: f64,
+    /// Delivery range (m): packets from nodes farther than this from the
+    /// sink are lost even without a collision.
+    pub delivery_range_m: f64,
+}
+
+impl RadioChannel {
+    /// The default fleet channel: Table III airtime, 1 s sink slot, 50 m
+    /// interference range, 30 m delivery range.
+    pub fn paper_default() -> Self {
+        RadioChannel {
+            airtime_s: DEFAULT_AIRTIME_S,
+            slot_s: DEFAULT_SLOT_S,
+            interference_range_m: 50.0,
+            delivery_range_m: 30.0,
+        }
+    }
+
+    /// An ideal channel: no collisions (zero interference range) and
+    /// unbounded delivery range. A 1-node fleet on this channel delivers
+    /// exactly the transmissions the single-node simulation counts.
+    pub fn ideal() -> Self {
+        RadioChannel {
+            airtime_s: DEFAULT_AIRTIME_S,
+            slot_s: DEFAULT_SLOT_S,
+            interference_range_m: 0.0,
+            delivery_range_m: f64::INFINITY,
+        }
+    }
+
+    /// Replaces the packet airtime.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `airtime_s` is positive and finite.
+    pub fn with_airtime(mut self, airtime_s: f64) -> Self {
+        assert!(
+            airtime_s > 0.0 && airtime_s.is_finite(),
+            "airtime must be positive and finite"
+        );
+        self.airtime_s = airtime_s;
+        self
+    }
+
+    /// Replaces the sink deduplication slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `slot_s` is positive and finite.
+    pub fn with_slot(mut self, slot_s: f64) -> Self {
+        assert!(
+            slot_s > 0.0 && slot_s.is_finite(),
+            "slot must be positive and finite"
+        );
+        self.slot_s = slot_s;
+        self
+    }
+
+    /// Replaces the interference range (`0` disables collisions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is negative or NaN.
+    pub fn with_interference_range(mut self, range_m: f64) -> Self {
+        assert!(range_m >= 0.0, "interference range must be non-negative");
+        self.interference_range_m = range_m;
+        self
+    }
+
+    /// Replaces the delivery range (`f64::INFINITY` delivers from
+    /// anywhere).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is negative or NaN.
+    pub fn with_delivery_range(mut self, range_m: f64) -> Self {
+        assert!(range_m >= 0.0, "delivery range must be non-negative");
+        self.delivery_range_m = range_m;
+        self
+    }
+
+    /// A stable 64-bit fingerprint of the channel parameters, folded into
+    /// the fleet fingerprint so cached fleet evaluations under different
+    /// channels never collide.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET ^ 0x6368_616e; // "chan"
+        for v in [
+            self.airtime_s,
+            self.slot_s,
+            self.interference_range_m,
+            self.delivery_range_m,
+        ] {
+            for byte in v.to_bits().to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        }
+        h
+    }
+
+    /// Arbitrates one fleet's recorded transmissions over the shared
+    /// medium, returning per-node channel statistics (one entry per
+    /// trace, in input order).
+    ///
+    /// The verdict depends only on the *content* of `traces` — packets
+    /// are globally ordered by (time, node index) before the sweep — so
+    /// the same traces always produce the same statistics, regardless of
+    /// how the per-node simulations were scheduled.
+    pub fn arbitrate(&self, sink: (f64, f64), traces: &[NodeTrace<'_>]) -> Vec<ChannelStats> {
+        // Flatten to (start time, node) packets in a total order.
+        let mut packets: Vec<(f64, usize)> = traces
+            .iter()
+            .enumerate()
+            .flat_map(|(n, trace)| trace.tx_times.iter().map(move |&t| (t, n)))
+            .collect();
+        packets.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+
+        // Sweep: packet j collides with every earlier packet i whose
+        // airtime window it overlaps, provided the transmitters differ
+        // and sit within interference range. Marking both sides makes the
+        // relation symmetric by construction.
+        let mut collided = vec![false; packets.len()];
+        for j in 1..packets.len() {
+            let (tj, nj) = packets[j];
+            let mut i = j;
+            while i > 0 {
+                i -= 1;
+                let (ti, ni) = packets[i];
+                if tj - ti >= self.airtime_s {
+                    break;
+                }
+                if ni != nj && self.interferes(traces[ni].position, traces[nj].position) {
+                    collided[i] = true;
+                    collided[j] = true;
+                }
+            }
+        }
+
+        // Accumulate the per-node verdicts in packet order, tracking the
+        // sink's deduplication slot per node.
+        let mut stats = vec![ChannelStats::default(); traces.len()];
+        let mut last_slot: Vec<Option<i64>> = vec![None; traces.len()];
+        for (k, &(t, n)) in packets.iter().enumerate() {
+            stats[n].attempted += 1;
+            if collided[k] {
+                stats[n].collided += 1;
+            } else if distance(traces[n].position, sink) <= self.delivery_range_m {
+                stats[n].delivered += 1;
+                let slot = (t / self.slot_s).floor() as i64;
+                if last_slot[n] == Some(slot) {
+                    stats[n].duplicates += 1;
+                } else {
+                    last_slot[n] = Some(slot);
+                }
+            } else {
+                stats[n].out_of_range += 1;
+            }
+        }
+        stats
+    }
+
+    /// Whether transmitters at `a` and `b` can destroy each other's
+    /// packets. A zero interference range disables collisions even for
+    /// co-located nodes.
+    fn interferes(&self, a: (f64, f64), b: (f64, f64)) -> bool {
+        self.interference_range_m > 0.0 && distance(a, b) <= self.interference_range_m
+    }
+}
+
+impl fmt::Display for RadioChannel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "airtime {:.1} ms, slot {:.1} s, interference {} m, delivery {} m",
+            self.airtime_s * 1e3,
+            self.slot_s,
+            self.interference_range_m,
+            self.delivery_range_m
+        )
+    }
+}
+
+/// Euclidean distance between two plane positions (m).
+pub fn distance(a: (f64, f64), b: (f64, f64)) -> f64 {
+    let dx = a.0 - b.0;
+    let dy = a.1 - b.1;
+    (dx * dx + dy * dy).sqrt()
+}
+
+/// One node's contribution to the arbitration: where it sits and when it
+/// transmitted. Borrowed, because timestamp vectors can be long.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeTrace<'a> {
+    /// Plane position of the node (m).
+    pub position: (f64, f64),
+    /// Start times of the node's completed transmissions (s), as recorded
+    /// in [`wsn_node::SimOutcome::tx_times`].
+    pub tx_times: &'a [f64],
+}
+
+/// Per-node channel verdict: where each recorded transmission ended up.
+///
+/// Invariant: `attempted == delivered + collided + out_of_range`, and
+/// `duplicates <= delivered` (duplicates are delivered packets that carry
+/// no new information).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChannelStats {
+    /// Transmissions the node put on the air.
+    pub attempted: u64,
+    /// Packets that reached the sink (including duplicates).
+    pub delivered: u64,
+    /// Delivered packets that repeated an earlier delivery from the same
+    /// node within one deduplication slot.
+    pub duplicates: u64,
+    /// Packets destroyed by a collision on the shared medium.
+    pub collided: u64,
+    /// Packets that survived the medium but started outside the sink's
+    /// delivery range.
+    pub out_of_range: u64,
+}
+
+impl ChannelStats {
+    /// Delivered packets that carried new information.
+    pub fn unique_delivered(&self) -> u64 {
+        self.delivered - self.duplicates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(position: (f64, f64), tx_times: &[f64]) -> NodeTrace<'_> {
+        NodeTrace { position, tx_times }
+    }
+
+    #[test]
+    fn lone_node_delivers_everything() {
+        let ch = RadioChannel::ideal();
+        let times = [0.0, 5.0, 10.0];
+        let stats = ch.arbitrate((0.0, 0.0), &[trace((3.0, 4.0), &times)]);
+        assert_eq!(stats[0].attempted, 3);
+        assert_eq!(stats[0].delivered, 3);
+        assert_eq!(stats[0].collided, 0);
+        assert_eq!(stats[0].duplicates, 0);
+    }
+
+    #[test]
+    fn overlapping_windows_destroy_both_packets() {
+        let ch = RadioChannel::paper_default();
+        let a = [1.0];
+        let b = [1.0 + ch.airtime_s / 2.0];
+        let stats = ch.arbitrate((0.0, 0.0), &[trace((1.0, 0.0), &a), trace((2.0, 0.0), &b)]);
+        assert_eq!(stats[0].collided, 1, "earlier packet dies too");
+        assert_eq!(stats[1].collided, 1);
+        assert_eq!(stats[0].delivered + stats[1].delivered, 0);
+    }
+
+    #[test]
+    fn separated_windows_both_deliver() {
+        let ch = RadioChannel::paper_default();
+        let a = [1.0];
+        let b = [1.0 + 2.0 * ch.airtime_s]; // clear of the airtime window
+        let stats = ch.arbitrate((0.0, 0.0), &[trace((1.0, 0.0), &a), trace((2.0, 0.0), &b)]);
+        assert_eq!(stats[0].delivered, 1);
+        assert_eq!(stats[1].delivered, 1);
+    }
+
+    #[test]
+    fn out_of_interference_range_never_collides() {
+        let ch = RadioChannel::paper_default().with_interference_range(10.0);
+        let t = [1.0];
+        let stats = ch.arbitrate(
+            (0.0, 0.0),
+            &[trace((0.0, 0.0), &t), trace((100.0, 0.0), &t)],
+        );
+        assert_eq!(stats[0].collided, 0);
+        assert_eq!(stats[1].collided, 0);
+        // The far node is also outside the 30 m delivery range.
+        assert_eq!(stats[0].delivered, 1);
+        assert_eq!(stats[1].out_of_range, 1);
+    }
+
+    #[test]
+    fn hidden_terminals_chain_through_the_middle_node() {
+        // A and C are out of range of each other but both in range of B:
+        // B's packet dies to both, while A and C kill each other only
+        // through their overlaps with B.
+        let ch = RadioChannel::paper_default()
+            .with_interference_range(15.0)
+            .with_delivery_range(f64::INFINITY);
+        let a = [1.0];
+        let b = [1.0 + ch.airtime_s * 0.5];
+        let c = [1.0 + ch.airtime_s * 0.9];
+        let stats = ch.arbitrate(
+            (0.0, 0.0),
+            &[
+                trace((-10.0, 0.0), &a),
+                trace((0.0, 0.0), &b),
+                trace((10.0, 0.0), &c),
+            ],
+        );
+        assert_eq!(stats[0].collided, 1, "A overlaps B");
+        assert_eq!(stats[1].collided, 1, "B overlaps both");
+        assert_eq!(stats[2].collided, 1, "C overlaps B");
+        // A and C never interfere directly (20 m apart, 15 m range), so
+        // with B silent both would deliver.
+        let quiet: [f64; 0] = [];
+        let stats = ch.arbitrate(
+            (0.0, 0.0),
+            &[
+                trace((-10.0, 0.0), &a),
+                trace((0.0, 0.0), &quiet),
+                trace((10.0, 0.0), &c),
+            ],
+        );
+        assert_eq!(stats[0].delivered, 1);
+        assert_eq!(stats[2].delivered, 1);
+    }
+
+    #[test]
+    fn sink_slot_marks_repeat_deliveries_as_duplicates() {
+        let ch = RadioChannel::ideal().with_slot(1.0);
+        let times = [0.1, 0.5, 0.9, 1.1]; // three in slot 0, one in slot 1
+        let stats = ch.arbitrate((0.0, 0.0), &[trace((0.0, 0.0), &times)]);
+        assert_eq!(stats[0].delivered, 4);
+        assert_eq!(stats[0].duplicates, 2);
+        assert_eq!(stats[0].unique_delivered(), 2);
+    }
+
+    #[test]
+    fn accounting_invariant_holds() {
+        let ch = RadioChannel::paper_default();
+        let a = [0.0, 1.0, 2.0, 2.001];
+        let b = [1.0005, 3.0];
+        let stats = ch.arbitrate(
+            (0.0, 0.0),
+            &[trace((5.0, 0.0), &a), trace((100.0, 0.0), &b)],
+        );
+        for s in &stats {
+            assert_eq!(s.attempted, s.delivered + s.collided + s.out_of_range);
+            assert!(s.duplicates <= s.delivered);
+        }
+    }
+
+    #[test]
+    fn zero_interference_range_disables_collisions_even_co_located() {
+        let ch = RadioChannel::ideal();
+        let t = [1.0];
+        let stats = ch.arbitrate((0.0, 0.0), &[trace((0.0, 0.0), &t), trace((0.0, 0.0), &t)]);
+        assert_eq!(stats[0].collided + stats[1].collided, 0);
+    }
+
+    #[test]
+    fn fingerprints_separate_channel_variants() {
+        let base = RadioChannel::paper_default();
+        assert_eq!(
+            base.fingerprint(),
+            RadioChannel::paper_default().fingerprint()
+        );
+        assert_ne!(base.fingerprint(), RadioChannel::ideal().fingerprint());
+        assert_ne!(
+            base.fingerprint(),
+            base.clone().with_slot(2.0).fingerprint()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn airtime_must_be_positive() {
+        let _ = RadioChannel::paper_default().with_airtime(0.0);
+    }
+}

@@ -1,0 +1,486 @@
+//! Fleet-level design space exploration: the paper's RSM + SA/GA flow
+//! with the objective swapped from *transmissions attempted by one node*
+//! to *unique packets delivered at the sink per hour* by the whole fleet.
+//!
+//! The machinery is the single-node [`wsn_dse::DseFlow`]'s, point for
+//! point — D-optimal design over the Table V space, quadratic surface,
+//! SA + GA maximisation, validation back in the simulator — but every
+//! response is a full [`NetworkSim::evaluate`] fleet run. Responses are
+//! memoised in the flow's own [`SimPool`] under keys that fold in the
+//! [`FleetSpec::fingerprint`], so fleet responses can never collide with
+//! single-node cache entries (or with a different fleet's).
+
+use std::fmt;
+use std::sync::Arc;
+
+use doe::{DOptimal, Design, DesignSpace, ModelSpec};
+use optim::{Bounds, GeneticAlgorithm, Optimizer, SimulatedAnnealing};
+use rsm::ResponseSurface;
+use wsn_dse::{coded_to_config, config_to_coded, paper_design_space, EvalKey, SimPool};
+use wsn_node::{EngineKind, NodeConfig, SimEngine};
+
+use crate::fleet::{FleetSpec, NetworkSim};
+use crate::report::{json_array, json_f64, json_str, NetworkReport};
+use crate::Result;
+
+/// One evaluated fleet design: a configuration, its coded coordinates,
+/// the RSM prediction (for optimiser candidates) and the simulated sink
+/// goodput.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetEval {
+    /// Human-readable label ("original", "simulated annealing", ...).
+    pub label: String,
+    /// The configuration in natural units (shared by every node).
+    pub config: NodeConfig,
+    /// The configuration in coded Table V coordinates.
+    pub coded: Vec<f64>,
+    /// The fitted surface's goodput prediction, when this design was
+    /// produced by optimising the surface.
+    pub predicted: Option<f64>,
+    /// The simulated sink goodput (unique packets/hour).
+    pub goodput: f64,
+}
+
+impl fmt::Display for FleetEval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<22} clock = {:>9.0} Hz, watchdog = {:>5.0} s, interval = {:>6.3} s → {:.1} pkt/h",
+            self.label,
+            self.config.clock_hz,
+            self.config.watchdog_s,
+            self.config.tx_interval_s,
+            self.goodput
+        )?;
+        if let Some(p) = self.predicted {
+            write!(f, " (RSM predicted {p:.1})")?;
+        }
+        Ok(())
+    }
+}
+
+impl FleetEval {
+    /// This evaluation as a single-line JSON object.
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"label\":{},\"clock_hz\":{},\"watchdog_s\":{},\"tx_interval_s\":{},\
+             \"coded\":{},\"predicted\":{},\"goodput_per_hour\":{}}}",
+            json_str(&self.label),
+            json_f64(self.config.clock_hz),
+            json_f64(self.config.watchdog_s),
+            json_f64(self.config.tx_interval_s),
+            json_array(self.coded.iter().map(|&v| json_f64(v))),
+            self.predicted.map_or("null".to_owned(), json_f64),
+            json_f64(self.goodput)
+        )
+    }
+}
+
+/// Complete output of one fleet-level design space exploration.
+#[derive(Debug, Clone)]
+pub struct FleetDseReport {
+    /// The coded experimental design.
+    pub design: Design,
+    /// Simulated sink goodputs at the design points (the regression
+    /// responses).
+    pub responses: Vec<f64>,
+    /// The fitted quadratic response surface over goodput.
+    pub surface: ResponseSurface,
+    /// D-efficiency of the design for the fitted model (%).
+    pub d_efficiency: f64,
+    /// The paper's original design, evaluated as a fleet.
+    pub original: FleetEval,
+    /// The optimised designs, each validated as a fleet.
+    pub optimised: Vec<FleetEval>,
+    /// Full fleet report at the original design.
+    pub original_network: NetworkReport,
+    /// Full fleet report at the best optimised design.
+    pub best_network: NetworkReport,
+}
+
+impl FleetDseReport {
+    /// The best validated goodput among the optimised designs.
+    pub fn best_optimised(&self) -> Option<&FleetEval> {
+        self.optimised
+            .iter()
+            .max_by(|a, b| a.goodput.total_cmp(&b.goodput))
+    }
+
+    /// Improvement factor of the best optimised design over the
+    /// original.
+    pub fn best_improvement_factor(&self) -> f64 {
+        match self.best_optimised() {
+            Some(best) if self.original.goodput > 0.0 => best.goodput / self.original.goodput,
+            _ => 1.0,
+        }
+    }
+
+    /// Serialises the report as one machine-readable JSON line.
+    pub fn to_json(&self) -> String {
+        let points = json_array(
+            self.design
+                .points()
+                .iter()
+                .map(|p| json_array(p.iter().map(|&v| json_f64(v)))),
+        );
+        format!(
+            "{{\"objective\":\"goodput_per_hour\",\
+             \"design\":{{\"runs\":{},\"dimension\":{},\"points\":{}}},\
+             \"responses\":{},\
+             \"surface\":{{\"coefficients\":{},\"r_squared\":{},\"adj_r_squared\":{}}},\
+             \"d_efficiency\":{},\
+             \"original\":{},\
+             \"optimised\":{},\
+             \"best_improvement_factor\":{},\
+             \"original_network\":{},\
+             \"best_network\":{}}}",
+            self.design.len(),
+            self.design.dimension(),
+            points,
+            json_array(self.responses.iter().map(|&v| json_f64(v))),
+            json_array(self.surface.coefficients().iter().map(|&v| json_f64(v))),
+            json_f64(self.surface.stats().r_squared),
+            json_f64(self.surface.stats().adj_r_squared),
+            json_f64(self.d_efficiency),
+            self.original.to_json(),
+            json_array(self.optimised.iter().map(|e| e.to_json())),
+            json_f64(self.best_improvement_factor()),
+            self.original_network.to_json(),
+            self.best_network.to_json()
+        )
+    }
+}
+
+impl fmt::Display for FleetDseReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fleet DSE ({} nodes, objective: sink goodput/hour)",
+            self.original_network.nodes
+        )?;
+        writeln!(
+            f,
+            "D-optimal design: {} runs, D-efficiency {:.1} %",
+            self.design.len(),
+            self.d_efficiency
+        )?;
+        writeln!(
+            f,
+            "fit quality: R² = {:.4}, adj R² = {:.4}",
+            self.surface.stats().r_squared,
+            self.surface.stats().adj_r_squared
+        )?;
+        writeln!(f, "{}", self.original)?;
+        for eval in &self.optimised {
+            writeln!(f, "{eval}")?;
+        }
+        write!(
+            f,
+            "best improvement: {:.2}x the original design",
+            self.best_improvement_factor()
+        )
+    }
+}
+
+/// The fleet-level DSE flow. Construct with [`FleetDseFlow::paper`],
+/// adjust with the builders, then [`run`](Self::run).
+///
+/// # Example
+///
+/// ```no_run
+/// # fn main() -> Result<(), wsn_dse::DseError> {
+/// let report = wsn_net::FleetDseFlow::paper(8).seed(42).run()?;
+/// println!("{report}");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FleetDseFlow {
+    spec: FleetSpec,
+    sim: NetworkSim,
+    space: DesignSpace,
+    model: ModelSpec,
+    doe_runs: usize,
+    seed: u64,
+    pool: SimPool,
+}
+
+impl FleetDseFlow {
+    /// The default fleet flow: [`FleetSpec::paper`] fleet of `nodes`,
+    /// Table V space, quadratic model, 10 D-optimal runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `nodes == 0`.
+    pub fn paper(nodes: usize) -> Self {
+        FleetDseFlow {
+            spec: FleetSpec::paper(nodes),
+            sim: NetworkSim::new(),
+            space: paper_design_space(),
+            model: ModelSpec::quadratic(3),
+            doe_runs: 10,
+            seed: 12,
+            pool: SimPool::new(0),
+        }
+    }
+
+    /// Replaces the fleet specification. Keys carry the fleet
+    /// fingerprint, so stale cache entries could never be confused with
+    /// the new fleet's — but they are dead weight, so the cache is
+    /// dropped.
+    pub fn with_spec(mut self, spec: FleetSpec) -> Self {
+        self.spec = spec;
+        self.pool.cache().clear();
+        self
+    }
+
+    /// The fleet specification.
+    pub fn spec(&self) -> &FleetSpec {
+        &self.spec
+    }
+
+    /// Selects the per-node simulation engine by kind.
+    pub fn engine(mut self, kind: EngineKind) -> Self {
+        self.sim = self.sim.engine(kind);
+        self
+    }
+
+    /// Installs a pre-built engine.
+    pub fn with_engine(mut self, engine: Arc<dyn SimEngine>) -> Self {
+        self.sim = self.sim.with_engine(engine);
+        self
+    }
+
+    /// The kind of the installed engine.
+    pub fn engine_kind(&self) -> EngineKind {
+        self.sim.engine_kind()
+    }
+
+    /// Sets the worker-thread count for both the per-node fan-out and
+    /// the design-point fan-out (`0`: all cores). Reports are
+    /// bit-identical at any setting.
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.sim = self.sim.jobs(jobs);
+        self.pool.set_jobs(jobs);
+        self
+    }
+
+    /// Sets the number of DOE runs (at least the model size, 10).
+    pub fn doe_runs(mut self, runs: usize) -> Self {
+        self.doe_runs = runs;
+        self
+    }
+
+    /// Seeds the D-optimal search and the stochastic optimisers (the
+    /// fleet's *scenario* heterogeneity is seeded separately, by
+    /// [`FleetSpec::seed`]).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The design space.
+    pub fn space(&self) -> &DesignSpace {
+        &self.space
+    }
+
+    /// The pool memoising fleet responses across flow stages.
+    pub fn pool(&self) -> &SimPool {
+        &self.pool
+    }
+
+    /// Evaluates the fleet at one configuration, returning the full
+    /// report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and engine errors.
+    pub fn evaluate(&self, node: NodeConfig) -> Result<NetworkReport> {
+        self.sim.evaluate(&self.spec, node)
+    }
+
+    /// Evaluates a coded design point, returning the sink goodput.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode/validation errors.
+    pub fn evaluate_coded(&self, coded: &[f64]) -> Result<f64> {
+        let node = coded_to_config(&self.space, coded)?;
+        Ok(self.evaluate(node)?.goodput_per_hour())
+    }
+
+    /// Memoisation keys for a batch of coded points: engine
+    /// discriminant, the *fleet* fingerprint (never a plain scenario
+    /// fingerprint — see [`FleetSpec::fingerprint`]) and the quantised
+    /// coordinates.
+    fn keys_for(&self, points: &[Vec<f64>]) -> Vec<EvalKey> {
+        let kind = self.sim.engine_kind();
+        let fleet = self.spec.fingerprint();
+        points
+            .iter()
+            .map(|p| EvalKey::new(kind, fleet, p))
+            .collect()
+    }
+
+    /// Builds the D-optimal experimental design.
+    ///
+    /// # Errors
+    ///
+    /// Propagates infeasible-design errors.
+    pub fn build_design(&self) -> Result<Design> {
+        Ok(DOptimal::new(self.space.dimension(), self.model.clone())
+            .runs(self.doe_runs)
+            .seed(self.seed)
+            .build()?)
+    }
+
+    /// Runs the complete fleet flow: design → fleet simulations →
+    /// surface fit → SA/GA maximisation → fleet validation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any stage's failure.
+    pub fn run(&self) -> Result<FleetDseReport> {
+        let design = self.build_design()?;
+        let points = design.points();
+        let responses = self
+            .pool
+            .evaluate_batch(&self.keys_for(points), |i| self.evaluate_coded(&points[i]))?;
+        let surface = ResponseSurface::fit(&design, self.model.clone(), &responses)?;
+        let d_efficiency = doe::diagnostics::d_efficiency(&design, &self.model)?;
+
+        let original_cfg = NodeConfig::original();
+        let original_coded = config_to_coded(&self.space, &original_cfg)?;
+
+        let bounds = Bounds::symmetric(self.space.dimension(), 1.0)?;
+        let objective = |x: &[f64]| surface.predict(x);
+        let sa = SimulatedAnnealing::new()
+            .seed(self.seed)
+            .moves_per_temperature(80)
+            .maximize(&bounds, objective)?;
+        let ga = GeneticAlgorithm::new()
+            .seed(self.seed)
+            .maximize(&bounds, objective)?;
+        let optima = vec![
+            ("simulated annealing".to_owned(), sa.x, sa.value),
+            ("genetic algorithm".to_owned(), ga.x, ga.value),
+        ];
+
+        let mut candidates: Vec<Vec<f64>> = vec![original_coded.clone()];
+        candidates.extend(optima.iter().map(|(_, coded, _)| coded.clone()));
+        let mut validated = self
+            .pool
+            .evaluate_batch(&self.keys_for(&candidates), |i| {
+                self.evaluate_coded(&candidates[i])
+            })?
+            .into_iter();
+
+        let original = FleetEval {
+            label: "original".to_owned(),
+            coded: original_coded,
+            predicted: None,
+            goodput: validated.next().expect("one response per candidate"),
+            config: original_cfg,
+        };
+        let mut optimised = Vec::new();
+        for ((label, coded, predicted), goodput) in optima.into_iter().zip(validated) {
+            let config = coded_to_config(&self.space, &coded)?;
+            optimised.push(FleetEval {
+                label,
+                config,
+                coded,
+                predicted: Some(predicted),
+                goodput,
+            });
+        }
+
+        // Full fleet reports for the two designs the discussion centres
+        // on. The pool memoises only the goodput scalar, so these are
+        // direct deterministic re-runs.
+        let original_network = self.evaluate(original_cfg)?;
+        let best_cfg = optimised
+            .iter()
+            .max_by(|a, b| a.goodput.total_cmp(&b.goodput))
+            .map_or(original_cfg, |e| e.config);
+        let best_network = self.evaluate(best_cfg)?;
+
+        Ok(FleetDseReport {
+            design,
+            responses,
+            surface,
+            d_efficiency,
+            original,
+            optimised,
+            original_network,
+            best_network,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harvester::VibrationProfile;
+    use wsn_node::SystemConfig;
+
+    fn fast_flow(nodes: usize) -> FleetDseFlow {
+        let template = SystemConfig::paper(NodeConfig::original())
+            .with_horizon(600.0)
+            .with_vibration(VibrationProfile::stepped(
+                0.5886,
+                vec![(0.0, 75.0), (300.0, 80.0)],
+            ));
+        FleetDseFlow::paper(nodes).with_spec(FleetSpec::paper(nodes).with_template(template))
+    }
+
+    #[test]
+    fn fleet_flow_produces_a_consistent_report() {
+        let report = fast_flow(3).jobs(1).run().unwrap();
+        assert_eq!(report.responses.len(), 10);
+        assert!(report.d_efficiency > 0.0);
+        assert_eq!(report.optimised.len(), 2);
+        assert_eq!(report.original_network.nodes, 3);
+        assert_eq!(report.best_network.nodes, 3);
+        assert!(
+            (report.original.goodput - report.original_network.goodput_per_hour()).abs() < 1e-9,
+            "scalar response and full report must agree"
+        );
+        let text = report.to_string();
+        assert!(text.contains("fleet DSE"));
+        let json = report.to_json();
+        assert!(json.contains("\"objective\":\"goodput_per_hour\""));
+        assert!(json.contains("\"best_network\""));
+    }
+
+    #[test]
+    fn responses_are_memoised_per_fleet() {
+        let flow = fast_flow(2).jobs(1);
+        let design = flow.build_design().unwrap();
+        let points = design.points();
+        let first = flow
+            .pool()
+            .evaluate_batch(&flow.keys_for(points), |i| flow.evaluate_coded(&points[i]))
+            .unwrap();
+        let misses = flow.pool().cache().misses();
+        let second = flow
+            .pool()
+            .evaluate_batch(&flow.keys_for(points), |i| flow.evaluate_coded(&points[i]))
+            .unwrap();
+        assert_eq!(first, second);
+        assert_eq!(
+            flow.pool().cache().misses(),
+            misses,
+            "the second batch must be answered from the cache"
+        );
+    }
+
+    #[test]
+    fn fleet_keys_never_collide_with_single_node_keys() {
+        let flow = fast_flow(1);
+        let point = vec![0.0, 0.0, 0.0];
+        let fleet_key = flow.keys_for(std::slice::from_ref(&point));
+        let scenario = flow.spec().template.scenario().fingerprint();
+        let single_key = EvalKey::new(flow.engine_kind(), scenario, &point);
+        assert_ne!(fleet_key[0], single_key);
+    }
+}

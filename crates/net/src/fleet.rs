@@ -1,0 +1,642 @@
+//! Fleet description and the deterministic multi-node evaluator.
+//!
+//! A [`FleetSpec`] turns one single-node experiment template into N
+//! heterogeneous experiments: every node keeps the same design point and
+//! physics, but observes its own vibration scenario — a phase-shifted,
+//! frequency-offset variant of the template profile, derived as a pure
+//! function of the fleet seed and the node index. [`NetworkSim`] farms
+//! the per-node simulations through a [`SimPool`]
+//! ([`SimPool::evaluate_batch_partial`], so one crashing node cannot take
+//! the fleet down), then resolves the shared medium with
+//! [`RadioChannel::arbitrate`] from the recorded transmission timestamps.
+//! Both halves are pure functions of their inputs, so the resulting
+//! [`NetworkReport`] is bit-identical at any job count.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use numkit::rng::Rng;
+use wsn_dse::{EvalKey, SimPool};
+use wsn_node::{
+    EnergyBreakdown, EngineKind, FaultCounters, FaultPlan, NodeConfig, Scenario, SimEngine,
+    SystemConfig,
+};
+
+use crate::channel::{NodeTrace, RadioChannel};
+use crate::report::{NetworkReport, NodeReport};
+use crate::Result;
+
+/// Stream salts for the per-node heterogeneity draws: independent RNG
+/// streams per quantity, all derived from the one fleet seed.
+const FREQ_SALT: u64 = 0x6672_6571; // "freq"
+const PHASE_SALT: u64 = 0x7068_6173; // "phas"
+const FAULT_SALT: u64 = 0x666c_7473; // "flts"
+const BOOT_SALT: u64 = 0x626f_6f74; // "boot"
+
+/// Salt folded into [`FleetSpec::fingerprint`] so a fleet evaluation can
+/// never share an [`EvalKey`] with a single-node scenario evaluation.
+const FLEET_SALT: u64 = 0x666c_6565_7421; // "fleet!"
+
+/// Where the nodes stand relative to the sink at the origin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FleetTopology {
+    /// Nodes evenly spaced on a circle of `radius_m` around the sink.
+    Ring {
+        /// Circle radius (m).
+        radius_m: f64,
+    },
+    /// Nodes on a square grid of `pitch_m` spacing, centred on the sink.
+    Grid {
+        /// Spacing between adjacent grid positions (m).
+        pitch_m: f64,
+    },
+}
+
+impl FleetTopology {
+    /// Position of node `i` in a fleet of `n` (m). The sink is at the
+    /// origin.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= n` or `n == 0`.
+    pub fn position(&self, i: usize, n: usize) -> (f64, f64) {
+        assert!(i < n, "node index {i} out of range for a fleet of {n}");
+        match *self {
+            FleetTopology::Ring { radius_m } => {
+                let angle = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+                (radius_m * angle.cos(), radius_m * angle.sin())
+            }
+            FleetTopology::Grid { pitch_m } => {
+                let side = (n as f64).sqrt().ceil() as usize;
+                let offset = (side - 1) as f64 / 2.0 * pitch_m;
+                let (row, col) = (i / side, i % side);
+                (col as f64 * pitch_m - offset, row as f64 * pitch_m - offset)
+            }
+        }
+    }
+
+    /// A stable 64-bit fingerprint of the topology.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let (tag, param) = match *self {
+            FleetTopology::Ring { radius_m } => (1u64, radius_m),
+            FleetTopology::Grid { pitch_m } => (2u64, pitch_m),
+        };
+        let mut h = FNV_OFFSET ^ tag;
+        for byte in param.to_bits().to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        h
+    }
+}
+
+/// Complete description of one fleet experiment, minus the design point
+/// (which the caller supplies per evaluation, exactly like the
+/// single-node flow).
+///
+/// Node 0 always observes the template scenario unchanged — it is the
+/// *reference node*, so a 1-node fleet on an ideal channel reproduces the
+/// single-node simulation exactly. Nodes `1..` observe deterministically
+/// derived variants: frequency offsets up to ±`freq_spread_hz` and phase
+/// shifts up to `phase_spread_s`, drawn from per-node RNG streams of the
+/// fleet seed.
+#[derive(Debug, Clone)]
+pub struct FleetSpec {
+    /// Number of nodes (≥ 1).
+    pub nodes: usize,
+    /// Fleet seed: the sole source of per-node heterogeneity.
+    pub seed: u64,
+    /// The single-node experiment template (scenario, physics, horizon).
+    pub template: SystemConfig,
+    /// Maximum per-node vibration frequency offset (Hz, symmetric).
+    pub freq_spread_hz: f64,
+    /// Maximum per-node vibration phase shift (s).
+    pub phase_spread_s: f64,
+    /// Maximum per-node transmission clock offset (s): nodes boot at
+    /// different instants, so their TX timers are skewed against each
+    /// other on the shared timeline. Without it every node transmits at
+    /// exactly the same instants and the whole fleet jams itself.
+    pub tx_offset_spread_s: f64,
+    /// Fault-plan template: when not nominal, every node runs under a
+    /// per-node reseeded copy.
+    pub fault_template: FaultPlan,
+    /// The shared medium.
+    pub channel: RadioChannel,
+    /// Node placement.
+    pub topology: FleetTopology,
+}
+
+impl FleetSpec {
+    /// The default fleet: the paper's single-node scenario replicated to
+    /// `nodes` nodes on a 10 m ring, with ±2 Hz frequency and 30 s phase
+    /// heterogeneity, no faults, on the default channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `nodes == 0`.
+    pub fn paper(nodes: usize) -> Self {
+        assert!(nodes >= 1, "a fleet needs at least one node");
+        let mut template = SystemConfig::paper(NodeConfig::original());
+        template.trace_interval = None;
+        FleetSpec {
+            nodes,
+            seed: 99,
+            template,
+            freq_spread_hz: 2.0,
+            phase_spread_s: 30.0,
+            tx_offset_spread_s: 1.0,
+            fault_template: FaultPlan::none(),
+            channel: RadioChannel::paper_default(),
+            topology: FleetTopology::Ring { radius_m: 10.0 },
+        }
+    }
+
+    /// Replaces the fleet seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the experiment template (traces are disabled — a fleet
+    /// never records voltage traces).
+    pub fn with_template(mut self, template: SystemConfig) -> Self {
+        self.template = template;
+        self.template.trace_interval = None;
+        self
+    }
+
+    /// Replaces the heterogeneity spreads.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either spread is negative or non-finite.
+    pub fn with_spreads(mut self, freq_spread_hz: f64, phase_spread_s: f64) -> Self {
+        assert!(
+            freq_spread_hz >= 0.0 && freq_spread_hz.is_finite(),
+            "frequency spread must be non-negative and finite"
+        );
+        assert!(
+            phase_spread_s >= 0.0 && phase_spread_s.is_finite(),
+            "phase spread must be non-negative and finite"
+        );
+        self.freq_spread_hz = freq_spread_hz;
+        self.phase_spread_s = phase_spread_s;
+        self
+    }
+
+    /// Replaces the transmission clock-offset spread (`0` synchronises
+    /// every node's TX timer perfectly — maximally pessimal on a shared
+    /// channel).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the spread is negative or non-finite.
+    pub fn with_tx_offset_spread(mut self, spread_s: f64) -> Self {
+        assert!(
+            spread_s >= 0.0 && spread_s.is_finite(),
+            "TX offset spread must be non-negative and finite"
+        );
+        self.tx_offset_spread_s = spread_s;
+        self
+    }
+
+    /// Installs a fault-plan template; each node gets a reseeded copy.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.fault_template = plan;
+        self
+    }
+
+    /// Replaces the channel.
+    pub fn with_channel(mut self, channel: RadioChannel) -> Self {
+        self.channel = channel;
+        self
+    }
+
+    /// Replaces the topology.
+    pub fn with_topology(mut self, topology: FleetTopology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// The scenario node `i` observes: the template for node 0, a
+    /// seed-derived frequency-offset/phase-shifted variant for the rest.
+    /// Pure in `(self, i)` — no global state, no call-order dependence.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= self.nodes`.
+    pub fn scenario_for(&self, i: usize) -> Scenario {
+        assert!(i < self.nodes, "node index {i} out of range");
+        let mut vibration = self.template.vibration.clone();
+        if i > 0 {
+            let df = Rng::stream(self.seed ^ FREQ_SALT, i as u64)
+                .uniform(-self.freq_spread_hz, self.freq_spread_hz);
+            let shift =
+                Rng::stream(self.seed ^ PHASE_SALT, i as u64).uniform(0.0, self.phase_spread_s);
+            if self.freq_spread_hz > 0.0 {
+                vibration = vibration.with_frequency_offset(df);
+            }
+            if self.phase_spread_s > 0.0 {
+                vibration = vibration.time_shifted(shift);
+            }
+        }
+        let scenario = Scenario::new(vibration, self.template.horizon);
+        if self.fault_template.is_none() {
+            scenario
+        } else {
+            let node_seed = Rng::stream(self.seed ^ FAULT_SALT, i as u64).next_u64();
+            scenario.with_faults(self.fault_template.reseeded(node_seed))
+        }
+    }
+
+    /// The clock offset (s) applied to node `i`'s recorded transmission
+    /// times before channel arbitration. Node 0 (the reference node) is
+    /// never offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= self.nodes`.
+    pub fn tx_offset_for(&self, i: usize) -> f64 {
+        assert!(i < self.nodes, "node index {i} out of range");
+        if i == 0 || self.tx_offset_spread_s == 0.0 {
+            0.0
+        } else {
+            Rng::stream(self.seed ^ BOOT_SALT, i as u64).uniform(0.0, self.tx_offset_spread_s)
+        }
+    }
+
+    /// The complete experiment node `i` runs for design point `node`.
+    pub fn system_config_for(&self, i: usize, node: NodeConfig) -> SystemConfig {
+        let mut config = self.template.clone().with_scenario(self.scenario_for(i));
+        config.node = node;
+        config.trace_interval = None;
+        config
+    }
+
+    /// A stable 64-bit fingerprint of the whole fleet: size, seed,
+    /// spreads, channel, topology and every node's scenario. Folded into
+    /// [`EvalKey`]s by the fleet DSE so fleet evaluations never share a
+    /// cache entry with single-node evaluations (or with a different
+    /// fleet).
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FLEET_SALT;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        mix(self.nodes as u64);
+        mix(self.seed);
+        mix(self.freq_spread_hz.to_bits());
+        mix(self.phase_spread_s.to_bits());
+        mix(self.tx_offset_spread_s.to_bits());
+        mix(self.channel.fingerprint());
+        mix(self.topology.fingerprint());
+        for i in 0..self.nodes {
+            mix(self.scenario_for(i).fingerprint());
+        }
+        h
+    }
+}
+
+/// Everything the channel and the report need from one node's simulation.
+struct NodeRun {
+    transmissions: u64,
+    tx_times: Vec<f64>,
+    final_voltage: f64,
+    energy: EnergyBreakdown,
+    faults: FaultCounters,
+}
+
+/// The deterministic fleet evaluator: per-node simulations through a
+/// [`SimPool`], channel arbitration from the recorded timestamps.
+///
+/// # Example
+///
+/// ```no_run
+/// use wsn_net::{FleetSpec, NetworkSim};
+/// use wsn_node::NodeConfig;
+///
+/// # fn main() -> Result<(), wsn_dse::DseError> {
+/// let spec = FleetSpec::paper(4);
+/// let report = NetworkSim::new().evaluate(&spec, NodeConfig::original())?;
+/// println!("{report}");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetworkSim {
+    engine: Arc<dyn SimEngine>,
+    jobs: usize,
+}
+
+impl Default for NetworkSim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NetworkSim {
+    /// An envelope-engine evaluator using all available cores.
+    pub fn new() -> Self {
+        NetworkSim {
+            engine: EngineKind::Envelope.engine(),
+            jobs: 0,
+        }
+    }
+
+    /// Selects the per-node simulation engine by kind.
+    pub fn engine(mut self, kind: EngineKind) -> Self {
+        self.engine = kind.engine();
+        self
+    }
+
+    /// Installs a pre-built engine.
+    pub fn with_engine(mut self, engine: Arc<dyn SimEngine>) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The kind of the installed engine.
+    pub fn engine_kind(&self) -> EngineKind {
+        self.engine.kind()
+    }
+
+    /// Sets the worker-thread count (`0`: all cores, `1`: sequential).
+    /// Reports are bit-identical at any setting.
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Evaluates the fleet at one design point.
+    ///
+    /// The per-node runs are farmed through a fresh [`SimPool`] batch —
+    /// fresh because the pool memoises only the scalar response, while
+    /// the channel needs each node's full timestamp trace, captured here
+    /// from inside the evaluation closure. (Cross-evaluation memoisation
+    /// belongs one level up, in the fleet DSE's own pool.) A node whose
+    /// simulation fails is isolated by the fault-tolerant batch: it is
+    /// reported in [`NetworkReport::failed_nodes`] and stays silent on
+    /// the channel instead of failing the fleet.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only when *every* node fails (a fleet with no
+    /// surviving node has no meaningful report).
+    pub fn evaluate(&self, spec: &FleetSpec, node: NodeConfig) -> Result<NetworkReport> {
+        let kind = self.engine.kind();
+        let coords = [node.clock_hz, node.watchdog_s, node.tx_interval_s];
+        let scenarios: Vec<Scenario> = (0..spec.nodes).map(|i| spec.scenario_for(i)).collect();
+        let keys: Vec<EvalKey> = scenarios
+            .iter()
+            .map(|s| EvalKey::new(kind, s.fingerprint(), &coords))
+            .collect();
+
+        // Side-channel for the full outcomes: the pool deduplicates
+        // identical keys (nodes with identical scenarios), so the map
+        // ends up with one entry per distinct scenario, which every node
+        // sharing it then reads back.
+        let runs: Mutex<HashMap<EvalKey, NodeRun>> = Mutex::new(HashMap::new());
+        let pool = SimPool::new(self.jobs);
+        let batch = pool.evaluate_batch_partial(&keys, |i| {
+            let config = spec.system_config_for(i, node);
+            let out = self.engine.simulate(&config)?;
+            let transmissions = out.transmissions;
+            runs.lock().expect("runs poisoned").insert(
+                keys[i].clone(),
+                NodeRun {
+                    transmissions: out.transmissions,
+                    tx_times: out.tx_times,
+                    final_voltage: out.final_voltage,
+                    energy: out.energy,
+                    faults: out.faults,
+                },
+            );
+            Ok(transmissions as f64)
+        });
+        if batch.succeeded() == 0 {
+            let failure = batch
+                .failures
+                .into_iter()
+                .next()
+                .expect("an all-failed batch records at least one failure");
+            return Err(failure.error);
+        }
+        let runs = runs.into_inner().expect("runs poisoned");
+
+        // Resolve the shared medium. Failed nodes contribute no packets;
+        // surviving nodes' timestamps land on the global timeline shifted
+        // by their deterministic clock offset.
+        let positions: Vec<(f64, f64)> = (0..spec.nodes)
+            .map(|i| spec.topology.position(i, spec.nodes))
+            .collect();
+        let shifted: Vec<Vec<f64>> = (0..spec.nodes)
+            .map(|i| match batch.results[i] {
+                Some(_) => {
+                    let offset = spec.tx_offset_for(i);
+                    runs[&keys[i]].tx_times.iter().map(|t| t + offset).collect()
+                }
+                None => Vec::new(),
+            })
+            .collect();
+        let traces: Vec<NodeTrace<'_>> = (0..spec.nodes)
+            .map(|i| NodeTrace {
+                position: positions[i],
+                tx_times: &shifted[i],
+            })
+            .collect();
+        let stats = spec.channel.arbitrate((0.0, 0.0), &traces);
+
+        let mut per_node = Vec::with_capacity(spec.nodes);
+        let mut failed_nodes = Vec::new();
+        for i in 0..spec.nodes {
+            let run = batch.results[i].and_then(|_| runs.get(&keys[i]));
+            if run.is_none() {
+                failed_nodes.push(i);
+            }
+            per_node.push(NodeReport {
+                node: i,
+                position: positions[i],
+                scenario_fingerprint: scenarios[i].fingerprint(),
+                transmissions: run.map_or(0, |r| r.transmissions),
+                channel: stats[i],
+                energy: run.map(|r| r.energy).unwrap_or_default(),
+                final_voltage: run.map_or(0.0, |r| r.final_voltage),
+                faults: run.map(|r| r.faults).unwrap_or_default(),
+                failed: run.is_none(),
+            });
+        }
+
+        Ok(NetworkReport {
+            nodes: spec.nodes,
+            horizon_s: spec.template.horizon,
+            seed: spec.seed,
+            engine: kind,
+            design: node,
+            fingerprint: spec.fingerprint(),
+            channel: spec.channel.clone(),
+            per_node,
+            failed_nodes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harvester::VibrationProfile;
+
+    fn fast_spec(nodes: usize) -> FleetSpec {
+        let template = SystemConfig::paper(NodeConfig::original())
+            .with_horizon(600.0)
+            .with_vibration(VibrationProfile::stepped(
+                0.5886,
+                vec![(0.0, 75.0), (300.0, 80.0)],
+            ));
+        FleetSpec::paper(nodes).with_template(template)
+    }
+
+    #[test]
+    fn node_zero_observes_the_template_scenario() {
+        let spec = fast_spec(4);
+        assert_eq!(spec.scenario_for(0), spec.template.scenario());
+        assert_ne!(spec.scenario_for(1), spec.template.scenario());
+    }
+
+    #[test]
+    fn scenarios_are_pure_and_per_node_distinct() {
+        let spec = fast_spec(8);
+        let fps: Vec<u64> = (0..8).map(|i| spec.scenario_for(i).fingerprint()).collect();
+        let again: Vec<u64> = (0..8).map(|i| spec.scenario_for(i).fingerprint()).collect();
+        assert_eq!(fps, again, "derivation must be pure");
+        let mut unique = fps.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), fps.len(), "every node gets its own scenario");
+    }
+
+    #[test]
+    fn zero_spreads_collapse_to_identical_scenarios() {
+        let spec = fast_spec(3).with_spreads(0.0, 0.0);
+        let reference = spec.scenario_for(0);
+        for i in 1..3 {
+            assert_eq!(spec.scenario_for(i), reference);
+        }
+    }
+
+    #[test]
+    fn seeds_reshape_the_fleet() {
+        let a = fast_spec(4);
+        let b = fast_spec(4).with_seed(100);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(
+            a.scenario_for(0),
+            b.scenario_for(0),
+            "reference node is seed-free"
+        );
+        assert_ne!(a.scenario_for(1), b.scenario_for(1));
+    }
+
+    #[test]
+    fn fleet_fingerprint_differs_from_any_node_scenario() {
+        let spec = fast_spec(4);
+        for i in 0..4 {
+            assert_ne!(spec.fingerprint(), spec.scenario_for(i).fingerprint());
+        }
+        assert_ne!(
+            spec.fingerprint(),
+            spec.clone()
+                .with_channel(RadioChannel::ideal())
+                .fingerprint()
+        );
+    }
+
+    #[test]
+    fn tx_offsets_skew_every_node_but_the_reference() {
+        let spec = fast_spec(4);
+        assert_eq!(spec.tx_offset_for(0), 0.0, "reference node is never offset");
+        for i in 1..4 {
+            let offset = spec.tx_offset_for(i);
+            assert!(offset >= 0.0 && offset <= spec.tx_offset_spread_s);
+            assert_eq!(
+                offset,
+                spec.tx_offset_for(i),
+                "offsets are pure in (seed, i)"
+            );
+        }
+        assert_eq!(spec.with_tx_offset_spread(0.0).tx_offset_for(3), 0.0);
+    }
+
+    #[test]
+    fn fault_template_reseeds_per_node() {
+        let spec = fast_spec(3).with_faults(FaultPlan::uniform(7, 0.1));
+        let a = spec.scenario_for(1).faults;
+        let b = spec.scenario_for(2).faults;
+        assert!(!a.is_none() && !b.is_none());
+        assert_ne!(a.seed(), b.seed(), "each node draws its own fault seed");
+    }
+
+    #[test]
+    fn topologies_place_nodes_and_fingerprint_distinctly() {
+        let ring = FleetTopology::Ring { radius_m: 10.0 };
+        let (x, y) = ring.position(0, 4);
+        assert!((x - 10.0).abs() < 1e-12 && y.abs() < 1e-12);
+        let (x, y) = ring.position(1, 4);
+        assert!(x.abs() < 1e-9 && (y - 10.0).abs() < 1e-9);
+
+        let grid = FleetTopology::Grid { pitch_m: 5.0 };
+        // 4 nodes → 2×2 grid centred on the origin.
+        assert_eq!(grid.position(0, 4), (-2.5, -2.5));
+        assert_eq!(grid.position(3, 4), (2.5, 2.5));
+        assert_ne!(ring.fingerprint(), grid.fingerprint());
+    }
+
+    #[test]
+    fn evaluate_produces_a_consistent_report() {
+        let spec = fast_spec(3);
+        let report = NetworkSim::new()
+            .jobs(1)
+            .evaluate(&spec, NodeConfig::original())
+            .unwrap();
+        assert_eq!(report.per_node.len(), 3);
+        assert!(report.failed_nodes.is_empty());
+        for node in &report.per_node {
+            assert_eq!(node.channel.attempted, node.transmissions);
+            assert_eq!(
+                node.channel.attempted,
+                node.channel.delivered + node.channel.collided + node.channel.out_of_range
+            );
+        }
+        assert!(report.delivered() > 0);
+        assert!(report.goodput_per_hour() > 0.0);
+    }
+
+    #[test]
+    fn identical_scenarios_share_one_simulation() {
+        // With zero spreads all nodes dedup to a single engine run; with
+        // TX offsets also zeroed they all transmit at the same instants
+        // and collide with each other.
+        let spec = fast_spec(2)
+            .with_spreads(0.0, 0.0)
+            .with_tx_offset_spread(0.0);
+        let report = NetworkSim::new()
+            .jobs(1)
+            .evaluate(&spec, NodeConfig::original())
+            .unwrap();
+        assert_eq!(
+            report.per_node[0].transmissions,
+            report.per_node[1].transmissions
+        );
+        assert_eq!(
+            report.delivered(),
+            0,
+            "perfectly synchronised nodes jam each other"
+        );
+        assert_eq!(report.collided(), report.attempted());
+    }
+}

@@ -124,6 +124,7 @@ impl EnvelopeSim {
         let mut pending: VecDeque<PendingDraw> = VecDeque::new();
 
         let mut transmissions = 0u64;
+        let mut tx_times: Vec<f64> = Vec::new();
         let mut watchdog_wakes = 0u64;
         let mut coarse_moves = 0u64;
         let mut fine_steps = 0u64;
@@ -207,6 +208,7 @@ impl EnvelopeSim {
                             }
                         } else {
                             transmissions += 1;
+                            tx_times.push(state.t);
                             retries_used = 0;
                             next_tx = state.t + next_after.max(node.tx_duration());
                         }
@@ -330,6 +332,7 @@ impl EnvelopeSim {
 
         Ok(SimOutcome {
             transmissions,
+            tx_times,
             watchdog_wakes,
             coarse_moves,
             fine_steps,
@@ -544,6 +547,20 @@ mod tests {
             out_fast.transmissions,
             out_slow.transmissions
         );
+    }
+
+    #[test]
+    fn tx_times_match_count_and_are_ordered() {
+        let out = EnvelopeSim::new().run(&short_config(NodeConfig::original(), 600.0));
+        assert_eq!(out.tx_times.len() as u64, out.transmissions);
+        for w in out.tx_times.windows(2) {
+            assert!(w[0] < w[1], "timestamps must be strictly increasing");
+        }
+        // Failed attempts burn energy but leave no timestamp.
+        let faulty = short_config(NodeConfig::original(), 600.0)
+            .with_faults(FaultPlan::seeded(7).with_tx_failure_rate(0.3));
+        let out = EnvelopeSim::new().run(&faulty);
+        assert_eq!(out.tx_times.len() as u64, out.transmissions);
     }
 
     #[test]

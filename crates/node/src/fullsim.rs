@@ -152,6 +152,7 @@ impl FullSystemSim {
             node,
             tx_load,
             transmissions: 0,
+            tx_times: Vec::new(),
             tx_energy: 0.0,
             in_flight: false,
             plan,
@@ -216,6 +217,7 @@ impl FullSystemSim {
 
         Ok(SimOutcome {
             transmissions: sensor.transmissions,
+            tx_times: sensor.tx_times.clone(),
             watchdog_wakes: mcu_proc.wakes,
             coarse_moves: mcu_proc.coarse_moves,
             fine_steps: mcu_proc.fine_steps,
@@ -244,6 +246,8 @@ struct SensorProcess {
     node: SensorNode,
     tx_load: LoadId,
     transmissions: u64,
+    /// Start time of every completed transmission.
+    tx_times: Vec<f64>,
     tx_energy: f64,
     /// `true` while the transmission load is switched on.
     in_flight: bool,
@@ -308,6 +312,7 @@ impl Process<HarvesterCircuit> for SensorProcess {
                     }
                 } else {
                     self.transmissions += 1;
+                    self.tx_times.push(t);
                     self.retries_used = 0;
                     ctx.wake_at(t + next_after.max(duration));
                 }
@@ -534,6 +539,23 @@ mod tests {
         let out = FullSystemSim::new().with_dt(2e-4).run(&cfg).unwrap();
         assert!(out.trace.len() >= 5);
         assert!(out.trace.iter().all(|s| s.voltage > 2.0));
+    }
+
+    #[test]
+    fn tx_times_match_count_at_the_configured_cadence() {
+        let out = FullSystemSim::new()
+            .with_dt(2e-4)
+            .run(&short(12.0))
+            .unwrap();
+        assert_eq!(out.tx_times.len() as u64, out.transmissions);
+        for (i, w) in out.tx_times.windows(2).enumerate() {
+            assert!(w[0] < w[1], "timestamps out of order at {i}");
+            assert!(
+                w[1] - w[0] >= 4.9,
+                "5 s interval expected, got {} s",
+                w[1] - w[0]
+            );
+        }
     }
 
     #[test]

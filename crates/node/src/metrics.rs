@@ -106,6 +106,12 @@ impl fmt::Display for FaultCounters {
 pub struct SimOutcome {
     /// Number of completed wireless transmissions — the paper's objective.
     pub transmissions: u64,
+    /// Start time (s) of every completed transmission, in simulation
+    /// order. Always exactly `transmissions` entries: failed attempts burn
+    /// energy but never appear here. This is what a shared radio channel
+    /// arbitrates over (each entry opens a
+    /// [`crate::SensorNode::tx_duration`]-long airtime window).
+    pub tx_times: Vec<f64>,
     /// Watchdog wake-ups executed.
     pub watchdog_wakes: u64,
     /// Coarse-grain tuning moves performed.
@@ -209,6 +215,7 @@ mod tests {
     fn outcome_helpers() {
         let o = SimOutcome {
             transmissions: 360,
+            tx_times: (0..360).map(|i| i as f64 * 10.0).collect(),
             watchdog_wakes: 10,
             coarse_moves: 2,
             fine_steps: 5,

@@ -34,6 +34,22 @@ cargo test -q --offline -p wsn-dse --lib -- \
   panicking_evaluations_are_caught_and_reported \
   transient_failures_are_retried_within_the_batch
 
+echo "== network gate: channel invariants + fleet reduction =="
+cargo test -q --offline -p wsn-net --test channel_props
+cargo test -q --offline -p wsn-net --test network
+
+echo "== network gate: bit-identical fleet report at --jobs 1/2/8 =="
+FLEET_ARGS="network --nodes 16 --horizon 900 --clock 8e6 --watchdog 60 \
+  --interval 0.005 --json"
+FLEET_DIR="$(mktemp -d)"
+trap 'rm -rf "$FLEET_DIR"' EXIT
+for jobs in 1 2 8; do
+  # shellcheck disable=SC2086
+  target/release/wsn_dse $FLEET_ARGS --jobs "$jobs" > "$FLEET_DIR/jobs$jobs.json"
+done
+cmp "$FLEET_DIR/jobs1.json" "$FLEET_DIR/jobs2.json"
+cmp "$FLEET_DIR/jobs1.json" "$FLEET_DIR/jobs8.json"
+
 echo "== cargo fmt --check =="
 cargo fmt --check
 

@@ -1,0 +1,119 @@
+//! Golden-file test for the DSE report JSON schema.
+//!
+//! The report is assembled from deterministic, simulation-free inputs (a
+//! seeded D-optimal design, synthetic responses, a least-squares fit),
+//! so its serialisation is a pure function of the report code. Any
+//! change to `DseReport::to_json` — a renamed field, a dropped zero, a
+//! reordered key — shows up as a diff against the checked-in golden
+//! line.
+//!
+//! Regenerate after an *intentional* schema change with:
+//!
+//! ```text
+//! REGEN_GOLDEN=1 cargo test -p wsn-dse --test report_golden
+//! ```
+
+use doe::{DOptimal, ModelSpec};
+use rsm::ResponseSurface;
+use wsn_dse::{DesignEval, DseReport};
+use wsn_node::{FaultCounters, NodeConfig};
+
+/// A fully deterministic report: no simulation, no clock, no threads.
+fn golden_report() -> DseReport {
+    let model = ModelSpec::quadratic(3);
+    let design = DOptimal::new(3, model.clone())
+        .runs(10)
+        .seed(7)
+        .build()
+        .expect("feasible design");
+    // Synthetic responses: an exactly-representable function of the
+    // coded point, so the fit sees the same numbers on every run.
+    let responses: Vec<f64> = design
+        .points()
+        .iter()
+        .map(|p| 400.0 + 50.0 * p[0] - 25.0 * p[1] + 10.0 * p[2] + 5.0 * p[0] * p[1])
+        .collect();
+    let surface =
+        ResponseSurface::fit(&design, model.clone(), &responses).expect("full-rank design");
+    let d_efficiency = doe::diagnostics::d_efficiency(&design, &model).expect("diagnosable");
+
+    let original = DesignEval {
+        label: "original".to_owned(),
+        config: NodeConfig::original(),
+        coded: vec![0.0, 0.0, 0.0],
+        predicted: None,
+        simulated: 405,
+        faults: FaultCounters::default(),
+    };
+    let optimised = vec![
+        DesignEval {
+            label: "simulated annealing".to_owned(),
+            config: NodeConfig::sa_optimised(),
+            coded: vec![1.0, -1.0, -1.0],
+            predicted: Some(812.5),
+            simulated: 810,
+            faults: FaultCounters {
+                tx_failures: 3,
+                tx_retries: 3,
+                tx_aborts: 1,
+                brownouts: 0,
+                watchdog_misses: 2,
+            },
+        },
+        DesignEval {
+            label: "genetic algorithm".to_owned(),
+            config: NodeConfig::ga_optimised(),
+            coded: vec![-1.0, 1.0, -0.388],
+            predicted: Some(798.0),
+            simulated: 795,
+            faults: FaultCounters::default(),
+        },
+    ];
+
+    DseReport {
+        design,
+        responses,
+        surface,
+        d_efficiency,
+        original,
+        optimised,
+    }
+}
+
+#[test]
+fn report_json_matches_the_golden_file() {
+    let json = golden_report().to_json();
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/data/dse_report_golden.json"
+    );
+    if std::env::var("REGEN_GOLDEN").is_ok() {
+        std::fs::write(path, format!("{json}\n")).expect("golden file writable");
+    }
+    let golden = std::fs::read_to_string(path).expect("golden file present");
+    assert_eq!(
+        json,
+        golden.trim_end(),
+        "DseReport::to_json drifted from the golden schema \
+         (REGEN_GOLDEN=1 to accept an intentional change)"
+    );
+}
+
+#[test]
+fn report_json_keeps_zero_fault_fields_explicit() {
+    let report = golden_report();
+    let json = report.to_json();
+    // The aggregate is present once, with every field spelled out even
+    // when zero (brownouts here), so downstream diffs never see the
+    // schema shift between nominal and faulty runs.
+    assert!(json.contains(
+        "\"fault_totals\":{\"tx_failures\":3,\"tx_retries\":3,\"tx_aborts\":1,\
+         \"brownouts\":0,\"watchdog_misses\":2}"
+    ));
+    // Per-design counters stay explicit too — the nominal GA entry
+    // serialises all zeros rather than omitting the object.
+    assert_eq!(json.matches("\"tx_failures\":0").count(), 2);
+    let totals = report.fault_totals();
+    assert_eq!(totals.tx_failures, 3);
+    assert_eq!(totals.total(), 5, "retries are consequences, not faults");
+}
