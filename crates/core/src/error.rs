@@ -19,6 +19,16 @@ pub enum DseError {
     /// (see [`crate::SimPool::evaluate_batch_partial`]), which converts
     /// worker panics into errors instead of tearing the batch down.
     EvalPanicked(String),
+    /// A batch evaluation returned a different number of responses than
+    /// it was asked for. Flows that pair requests with responses
+    /// positionally check this explicitly instead of truncating with
+    /// `zip` or panicking on a short iterator.
+    ResponseCount {
+        /// How many responses the caller requested.
+        expected: usize,
+        /// How many the batch actually produced.
+        got: usize,
+    },
 }
 
 impl fmt::Display for DseError {
@@ -30,6 +40,9 @@ impl fmt::Display for DseError {
             DseError::Node(e) => write!(f, "simulation failed: {e}"),
             DseError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
             DseError::EvalPanicked(msg) => write!(f, "evaluation panicked: {msg}"),
+            DseError::ResponseCount { expected, got } => {
+                write!(f, "batch returned {got} responses, expected {expected}")
+            }
         }
     }
 }
@@ -43,6 +56,7 @@ impl std::error::Error for DseError {
             DseError::Node(e) => Some(e),
             DseError::InvalidArgument(_) => None,
             DseError::EvalPanicked(_) => None,
+            DseError::ResponseCount { .. } => None,
         }
     }
 }
@@ -82,6 +96,12 @@ mod tests {
         let e: DseError = optim::OptimError::InvalidBounds("y").into();
         assert!(e.to_string().contains("optimisation"));
         let e = DseError::InvalidArgument("z");
+        assert!(std::error::Error::source(&e).is_none());
+        let e = DseError::ResponseCount {
+            expected: 3,
+            got: 2,
+        };
+        assert_eq!(e.to_string(), "batch returned 2 responses, expected 3");
         assert!(std::error::Error::source(&e).is_none());
     }
 }

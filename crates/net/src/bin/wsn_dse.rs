@@ -11,6 +11,7 @@
 //! wsn_dse network   [--nodes N] [--fleet-seed N] [--clock HZ --watchdog S --interval S]
 //!                   [--freq-spread HZ] [--phase-spread S] [--slot S] [--interference M]
 //!                   [--delivery M] [--ring-radius M | --grid-pitch M] [--ideal]
+//!                   [--arbitration indexed|naive]
 //!                   [--dse] [--seed N] [--runs N] [--jobs N] [--engine E] [--json]
 //! ```
 //!
@@ -31,7 +32,10 @@
 //! ensemble and reports the throughput distribution and fault counters;
 //! `network` evaluates a fleet of nodes on a shared radio channel (and,
 //! with `--dse`, optimises the fleet's sink goodput with the RSM + SA/GA
-//! flow).
+//! flow). `--arbitration indexed|naive` selects the channel-arbitration
+//! path (default `indexed`, the spatial-grid streaming resolver; `naive`
+//! is the reference pairwise sweep) — reports are bit-identical either
+//! way, gated by `scripts/verify.sh`.
 //!
 //! `--fault-seed N --fault-rate R` (accepted by `run`, `simulate`,
 //! `faults` and `network`) inject deterministic faults: each radio
@@ -47,7 +51,9 @@ use std::sync::Arc;
 use harvester::VibrationProfile;
 use wsn_dse::robustness::{evaluate_scenarios_with, fault_robustness_with};
 use wsn_dse::{DseFlow, SimPool};
-use wsn_net::{FleetDseFlow, FleetSpec, FleetTopology, NetworkSim, RadioChannel};
+use wsn_net::{
+    ArbitrationMethod, FleetDseFlow, FleetSpec, FleetTopology, NetworkSim, RadioChannel,
+};
 use wsn_node::{EngineKind, FaultPlan, NodeConfig, SimEngine, SimOutcome, SystemConfig};
 
 /// Minimal flag parser: `--key value` pairs after the subcommand.
@@ -119,6 +125,7 @@ fn usage() -> &'static str {
      network   --nodes N [--fleet-seed N] [--clock HZ --watchdog S --interval S]\n\
                [--freq-spread HZ] [--phase-spread S] [--slot S] [--interference M]\n\
                [--delivery M] [--ring-radius M | --grid-pitch M] [--ideal]\n\
+               [--arbitration indexed|naive]\n\
                [--dse --seed N --runs N] [--jobs N] [--json]\n\
      \n\
      --engine envelope|full selects the simulation engine (all commands;\n\
@@ -452,6 +459,11 @@ fn fleet_spec_from(args: &Args) -> Result<FleetSpec, String> {
             return Err("--delivery: expected a non-negative range".to_owned());
         }
         channel = channel.with_delivery_range(range);
+    }
+    if let Some(method) = args.get("arbitration") {
+        let method: ArbitrationMethod =
+            method.parse().map_err(|e| format!("--arbitration: {e}"))?;
+        channel = channel.with_method(method);
     }
 
     let topology = if args.get("grid-pitch").is_some() {

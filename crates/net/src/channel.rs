@@ -14,8 +14,69 @@
 //! positions: packets are processed in a total order (time, then node
 //! index), so the verdict is bit-identical however the per-node runs were
 //! scheduled across worker threads.
+//!
+//! Two interchangeable arbitration paths implement that contract
+//! ([`ArbitrationMethod`]): the original quadratic-in-co-windowed-nodes
+//! [`RadioChannel::arbitrate_naive`] sweep, kept as a reference oracle,
+//! and the default [`RadioChannel::arbitrate_indexed`] path, which
+//! consults a uniform spatial grid (cell edge = `interference_range_m`)
+//! and streams the timeline through a sliding airtime window so a
+//! city-scale fleet never materialises one flat sorted packet vector.
+//! The two are bit-identical — same total order, same symmetric
+//! collision marking — enforced by an equivalence property test
+//! (crates/net/tests/channel_props.rs) and by a `verify.sh` gate that
+//! diffs `network --json` between the paths.
 
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::fmt;
+use std::str::FromStr;
+
+/// Which algorithm [`RadioChannel::arbitrate`] resolves collisions with.
+///
+/// Both paths produce bit-identical [`ChannelStats`]; the method is an
+/// implementation selector, not a physical parameter — it is excluded
+/// from [`RadioChannel::fingerprint`], from channel equality and from
+/// every report schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ArbitrationMethod {
+    /// Spatial-grid candidate lookup + streamed airtime window:
+    /// near-linear in transmissions. The default.
+    #[default]
+    Indexed,
+    /// The original pairwise time-sweep over one flat sorted packet
+    /// vector: quadratic in co-windowed nodes. Kept as the reference
+    /// oracle for equivalence tests and gates.
+    NaiveSweep,
+}
+
+impl ArbitrationMethod {
+    /// CLI spelling of the method.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ArbitrationMethod::Indexed => "indexed",
+            ArbitrationMethod::NaiveSweep => "naive",
+        }
+    }
+}
+
+impl fmt::Display for ArbitrationMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for ArbitrationMethod {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "indexed" => Ok(ArbitrationMethod::Indexed),
+            "naive" => Ok(ArbitrationMethod::NaiveSweep),
+            other => Err(format!("expected 'indexed' or 'naive', got '{other}'")),
+        }
+    }
+}
 
 /// Default airtime of one packet (s). Matches the Table III transmission
 /// duration used by the node model ([`wsn_node::SensorNode::tx_duration`]).
@@ -31,7 +92,7 @@ pub const DEFAULT_SLOT_S: f64 = 1.0;
 /// The model is intentionally coarse — a slotted-ALOHA-style collision
 /// rule over recorded timestamps — because the interesting coupling is
 /// *energy policy → transmission times → contention*, not RF propagation.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct RadioChannel {
     /// Airtime of one packet (s). Two transmissions whose start times are
     /// closer than this overlap on the medium.
@@ -45,6 +106,22 @@ pub struct RadioChannel {
     /// Delivery range (m): packets from nodes farther than this from the
     /// sink are lost even without a collision.
     pub delivery_range_m: f64,
+    /// Which arbitration algorithm resolves the timeline. Not a physical
+    /// parameter: both methods are bit-identical, so it takes no part in
+    /// equality, fingerprints or serialised reports.
+    pub method: ArbitrationMethod,
+}
+
+impl PartialEq for RadioChannel {
+    /// Physical parameters only: two channels that differ solely in
+    /// [`ArbitrationMethod`] produce identical verdicts and compare
+    /// equal.
+    fn eq(&self, other: &Self) -> bool {
+        self.airtime_s == other.airtime_s
+            && self.slot_s == other.slot_s
+            && self.interference_range_m == other.interference_range_m
+            && self.delivery_range_m == other.delivery_range_m
+    }
 }
 
 impl RadioChannel {
@@ -56,6 +133,7 @@ impl RadioChannel {
             slot_s: DEFAULT_SLOT_S,
             interference_range_m: 50.0,
             delivery_range_m: 30.0,
+            method: ArbitrationMethod::default(),
         }
     }
 
@@ -68,6 +146,7 @@ impl RadioChannel {
             slot_s: DEFAULT_SLOT_S,
             interference_range_m: 0.0,
             delivery_range_m: f64::INFINITY,
+            method: ArbitrationMethod::default(),
         }
     }
 
@@ -122,8 +201,18 @@ impl RadioChannel {
         self
     }
 
-    /// A stable 64-bit fingerprint of the channel parameters, folded into
-    /// the fleet fingerprint so cached fleet evaluations under different
+    /// Selects the arbitration algorithm (default:
+    /// [`ArbitrationMethod::Indexed`]). Purely an implementation choice —
+    /// verdicts are bit-identical either way.
+    pub fn with_method(mut self, method: ArbitrationMethod) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// A stable 64-bit fingerprint of the *physical* channel parameters
+    /// (the [`ArbitrationMethod`] is excluded: both methods produce the
+    /// same verdicts, so they must share cache entries), folded into the
+    /// fleet fingerprint so cached fleet evaluations under different
     /// channels never collide.
     pub fn fingerprint(&self) -> u64 {
         const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -148,10 +237,26 @@ impl RadioChannel {
     /// trace, in input order).
     ///
     /// The verdict depends only on the *content* of `traces` — packets
-    /// are globally ordered by (time, node index) before the sweep — so
-    /// the same traces always produce the same statistics, regardless of
-    /// how the per-node simulations were scheduled.
+    /// are processed in a global (time, node index) total order — so the
+    /// same traces always produce the same statistics, regardless of how
+    /// the per-node simulations were scheduled. Dispatches to the path
+    /// selected by [`RadioChannel::method`]; both paths are bit-identical
+    /// (equivalence property-tested).
     pub fn arbitrate(&self, sink: (f64, f64), traces: &[NodeTrace<'_>]) -> Vec<ChannelStats> {
+        match self.method {
+            ArbitrationMethod::Indexed => self.arbitrate_indexed(sink, traces),
+            ArbitrationMethod::NaiveSweep => self.arbitrate_naive(sink, traces),
+        }
+    }
+
+    /// The reference arbitration oracle: flattens every trace into one
+    /// globally sorted packet vector and resolves collisions with a
+    /// pairwise backward time-sweep. O(P·W) in the number of packets P
+    /// and the co-windowed packet count W — W grows linearly with fleet
+    /// density, which is what makes this path quadratic on city-scale
+    /// fleets. Kept verbatim as the ground truth the indexed path is
+    /// checked against.
+    pub fn arbitrate_naive(&self, sink: (f64, f64), traces: &[NodeTrace<'_>]) -> Vec<ChannelStats> {
         // Flatten to (start time, node) packets in a total order.
         let mut packets: Vec<(f64, usize)> = traces
             .iter()
@@ -200,6 +305,226 @@ impl RadioChannel {
             } else {
                 stats[n].out_of_range += 1;
             }
+        }
+        stats
+    }
+
+    /// The near-linear arbitration path: a uniform spatial grid over the
+    /// node positions (cell edge = `interference_range_m`, so any two
+    /// transmitters within range sit in the same or an adjacent cell)
+    /// plus a streaming k-way merge of the per-node traces through a
+    /// sliding airtime window. Peak memory is O(nodes + packets in one
+    /// airtime window): the flat sorted packet vector of the naive sweep
+    /// is never materialised. Per packet, only candidates from the nine
+    /// neighbouring cells that are currently on the air are distance-
+    /// tested, so the work is near-linear in transmissions for any
+    /// bounded-density layout.
+    ///
+    /// Bit-identical to [`RadioChannel::arbitrate_naive`]: the merge
+    /// yields the same (time, node index) total order, the window holds
+    /// exactly the packets the naive backward scan would visit, the grid
+    /// only prunes pairs the shared private `interferes` test
+    /// would reject anyway, and per-node verdicts are settled in global
+    /// packet order with the same sink-slot deduplication.
+    pub fn arbitrate_indexed(
+        &self,
+        sink: (f64, f64),
+        traces: &[NodeTrace<'_>],
+    ) -> Vec<ChannelStats> {
+        let n = traces.len();
+
+        // Per-node sorted views. Both engines record tx_times in
+        // nondecreasing order, so the common case borrows the trace
+        // as-is; an unsorted trace (reachable through the public API)
+        // gets a per-node sorted copy — never a global flatten.
+        let sorted: Vec<Option<Vec<f64>>> = traces
+            .iter()
+            .map(|trace| {
+                if trace
+                    .tx_times
+                    .windows(2)
+                    .all(|w| w[0].total_cmp(&w[1]) != std::cmp::Ordering::Greater)
+                {
+                    None
+                } else {
+                    let mut copy = trace.tx_times.to_vec();
+                    copy.sort_by(|a, b| a.total_cmp(b));
+                    Some(copy)
+                }
+            })
+            .collect();
+        let times = |i: usize| -> &[f64] { sorted[i].as_deref().unwrap_or(traces[i].tx_times) };
+
+        // Static node → grid-cell assignment. A non-finite range keeps
+        // everyone in one cell (every node is every node's neighbour,
+        // exactly the naive candidate set); a zero range disables
+        // collision testing entirely, as in the naive sweep.
+        let collisions_on = self.interference_range_m > 0.0;
+        let cell_edge = self.interference_range_m;
+        let cell_of = |p: (f64, f64)| -> (i64, i64) {
+            if cell_edge > 0.0 && cell_edge.is_finite() {
+                (
+                    (p.0 / cell_edge).floor() as i64,
+                    (p.1 / cell_edge).floor() as i64,
+                )
+            } else {
+                (0, 0)
+            }
+        };
+        // Dense cell ids: hashing happens once per *node* here, never in
+        // the per-packet hot loop below.
+        let mut cell_index: HashMap<(i64, i64), u32> = HashMap::new();
+        let node_cell: Vec<u32> = traces
+            .iter()
+            .map(|t| {
+                let next = cell_index.len() as u32;
+                *cell_index.entry(cell_of(t.position)).or_insert(next)
+            })
+            .collect();
+        // Per cell, the dense ids of the (up to nine) neighbouring cells
+        // somebody actually occupies. A cell nobody occupies can never
+        // host an on-air packet, so skipping it prunes nothing the naive
+        // sweep would have collided. Saturating offsets only coarsen the
+        // pathological far-coordinate case into re-testing a cell, and
+        // marking is idempotent.
+        let mut cell_neighbors: Vec<Vec<u32>> = vec![Vec::new(); cell_index.len()];
+        for (&(cx, cy), &id) in &cell_index {
+            for dx in -1..=1i64 {
+                for dy in -1..=1i64 {
+                    let key = (cx.saturating_add(dx), cy.saturating_add(dy));
+                    if let Some(&neighbor) = cell_index.get(&key) {
+                        cell_neighbors[id as usize].push(neighbor);
+                    }
+                }
+            }
+        }
+        // The same per-node predicate the naive sweep evaluates per
+        // packet: pure in the position, so hoisting it cannot change a
+        // verdict.
+        let in_delivery_range: Vec<bool> = traces
+            .iter()
+            .map(|t| distance(t.position, sink) <= self.delivery_range_m)
+            .collect();
+
+        // Min-heap merging the per-node traces in (time, node) order —
+        // the identical total order the naive sweep sorts into.
+        #[derive(Clone, Copy)]
+        struct Head {
+            t: f64,
+            node: usize,
+        }
+        impl PartialEq for Head {
+            fn eq(&self, other: &Self) -> bool {
+                self.cmp(other) == std::cmp::Ordering::Equal
+            }
+        }
+        impl Eq for Head {}
+        impl PartialOrd for Head {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Head {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.t.total_cmp(&other.t).then(self.node.cmp(&other.node))
+            }
+        }
+
+        let mut heap: BinaryHeap<Reverse<Head>> = BinaryHeap::with_capacity(n);
+        let mut cursor = vec![0usize; n];
+        for (i, c) in cursor.iter_mut().enumerate() {
+            if let Some(&t0) = times(i).first() {
+                heap.push(Reverse(Head { t: t0, node: i }));
+                *c = 1;
+            }
+        }
+
+        // The sliding airtime window — the "streamed chunk" of the
+        // timeline currently on the air. Packets are identified by a
+        // monotone id, so the window always holds the contiguous id range
+        // [front_id, next_id) and per-cell occupant lists (FIFO, because
+        // ids are issued in global order) index into it directly.
+        struct Pending {
+            t: f64,
+            node: usize,
+            collided: bool,
+        }
+        let mut window: VecDeque<Pending> = VecDeque::new();
+        let mut cells: Vec<VecDeque<u64>> = vec![VecDeque::new(); cell_index.len()];
+        let mut front_id: u64 = 0;
+        let mut next_id: u64 = 0;
+
+        let mut stats = vec![ChannelStats::default(); n];
+        let mut last_slot: Vec<Option<i64>> = vec![None; n];
+        // Settles one packet once its airtime window has provably closed
+        // (no later packet can reach it), in global packet order — the
+        // same accumulation the naive sweep runs after its full pass.
+        let slot_s = self.slot_s;
+        let settle =
+            |p: Pending, stats: &mut Vec<ChannelStats>, last_slot: &mut Vec<Option<i64>>| {
+                stats[p.node].attempted += 1;
+                if p.collided {
+                    stats[p.node].collided += 1;
+                } else if in_delivery_range[p.node] {
+                    stats[p.node].delivered += 1;
+                    let slot = (p.t / slot_s).floor() as i64;
+                    if last_slot[p.node] == Some(slot) {
+                        stats[p.node].duplicates += 1;
+                    } else {
+                        last_slot[p.node] = Some(slot);
+                    }
+                } else {
+                    stats[p.node].out_of_range += 1;
+                }
+            };
+
+        while let Some(Reverse(Head { t, node })) = heap.pop() {
+            if let Some(&t_next) = times(node).get(cursor[node]) {
+                cursor[node] += 1;
+                heap.push(Reverse(Head { t: t_next, node }));
+            }
+
+            // Expire packets whose windows this packet can no longer
+            // overlap (`t - t_i >= airtime_s`, the naive sweep's break
+            // condition); later packets are no earlier than `t`, so the
+            // expired verdicts are final.
+            while let Some(front) = window.front() {
+                if t - front.t >= self.airtime_s {
+                    let p = window.pop_front().expect("front exists");
+                    let popped = cells[node_cell[p.node] as usize].pop_front();
+                    debug_assert_eq!(popped, Some(front_id), "cell lists expire in id order");
+                    front_id += 1;
+                    settle(p, &mut stats, &mut last_slot);
+                } else {
+                    break;
+                }
+            }
+
+            // Distance-test this packet against the on-air candidates
+            // from the nine neighbouring cells — a superset of every true
+            // interferer, filtered by the same `interferes` predicate the
+            // naive sweep applies, marking both sides exactly as it does.
+            let mut collided = false;
+            if collisions_on && !window.is_empty() {
+                for &cell in &cell_neighbors[node_cell[node] as usize] {
+                    for &id in &cells[cell as usize] {
+                        let p = &mut window[(id - front_id) as usize];
+                        if p.node != node
+                            && self.interferes(traces[p.node].position, traces[node].position)
+                        {
+                            p.collided = true;
+                            collided = true;
+                        }
+                    }
+                }
+            }
+
+            window.push_back(Pending { t, node, collided });
+            cells[node_cell[node] as usize].push_back(next_id);
+            next_id += 1;
+        }
+        while let Some(p) = window.pop_front() {
+            settle(p, &mut stats, &mut last_slot);
         }
         stats
     }
@@ -414,5 +739,101 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn airtime_must_be_positive() {
         let _ = RadioChannel::paper_default().with_airtime(0.0);
+    }
+
+    #[test]
+    fn method_is_not_a_physical_parameter() {
+        let indexed = RadioChannel::paper_default();
+        let naive = RadioChannel::paper_default().with_method(ArbitrationMethod::NaiveSweep);
+        assert_eq!(
+            indexed.method,
+            ArbitrationMethod::Indexed,
+            "indexed is the default"
+        );
+        assert_eq!(indexed, naive, "equality ignores the method");
+        assert_eq!(
+            indexed.fingerprint(),
+            naive.fingerprint(),
+            "fingerprints ignore the method"
+        );
+        assert_eq!(
+            "naive".parse::<ArbitrationMethod>(),
+            Ok(ArbitrationMethod::NaiveSweep)
+        );
+        assert_eq!(
+            "indexed".parse::<ArbitrationMethod>(),
+            Ok(ArbitrationMethod::Indexed)
+        );
+        assert!("quadtree".parse::<ArbitrationMethod>().is_err());
+    }
+
+    #[test]
+    fn indexed_matches_naive_on_hidden_terminals() {
+        let ch = RadioChannel::paper_default()
+            .with_interference_range(15.0)
+            .with_delivery_range(f64::INFINITY);
+        let a = [1.0, 7.0, 7.003];
+        let b = [1.0 + ch.airtime_s * 0.5, 12.0];
+        let c = [1.0 + ch.airtime_s * 0.9, 7.001];
+        let fleet = [
+            trace((-10.0, 0.0), &a),
+            trace((0.0, 0.0), &b),
+            trace((10.0, 0.0), &c),
+        ];
+        let sink = (0.0, 0.0);
+        assert_eq!(
+            ch.arbitrate_indexed(sink, &fleet),
+            ch.arbitrate_naive(sink, &fleet)
+        );
+        // `arbitrate` itself dispatches on the method and agrees with
+        // both explicit paths.
+        assert_eq!(ch.arbitrate(sink, &fleet), ch.arbitrate_naive(sink, &fleet));
+        assert_eq!(
+            ch.clone()
+                .with_method(ArbitrationMethod::NaiveSweep)
+                .arbitrate(sink, &fleet),
+            ch.arbitrate_naive(sink, &fleet)
+        );
+    }
+
+    #[test]
+    fn indexed_handles_unsorted_and_empty_traces() {
+        let ch = RadioChannel::paper_default();
+        let unsorted = [5.0, 1.0, 3.0, 1.0]; // duplicates included
+        let sorted = [1.0 + ch.airtime_s * 0.4];
+        let quiet: [f64; 0] = [];
+        let fleet = [
+            trace((3.0, 0.0), &unsorted),
+            trace((-3.0, 0.0), &sorted),
+            trace((0.0, 5.0), &quiet),
+        ];
+        let sink = (0.0, 0.0);
+        assert_eq!(
+            ch.arbitrate_indexed(sink, &fleet),
+            ch.arbitrate_naive(sink, &fleet)
+        );
+        assert_eq!(ch.arbitrate_indexed(sink, &[]), Vec::new());
+    }
+
+    #[test]
+    fn indexed_matches_naive_across_grid_cell_boundaries() {
+        // Nodes straddling cell edges (positions at exact multiples of
+        // the 10 m interference range) exercise the adjacent-cell lookup.
+        let ch = RadioChannel::paper_default()
+            .with_interference_range(10.0)
+            .with_delivery_range(f64::INFINITY);
+        let t0 = [1.0];
+        let t1 = [1.0 + ch.airtime_s * 0.3];
+        let t2 = [1.0 + ch.airtime_s * 0.6];
+        let fleet = [
+            trace((0.0, 0.0), &t0),
+            trace((10.0, 0.0), &t1), // exactly on the range: interferes
+            trace((20.0, 0.0), &t2), // next cell over: out of range of node 0
+        ];
+        let sink = (0.0, 0.0);
+        let naive = ch.arbitrate_naive(sink, &fleet);
+        assert_eq!(ch.arbitrate_indexed(sink, &fleet), naive);
+        assert_eq!(naive[0].collided, 1);
+        assert_eq!(naive[2].collided, 1, "collides with node 1, not node 0");
     }
 }

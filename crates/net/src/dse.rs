@@ -16,7 +16,7 @@ use std::sync::Arc;
 use doe::{DOptimal, Design, DesignSpace, ModelSpec};
 use optim::{Bounds, GeneticAlgorithm, Optimizer, SimulatedAnnealing};
 use rsm::ResponseSurface;
-use wsn_dse::{coded_to_config, config_to_coded, paper_design_space, EvalKey, SimPool};
+use wsn_dse::{coded_to_config, config_to_coded, paper_design_space, DseError, EvalKey, SimPool};
 use wsn_node::{EngineKind, NodeConfig, SimEngine};
 
 use crate::fleet::{FleetSpec, NetworkSim};
@@ -368,29 +368,36 @@ impl FleetDseFlow {
 
         let mut candidates: Vec<Vec<f64>> = vec![original_coded.clone()];
         candidates.extend(optima.iter().map(|(_, coded, _)| coded.clone()));
-        let mut validated = self
-            .pool
-            .evaluate_batch(&self.keys_for(&candidates), |i| {
-                self.evaluate_coded(&candidates[i])
-            })?
-            .into_iter();
+        let validated = self.pool.evaluate_batch(&self.keys_for(&candidates), |i| {
+            self.evaluate_coded(&candidates[i])
+        })?;
+        // Responses pair with candidates positionally: a short (or long)
+        // batch is a structured error, never a panic on a drained
+        // iterator or a silently truncating `zip` that drops an
+        // optimiser row.
+        if validated.len() != candidates.len() {
+            return Err(DseError::ResponseCount {
+                expected: candidates.len(),
+                got: validated.len(),
+            });
+        }
 
         let original = FleetEval {
             label: "original".to_owned(),
             coded: original_coded,
             predicted: None,
-            goodput: validated.next().expect("one response per candidate"),
+            goodput: validated[0],
             config: original_cfg,
         };
         let mut optimised = Vec::new();
-        for ((label, coded, predicted), goodput) in optima.into_iter().zip(validated) {
+        for (slot, (label, coded, predicted)) in optima.into_iter().enumerate() {
             let config = coded_to_config(&self.space, &coded)?;
             optimised.push(FleetEval {
                 label,
                 config,
                 coded,
                 predicted: Some(predicted),
-                goodput,
+                goodput: validated[slot + 1],
             });
         }
 

@@ -13,7 +13,7 @@
 //! [`NetworkReport`] is bit-identical at any job count.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use numkit::rng::Rng;
 use wsn_dse::{EvalKey, SimPool};
@@ -67,10 +67,19 @@ impl FleetTopology {
                 (radius_m * angle.cos(), radius_m * angle.sin())
             }
             FleetTopology::Grid { pitch_m } => {
+                // Centre on the *occupied* rows, not the full side × side
+                // square: a non-square fleet would otherwise sit offset
+                // in y (a 2-node grid by −pitch/2), silently biasing
+                // delivery and interference distances.
                 let side = (n as f64).sqrt().ceil() as usize;
-                let offset = (side - 1) as f64 / 2.0 * pitch_m;
+                let rows = n.div_ceil(side);
+                let x_offset = (side - 1) as f64 / 2.0 * pitch_m;
+                let y_offset = (rows - 1) as f64 / 2.0 * pitch_m;
                 let (row, col) = (i / side, i % side);
-                (col as f64 * pitch_m - offset, row as f64 * pitch_m - offset)
+                (
+                    col as f64 * pitch_m - x_offset,
+                    row as f64 * pitch_m - y_offset,
+                )
             }
         }
     }
@@ -407,7 +416,12 @@ impl NetworkSim {
             let config = spec.system_config_for(i, node);
             let out = self.engine.simulate(&config)?;
             let transmissions = out.transmissions;
-            runs.lock().expect("runs poisoned").insert(
+            // A worker that panics anywhere near the guard poisons the
+            // mutex for every later closure; the map is insert-only, so
+            // whatever made it in is still valid — recover the partial
+            // state instead of cascading the panic and defeating
+            // `evaluate_batch_partial`'s isolation.
+            runs.lock().unwrap_or_else(PoisonError::into_inner).insert(
                 keys[i].clone(),
                 NodeRun {
                     transmissions: out.transmissions,
@@ -427,7 +441,7 @@ impl NetworkSim {
                 .expect("an all-failed batch records at least one failure");
             return Err(failure.error);
         }
-        let runs = runs.into_inner().expect("runs poisoned");
+        let runs = runs.into_inner().unwrap_or_else(PoisonError::into_inner);
 
         // Resolve the shared medium. Failed nodes contribute no packets;
         // surviving nodes' timestamps land on the global timeline shifted
@@ -579,6 +593,116 @@ mod tests {
         let b = spec.scenario_for(2).faults;
         assert!(!a.is_none() && !b.is_none());
         assert_ne!(a.seed(), b.seed(), "each node draws its own fault seed");
+    }
+
+    /// An engine that panics for exactly one node's scenario and defers
+    /// to the envelope engine for the rest — the regression rig for the
+    /// `runs` side-channel mutex poisoning: one panicking node must not
+    /// take every later closure down with "runs poisoned".
+    #[derive(Debug)]
+    struct PanicOnScenario {
+        inner: Arc<dyn SimEngine>,
+        poison_fingerprint: u64,
+    }
+
+    impl SimEngine for PanicOnScenario {
+        fn kind(&self) -> EngineKind {
+            self.inner.kind()
+        }
+
+        fn simulate(&self, config: &SystemConfig) -> wsn_node::Result<wsn_node::SimOutcome> {
+            assert_ne!(
+                config.scenario().fingerprint(),
+                self.poison_fingerprint,
+                "injected node panic"
+            );
+            self.inner.simulate(config)
+        }
+    }
+
+    #[test]
+    fn panicking_node_does_not_poison_the_fleet() {
+        let spec = fast_spec(4);
+        let victim = 2;
+        let engine = Arc::new(PanicOnScenario {
+            inner: EngineKind::Envelope.engine(),
+            poison_fingerprint: spec.scenario_for(victim).fingerprint(),
+        });
+        // jobs(1) forces every closure through one worker sequentially:
+        // before the PoisonError recovery, the injected panic poisoned
+        // the mutex and every *later* node died at the lock instead of
+        // simulating.
+        for jobs in [1, 4] {
+            let report = NetworkSim::new()
+                .with_engine(engine.clone())
+                .jobs(jobs)
+                .evaluate(&spec, NodeConfig::original())
+                .expect("fleet survives one panicking node");
+            assert_eq!(report.failed_nodes, vec![victim]);
+            assert!(report.per_node[victim].failed);
+            assert_eq!(report.per_node[victim].transmissions, 0);
+            for i in (0..4).filter(|&i| i != victim) {
+                assert!(!report.per_node[i].failed, "node {i} must survive");
+                assert!(
+                    report.per_node[i].transmissions > 0,
+                    "node {i} must simulate"
+                );
+            }
+            assert!(report.attempted() > 0);
+        }
+    }
+
+    #[test]
+    fn poisoned_runs_mutex_recovers_partial_state() {
+        // The recovery pattern `evaluate` uses on the `runs` side-channel:
+        // a panic while the guard is held poisons the mutex, but the map
+        // is insert-only, so the partial state is safe to take.
+        let runs: Mutex<HashMap<u32, u32>> = Mutex::new(HashMap::new());
+        runs.lock().unwrap().insert(1, 10);
+        std::thread::scope(|s| {
+            let _ = s
+                .spawn(|| {
+                    let mut guard = runs.lock().unwrap();
+                    guard.insert(2, 20);
+                    panic!("poison while holding the guard");
+                })
+                .join();
+        });
+        assert!(runs.lock().is_err(), "the mutex must actually be poisoned");
+        let recovered = runs.lock().unwrap_or_else(PoisonError::into_inner);
+        assert_eq!(recovered.len(), 2, "insert-only state survives the panic");
+        drop(recovered);
+        let inner = runs.into_inner().unwrap_or_else(PoisonError::into_inner);
+        assert_eq!(inner[&1], 10);
+        assert_eq!(inner[&2], 20);
+    }
+
+    #[test]
+    fn grid_centres_on_occupied_rows() {
+        let grid = FleetTopology::Grid { pitch_m: 4.0 };
+        for n in [2usize, 3, 5] {
+            let positions: Vec<(f64, f64)> = (0..n).map(|i| grid.position(i, n)).collect();
+            let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+            let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+            for &(x, y) in &positions {
+                min_x = min_x.min(x);
+                max_x = max_x.max(x);
+                min_y = min_y.min(y);
+                max_y = max_y.max(y);
+            }
+            assert!(
+                (min_x + max_x).abs() < 1e-12,
+                "{n}-node grid x-extent [{min_x}, {max_x}] is off-centre"
+            );
+            assert!(
+                (min_y + max_y).abs() < 1e-12,
+                "{n}-node grid y-extent [{min_y}, {max_y}] is off-centre"
+            );
+        }
+        // The 2-node regression from the issue: both nodes on the x-axis,
+        // not shifted down by −pitch/2.
+        assert_eq!(grid.position(0, 2), (-2.0, 0.0));
+        assert_eq!(grid.position(1, 2), (2.0, 0.0));
     }
 
     #[test]

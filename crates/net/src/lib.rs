@@ -56,7 +56,8 @@ mod fleet;
 mod report;
 
 pub use channel::{
-    distance, ChannelStats, NodeTrace, RadioChannel, DEFAULT_AIRTIME_S, DEFAULT_SLOT_S,
+    distance, ArbitrationMethod, ChannelStats, NodeTrace, RadioChannel, DEFAULT_AIRTIME_S,
+    DEFAULT_SLOT_S,
 };
 pub use dse::{FleetDseFlow, FleetDseReport, FleetEval};
 pub use fleet::{FleetSpec, FleetTopology, NetworkSim};

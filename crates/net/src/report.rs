@@ -383,6 +383,22 @@ mod tests {
     }
 
     #[test]
+    fn arbitration_method_never_leaks_into_the_schema() {
+        // The report schema is golden-pinned: the arbitration method is
+        // an implementation selector, so a report produced under the
+        // naive oracle must serialise byte-identically to the indexed
+        // default — the property the verify.sh JSON-diff gate relies on.
+        let mut naive = sample_report();
+        naive.channel = naive
+            .channel
+            .with_method(crate::channel::ArbitrationMethod::NaiveSweep);
+        assert_eq!(naive.to_json(), sample_report().to_json());
+        assert_eq!(naive, sample_report());
+        assert!(!naive.to_json().contains("method"));
+        assert!(!naive.to_json().contains("naive"));
+    }
+
+    #[test]
     fn display_formats_a_table() {
         let r = sample_report();
         let text = r.to_string();

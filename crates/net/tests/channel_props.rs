@@ -7,7 +7,7 @@
 
 use numkit::rng::Rng;
 use proptest::prelude::*;
-use wsn_net::{distance, NodeTrace, RadioChannel};
+use wsn_net::{distance, ArbitrationMethod, NodeTrace, RadioChannel};
 
 /// Strategy: a fleet of 1–6 nodes, each with a position in a 80 m square
 /// around the sink and 0–24 unsorted transmission timestamps in a window
@@ -31,6 +31,41 @@ fn traces(fleet: &[((f64, f64), Vec<f64>)]) -> Vec<NodeTrace<'_>> {
             tx_times,
         })
         .collect()
+}
+
+/// Strategy: a fleet whose timestamps land on a coarse half-airtime grid,
+/// so exact duplicates, exact window boundaries (`tj - ti == airtime_s`)
+/// and heavy overlap all occur; node counts start at 0 (the empty fleet)
+/// and traces may be empty and unsorted.
+fn gridded_fleet() -> impl Strategy<Value = Vec<((f64, f64), Vec<f64>)>> {
+    let airtime = wsn_net::DEFAULT_AIRTIME_S;
+    prop::collection::vec(
+        (
+            (-120.0..120.0f64, -120.0..120.0f64),
+            prop::collection::vec(
+                (0i32..400).prop_map(move |k| k as f64 * airtime / 2.0),
+                0..25usize,
+            ),
+        ),
+        0..8usize,
+    )
+}
+
+/// Strategy: a channel whose interference and delivery ranges include the
+/// degenerate corners (0, a range smaller than the fleet box, a range
+/// covering everything, and infinity).
+fn any_channel() -> impl Strategy<Value = RadioChannel> {
+    (
+        prop::sample::select(vec![0.0f64, 20.0, 75.0, 400.0, f64::INFINITY]),
+        prop::sample::select(vec![0.0f64, 30.0, 200.0, f64::INFINITY]),
+        prop::sample::select(vec![0.5f64, 1.0, 2.0]),
+    )
+        .prop_map(|(interference, delivery, slot)| {
+            RadioChannel::paper_default()
+                .with_interference_range(interference)
+                .with_delivery_range(delivery)
+                .with_slot(slot)
+        })
 }
 
 proptest! {
@@ -83,6 +118,50 @@ proptest! {
             prop_assert_eq!(s.collided, 0);
             prop_assert_eq!(s.delivered, s.attempted);
         }
+    }
+
+    /// The tentpole equivalence oracle: the spatial-index/streaming
+    /// arbitration path is bit-identical to the naive pairwise sweep on
+    /// randomised fleets — random positions, interference and delivery
+    /// ranges including 0 and ∞, timestamps with exact duplicates and
+    /// exact airtime-boundary separations, empty traces and the empty
+    /// fleet. `ChannelStats` is `Eq`, so the comparison is exact, not
+    /// approximate.
+    #[test]
+    fn indexed_arbitration_equals_the_naive_sweep(
+        nodes in gridded_fleet(),
+        channel in any_channel(),
+    ) {
+        let sink = (0.0, 0.0);
+        let traces = traces(&nodes);
+        let naive = channel.arbitrate_naive(sink, &traces);
+        let indexed = channel.arbitrate_indexed(sink, &traces);
+        prop_assert_eq!(&indexed, &naive, "paths diverged on channel {}", channel);
+        // The method dispatcher routes to the same verdicts.
+        prop_assert_eq!(&channel.arbitrate(sink, &traces), &indexed);
+        prop_assert_eq!(
+            &channel
+                .clone()
+                .with_method(ArbitrationMethod::NaiveSweep)
+                .arbitrate(sink, &traces),
+            &naive
+        );
+    }
+
+    /// Same oracle over the original free-floating timestamp strategy
+    /// (arbitrary reals, not gridded), so near-boundary float separations
+    /// are covered too.
+    #[test]
+    fn indexed_arbitration_equals_the_naive_sweep_on_free_timestamps(
+        nodes in fleet(),
+        channel in any_channel(),
+    ) {
+        let sink = (0.0, 0.0);
+        let traces = traces(&nodes);
+        prop_assert_eq!(
+            channel.arbitrate_indexed(sink, &traces),
+            channel.arbitrate_naive(sink, &traces)
+        );
     }
 
     /// Arbiter determinism: permuting the order in which node traces are

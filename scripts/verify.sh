@@ -50,6 +50,15 @@ done
 cmp "$FLEET_DIR/jobs1.json" "$FLEET_DIR/jobs2.json"
 cmp "$FLEET_DIR/jobs1.json" "$FLEET_DIR/jobs8.json"
 
+echo "== network gate: indexed arbitration is bit-identical to the naive sweep =="
+for method in indexed naive; do
+  # shellcheck disable=SC2086
+  target/release/wsn_dse $FLEET_ARGS --arbitration "$method" \
+    > "$FLEET_DIR/arb-$method.json"
+done
+cmp "$FLEET_DIR/arb-indexed.json" "$FLEET_DIR/arb-naive.json"
+cmp "$FLEET_DIR/jobs1.json" "$FLEET_DIR/arb-indexed.json"
+
 echo "== cargo fmt --check =="
 cargo fmt --check
 
