@@ -1,6 +1,7 @@
 use std::sync::Arc;
 
 use doe::{DOptimal, Design, DesignSpace, ModelSpec};
+use numkit::Backend;
 use optim::{Bounds, GeneticAlgorithm, Optimizer, SimulatedAnnealing};
 use rsm::ResponseSurface;
 use wsn_node::{
@@ -63,6 +64,7 @@ pub struct DseFlow {
     seed: u64,
     pool: SimPool,
     engine: Arc<dyn SimEngine>,
+    linalg: Backend,
 }
 
 impl DseFlow {
@@ -79,7 +81,24 @@ impl DseFlow {
             seed: 12,
             pool: SimPool::new(0),
             engine: EngineKind::Envelope.engine(),
+            linalg: Backend::default(),
         }
+    }
+
+    /// Selects the linear-algebra backend for design construction,
+    /// surface fitting and surface scoring. This is a solver choice,
+    /// not model physics: both backends run the same shared kernels and
+    /// every report is bit-identical across them, so the backend is
+    /// excluded from cache fingerprints and report JSON (like the
+    /// network layer's arbitration method).
+    pub fn linalg(mut self, backend: Backend) -> Self {
+        self.linalg = backend;
+        self
+    }
+
+    /// The selected linear-algebra backend.
+    pub fn linalg_backend(&self) -> Backend {
+        self.linalg
     }
 
     /// Replaces the simulated scenario (vibration, horizon, physics).
@@ -210,6 +229,7 @@ impl DseFlow {
         Ok(DOptimal::new(self.space.dimension(), self.model.clone())
             .runs(self.doe_runs)
             .seed(self.seed)
+            .linalg(self.linalg)
             .build()?)
     }
 
@@ -232,7 +252,12 @@ impl DseFlow {
     ///
     /// Propagates fitting errors (rank deficiency etc.).
     pub fn fit(&self, design: &Design, responses: &[f64]) -> Result<ResponseSurface> {
-        Ok(ResponseSurface::fit(design, self.model.clone(), responses)?)
+        Ok(ResponseSurface::fit_with(
+            design,
+            self.model.clone(),
+            responses,
+            self.linalg,
+        )?)
     }
 
     /// Maximises a fitted surface with both of the paper's optimisers
@@ -243,15 +268,15 @@ impl DseFlow {
     /// Propagates optimiser failures.
     pub fn optimise(&self, surface: &ResponseSurface) -> Result<Vec<(String, Vec<f64>, f64)>> {
         let bounds = Bounds::symmetric(self.space.dimension(), 1.0)?;
-        let objective = |x: &[f64]| surface.predict(x);
+        let objective = crate::SurfaceObjective::new(surface);
 
         let sa = SimulatedAnnealing::new()
             .seed(self.seed)
             .moves_per_temperature(80)
-            .maximize(&bounds, objective)?;
+            .maximize_batch(&bounds, &objective)?;
         let ga = GeneticAlgorithm::new()
             .seed(self.seed)
-            .maximize(&bounds, objective)?;
+            .maximize_batch(&bounds, &objective)?;
 
         Ok(vec![
             ("simulated annealing".to_owned(), sa.x, sa.value),

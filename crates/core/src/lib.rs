@@ -39,6 +39,7 @@
 
 mod error;
 mod flow;
+mod objective;
 pub mod pool;
 mod report;
 pub mod robustness;
@@ -46,6 +47,8 @@ mod space;
 
 pub use error::DseError;
 pub use flow::{DseFlow, SweepPoint, SweepSeries};
+pub use numkit::Backend;
+pub use objective::SurfaceObjective;
 pub use pool::{BatchFailure, BatchReport, EvalCache, EvalKey, SimPool, MAX_EVAL_ATTEMPTS};
 pub use report::{DesignEval, DseReport};
 pub use space::{coded_to_config, config_to_coded, paper_design_space};

@@ -1,6 +1,7 @@
+use numkit::linalg::{Backend, LinAlg, SMAT_MAX_COLS};
 use numkit::rng::Rng;
 
-use numkit::Matrix;
+use numkit::{Matrix, SMat};
 
 use crate::{full_factorial, Design, DoeError, ModelSpec, Result};
 
@@ -38,6 +39,7 @@ pub struct DOptimal {
     seed: u64,
     max_passes: usize,
     criterion: OptimalityCriterion,
+    linalg: Backend,
 }
 
 /// Alphabetic optimality criterion driving the exchange search.
@@ -74,12 +76,20 @@ impl DOptimal {
             seed: 0,
             max_passes: 50,
             criterion: OptimalityCriterion::D,
+            linalg: Backend::default(),
         }
     }
 
     /// Selects the optimality criterion (default: D, as in the paper).
     pub fn criterion(mut self, criterion: OptimalityCriterion) -> Self {
         self.criterion = criterion;
+        self
+    }
+
+    /// Selects the linear-algebra backend for the exchange-loop scoring
+    /// (a solver choice: both backends produce bit-identical designs).
+    pub fn linalg(mut self, backend: Backend) -> Self {
+        self.linalg = backend;
         self
     }
 
@@ -152,7 +162,9 @@ impl DOptimal {
             .map(|c| self.model.expand(c))
             .collect();
         let criterion = self.criterion;
-        let score = |selected: &[usize]| score_selection(&rows, selected, p, criterion, None);
+        let backend = self.linalg;
+        let score =
+            |selected: &[usize]| score_selection(&rows, selected, p, criterion, None, backend);
 
         // Greedy initialisation from a shuffled candidate order: repeatedly
         // add the candidate that most increases ln det(XᵀX + ridge I).
@@ -254,15 +266,8 @@ impl DOptimal {
             .iter()
             .map(|pt| self.model.expand(pt))
             .collect();
-        let mut base_gram = Matrix::from_fn(p, p, |i, j| if i == j { RIDGE } else { 0.0 });
-        for row in &base_rows {
-            for i in 0..p {
-                for j in 0..p {
-                    let v = base_gram[(i, j)] + row[i] * row[j];
-                    base_gram[(i, j)] = v;
-                }
-            }
-        }
+        let base_index: Vec<usize> = (0..base_rows.len()).collect();
+        let base_gram = information_matrix(&base_rows, &base_index, p, None);
 
         let rows: Vec<Vec<f64>> = candidates
             .points()
@@ -270,8 +275,10 @@ impl DOptimal {
             .map(|c| self.model.expand(c))
             .collect();
         let criterion = self.criterion;
-        let score =
-            |selected: &[usize]| score_selection(&rows, selected, p, criterion, Some(&base_gram));
+        let backend = self.linalg;
+        let score = |selected: &[usize]| {
+            score_selection(&rows, selected, p, criterion, Some(&base_gram), backend)
+        };
 
         let mut rng = Rng::new(self.seed);
         let mut order: Vec<usize> = (0..candidates.len()).collect();
@@ -332,6 +339,50 @@ impl DOptimal {
     }
 }
 
+/// Accumulates the ridged information matrix `XᵀX + ridge I` of a
+/// selection into any [`LinAlg`] storage, optionally on top of a fixed
+/// base gram (for design augmentation). `gram` must be zeroed `p × p`.
+///
+/// Upper-triangle accumulation per selected row, mirrored at the end —
+/// the single shared source of this arithmetic for both backends and
+/// both the build and augment call-sites.
+fn accumulate_information(
+    gram: &mut impl LinAlg,
+    rows: &[Vec<f64>],
+    selected: &[usize],
+    p: usize,
+    base: Option<&Matrix>,
+) {
+    match base {
+        Some(b) => {
+            for i in 0..p {
+                for j in 0..p {
+                    gram.la_set(i, j, b[(i, j)]);
+                }
+            }
+        }
+        None => {
+            for i in 0..p {
+                gram.la_set(i, i, RIDGE);
+            }
+        }
+    }
+    for &s in selected {
+        let row = &rows[s];
+        for i in 0..p {
+            for j in i..p {
+                let v = gram.la_get(i, j) + row[i] * row[j];
+                gram.la_set(i, j, v);
+            }
+        }
+    }
+    for i in 0..p {
+        for j in 0..i {
+            gram.la_set(i, j, gram.la_get(j, i));
+        }
+    }
+}
+
 /// Ridged information matrix `XᵀX + ridge I` of a selection, optionally
 /// on top of a fixed base gram (for design augmentation).
 fn information_matrix(
@@ -340,52 +391,75 @@ fn information_matrix(
     p: usize,
     base: Option<&Matrix>,
 ) -> Matrix {
-    let mut gram = match base {
-        Some(b) => b.clone(),
-        None => Matrix::from_fn(p, p, |i, j| if i == j { RIDGE } else { 0.0 }),
-    };
-    for &s in selected {
-        let row = &rows[s];
-        for i in 0..p {
-            for j in i..p {
-                let v = gram[(i, j)] + row[i] * row[j];
-                gram[(i, j)] = v;
-            }
-        }
-    }
-    for i in 0..p {
-        for j in 0..i {
-            gram[(i, j)] = gram[(j, i)];
-        }
-    }
+    let mut gram = Matrix::zeros(p, p);
+    accumulate_information(&mut gram, rows, selected, p, base);
     gram
 }
 
 /// Exchange score of a selection — larger is better for every criterion
 /// (A and I are negated so the maximising exchange loop applies
-/// unchanged).
+/// unchanged). Dispatches to heap or stack storage per the backend; the
+/// two paths run the same kernels and score bit-identically.
 fn score_selection(
     rows: &[Vec<f64>],
     selected: &[usize],
     p: usize,
     criterion: OptimalityCriterion,
     base: Option<&Matrix>,
+    backend: Backend,
 ) -> f64 {
-    let gram = information_matrix(rows, selected, p, base);
-    let Ok(ch) = gram.cholesky() else {
+    match backend {
+        Backend::SMat if p <= SMAT_MAX_COLS => {
+            let gram = SMat::<SMAT_MAX_COLS, SMAT_MAX_COLS>::zeros(p, p);
+            let l = gram;
+            let mut scratch = [0.0; SMAT_MAX_COLS];
+            score_selection_on(
+                gram,
+                l,
+                &mut scratch[..p],
+                rows,
+                selected,
+                p,
+                criterion,
+                base,
+            )
+        }
+        _ => {
+            let gram = Matrix::zeros(p, p);
+            let l = gram.clone();
+            let mut scratch = vec![0.0; p];
+            score_selection_on(gram, l, &mut scratch, rows, selected, p, criterion, base)
+        }
+    }
+}
+
+/// Backend-generic scoring body: accumulate the information matrix into
+/// `gram`, Cholesky-factor it into `l`, evaluate the criterion using
+/// `scratch` (length `p`) for the solves.
+#[allow(clippy::too_many_arguments)]
+fn score_selection_on<M: LinAlg>(
+    mut gram: M,
+    mut l: M,
+    scratch: &mut [f64],
+    rows: &[Vec<f64>],
+    selected: &[usize],
+    p: usize,
+    criterion: OptimalityCriterion,
+    base: Option<&Matrix>,
+) -> f64 {
+    accumulate_information(&mut gram, rows, selected, p, base);
+    if l.la_cholesky_factor_from(&gram).is_err() {
         return f64::NEG_INFINITY;
-    };
+    }
     match criterion {
-        OptimalityCriterion::D => ch.ln_det(),
+        OptimalityCriterion::D => l.la_cholesky_ln_det(),
         OptimalityCriterion::A => {
             let mut trace = 0.0;
             for j in 0..p {
-                let mut e = vec![0.0; p];
-                e[j] = 1.0;
-                match ch.solve_vec(&e) {
-                    Ok(col) => trace += col[j],
-                    Err(_) => return f64::NEG_INFINITY,
-                }
+                scratch.fill(0.0);
+                scratch[j] = 1.0;
+                l.la_cholesky_solve_in_place(scratch);
+                trace += scratch[j];
             }
             -trace
         }
@@ -393,10 +467,13 @@ fn score_selection(
             // Average prediction variance over the full candidate set.
             let mut total = 0.0;
             for row in rows {
-                match ch.solve_vec(row) {
-                    Ok(sol) => total += row.iter().zip(&sol).map(|(a, b)| a * b).sum::<f64>(),
-                    Err(_) => return f64::NEG_INFINITY,
-                }
+                scratch.copy_from_slice(row);
+                l.la_cholesky_solve_in_place(scratch);
+                total += row
+                    .iter()
+                    .zip(scratch.iter())
+                    .map(|(a, b)| a * b)
+                    .sum::<f64>();
             }
             -(total / rows.len() as f64)
         }
@@ -670,6 +747,55 @@ mod tests {
             .unwrap();
         assert!(det_aug > 10.0 * det_base);
         assert!(eff_aug > 0.5 * eff_base);
+    }
+
+    #[test]
+    fn backends_build_identical_designs() {
+        let model = ModelSpec::quadratic(3);
+        for criterion in [
+            OptimalityCriterion::D,
+            OptimalityCriterion::A,
+            OptimalityCriterion::I,
+        ] {
+            let dyn_design = DOptimal::new(3, model.clone())
+                .runs(12)
+                .seed(7)
+                .criterion(criterion)
+                .linalg(Backend::Dyn)
+                .build()
+                .unwrap();
+            let smat_design = DOptimal::new(3, model.clone())
+                .runs(12)
+                .seed(7)
+                .criterion(criterion)
+                .linalg(Backend::SMat)
+                .build()
+                .unwrap();
+            assert_eq!(dyn_design, smat_design, "{criterion:?} designs diverged");
+        }
+    }
+
+    #[test]
+    fn backends_augment_identically() {
+        let model = ModelSpec::quadratic(2);
+        let base = DOptimal::new(2, model.clone())
+            .runs(6)
+            .seed(1)
+            .build()
+            .unwrap();
+        let dyn_aug = DOptimal::new(2, model.clone())
+            .runs(9)
+            .seed(1)
+            .linalg(Backend::Dyn)
+            .augment(&base)
+            .unwrap();
+        let smat_aug = DOptimal::new(2, model.clone())
+            .runs(9)
+            .seed(1)
+            .linalg(Backend::SMat)
+            .augment(&base)
+            .unwrap();
+        assert_eq!(dyn_aug, smat_aug);
     }
 
     #[test]

@@ -154,6 +154,29 @@ impl ModelSpec {
         self.terms.iter().map(|t| t.eval(point)).collect()
     }
 
+    /// Expands a coded point into a caller-provided row buffer —
+    /// the allocation-free sibling of [`ModelSpec::expand`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point.len() != self.dimension()` or
+    /// `out.len() != self.num_terms()`.
+    pub fn expand_into(&self, point: &[f64], out: &mut [f64]) {
+        assert_eq!(
+            point.len(),
+            self.dimension,
+            "point dimension must match the model"
+        );
+        assert_eq!(
+            out.len(),
+            self.terms.len(),
+            "row buffer must match the model terms"
+        );
+        for (o, t) in out.iter_mut().zip(&self.terms) {
+            *o = t.eval(point);
+        }
+    }
+
     /// Evaluates the polynomial with the given coefficients at a coded
     /// point.
     ///
@@ -167,11 +190,76 @@ impl ModelSpec {
             self.terms.len(),
             "coefficient count must match the model terms"
         );
-        self.expand(point)
+        assert_eq!(
+            point.len(),
+            self.dimension,
+            "point dimension must match the model"
+        );
+        // Allocation-free: terms are evaluated and accumulated in
+        // column order, exactly as the expanded-row dot product did.
+        self.terms
             .iter()
             .zip(coefficients)
-            .map(|(x, b)| x * b)
+            .map(|(t, b)| t.eval(point) * b)
             .sum()
+    }
+
+    /// Evaluates the polynomial over a column-major (SoA) block of
+    /// `n_points` coded points: `block[d * n_points + i]` is coordinate
+    /// `d` of point `i`. One pass per term keeps the inner loop
+    /// cache-coherent; the accumulation order per point is identical to
+    /// [`ModelSpec::predict`], so results agree bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics on coefficient, block or output length mismatches.
+    pub fn predict_batch_into(
+        &self,
+        coefficients: &[f64],
+        block: &[f64],
+        n_points: usize,
+        out: &mut [f64],
+    ) {
+        assert_eq!(
+            coefficients.len(),
+            self.terms.len(),
+            "coefficient count must match the model terms"
+        );
+        assert_eq!(
+            block.len(),
+            self.dimension * n_points,
+            "block must hold dimension * n_points coordinates"
+        );
+        assert_eq!(out.len(), n_points, "output length must match n_points");
+        out.fill(0.0);
+        for (term, &beta) in self.terms.iter().zip(coefficients) {
+            match *term {
+                Term::Intercept => {
+                    for o in out.iter_mut() {
+                        *o += beta;
+                    }
+                }
+                Term::Linear(i) => {
+                    let col = &block[i * n_points..(i + 1) * n_points];
+                    for (o, &x) in out.iter_mut().zip(col) {
+                        *o += x * beta;
+                    }
+                }
+                Term::Quadratic(i) => {
+                    let col = &block[i * n_points..(i + 1) * n_points];
+                    for (o, &x) in out.iter_mut().zip(col) {
+                        *o += (x * x) * beta;
+                    }
+                }
+                Term::Interaction(i, j) => {
+                    let ci = &block[i * n_points..(i + 1) * n_points];
+                    let cj = &block[j * n_points..(j + 1) * n_points];
+                    for ((o, &xi), &xj) in out.iter_mut().zip(ci).zip(cj) {
+                        *o += (xi * xj) * beta;
+                    }
+                }
+            }
+        }
     }
 
     /// Analytic gradient of the polynomial at a coded point.
@@ -257,6 +345,43 @@ mod tests {
             let fd = (m.predict(&beta, &xp) - m.predict(&beta, &xm)) / (2.0 * h);
             assert!((g[i] - fd).abs() < 1e-6, "grad[{i}]: {} vs {fd}", g[i]);
         }
+    }
+
+    #[test]
+    fn batch_prediction_is_bit_identical_to_per_point() {
+        let m = ModelSpec::quadratic(3);
+        let beta: Vec<f64> = (0..10).map(|i| ((i * 13 + 5) as f64).sin()).collect();
+        let n = 7;
+        let points: Vec<[f64; 3]> = (0..n)
+            .map(|i| {
+                [
+                    ((i * 3 + 1) as f64).cos(),
+                    ((i * 5 + 2) as f64).sin(),
+                    (i as f64 - 3.0) * 0.31,
+                ]
+            })
+            .collect();
+        // Column-major SoA block.
+        let mut block = vec![0.0; 3 * n];
+        for (i, p) in points.iter().enumerate() {
+            for d in 0..3 {
+                block[d * n + i] = p[d];
+            }
+        }
+        let mut out = vec![0.0; n];
+        m.predict_batch_into(&beta, &block, n, &mut out);
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(out[i].to_bits(), m.predict(&beta, p).to_bits());
+        }
+    }
+
+    #[test]
+    fn expand_into_matches_expand() {
+        let m = ModelSpec::quadratic(2);
+        let p = [1.25, -0.75];
+        let mut row = vec![0.0; m.num_terms()];
+        m.expand_into(&p, &mut row);
+        assert_eq!(row, m.expand(&p));
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! `wsn_dse` — command-line front end for the reproduction.
 //!
 //! ```text
-//! wsn_dse run       [--seed N] [--runs N] [--f0 HZ] [--horizon S] [--jobs N] [--engine E] [--json]
+//! wsn_dse run       [--seed N] [--runs N] [--f0 HZ] [--horizon S] [--jobs N] [--engine E]
+//!                   [--linalg dyn|smat] [--json]
 //! wsn_dse simulate  --clock HZ --watchdog S --interval S [--f0 HZ] [--horizon S] [--engine E]
 //!                   [--trace] [--json]
 //! wsn_dse sweep     --factor {clock|watchdog|interval} [--samples N] [--validate] [--jobs N]
@@ -12,7 +13,8 @@
 //!                   [--freq-spread HZ] [--phase-spread S] [--slot S] [--interference M]
 //!                   [--delivery M] [--ring-radius M | --grid-pitch M] [--ideal]
 //!                   [--arbitration indexed|naive]
-//!                   [--dse] [--seed N] [--runs N] [--jobs N] [--engine E] [--json]
+//!                   [--dse] [--seed N] [--runs N] [--jobs N] [--engine E]
+//!                   [--linalg dyn|smat] [--json]
 //! ```
 //!
 //! `--jobs N` caps the simulation worker threads (0 or omitted: all
@@ -37,6 +39,13 @@
 //! is the reference pairwise sweep) — reports are bit-identical either
 //! way, gated by `scripts/verify.sh`.
 //!
+//! `--linalg dyn|smat` (accepted by `run`, `sweep`, `refine` and
+//! `network --dse`) selects the linear-algebra backend for design
+//! construction, surface fitting and surface scoring (default `smat`,
+//! the allocation-free stack backend; `dyn` is the heap reference).
+//! Like `--arbitration`, it is a solver choice, not model physics:
+//! reports are bit-identical either way, gated by `scripts/verify.sh`.
+//!
 //! `--fault-seed N --fault-rate R` (accepted by `run`, `simulate`,
 //! `faults` and `network`) inject deterministic faults: each radio
 //! transmission fails with probability `R`, each watchdog wake is missed
@@ -50,7 +59,7 @@ use std::sync::Arc;
 
 use harvester::VibrationProfile;
 use wsn_dse::robustness::{evaluate_scenarios_with, fault_robustness_with};
-use wsn_dse::{DseFlow, SimPool};
+use wsn_dse::{Backend, DseFlow, SimPool};
 use wsn_net::{
     ArbitrationMethod, FleetDseFlow, FleetSpec, FleetTopology, NetworkSim, RadioChannel,
 };
@@ -116,7 +125,8 @@ impl Args {
 fn usage() -> &'static str {
     "usage: wsn_dse <run|simulate|sweep|refine|faults|network> [options]\n\
      \n\
-     run       --seed N --runs N --f0 HZ --horizon S [--csv DIR] [--jobs N] [--json]\n\
+     run       --seed N --runs N --f0 HZ --horizon S [--csv DIR] [--jobs N]\n\
+               [--linalg dyn|smat] [--json]\n\
      simulate  --clock HZ --watchdog S --interval S [--f0 HZ] [--horizon S] [--trace] [--json]\n\
      sweep     --factor clock|watchdog|interval [--samples N] [--validate] [--jobs N]\n\
      refine    --seed N --shrink F --runs N [--jobs N]\n\
@@ -126,13 +136,15 @@ fn usage() -> &'static str {
                [--freq-spread HZ] [--phase-spread S] [--slot S] [--interference M]\n\
                [--delivery M] [--ring-radius M | --grid-pitch M] [--ideal]\n\
                [--arbitration indexed|naive]\n\
-               [--dse --seed N --runs N] [--jobs N] [--json]\n\
+               [--dse --seed N --runs N] [--jobs N] [--linalg dyn|smat] [--json]\n\
      \n\
      --engine envelope|full selects the simulation engine (all commands;\n\
        default envelope; full is slow — use a short --horizon);\n\
        --dt S overrides the full engine's analogue step\n\
      --fault-seed N --fault-rate R (run, simulate, faults, network) inject\n\
        deterministic radio/watchdog/vibration faults at rate R\n\
+     --linalg dyn|smat (run, sweep, refine, network --dse) selects the\n\
+       linear-algebra backend (default smat); reports are bit-identical\n\
      --jobs 0 (default) uses all cores; results are identical at any job count"
 }
 
@@ -163,6 +175,14 @@ fn fault_plan_from(args: &Args) -> Result<FaultPlan, String> {
     Ok(FaultPlan::uniform(seed, rate))
 }
 
+/// Parses the `--linalg` backend selection (default: the stack backend).
+fn linalg_from(args: &Args) -> Result<Backend, String> {
+    match args.get("linalg") {
+        Some(name) => name.parse().map_err(|e| format!("--linalg: {e}")),
+        None => Ok(Backend::default()),
+    }
+}
+
 fn flow_from(args: &Args) -> Result<DseFlow, String> {
     let seed = args.get_u64("seed", 12)?;
     let runs = args.get_u64("runs", 10)? as usize;
@@ -178,6 +198,7 @@ fn flow_from(args: &Args) -> Result<DseFlow, String> {
         .seed(seed)
         .doe_runs(runs)
         .jobs(jobs)
+        .linalg(linalg_from(args)?)
         .with_engine(engine_from(args)?))
 }
 
@@ -504,6 +525,7 @@ fn cmd_network(args: &Args) -> Result<(), String> {
             .seed(args.get_u64("seed", 12)?)
             .doe_runs(args.get_u64("runs", 10)? as usize)
             .jobs(jobs)
+            .linalg(linalg_from(args)?)
             .with_engine(engine_from(args)?);
         let report = flow.run().map_err(|e| e.to_string())?;
         if args.has_flag("json") {

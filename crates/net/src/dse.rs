@@ -14,9 +14,13 @@ use std::fmt;
 use std::sync::Arc;
 
 use doe::{DOptimal, Design, DesignSpace, ModelSpec};
+use numkit::Backend;
 use optim::{Bounds, GeneticAlgorithm, Optimizer, SimulatedAnnealing};
 use rsm::ResponseSurface;
-use wsn_dse::{coded_to_config, config_to_coded, paper_design_space, DseError, EvalKey, SimPool};
+use wsn_dse::{
+    coded_to_config, config_to_coded, paper_design_space, DseError, EvalKey, SimPool,
+    SurfaceObjective,
+};
 use wsn_node::{EngineKind, NodeConfig, SimEngine};
 
 use crate::fleet::{FleetSpec, NetworkSim};
@@ -203,6 +207,7 @@ pub struct FleetDseFlow {
     doe_runs: usize,
     seed: u64,
     pool: SimPool,
+    linalg: Backend,
 }
 
 impl FleetDseFlow {
@@ -221,7 +226,22 @@ impl FleetDseFlow {
             doe_runs: 10,
             seed: 12,
             pool: SimPool::new(0),
+            linalg: Backend::default(),
         }
+    }
+
+    /// Selects the linear-algebra backend for design construction,
+    /// surface fitting and surface scoring. A solver choice, not fleet
+    /// physics: reports are bit-identical across backends, so the
+    /// backend never enters cache keys or report JSON.
+    pub fn linalg(mut self, backend: Backend) -> Self {
+        self.linalg = backend;
+        self
+    }
+
+    /// The selected linear-algebra backend.
+    pub fn linalg_backend(&self) -> Backend {
+        self.linalg
     }
 
     /// Replaces the fleet specification. Keys carry the fleet
@@ -331,6 +351,7 @@ impl FleetDseFlow {
         Ok(DOptimal::new(self.space.dimension(), self.model.clone())
             .runs(self.doe_runs)
             .seed(self.seed)
+            .linalg(self.linalg)
             .build()?)
     }
 
@@ -346,21 +367,22 @@ impl FleetDseFlow {
         let responses = self
             .pool
             .evaluate_batch(&self.keys_for(points), |i| self.evaluate_coded(&points[i]))?;
-        let surface = ResponseSurface::fit(&design, self.model.clone(), &responses)?;
+        let surface =
+            ResponseSurface::fit_with(&design, self.model.clone(), &responses, self.linalg)?;
         let d_efficiency = doe::diagnostics::d_efficiency(&design, &self.model)?;
 
         let original_cfg = NodeConfig::original();
         let original_coded = config_to_coded(&self.space, &original_cfg)?;
 
         let bounds = Bounds::symmetric(self.space.dimension(), 1.0)?;
-        let objective = |x: &[f64]| surface.predict(x);
+        let objective = SurfaceObjective::new(&surface);
         let sa = SimulatedAnnealing::new()
             .seed(self.seed)
             .moves_per_temperature(80)
-            .maximize(&bounds, objective)?;
+            .maximize_batch(&bounds, &objective)?;
         let ga = GeneticAlgorithm::new()
             .seed(self.seed)
-            .maximize(&bounds, objective)?;
+            .maximize_batch(&bounds, &objective)?;
         let optima = vec![
             ("simulated annealing".to_owned(), sa.x, sa.value),
             ("genetic algorithm".to_owned(), ga.x, ga.value),

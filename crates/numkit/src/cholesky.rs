@@ -2,6 +2,7 @@
 // explicit indices; iterator rewrites obscure the linear algebra.
 #![allow(clippy::needless_range_loop)]
 
+use crate::linalg::LinAlg;
 use crate::{Matrix, NumError, Result};
 
 /// Cholesky factorisation `A = L Lᵀ` of a symmetric positive definite matrix.
@@ -40,28 +41,8 @@ impl Cholesky {
         if !a.is_square() {
             return Err(NumError::NotSquare { shape: a.shape() });
         }
-        let tol = 1e-8 * a.max_abs().max(1.0);
-        if !a.is_symmetric(tol) {
-            return Err(NumError::InvalidArgument("cholesky: matrix not symmetric"));
-        }
-        let n = a.rows();
-        let mut l = Matrix::zeros(n, n);
-        for i in 0..n {
-            for j in 0..=i {
-                let mut s = a[(i, j)];
-                for k in 0..j {
-                    s -= l[(i, k)] * l[(j, k)];
-                }
-                if i == j {
-                    if s <= 0.0 {
-                        return Err(NumError::NotPositiveDefinite);
-                    }
-                    l[(i, i)] = s.sqrt();
-                } else {
-                    l[(i, j)] = s / l[(j, j)];
-                }
-            }
-        }
+        let mut l = Matrix::zeros(a.rows(), a.rows());
+        l.la_cholesky_factor_from(a)?;
         Ok(Cholesky { l })
     }
 
@@ -89,8 +70,30 @@ impl Cholesky {
     /// `ln det(A)` — numerically safe for large determinants, used by the
     /// D-optimal exchange algorithm to compare candidate designs.
     pub fn ln_det(&self) -> f64 {
+        self.l.la_cholesky_ln_det()
+    }
+
+    /// Rank-1 update: replaces the stored factor of `A` with the factor
+    /// of `A + v vᵀ` in O(n²) instead of the O(n³) refactorisation —
+    /// the incremental determinant update a DOE exchange loop needs
+    /// when one design row joins the information matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::ShapeMismatch`] if `v.len()` differs from
+    /// the matrix dimension.
+    pub fn rank1_update(&mut self, v: &[f64]) -> Result<()> {
         let n = self.dim();
-        (0..n).map(|i| 2.0 * self.l[(i, i)].ln()).sum()
+        if v.len() != n {
+            return Err(NumError::ShapeMismatch {
+                op: "cholesky rank-1 update",
+                lhs: (n, n),
+                rhs: (v.len(), 1),
+            });
+        }
+        let mut w = v.to_vec();
+        self.l.la_cholesky_rank1_update(&mut w);
+        Ok(())
     }
 
     /// Solves `A x = b`.
@@ -108,24 +111,11 @@ impl Cholesky {
                 rhs: (b.len(), 1),
             });
         }
-        // Forward: L y = b
-        let mut y = vec![0.0; n];
-        for i in 0..n {
-            let mut s = b[i];
-            for j in 0..i {
-                s -= self.l[(i, j)] * y[j];
-            }
-            y[i] = s / self.l[(i, i)];
-        }
-        // Backward: Lᵀ x = y
-        let mut x = vec![0.0; n];
-        for i in (0..n).rev() {
-            let mut s = y[i];
-            for j in (i + 1)..n {
-                s -= self.l[(j, i)] * x[j];
-            }
-            x[i] = s / self.l[(i, i)];
-        }
+        // In-place forward/backward sweeps: bit-identical to the
+        // two-buffer form because each entry is read exactly once
+        // before it is overwritten.
+        let mut x = b.to_vec();
+        self.l.la_cholesky_solve_in_place(&mut x);
         Ok(x)
     }
 }

@@ -9,6 +9,9 @@
 //! * [`Qr`] — Householder QR decomposition and least-squares solving.
 //! * [`Cholesky`] — Cholesky factorisation for symmetric positive definite
 //!   systems.
+//! * [`linalg`] — backend-swappable dense kernels: the [`LinAlg`] trait
+//!   shared by the heap [`Matrix`] and the const-generic stack
+//!   [`SMat`], selected per call-site by [`Backend`].
 //! * [`SymEigen`] — Jacobi eigen-decomposition of symmetric matrices
 //!   (used by the canonical analysis of fitted response surfaces).
 //! * [`stats`] — descriptive statistics used by the experiment harness.
@@ -40,19 +43,23 @@
 mod cholesky;
 mod eigen;
 mod error;
+pub mod linalg;
 mod lu;
 mod matrix;
 pub mod pool;
 mod qr;
 pub mod rng;
+mod smat;
 pub mod stats;
 
 pub use cholesky::Cholesky;
 pub use eigen::SymEigen;
 pub use error::NumError;
+pub use linalg::{Backend, LinAlg};
 pub use lu::Lu;
 pub use matrix::Matrix;
 pub use qr::Qr;
+pub use smat::SMat;
 
 /// Convenience result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, NumError>;

@@ -1,0 +1,666 @@
+//! Backend-swappable dense linear-algebra kernels.
+//!
+//! The paper's whole flow runs on tiny fixed-size systems (a 10×10
+//! normal system is the largest object on the hot path), so the same
+//! arithmetic can run either on the heap-allocated [`Matrix`] or on a
+//! const-generic stack matrix ([`crate::SMat`]). This module provides:
+//!
+//! * [`LinAlg`] — a storage-agnostic trait whose *provided* methods are
+//!   the factorisation and solve kernels (Householder QR, Cholesky with
+//!   rank-1 determinant update, LU with partial pivoting, Gram products).
+//!   Both `Matrix` and `SMat` implement the four accessor methods and
+//!   inherit the kernels, so the two backends execute the *same*
+//!   floating-point operations in the same order — results are
+//!   bit-identical by construction, not by tolerance.
+//! * [`Backend`] — a per-call-site selector between the heap (`Dyn`)
+//!   and stack (`SMat`) execution paths. Like `ArbitrationMethod` in the
+//!   network layer, a backend is a *solver choice, not model physics*:
+//!   it is excluded from fingerprints, report equality and JSON schemas,
+//!   and `scripts/verify.sh` byte-diffs full reports across backends.
+//!
+//! Systems larger than the stack capacities ([`SMAT_MAX_ROWS`] ×
+//! [`SMAT_MAX_COLS`]) silently fall back to the `Dyn` path, which runs
+//! the identical kernels on heap storage.
+
+// Dense triangular solves and Householder sweeps read naturally with
+// explicit indices; iterator rewrites obscure the linear algebra.
+#![allow(clippy::needless_range_loop)]
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::{Matrix, NumError, Result, SMat};
+
+/// Row capacity of the stack backend: least-squares systems with more
+/// rows than this fall back to the heap path (bit-identical results).
+pub const SMAT_MAX_ROWS: usize = 32;
+
+/// Column capacity of the stack backend: models with more terms than
+/// this fall back to the heap path (bit-identical results).
+pub const SMAT_MAX_COLS: usize = 16;
+
+/// Storage-agnostic dense matrix: four accessors in, the shared
+/// factorisation kernels out.
+///
+/// Implementors provide shape and element access; every numerical
+/// kernel is a *provided* method written once against those accessors.
+/// [`Matrix`] (heap) and [`SMat`] (stack) both implement this trait, so
+/// selecting a backend changes where the numbers live, never what
+/// operations run on them.
+pub trait LinAlg {
+    /// Number of rows.
+    fn la_rows(&self) -> usize;
+
+    /// Number of columns.
+    fn la_cols(&self) -> usize;
+
+    /// Element `(i, j)`.
+    fn la_get(&self, i: usize, j: usize) -> f64;
+
+    /// Overwrites element `(i, j)`.
+    fn la_set(&mut self, i: usize, j: usize, v: f64);
+
+    /// Maximum absolute entry, scanned in row-major order (the relative
+    /// scale behind every singularity threshold in this module).
+    fn la_max_abs(&self) -> f64 {
+        let mut m = 0.0_f64;
+        for i in 0..self.la_rows() {
+            for j in 0..self.la_cols() {
+                m = m.max(self.la_get(i, j).abs());
+            }
+        }
+        m
+    }
+
+    /// Matrix product `out = self * rhs`. Shapes must agree
+    /// (`self.cols == rhs.rows`, `out` sized `self.rows × rhs.cols`);
+    /// `out` is fully overwritten.
+    fn la_matmul_into(&self, rhs: &impl LinAlg, out: &mut impl LinAlg) {
+        let (m, k2) = (self.la_rows(), self.la_cols());
+        debug_assert_eq!(k2, rhs.la_rows(), "matmul: inner dimensions");
+        let n = rhs.la_cols();
+        for i in 0..m {
+            for j in 0..n {
+                out.la_set(i, j, 0.0);
+            }
+        }
+        for i in 0..m {
+            for k in 0..k2 {
+                let a = self.la_get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    out.la_set(i, j, out.la_get(i, j) + a * rhs.la_get(k, j));
+                }
+            }
+        }
+    }
+
+    /// Gram (transpose) product `out = selfᵀ * self` — the information
+    /// matrix `XᵀX` of a design matrix. `out` must be
+    /// `self.cols × self.cols` and is fully overwritten.
+    fn la_gram_into(&self, out: &mut impl LinAlg) {
+        let (m, n) = (self.la_rows(), self.la_cols());
+        for i in 0..n {
+            for j in i..n {
+                let mut s = 0.0;
+                for k in 0..m {
+                    s += self.la_get(k, i) * self.la_get(k, j);
+                }
+                out.la_set(i, j, s);
+                out.la_set(j, i, s);
+            }
+        }
+    }
+
+    /// In-place Householder QR sweep (requires `rows >= cols`): on
+    /// return `self` holds the Householder vectors below the diagonal
+    /// and R on/above it, with R's scaled diagonal in `r_diag`.
+    fn la_qr_factor(&mut self, r_diag: &mut [f64]) {
+        let (m, n) = (self.la_rows(), self.la_cols());
+        debug_assert!(m >= n, "qr: rows >= cols");
+        debug_assert_eq!(r_diag.len(), n);
+        for k in 0..n {
+            // Norm of column k below the diagonal.
+            let mut norm = 0.0_f64;
+            for i in k..m {
+                norm = norm.hypot(self.la_get(i, k));
+            }
+            if norm != 0.0 {
+                if self.la_get(k, k) < 0.0 {
+                    norm = -norm;
+                }
+                for i in k..m {
+                    self.la_set(i, k, self.la_get(i, k) / norm);
+                }
+                self.la_set(k, k, self.la_get(k, k) + 1.0);
+                // Apply the transform to the remaining columns.
+                for j in (k + 1)..n {
+                    let mut s = 0.0;
+                    for i in k..m {
+                        s += self.la_get(i, k) * self.la_get(i, j);
+                    }
+                    s = -s / self.la_get(k, k);
+                    for i in k..m {
+                        self.la_set(i, j, self.la_get(i, j) + s * self.la_get(i, k));
+                    }
+                }
+            }
+            r_diag[k] = -norm;
+        }
+    }
+
+    /// Rank estimate of a factored QR (`self` as left by
+    /// [`la_qr_factor`](Self::la_qr_factor)): diagonal entries of R
+    /// above a relative threshold.
+    fn la_qr_rank(&self, r_diag: &[f64]) -> usize {
+        let scale = self.la_max_abs().max(1.0);
+        r_diag.iter().filter(|d| d.abs() > 1e-12 * scale).count()
+    }
+
+    /// Least-squares solve from a factored QR: `y` holds the right-hand
+    /// side on entry (length `rows`) and is destroyed; the solution is
+    /// written to `x` (length `cols`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::RankDeficient`] when R is numerically
+    /// singular.
+    fn la_qr_solve(&self, r_diag: &[f64], y: &mut [f64], x: &mut [f64]) -> Result<()> {
+        let (m, n) = (self.la_rows(), self.la_cols());
+        debug_assert_eq!(y.len(), m);
+        debug_assert_eq!(x.len(), n);
+        if self.la_qr_rank(r_diag) < n {
+            return Err(NumError::RankDeficient {
+                rank: self.la_qr_rank(r_diag),
+                wanted: n,
+            });
+        }
+        // Apply Householder reflections: y <- Qᵀ b.
+        for k in 0..n {
+            if self.la_get(k, k) != 0.0 {
+                let mut s = 0.0;
+                for i in k..m {
+                    s += self.la_get(i, k) * y[i];
+                }
+                s = -s / self.la_get(k, k);
+                for i in k..m {
+                    y[i] += s * self.la_get(i, k);
+                }
+            }
+        }
+        // Back substitution with R.
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for j in (i + 1)..n {
+                s -= self.la_get(i, j) * x[j];
+            }
+            x[i] = s / r_diag[i];
+        }
+        Ok(())
+    }
+
+    /// Cholesky factorisation `a = self * selfᵀ`: overwrites `self`
+    /// (same square shape as `a`) with the lower-triangular factor.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumError::NotSquare`] for rectangular input.
+    /// * [`NumError::InvalidArgument`] when `a` is visibly asymmetric.
+    /// * [`NumError::NotPositiveDefinite`] when a pivot is non-positive.
+    fn la_cholesky_factor_from(&mut self, a: &impl LinAlg) -> Result<()> {
+        let n = a.la_rows();
+        if a.la_cols() != n {
+            return Err(NumError::NotSquare {
+                shape: (a.la_rows(), a.la_cols()),
+            });
+        }
+        let tol = 1e-8 * a.la_max_abs().max(1.0);
+        for i in 0..n {
+            for j in 0..i {
+                if (a.la_get(i, j) - a.la_get(j, i)).abs() > tol {
+                    return Err(NumError::InvalidArgument("cholesky: matrix not symmetric"));
+                }
+            }
+        }
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = a.la_get(i, j);
+                for k in 0..j {
+                    s -= self.la_get(i, k) * self.la_get(j, k);
+                }
+                if i == j {
+                    if s <= 0.0 {
+                        return Err(NumError::NotPositiveDefinite);
+                    }
+                    self.la_set(i, i, s.sqrt());
+                } else {
+                    self.la_set(i, j, s / self.la_get(j, j));
+                }
+            }
+            for j in (i + 1)..n {
+                self.la_set(i, j, 0.0);
+            }
+        }
+        Ok(())
+    }
+
+    /// `ln det(A)` from a Cholesky factor (`self` = L): `Σ 2·ln L[i][i]`.
+    fn la_cholesky_ln_det(&self) -> f64 {
+        let n = self.la_rows();
+        let mut s = 0.0;
+        for i in 0..n {
+            s += 2.0 * self.la_get(i, i).ln();
+        }
+        s
+    }
+
+    /// Solves `A x = b` in place from a Cholesky factor (`self` = L):
+    /// `b` holds the right-hand side on entry and the solution on exit.
+    ///
+    /// The forward/backward sweeps reuse one buffer; the arithmetic is
+    /// bit-identical to the two-buffer textbook form because each entry
+    /// is read exactly once before it is overwritten.
+    fn la_cholesky_solve_in_place(&self, b: &mut [f64]) {
+        let n = self.la_rows();
+        debug_assert_eq!(b.len(), n);
+        // Forward: L y = b
+        for i in 0..n {
+            let mut s = b[i];
+            for j in 0..i {
+                s -= self.la_get(i, j) * b[j];
+            }
+            b[i] = s / self.la_get(i, i);
+        }
+        // Backward: Lᵀ x = y
+        for i in (0..n).rev() {
+            let mut s = b[i];
+            for j in (i + 1)..n {
+                s -= self.la_get(j, i) * b[j];
+            }
+            b[i] = s / self.la_get(i, i);
+        }
+    }
+
+    /// Rank-1 determinant update of a Cholesky factor (`self` = L):
+    /// after the call, `self` is the factor of `A + w wᵀ` in O(n²)
+    /// instead of the O(n³) refactorisation. `w` is destroyed.
+    ///
+    /// This is the incremental update an adaptive DOE exchange loop
+    /// needs when one design row is added to the information matrix.
+    fn la_cholesky_rank1_update(&mut self, w: &mut [f64]) {
+        let n = self.la_rows();
+        debug_assert_eq!(w.len(), n);
+        for k in 0..n {
+            let lkk = self.la_get(k, k);
+            let r = lkk.hypot(w[k]);
+            let c = r / lkk;
+            let s = w[k] / lkk;
+            self.la_set(k, k, r);
+            for i in (k + 1)..n {
+                let lik = (self.la_get(i, k) + s * w[i]) / c;
+                self.la_set(i, k, lik);
+                w[i] = c * w[i] - s * lik;
+            }
+        }
+    }
+
+    /// In-place LU factorisation with partial pivoting: on return
+    /// `self` holds L (strict lower, unit diagonal implied) and U;
+    /// `perm[i]` records the source row of factored row `i`. Returns
+    /// the permutation sign.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::Singular`] when a pivot falls below the
+    /// relative threshold of the matrix magnitude.
+    fn la_lu_factor(&mut self, perm: &mut [usize]) -> Result<f64> {
+        let n = self.la_rows();
+        debug_assert_eq!(self.la_cols(), n, "lu: square input");
+        debug_assert_eq!(perm.len(), n);
+        let scale = self.la_max_abs().max(1.0);
+        for (i, p) in perm.iter_mut().enumerate() {
+            *p = i;
+        }
+        let mut perm_sign = 1.0;
+        for k in 0..n {
+            // Partial pivoting: the largest entry in column k at/below row k.
+            let mut pivot_row = k;
+            let mut pivot_val = self.la_get(k, k).abs();
+            for i in (k + 1)..n {
+                let v = self.la_get(i, k).abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = i;
+                }
+            }
+            if pivot_val <= LU_SINGULARITY_TOL * scale {
+                return Err(NumError::Singular);
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    let tmp = self.la_get(k, j);
+                    self.la_set(k, j, self.la_get(pivot_row, j));
+                    self.la_set(pivot_row, j, tmp);
+                }
+                perm.swap(k, pivot_row);
+                perm_sign = -perm_sign;
+            }
+            let pivot = self.la_get(k, k);
+            for i in (k + 1)..n {
+                let factor = self.la_get(i, k) / pivot;
+                self.la_set(i, k, factor);
+                for j in (k + 1)..n {
+                    self.la_set(i, j, self.la_get(i, j) - factor * self.la_get(k, j));
+                }
+            }
+        }
+        Ok(perm_sign)
+    }
+
+    /// Solves `A x = b` from a factored LU (`self` as left by
+    /// [`la_lu_factor`](Self::la_lu_factor)): gathers `b` through the
+    /// permutation into `x`, then forward/backward substitutes.
+    fn la_lu_solve(&self, perm: &[usize], b: &[f64], x: &mut [f64]) {
+        let n = self.la_rows();
+        debug_assert_eq!(b.len(), n);
+        debug_assert_eq!(x.len(), n);
+        for i in 0..n {
+            x[i] = b[perm[i]];
+        }
+        for i in 1..n {
+            let mut s = x[i];
+            for j in 0..i {
+                s -= self.la_get(i, j) * x[j];
+            }
+            x[i] = s;
+        }
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in (i + 1)..n {
+                s -= self.la_get(i, j) * x[j];
+            }
+            x[i] = s / self.la_get(i, i);
+        }
+    }
+
+    /// Inverse from a factored LU: solves against the identity column
+    /// by column into `out` (same square shape). `rhs` and `col` are
+    /// length-`n` scratch buffers.
+    fn la_lu_inverse_into(
+        &self,
+        perm: &[usize],
+        out: &mut impl LinAlg,
+        rhs: &mut [f64],
+        col: &mut [f64],
+    ) {
+        let n = self.la_rows();
+        for j in 0..n {
+            for (i, r) in rhs.iter_mut().enumerate() {
+                *r = if i == j { 1.0 } else { 0.0 };
+            }
+            self.la_lu_solve(perm, rhs, col);
+            for (i, v) in col.iter().enumerate() {
+                out.la_set(i, j, *v);
+            }
+        }
+    }
+}
+
+/// Relative pivot threshold below which a matrix is declared singular
+/// (shared with [`crate::Lu`]).
+pub(crate) const LU_SINGULARITY_TOL: f64 = 1e-13;
+
+impl LinAlg for Matrix {
+    fn la_rows(&self) -> usize {
+        self.rows()
+    }
+
+    fn la_cols(&self) -> usize {
+        self.cols()
+    }
+
+    fn la_get(&self, i: usize, j: usize) -> f64 {
+        self[(i, j)]
+    }
+
+    fn la_set(&mut self, i: usize, j: usize, v: f64) {
+        self[(i, j)] = v;
+    }
+
+    fn la_max_abs(&self) -> f64 {
+        self.max_abs()
+    }
+}
+
+/// Execution backend for the dense kernels on the DSE hot path.
+///
+/// A backend is a *solver choice*: both run the same shared [`LinAlg`]
+/// kernels and produce bit-identical results on every shipped flow.
+/// Like the network layer's `ArbitrationMethod`, it is deliberately
+/// excluded from cache fingerprints, report equality and JSON output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Heap-allocated [`Matrix`] storage — the reference path.
+    Dyn,
+    /// Const-generic stack storage ([`SMat`]), allocation-free for
+    /// systems within [`SMAT_MAX_ROWS`] × [`SMAT_MAX_COLS`]; larger
+    /// systems transparently fall back to the `Dyn` path.
+    #[default]
+    SMat,
+}
+
+impl Backend {
+    /// `true` when a `rows × cols` system fits the stack capacities.
+    pub fn fits_stack(rows: usize, cols: usize) -> bool {
+        rows <= SMAT_MAX_ROWS && cols <= SMAT_MAX_COLS
+    }
+
+    /// Solves the least-squares problem `min ‖x β − y‖²` by Householder
+    /// QR on the selected backend.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumError::InvalidArgument`] when `x` has fewer rows than
+    ///   columns.
+    /// * [`NumError::ShapeMismatch`] when `y.len()` differs from the
+    ///   row count.
+    /// * [`NumError::RankDeficient`] when the system is numerically
+    ///   singular.
+    pub fn solve_least_squares(&self, x: &Matrix, y: &[f64]) -> Result<Vec<f64>> {
+        let (m, n) = x.shape();
+        if m < n {
+            return Err(NumError::InvalidArgument(
+                "qr: matrix must have rows >= cols",
+            ));
+        }
+        if y.len() != m {
+            return Err(NumError::ShapeMismatch {
+                op: "qr least squares",
+                lhs: (m, n),
+                rhs: (y.len(), 1),
+            });
+        }
+        match self {
+            Backend::SMat if Self::fits_stack(m, n) => {
+                let mut qr = SMat::<SMAT_MAX_ROWS, SMAT_MAX_COLS>::from_linalg(x);
+                let mut r_diag = [0.0; SMAT_MAX_COLS];
+                qr.la_qr_factor(&mut r_diag[..n]);
+                let mut rhs = [0.0; SMAT_MAX_ROWS];
+                rhs[..m].copy_from_slice(y);
+                let mut beta = vec![0.0; n];
+                qr.la_qr_solve(&r_diag[..n], &mut rhs[..m], &mut beta)?;
+                Ok(beta)
+            }
+            _ => {
+                let mut qr = x.clone();
+                let mut r_diag = vec![0.0; n];
+                qr.la_qr_factor(&mut r_diag);
+                let mut rhs = y.to_vec();
+                let mut beta = vec![0.0; n];
+                qr.la_qr_solve(&r_diag, &mut rhs, &mut beta)?;
+                Ok(beta)
+            }
+        }
+    }
+
+    /// Inverse of the information matrix `(xᵀx)⁻¹` via Gram product and
+    /// LU on the selected backend (the covariance kernel of the
+    /// response-surface fit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::Singular`] when `xᵀx` is numerically
+    /// singular.
+    pub fn gram_inverse(&self, x: &Matrix) -> Result<Matrix> {
+        let p = x.cols();
+        let mut out = Matrix::zeros(p, p);
+        match self {
+            Backend::SMat if p <= SMAT_MAX_COLS => {
+                let mut gram = SMat::<SMAT_MAX_COLS, SMAT_MAX_COLS>::zeros(p, p);
+                x.la_gram_into(&mut gram);
+                let mut perm = [0usize; SMAT_MAX_COLS];
+                gram.la_lu_factor(&mut perm[..p])?;
+                let mut rhs = [0.0; SMAT_MAX_COLS];
+                let mut col = [0.0; SMAT_MAX_COLS];
+                gram.la_lu_inverse_into(&perm[..p], &mut out, &mut rhs[..p], &mut col[..p]);
+            }
+            _ => {
+                let mut gram = Matrix::zeros(p, p);
+                x.la_gram_into(&mut gram);
+                let mut perm = vec![0usize; p];
+                gram.la_lu_factor(&mut perm)?;
+                let mut rhs = vec![0.0; p];
+                let mut col = vec![0.0; p];
+                gram.la_lu_inverse_into(&perm, &mut out, &mut rhs, &mut col);
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Backend::Dyn => write!(f, "dyn"),
+            Backend::SMat => write!(f, "smat"),
+        }
+    }
+}
+
+impl FromStr for Backend {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, String> {
+        match s {
+            "dyn" => Ok(Backend::Dyn),
+            "smat" => Ok(Backend::SMat),
+            other => Err(format!("unknown linalg backend {other:?} (dyn|smat)")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn design_matrix(m: usize, n: usize) -> Matrix {
+        // Vandermonde columns at distinct nodes: full column rank.
+        Matrix::from_fn(m, n, |i, j| (0.3 + 0.2 * i as f64).powi(j as i32))
+    }
+
+    #[test]
+    fn backend_parse_and_display_roundtrip() {
+        for b in [Backend::Dyn, Backend::SMat] {
+            assert_eq!(b.to_string().parse::<Backend>().unwrap(), b);
+        }
+        assert!("heap".parse::<Backend>().is_err());
+        assert_eq!(Backend::default(), Backend::SMat);
+    }
+
+    #[test]
+    fn least_squares_backends_are_bit_identical() {
+        let x = design_matrix(10, 4);
+        let y: Vec<f64> = (0..10).map(|i| (i as f64 * 0.37).cos()).collect();
+        let dyn_beta = Backend::Dyn.solve_least_squares(&x, &y).unwrap();
+        let smat_beta = Backend::SMat.solve_least_squares(&x, &y).unwrap();
+        assert_eq!(dyn_beta, smat_beta);
+        // And both match the public Qr path.
+        let qr_beta = x.qr().unwrap().solve_least_squares(&y).unwrap();
+        assert_eq!(dyn_beta, qr_beta);
+    }
+
+    #[test]
+    fn gram_inverse_backends_are_bit_identical() {
+        let x = design_matrix(12, 5);
+        let a = Backend::Dyn.gram_inverse(&x).unwrap();
+        let b = Backend::SMat.gram_inverse(&x).unwrap();
+        assert_eq!(a, b);
+        // And both match the public gram + LU inverse path.
+        assert_eq!(a, x.gram().inverse().unwrap());
+    }
+
+    #[test]
+    fn oversized_systems_fall_back_to_the_heap_path() {
+        let x = design_matrix(SMAT_MAX_ROWS + 3, 4);
+        let y = vec![1.0; SMAT_MAX_ROWS + 3];
+        let a = Backend::Dyn.solve_least_squares(&x, &y).unwrap();
+        let b = Backend::SMat.solve_least_squares(&x, &y).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn degenerate_systems_fail_identically() {
+        // Two equal columns: rank deficient on both backends.
+        let x = Matrix::from_fn(6, 3, |i, j| if j == 1 { (i * i) as f64 } else { i as f64 });
+        let y = vec![1.0; 6];
+        let e_dyn = Backend::Dyn.solve_least_squares(&x, &y).unwrap_err();
+        let e_smat = Backend::SMat.solve_least_squares(&x, &y).unwrap_err();
+        assert_eq!(e_dyn, e_smat);
+        assert!(matches!(e_dyn, NumError::RankDeficient { .. }));
+        let g_dyn = Backend::Dyn.gram_inverse(&x).unwrap_err();
+        let g_smat = Backend::SMat.gram_inverse(&x).unwrap_err();
+        assert_eq!(g_dyn, g_smat);
+    }
+
+    #[test]
+    fn rank1_update_matches_refactorisation() {
+        let x = design_matrix(8, 4);
+        let mut gram = Matrix::zeros(4, 4);
+        x.la_gram_into(&mut gram);
+        let mut l = Matrix::zeros(4, 4);
+        l.la_cholesky_factor_from(&gram).unwrap();
+        let w = [0.5, -1.25, 2.0, 0.75];
+        // Updated factor...
+        let mut w_buf = w;
+        l.la_cholesky_rank1_update(&mut w_buf);
+        // ...must match factoring A + w wᵀ from scratch.
+        for i in 0..4 {
+            for j in 0..4 {
+                gram[(i, j)] += w[i] * w[j];
+            }
+        }
+        let mut l_ref = Matrix::zeros(4, 4);
+        l_ref.la_cholesky_factor_from(&gram).unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!(
+                    (l[(i, j)] - l_ref[(i, j)]).abs() < 1e-10,
+                    "L[{i}][{j}]: {} vs {}",
+                    l[(i, j)],
+                    l_ref[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_kernel_matches_matrix_matmul() {
+        let a = design_matrix(4, 3);
+        let b = design_matrix(3, 5);
+        let mut out = Matrix::zeros(4, 5);
+        a.la_matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b).unwrap());
+    }
+}

@@ -2,6 +2,7 @@
 // explicit indices; iterator rewrites obscure the linear algebra.
 #![allow(clippy::needless_range_loop)]
 
+use crate::linalg::LinAlg;
 use crate::{Matrix, NumError, Result};
 
 /// LU decomposition with partial pivoting: `P * A = L * U`.
@@ -31,9 +32,6 @@ pub struct Lu {
     perm_sign: f64,
 }
 
-/// Relative pivot threshold below which a matrix is declared singular.
-const SINGULARITY_TOL: f64 = 1e-13;
-
 impl Lu {
     /// Factorises a square matrix.
     ///
@@ -48,42 +46,8 @@ impl Lu {
         }
         let n = a.rows();
         let mut lu = a.clone();
-        let mut perm: Vec<usize> = (0..n).collect();
-        let mut perm_sign = 1.0;
-        let scale = a.max_abs().max(1.0);
-
-        for k in 0..n {
-            // Partial pivoting: find the largest entry in column k at/below row k.
-            let mut pivot_row = k;
-            let mut pivot_val = lu[(k, k)].abs();
-            for i in (k + 1)..n {
-                let v = lu[(i, k)].abs();
-                if v > pivot_val {
-                    pivot_val = v;
-                    pivot_row = i;
-                }
-            }
-            if pivot_val <= SINGULARITY_TOL * scale {
-                return Err(NumError::Singular);
-            }
-            if pivot_row != k {
-                for j in 0..n {
-                    let tmp = lu[(k, j)];
-                    lu[(k, j)] = lu[(pivot_row, j)];
-                    lu[(pivot_row, j)] = tmp;
-                }
-                perm.swap(k, pivot_row);
-                perm_sign = -perm_sign;
-            }
-            let pivot = lu[(k, k)];
-            for i in (k + 1)..n {
-                let factor = lu[(i, k)] / pivot;
-                lu[(i, k)] = factor;
-                for j in (k + 1)..n {
-                    lu[(i, j)] -= factor * lu[(k, j)];
-                }
-            }
-        }
+        let mut perm = vec![0usize; n];
+        let perm_sign = lu.la_lu_factor(&mut perm)?;
         Ok(Lu {
             lu,
             perm,
@@ -139,21 +103,8 @@ impl Lu {
             });
         }
         // Apply permutation, then forward/backward substitution.
-        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
-        for i in 1..n {
-            let mut s = x[i];
-            for j in 0..i {
-                s -= self.lu[(i, j)] * x[j];
-            }
-            x[i] = s;
-        }
-        for i in (0..n).rev() {
-            let mut s = x[i];
-            for j in (i + 1)..n {
-                s -= self.lu[(i, j)] * x[j];
-            }
-            x[i] = s / self.lu[(i, i)];
-        }
+        let mut x = vec![0.0; n];
+        self.lu.la_lu_solve(&self.perm, b, &mut x);
         Ok(x)
     }
 
@@ -189,7 +140,13 @@ impl Lu {
     /// Propagates solve errors (none expected for a successfully factorised
     /// matrix).
     pub fn inverse(&self) -> Result<Matrix> {
-        self.solve(&Matrix::identity(self.dim()))
+        let n = self.dim();
+        let mut out = Matrix::zeros(n, n);
+        let mut rhs = vec![0.0; n];
+        let mut col = vec![0.0; n];
+        self.lu
+            .la_lu_inverse_into(&self.perm, &mut out, &mut rhs, &mut col);
+        Ok(out)
     }
 }
 

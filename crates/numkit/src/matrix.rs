@@ -1,6 +1,7 @@
 use std::fmt;
 use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
 
+use crate::linalg::LinAlg;
 use crate::{Cholesky, Lu, NumError, Qr, Result, SymEigen};
 
 /// A dense, row-major matrix of `f64` values.
@@ -228,17 +229,7 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self[(i, k)];
-                if a == 0.0 {
-                    continue;
-                }
-                for j in 0..rhs.cols {
-                    out[(i, j)] += a * rhs[(k, j)];
-                }
-            }
-        }
+        self.la_matmul_into(rhs, &mut out);
         Ok(out)
     }
 
@@ -265,16 +256,7 @@ impl Matrix {
     /// matrix in the response-surface terminology of the paper (X'X).
     pub fn gram(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.cols);
-        for i in 0..self.cols {
-            for j in i..self.cols {
-                let mut s = 0.0;
-                for k in 0..self.rows {
-                    s += self[(k, i)] * self[(k, j)];
-                }
-                out[(i, j)] = s;
-                out[(j, i)] = s;
-            }
-        }
+        self.la_gram_into(&mut out);
         out
     }
 

@@ -2,6 +2,7 @@
 // explicit indices; iterator rewrites obscure the linear algebra.
 #![allow(clippy::needless_range_loop)]
 
+use crate::linalg::LinAlg;
 use crate::{Matrix, NumError, Result};
 
 /// Householder QR decomposition of an `m x n` matrix with `m >= n`.
@@ -47,51 +48,18 @@ impl Qr {
         }
         let mut qr = a.clone();
         let mut r_diag = vec![0.0; n];
-
-        for k in 0..n {
-            // Norm of column k below the diagonal.
-            let mut norm = 0.0_f64;
-            for i in k..m {
-                norm = norm.hypot(qr[(i, k)]);
-            }
-            if norm != 0.0 {
-                if qr[(k, k)] < 0.0 {
-                    norm = -norm;
-                }
-                for i in k..m {
-                    qr[(i, k)] /= norm;
-                }
-                qr[(k, k)] += 1.0;
-                // Apply the transform to the remaining columns.
-                for j in (k + 1)..n {
-                    let mut s = 0.0;
-                    for i in k..m {
-                        s += qr[(i, k)] * qr[(i, j)];
-                    }
-                    s = -s / qr[(k, k)];
-                    for i in k..m {
-                        qr[(i, j)] += s * qr[(i, k)];
-                    }
-                }
-            }
-            r_diag[k] = -norm;
-        }
+        qr.la_qr_factor(&mut r_diag);
         Ok(Qr { qr, r_diag })
     }
 
     /// `true` if R has no (numerically) zero diagonal entry.
     pub fn is_full_rank(&self) -> bool {
-        let scale = self.qr.max_abs().max(1.0);
-        self.r_diag.iter().all(|d| d.abs() > 1e-12 * scale)
+        self.rank() == self.r_diag.len()
     }
 
     /// Estimated rank (number of non-negligible diagonal entries of R).
     pub fn rank(&self) -> usize {
-        let scale = self.qr.max_abs().max(1.0);
-        self.r_diag
-            .iter()
-            .filter(|d| d.abs() > 1e-12 * scale)
-            .count()
+        self.qr.la_qr_rank(&self.r_diag)
     }
 
     /// Upper-triangular factor `R` (n x n).
@@ -145,35 +113,9 @@ impl Qr {
                 rhs: (b.len(), 1),
             });
         }
-        if !self.is_full_rank() {
-            return Err(NumError::RankDeficient {
-                rank: self.rank(),
-                wanted: n,
-            });
-        }
         let mut y = b.to_vec();
-        // Apply Householder reflections: y <- Qᵀ b.
-        for k in 0..n {
-            if self.qr[(k, k)] != 0.0 {
-                let mut s = 0.0;
-                for i in k..m {
-                    s += self.qr[(i, k)] * y[i];
-                }
-                s = -s / self.qr[(k, k)];
-                for i in k..m {
-                    y[i] += s * self.qr[(i, k)];
-                }
-            }
-        }
-        // Back substitution with R.
         let mut x = vec![0.0; n];
-        for i in (0..n).rev() {
-            let mut s = y[i];
-            for j in (i + 1)..n {
-                s -= self.qr[(i, j)] * x[j];
-            }
-            x[i] = s / self.r_diag[i];
-        }
+        self.qr.la_qr_solve(&self.r_diag, &mut y, &mut x)?;
         Ok(x)
     }
 }

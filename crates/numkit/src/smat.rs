@@ -1,0 +1,131 @@
+//! Const-generic stack matrix: allocation-free storage for the small
+//! fixed-size systems that dominate the DSE hot path.
+//!
+//! `SMat<R, C>` is a capacity-bounded matrix: the const parameters fix
+//! the storage (a `[[f64; C]; R]` on the stack) while `rows`/`cols`
+//! carry the runtime shape, so one instantiation (e.g.
+//! `SMat<32, 16>`) serves every design size the paper's flows produce
+//! without a single heap allocation. All numerical work comes from the
+//! shared [`LinAlg`] kernels, so results are bit-identical to the heap
+//! [`crate::Matrix`] path.
+
+use crate::linalg::LinAlg;
+
+/// Stack-allocated dense matrix with const capacity `R × C` and
+/// runtime shape `rows × cols` (`rows <= R`, `cols <= C`).
+///
+/// Entries outside the runtime shape are kept at zero and never read
+/// by the [`LinAlg`] kernels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SMat<const R: usize, const C: usize> {
+    rows: usize,
+    cols: usize,
+    data: [[f64; C]; R],
+}
+
+impl<const R: usize, const C: usize> SMat<R, C> {
+    /// A zero matrix of runtime shape `rows × cols`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the runtime shape exceeds the const capacity.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(
+            rows <= R && cols <= C,
+            "smat: shape {rows}x{cols} exceeds capacity {R}x{C}"
+        );
+        Self {
+            rows,
+            cols,
+            data: [[0.0; C]; R],
+        }
+    }
+
+    /// Copies any [`LinAlg`] source (typically a [`crate::Matrix`])
+    /// into stack storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the source shape exceeds the const capacity.
+    pub fn from_linalg(src: &impl LinAlg) -> Self {
+        let mut out = Self::zeros(src.la_rows(), src.la_cols());
+        for i in 0..out.rows {
+            for j in 0..out.cols {
+                out.data[i][j] = src.la_get(i, j);
+            }
+        }
+        out
+    }
+
+    /// Runtime shape as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Element `(i, j)`.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols, "smat: index out of bounds");
+        self.data[i][j]
+    }
+
+    /// Overwrites element `(i, j)`.
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols, "smat: index out of bounds");
+        self.data[i][j] = v;
+    }
+}
+
+impl<const R: usize, const C: usize> LinAlg for SMat<R, C> {
+    fn la_rows(&self) -> usize {
+        self.rows
+    }
+
+    fn la_cols(&self) -> usize {
+        self.cols
+    }
+
+    fn la_get(&self, i: usize, j: usize) -> f64 {
+        self.get(i, j)
+    }
+
+    fn la_set(&mut self, i: usize, j: usize, v: f64) {
+        self.set(i, j, v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Matrix;
+
+    #[test]
+    fn roundtrips_through_stack_storage() {
+        let m = Matrix::from_fn(3, 2, |i, j| (i * 2 + j) as f64);
+        let s = SMat::<4, 4>::from_linalg(&m);
+        assert_eq!(s.shape(), (3, 2));
+        for i in 0..3 {
+            for j in 0..2 {
+                assert_eq!(s.get(i, j), m[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds capacity")]
+    fn oversized_shape_panics() {
+        let _ = SMat::<2, 2>::zeros(3, 2);
+    }
+
+    #[test]
+    fn gram_kernel_matches_heap_path() {
+        let m = Matrix::from_fn(5, 3, |i, j| ((i + 1) * (j + 2)) as f64 * 0.25);
+        let mut gram = SMat::<3, 3>::zeros(3, 3);
+        m.la_gram_into(&mut gram);
+        let heap = m.gram();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(gram.get(i, j), heap[(i, j)]);
+            }
+        }
+    }
+}

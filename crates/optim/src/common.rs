@@ -170,6 +170,60 @@ pub trait Optimizer {
         result.value = -result.value;
         Ok(result)
     }
+
+    /// Maximises a [`BatchObjective`], letting population optimisers
+    /// score whole generations through the objective's batch entry.
+    ///
+    /// The default forwards to per-point [`maximize`](Self::maximize);
+    /// population optimisers override it. The search trajectory and the
+    /// result are identical to the per-point path for any objective
+    /// whose batch entry agrees with its per-point entry.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`maximize`](Self::maximize).
+    fn maximize_batch<F: BatchObjective>(&self, bounds: &Bounds, f: &F) -> Result<OptimResult> {
+        self.maximize(bounds, |x| f.value(x))
+    }
+}
+
+/// An objective that can also score a whole batch of points in one
+/// cache-coherent pass (SoA layout).
+///
+/// Every `Fn(&[f64]) -> f64` closure is a `BatchObjective` via the
+/// blanket impl (the batch entry falls back to per-point calls), so
+/// [`Optimizer::maximize_batch`] accepts the same objectives as
+/// [`Optimizer::maximize`]. Vectorised surfaces (e.g. a fitted response
+/// surface's `predict_batch`) override [`value_batch`] to score a whole
+/// GA generation at once; results must agree bit-for-bit with
+/// per-point [`value`] calls.
+///
+/// [`value`]: BatchObjective::value
+/// [`value_batch`]: BatchObjective::value_batch
+pub trait BatchObjective: Sync {
+    /// Objective value at a single point.
+    fn value(&self, x: &[f64]) -> f64;
+
+    /// Objective values over a column-major (SoA) block of `n_points`
+    /// points: `block[d * n_points + i]` is coordinate `d` of point
+    /// `i`; `out[i]` receives the value at point `i`.
+    fn value_batch(&self, block: &[f64], n_points: usize, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), n_points);
+        let k = block.len().checked_div(n_points).unwrap_or(0);
+        let mut point = vec![0.0; k];
+        for (i, o) in out.iter_mut().enumerate() {
+            for (d, c) in point.iter_mut().enumerate() {
+                *c = block[d * n_points + i];
+            }
+            *o = self.value(&point);
+        }
+    }
+}
+
+impl<F: Fn(&[f64]) -> f64 + Sync> BatchObjective for F {
+    fn value(&self, x: &[f64]) -> f64 {
+        self(x)
+    }
 }
 
 /// Treats non-finite objective values as −∞ so optimisers can move through

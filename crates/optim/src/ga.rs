@@ -1,7 +1,7 @@
 use numkit::rng::Rng;
 
 use crate::common::guard;
-use crate::{Bounds, OptimError, OptimResult, Optimizer, Result};
+use crate::{BatchObjective, Bounds, OptimError, OptimResult, Optimizer, Result};
 
 /// Real-coded genetic algorithm: tournament selection, blend (BLX-α)
 /// crossover, Gaussian mutation and elitism.
@@ -146,10 +146,16 @@ impl GeneticAlgorithm {
         }
         &population[best]
     }
-}
 
-impl Optimizer for GeneticAlgorithm {
-    fn maximize<F: Fn(&[f64]) -> f64 + Sync>(&self, bounds: &Bounds, f: F) -> Result<OptimResult> {
+    /// Shared GA body over a *population-level* evaluator: each
+    /// generation is fully assembled before `evaluate` scores it, so a
+    /// batch evaluator sees exactly the points a per-point evaluator
+    /// would — the RNG stream and the search trajectory are identical
+    /// for both entry points.
+    fn run<E>(&self, bounds: &Bounds, evaluate: E) -> Result<OptimResult>
+    where
+        E: Fn(&[Vec<f64>]) -> Vec<f64>,
+    {
         self.validate()?;
         let mut rng = Rng::new(self.seed);
         let widths = bounds.widths();
@@ -157,7 +163,7 @@ impl Optimizer for GeneticAlgorithm {
         let mut population: Vec<Vec<f64>> = (0..self.population_size)
             .map(|_| bounds.sample(&mut rng))
             .collect();
-        let mut fitness: Vec<f64> = population.iter().map(|x| guard(f(x))).collect();
+        let mut fitness: Vec<f64> = evaluate(&population);
         let mut evaluations = self.population_size;
 
         for _gen in 0..self.generations {
@@ -205,7 +211,7 @@ impl Optimizer for GeneticAlgorithm {
             }
 
             population = next;
-            fitness = population.iter().map(|x| guard(f(x))).collect();
+            fitness = evaluate(&population);
             evaluations += self.population_size;
         }
 
@@ -224,6 +230,35 @@ impl Optimizer for GeneticAlgorithm {
             value: *best_val,
             evaluations,
             iterations: self.generations,
+        })
+    }
+}
+
+impl Optimizer for GeneticAlgorithm {
+    fn maximize<F: Fn(&[f64]) -> f64 + Sync>(&self, bounds: &Bounds, f: F) -> Result<OptimResult> {
+        self.run(bounds, |population: &[Vec<f64>]| {
+            population.iter().map(|x| guard(f(x))).collect()
+        })
+    }
+
+    fn maximize_batch<F: BatchObjective>(&self, bounds: &Bounds, f: &F) -> Result<OptimResult> {
+        let k = bounds.dimension();
+        self.run(bounds, |population: &[Vec<f64>]| {
+            // Pack the generation into a column-major SoA block and
+            // score it in one pass.
+            let n = population.len();
+            let mut block = vec![0.0; k * n];
+            for (i, x) in population.iter().enumerate() {
+                for (d, &c) in x.iter().enumerate() {
+                    block[d * n + i] = c;
+                }
+            }
+            let mut out = vec![0.0; n];
+            f.value_batch(&block, n, &mut out);
+            for o in out.iter_mut() {
+                *o = guard(*o);
+            }
+            out
         })
     }
 }
@@ -294,6 +329,22 @@ mod tests {
             .maximize(&bounds, f)
             .unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn batch_path_matches_per_point_path() {
+        let bounds = Bounds::symmetric(3, 1.0).unwrap();
+        let f =
+            |x: &[f64]| 2.0 - (x[0] - 0.6).powi(2) - (x[1] + 0.2).powi(2) - (x[2] - 0.9).powi(2);
+        let per_point = GeneticAlgorithm::new()
+            .seed(4)
+            .maximize(&bounds, f)
+            .unwrap();
+        let batched = GeneticAlgorithm::new()
+            .seed(4)
+            .maximize_batch(&bounds, &f)
+            .unwrap();
+        assert_eq!(per_point, batched);
     }
 
     #[test]

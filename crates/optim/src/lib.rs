@@ -45,7 +45,7 @@ mod pso;
 mod random_search;
 mod sa;
 
-pub use common::{Bounds, OptimResult, Optimizer};
+pub use common::{BatchObjective, Bounds, OptimResult, Optimizer};
 pub use error::OptimError;
 pub use ga::GeneticAlgorithm;
 pub use multi_start::MultiStart;

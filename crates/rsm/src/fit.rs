@@ -1,7 +1,8 @@
 use std::fmt;
 
 use doe::{Design, DesignSpace, ModelSpec};
-use numkit::{stats, Matrix};
+use numkit::linalg::SMAT_MAX_COLS;
+use numkit::{stats, Backend, Matrix};
 
 use crate::{Anova, CanonicalAnalysis, Result, RsmError};
 
@@ -72,6 +73,24 @@ impl ResponseSurface {
     /// * [`RsmError::InvalidArgument`] when there are fewer runs than model
     ///   terms.
     pub fn fit(design: &Design, model: ModelSpec, responses: &[f64]) -> Result<Self> {
+        Self::fit_with(design, model, responses, Backend::default())
+    }
+
+    /// [`ResponseSurface::fit`] with an explicit linear-algebra backend.
+    ///
+    /// The backend is a solver choice (heap vs stack kernels running the
+    /// same arithmetic): coefficients, statistics and the covariance
+    /// matrix are bit-identical across backends.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ResponseSurface::fit`].
+    pub fn fit_with(
+        design: &Design,
+        model: ModelSpec,
+        responses: &[f64],
+        backend: Backend,
+    ) -> Result<Self> {
         let n = design.len();
         let p = model.num_terms();
         if responses.len() != n {
@@ -86,11 +105,12 @@ impl ResponseSurface {
             ));
         }
         let x = design.model_matrix(&model)?;
-        let qr = x.qr()?;
-        let coefficients = qr.solve_least_squares(responses).map_err(|e| match e {
-            numkit::NumError::RankDeficient { .. } => RsmError::NotEstimable,
-            other => RsmError::Numerical(other),
-        })?;
+        let coefficients = backend
+            .solve_least_squares(&x, responses)
+            .map_err(|e| match e {
+                numkit::NumError::RankDeficient { .. } => RsmError::NotEstimable,
+                other => RsmError::Numerical(other),
+            })?;
 
         let fitted = x.mul_vec(&coefficients)?;
         let residuals: Vec<f64> = responses.iter().zip(&fitted).map(|(y, f)| y - f).collect();
@@ -104,7 +124,9 @@ impl ResponseSurface {
             r_squared
         };
 
-        let xtx_inv = x.gram().inverse().map_err(|_| RsmError::NotEstimable)?;
+        let xtx_inv = backend
+            .gram_inverse(&x)
+            .map_err(|_| RsmError::NotEstimable)?;
         let leverages: Vec<f64> = x
             .rows_iter()
             .map(|row| {
@@ -199,6 +221,23 @@ impl ResponseSurface {
         self.model.predict(&self.coefficients, coded)
     }
 
+    /// Predicts the response over a column-major (SoA) block of
+    /// `n_points` coded points: `block[d * n_points + i]` holds
+    /// coordinate `d` of point `i`. One cache-coherent pass per model
+    /// term; agrees bit-for-bit with per-point [`ResponseSurface::predict`]
+    /// calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block.len()` differs from
+    /// `model.dimension() * n_points`.
+    pub fn predict_batch(&self, block: &[f64], n_points: usize) -> Vec<f64> {
+        let mut out = vec![0.0; n_points];
+        self.model
+            .predict_batch_into(&self.coefficients, block, n_points, &mut out);
+        out
+    }
+
     /// Predicts the response at a natural-unit point of the given space.
     ///
     /// # Errors
@@ -230,8 +269,18 @@ impl ResponseSurface {
             return None;
         }
         let sigma2 = self.stats.sse / self.stats.df_residual as f64;
-        let row = self.model.expand(coded);
-        let p = row.len();
+        let p = self.model.num_terms();
+        // Expand into a stack buffer for the paper-scale term counts;
+        // larger bases fall back to a heap row (identical arithmetic).
+        let mut stack = [0.0; SMAT_MAX_COLS];
+        let mut heap: Vec<f64>;
+        let row: &mut [f64] = if p <= SMAT_MAX_COLS {
+            &mut stack[..p]
+        } else {
+            heap = vec![0.0; p];
+            &mut heap
+        };
+        self.model.expand_into(coded, row);
         let mut v = 0.0;
         for i in 0..p {
             for j in 0..p {
@@ -475,6 +524,82 @@ mod tests {
         let saturated = ResponseSurface::fit(&small, ModelSpec::quadratic(2), &ys).unwrap();
         // 9 runs, 6 terms: not saturated; take a truly saturated case:
         assert!(saturated.prediction_standard_error(&[0.0, 0.0]).is_some());
+    }
+
+    #[test]
+    fn predict_batch_is_bit_identical_to_predict() {
+        use numkit::rng::Rng;
+        let model = ModelSpec::quadratic(3);
+        let design = DOptimal::new(3, model.clone())
+            .runs(10)
+            .seed(1)
+            .build()
+            .unwrap();
+        let truth = eq9();
+        let responses: Vec<f64> = design
+            .points()
+            .iter()
+            .map(|p| model.predict(&truth, p))
+            .collect();
+        let fit = ResponseSurface::fit(&design, model, &responses).unwrap();
+
+        let mut rng = Rng::new(99);
+        let n = 200;
+        let points: Vec<[f64; 3]> = (0..n)
+            .map(|_| {
+                [
+                    rng.uniform(-1.0, 1.0),
+                    rng.uniform(-1.0, 1.0),
+                    rng.uniform(-1.0, 1.0),
+                ]
+            })
+            .collect();
+        let mut block = vec![0.0; 3 * n];
+        for (i, p) in points.iter().enumerate() {
+            for d in 0..3 {
+                block[d * n + i] = p[d];
+            }
+        }
+        let batch = fit.predict_batch(&block, n);
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(
+                batch[i].to_bits(),
+                fit.predict(p).to_bits(),
+                "point {i} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn fit_backends_are_bit_identical() {
+        let model = ModelSpec::quadratic(2);
+        let design = full_factorial(2, 5).unwrap();
+        let truth = [10.0, 3.0, -2.0, 1.0, 0.5, -1.5];
+        let responses: Vec<f64> = design
+            .points()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| model.predict(&truth, p) + if i % 2 == 0 { 0.1 } else { -0.1 })
+            .collect();
+        let dyn_fit =
+            ResponseSurface::fit_with(&design, model.clone(), &responses, Backend::Dyn).unwrap();
+        let smat_fit =
+            ResponseSurface::fit_with(&design, model.clone(), &responses, Backend::SMat).unwrap();
+        let default_fit = ResponseSurface::fit(&design, model, &responses).unwrap();
+        assert_eq!(dyn_fit.coefficients(), smat_fit.coefficients());
+        assert_eq!(dyn_fit.coefficients(), default_fit.coefficients());
+        assert_eq!(dyn_fit.stats(), smat_fit.stats());
+        assert_eq!(dyn_fit.leverages(), smat_fit.leverages());
+        for p in [[0.0, 0.0], [0.7, -0.3], [1.0, 1.0]] {
+            assert_eq!(
+                dyn_fit.predict(&p).to_bits(),
+                smat_fit.predict(&p).to_bits()
+            );
+            assert_eq!(
+                dyn_fit.prediction_standard_error(&p),
+                smat_fit.prediction_standard_error(&p)
+            );
+        }
     }
 
     #[test]

@@ -59,6 +59,32 @@ done
 cmp "$FLEET_DIR/arb-indexed.json" "$FLEET_DIR/arb-naive.json"
 cmp "$FLEET_DIR/jobs1.json" "$FLEET_DIR/arb-indexed.json"
 
+echo "== linalg gate: backend property tests (dyn vs smat bit-identity) =="
+cargo test -q --offline -p numkit --test linalg_backends
+
+echo "== linalg gate: bit-identical DSE report for --linalg dyn|smat =="
+for linalg in dyn smat; do
+  for jobs in 1 2 8; do
+    target/release/wsn_dse run --horizon 900 --json \
+      --linalg "$linalg" --jobs "$jobs" > "$FLEET_DIR/dse-$linalg-$jobs.json"
+  done
+done
+for jobs in 1 2 8; do
+  cmp "$FLEET_DIR/dse-dyn-$jobs.json" "$FLEET_DIR/dse-smat-$jobs.json"
+done
+cmp "$FLEET_DIR/dse-dyn-1.json" "$FLEET_DIR/dse-dyn-2.json"
+cmp "$FLEET_DIR/dse-dyn-1.json" "$FLEET_DIR/dse-dyn-8.json"
+
+echo "== linalg gate: bit-identical fleet DSE report for --linalg dyn|smat =="
+for linalg in dyn smat; do
+  target/release/wsn_dse network --nodes 4 --horizon 900 --dse --json \
+    --linalg "$linalg" > "$FLEET_DIR/fleet-dse-$linalg.json"
+done
+cmp "$FLEET_DIR/fleet-dse-dyn.json" "$FLEET_DIR/fleet-dse-smat.json"
+
+echo "== linalg gate: hot-path bench smoke (asserts backend agreement) =="
+target/release/linalg_hot_path --quick --out "$FLEET_DIR/BENCH_linalg.json"
+
 echo "== cargo fmt --check =="
 cargo fmt --check
 
