@@ -29,6 +29,14 @@ pub enum DseError {
         /// How many the batch actually produced.
         got: usize,
     },
+    /// An evaluation exceeded its per-evaluation wall-clock budget (see
+    /// [`crate::SimPool::eval_deadline`]) and was abandoned. Carried in
+    /// [`crate::BatchReport::failures`]; timed-out keys are never cached,
+    /// so a later batch (or a longer budget) re-attempts them.
+    EvalTimedOut {
+        /// The budget that was exceeded.
+        budget: std::time::Duration,
+    },
 }
 
 impl fmt::Display for DseError {
@@ -42,6 +50,13 @@ impl fmt::Display for DseError {
             DseError::EvalPanicked(msg) => write!(f, "evaluation panicked: {msg}"),
             DseError::ResponseCount { expected, got } => {
                 write!(f, "batch returned {got} responses, expected {expected}")
+            }
+            DseError::EvalTimedOut { budget } => {
+                write!(
+                    f,
+                    "evaluation exceeded its {} ms wall-clock budget",
+                    budget.as_millis()
+                )
             }
         }
     }
@@ -57,6 +72,7 @@ impl std::error::Error for DseError {
             DseError::InvalidArgument(_) => None,
             DseError::EvalPanicked(_) => None,
             DseError::ResponseCount { .. } => None,
+            DseError::EvalTimedOut { .. } => None,
         }
     }
 }

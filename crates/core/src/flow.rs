@@ -8,9 +8,9 @@ use wsn_node::{
     EngineKind, FaultCounters, FaultPlan, NodeConfig, SimEngine, SimOutcome, SystemConfig,
 };
 
-use crate::pool::{EvalKey, SimPool};
+use crate::pool::{EvalKey, RetryPolicy, SimPool};
 use crate::report::{DesignEval, DseReport};
-use crate::space::{coded_to_config, config_to_coded, paper_design_space};
+use crate::space::{coded_to_config, config_to_coded, paper_design_space, space_fingerprint};
 use crate::Result;
 
 /// One point of a one-dimensional design-space sweep (the paper's Fig. 4).
@@ -164,6 +164,39 @@ impl DseFlow {
         &self.pool
     }
 
+    /// Attaches a crash-safe persistent evaluation cache under `dir`:
+    /// verified entries from earlier sessions are adopted immediately
+    /// (`disk_loads` in the report's cache counters) and every batch
+    /// flushes fresh results atomically. Corrupt records are quarantined
+    /// and recomputed, never trusted. In the robustness spirit, an
+    /// unusable directory only costs the cache: a warning is printed and
+    /// the flow continues unpersisted.
+    pub fn cache_dir(self, dir: impl AsRef<std::path::Path>) -> Self {
+        if let Err(e) = self.pool.cache().persist_to(dir.as_ref()) {
+            eprintln!(
+                "warning: cannot attach eval cache at {}: {e}; continuing without persistence",
+                dir.as_ref().display()
+            );
+        }
+        self
+    }
+
+    /// Replaces the pool's retry/backoff discipline (the default keeps
+    /// the historical two-attempt, no-backoff behaviour bit-identically).
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.pool.set_retry_policy(policy);
+        self
+    }
+
+    /// Arms (or with `None` disarms) a per-evaluation wall-clock budget;
+    /// see [`SimPool::set_eval_deadline`]. Successful evaluations are
+    /// bit-identical with or without a budget — timeouts only remove
+    /// points, never change them.
+    pub fn eval_deadline(mut self, deadline: Option<std::time::Duration>) -> Self {
+        self.pool.set_eval_deadline(deadline);
+        self
+    }
+
     /// Sets the number of DOE runs (must be at least the model size, 10).
     pub fn doe_runs(mut self, runs: usize) -> Self {
         self.doe_runs = runs;
@@ -209,14 +242,24 @@ impl DseFlow {
     }
 
     /// Memoisation keys for a batch of coded points: the installed
-    /// engine's discriminant, the template scenario's fingerprint and the
-    /// quantised coordinates.
+    /// engine's cache fingerprint, the template scenario's fingerprint
+    /// mixed with the design space's, and the quantised coordinates.
+    ///
+    /// The space fingerprint matters because the coordinates are *coded*:
+    /// `[0, 0, 0]` is the centre of whatever space is installed, so two
+    /// flows over different bounds must never exchange entries — in
+    /// memory, and above all through a persistent `--cache-dir` shared
+    /// across sessions with different `--lower`/`--upper` settings.
     fn keys_for(&self, points: &[Vec<f64>]) -> Vec<EvalKey> {
-        let kind = self.engine.kind();
-        let scenario = self.template.scenario().fingerprint();
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut scenario = self.template.scenario().fingerprint();
+        for byte in space_fingerprint(&self.space).to_le_bytes() {
+            scenario ^= u64::from(byte);
+            scenario = scenario.wrapping_mul(FNV_PRIME);
+        }
         points
             .iter()
-            .map(|p| EvalKey::new(kind, scenario, p))
+            .map(|p| EvalKey::for_engine(self.engine.as_ref(), scenario, p))
             .collect()
     }
 
@@ -313,34 +356,41 @@ impl DseFlow {
             })?
             .into_iter();
         // The pool memoises only the response (transmissions); fault
-        // counters come from one direct deterministic re-run per
-        // validated candidate, and only when faults are injected — the
-        // nominal path stays exactly as cheap as before.
-        let counters_for = |config: NodeConfig| -> Result<FaultCounters> {
-            if self.template.faults.is_none() {
-                Ok(FaultCounters::default())
+        // counters and the degradation tier come from one direct
+        // deterministic re-run per validated candidate, and only when
+        // there is something to audit — faults injected or a degradation
+        // ladder installed — so the nominal path stays exactly as cheap
+        // as before.
+        let audit_for = |config: NodeConfig| -> Result<(FaultCounters, u8)> {
+            if self.template.faults.is_none() && self.engine.as_fallback().is_none() {
+                Ok((FaultCounters::default(), 0))
             } else {
-                Ok(self.evaluate(config)?.faults)
+                let out = self.evaluate(config)?;
+                Ok((out.faults, out.tier))
             }
         };
+        let (original_faults, original_tier) = audit_for(original_cfg)?;
         let original = DesignEval {
             label: "original".to_owned(),
             coded: original_coded,
             predicted: None,
             simulated: validated.next().expect("one response per candidate") as u64,
-            faults: counters_for(original_cfg)?,
+            faults: original_faults,
+            tier: original_tier,
             config: original_cfg,
         };
         let mut optimised = Vec::new();
         for ((label, coded, predicted), simulated) in optima.into_iter().zip(validated) {
             let config = coded_to_config(&self.space, &coded)?;
+            let (faults, tier) = audit_for(config)?;
             optimised.push(DesignEval {
                 label,
                 config,
                 coded,
                 predicted: Some(predicted),
                 simulated: simulated as u64,
-                faults: counters_for(config)?,
+                faults,
+                tier,
             });
         }
 
@@ -351,6 +401,7 @@ impl DseFlow {
             d_efficiency,
             original,
             optimised,
+            cache: self.pool.cache().stats(),
         })
     }
 

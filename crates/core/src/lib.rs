@@ -40,18 +40,24 @@
 mod error;
 mod flow;
 mod objective;
+mod persist;
 pub mod pool;
 mod report;
 pub mod robustness;
 mod space;
+mod surrogate;
 
 pub use error::DseError;
 pub use flow::{DseFlow, SweepPoint, SweepSeries};
 pub use numkit::Backend;
 pub use objective::SurfaceObjective;
-pub use pool::{BatchFailure, BatchReport, EvalCache, EvalKey, SimPool, MAX_EVAL_ATTEMPTS};
+pub use pool::{
+    BatchFailure, BatchReport, CacheStats, EvalCache, EvalKey, RetryPolicy, SimPool,
+    MAX_EVAL_ATTEMPTS,
+};
 pub use report::{DesignEval, DseReport};
-pub use space::{coded_to_config, config_to_coded, paper_design_space};
+pub use space::{coded_to_config, config_to_coded, paper_design_space, space_fingerprint};
+pub use surrogate::SurrogateEngine;
 
 /// Convenience result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, DseError>;

@@ -5,16 +5,21 @@
 //! stages revisit points: the D-optimal design replicates runs when `n`
 //! exceeds the candidate support, 1-D sweeps share the centre with the
 //! design, and optimiser validation re-probes the predicted optimum. This
-//! module provides the two pieces the flow shares:
+//! module provides the pieces the flow shares:
 //!
 //! * [`EvalKey`] — the identity of one evaluation: which engine ran it
-//!   (via [`wsn_node::EngineKind::discriminant`]), which scenario it was
-//!   subjected to (via [`wsn_node::Scenario::fingerprint`]) and the
+//!   (via [`wsn_node::SimEngine::cache_fingerprint`]), which scenario it
+//!   was subjected to (via [`wsn_node::Scenario::fingerprint`]) and the
 //!   *quantised* design coordinates, so points that differ only by
 //!   floating-point noise (below ~1e-9 in coded units, far under any
 //!   physical resolution) hit the same entry while evaluations from
 //!   different engines or scenarios never collide;
-//! * [`EvalCache`] — a thread-safe memo table over [`EvalKey`]s;
+//! * [`EvalCache`] — a thread-safe memo table over [`EvalKey`]s, with
+//!   optional crash-safe on-disk persistence ([`EvalCache::persist_to`])
+//!   and observability counters ([`EvalCache::stats`]);
+//! * [`RetryPolicy`] — how many attempts a failing evaluation gets and
+//!   how long to back off between them (exponential, with seeded,
+//!   deterministic jitter);
 //! * [`SimPool`] — fans a batch of keys out over
 //!   [`numkit::pool::par_map_ordered`] worker threads, consulting the
 //!   cache first and filling it afterwards, while deduplicating repeated
@@ -23,29 +28,46 @@
 //!
 //! Results are reassembled in submission order and every evaluation is a
 //! pure function of its key, so a fixed seed produces bit-identical
-//! reports at any `jobs` setting.
+//! reports at any `jobs` setting. Backoff sleeps and evaluation deadlines
+//! shape *when* work happens, never *what* it computes: a successful
+//! point's value is identical with or without them.
 //!
 //! Batches come in two flavours: [`SimPool::evaluate_batch`] is
 //! all-or-nothing (first failure, in input order, aborts the batch),
 //! while [`SimPool::evaluate_batch_partial`] is fault-tolerant — each
 //! failing or panicking key is isolated (panics are caught on the worker
-//! via `catch_unwind`), retried up to [`MAX_EVAL_ATTEMPTS`] times, and
+//! via `catch_unwind`), retried per the pool's [`RetryPolicy`], and
 //! reported in a structured [`BatchReport`] while every other point
 //! completes. Failed keys are never cached, so a later batch re-attempts
 //! them from scratch.
+//!
+//! # Deadlines
+//!
+//! [`SimPool::set_eval_deadline`] arms a per-evaluation wall-clock
+//! budget. Each attempt runs under [`wsn_node::deadline::with_budget`]:
+//! engines poll the budget cooperatively (cheap thread-local check) and
+//! abandon the run mid-flight, and the pool itself applies a coarse
+//! watchdog — an attempt that returns successfully but over budget is
+//! discarded all the same, so a pathological point can never smuggle a
+//! late value into the cache. Timeouts surface as
+//! [`DseError::EvalTimedOut`] in [`BatchReport::failures`] and are never
+//! cached.
 
 use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
 
-use wsn_node::EngineKind;
+use wsn_node::{EngineKind, SimEngine};
 
-use crate::{DseError, Result};
+use crate::{persist, DseError, Result};
 
-/// Maximum evaluation attempts per failing key in
+/// Default maximum evaluation attempts per failing key in
 /// [`SimPool::evaluate_batch_partial`] (the first try plus bounded
-/// retries for transient failures).
+/// retries for transient failures). Override per pool with
+/// [`RetryPolicy::max_attempts`].
 pub const MAX_EVAL_ATTEMPTS: u32 = 2;
 
 /// Quantisation step for cache keys. Coded factors span `[-1, 1]`, so
@@ -55,6 +77,10 @@ pub const MAX_EVAL_ATTEMPTS: u32 = 2;
 /// larger that the two key families occupy disjoint integer ranges.)
 const KEY_QUANTUM: f64 = 1e-9;
 
+/// Salt folded into the backoff jitter stream so it can never collide
+/// with any other seeded stream in the workspace.
+const BACKOFF_SALT: u64 = 0x7265_7472_7962_6f66;
+
 /// The identity of one simulation-engine evaluation, used as the memo key
 /// by [`EvalCache`] and [`SimPool`].
 ///
@@ -63,18 +89,40 @@ const KEY_QUANTUM: f64 = 1e-9;
 /// (quantised) design coordinates.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct EvalKey {
-    engine: u8,
-    scenario: u64,
-    point: Vec<i64>,
+    pub(crate) engine: u64,
+    pub(crate) scenario: u64,
+    pub(crate) point: Vec<i64>,
 }
 
 impl EvalKey {
-    /// Builds the key for evaluating `coords` on `engine` under the
-    /// scenario identified by `scenario_fingerprint` (see
+    /// Builds the key for evaluating `coords` on a plain `engine` kind
+    /// under the scenario identified by `scenario_fingerprint` (see
     /// [`wsn_node::Scenario::fingerprint`]).
+    ///
+    /// Prefer [`EvalKey::for_engine`] when an engine *instance* is at
+    /// hand: wrapper engines (chaos injection, degradation ladders)
+    /// refine their fingerprint beyond the kind discriminant, and this
+    /// constructor cannot see that.
     pub fn new(engine: EngineKind, scenario_fingerprint: u64, coords: &[f64]) -> Self {
         EvalKey {
-            engine: engine.discriminant(),
+            engine: u64::from(engine.discriminant()),
+            scenario: scenario_fingerprint,
+            point: Self::quantise(coords),
+        }
+    }
+
+    /// Builds the key for evaluating `coords` on a specific engine
+    /// instance, using [`wsn_node::SimEngine::cache_fingerprint`] as the
+    /// engine component.
+    ///
+    /// For the plain engines this equals [`EvalKey::new`] (the
+    /// fingerprint defaults to the kind discriminant), so existing cached
+    /// values and report bytes are unchanged; wrapper engines get their
+    /// own disjoint key space, so a chaos-wrapped or ladder-backed run
+    /// can never serve its values to a clean run or vice versa.
+    pub fn for_engine(engine: &dyn SimEngine, scenario_fingerprint: u64, coords: &[f64]) -> Self {
+        EvalKey {
+            engine: engine.cache_fingerprint(),
             scenario: scenario_fingerprint,
             point: Self::quantise(coords),
         }
@@ -97,24 +145,100 @@ impl EvalKey {
     }
 }
 
+/// FNV-1a hash of a key, used to seed per-key jitter streams.
+fn key_hash(key: &EvalKey) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut words: Vec<u64> = Vec::with_capacity(3 + key.point.len());
+    words.push(key.engine);
+    words.push(key.scenario);
+    words.push(key.point.len() as u64);
+    words.extend(key.point.iter().map(|&c| c as u64));
+    for word in words {
+        for byte in word.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    }
+    h
+}
+
+/// A point-in-time snapshot of [`EvalCache`] observability counters.
+///
+/// All counters are process-lifetime totals for the cache instance (reset
+/// by [`EvalCache::clear`]); they are surfaced verbatim in
+/// `DseReport::to_json` under the `"cache"` object, with explicit zeros,
+/// so dashboards never have to treat an absent field as zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Distinct evaluations currently held in memory.
+    pub entries: usize,
+    /// Lookups answered from the cache.
+    pub hits: usize,
+    /// Lookups that fell through to simulation.
+    pub misses: usize,
+    /// Fresh values stored by evaluations this session.
+    pub inserts: usize,
+    /// Values adopted from the persistent file by
+    /// [`EvalCache::persist_to`].
+    pub disk_loads: usize,
+    /// Corrupt persistent records detected and skipped (never trusted,
+    /// never fatal — see the `persist` module).
+    pub quarantined: usize,
+}
+
 /// Thread-safe memo table for engine evaluations.
 ///
 /// Keys are [`EvalKey`]s; values are the simulated response. The cache
-/// also counts hits and misses so callers (and tests) can verify that
-/// repeated probes do not re-simulate.
+/// counts hits, misses, inserts, disk loads and quarantined records (see
+/// [`CacheStats`]) so callers (and tests) can verify that repeated
+/// probes do not re-simulate.
+///
+/// # Persistence
+///
+/// [`EvalCache::persist_to`] attaches the cache to a directory: verified
+/// records from a previous session are adopted immediately, and
+/// [`EvalCache::flush`] (called automatically after every pool batch)
+/// atomically rewrites the file with the union of disk and memory. The
+/// format is checksummed per record and written via temp-file + rename,
+/// so a crash — even mid-write — can at worst cost the newest entries,
+/// never corrupt old ones silently; corrupt records found at load time
+/// are quarantined (warned and skipped), never propagated and never
+/// fatal.
+///
+/// # Poisoning
+///
+/// Every internal lock acquisition recovers from mutex poisoning instead
+/// of panicking: a worker thread that dies mid-`insert` leaves a map
+/// that is still structurally sound (entries are only inserted while
+/// *not* holding the lock open across user code), so the surviving
+/// threads keep the batch alive rather than cascading the crash.
 #[derive(Debug, Default)]
 pub struct EvalCache {
     entries: Mutex<HashMap<EvalKey, f64>>,
+    /// Path of the attached persistent file, when any.
+    persist: Mutex<Option<PathBuf>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    inserts: AtomicUsize,
+    disk_loads: AtomicUsize,
+    quarantined: AtomicUsize,
+    /// Inserts since the last successful flush.
+    dirty: AtomicUsize,
 }
 
 impl Clone for EvalCache {
     fn clone(&self) -> Self {
         EvalCache {
-            entries: Mutex::new(self.entries.lock().expect("cache poisoned").clone()),
+            entries: Mutex::new(self.lock_entries().clone()),
+            persist: Mutex::new(self.persist_path()),
             hits: AtomicUsize::new(self.hits.load(Ordering::Relaxed)),
             misses: AtomicUsize::new(self.misses.load(Ordering::Relaxed)),
+            inserts: AtomicUsize::new(self.inserts.load(Ordering::Relaxed)),
+            disk_loads: AtomicUsize::new(self.disk_loads.load(Ordering::Relaxed)),
+            quarantined: AtomicUsize::new(self.quarantined.load(Ordering::Relaxed)),
+            dirty: AtomicUsize::new(self.dirty.load(Ordering::Relaxed)),
         }
     }
 }
@@ -125,14 +249,24 @@ impl EvalCache {
         Self::default()
     }
 
+    /// Locks the entry map, recovering from poisoning: the map's
+    /// invariants hold after any panic because no user code ever runs
+    /// while the guard is held.
+    fn lock_entries(&self) -> MutexGuard<'_, HashMap<EvalKey, f64>> {
+        self.entries.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The attached persistent file path, when any.
+    fn persist_path(&self) -> Option<PathBuf> {
+        self.persist
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
     /// Looks up a key, counting the hit or miss.
     pub fn get(&self, key: &EvalKey) -> Option<f64> {
-        let found = self
-            .entries
-            .lock()
-            .expect("cache poisoned")
-            .get(key)
-            .copied();
+        let found = self.lock_entries().get(key).copied();
         match found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -142,15 +276,14 @@ impl EvalCache {
 
     /// Stores the response for a key.
     pub fn insert(&self, key: EvalKey, value: f64) {
-        self.entries
-            .lock()
-            .expect("cache poisoned")
-            .insert(key, value);
+        self.lock_entries().insert(key, value);
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        self.dirty.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Number of distinct cached evaluations.
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("cache poisoned").len()
+        self.lock_entries().len()
     }
 
     /// Whether the cache holds no entries.
@@ -168,13 +301,199 @@ impl EvalCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Snapshot of all observability counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            entries: self.len(),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            disk_loads: self.disk_loads.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Attaches the cache to `dir` for crash-safe persistence.
+    ///
+    /// Creates the directory if needed, adopts every verified record
+    /// from an existing cache file (in-memory entries win on conflict;
+    /// among duplicate disk records the later one wins), quarantines —
+    /// warns about and skips — any corrupt records, and arms
+    /// [`EvalCache::flush`] to rewrite the file.
+    ///
+    /// # Errors
+    ///
+    /// Only genuine I/O failures (permissions, disk errors) surface; a
+    /// missing or partially corrupt file never does.
+    pub fn persist_to(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(persist::CACHE_FILE);
+        let outcome = persist::read_cache_file(&path)?;
+        if outcome.quarantined > 0 {
+            eprintln!(
+                "warning: eval cache {}: quarantined {} corrupt record(s); they will be recomputed",
+                path.display(),
+                outcome.quarantined
+            );
+            self.quarantined
+                .fetch_add(outcome.quarantined, Ordering::Relaxed);
+        }
+        // Later duplicates on disk supersede earlier ones; in-memory
+        // entries supersede both.
+        let mut from_disk: HashMap<EvalKey, f64> = HashMap::new();
+        for (key, value) in outcome.records {
+            from_disk.insert(key, value);
+        }
+        let mut adopted = 0;
+        {
+            let mut entries = self.lock_entries();
+            for (key, value) in from_disk {
+                entries.entry(key).or_insert_with(|| {
+                    adopted += 1;
+                    value
+                });
+            }
+        }
+        self.disk_loads.fetch_add(adopted, Ordering::Relaxed);
+        *self.persist.lock().unwrap_or_else(PoisonError::into_inner) = Some(path);
+        Ok(())
+    }
+
+    /// Rewrites the attached persistent file with the union of its
+    /// current verified records and the in-memory entries (memory wins).
+    ///
+    /// A no-op when no directory is attached or nothing was inserted
+    /// since the last flush. The union means `clear()` (used when a
+    /// refined design space retires the *coded* meaning of in-memory
+    /// keys) never erases other scenarios' persisted work. The write is
+    /// atomic (temp file + rename).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; the in-memory cache is unaffected and
+    /// the entries stay marked dirty for the next attempt.
+    pub fn flush(&self) -> std::io::Result<()> {
+        let Some(path) = self.persist_path() else {
+            return Ok(());
+        };
+        let dirty = self.dirty.swap(0, Ordering::Relaxed);
+        if dirty == 0 {
+            return Ok(());
+        }
+        let result = (|| {
+            let on_disk = persist::read_cache_file(&path)?.records;
+            let mut union: HashMap<EvalKey, f64> = on_disk.into_iter().collect();
+            for (key, value) in self.lock_entries().iter() {
+                union.insert(key.clone(), *value);
+            }
+            persist::write_cache_file(&path, &union)
+        })();
+        if result.is_err() {
+            self.dirty.fetch_add(dirty, Ordering::Relaxed);
+        }
+        result
+    }
+
     /// Drops all entries and resets the counters (used when the design
     /// space changes and cached responses become stale; engine and
-    /// scenario changes are already kept apart by the key).
+    /// scenario changes are already kept apart by the key). The attached
+    /// persistent file, if any, stays attached and is **not** truncated —
+    /// flushing is a union, so earlier sessions' records survive.
     pub fn clear(&self) {
-        self.entries.lock().expect("cache poisoned").clear();
+        self.lock_entries().clear();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.inserts.store(0, Ordering::Relaxed);
+        self.disk_loads.store(0, Ordering::Relaxed);
+        self.quarantined.store(0, Ordering::Relaxed);
+        self.dirty.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Retry and backoff discipline for [`SimPool::evaluate_batch_partial`].
+///
+/// The default reproduces the historical behaviour bit-for-bit:
+/// [`MAX_EVAL_ATTEMPTS`] attempts, no backoff sleep. Backoff delays are
+/// *deterministic*: the jitter for a given (key, attempt) pair is drawn
+/// from a seeded counter-based stream, never from wall-clock or thread
+/// identity, so two runs of the same batch sleep identically. Delays
+/// only shape scheduling — they never change any computed value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts per failing key (first try included). Clamped to
+    /// at least 1.
+    pub max_attempts: u32,
+    /// Base backoff delay before the second attempt; doubles per further
+    /// attempt. `Duration::ZERO` (the default) disables sleeping
+    /// entirely.
+    pub backoff_base: Duration,
+    /// Upper bound on any single backoff delay.
+    pub backoff_cap: Duration,
+    /// Jitter fraction in `[0, 1]`: each delay is scaled by a
+    /// deterministic factor in `[1 − jitter, 1 + jitter]`.
+    pub jitter: f64,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: MAX_EVAL_ATTEMPTS,
+            backoff_base: Duration::ZERO,
+            backoff_cap: Duration::from_secs(5),
+            jitter: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with `max_attempts` attempts and no backoff.
+    pub fn attempts(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            ..Self::default()
+        }
+    }
+
+    /// Sets the exponential backoff base (and enables sleeping).
+    pub fn with_backoff(mut self, base: Duration) -> Self {
+        self.backoff_base = base;
+        self
+    }
+
+    /// Sets the jitter fraction (clamped to `[0, 1]`).
+    pub fn with_jitter(mut self, jitter: f64, seed: u64) -> Self {
+        self.jitter = if jitter.is_finite() {
+            jitter.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        self.seed = seed;
+        self
+    }
+
+    /// The deterministic delay to sleep after `failed_attempts` failures
+    /// of the key hashing to `key_hash` (1-based: the delay before
+    /// attempt `failed_attempts + 1`).
+    pub fn delay_before_retry(&self, failed_attempts: u32, key_hash: u64) -> Duration {
+        if self.backoff_base.is_zero() {
+            return Duration::ZERO;
+        }
+        let exponent = failed_attempts.saturating_sub(1).min(20);
+        let raw = self.backoff_base.as_secs_f64() * f64::from(1u32 << exponent);
+        let capped = raw.min(self.backoff_cap.as_secs_f64());
+        let factor = if self.jitter == 0.0 {
+            1.0
+        } else {
+            let mut rng = numkit::rng::Rng::stream(
+                self.seed ^ BACKOFF_SALT,
+                key_hash ^ u64::from(failed_attempts),
+            );
+            1.0 - self.jitter + 2.0 * self.jitter * rng.next_f64()
+        };
+        Duration::from_secs_f64((capped * factor).max(0.0))
     }
 }
 
@@ -188,10 +507,11 @@ pub struct BatchFailure {
     /// The failing key.
     pub key: EvalKey,
     /// Evaluation attempts spent before giving up (bounded by
-    /// [`MAX_EVAL_ATTEMPTS`]).
+    /// [`RetryPolicy::max_attempts`]).
     pub attempts: u32,
     /// The final error; a caught worker panic surfaces as
-    /// [`DseError::EvalPanicked`].
+    /// [`DseError::EvalPanicked`], an expired wall-clock budget as
+    /// [`DseError::EvalTimedOut`].
     pub error: DseError,
 }
 
@@ -246,20 +566,27 @@ impl BatchReport {
 /// Wraps a [`numkit::pool::par_map_ordered`] fan-out with an [`EvalCache`]
 /// front: each batch first resolves cached keys, deduplicates the
 /// remaining distinct keys, simulates those on up to `jobs` worker
-/// threads, and reassembles the responses in submission order.
+/// threads, and reassembles the responses in submission order. Failure
+/// handling is governed by the pool's [`RetryPolicy`] and optional
+/// per-evaluation wall-clock deadline.
 #[derive(Debug, Default, Clone)]
 pub struct SimPool {
     jobs: usize,
     cache: EvalCache,
+    retry: RetryPolicy,
+    deadline: Option<Duration>,
 }
 
 impl SimPool {
     /// Creates a pool; `jobs == 0` means "all available cores", `1` is
-    /// fully sequential.
+    /// fully sequential. The default [`RetryPolicy`] and no deadline
+    /// reproduce the historical behaviour bit-for-bit.
     pub fn new(jobs: usize) -> Self {
         SimPool {
             jobs,
             cache: EvalCache::new(),
+            retry: RetryPolicy::default(),
+            deadline: None,
         }
     }
 
@@ -276,6 +603,33 @@ impl SimPool {
     /// The underlying evaluation cache.
     pub fn cache(&self) -> &EvalCache {
         &self.cache
+    }
+
+    /// The pool's retry/backoff discipline.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry
+    }
+
+    /// Replaces the retry/backoff discipline.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// The per-evaluation wall-clock budget, when armed.
+    pub fn eval_deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// Arms (or with `None`, disarms) a per-evaluation wall-clock budget.
+    ///
+    /// Each attempt runs under [`wsn_node::deadline::with_budget`] so
+    /// cooperative engines abandon over-budget runs mid-flight; attempts
+    /// that complete over budget anyway are discarded by the pool's
+    /// coarse watchdog. Timed-out keys surface as
+    /// [`DseError::EvalTimedOut`] and are never cached, so successful
+    /// values stay bit-identical whether or not a deadline is armed.
+    pub fn set_eval_deadline(&mut self, deadline: Option<Duration>) {
+        self.deadline = deadline;
     }
 
     /// Evaluates the batch identified by `keys`, in parallel and memoised.
@@ -309,13 +663,23 @@ impl SimPool {
     /// setting — but a failing key cannot take the batch down:
     ///
     /// * an `Err` from `eval` (or a panic inside it, caught on the worker
-    ///   via `catch_unwind`) is retried up to [`MAX_EVAL_ATTEMPTS`] total
-    ///   attempts, to ride out transient failures;
+    ///   via `catch_unwind`) is retried up to
+    ///   [`RetryPolicy::max_attempts`] total attempts, sleeping the
+    ///   policy's deterministic backoff between attempts, to ride out
+    ///   transient failures;
+    /// * with a deadline armed ([`set_eval_deadline`](Self::set_eval_deadline)),
+    ///   over-budget attempts — whether they aborted cooperatively or
+    ///   finished late — fail as [`DseError::EvalTimedOut`];
     /// * a key still failing after its last attempt is reported in
     ///   [`BatchReport::failures`] with its first input index, attempt
     ///   count and final error ([`DseError::EvalPanicked`] for panics);
     /// * failed keys are **never cached** — a later batch re-attempts
     ///   them — while every successful point is cached as usual.
+    ///
+    /// When the cache is attached to a directory
+    /// ([`EvalCache::persist_to`]), the batch ends with a best-effort
+    /// [`EvalCache::flush`]; a flush failure is reported on stderr but
+    /// never fails the batch.
     pub fn evaluate_batch_partial<F>(&self, keys: &[EvalKey], eval: F) -> BatchReport
     where
         F: Fn(usize) -> Result<f64> + Sync,
@@ -336,6 +700,7 @@ impl SimPool {
             outputs.push(cached);
         }
 
+        let max_attempts = self.retry.max_attempts.max(1);
         // `AssertUnwindSafe` is sound here: a panicking attempt's partial
         // state is confined to the attempt itself — the closure is re-run
         // from scratch on retry, and nothing from a failed attempt ever
@@ -344,13 +709,44 @@ impl SimPool {
             let mut attempts = 0;
             loop {
                 attempts += 1;
-                let error = match std::panic::catch_unwind(AssertUnwindSafe(|| eval(input))) {
-                    Ok(Ok(value)) => return Ok(value),
+                let started = Instant::now();
+                let outcome = wsn_node::deadline::with_budget(self.deadline, || {
+                    std::panic::catch_unwind(AssertUnwindSafe(|| eval(input)))
+                });
+                let error = match outcome {
+                    Ok(Ok(value)) => match self.deadline {
+                        // Coarse watchdog: an attempt that beat the
+                        // cooperative checks but still blew the budget is
+                        // discarded — a late value must never be cached.
+                        Some(budget) if started.elapsed() > budget => {
+                            DseError::EvalTimedOut { budget }
+                        }
+                        _ => return Ok(value),
+                    },
+                    Ok(Err(DseError::Node(wsn_node::NodeError::DeadlineExceeded))) => {
+                        DseError::EvalTimedOut {
+                            budget: self.deadline.unwrap_or_default(),
+                        }
+                    }
                     Ok(Err(e)) => e,
-                    Err(payload) => DseError::EvalPanicked(panic_message(payload.as_ref())),
+                    Err(payload) => {
+                        if wsn_node::deadline::payload_is_deadline(payload.as_ref()) {
+                            DseError::EvalTimedOut {
+                                budget: self.deadline.unwrap_or_default(),
+                            }
+                        } else {
+                            DseError::EvalPanicked(panic_message(payload.as_ref()))
+                        }
+                    }
                 };
-                if attempts >= MAX_EVAL_ATTEMPTS {
+                if attempts >= max_attempts {
                     return Err((attempts, error));
+                }
+                let delay = self
+                    .retry
+                    .delay_before_retry(attempts, key_hash(&keys[input]));
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
                 }
             }
         };
@@ -374,6 +770,10 @@ impl SimPool {
                     fresh_values.push(None);
                 }
             }
+        }
+
+        if let Err(e) = self.cache.flush() {
+            eprintln!("warning: eval cache flush failed (results unaffected): {e}");
         }
 
         let results = keys
@@ -434,6 +834,31 @@ mod tests {
         assert_ne!(base, EvalKey::new(EngineKind::Full, 42, &p));
         assert_ne!(base, EvalKey::new(EngineKind::Envelope, 43, &p));
         assert_eq!(base, EvalKey::new(EngineKind::Envelope, 42, &p));
+    }
+
+    #[test]
+    fn for_engine_matches_new_on_plain_engines() {
+        let p = [0.25, -0.5, 1.0];
+        let envelope = wsn_node::EnvelopeSim::new();
+        assert_eq!(
+            EvalKey::for_engine(&envelope, 42, &p),
+            EvalKey::new(EngineKind::Envelope, 42, &p),
+            "plain engines must keep their historical key space"
+        );
+    }
+
+    #[test]
+    fn for_engine_separates_wrapper_engines() {
+        use std::sync::Arc;
+        let p = [0.25, -0.5, 1.0];
+        let plain: Arc<dyn SimEngine> = Arc::new(wsn_node::EnvelopeSim::new());
+        let chaotic =
+            wsn_node::ChaosEngine::new(Arc::clone(&plain), wsn_node::ChaosPlan::storm(1, 0.5));
+        assert_ne!(
+            EvalKey::for_engine(&chaotic, 42, &p),
+            EvalKey::for_engine(plain.as_ref(), 42, &p),
+            "a chaos-wrapped engine must never share cache entries with a clean one"
+        );
     }
 
     #[test]
@@ -583,6 +1008,223 @@ mod tests {
     }
 
     #[test]
+    fn retry_policy_extends_the_attempt_budget() {
+        let mut pool = SimPool::new(1);
+        pool.set_retry_policy(RetryPolicy::attempts(4));
+        let keys = keys_of(&[vec![2.0]]);
+        let attempts = AtomicUsize::new(0);
+        let report = pool.evaluate_batch_partial(&keys, |_| {
+            if attempts.fetch_add(1, Ordering::Relaxed) < 3 {
+                Err(crate::DseError::InvalidArgument("still flaky"))
+            } else {
+                Ok(11.0)
+            }
+        });
+        assert!(report.is_complete());
+        assert_eq!(report.results[0], Some(11.0));
+        assert_eq!(attempts.load(Ordering::Relaxed), 4);
+
+        // And a stricter budget gives up sooner.
+        let mut strict = SimPool::new(1);
+        strict.set_retry_policy(RetryPolicy::attempts(1));
+        let tries = AtomicUsize::new(0);
+        let report = strict.evaluate_batch_partial(&keys_of(&[vec![3.0]]), |_| {
+            tries.fetch_add(1, Ordering::Relaxed);
+            Err(crate::DseError::InvalidArgument("hopeless"))
+        });
+        assert_eq!(report.failures[0].attempts, 1);
+        assert_eq!(tries.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn backoff_delays_are_deterministic_and_bounded() {
+        let policy = RetryPolicy::attempts(5)
+            .with_backoff(Duration::from_millis(10))
+            .with_jitter(0.5, 42);
+        let key = EvalKey::new(EngineKind::Envelope, 3, &[0.5]);
+        let h = key_hash(&key);
+        let a = policy.delay_before_retry(1, h);
+        let b = policy.delay_before_retry(1, h);
+        assert_eq!(a, b, "same (key, attempt) must sleep identically");
+        for attempt in 1..=6 {
+            let d = policy.delay_before_retry(attempt, h);
+            assert!(d <= policy.backoff_cap + policy.backoff_cap.mul_f64(policy.jitter));
+            // Jitter keeps delays within ±50% of the capped exponential.
+            let nominal = Duration::from_millis(10 << (attempt - 1).min(20))
+                .min(policy.backoff_cap)
+                .as_secs_f64();
+            let got = d.as_secs_f64();
+            assert!(got >= nominal * 0.5 - 1e-12 && got <= nominal * 1.5 + 1e-12);
+        }
+        // The default policy never sleeps — bit-identical legacy timing.
+        assert_eq!(
+            RetryPolicy::default().delay_before_retry(1, h),
+            Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn deadline_discards_overbudget_evaluations_and_never_caches_them() {
+        let mut pool = SimPool::new(1);
+        pool.set_retry_policy(RetryPolicy::attempts(1));
+        pool.set_eval_deadline(Some(Duration::from_millis(5)));
+        let keys = keys_of(&[vec![50.0]]);
+
+        // The watchdog path: the closure ignores the budget and returns a
+        // value late — the pool must discard it.
+        let report = pool.evaluate_batch_partial(&keys, |_| {
+            std::thread::sleep(Duration::from_millis(25));
+            Ok(1.0)
+        });
+        assert_eq!(report.results[0], None);
+        assert!(matches!(
+            report.failures[0].error,
+            crate::DseError::EvalTimedOut { .. }
+        ));
+        assert!(pool.cache().is_empty(), "late values must never be cached");
+
+        // The cooperative path: the closure checks the budget itself.
+        let report = pool.evaluate_batch_partial(&keys, |_| {
+            std::thread::sleep(Duration::from_millis(25));
+            wsn_node::deadline::check()?;
+            Ok(2.0)
+        });
+        assert!(matches!(
+            report.failures[0].error,
+            crate::DseError::EvalTimedOut { .. }
+        ));
+
+        // The sentinel-panic path (engines that cannot return errors).
+        let report = pool.evaluate_batch_partial(&keys, |_| {
+            std::thread::sleep(Duration::from_millis(25));
+            wsn_node::deadline::check_or_abort();
+            Ok(3.0)
+        });
+        assert!(matches!(
+            report.failures[0].error,
+            crate::DseError::EvalTimedOut { .. }
+        ));
+
+        // Disarming the deadline lets the same key succeed and cache.
+        pool.set_eval_deadline(None);
+        let report = pool.evaluate_batch_partial(&keys, |_| Ok(4.0));
+        assert_eq!(report.results[0], Some(4.0));
+        assert_eq!(pool.cache().len(), 1);
+    }
+
+    #[test]
+    fn fast_evaluations_are_untouched_by_a_deadline() {
+        let mut pool = SimPool::new(2);
+        pool.set_eval_deadline(Some(Duration::from_secs(30)));
+        let points: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64 * 0.1]).collect();
+        let (out, calls) = count_evals(&pool, &points);
+        assert_eq!(calls, 10);
+        let plain = SimPool::new(2);
+        let (reference, _) = count_evals(&plain, &points);
+        assert_eq!(out, reference, "a generous deadline must not change values");
+    }
+
+    #[test]
+    fn poisoned_cache_mutex_recovers_instead_of_cascading() {
+        let cache = EvalCache::new();
+        let key = EvalKey::new(EngineKind::Envelope, 1, &[0.5]);
+        cache.insert(key.clone(), 9.0);
+
+        // Poison the entries mutex the only way possible: panic while
+        // holding the guard (white-box — no public API holds the lock
+        // across user code, which is exactly why recovery is sound).
+        let poisoner = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let _guard = cache.entries.lock().unwrap();
+            panic!("worker died while holding the cache lock");
+        }));
+        assert!(poisoner.is_err());
+        assert!(
+            cache.entries.lock().is_err(),
+            "mutex must actually be poisoned"
+        );
+
+        // Every operation keeps working on the recovered map.
+        assert_eq!(cache.get(&key), Some(9.0));
+        let key2 = EvalKey::new(EngineKind::Envelope, 1, &[0.75]);
+        cache.insert(key2.clone(), 10.0);
+        assert_eq!(cache.get(&key2), Some(10.0));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().entries, 2);
+        let cloned = cache.clone();
+        assert_eq!(cloned.len(), 2);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn stats_snapshot_tracks_all_counters() {
+        let pool = SimPool::new(1);
+        let points = vec![vec![1.0], vec![2.0], vec![1.0]];
+        let (_, _) = count_evals(&pool, &points);
+        let stats = pool.cache().stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.inserts, 2);
+        assert_eq!(
+            stats.hits, 0,
+            "the in-batch duplicate dedups at prescan, before any value exists"
+        );
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.disk_loads, 0);
+        assert_eq!(stats.quarantined, 0);
+        assert_eq!(CacheStats::default(), EvalCache::new().stats());
+    }
+
+    #[test]
+    fn persistence_round_trips_through_a_directory() {
+        let dir = std::env::temp_dir().join(format!("wsn-pool-persist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let points: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64 * 0.2]).collect();
+        let cold = SimPool::new(2);
+        cold.cache().persist_to(&dir).unwrap();
+        let (cold_out, cold_calls) = count_evals(&cold, &points);
+        assert_eq!(cold_calls, 5);
+        assert_eq!(cold.cache().stats().disk_loads, 0);
+
+        // A fresh pool attached to the same directory answers everything
+        // from disk, bit-identically, without a single evaluation.
+        let warm = SimPool::new(2);
+        warm.cache().persist_to(&dir).unwrap();
+        assert_eq!(warm.cache().stats().disk_loads, 5);
+        let (warm_out, warm_calls) = count_evals(&warm, &points);
+        assert_eq!(warm_calls, 0, "a warm cache must not re-simulate");
+        let cold_bits: Vec<u64> = cold_out.iter().map(|v| v.to_bits()).collect();
+        let warm_bits: Vec<u64> = warm_out.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(cold_bits, warm_bits);
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn clear_preserves_other_sessions_persisted_records() {
+        let dir = std::env::temp_dir().join(format!("wsn-pool-union-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let pool = SimPool::new(1);
+        pool.cache().persist_to(&dir).unwrap();
+        let (_, _) = count_evals(&pool, &[vec![1.0], vec![2.0]]);
+
+        // A space change clears memory, then new work flushes: the file
+        // must still hold the earlier records (union semantics).
+        pool.cache().clear();
+        let (_, _) = count_evals(&pool, &[vec![9.0]]);
+
+        let reloaded = EvalCache::new();
+        reloaded.persist_to(&dir).unwrap();
+        assert_eq!(
+            reloaded.stats().disk_loads,
+            3,
+            "clear() must not erase previously persisted entries"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn identical_results_at_any_job_count() {
         let points: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 * 0.05, -0.3]).collect();
         let run = |jobs: usize| {
@@ -603,6 +1245,7 @@ mod tests {
         assert_eq!(calls, 1);
         pool.cache().clear();
         assert!(pool.cache().is_empty());
+        assert_eq!(pool.cache().stats(), CacheStats::default());
         let (_, calls) = count_evals(&pool, &[vec![1.0]]);
         assert_eq!(calls, 1, "cleared cache must re-simulate");
     }

@@ -4,6 +4,8 @@ use doe::Design;
 use rsm::ResponseSurface;
 use wsn_node::{FaultCounters, NodeConfig};
 
+use crate::pool::CacheStats;
+
 /// One evaluated design: a configuration, its coded coordinates, the
 /// RSM prediction (when applicable) and the simulator's verdict.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,6 +24,10 @@ pub struct DesignEval {
     /// Injected-fault counters from the validation run (all zero under
     /// the nominal [`wsn_node::FaultPlan::none`] plan).
     pub faults: FaultCounters,
+    /// Degradation-ladder tier that served the validation run: 0 when
+    /// the requested engine answered directly (every plain engine), the
+    /// rung index when a [`wsn_node::FallbackEngine`] had to degrade.
+    pub tier: u8,
 }
 
 impl fmt::Display for DesignEval {
@@ -40,6 +46,9 @@ impl fmt::Display for DesignEval {
         }
         if !self.faults.is_nominal() {
             write!(f, " [faults: {}]", self.faults)?;
+        }
+        if self.tier > 0 {
+            write!(f, " [degraded: tier {}]", self.tier)?;
         }
         Ok(())
     }
@@ -63,6 +72,12 @@ pub struct DseReport {
     /// The optimised designs (Simulated Annealing, Genetic Algorithm, ...),
     /// each validated in the simulator.
     pub optimised: Vec<DesignEval>,
+    /// Evaluation-cache counters at the end of the flow (hits, misses,
+    /// inserts, disk loads, quarantined records). Deterministic for a
+    /// given flow — prescans are sequential — and invariant across
+    /// `jobs` settings and linalg backends; `disk_loads > 0` is the
+    /// observable proof that a `--cache-dir` warm start worked.
+    pub cache: CacheStats,
 }
 
 impl DseReport {
@@ -144,12 +159,23 @@ fn json_faults(c: &FaultCounters) -> String {
     )
 }
 
+/// Serialises cache counters as a JSON object with explicit zeros (the
+/// schema never changes between cached and uncached runs, mirroring
+/// `fault_totals`).
+fn json_cache(s: &CacheStats) -> String {
+    format!(
+        "{{\"entries\":{},\"hits\":{},\"misses\":{},\"inserts\":{},\
+         \"disk_loads\":{},\"quarantined\":{}}}",
+        s.entries, s.hits, s.misses, s.inserts, s.disk_loads, s.quarantined
+    )
+}
+
 impl DesignEval {
     /// This evaluation as a single-line JSON object.
     fn to_json(&self) -> String {
         format!(
             "{{\"label\":{},\"clock_hz\":{},\"watchdog_s\":{},\"tx_interval_s\":{},\
-             \"coded\":{},\"predicted\":{},\"simulated\":{},\"faults\":{}}}",
+             \"coded\":{},\"predicted\":{},\"simulated\":{},\"faults\":{},\"tier\":{}}}",
             json_str(&self.label),
             json_f64(self.config.clock_hz),
             json_f64(self.config.watchdog_s),
@@ -157,7 +183,8 @@ impl DesignEval {
             json_array(self.coded.iter().map(|&v| json_f64(v))),
             self.predicted.map_or("null".to_owned(), json_f64),
             self.simulated,
-            json_faults(&self.faults)
+            json_faults(&self.faults),
+            self.tier
         )
     }
 }
@@ -187,6 +214,7 @@ impl DseReport {
              \"original\":{},\
              \"optimised\":{},\
              \"fault_totals\":{},\
+             \"cache\":{},\
              \"best_improvement_factor\":{}}}",
             self.design.len(),
             self.design.dimension(),
@@ -199,6 +227,7 @@ impl DseReport {
             self.original.to_json(),
             json_array(self.optimised.iter().map(|e| e.to_json())),
             json_faults(&self.fault_totals()),
+            json_cache(&self.cache),
             json_f64(self.best_improvement_factor())
         )
     }
@@ -301,6 +330,7 @@ mod tests {
             predicted: None,
             simulated: 810,
             faults: FaultCounters::default(),
+            tier: 0,
         };
         let json = e.to_json();
         assert!(!json.contains('\n'));
@@ -312,6 +342,27 @@ mod tests {
             "\"faults\":{\"tx_failures\":0,\"tx_retries\":0,\"tx_aborts\":0,\
              \"brownouts\":0,\"watchdog_misses\":0}"
         ));
+        assert!(json.contains("\"tier\":0"));
+    }
+
+    #[test]
+    fn cache_counters_serialise_with_explicit_zeros() {
+        assert_eq!(
+            json_cache(&CacheStats::default()),
+            "{\"entries\":0,\"hits\":0,\"misses\":0,\"inserts\":0,\
+             \"disk_loads\":0,\"quarantined\":0}"
+        );
+        let warm = CacheStats {
+            entries: 13,
+            hits: 4,
+            misses: 13,
+            inserts: 0,
+            disk_loads: 13,
+            quarantined: 2,
+        };
+        let json = json_cache(&warm);
+        assert!(json.contains("\"disk_loads\":13"));
+        assert!(json.contains("\"quarantined\":2"));
     }
 
     #[test]
@@ -323,15 +374,20 @@ mod tests {
             predicted: Some(410.0),
             simulated: 405,
             faults: FaultCounters::default(),
+            tier: 0,
         };
         let s = e.to_string();
         assert!(s.contains("original"));
         assert!(s.contains("405"));
         assert!(s.contains("410"));
         assert!(!s.contains("faults"), "nominal display stays fault-free");
+        assert!(!s.contains("degraded"), "tier 0 display stays clean");
         e.faults.tx_failures = 2;
         e.faults.tx_retries = 2;
         assert!(e.to_string().contains("faults"));
         assert!(e.to_json().contains("\"tx_failures\":2"));
+        e.tier = 1;
+        assert!(e.to_string().contains("degraded: tier 1"));
+        assert!(e.to_json().contains("\"tier\":1"));
     }
 }

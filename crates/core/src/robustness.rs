@@ -116,11 +116,10 @@ pub fn evaluate_scenarios_with(
     config: NodeConfig,
     scenarios: &[Scenario],
 ) -> Result<RobustnessSummary> {
-    let kind = engine.kind();
     let point = [config.clock_hz, config.watchdog_s, config.tx_interval_s];
     let keys: Vec<EvalKey> = scenarios
         .iter()
-        .map(|s| EvalKey::new(kind, s.fingerprint(), &point))
+        .map(|s| EvalKey::for_engine(engine.as_ref(), s.fingerprint(), &point))
         .collect();
     let samples = pool.evaluate_batch(&keys, |i| {
         let mut cfg = template.clone().with_scenario(scenarios[i].clone());

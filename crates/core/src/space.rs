@@ -60,6 +60,36 @@ pub fn config_to_coded(space: &DesignSpace, config: &NodeConfig) -> Result<Vec<f
     Ok(space.code(&[config.clock_hz, config.watchdog_s, config.tx_interval_s])?)
 }
 
+/// A stable fingerprint of a design space: factor names and exact bound
+/// bits, FNV-1a hashed.
+///
+/// Coded coordinates only mean something *relative to a space* — the
+/// centre of one space is a corner of another — so cache keys built from
+/// coded points fold this fingerprint into their scenario component.
+/// That is what makes the persistent [`crate::EvalCache`] safe across
+/// sessions with different `--lower`/`--upper` bounds: two spaces that
+/// differ in any bound (or factor name) can never exchange cached
+/// values.
+pub fn space_fingerprint(space: &DesignSpace) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let absorb_bytes = |h: &mut u64, bytes: &[u8]| {
+        for &b in bytes {
+            *h ^= u64::from(b);
+            *h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    absorb_bytes(&mut h, &(space.dimension() as u64).to_le_bytes());
+    for factor in space.factors() {
+        absorb_bytes(&mut h, factor.name().as_bytes());
+        absorb_bytes(&mut h, &[0]); // name terminator: no concatenation aliasing
+        absorb_bytes(&mut h, &factor.min().to_bits().to_le_bytes());
+        absorb_bytes(&mut h, &factor.max().to_bits().to_le_bytes());
+    }
+    h
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -107,5 +137,29 @@ mod tests {
     fn wrong_dimension_rejected() {
         let space = paper_design_space();
         assert!(coded_to_config(&space, &[0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn space_fingerprints_separate_bounds_and_names() {
+        let base = space_fingerprint(&paper_design_space());
+        assert_eq!(
+            base,
+            space_fingerprint(&paper_design_space()),
+            "the fingerprint must be stable"
+        );
+        let shifted = DesignSpace::new(vec![
+            Factor::new("clock_hz", 125e3, 4e6).unwrap(),
+            Factor::new("watchdog_s", 60.0, 600.0).unwrap(),
+            Factor::new("tx_interval_s", 0.005, 10.0).unwrap(),
+        ])
+        .unwrap();
+        assert_ne!(base, space_fingerprint(&shifted), "bounds must matter");
+        let renamed = DesignSpace::new(vec![
+            Factor::new("clock_mhz", 125e3, 8e6).unwrap(),
+            Factor::new("watchdog_s", 60.0, 600.0).unwrap(),
+            Factor::new("tx_interval_s", 0.005, 10.0).unwrap(),
+        ])
+        .unwrap();
+        assert_ne!(base, space_fingerprint(&renamed), "names must matter");
     }
 }

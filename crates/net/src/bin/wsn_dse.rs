@@ -52,18 +52,48 @@
 //! with probability `R`, and the vibration source drops out `20 R` times
 //! per hour for 60 s. The schedule is a pure function of the seed, so
 //! reports stay bit-identical at any `--jobs`.
+//!
+//! `--cache-dir DIR` (accepted by `run`, `sweep`, `refine`, `faults` and
+//! `network --dse`) attaches the crash-safe persistent evaluation cache:
+//! verified responses from earlier sessions are adopted, fresh ones are
+//! flushed atomically after every batch, and corrupt records are
+//! quarantined and recomputed. Cached values are bit-identical to fresh
+//! ones, so a warm run's report matches a cold run's (gated by
+//! `scripts/verify.sh`). `--eval-timeout S` arms a per-evaluation
+//! wall-clock budget (over-budget points fail cleanly, they are never
+//! wrong) and `--eval-retries N` allows N retries with deterministic
+//! exponential backoff and seeded jitter.
+//!
+//! `chaos` exercises the robustness machinery end to end: it calibrates
+//! a response-surface surrogate from the clean envelope engine, wraps
+//! the envelope engine in a seeded chaos injector (panics, delays, NaN
+//! responses, wrong-shape outcomes at `--chaos-rate`), stacks the two as
+//! an engine-degradation ladder with per-tier circuit breakers, and
+//! storms `--points` random design points through the fault-tolerant
+//! pool. The run exits 0 with every injected failure either isolated or
+//! served by the surrogate tier.
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use std::sync::Arc;
 
+use doe::{DOptimal, ModelSpec};
 use harvester::VibrationProfile;
+use numkit::rng::Rng;
+use rsm::ResponseSurface;
 use wsn_dse::robustness::{evaluate_scenarios_with, fault_robustness_with};
-use wsn_dse::{Backend, DseFlow, SimPool};
+use wsn_dse::{
+    coded_to_config, paper_design_space, Backend, DseFlow, EvalKey, RetryPolicy, SimPool,
+    SurrogateEngine,
+};
 use wsn_net::{
     ArbitrationMethod, FleetDseFlow, FleetSpec, FleetTopology, NetworkSim, RadioChannel,
 };
-use wsn_node::{EngineKind, FaultPlan, NodeConfig, SimEngine, SimOutcome, SystemConfig};
+use wsn_node::{
+    ChaosEngine, ChaosPlan, EngineKind, FallbackEngine, FaultPlan, NodeConfig, SimEngine,
+    SimOutcome, SystemConfig,
+};
 
 /// Minimal flag parser: `--key value` pairs after the subcommand.
 struct Args {
@@ -123,7 +153,7 @@ impl Args {
 }
 
 fn usage() -> &'static str {
-    "usage: wsn_dse <run|simulate|sweep|refine|faults|network> [options]\n\
+    "usage: wsn_dse <run|simulate|sweep|refine|faults|network|chaos> [options]\n\
      \n\
      run       --seed N --runs N --f0 HZ --horizon S [--csv DIR] [--jobs N]\n\
                [--linalg dyn|smat] [--json]\n\
@@ -137,6 +167,8 @@ fn usage() -> &'static str {
                [--delivery M] [--ring-radius M | --grid-pitch M] [--ideal]\n\
                [--arbitration indexed|naive]\n\
                [--dse --seed N --runs N] [--jobs N] [--linalg dyn|smat] [--json]\n\
+     chaos     [--seed N] [--chaos-rate R] [--points N] [--f0 HZ] [--horizon S]\n\
+               [--eval-timeout S] [--eval-retries N] [--jobs N] [--linalg dyn|smat] [--json]\n\
      \n\
      --engine envelope|full selects the simulation engine (all commands;\n\
        default envelope; full is slow — use a short --horizon);\n\
@@ -145,6 +177,10 @@ fn usage() -> &'static str {
        deterministic radio/watchdog/vibration faults at rate R\n\
      --linalg dyn|smat (run, sweep, refine, network --dse) selects the\n\
        linear-algebra backend (default smat); reports are bit-identical\n\
+     --cache-dir DIR (run, sweep, refine, faults, network --dse) attaches the\n\
+       crash-safe persistent evaluation cache; warm reports match cold ones\n\
+     --eval-timeout S arms a per-evaluation wall-clock budget;\n\
+       --eval-retries N allows N retries with deterministic backoff\n\
      --jobs 0 (default) uses all cores; results are identical at any job count"
 }
 
@@ -183,6 +219,43 @@ fn linalg_from(args: &Args) -> Result<Backend, String> {
     }
 }
 
+/// Parses the `--eval-timeout` per-evaluation wall-clock budget
+/// (seconds; absent: no budget).
+fn eval_deadline_from(args: &Args) -> Result<Option<Duration>, String> {
+    match args.get("eval-timeout") {
+        None => Ok(None),
+        Some(v) => {
+            let secs: f64 = v
+                .parse()
+                .map_err(|_| format!("--eval-timeout: expected seconds, got {v}"))?;
+            if !(secs > 0.0 && secs.is_finite()) {
+                return Err("--eval-timeout: expected a positive number of seconds".to_owned());
+            }
+            Ok(Some(Duration::from_secs_f64(secs)))
+        }
+    }
+}
+
+/// Parses the `--eval-retries` retry discipline. Absent, the default
+/// policy keeps the historical two-attempt, no-backoff behaviour
+/// bit-identically; `--eval-retries N` allows N retries after the first
+/// attempt, spaced by deterministic exponential backoff with seeded
+/// jitter (the jitter stream is keyed by `--seed` and the evaluation
+/// key, so schedules are reproducible).
+fn retry_policy_from(args: &Args) -> Result<RetryPolicy, String> {
+    match args.get("eval-retries") {
+        None => Ok(RetryPolicy::default()),
+        Some(v) => {
+            let retries: u32 = v
+                .parse()
+                .map_err(|_| format!("--eval-retries: expected a retry count, got {v}"))?;
+            Ok(RetryPolicy::attempts(retries + 1)
+                .with_backoff(Duration::from_millis(25))
+                .with_jitter(0.5, args.get_u64("seed", 12)?))
+        }
+    }
+}
+
 fn flow_from(args: &Args) -> Result<DseFlow, String> {
     let seed = args.get_u64("seed", 12)?;
     let runs = args.get_u64("runs", 10)? as usize;
@@ -192,14 +265,20 @@ fn flow_from(args: &Args) -> Result<DseFlow, String> {
     let template = SystemConfig::paper(NodeConfig::original())
         .with_horizon(horizon)
         .with_vibration(VibrationProfile::paper_profile(f0));
-    Ok(DseFlow::paper()
+    let mut flow = DseFlow::paper()
         .with_template(template)
         .faults(fault_plan_from(args)?)
         .seed(seed)
         .doe_runs(runs)
         .jobs(jobs)
         .linalg(linalg_from(args)?)
-        .with_engine(engine_from(args)?))
+        .retry_policy(retry_policy_from(args)?)
+        .eval_deadline(eval_deadline_from(args)?)
+        .with_engine(engine_from(args)?);
+    if let Some(dir) = args.get("cache-dir") {
+        flow = flow.cache_dir(dir);
+    }
+    Ok(flow)
 }
 
 fn cmd_run(args: &Args) -> Result<(), String> {
@@ -370,7 +449,16 @@ fn cmd_faults(args: &Args) -> Result<(), String> {
     template.trace_interval = None;
 
     let engine = engine_from(args)?;
-    let pool = SimPool::new(jobs);
+    let mut pool = SimPool::new(jobs);
+    pool.set_retry_policy(retry_policy_from(args)?);
+    pool.set_eval_deadline(eval_deadline_from(args)?);
+    if let Some(dir) = args.get("cache-dir") {
+        if let Err(e) = pool.cache().persist_to(std::path::Path::new(dir)) {
+            eprintln!(
+                "warning: cannot attach eval cache at {dir}: {e}; continuing without persistence"
+            );
+        }
+    }
     let nominal = evaluate_scenarios_with(&engine, &pool, &template, node, &[template.scenario()])
         .map_err(|e| e.to_string())?;
     let nominal_tx = nominal.samples[0];
@@ -520,13 +608,18 @@ fn cmd_network(args: &Args) -> Result<(), String> {
     let spec = fleet_spec_from(args)?;
     let jobs = args.get_u64("jobs", 0)? as usize;
     if args.has_flag("dse") {
-        let flow = FleetDseFlow::paper(spec.nodes)
+        let mut flow = FleetDseFlow::paper(spec.nodes)
             .with_spec(spec)
             .seed(args.get_u64("seed", 12)?)
             .doe_runs(args.get_u64("runs", 10)? as usize)
             .jobs(jobs)
             .linalg(linalg_from(args)?)
+            .retry_policy(retry_policy_from(args)?)
+            .eval_deadline(eval_deadline_from(args)?)
             .with_engine(engine_from(args)?);
+        if let Some(dir) = args.get("cache-dir") {
+            flow = flow.cache_dir(dir);
+        }
         let report = flow.run().map_err(|e| e.to_string())?;
         if args.has_flag("json") {
             println!("{}", report.to_json());
@@ -534,6 +627,12 @@ fn cmd_network(args: &Args) -> Result<(), String> {
             println!("{report}");
         }
     } else {
+        if args.get("cache-dir").is_some() {
+            // A plain fleet evaluation needs every node's full timestamp
+            // trace, which only a fresh simulation produces — a warm
+            // scalar cache would starve the channel arbitration.
+            eprintln!("warning: --cache-dir only applies to network --dse; ignoring it");
+        }
         let clock = args.get_f64("clock", 4e6)?;
         let watchdog = args.get_f64("watchdog", 320.0)?;
         let interval = args.get_f64("interval", 5.0)?;
@@ -541,12 +640,164 @@ fn cmd_network(args: &Args) -> Result<(), String> {
         let report = NetworkSim::new()
             .jobs(jobs)
             .with_engine(engine_from(args)?)
+            .retry_policy(retry_policy_from(args)?)
+            .eval_deadline(eval_deadline_from(args)?)
             .evaluate(&spec, node)
             .map_err(|e| e.to_string())?;
         if args.has_flag("json") {
             println!("{}", report.to_json());
         } else {
             println!("{report}");
+        }
+    }
+    Ok(())
+}
+
+/// Exercises the robustness machinery end to end: a chaos-wrapped
+/// envelope engine backed by an RSM surrogate, stormed with seeded
+/// failures through the fault-tolerant pool. Exits 0 as long as the
+/// harness isolates or absorbs every injected failure.
+fn cmd_chaos(args: &Args) -> Result<(), String> {
+    let seed = args.get_u64("seed", 7)?;
+    let rate = args.get_f64("chaos-rate", 0.25)?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(format!(
+            "--chaos-rate: expected a rate in [0, 1], got {rate}"
+        ));
+    }
+    let n_points = args.get_u64("points", 24)? as usize;
+    if n_points == 0 {
+        return Err("--points: expected at least one storm point".to_owned());
+    }
+    let f0 = args.get_f64("f0", 75.0)?;
+    let horizon = args.get_f64("horizon", 600.0)?;
+    let jobs = args.get_u64("jobs", 0)? as usize;
+
+    let mut template = SystemConfig::paper(NodeConfig::original())
+        .with_horizon(horizon)
+        .with_vibration(VibrationProfile::paper_profile(f0));
+    template.trace_interval = None;
+
+    // Calibrate the last-resort surrogate tier from the clean envelope
+    // engine: a quick D-optimal design, simulated and fitted exactly
+    // like the paper flow's response surface.
+    let space = paper_design_space();
+    let model = ModelSpec::quadratic(space.dimension());
+    let design = DOptimal::new(space.dimension(), model.clone())
+        .runs(10)
+        .seed(seed)
+        .linalg(linalg_from(args)?)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let clean = EngineKind::Envelope.engine();
+    let mut responses = Vec::with_capacity(design.len());
+    for p in design.points() {
+        let mut cfg = template.clone();
+        cfg.node = coded_to_config(&space, p).map_err(|e| e.to_string())?;
+        let out = clean.simulate(&cfg).map_err(|e| e.to_string())?;
+        responses.push(out.transmissions as f64);
+    }
+    let surface = ResponseSurface::fit_with(&design, model, &responses, linalg_from(args)?)
+        .map_err(|e| e.to_string())?;
+    let surrogate: Arc<dyn SimEngine> = Arc::new(SurrogateEngine::new(space.clone(), surface));
+
+    // The ladder under test: the envelope engine wrapped in a seeded
+    // chaos injector, backed by the surrogate, with per-tier breakers.
+    let chaotic: Arc<dyn SimEngine> = Arc::new(ChaosEngine::new(
+        EngineKind::Envelope.engine(),
+        ChaosPlan::storm(seed, rate),
+    ));
+    let ladder = Arc::new(FallbackEngine::new(vec![chaotic, surrogate]));
+    let engine: Arc<dyn SimEngine> = ladder.clone();
+
+    // Storm targets: seeded coded points across the Table V space.
+    let mut rng = Rng::stream(seed, 0x6368_6173); // "chas"
+    let points: Vec<Vec<f64>> = (0..n_points)
+        .map(|_| {
+            (0..space.dimension())
+                .map(|_| rng.uniform(-1.0, 1.0))
+                .collect()
+        })
+        .collect();
+    let scenario = template.scenario().fingerprint();
+    let keys: Vec<EvalKey> = points
+        .iter()
+        .map(|p| EvalKey::for_engine(engine.as_ref(), scenario, p))
+        .collect();
+
+    let mut pool = SimPool::new(jobs);
+    pool.set_retry_policy(retry_policy_from(args)?);
+    pool.set_eval_deadline(eval_deadline_from(args)?);
+    // Injected panics are the experiment, not crashes: the pool catches
+    // every one, so mute the default backtrace spam for the storm's
+    // duration and restore the hook afterwards.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let batch = pool.evaluate_batch_partial(&keys, |i| {
+        let mut cfg = template.clone();
+        cfg.node = coded_to_config(&space, &points[i])?;
+        Ok(engine.simulate(&cfg)?.transmissions as f64)
+    });
+    std::panic::set_hook(prev_hook);
+
+    let stats = ladder.tier_stats();
+    let degraded = ladder.degraded_served();
+    if args.has_flag("json") {
+        let tiers: Vec<String> = stats
+            .iter()
+            .enumerate()
+            .map(|(tier, s)| {
+                format!(
+                    "{{\"tier\":{tier},\"name\":\"{}\",\"served\":{},\"failures\":{},\
+                     \"skipped\":{}}}",
+                    s.name, s.served, s.failures, s.skipped
+                )
+            })
+            .collect();
+        let failures: Vec<String> = batch
+            .failures
+            .iter()
+            .map(|f| {
+                let error = f
+                    .error
+                    .to_string()
+                    .replace('\\', "\\\\")
+                    .replace('"', "\\\"");
+                format!(
+                    "{{\"index\":{},\"attempts\":{},\"error\":\"{error}\"}}",
+                    f.index, f.attempts
+                )
+            })
+            .collect();
+        println!(
+            "{{\"seed\":{seed},\"chaos_rate\":{rate},\"points\":{n_points},\
+             \"succeeded\":{},\"failed\":{},\"degraded_served\":{degraded},\
+             \"tiers\":[{}],\"failures\":[{}],\"cache\":{{\"hits\":{},\"misses\":{}}}}}",
+            batch.succeeded(),
+            batch.failures.len(),
+            tiers.join(","),
+            failures.join(","),
+            pool.cache().hits(),
+            pool.cache().misses(),
+        );
+    } else {
+        println!("chaos storm: seed {seed}, rate {rate}, {n_points} points over {horizon} s each");
+        println!(
+            "outcome:     {} succeeded, {} failed, {degraded} served by a degraded tier",
+            batch.succeeded(),
+            batch.failures.len()
+        );
+        for (tier, s) in stats.iter().enumerate() {
+            println!(
+                "tier {tier} ({:<9}): served {:>4}, failures {:>4}, breaker-skipped {:>4}",
+                s.name, s.served, s.failures, s.skipped
+            );
+        }
+        for f in &batch.failures {
+            println!(
+                "failed point {:>3} after {} attempt(s): {}",
+                f.index, f.attempts, f.error
+            );
         }
     }
     Ok(())
@@ -572,6 +823,7 @@ fn main() -> ExitCode {
         "refine" => cmd_refine(&args),
         "faults" => cmd_faults(&args),
         "network" => cmd_network(&args),
+        "chaos" => cmd_chaos(&args),
         other => Err(format!("unknown command {other}\n{}", usage())),
     };
     match result {

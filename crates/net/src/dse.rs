@@ -285,6 +285,43 @@ impl FleetDseFlow {
         self
     }
 
+    /// Attaches a crash-safe persistent cache for the fleet-level
+    /// responses under `dir` (the same format and guarantees as
+    /// [`wsn_dse::DseFlow::cache_dir`]). Keys fold in the fleet
+    /// fingerprint and the engine instance, so entries can never leak
+    /// between fleets, spaces or engines. An unusable directory only
+    /// costs the cache: a warning is printed and the flow continues
+    /// unpersisted.
+    pub fn cache_dir(self, dir: impl AsRef<std::path::Path>) -> Self {
+        if let Err(e) = self.pool.cache().persist_to(dir.as_ref()) {
+            eprintln!(
+                "warning: cannot attach eval cache at {}: {e}; continuing without persistence",
+                dir.as_ref().display()
+            );
+        }
+        self
+    }
+
+    /// Replaces the retry/backoff discipline at both fan-out levels:
+    /// whole-fleet evaluations in this flow's pool and per-node
+    /// simulations inside each fleet run (the default keeps the
+    /// historical two-attempt, no-backoff behaviour bit-identically).
+    pub fn retry_policy(mut self, retry: wsn_dse::RetryPolicy) -> Self {
+        self.pool.set_retry_policy(retry.clone());
+        self.sim = self.sim.retry_policy(retry);
+        self
+    }
+
+    /// Arms (or with `None` disarms) a wall-clock budget at both fan-out
+    /// levels: each whole-fleet evaluation and, inside it, each per-node
+    /// simulation. Over-budget work is isolated, never wrong — see
+    /// [`wsn_dse::SimPool::set_eval_deadline`].
+    pub fn eval_deadline(mut self, deadline: Option<std::time::Duration>) -> Self {
+        self.pool.set_eval_deadline(deadline);
+        self.sim = self.sim.eval_deadline(deadline);
+        self
+    }
+
     /// Sets the number of DOE runs (at least the model size, 10).
     pub fn doe_runs(mut self, runs: usize) -> Self {
         self.doe_runs = runs;
@@ -329,16 +366,16 @@ impl FleetDseFlow {
         Ok(self.evaluate(node)?.goodput_per_hour())
     }
 
-    /// Memoisation keys for a batch of coded points: engine
-    /// discriminant, the *fleet* fingerprint (never a plain scenario
-    /// fingerprint — see [`FleetSpec::fingerprint`]) and the quantised
-    /// coordinates.
+    /// Memoisation keys for a batch of coded points: the engine
+    /// *instance* fingerprint (so chaos-wrapped or ladder-backed engines
+    /// never share entries with clean ones), the *fleet* fingerprint
+    /// (never a plain scenario fingerprint — see
+    /// [`FleetSpec::fingerprint`]) and the quantised coordinates.
     fn keys_for(&self, points: &[Vec<f64>]) -> Vec<EvalKey> {
-        let kind = self.sim.engine_kind();
         let fleet = self.spec.fingerprint();
         points
             .iter()
-            .map(|p| EvalKey::new(kind, fleet, p))
+            .map(|p| EvalKey::for_engine(self.sim.engine_ref(), fleet, p))
             .collect()
     }
 

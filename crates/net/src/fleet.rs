@@ -15,8 +15,10 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, PoisonError};
 
+use std::time::Duration;
+
 use numkit::rng::Rng;
-use wsn_dse::{EvalKey, SimPool};
+use wsn_dse::{EvalKey, RetryPolicy, SimPool};
 use wsn_node::{
     EnergyBreakdown, EngineKind, FaultCounters, FaultPlan, NodeConfig, Scenario, SimEngine,
     SystemConfig,
@@ -341,6 +343,8 @@ struct NodeRun {
 pub struct NetworkSim {
     engine: Arc<dyn SimEngine>,
     jobs: usize,
+    retry: RetryPolicy,
+    deadline: Option<Duration>,
 }
 
 impl Default for NetworkSim {
@@ -355,6 +359,8 @@ impl NetworkSim {
         NetworkSim {
             engine: EngineKind::Envelope.engine(),
             jobs: 0,
+            retry: RetryPolicy::default(),
+            deadline: None,
         }
     }
 
@@ -375,10 +381,32 @@ impl NetworkSim {
         self.engine.kind()
     }
 
+    /// The installed engine itself (for cache keys that must separate
+    /// wrapper engines sharing a base kind).
+    pub(crate) fn engine_ref(&self) -> &dyn SimEngine {
+        self.engine.as_ref()
+    }
+
     /// Sets the worker-thread count (`0`: all cores, `1`: sequential).
     /// Reports are bit-identical at any setting.
     pub fn jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs;
+        self
+    }
+
+    /// Replaces the retry/backoff discipline applied to every per-node
+    /// simulation (the default keeps the historical two-attempt,
+    /// no-backoff behaviour bit-identically).
+    pub fn retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Arms (or with `None` disarms) a per-node wall-clock budget. A node
+    /// that exceeds it is isolated exactly like a crashing node: reported
+    /// in [`NetworkReport::failed_nodes`], silent on the channel.
+    pub fn eval_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.deadline = deadline;
         self
     }
 
@@ -398,12 +426,11 @@ impl NetworkSim {
     /// Returns an error only when *every* node fails (a fleet with no
     /// surviving node has no meaningful report).
     pub fn evaluate(&self, spec: &FleetSpec, node: NodeConfig) -> Result<NetworkReport> {
-        let kind = self.engine.kind();
         let coords = [node.clock_hz, node.watchdog_s, node.tx_interval_s];
         let scenarios: Vec<Scenario> = (0..spec.nodes).map(|i| spec.scenario_for(i)).collect();
         let keys: Vec<EvalKey> = scenarios
             .iter()
-            .map(|s| EvalKey::new(kind, s.fingerprint(), &coords))
+            .map(|s| EvalKey::for_engine(self.engine.as_ref(), s.fingerprint(), &coords))
             .collect();
 
         // Side-channel for the full outcomes: the pool deduplicates
@@ -411,7 +438,9 @@ impl NetworkSim {
         // ends up with one entry per distinct scenario, which every node
         // sharing it then reads back.
         let runs: Mutex<HashMap<EvalKey, NodeRun>> = Mutex::new(HashMap::new());
-        let pool = SimPool::new(self.jobs);
+        let mut pool = SimPool::new(self.jobs);
+        pool.set_retry_policy(self.retry.clone());
+        pool.set_eval_deadline(self.deadline);
         let batch = pool.evaluate_batch_partial(&keys, |i| {
             let config = spec.system_config_for(i, node);
             let out = self.engine.simulate(&config)?;
@@ -490,7 +519,7 @@ impl NetworkSim {
             nodes: spec.nodes,
             horizon_s: spec.template.horizon,
             seed: spec.seed,
-            engine: kind,
+            engine: self.engine.kind(),
             design: node,
             fingerprint: spec.fingerprint(),
             channel: spec.channel.clone(),

@@ -55,6 +55,28 @@ pub trait SimEngine: fmt::Debug + Send + Sync {
     fn name(&self) -> &'static str {
         self.kind().name()
     }
+
+    /// A stable 64-bit value discriminating this evaluator's results in
+    /// memoisation keys.
+    ///
+    /// The default — the [`EngineKind::discriminant`] widened to 64 bits
+    /// — is correct for the plain engines and keeps their historical key
+    /// values. Wrapper engines whose results differ from the wrapped
+    /// engine's ([`crate::ChaosEngine`] fabricating outcomes, a
+    /// [`crate::FallbackEngine`] that may answer from a lower tier)
+    /// MUST override this so their results never pollute the plain
+    /// engines' cache namespace — in particular a persistent on-disk
+    /// cache, where a collision would survive across sessions.
+    fn cache_fingerprint(&self) -> u64 {
+        u64::from(self.kind().discriminant())
+    }
+
+    /// Downcast hook: the [`crate::FallbackEngine`] degradation ladder
+    /// returns itself here so callers can audit per-tier statistics;
+    /// every other engine returns `None` (the default).
+    fn as_fallback(&self) -> Option<&crate::FallbackEngine> {
+        None
+    }
 }
 
 /// Selector for the built-in simulation engines.
@@ -70,10 +92,17 @@ pub enum EngineKind {
     /// The fine-timestep mixed-signal co-simulation ([`FullSystemSim`]):
     /// the direct SystemC-A analogue, used for validation.
     Full,
+    /// A fitted response-surface surrogate (`wsn_dse::SurrogateEngine`):
+    /// the last rung of a degradation ladder. Not constructible from a
+    /// kind alone (it needs a fitted surface), so it is absent from
+    /// [`EngineKind::ALL`] and rejected by the parser.
+    Surrogate,
 }
 
 impl EngineKind {
-    /// Every built-in engine kind.
+    /// Every engine kind constructible from the kind alone (the CLI
+    /// choices); [`EngineKind::Surrogate`] needs a fitted surface and is
+    /// deliberately absent.
     pub const ALL: [EngineKind; 2] = [EngineKind::Envelope, EngineKind::Full];
 
     /// The engine's canonical name (the CLI spelling).
@@ -81,6 +110,7 @@ impl EngineKind {
         match self {
             EngineKind::Envelope => "envelope",
             EngineKind::Full => "full",
+            EngineKind::Surrogate => "surrogate",
         }
     }
 
@@ -90,15 +120,25 @@ impl EngineKind {
         match self {
             EngineKind::Envelope => 0,
             EngineKind::Full => 1,
+            EngineKind::Surrogate => 2,
         }
     }
 
     /// Builds a shareable engine of this kind with default settings
     /// (the full engine uses its default 50 µs analogue step).
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`EngineKind::Surrogate`], which cannot be built from
+    /// its kind alone (construct a `wsn_dse::SurrogateEngine` from a
+    /// fitted surface instead).
     pub fn engine(self) -> Arc<dyn SimEngine> {
         match self {
             EngineKind::Envelope => Arc::new(EnvelopeSim::new()),
             EngineKind::Full => Arc::new(FullSystemSim::new()),
+            EngineKind::Surrogate => {
+                panic!("a surrogate engine needs a fitted response surface")
+            }
         }
     }
 
@@ -109,11 +149,15 @@ impl EngineKind {
     ///
     /// # Panics
     ///
-    /// Panics if `dt` is not positive (full engine only).
+    /// Panics if `dt` is not positive (full engine only), and for
+    /// [`EngineKind::Surrogate`] (see [`EngineKind::engine`]).
     pub fn engine_with_dt(self, dt: f64) -> Arc<dyn SimEngine> {
         match self {
             EngineKind::Envelope => Arc::new(EnvelopeSim::new()),
             EngineKind::Full => Arc::new(FullSystemSim::new().with_dt(dt)),
+            EngineKind::Surrogate => {
+                panic!("a surrogate engine needs a fitted response surface")
+            }
         }
     }
 }

@@ -141,6 +141,9 @@ impl EnvelopeSim {
             .is_some_and(|bv| cfg.initial_voltage >= bv);
 
         loop {
+            // Cooperative wall-clock budget (no-op unless the caller
+            // armed one): polls at event cadence, never touches state.
+            crate::deadline::check()?;
             let mut t_event = next_tx;
             if pending.is_empty() {
                 t_event = t_event.min(next_wd);
@@ -342,6 +345,7 @@ impl EnvelopeSim {
             trace: state.trace,
             horizon: cfg.horizon,
             faults,
+            tier: 0,
         })
     }
 

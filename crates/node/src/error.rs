@@ -19,6 +19,12 @@ pub enum NodeError {
     Harvester(harvester::HarvesterError),
     /// A simulation-kernel failure.
     Sim(msim::SimError),
+    /// The evaluation's cooperative wall-clock budget expired mid-run
+    /// (see [`crate::deadline`]).
+    DeadlineExceeded,
+    /// Every engine in a degradation ladder failed for this
+    /// configuration; the string concatenates the per-tier failures.
+    EngineFault(String),
 }
 
 impl fmt::Display for NodeError {
@@ -32,6 +38,8 @@ impl fmt::Display for NodeError {
             NodeError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
             NodeError::Harvester(e) => write!(f, "harvester failure: {e}"),
             NodeError::Sim(e) => write!(f, "simulation failure: {e}"),
+            NodeError::DeadlineExceeded => write!(f, "evaluation deadline exceeded"),
+            NodeError::EngineFault(detail) => write!(f, "all engine tiers failed: {detail}"),
         }
     }
 }

@@ -227,6 +227,7 @@ impl FullSystemSim {
             trace,
             horizon: cfg.horizon,
             faults,
+            tier: 0,
         })
     }
 }
@@ -267,6 +268,9 @@ impl Process<HarvesterCircuit> for SensorProcess {
     }
 
     fn wake(&mut self, ctx: &mut Context<'_, HarvesterCircuit>) {
+        // Process wakes cannot return errors; an expired evaluation
+        // budget aborts the run with the deadline sentinel instead.
+        crate::deadline::check_or_abort();
         let t = ctx.time();
         if self.in_flight {
             // End of the 4.5 ms transmission window.
@@ -398,6 +402,7 @@ impl Process<HarvesterCircuit> for McuProcess {
     }
 
     fn wake(&mut self, ctx: &mut Context<'_, HarvesterCircuit>) {
+        crate::deadline::check_or_abort();
         let t = ctx.time();
 
         // Brownout detector, checked at every MCU activity point: below

@@ -49,10 +49,13 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+mod chaos;
 mod config;
+pub mod deadline;
 mod engine;
 mod envelope;
 mod error;
+mod fallback;
 pub mod faults;
 mod firmware;
 mod fullsim;
@@ -63,10 +66,12 @@ pub mod power;
 mod sensor;
 
 pub use analysis::{BindingConstraint, EngineAgreement, PowerBudget};
+pub use chaos::{ChaosEngine, ChaosPlan};
 pub use config::{NodeConfig, SystemConfig};
 pub use engine::{EngineKind, Scenario, SimEngine};
 pub use envelope::EnvelopeSim;
 pub use error::NodeError;
+pub use fallback::{BreakerPolicy, FallbackEngine, TierStats};
 pub use faults::FaultPlan;
 pub use firmware::{FirmwareAction, TuningFirmware};
 pub use fullsim::FullSystemSim;

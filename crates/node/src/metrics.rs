@@ -130,6 +130,10 @@ pub struct SimOutcome {
     pub horizon: f64,
     /// Injected-fault counters (all zero for nominal runs).
     pub faults: FaultCounters,
+    /// Degradation-ladder tier that produced this outcome: 0 when the
+    /// requested engine answered directly (every plain engine), the
+    /// ladder rung index when a [`crate::FallbackEngine`] had to degrade.
+    pub tier: u8,
 }
 
 impl SimOutcome {
@@ -234,6 +238,7 @@ mod tests {
             ],
             horizon: 3600.0,
             faults: FaultCounters::default(),
+            tier: 0,
         };
         assert!((o.tx_rate() - 0.1).abs() < 1e-12);
         assert_eq!(o.min_voltage(), 2.7);

@@ -85,6 +85,45 @@ cmp "$FLEET_DIR/fleet-dse-dyn.json" "$FLEET_DIR/fleet-dse-smat.json"
 echo "== linalg gate: hot-path bench smoke (asserts backend agreement) =="
 target/release/linalg_hot_path --quick --out "$FLEET_DIR/BENCH_linalg.json"
 
+echo "== robustness gate: chaos harness + corrupted-cache recovery =="
+cargo test -q --offline -p wsn-dse --test chaos
+cargo test -q --offline -p wsn-dse --lib -- \
+  every_single_byte_flip_is_caught \
+  every_truncation_is_safe \
+  garbage_file_is_fully_quarantined \
+  poisoned_cache_mutex_recovers_instead_of_cascading
+
+echo "== robustness gate: warm cache run is byte-identical to cold =="
+CACHE_DIR="$FLEET_DIR/evalcache"
+strip_cache() { sed -E 's/"cache":\{[^}]*\},?//' "$1"; }
+target/release/wsn_dse run --horizon 900 --json --jobs 2 \
+  --cache-dir "$CACHE_DIR" > "$FLEET_DIR/cache-cold.json"
+target/release/wsn_dse run --horizon 900 --json --jobs 8 \
+  --cache-dir "$CACHE_DIR" > "$FLEET_DIR/cache-warm.json"
+# Outside the (intentionally warmth-dependent) cache counters, the warm
+# report must match the cold one byte for byte — and the cold report must
+# match the uncached baseline produced by the linalg gate above.
+cmp <(strip_cache "$FLEET_DIR/cache-cold.json") \
+    <(strip_cache "$FLEET_DIR/cache-warm.json")
+cmp <(strip_cache "$FLEET_DIR/cache-cold.json") \
+    <(strip_cache "$FLEET_DIR/dse-smat-1.json")
+grep -q '"disk_loads":0' "$FLEET_DIR/cache-cold.json"
+if grep -o '"disk_loads":[0-9]*' "$FLEET_DIR/cache-warm.json" \
+    | grep -q '"disk_loads":0$'; then
+  echo "verify: warm cache run loaded nothing from disk" >&2
+  exit 1
+fi
+
+echo "== robustness gate: chaos storm completes with degraded service =="
+target/release/wsn_dse chaos --points 24 --horizon 600 --chaos-rate 0.35 \
+  --eval-retries 2 --json > "$FLEET_DIR/chaos.json"
+if grep -o '"degraded_served":[0-9]*' "$FLEET_DIR/chaos.json" \
+    | grep -q '"degraded_served":0$'; then
+  echo "verify: chaos storm exercised no degraded tier" >&2
+  exit 1
+fi
+grep -q '"degraded_served":' "$FLEET_DIR/chaos.json"
+
 echo "== cargo fmt --check =="
 cargo fmt --check
 

@@ -15,7 +15,7 @@
 
 use doe::{DOptimal, ModelSpec};
 use rsm::ResponseSurface;
-use wsn_dse::{DesignEval, DseReport};
+use wsn_dse::{CacheStats, DesignEval, DseReport};
 use wsn_node::{FaultCounters, NodeConfig};
 
 /// A fully deterministic report: no simulation, no clock, no threads.
@@ -44,6 +44,7 @@ fn golden_report() -> DseReport {
         predicted: None,
         simulated: 405,
         faults: FaultCounters::default(),
+        tier: 0,
     };
     let optimised = vec![
         DesignEval {
@@ -59,6 +60,7 @@ fn golden_report() -> DseReport {
                 brownouts: 0,
                 watchdog_misses: 2,
             },
+            tier: 1,
         },
         DesignEval {
             label: "genetic algorithm".to_owned(),
@@ -67,6 +69,7 @@ fn golden_report() -> DseReport {
             predicted: Some(798.0),
             simulated: 795,
             faults: FaultCounters::default(),
+            tier: 0,
         },
     ];
 
@@ -77,6 +80,14 @@ fn golden_report() -> DseReport {
         d_efficiency,
         original,
         optimised,
+        cache: CacheStats {
+            entries: 13,
+            hits: 4,
+            misses: 13,
+            inserts: 13,
+            disk_loads: 0,
+            quarantined: 0,
+        },
     }
 }
 
@@ -116,4 +127,20 @@ fn report_json_keeps_zero_fault_fields_explicit() {
     let totals = report.fault_totals();
     assert_eq!(totals.tx_failures, 3);
     assert_eq!(totals.total(), 5, "retries are consequences, not faults");
+}
+
+#[test]
+fn report_json_keeps_cache_and_tier_fields_explicit() {
+    let json = golden_report().to_json();
+    // The cache object mirrors fault_totals: always present, every
+    // counter spelled out (zeros included), identical schema whether or
+    // not a --cache-dir was attached.
+    assert!(json.contains(
+        "\"cache\":{\"entries\":13,\"hits\":4,\"misses\":13,\"inserts\":13,\
+         \"disk_loads\":0,\"quarantined\":0}"
+    ));
+    // Every design eval carries its serving tier; only the SA entry in
+    // this fixture was degraded.
+    assert_eq!(json.matches("\"tier\":0").count(), 2);
+    assert_eq!(json.matches("\"tier\":1").count(), 1);
 }
