@@ -181,6 +181,17 @@ impl DseFlow {
         self
     }
 
+    /// Replaces the pool's cache with a shared handle (see
+    /// [`SimPool::set_shared_cache`]): lookups and inserts land in the
+    /// cache every other holder sees, which is how a long-lived server
+    /// multiplexes many flows onto one warm cache. Apply this **after**
+    /// [`with_template`](Self::with_template) / [`faults`](Self::faults),
+    /// which clear whatever cache the pool holds at that moment.
+    pub fn shared_cache(mut self, cache: std::sync::Arc<crate::EvalCache>) -> Self {
+        self.pool.set_shared_cache(cache);
+        self
+    }
+
     /// Replaces the pool's retry/backoff discipline (the default keeps
     /// the historical two-attempt, no-backoff behaviour bit-identically).
     pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {

@@ -39,9 +39,11 @@
 
 mod error;
 mod flow;
+pub mod jobs;
 mod objective;
 mod persist;
 pub mod pool;
+pub mod protocol;
 mod report;
 pub mod robustness;
 mod space;

@@ -53,11 +53,11 @@
 //! [`DseError::EvalTimedOut`] in [`BatchReport::failures`] and are never
 //! cached.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::panic::AssertUnwindSafe;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use wsn_node::{EngineKind, SimEngine};
@@ -219,6 +219,12 @@ pub struct EvalCache {
     entries: Mutex<HashMap<EvalKey, f64>>,
     /// Path of the attached persistent file, when any.
     persist: Mutex<Option<PathBuf>>,
+    /// Keys currently being computed by some thread (single-flight
+    /// registry): concurrent evaluations of the same key coalesce onto
+    /// one computation instead of duplicating work.
+    inflight: Mutex<HashSet<EvalKey>>,
+    /// Wakes [`EvalCache::wait_for`] when a claim is released.
+    flight: Condvar,
     hits: AtomicUsize,
     misses: AtomicUsize,
     inserts: AtomicUsize,
@@ -233,6 +239,10 @@ impl Clone for EvalCache {
         EvalCache {
             entries: Mutex::new(self.lock_entries().clone()),
             persist: Mutex::new(self.persist_path()),
+            // In-flight claims belong to the threads of the original;
+            // a copy starts with none.
+            inflight: Mutex::new(HashSet::new()),
+            flight: Condvar::new(),
             hits: AtomicUsize::new(self.hits.load(Ordering::Relaxed)),
             misses: AtomicUsize::new(self.misses.load(Ordering::Relaxed)),
             inserts: AtomicUsize::new(self.inserts.load(Ordering::Relaxed)),
@@ -392,6 +402,47 @@ impl EvalCache {
             self.dirty.fetch_add(dirty, Ordering::Relaxed);
         }
         result
+    }
+
+    /// Claims `key` for computation by the calling thread. Returns
+    /// `true` when the caller now owns the (single) computation of this
+    /// key and must end it with [`release`](Self::release); `false`
+    /// when another thread already holds the claim — use
+    /// [`wait_for`](Self::wait_for) to block for its result.
+    pub fn claim(&self, key: &EvalKey) -> bool {
+        self.inflight
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(key.clone())
+    }
+
+    /// Releases a claim taken with [`claim`](Self::claim) (whether or
+    /// not a value was inserted) and wakes every waiter.
+    pub fn release(&self, key: &EvalKey) {
+        self.inflight
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(key);
+        self.flight.notify_all();
+    }
+
+    /// Blocks until no thread holds a claim on `key`, then looks the
+    /// key up. `Some` (counted as a hit) when the claimant cached a
+    /// value; `None` when it failed — the caller should claim and
+    /// compute the key itself.
+    pub fn wait_for(&self, key: &EvalKey) -> Option<f64> {
+        let mut inflight = self.inflight.lock().unwrap_or_else(PoisonError::into_inner);
+        while inflight.contains(key) {
+            // The timeout is only a safety net against a lost wakeup;
+            // release() always notifies.
+            let (guard, _) = self
+                .flight
+                .wait_timeout(inflight, Duration::from_millis(100))
+                .unwrap_or_else(PoisonError::into_inner);
+            inflight = guard;
+        }
+        drop(inflight);
+        self.get(key)
     }
 
     /// Drops all entries and resets the counters (used when the design
@@ -569,12 +620,31 @@ impl BatchReport {
 /// threads, and reassembles the responses in submission order. Failure
 /// handling is governed by the pool's [`RetryPolicy`] and optional
 /// per-evaluation wall-clock deadline.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default)]
 pub struct SimPool {
     jobs: usize,
-    cache: EvalCache,
+    /// Behind an [`Arc`] so a long-lived server can hand the *same* warm
+    /// cache to every flow it dispatches; standalone pools simply hold
+    /// the only reference.
+    cache: Arc<EvalCache>,
     retry: RetryPolicy,
     deadline: Option<Duration>,
+}
+
+impl Clone for SimPool {
+    /// Deep copy: the clone starts with its **own** snapshot of the
+    /// cache, preserving the historical value semantics (a refined flow
+    /// clearing its cache must not clear its parent's). Use
+    /// [`SimPool::set_shared_cache`] when two pools should genuinely
+    /// share one cache.
+    fn clone(&self) -> Self {
+        SimPool {
+            jobs: self.jobs,
+            cache: Arc::new(self.cache.as_ref().clone()),
+            retry: self.retry.clone(),
+            deadline: self.deadline,
+        }
+    }
 }
 
 impl SimPool {
@@ -584,7 +654,7 @@ impl SimPool {
     pub fn new(jobs: usize) -> Self {
         SimPool {
             jobs,
-            cache: EvalCache::new(),
+            cache: Arc::new(EvalCache::new()),
             retry: RetryPolicy::default(),
             deadline: None,
         }
@@ -603,6 +673,25 @@ impl SimPool {
     /// The underlying evaluation cache.
     pub fn cache(&self) -> &EvalCache {
         &self.cache
+    }
+
+    /// A shareable handle to this pool's cache. Cloning the handle (not
+    /// the pool) is how a server multiplexes many flows onto one warm
+    /// cache: `other.set_shared_cache(pool.cache_handle())`.
+    pub fn cache_handle(&self) -> Arc<EvalCache> {
+        Arc::clone(&self.cache)
+    }
+
+    /// Replaces this pool's cache with a shared handle, so lookups and
+    /// inserts land in the cache every other holder of the handle sees.
+    ///
+    /// Attach a shared cache **last** when building a flow: earlier
+    /// builder steps that retire stale entries (`with_template`,
+    /// `faults`, `with_spec`) call [`EvalCache::clear`] on whatever
+    /// cache the pool holds at that moment, and with shared semantics a
+    /// clear is visible to every holder.
+    pub fn set_shared_cache(&mut self, cache: Arc<EvalCache>) {
+        self.cache = cache;
     }
 
     /// The pool's retry/backoff discipline.
@@ -750,16 +839,40 @@ impl SimPool {
                 }
             }
         };
-        let fresh = numkit::pool::par_map_ordered(self.jobs, &pending, |_, &input| run_one(input));
+        // Single-flight on the shared cache: when another thread (e.g.
+        // an identical job on a serving-layer worker) is already
+        // computing a key, wait for its result instead of duplicating
+        // the work. Claims are per-key and the claimant always releases
+        // (success, failure or panic — `run_one` catches panics), so
+        // the wait graph is acyclic and a failed claimant just hands
+        // the key to the next waiter. Values are deterministic in the
+        // key, so coalescing never changes a result.
+        let run_coalesced = |input: usize| -> std::result::Result<f64, (u32, DseError)> {
+            let key = &keys[input];
+            loop {
+                if self.cache.claim(key) {
+                    let outcome = run_one(input);
+                    if let Ok(value) = &outcome {
+                        // Insert before release so waiters see the value.
+                        self.cache.insert(key.clone(), *value);
+                    }
+                    self.cache.release(key);
+                    return outcome;
+                }
+                if let Some(value) = self.cache.wait_for(key) {
+                    return Ok(value);
+                }
+                // The claimant failed; take the key over ourselves.
+            }
+        };
+        let fresh =
+            numkit::pool::par_map_ordered(self.jobs, &pending, |_, &input| run_coalesced(input));
 
         let mut fresh_values: Vec<Option<f64>> = Vec::with_capacity(fresh.len());
         let mut failures = Vec::new();
         for (&input, outcome) in pending.iter().zip(fresh) {
             match outcome {
-                Ok(value) => {
-                    self.cache.insert(keys[input].clone(), value);
-                    fresh_values.push(Some(value));
-                }
+                Ok(value) => fresh_values.push(Some(value)),
                 Err((attempts, error)) => {
                     failures.push(BatchFailure {
                         index: input,
@@ -1248,5 +1361,80 @@ mod tests {
         assert_eq!(pool.cache().stats(), CacheStats::default());
         let (_, calls) = count_evals(&pool, &[vec![1.0]]);
         assert_eq!(calls, 1, "cleared cache must re-simulate");
+    }
+
+    #[test]
+    fn concurrent_identical_batches_coalesce_on_a_shared_cache() {
+        use std::sync::atomic::AtomicBool;
+
+        let shared = Arc::new(EvalCache::new());
+        let mut a = SimPool::new(1);
+        a.set_shared_cache(Arc::clone(&shared));
+        let mut b = SimPool::new(1);
+        b.set_shared_cache(Arc::clone(&shared));
+        let keys = keys_of(&[vec![0.25, 0.5, -0.5]]);
+        let calls = AtomicUsize::new(0);
+        let claimed = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let first = s.spawn(|| {
+                a.evaluate_batch(&keys, |_| {
+                    claimed.store(true, Ordering::SeqCst);
+                    calls.fetch_add(1, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(150));
+                    Ok(42.0)
+                })
+                .unwrap()
+            });
+            // Only start the identical batch once the first is provably
+            // mid-evaluation, so the single-flight wait is exercised.
+            while !claimed.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            let second = b
+                .evaluate_batch(&keys, |_| {
+                    calls.fetch_add(1, Ordering::SeqCst);
+                    Ok(99.0)
+                })
+                .unwrap();
+            assert_eq!(first.join().unwrap(), vec![42.0]);
+            assert_eq!(second, vec![42.0], "waiter must adopt the claimant's value");
+        });
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            1,
+            "the key must be computed once"
+        );
+        assert!(shared.hits() > 0);
+    }
+
+    #[test]
+    fn failed_claimants_hand_keys_to_waiting_evaluators() {
+        use std::sync::atomic::AtomicBool;
+
+        let shared = Arc::new(EvalCache::new());
+        let mut a = SimPool::new(1);
+        a.set_shared_cache(Arc::clone(&shared));
+        let mut b = SimPool::new(1);
+        b.set_shared_cache(Arc::clone(&shared));
+        let keys = keys_of(&[vec![0.5, 0.5, 0.5]]);
+        let entered = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let failing = s.spawn(|| {
+                a.evaluate_batch_partial(&keys, |_| {
+                    entered.store(true, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(50));
+                    Err(DseError::EvalPanicked("boom".into()))
+                })
+            });
+            while !entered.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            // The waiter outlives the claimant's failure and computes
+            // the key itself rather than inheriting the error.
+            let rescued = b.evaluate_batch(&keys, |_| Ok(7.0)).unwrap();
+            assert_eq!(rescued, vec![7.0]);
+            let report = failing.join().unwrap();
+            assert_eq!(report.failed(), 1);
+        });
     }
 }

@@ -1,0 +1,104 @@
+//! Minimal `--key value` / `--flag` argument parser shared by the
+//! `wsn_dse` and `wsn_client` binaries. A token is a value when it
+//! follows a `--key` and does not itself start with `--`; everything
+//! else must be a flag. No external dependencies, by design.
+
+/// Parsed arguments: `--key value` pairs plus bare `--flag`s.
+pub struct Args {
+    pairs: Vec<(String, String)>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses `argv` (without the program and subcommand names).
+    ///
+    /// # Errors
+    ///
+    /// Rejects positional arguments — every token must be a `--option`
+    /// or an option's value.
+    pub fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut pairs = Vec::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let arg = &argv[i];
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument: {arg}"));
+            };
+            if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                pairs.push((key.to_owned(), argv[i + 1].clone()));
+                i += 2;
+            } else {
+                flags.push(key.to_owned());
+                i += 1;
+            }
+        }
+        Ok(Args { pairs, flags })
+    }
+
+    /// The raw value of `--key`, when given.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The value of `--key` as a float, or `default` when absent.
+    ///
+    /// # Errors
+    ///
+    /// Reports a non-numeric value.
+    pub fn get_f64(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.get(key) {
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: expected a number, got {v}")),
+            None => Ok(default),
+        }
+    }
+
+    /// The value of `--key` as an integer, or `default` when absent.
+    ///
+    /// # Errors
+    ///
+    /// Reports a non-integer value.
+    pub fn get_u64(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.get(key) {
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: expected an integer, got {v}")),
+            None => Ok(default),
+        }
+    }
+
+    /// Whether the bare flag `--key` was given.
+    pub fn has_flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn of(tokens: &[&str]) -> Args {
+        Args::parse(&tokens.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn pairs_flags_and_defaults() {
+        let args = of(&["--seed", "7", "--json", "--rate", "0.25"]);
+        assert_eq!(args.get_u64("seed", 12).unwrap(), 7);
+        assert_eq!(args.get_u64("runs", 10).unwrap(), 10);
+        assert_eq!(args.get_f64("rate", 0.0).unwrap(), 0.25);
+        assert!(args.has_flag("json"));
+        assert!(!args.has_flag("trace"));
+    }
+
+    #[test]
+    fn positional_arguments_are_rejected() {
+        let argv = vec!["stray".to_owned()];
+        assert!(Args::parse(&argv).is_err());
+    }
+}

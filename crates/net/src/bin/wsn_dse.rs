@@ -92,68 +92,13 @@ use wsn_net::{
 };
 use wsn_node::{
     ChaosEngine, ChaosPlan, EngineKind, FallbackEngine, FaultPlan, NodeConfig, SimEngine,
-    SimOutcome, SystemConfig,
+    SystemConfig,
 };
 
-/// Minimal flag parser: `--key value` pairs after the subcommand.
-struct Args {
-    pairs: Vec<(String, String)>,
-    flags: Vec<String>,
-}
-
-impl Args {
-    fn parse(argv: &[String]) -> Result<Self, String> {
-        let mut pairs = Vec::new();
-        let mut flags = Vec::new();
-        let mut i = 0;
-        while i < argv.len() {
-            let arg = &argv[i];
-            let Some(key) = arg.strip_prefix("--") else {
-                return Err(format!("unexpected positional argument: {arg}"));
-            };
-            if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
-                pairs.push((key.to_owned(), argv[i + 1].clone()));
-                i += 2;
-            } else {
-                flags.push(key.to_owned());
-                i += 1;
-            }
-        }
-        Ok(Args { pairs, flags })
-    }
-
-    fn get(&self, key: &str) -> Option<&str> {
-        self.pairs
-            .iter()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| v.as_str())
-    }
-
-    fn get_f64(&self, key: &str, default: f64) -> Result<f64, String> {
-        match self.get(key) {
-            Some(v) => v
-                .parse()
-                .map_err(|_| format!("--{key}: expected a number, got {v}")),
-            None => Ok(default),
-        }
-    }
-
-    fn get_u64(&self, key: &str, default: u64) -> Result<u64, String> {
-        match self.get(key) {
-            Some(v) => v
-                .parse()
-                .map_err(|_| format!("--{key}: expected an integer, got {v}")),
-            None => Ok(default),
-        }
-    }
-
-    fn has_flag(&self, key: &str) -> bool {
-        self.flags.iter().any(|f| f == key)
-    }
-}
+use wsn_net::args::Args;
 
 fn usage() -> &'static str {
-    "usage: wsn_dse <run|simulate|sweep|refine|faults|network|chaos> [options]\n\
+    "usage: wsn_dse <run|simulate|sweep|refine|faults|network|chaos|serve> [options]\n\
      \n\
      run       --seed N --runs N --f0 HZ --horizon S [--csv DIR] [--jobs N]\n\
                [--linalg dyn|smat] [--json]\n\
@@ -169,6 +114,9 @@ fn usage() -> &'static str {
                [--dse --seed N --runs N] [--jobs N] [--linalg dyn|smat] [--json]\n\
      chaos     [--seed N] [--chaos-rate R] [--points N] [--f0 HZ] [--horizon S]\n\
                [--eval-timeout S] [--eval-retries N] [--jobs N] [--linalg dyn|smat] [--json]\n\
+     serve     [--addr HOST:PORT] [--workers N] [--jobs N] [--cache-dir DIR]\n\
+               [--chaos-rate R] [--chaos-seed N] [--eval-timeout S] [--eval-retries N]\n\
+               [--addr-file FILE]\n\
      \n\
      --engine envelope|full selects the simulation engine (all commands;\n\
        default envelope; full is slow — use a short --horizon);\n\
@@ -310,40 +258,6 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// One simulation outcome as a machine-readable JSON line, including the
-/// per-transmission timestamps the network layer arbitrates over.
-fn outcome_json(out: &SimOutcome) -> String {
-    let times: Vec<String> = out.tx_times.iter().map(|t| format!("{t}")).collect();
-    format!(
-        "{{\"transmissions\":{},\"horizon_s\":{},\"final_voltage\":{},\
-         \"watchdog_wakes\":{},\"coarse_moves\":{},\"fine_steps\":{},\
-         \"energy\":{{\"harvested\":{},\"transmission\":{},\"mcu\":{},\"actuator\":{},\
-         \"accelerometer\":{},\"sleep\":{},\"leakage\":{}}},\
-         \"faults\":{{\"tx_failures\":{},\"tx_retries\":{},\"tx_aborts\":{},\
-         \"brownouts\":{},\"watchdog_misses\":{}}},\
-         \"tx_times\":[{}]}}",
-        out.transmissions,
-        out.horizon,
-        out.final_voltage,
-        out.watchdog_wakes,
-        out.coarse_moves,
-        out.fine_steps,
-        out.energy.harvested,
-        out.energy.transmission,
-        out.energy.mcu,
-        out.energy.actuator,
-        out.energy.accelerometer,
-        out.energy.sleep,
-        out.energy.leakage,
-        out.faults.tx_failures,
-        out.faults.tx_retries,
-        out.faults.tx_aborts,
-        out.faults.brownouts,
-        out.faults.watchdog_misses,
-        times.join(","),
-    )
-}
-
 fn cmd_simulate(args: &Args) -> Result<(), String> {
     let clock = args.get_f64("clock", 4e6)?;
     let watchdog = args.get_f64("watchdog", 320.0)?;
@@ -362,7 +276,7 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
         .simulate(&cfg)
         .map_err(|e| e.to_string())?;
     if args.has_flag("json") {
-        println!("{}", outcome_json(&out));
+        println!("{}", out.to_json());
     } else {
         println!("{out}");
     }
@@ -630,8 +544,10 @@ fn cmd_network(args: &Args) -> Result<(), String> {
         if args.get("cache-dir").is_some() {
             // A plain fleet evaluation needs every node's full timestamp
             // trace, which only a fresh simulation produces — a warm
-            // scalar cache would starve the channel arbitration.
-            eprintln!("warning: --cache-dir only applies to network --dse; ignoring it");
+            // scalar cache would starve the channel arbitration. The
+            // warning is one structured JSON line so scripted callers
+            // can detect the ignored option instead of matching prose.
+            eprintln!("{}", wsn_net::serve::cache_dir_ignored_warning());
         }
         let clock = args.get_f64("clock", 4e6)?;
         let watchdog = args.get_f64("watchdog", 320.0)?;
@@ -746,13 +662,7 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
         let tiers: Vec<String> = stats
             .iter()
             .enumerate()
-            .map(|(tier, s)| {
-                format!(
-                    "{{\"tier\":{tier},\"name\":\"{}\",\"served\":{},\"failures\":{},\
-                     \"skipped\":{}}}",
-                    s.name, s.served, s.failures, s.skipped
-                )
-            })
+            .map(|(tier, s)| s.to_json(tier))
             .collect();
         let failures: Vec<String> = batch
             .failures
@@ -803,6 +713,46 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Starts the long-lived DSE-as-a-service server. Announces the bound
+/// address as one JSON line on stdout (and in `--addr-file`, for shell
+/// harnesses racing the ephemeral port), then serves until a client
+/// sends `shutdown`.
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let rate = args.get_f64("chaos-rate", 0.0)?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(format!(
+            "--chaos-rate: expected a rate in [0, 1], got {rate}"
+        ));
+    }
+    let retries = match args.get("eval-retries") {
+        None => None,
+        Some(v) => Some(
+            v.parse::<u32>()
+                .map_err(|_| format!("--eval-retries: expected a retry count, got {v}"))?,
+        ),
+    };
+    let config = wsn_net::ServeConfig {
+        workers: args.get_u64("workers", 2)? as usize,
+        jobs: args.get_u64("jobs", 0)? as usize,
+        cache_dir: args.get("cache-dir").map(std::path::PathBuf::from),
+        chaos_rate: rate,
+        chaos_seed: args.get_u64("chaos-seed", 7)?,
+        eval_timeout: eval_deadline_from(args)?,
+        eval_retries: retries,
+    };
+    let workers = config.workers;
+    let server = wsn_net::Server::bind(args.get("addr").unwrap_or("127.0.0.1:0"), config)?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    println!("{{\"event\":\"serving\",\"addr\":\"{addr}\",\"workers\":{workers}}}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    if let Some(path) = args.get("addr-file") {
+        std::fs::write(path, addr.to_string()).map_err(|e| e.to_string())?;
+    }
+    server.run();
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = argv.split_first() else {
@@ -824,6 +774,7 @@ fn main() -> ExitCode {
         "faults" => cmd_faults(&args),
         "network" => cmd_network(&args),
         "chaos" => cmd_chaos(&args),
+        "serve" => cmd_serve(&args),
         other => Err(format!("unknown command {other}\n{}", usage())),
     };
     match result {

@@ -302,6 +302,18 @@ impl FleetDseFlow {
         self
     }
 
+    /// Replaces the fleet pool's cache with a shared handle (see
+    /// [`wsn_dse::SimPool::set_shared_cache`]): fleet-level responses are
+    /// memoised in the cache every other holder sees. Keys fold in the
+    /// fleet fingerprint, so sharing one cache between single-node and
+    /// fleet flows can never mix their entries. Apply **after**
+    /// [`with_spec`](Self::with_spec), which clears whatever cache the
+    /// pool holds at that moment.
+    pub fn shared_cache(mut self, cache: std::sync::Arc<wsn_dse::EvalCache>) -> Self {
+        self.pool.set_shared_cache(cache);
+        self
+    }
+
     /// Replaces the retry/backoff discipline at both fan-out levels:
     /// whole-fleet evaluations in this flow's pool and per-node
     /// simulations inside each fleet run (the default keeps the

@@ -50,10 +50,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod args;
 mod channel;
 mod dse;
 mod fleet;
 mod report;
+pub mod serve;
 
 pub use channel::{
     distance, ArbitrationMethod, ChannelStats, NodeTrace, RadioChannel, DEFAULT_AIRTIME_S,
@@ -62,6 +64,7 @@ pub use channel::{
 pub use dse::{FleetDseFlow, FleetDseReport, FleetEval};
 pub use fleet::{FleetSpec, FleetTopology, NetworkSim};
 pub use report::{NetworkReport, NodeReport};
+pub use serve::{ServeConfig, Server};
 
 /// Convenience result alias; fleet evaluation reuses the DSE error type
 /// (per-node failures are [`wsn_dse::DseError::Node`] values).

@@ -1,0 +1,627 @@
+//! `wsn-serve`: a long-lived DSE-as-a-service server.
+//!
+//! One process owns one shared warm [`wsn_dse::EvalCache`] (optionally
+//! persisted), one [`wsn_dse::jobs::JobQueue`] of worker threads, and —
+//! in chaos mode — one [`wsn_node::FallbackEngine`] degradation ladder.
+//! Any number of clients connect over TCP and speak the
+//! newline-delimited JSON protocol of [`wsn_dse::protocol`]: each job
+//! request is queued and answered asynchronously with streamed
+//! `accepted` / `running` / `result` / `error` frames, so a slow fleet
+//! DSE never blocks a cheap simulate submitted after it (given more
+//! than one worker).
+//!
+//! # Cache-sharing semantics
+//!
+//! Every dispatched flow gets the server's cache via
+//! `shared_cache(...)` as the **last** builder step (the flow builders
+//! clear whatever cache the pool holds when the template changes — that
+//! must never hit the shared cache). Keys fold in the engine's cache
+//! fingerprint and the scenario/fleet fingerprint, so concurrent jobs
+//! with different scenarios can never poison each other, while
+//! identical jobs coalesce: the second submission of the same job is
+//! answered almost entirely from memory. Reports served this way are
+//! byte-identical to the CLI's, except the single-node report's
+//! embedded `"cache"` counters, which describe the server's shared
+//! cache rather than a private cold one.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+use doe::{DOptimal, ModelSpec};
+use harvester::VibrationProfile;
+use rsm::ResponseSurface;
+use wsn_dse::jobs::{EventSink, JobEvent, JobFn, JobQueue, JobState};
+use wsn_dse::protocol::{
+    self, FaultsJob, NetworkJob, ProtocolError, Request, RunJob, SimulateJob, MAX_FRAME_BYTES,
+};
+use wsn_dse::robustness::{evaluate_scenarios_with, fault_robustness_with};
+use wsn_dse::{
+    coded_to_config, paper_design_space, Backend, DseFlow, EvalCache, RetryPolicy, SimPool,
+    SurrogateEngine,
+};
+use wsn_node::{
+    ChaosEngine, ChaosPlan, EngineKind, FallbackEngine, FaultPlan, NodeConfig, SimEngine,
+    SystemConfig,
+};
+
+use crate::{FleetDseFlow, FleetSpec, FleetTopology, NetworkSim, RadioChannel};
+
+/// The structured stderr warning emitted when `network` (non-DSE) is
+/// given `--cache-dir`: a plain fleet evaluation needs every node's
+/// full timestamp trace, which only a fresh simulation produces, so a
+/// warm scalar cache cannot apply. One JSON object on one line, so
+/// scripted clients can detect it instead of pattern-matching prose.
+pub fn cache_dir_ignored_warning() -> String {
+    "{\"warning\":\"cache_dir_ignored\",\"context\":\"network\",\"message\":\
+     \"--cache-dir only applies to network --dse; a plain fleet evaluation needs \
+     full per-node traces, which the scalar cache cannot supply\"}"
+        .to_owned()
+}
+
+/// Server construction options.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Concurrent job workers (clamped to at least 1). Two by default:
+    /// enough that a slow job does not block a fast one.
+    pub workers: usize,
+    /// Per-flow simulation pool threads (`0` = all cores), like the
+    /// CLI's `--jobs`.
+    pub jobs: usize,
+    /// Directory for the crash-safe persistent cache, when any.
+    pub cache_dir: Option<PathBuf>,
+    /// Chaos-injection rate in `[0, 1]`; positive values wrap every
+    /// job's engine in a seeded [`ChaosEngine`] backed by a calibrated
+    /// surrogate tier (the soak-test configuration).
+    pub chaos_rate: f64,
+    /// Seed for the chaos plan and the surrogate calibration design.
+    pub chaos_seed: u64,
+    /// Default per-evaluation wall-clock budget (a request's
+    /// `timeout_ms` overrides it per job).
+    pub eval_timeout: Option<Duration>,
+    /// Retries after the first attempt, with deterministic backoff;
+    /// `None` keeps the historical two-attempt default.
+    pub eval_retries: Option<u32>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            jobs: 0,
+            cache_dir: None,
+            chaos_rate: 0.0,
+            chaos_seed: 7,
+            eval_timeout: None,
+            eval_retries: None,
+        }
+    }
+}
+
+struct ServerState {
+    config: ServeConfig,
+    cache: Arc<EvalCache>,
+    queue: JobQueue,
+    ladder: Option<Arc<FallbackEngine>>,
+    retry: RetryPolicy,
+    stop: AtomicBool,
+    requests: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+impl ServerState {
+    /// The engine a job asking for `kind` actually gets: the chaos
+    /// ladder when one is armed, the plain engine otherwise.
+    fn engine_for(&self, kind: EngineKind) -> Arc<dyn SimEngine> {
+        match &self.ladder {
+            Some(ladder) => Arc::clone(ladder) as Arc<dyn SimEngine>,
+            None => kind.engine(),
+        }
+    }
+
+    fn deadline_for(&self, timeout_ms: Option<u64>) -> Option<Duration> {
+        timeout_ms
+            .map(Duration::from_millis)
+            .or(self.config.eval_timeout)
+    }
+}
+
+/// A bound, not-yet-serving `wsn-serve` instance. [`Server::run`]
+/// blocks the calling thread until a client sends `shutdown`.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// prepares the shared cache, the worker queue and — when
+    /// `config.chaos_rate > 0` — the chaos ladder with its calibrated
+    /// surrogate tier.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an unbindable address, an unusable cache directory, or
+    /// a surrogate calibration error.
+    pub fn bind(addr: &str, config: ServeConfig) -> Result<Server, String> {
+        let listener = TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+        let cache = Arc::new(EvalCache::new());
+        if let Some(dir) = &config.cache_dir {
+            cache
+                .persist_to(dir)
+                .map_err(|e| format!("cannot attach eval cache at {}: {e}", dir.display()))?;
+        }
+        let ladder = if config.chaos_rate > 0.0 {
+            if !(0.0..=1.0).contains(&config.chaos_rate) {
+                return Err(format!(
+                    "chaos rate must be in [0, 1], got {}",
+                    config.chaos_rate
+                ));
+            }
+            Some(build_chaos_ladder(config.chaos_seed, config.chaos_rate)?)
+        } else {
+            None
+        };
+        let retry = match config.eval_retries {
+            None => RetryPolicy::default(),
+            Some(retries) => RetryPolicy::attempts(retries + 1)
+                .with_backoff(Duration::from_millis(25))
+                .with_jitter(0.5, config.chaos_seed),
+        };
+        let state = Arc::new(ServerState {
+            queue: JobQueue::new(config.workers),
+            config,
+            cache,
+            ladder,
+            retry,
+            stop: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+        });
+        Ok(Server { listener, state })
+    }
+
+    /// The bound socket address (resolves ephemeral ports).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS error when the socket is gone.
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until a client sends `shutdown`: accepts connections,
+    /// spawns one reader thread per client, then — on shutdown — stops
+    /// accepting, lets running jobs finish, cancels the backlog and
+    /// flushes the persistent cache.
+    ///
+    /// Reader threads are deliberately *not* joined: a client that
+    /// never disconnects would block a join forever. They hold no job
+    /// state — `queue.shutdown()` has already drained and joined the
+    /// workers by the time the cache flushes, and a reader that submits
+    /// after that only gets a "server is shutting down" error frame.
+    pub fn run(&self) {
+        for stream in self.listener.incoming() {
+            if self.state.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let state = Arc::clone(&self.state);
+            std::thread::spawn(move || handle_connection(&state, stream));
+        }
+        self.state.queue.shutdown();
+        if let Err(e) = self.state.cache.flush() {
+            eprintln!("warning: final eval cache flush failed: {e}");
+        }
+    }
+}
+
+/// Calibrates the last-resort surrogate tier from the clean envelope
+/// engine (the `chaos` subcommand's procedure) and stacks it under a
+/// chaos-wrapped envelope engine.
+fn build_chaos_ladder(seed: u64, rate: f64) -> Result<Arc<FallbackEngine>, String> {
+    let mut template = SystemConfig::paper(NodeConfig::original())
+        .with_horizon(600.0)
+        .with_vibration(VibrationProfile::paper_profile(75.0));
+    template.trace_interval = None;
+    let space = paper_design_space();
+    let model = ModelSpec::quadratic(space.dimension());
+    let design = DOptimal::new(space.dimension(), model.clone())
+        .runs(10)
+        .seed(seed)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let clean = EngineKind::Envelope.engine();
+    let mut responses = Vec::with_capacity(design.len());
+    for p in design.points() {
+        let mut cfg = template.clone();
+        cfg.node = coded_to_config(&space, p).map_err(|e| e.to_string())?;
+        let out = clean.simulate(&cfg).map_err(|e| e.to_string())?;
+        responses.push(out.transmissions as f64);
+    }
+    let surface = ResponseSurface::fit_with(&design, model, &responses, Backend::default())
+        .map_err(|e| e.to_string())?;
+    let surrogate: Arc<dyn SimEngine> = Arc::new(SurrogateEngine::new(space, surface));
+    let chaotic: Arc<dyn SimEngine> = Arc::new(ChaosEngine::new(
+        EngineKind::Envelope.engine(),
+        ChaosPlan::storm(seed, rate),
+    ));
+    Ok(Arc::new(FallbackEngine::new(vec![chaotic, surrogate])))
+}
+
+/// Shared, flushing line writer: frames from the reader thread and from
+/// job workers interleave whole-line-atomically.
+type FrameWriter = Arc<Mutex<TcpStream>>;
+
+fn write_frame(writer: &FrameWriter, frame: &str) {
+    let mut w = writer.lock().unwrap_or_else(PoisonError::into_inner);
+    let _ = w
+        .write_all(frame.as_bytes())
+        .and_then(|()| w.write_all(b"\n"))
+        .and_then(|()| w.flush());
+}
+
+/// Reads one newline-terminated frame with bounded memory: bytes past
+/// the frame limit are discarded (the line still drains to its
+/// newline). Returns `Ok(None)` at EOF, otherwise whether the line
+/// overflowed.
+fn read_frame_capped(reader: &mut impl BufRead, buf: &mut String) -> std::io::Result<Option<bool>> {
+    buf.clear();
+    let mut raw: Vec<u8> = Vec::new();
+    let mut overflow = false;
+    loop {
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            if raw.is_empty() && !overflow {
+                return Ok(None);
+            }
+            break;
+        }
+        let (chunk, done) = match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => (&available[..pos], true),
+            None => (available, false),
+        };
+        let used = chunk.len() + usize::from(done);
+        if raw.len() + chunk.len() > MAX_FRAME_BYTES {
+            overflow = true;
+            raw.clear();
+        } else {
+            raw.extend_from_slice(chunk);
+        }
+        reader.consume(used);
+        if done {
+            break;
+        }
+    }
+    *buf = String::from_utf8_lossy(&raw).into_owned();
+    Ok(Some(overflow))
+}
+
+fn handle_connection(state: &Arc<ServerState>, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let writer: FrameWriter = Arc::new(Mutex::new(stream));
+    let mut reader = BufReader::new(read_half);
+    let mut line = String::new();
+    loop {
+        match read_frame_capped(&mut reader, &mut line) {
+            Err(_) | Ok(None) => break,
+            Ok(Some(true)) => {
+                state.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let err = ProtocolError {
+                    code: "oversized_frame",
+                    message: format!("frame exceeds the {MAX_FRAME_BYTES}-byte limit"),
+                };
+                write_frame(&writer, &err.to_frame());
+                continue;
+            }
+            Ok(Some(false)) => {}
+        }
+        if line.trim().is_empty() {
+            continue; // blank keep-alive lines are free
+        }
+        state.requests.fetch_add(1, Ordering::Relaxed);
+        match Request::parse(&line) {
+            Err(e) => {
+                state.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                write_frame(&writer, &e.to_frame());
+            }
+            Ok(request) => {
+                let shutdown = dispatch(state, &writer, request);
+                if shutdown {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Handles one parsed request; returns whether the server should stop.
+fn dispatch(state: &Arc<ServerState>, writer: &FrameWriter, request: Request) -> bool {
+    match request {
+        Request::Stats => {
+            write_frame(writer, &stats_frame(state));
+            false
+        }
+        Request::Ping => {
+            write_frame(writer, &protocol::pong_frame());
+            false
+        }
+        Request::Cancel { job } => {
+            let hit = match state.queue.cancel(job) {
+                None => "unknown",
+                Some(JobState::Queued) => "queued",
+                Some(JobState::Running) => "running",
+                Some(_) => "finished",
+            };
+            write_frame(writer, &protocol::cancelled_frame(job, None, hit));
+            false
+        }
+        Request::Shutdown => {
+            write_frame(writer, &protocol::shutting_down_frame());
+            state.stop.store(true, Ordering::SeqCst);
+            // Wake the blocking accept loop so it observes the flag.
+            if let Ok(me) = writer
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .local_addr()
+            {
+                let _ = TcpStream::connect(me);
+            }
+            true
+        }
+        job_request => {
+            let id = job_request.id().map(str::to_owned);
+            let events = frame_events(Arc::clone(writer), id.clone());
+            let exec_state = Arc::clone(state);
+            let work: JobFn = Box::new(move || execute(&exec_state, &job_request));
+            match state.queue.submit(work, events) {
+                Some(job) => {
+                    let depth = state.queue.depth();
+                    write_frame(writer, &protocol::accepted_frame(job, id.as_deref(), depth));
+                }
+                None => {
+                    write_frame(
+                        writer,
+                        &protocol::job_error_frame(0, id.as_deref(), "server is shutting down"),
+                    );
+                }
+            }
+            false
+        }
+    }
+}
+
+/// Adapts queue events for one job into protocol frames on `writer`.
+fn frame_events(writer: FrameWriter, id: Option<String>) -> EventSink {
+    Arc::new(move |event| {
+        let frame = match event {
+            JobEvent::Started { job } => protocol::running_frame(job, id.as_deref()),
+            JobEvent::Finished {
+                job,
+                outcome: Ok(report),
+            } => protocol::result_frame(job, id.as_deref(), &report),
+            JobEvent::Finished {
+                job,
+                outcome: Err(message),
+            } => protocol::job_error_frame(job, id.as_deref(), &message),
+            JobEvent::Cancelled { job } => {
+                protocol::cancelled_frame(job, id.as_deref(), "cancelled")
+            }
+        };
+        write_frame(&writer, &frame);
+    })
+}
+
+fn stats_frame(state: &ServerState) -> String {
+    let q = state.queue.stats();
+    let c = state.cache.stats();
+    let (degraded, tiers) = match &state.ladder {
+        Some(ladder) => {
+            let tiers: Vec<String> = ladder
+                .tier_stats()
+                .iter()
+                .enumerate()
+                .map(|(tier, s)| s.to_json(tier))
+                .collect();
+            (ladder.degraded_served(), tiers.join(","))
+        }
+        None => (0, String::new()),
+    };
+    format!(
+        "{{\"event\":\"stats\",\"requests\":{},\"protocol_errors\":{},\
+         \"jobs\":{{\"submitted\":{},\"done\":{},\"failed\":{},\"cancelled\":{},\
+         \"queued\":{},\"running\":{}}},\
+         \"cache\":{{\"entries\":{},\"hits\":{},\"misses\":{},\"inserts\":{},\
+         \"disk_loads\":{},\"quarantined\":{}}},\
+         \"degraded_served\":{degraded},\"tiers\":[{tiers}]}}",
+        state.requests.load(Ordering::Relaxed),
+        state.protocol_errors.load(Ordering::Relaxed),
+        q.submitted,
+        q.done,
+        q.failed,
+        q.cancelled,
+        q.queued,
+        q.running,
+        c.entries,
+        c.hits,
+        c.misses,
+        c.inserts,
+        c.disk_loads,
+        c.quarantined,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Request execution: each job builds the same flow the CLI would, so
+// served reports are byte-identical to CLI ones (the single-node
+// report's shared-cache counters excepted).
+// ---------------------------------------------------------------------------
+
+fn execute(state: &ServerState, request: &Request) -> Result<String, String> {
+    match request {
+        Request::Run(job) => run_report(state, job),
+        Request::Simulate(job) => simulate_report(state, job),
+        Request::Faults(job) => faults_report(state, job),
+        Request::Network(job) => network_report(state, job),
+        _ => Err("not a job request".to_owned()),
+    }
+}
+
+fn paper_template(f0: f64, horizon: f64) -> SystemConfig {
+    SystemConfig::paper(NodeConfig::original())
+        .with_horizon(horizon)
+        .with_vibration(VibrationProfile::paper_profile(f0))
+}
+
+fn run_report(state: &ServerState, job: &RunJob) -> Result<String, String> {
+    let flow = DseFlow::paper()
+        .with_template(paper_template(job.f0, job.horizon))
+        .faults(FaultPlan::uniform(job.fault_seed, job.fault_rate))
+        .seed(job.seed)
+        .doe_runs(job.runs as usize)
+        .jobs(state.config.jobs)
+        .retry_policy(state.retry.clone())
+        .eval_deadline(state.deadline_for(job.timeout_ms))
+        .with_engine(state.engine_for(job.engine))
+        .shared_cache(Arc::clone(&state.cache));
+    flow.run()
+        .map(|report| report.to_json())
+        .map_err(|e| e.to_string())
+}
+
+fn simulate_report(state: &ServerState, job: &SimulateJob) -> Result<String, String> {
+    let node = NodeConfig::new(job.clock, job.watchdog, job.interval).map_err(|e| e.to_string())?;
+    let mut cfg = SystemConfig::paper(node)
+        .with_horizon(job.horizon)
+        .with_vibration(VibrationProfile::paper_profile(job.f0))
+        .with_faults(FaultPlan::uniform(job.fault_seed, job.fault_rate));
+    cfg.trace_interval = None;
+    let engine = state.engine_for(job.engine);
+    let deadline = state.deadline_for(job.timeout_ms);
+    // The pool's deadline discipline, inlined for a single direct run:
+    // cooperative aborts and late completions both fail cleanly.
+    let started = std::time::Instant::now();
+    let outcome = wsn_node::deadline::with_budget(deadline, || {
+        std::panic::catch_unwind(AssertUnwindSafe(|| engine.simulate(&cfg)))
+    });
+    match outcome {
+        Ok(Ok(out)) => match deadline {
+            Some(budget) if started.elapsed() > budget => {
+                Err(format!("evaluation timed out after {budget:?}"))
+            }
+            _ => Ok(out.to_json()),
+        },
+        Ok(Err(e)) => Err(e.to_string()),
+        Err(payload) => {
+            if wsn_node::deadline::payload_is_deadline(payload.as_ref()) {
+                Err(format!(
+                    "evaluation timed out after {:?}",
+                    deadline.unwrap_or_default()
+                ))
+            } else {
+                Err("evaluation panicked".to_owned())
+            }
+        }
+    }
+}
+
+fn faults_report(state: &ServerState, job: &FaultsJob) -> Result<String, String> {
+    let plan = FaultPlan::uniform(job.fault_seed, job.fault_rate);
+    let node = NodeConfig::new(job.clock, job.watchdog, job.interval).map_err(|e| e.to_string())?;
+    let mut template = paper_template(job.f0, job.horizon);
+    template.trace_interval = None;
+
+    let engine = state.engine_for(job.engine);
+    let mut pool = SimPool::new(state.config.jobs);
+    pool.set_retry_policy(state.retry.clone());
+    pool.set_eval_deadline(state.deadline_for(job.timeout_ms));
+    pool.set_shared_cache(Arc::clone(&state.cache));
+    let nominal = evaluate_scenarios_with(&engine, &pool, &template, node, &[template.scenario()])
+        .map_err(|e| e.to_string())?;
+    let nominal_tx = nominal.samples[0];
+
+    let seeds: Vec<u64> = (0..job.seeds)
+        .map(|i| plan.seed().wrapping_add(i))
+        .collect();
+    let summary = fault_robustness_with(&engine, &pool, &template, node, plan, &seeds)
+        .map_err(|e| e.to_string())?;
+    let mut counted = template.clone().with_faults(plan.reseeded(seeds[0]));
+    counted.node = node;
+    let outcome = engine.simulate(&counted).map_err(|e| e.to_string())?;
+
+    let samples: Vec<String> = summary.samples.iter().map(|s| format!("{s}")).collect();
+    Ok(format!(
+        "{{\"fault_seed\":{},\"fault_rate\":{},\"realisations\":{},\
+         \"nominal_tx\":{},\
+         \"ensemble\":{{\"samples\":[{}],\"mean\":{},\"std_dev\":{},\"min\":{},\"max\":{},\
+         \"fragility\":{:.6},\"p10\":{},\"worst_case_ratio\":{:.6}}},\
+         \"counters\":{{\"tx_failures\":{},\"tx_retries\":{},\"tx_aborts\":{},\
+         \"brownouts\":{},\"watchdog_misses\":{}}}}}",
+        plan.seed(),
+        plan.tx_failure_rate(),
+        job.seeds,
+        nominal_tx,
+        samples.join(","),
+        summary.mean,
+        summary.std_dev,
+        summary.min,
+        summary.max,
+        summary.fragility(),
+        summary.percentile(10.0),
+        summary.worst_case_ratio(),
+        outcome.faults.tx_failures,
+        outcome.faults.tx_retries,
+        outcome.faults.tx_aborts,
+        outcome.faults.brownouts,
+        outcome.faults.watchdog_misses,
+    ))
+}
+
+fn network_report(state: &ServerState, job: &NetworkJob) -> Result<String, String> {
+    let channel = if job.ideal {
+        RadioChannel::ideal()
+    } else {
+        RadioChannel::paper_default()
+    };
+    let mut spec = FleetSpec::paper(job.nodes as usize)
+        .with_seed(job.fleet_seed)
+        .with_template(paper_template(job.f0, job.horizon))
+        .with_spreads(job.freq_spread, job.phase_spread)
+        .with_channel(channel)
+        .with_topology(FleetTopology::Ring { radius_m: 10.0 });
+    let plan = FaultPlan::uniform(job.fault_seed, job.fault_rate);
+    if !plan.is_none() {
+        spec = spec.with_faults(plan);
+    }
+    if job.dse {
+        let flow = FleetDseFlow::paper(spec.nodes)
+            .with_spec(spec)
+            .seed(job.seed)
+            .doe_runs(job.runs as usize)
+            .jobs(state.config.jobs)
+            .retry_policy(state.retry.clone())
+            .eval_deadline(state.deadline_for(job.timeout_ms))
+            .with_engine(state.engine_for(job.engine))
+            .shared_cache(Arc::clone(&state.cache));
+        flow.run()
+            .map(|report| report.to_json())
+            .map_err(|e| e.to_string())
+    } else {
+        let node =
+            NodeConfig::new(job.clock, job.watchdog, job.interval).map_err(|e| e.to_string())?;
+        NetworkSim::new()
+            .jobs(state.config.jobs)
+            .with_engine(state.engine_for(job.engine))
+            .retry_policy(state.retry.clone())
+            .eval_deadline(state.deadline_for(job.timeout_ms))
+            .evaluate(&spec, node)
+            .map(|report| report.to_json())
+            .map_err(|e| e.to_string())
+    }
+}

@@ -92,6 +92,19 @@ pub struct TierStats {
     pub skipped: u64,
 }
 
+impl TierStats {
+    /// The counters as one JSON object, stamped with the tier's ladder
+    /// index — the document the CLI's `chaos --json` and the serving
+    /// layer's `stats` endpoint both emit.
+    pub fn to_json(&self, tier: usize) -> String {
+        format!(
+            "{{\"tier\":{tier},\"name\":\"{}\",\"served\":{},\"failures\":{},\
+             \"skipped\":{}}}",
+            self.name, self.served, self.failures, self.skipped
+        )
+    }
+}
+
 /// A degradation ladder of simulation engines with per-tier circuit
 /// breakers. See the module-level documentation for the ladder policy.
 ///

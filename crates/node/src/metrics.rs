@@ -167,6 +167,44 @@ impl SimOutcome {
             .map(|s| s.voltage)
             .fold(self.final_voltage, f64::min)
     }
+
+    /// The outcome as one machine-readable JSON line, including the
+    /// per-transmission timestamps the network layer arbitrates over
+    /// (the voltage trace is deliberately excluded — it can run to
+    /// hundreds of thousands of samples). Shared by the CLI's
+    /// `simulate --json` and the serving layer's `simulate` jobs, so
+    /// both produce byte-identical documents.
+    pub fn to_json(&self) -> String {
+        let times: Vec<String> = self.tx_times.iter().map(|t| format!("{t}")).collect();
+        format!(
+            "{{\"transmissions\":{},\"horizon_s\":{},\"final_voltage\":{},\
+             \"watchdog_wakes\":{},\"coarse_moves\":{},\"fine_steps\":{},\
+             \"energy\":{{\"harvested\":{},\"transmission\":{},\"mcu\":{},\"actuator\":{},\
+             \"accelerometer\":{},\"sleep\":{},\"leakage\":{}}},\
+             \"faults\":{{\"tx_failures\":{},\"tx_retries\":{},\"tx_aborts\":{},\
+             \"brownouts\":{},\"watchdog_misses\":{}}},\
+             \"tx_times\":[{}]}}",
+            self.transmissions,
+            self.horizon,
+            self.final_voltage,
+            self.watchdog_wakes,
+            self.coarse_moves,
+            self.fine_steps,
+            self.energy.harvested,
+            self.energy.transmission,
+            self.energy.mcu,
+            self.energy.actuator,
+            self.energy.accelerometer,
+            self.energy.sleep,
+            self.energy.leakage,
+            self.faults.tx_failures,
+            self.faults.tx_retries,
+            self.faults.tx_aborts,
+            self.faults.brownouts,
+            self.faults.watchdog_misses,
+            times.join(","),
+        )
+    }
 }
 
 impl fmt::Display for SimOutcome {

@@ -42,7 +42,9 @@ echo "== network gate: bit-identical fleet report at --jobs 1/2/8 =="
 FLEET_ARGS="network --nodes 16 --horizon 900 --clock 8e6 --watchdog 60 \
   --interval 0.005 --json"
 FLEET_DIR="$(mktemp -d)"
-trap 'rm -rf "$FLEET_DIR"' EXIT
+SERVE_PID=""
+trap 'if [ -n "$SERVE_PID" ]; then kill "$SERVE_PID" 2>/dev/null || true; fi; \
+  rm -rf "$FLEET_DIR"' EXIT
 for jobs in 1 2 8; do
   # shellcheck disable=SC2086
   target/release/wsn_dse $FLEET_ARGS --jobs "$jobs" > "$FLEET_DIR/jobs$jobs.json"
@@ -123,6 +125,56 @@ if grep -o '"degraded_served":[0-9]*' "$FLEET_DIR/chaos.json" \
   exit 1
 fi
 grep -q '"degraded_served":' "$FLEET_DIR/chaos.json"
+
+echo "== serving gate: protocol codec + socket suite + chaos soak =="
+cargo test -q --offline -p wsn-dse --test protocol_props
+cargo test -q --offline -p wsn-net --test serve
+cargo test -q --offline -p wsn-net --test serve_soak
+
+echo "== serving gate: served reports are byte-identical to the CLI =="
+ADDR_FILE="$FLEET_DIR/serve.addr"
+target/release/wsn_dse serve --addr 127.0.0.1:0 --addr-file "$ADDR_FILE" \
+  --cache-dir "$FLEET_DIR/servecache" > "$FLEET_DIR/serve.log" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$ADDR_FILE" ] && break
+  sleep 0.1
+done
+[ -s "$ADDR_FILE" ] || { echo "verify: wsn-serve never announced its address" >&2; exit 1; }
+ADDR="$(cat "$ADDR_FILE")"
+# Cold pass: the served single-node report must match the CLI baseline
+# from the linalg gate byte for byte outside the cache counters.
+target/release/wsn_client --addr "$ADDR" run --horizon 900 \
+  > "$FLEET_DIR/served-run-cold.json"
+cmp <(strip_cache "$FLEET_DIR/served-run-cold.json") \
+    <(strip_cache "$FLEET_DIR/dse-smat-1.json")
+# Fleet DSE reports carry no cache counters: strict byte equality.
+target/release/wsn_client --addr "$ADDR" network --nodes 4 --horizon 900 --dse \
+  > "$FLEET_DIR/served-fleet-dse.json"
+cmp "$FLEET_DIR/served-fleet-dse.json" "$FLEET_DIR/fleet-dse-smat.json"
+# Warm pass: same answer again, now served from the shared cache.
+target/release/wsn_client --addr "$ADDR" run --horizon 900 \
+  > "$FLEET_DIR/served-run-warm.json"
+cmp <(strip_cache "$FLEET_DIR/served-run-warm.json") \
+    <(strip_cache "$FLEET_DIR/served-run-cold.json")
+target/release/wsn_client --addr "$ADDR" stats > "$FLEET_DIR/serve-stats.json"
+if grep -o '"hits":[0-9]*' "$FLEET_DIR/serve-stats.json" \
+    | grep -q '"hits":0$'; then
+  echo "verify: warm served run never hit the shared cache" >&2
+  exit 1
+fi
+target/release/wsn_client --addr "$ADDR" shutdown > /dev/null
+wait "$SERVE_PID"
+SERVE_PID=""
+
+echo "== serving gate: non-DSE --cache-dir warning is structured JSON =="
+target/release/wsn_dse network --nodes 2 --horizon 600 --json \
+  --cache-dir "$FLEET_DIR/nevercache" \
+  > /dev/null 2> "$FLEET_DIR/cache-warning.log"
+grep -q '"warning":"cache_dir_ignored"' "$FLEET_DIR/cache-warning.log"
+
+echo "== serving gate: load bench smoke (asserts warm hit rate > 90%) =="
+target/release/serve_load --quick --out "$FLEET_DIR/BENCH_serve.json"
 
 echo "== cargo fmt --check =="
 cargo fmt --check
