@@ -214,6 +214,22 @@ impl DseFlow {
         self
     }
 
+    /// Replaces the design space — e.g. with
+    /// [`paper_design_space_with_timer`](crate::paper_design_space_with_timer)
+    /// to widen the search by the optional timer-quantum factor. The
+    /// model basis becomes the full quadratic in the new dimension and
+    /// `doe_runs` grows to at least the model size. Coded coordinates
+    /// mean something different in the new space (and its fingerprint
+    /// differs), so the pool's cache is dropped; flows over the
+    /// untouched 3-factor space are unaffected.
+    pub fn with_space(mut self, space: DesignSpace) -> Self {
+        self.model = ModelSpec::quadratic(space.dimension());
+        self.doe_runs = self.doe_runs.max(self.model.num_terms());
+        self.space = space;
+        self.pool.cache().clear();
+        self
+    }
+
     /// Seeds the D-optimal search and the stochastic optimisers.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -660,6 +676,22 @@ mod tests {
         let surface = flow.fit(&design, &responses).unwrap();
         assert!(flow.sweep1d(&surface, 5, 5, false).is_err());
         assert!(flow.sweep1d(&surface, 0, 1, false).is_err());
+    }
+
+    #[test]
+    fn timer_space_flow_runs_end_to_end() {
+        let flow = fast_flow().with_space(crate::paper_design_space_with_timer());
+        assert_eq!(flow.space().dimension(), 4);
+        assert_eq!(flow.model().num_terms(), 15);
+        let report = flow.run().unwrap();
+        assert_eq!(report.design.dimension(), 4);
+        assert_eq!(report.responses.len(), 15);
+        assert!(report.original.simulated > 0);
+        // The widened flow leaves the legacy flow bit-identical: same
+        // space, same fingerprints, same report.
+        let a = fast_flow().run().unwrap().to_json();
+        let b = fast_flow().run().unwrap().to_json();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -58,7 +58,10 @@ pub use pool::{
     MAX_EVAL_ATTEMPTS,
 };
 pub use report::{DesignEval, DseReport};
-pub use space::{coded_to_config, config_to_coded, paper_design_space, space_fingerprint};
+pub use space::{
+    coded_to_config, config_to_coded, paper_design_space, paper_design_space_with_timer,
+    space_fingerprint, TIMER_FACTOR, TIMER_QUANTUM_RANGE,
+};
 pub use surrogate::SurrogateEngine;
 
 /// Convenience result alias used throughout the crate.

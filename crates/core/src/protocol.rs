@@ -637,6 +637,64 @@ impl Default for NetworkJob {
     }
 }
 
+/// A multi-objective Pareto DSE job: the CLI's `pareto --json`
+/// (single-node) or `pareto --fleet --json`. Exotic fleet knobs
+/// (spreads, channel, topology) keep their CLI defaults; they stay
+/// CLI-only until a client needs them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoJob {
+    /// Optional client-chosen tag.
+    pub id: Option<String>,
+    /// Optimise the fleet objective vector instead of the single-node
+    /// one.
+    pub fleet: bool,
+    /// Fleet size (fleet mode only; CLI default 5, at least 1).
+    pub nodes: u64,
+    /// Fleet heterogeneity seed (fleet mode only; CLI default 99).
+    pub fleet_seed: u64,
+    /// Base vibration frequency in Hz.
+    pub f0: f64,
+    /// Simulated horizon in seconds.
+    pub horizon: f64,
+    /// Comma-separated objective-axis subset (`None` = full vector).
+    pub objectives: Option<String>,
+    /// Adaptive sequential DOE instead of the fixed D-optimal plan.
+    pub adaptive: bool,
+    /// Adaptive evaluation budget (design points).
+    pub budget: u64,
+    /// DOE / acquisition / NSGA-II seed.
+    pub seed: u64,
+    /// Fixed plan's design size (non-adaptive only).
+    pub runs: u64,
+    /// Simulation engine.
+    pub engine: EngineKind,
+    /// Widen the space with the optional timer-quantum factor.
+    pub timer_space: bool,
+    /// Optional wall-clock budget in milliseconds.
+    pub timeout_ms: Option<u64>,
+}
+
+impl Default for ParetoJob {
+    fn default() -> Self {
+        ParetoJob {
+            id: None,
+            fleet: false,
+            nodes: 5,
+            fleet_seed: 99,
+            f0: 75.0,
+            horizon: 3600.0,
+            objectives: None,
+            adaptive: false,
+            budget: 18,
+            seed: 12,
+            runs: 10,
+            engine: EngineKind::Envelope,
+            timer_space: false,
+            timeout_ms: None,
+        }
+    }
+}
+
 /// One client → server message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -648,6 +706,8 @@ pub enum Request {
     Faults(FaultsJob),
     /// Submit a fleet evaluation or fleet DSE.
     Network(NetworkJob),
+    /// Submit a multi-objective Pareto DSE (single-node or fleet).
+    Pareto(ParetoJob),
     /// Ask for server/cache/ladder statistics.
     Stats,
     /// Liveness probe.
@@ -669,6 +729,7 @@ impl Request {
             Request::Simulate(j) => j.id.as_deref(),
             Request::Faults(j) => j.id.as_deref(),
             Request::Network(j) => j.id.as_deref(),
+            Request::Pareto(j) => j.id.as_deref(),
             _ => None,
         }
     }
@@ -678,7 +739,11 @@ impl Request {
     pub fn is_job(&self) -> bool {
         matches!(
             self,
-            Request::Run(_) | Request::Simulate(_) | Request::Faults(_) | Request::Network(_)
+            Request::Run(_)
+                | Request::Simulate(_)
+                | Request::Faults(_)
+                | Request::Network(_)
+                | Request::Pareto(_)
         )
     }
 
@@ -796,6 +861,37 @@ impl Request {
                 }
                 Ok(Request::Network(job))
             }
+            "pareto" => {
+                let job = ParetoJob {
+                    id: opt_str(&doc, "id")?,
+                    fleet: bool_or(&doc, "fleet", false)?,
+                    nodes: u64_or(&doc, "nodes", 5)?,
+                    fleet_seed: u64_or(&doc, "fleet_seed", 99)?,
+                    f0: f64_or(&doc, "f0", 75.0)?,
+                    horizon: f64_or(&doc, "horizon", 3600.0)?,
+                    objectives: opt_str(&doc, "objectives")?,
+                    adaptive: bool_or(&doc, "adaptive", false)?,
+                    budget: u64_or(&doc, "budget", 18)?,
+                    seed: u64_or(&doc, "seed", 12)?,
+                    runs: u64_or(&doc, "runs", 10)?,
+                    engine: engine_or(&doc)?,
+                    timer_space: bool_or(&doc, "timer_space", false)?,
+                    timeout_ms: opt_u64(&doc, "timeout_ms")?,
+                };
+                if job.fleet && job.nodes == 0 {
+                    return Err(ProtocolError::bad_field(
+                        "nodes",
+                        "a fleet needs at least one node",
+                    ));
+                }
+                if job.budget < 4 {
+                    return Err(ProtocolError::bad_field(
+                        "budget",
+                        "the adaptive driver needs at least four evaluations",
+                    ));
+                }
+                Ok(Request::Pareto(job))
+            }
             "stats" => Ok(Request::Stats),
             "ping" => Ok(Request::Ping),
             "cancel" => Ok(Request::Cancel {
@@ -876,6 +972,23 @@ impl Request {
                 m.str_("engine", j.engine.name());
                 m.u64_("fault_seed", j.fault_seed);
                 m.f64_("fault_rate", j.fault_rate);
+                m.opt_u64("timeout_ms", j.timeout_ms);
+            }
+            Request::Pareto(j) => {
+                m.str_("type", "pareto");
+                m.opt_str("id", j.id.as_deref());
+                m.bool_("fleet", j.fleet);
+                m.u64_("nodes", j.nodes);
+                m.u64_("fleet_seed", j.fleet_seed);
+                m.f64_("f0", j.f0);
+                m.f64_("horizon", j.horizon);
+                m.opt_str("objectives", j.objectives.as_deref());
+                m.bool_("adaptive", j.adaptive);
+                m.u64_("budget", j.budget);
+                m.u64_("seed", j.seed);
+                m.u64_("runs", j.runs);
+                m.str_("engine", j.engine.name());
+                m.bool_("timer_space", j.timer_space);
                 m.opt_u64("timeout_ms", j.timeout_ms);
             }
             Request::Stats => m.str_("type", "stats"),
@@ -1351,6 +1464,34 @@ mod tests {
     fn missing_fields_fall_back_to_cli_defaults() {
         let req = Request::parse(r#"{"type":"run"}"#).unwrap();
         assert_eq!(req, Request::Run(RunJob::default()));
+    }
+
+    #[test]
+    fn pareto_request_round_trips_and_defaults() {
+        let req = Request::parse(r#"{"type":"pareto"}"#).unwrap();
+        assert_eq!(req, Request::Pareto(ParetoJob::default()));
+        let full = Request::Pareto(ParetoJob {
+            id: Some("front-1".to_owned()),
+            fleet: true,
+            nodes: 3,
+            objectives: Some("goodput_per_hour,collision_rate".to_owned()),
+            adaptive: true,
+            budget: 14,
+            timer_space: true,
+            timeout_ms: Some(9000),
+            ..ParetoJob::default()
+        });
+        assert_eq!(Request::parse(&full.to_json()).unwrap(), full);
+        assert!(full.is_job());
+        assert_eq!(full.id(), Some("front-1"));
+    }
+
+    #[test]
+    fn pareto_request_rejects_degenerate_budgets_and_fleets() {
+        let err = Request::parse(r#"{"type":"pareto","budget":2}"#).unwrap_err();
+        assert_eq!(err.code, "bad_field");
+        let err = Request::parse(r#"{"type":"pareto","fleet":true,"nodes":0}"#).unwrap_err();
+        assert_eq!(err.code, "bad_field");
     }
 
     #[test]

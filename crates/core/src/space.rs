@@ -27,37 +27,102 @@ pub fn paper_design_space() -> DesignSpace {
     .expect("three factors")
 }
 
-/// Decodes a coded point `(x1, x2, x3)` of the Table V space into a
-/// validated [`NodeConfig`], clamping the tiny floating-point overshoot
-/// that exact ±1 coordinates can produce.
+/// Name of the optional fourth factor: the hardware-timer quantum (s)
+/// that the watchdog period snaps to. Real sensor platforms schedule
+/// wake-ups on a coarse low-power timer tick, so the *achievable*
+/// measurement intervals form a grid rather than a continuum (Picu et
+/// al., PAPERS.md); making the tick a factor lets the DSE trade timer
+/// granularity against the tuning schedule it quantises.
+pub const TIMER_FACTOR: &str = "timer_quantum_s";
+
+/// Bounds of the timer-quantum factor (s): from a fine 0.5 s tick
+/// (effectively the continuous Table V behaviour at watchdog scale) up
+/// to a 60 s tick that forces the watchdog onto a 10-slot grid.
+pub const TIMER_QUANTUM_RANGE: (f64, f64) = (0.5, 60.0);
+
+/// The Table V space widened by the optional [`TIMER_FACTOR`] — the
+/// builder for four-factor flows. Three-factor spaces (and therefore
+/// every legacy fingerprint, cache key and report) are untouched:
+/// the fourth factor only exists in spaces built through this function.
+///
+/// # Example
+///
+/// ```
+/// let space = wsn_dse::paper_design_space_with_timer();
+/// assert_eq!(space.dimension(), 4);
+/// assert_eq!(space.factors()[3].name(), wsn_dse::TIMER_FACTOR);
+/// ```
+pub fn paper_design_space_with_timer() -> DesignSpace {
+    let mut factors = paper_design_space().factors().to_vec();
+    factors.push(
+        Factor::new(TIMER_FACTOR, TIMER_QUANTUM_RANGE.0, TIMER_QUANTUM_RANGE.1)
+            .expect("valid timer range"),
+    );
+    DesignSpace::new(factors).expect("four factors")
+}
+
+/// Decodes a coded point of the Table V space — `(x1, x2, x3)`, or
+/// `(x1, x2, x3, x4)` for spaces carrying the optional [`TIMER_FACTOR`]
+/// — into a validated [`NodeConfig`], clamping the tiny floating-point
+/// overshoot that exact ±1 coordinates can produce.
+///
+/// For four-factor spaces the decoded timer quantum snaps the watchdog
+/// period onto the timer grid (`round(watchdog / quantum) · quantum`,
+/// clamped back into the watchdog range): a coarse tick degrades how
+/// precisely the tuning schedule can be placed, which is exactly the
+/// effect the extra factor exists to expose.
 ///
 /// # Errors
 ///
-/// Returns [`DseError::InvalidArgument`] for a wrong-dimension point and
-/// propagates configuration errors for points far outside the space.
+/// Returns [`DseError::InvalidArgument`] for a wrong-dimension point or
+/// an unrecognised fourth factor, and propagates configuration errors
+/// for points far outside the space.
 pub fn coded_to_config(space: &DesignSpace, coded: &[f64]) -> Result<NodeConfig> {
-    if coded.len() != space.dimension() || space.dimension() != 3 {
+    if coded.len() != space.dimension() {
         return Err(DseError::InvalidArgument(
-            "coded point must have exactly 3 coordinates",
+            "coded point dimension must match the space",
         ));
+    }
+    let factors = space.factors();
+    match space.dimension() {
+        3 => {}
+        4 if factors[3].name() == TIMER_FACTOR => {}
+        _ => {
+            return Err(DseError::InvalidArgument(
+                "space must have 3 factors, or 4 with a timer_quantum_s fourth factor",
+            ))
+        }
     }
     let natural = space.decode(coded)?;
     let clamp = |v: f64, f: &Factor| v.clamp(f.min(), f.max());
-    let factors = space.factors();
+    let mut watchdog = clamp(natural[1], &factors[1]);
+    if space.dimension() == 4 {
+        let quantum = clamp(natural[3], &factors[3]);
+        let ticks = (watchdog / quantum).round().max(1.0);
+        watchdog = clamp(ticks * quantum, &factors[1]);
+    }
     Ok(NodeConfig::new(
         clamp(natural[0], &factors[0]),
-        clamp(natural[1], &factors[1]),
+        watchdog,
         clamp(natural[2], &factors[2]),
     )?)
 }
 
 /// Codes a [`NodeConfig`] into the Table V coded coordinates.
 ///
+/// For a four-factor space the timer coordinate is pinned to `-1` — the
+/// finest quantum, i.e. the legacy continuous-watchdog behaviour — since
+/// a [`NodeConfig`] carries no timer field of its own.
+///
 /// # Errors
 ///
 /// Returns dimension errors from the space (none for the paper space).
 pub fn config_to_coded(space: &DesignSpace, config: &NodeConfig) -> Result<Vec<f64>> {
-    Ok(space.code(&[config.clock_hz, config.watchdog_s, config.tx_interval_s])?)
+    let mut natural = vec![config.clock_hz, config.watchdog_s, config.tx_interval_s];
+    if space.dimension() == 4 {
+        natural.push(space.factors()[3].min());
+    }
+    Ok(space.code(&natural)?)
 }
 
 /// A stable fingerprint of a design space: factor names and exact bound
@@ -137,6 +202,72 @@ mod tests {
     fn wrong_dimension_rejected() {
         let space = paper_design_space();
         assert!(coded_to_config(&space, &[0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn timer_space_appends_a_fourth_factor_without_touching_the_first_three() {
+        let legacy = paper_design_space();
+        let wide = paper_design_space_with_timer();
+        assert_eq!(wide.dimension(), 4);
+        for (a, b) in legacy.factors().iter().zip(wide.factors()) {
+            assert_eq!(a.name(), b.name());
+            assert_eq!((a.min(), a.max()), (b.min(), b.max()));
+        }
+        assert_eq!(wide.factors()[3].name(), TIMER_FACTOR);
+        // The legacy fingerprint is a pure function of the 3-factor
+        // space, so adding the optional factor cannot move it — and the
+        // widened space can never share cache entries with it.
+        assert_eq!(
+            space_fingerprint(&legacy),
+            space_fingerprint(&paper_design_space())
+        );
+        assert_ne!(space_fingerprint(&legacy), space_fingerprint(&wide));
+    }
+
+    #[test]
+    fn timer_quantum_snaps_the_watchdog_onto_the_tick_grid() {
+        let wide = paper_design_space_with_timer();
+        // Centre of the space: watchdog 330 s, quantum 30.25 s.
+        let cfg = coded_to_config(&wide, &[0.0, 0.0, 0.0, 0.0]).unwrap();
+        let quantum = 0.5 * (TIMER_QUANTUM_RANGE.0 + TIMER_QUANTUM_RANGE.1);
+        let ticks = (cfg.watchdog_s / quantum).round();
+        assert!(
+            (cfg.watchdog_s - ticks * quantum).abs() < 1e-9,
+            "watchdog {} is not a multiple of the {quantum} s tick",
+            cfg.watchdog_s
+        );
+        // The finest quantum leaves the legacy watchdog in place: a
+        // 0.5 s tick divides the 330 s centre exactly.
+        let fine = coded_to_config(&wide, &[0.0, 0.0, 0.0, -1.0]).unwrap();
+        let legacy = coded_to_config(&paper_design_space(), &[0.0, 0.0, 0.0]).unwrap();
+        assert_eq!(fine.watchdog_s, legacy.watchdog_s);
+        assert_eq!(fine.clock_hz, legacy.clock_hz);
+        assert_eq!(fine.tx_interval_s, legacy.tx_interval_s);
+        // Snapping never leaves the validated watchdog range.
+        let corner = coded_to_config(&wide, &[1.0, -1.0, 1.0, 1.0]).unwrap();
+        assert!((60.0..=600.0).contains(&corner.watchdog_s));
+    }
+
+    #[test]
+    fn four_factor_space_requires_the_timer_name() {
+        let bogus = DesignSpace::new(vec![
+            Factor::new("clock_hz", 125e3, 8e6).unwrap(),
+            Factor::new("watchdog_s", 60.0, 600.0).unwrap(),
+            Factor::new("tx_interval_s", 0.005, 10.0).unwrap(),
+            Factor::new("mystery", 0.0, 1.0).unwrap(),
+        ])
+        .unwrap();
+        assert!(coded_to_config(&bogus, &[0.0; 4]).is_err());
+    }
+
+    #[test]
+    fn config_to_coded_pins_the_timer_coordinate_to_the_finest_tick() {
+        let wide = paper_design_space_with_timer();
+        let coded = config_to_coded(&wide, &NodeConfig::original()).unwrap();
+        assert_eq!(coded.len(), 4);
+        assert_eq!(coded[3], -1.0);
+        let legacy = config_to_coded(&paper_design_space(), &NodeConfig::original()).unwrap();
+        assert_eq!(&coded[..3], legacy.as_slice());
     }
 
     #[test]

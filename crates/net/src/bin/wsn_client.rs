@@ -1,7 +1,8 @@
 //! `wsn_client` — scripting and test client for the `wsn-serve`
 //! DSE-as-a-service server.
 //!
-//! Job commands (`run`, `simulate`, `faults`, `network`) mirror the
+//! Job commands (`run`, `simulate`, `faults`, `network`, `pareto`)
+//! mirror the
 //! `wsn_dse` CLI's options, submit one job over the newline-delimited
 //! JSON protocol and print the job's **report document byte-for-byte**
 //! on stdout (framing stripped), so `wsn_client run ... > a.json` can
@@ -23,7 +24,7 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::process::ExitCode;
 
-use wsn_dse::protocol::{FaultsJob, Frame, NetworkJob, Request, RunJob, SimulateJob};
+use wsn_dse::protocol::{FaultsJob, Frame, NetworkJob, ParetoJob, Request, RunJob, SimulateJob};
 use wsn_net::args::Args;
 use wsn_node::EngineKind;
 
@@ -44,6 +45,10 @@ fn usage() -> &'static str {
                [--seed N] [--runs N] [--clock HZ] [--watchdog S] [--interval S]\n\
                [--engine E] [--fault-seed N] [--fault-rate R] [--timeout-ms N]\n\
                [--frames]\n\
+     pareto    [--id TAG] [--fleet] [--nodes N] [--fleet-seed N] [--f0 HZ]\n\
+               [--horizon S] [--objectives LIST] [--adaptive] [--budget N]\n\
+               [--seed N] [--runs N] [--engine E] [--timer-space]\n\
+               [--timeout-ms N] [--frames]\n\
      stats | ping | shutdown\n\
      cancel    --job N\n\
      batch     (raw request lines on stdin; all frames to stdout)\n\
@@ -128,6 +133,22 @@ fn build_request(command: &str, args: &Args) -> Result<Request, String> {
             engine: engine_from(args)?,
             fault_seed: args.get_u64("fault-seed", 0)?,
             fault_rate: args.get_f64("fault-rate", 0.0)?,
+            timeout_ms: timeout_from(args)?,
+        })),
+        "pareto" => Ok(Request::Pareto(ParetoJob {
+            id,
+            fleet: args.has_flag("fleet"),
+            nodes: args.get_u64("nodes", 5)?,
+            fleet_seed: args.get_u64("fleet-seed", 99)?,
+            f0: args.get_f64("f0", 75.0)?,
+            horizon: args.get_f64("horizon", 3600.0)?,
+            objectives: args.get("objectives").map(str::to_owned),
+            adaptive: args.has_flag("adaptive"),
+            budget: args.get_u64("budget", 18)?,
+            seed: args.get_u64("seed", 12)?,
+            runs: args.get_u64("runs", 10)?,
+            engine: engine_from(args)?,
+            timer_space: args.has_flag("timer-space"),
             timeout_ms: timeout_from(args)?,
         })),
         "stats" => Ok(Request::Stats),

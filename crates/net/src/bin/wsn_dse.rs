@@ -15,6 +15,10 @@
 //!                   [--arbitration indexed|naive]
 //!                   [--dse] [--seed N] [--runs N] [--jobs N] [--engine E]
 //!                   [--linalg dyn|smat] [--json]
+//! wsn_dse pareto    [--fleet [--nodes N] <network options>] [--objectives LIST]
+//!                   [--adaptive] [--budget N] [--batch N] [--explore A] [--front-cap N]
+//!                   [--seed N] [--runs N] [--timer-space] [--f0 HZ] [--horizon S]
+//!                   [--jobs N] [--engine E] [--linalg dyn|smat] [--json]
 //! ```
 //!
 //! `--jobs N` caps the simulation worker threads (0 or omitted: all
@@ -34,7 +38,14 @@
 //! ensemble and reports the throughput distribution and fault counters;
 //! `network` evaluates a fleet of nodes on a shared radio channel (and,
 //! with `--dse`, optimises the fleet's sink goodput with the RSM + SA/GA
-//! flow). `--arbitration indexed|naive` selects the channel-arbitration
+//! flow); `pareto` runs the multi-objective Pareto DSE (transmissions/h
+//! vs final voltage vs energy on a single node, or — with `--fleet` —
+//! goodput vs worst-node energy margin vs collision rate vs starvation),
+//! with `--adaptive` swapping the fixed D-optimal plan for the
+//! sequential acquisition driver, `--objectives LIST` selecting an axis
+//! subset by name, and `--timer-space` widening the search with the
+//! optional timer-quantum factor.
+//! `--arbitration indexed|naive` selects the channel-arbitration
 //! path (default `indexed`, the spatial-grid streaming resolver; `naive`
 //! is the reference pairwise sweep) — reports are bit-identical either
 //! way, gated by `scripts/verify.sh`.
@@ -84,21 +95,23 @@ use numkit::rng::Rng;
 use rsm::ResponseSurface;
 use wsn_dse::robustness::{evaluate_scenarios_with, fault_robustness_with};
 use wsn_dse::{
-    coded_to_config, paper_design_space, Backend, DseFlow, EvalKey, RetryPolicy, SimPool,
-    SurrogateEngine,
+    coded_to_config, paper_design_space, paper_design_space_with_timer, Backend, DseFlow, EvalKey,
+    RetryPolicy, SimPool, SurrogateEngine,
 };
 use wsn_net::{
-    ArbitrationMethod, FleetDseFlow, FleetSpec, FleetTopology, NetworkSim, RadioChannel,
+    ArbitrationMethod, FleetDseFlow, FleetObjectives, FleetSpec, FleetTopology, NetworkSim,
+    RadioChannel,
 };
 use wsn_node::{
     ChaosEngine, ChaosPlan, EngineKind, FallbackEngine, FaultPlan, NodeConfig, SimEngine,
     SystemConfig,
 };
+use wsn_pareto::{MultiObjective, NodeObjectives, ParetoDseFlow};
 
 use wsn_net::args::Args;
 
 fn usage() -> &'static str {
-    "usage: wsn_dse <run|simulate|sweep|refine|faults|network|chaos|serve> [options]\n\
+    "usage: wsn_dse <run|simulate|sweep|refine|faults|network|pareto|chaos|serve> [options]\n\
      \n\
      run       --seed N --runs N --f0 HZ --horizon S [--csv DIR] [--jobs N]\n\
                [--linalg dyn|smat] [--json]\n\
@@ -112,6 +125,10 @@ fn usage() -> &'static str {
                [--delivery M] [--ring-radius M | --grid-pitch M] [--ideal]\n\
                [--arbitration indexed|naive]\n\
                [--dse --seed N --runs N] [--jobs N] [--linalg dyn|smat] [--json]\n\
+     pareto    [--fleet [--nodes N] <network options>] [--objectives LIST]\n\
+               [--adaptive] [--budget N] [--batch N] [--explore A] [--front-cap N]\n\
+               [--seed N] [--runs N] [--timer-space] [--f0 HZ] [--horizon S]\n\
+               [--jobs N] [--engine E] [--linalg dyn|smat] [--json]\n\
      chaos     [--seed N] [--chaos-rate R] [--points N] [--f0 HZ] [--horizon S]\n\
                [--eval-timeout S] [--eval-retries N] [--jobs N] [--linalg dyn|smat] [--json]\n\
      serve     [--addr HOST:PORT] [--workers N] [--jobs N] [--cache-dir DIR]\n\
@@ -439,8 +456,8 @@ fn cmd_faults(args: &Args) -> Result<(), String> {
 }
 
 /// Builds the fleet described by the `network` options.
-fn fleet_spec_from(args: &Args) -> Result<FleetSpec, String> {
-    let nodes = args.get_u64("nodes", 16)? as usize;
+fn fleet_spec_from(args: &Args, default_nodes: u64) -> Result<FleetSpec, String> {
+    let nodes = args.get_u64("nodes", default_nodes)? as usize;
     if nodes == 0 {
         return Err("--nodes: a fleet needs at least one node".to_owned());
     }
@@ -519,7 +536,7 @@ fn fleet_spec_from(args: &Args) -> Result<FleetSpec, String> {
 /// radio channel. The objective is the sink goodput: unique packets
 /// delivered per hour.
 fn cmd_network(args: &Args) -> Result<(), String> {
-    let spec = fleet_spec_from(args)?;
+    let spec = fleet_spec_from(args, 16)?;
     let jobs = args.get_u64("jobs", 0)? as usize;
     if args.has_flag("dse") {
         let mut flow = FleetDseFlow::paper(spec.nodes)
@@ -565,6 +582,62 @@ fn cmd_network(args: &Args) -> Result<(), String> {
         } else {
             println!("{report}");
         }
+    }
+    Ok(())
+}
+
+/// Multi-objective Pareto DSE over the Table V space: single-node by
+/// default (transmissions/h vs final voltage vs energy), fleet-level
+/// with `--fleet` (goodput vs worst-node energy margin vs collision
+/// rate vs starvation). `--adaptive` swaps the fixed D-optimal plan for
+/// the sequential acquisition driver under `--budget` evaluations.
+fn cmd_pareto(args: &Args) -> Result<(), String> {
+    let jobs = args.get_u64("jobs", 0)? as usize;
+    let objective: Arc<dyn MultiObjective> = if args.has_flag("fleet") {
+        let spec = fleet_spec_from(args, 5)?;
+        let sim = NetworkSim::new()
+            .jobs(jobs)
+            .with_engine(engine_from(args)?)
+            .retry_policy(retry_policy_from(args)?)
+            .eval_deadline(eval_deadline_from(args)?);
+        Arc::new(FleetObjectives::new(spec).with_sim(sim))
+    } else {
+        let template = SystemConfig::paper(NodeConfig::original())
+            .with_horizon(args.get_f64("horizon", 3600.0)?)
+            .with_vibration(VibrationProfile::paper_profile(args.get_f64("f0", 75.0)?))
+            .with_faults(fault_plan_from(args)?);
+        Arc::new(
+            NodeObjectives::paper()
+                .with_template(template)
+                .with_engine(engine_from(args)?),
+        )
+    };
+    let mut flow = ParetoDseFlow::new(objective)
+        .seed(args.get_u64("seed", 12)?)
+        .adaptive(args.has_flag("adaptive"))
+        .budget(args.get_u64("budget", 18)? as usize)
+        .doe_runs(args.get_u64("runs", 10)? as usize)
+        .batch(args.get_u64("batch", 3)? as usize)
+        .front_cap(args.get_u64("front-cap", 12)? as usize)
+        .explore(args.get_f64("explore", 0.5)?)
+        .jobs(jobs)
+        .linalg(linalg_from(args)?)
+        .retry_policy(retry_policy_from(args)?)
+        .eval_deadline(eval_deadline_from(args)?);
+    if args.has_flag("timer-space") {
+        flow = flow.with_space(paper_design_space_with_timer());
+    }
+    if let Some(names) = args.get("objectives") {
+        flow = flow.objectives(names);
+    }
+    if let Some(dir) = args.get("cache-dir") {
+        flow = flow.cache_dir(dir);
+    }
+    let report = flow.run().map_err(|e| e.to_string())?;
+    if args.has_flag("json") {
+        println!("{}", report.to_json());
+    } else {
+        println!("{report}");
     }
     Ok(())
 }
@@ -773,6 +846,7 @@ fn main() -> ExitCode {
         "refine" => cmd_refine(&args),
         "faults" => cmd_faults(&args),
         "network" => cmd_network(&args),
+        "pareto" => cmd_pareto(&args),
         "chaos" => cmd_chaos(&args),
         "serve" => cmd_serve(&args),
         other => Err(format!("unknown command {other}\n{}", usage())),

@@ -54,6 +54,7 @@ pub mod args;
 mod channel;
 mod dse;
 mod fleet;
+mod pareto;
 mod report;
 pub mod serve;
 
@@ -63,6 +64,7 @@ pub use channel::{
 };
 pub use dse::{FleetDseFlow, FleetDseReport, FleetEval};
 pub use fleet::{FleetSpec, FleetTopology, NetworkSim};
+pub use pareto::FleetObjectives;
 pub use report::{NetworkReport, NodeReport};
 pub use serve::{ServeConfig, Server};
 

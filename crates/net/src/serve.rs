@@ -37,19 +37,21 @@ use harvester::VibrationProfile;
 use rsm::ResponseSurface;
 use wsn_dse::jobs::{EventSink, JobEvent, JobFn, JobQueue, JobState};
 use wsn_dse::protocol::{
-    self, FaultsJob, NetworkJob, ProtocolError, Request, RunJob, SimulateJob, MAX_FRAME_BYTES,
+    self, FaultsJob, NetworkJob, ParetoJob, ProtocolError, Request, RunJob, SimulateJob,
+    MAX_FRAME_BYTES,
 };
 use wsn_dse::robustness::{evaluate_scenarios_with, fault_robustness_with};
 use wsn_dse::{
-    coded_to_config, paper_design_space, Backend, DseFlow, EvalCache, RetryPolicy, SimPool,
-    SurrogateEngine,
+    coded_to_config, paper_design_space, paper_design_space_with_timer, Backend, DseFlow,
+    EvalCache, RetryPolicy, SimPool, SurrogateEngine,
 };
 use wsn_node::{
     ChaosEngine, ChaosPlan, EngineKind, FallbackEngine, FaultPlan, NodeConfig, SimEngine,
     SystemConfig,
 };
+use wsn_pareto::{MultiObjective, NodeObjectives, ParetoDseFlow};
 
-use crate::{FleetDseFlow, FleetSpec, FleetTopology, NetworkSim, RadioChannel};
+use crate::{FleetDseFlow, FleetObjectives, FleetSpec, FleetTopology, NetworkSim, RadioChannel};
 
 /// The structured stderr warning emitted when `network` (non-DSE) is
 /// given `--cache-dir`: a plain fleet evaluation needs every node's
@@ -469,6 +471,7 @@ fn execute(state: &ServerState, request: &Request) -> Result<String, String> {
         Request::Simulate(job) => simulate_report(state, job),
         Request::Faults(job) => faults_report(state, job),
         Request::Network(job) => network_report(state, job),
+        Request::Pareto(job) => pareto_report(state, job),
         _ => Err("not a job request".to_owned()),
     }
 }
@@ -581,6 +584,49 @@ fn faults_report(state: &ServerState, job: &FaultsJob) -> Result<String, String>
         outcome.faults.brownouts,
         outcome.faults.watchdog_misses,
     ))
+}
+
+fn pareto_report(state: &ServerState, job: &ParetoJob) -> Result<String, String> {
+    let objective: Arc<dyn MultiObjective> = if job.fleet {
+        // Same spec the CLI's `pareto --fleet` builds with its defaults:
+        // FleetSpec::paper already carries the paper channel, the ±2 Hz /
+        // 30 s spreads and the 10 m ring.
+        let spec = FleetSpec::paper(job.nodes as usize)
+            .with_seed(job.fleet_seed)
+            .with_template(paper_template(job.f0, job.horizon));
+        let sim = NetworkSim::new()
+            .jobs(state.config.jobs)
+            .with_engine(state.engine_for(job.engine))
+            .retry_policy(state.retry.clone())
+            .eval_deadline(state.deadline_for(job.timeout_ms));
+        Arc::new(FleetObjectives::new(spec).with_sim(sim))
+    } else {
+        Arc::new(
+            NodeObjectives::paper()
+                .with_template(paper_template(job.f0, job.horizon))
+                .with_engine(state.engine_for(job.engine)),
+        )
+    };
+    let mut flow = ParetoDseFlow::new(objective)
+        .seed(job.seed)
+        .adaptive(job.adaptive)
+        .budget(job.budget as usize)
+        .doe_runs(job.runs as usize)
+        .jobs(state.config.jobs)
+        .retry_policy(state.retry.clone())
+        .eval_deadline(state.deadline_for(job.timeout_ms));
+    if job.timer_space {
+        flow = flow.with_space(paper_design_space_with_timer());
+    }
+    if let Some(names) = &job.objectives {
+        flow = flow.objectives(names);
+    }
+    // The shared cache comes last: `with_space` clears whatever cache
+    // the flow holds when it runs.
+    flow.shared_cache(Arc::clone(&state.cache))
+        .run()
+        .map(|report| report.to_json())
+        .map_err(|e| e.to_string())
 }
 
 fn network_report(state: &ServerState, job: &NetworkJob) -> Result<String, String> {

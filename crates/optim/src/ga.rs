@@ -131,20 +131,76 @@ impl GeneticAlgorithm {
         Ok(())
     }
 
-    fn tournament<'a>(
+    /// Tournament selection driven by an arbitrary strict preference:
+    /// `better(a, b)` answers "does individual `a` beat individual `b`?".
+    /// The scalar path instantiates it with a fitness comparison; rank
+    /// based wrappers (NSGA-II crowded comparison) supply their own.
+    fn tournament_by<'a>(
         &self,
         rng: &mut Rng,
         population: &'a [Vec<f64>],
-        fitness: &[f64],
+        better: &dyn Fn(usize, usize) -> bool,
     ) -> &'a [f64] {
         let mut best = rng.index(population.len());
         for _ in 1..self.tournament_size {
             let c = rng.index(population.len());
-            if fitness[c] > fitness[best] {
+            if better(c, best) {
                 best = c;
             }
         }
         &population[best]
+    }
+
+    /// Breeds one child from `population`: two tournaments under the
+    /// `better` preference, BLX-α blend crossover and the
+    /// Gaussian-with-occasional-redraw mutation — the exact variation
+    /// operator of the scalar [`Optimizer::maximize`] path, exposed so
+    /// multi-objective wrappers (the `wsn-pareto` NSGA-II) reuse the
+    /// same machinery and RNG draw discipline instead of reimplementing
+    /// it. The child is clamped into `bounds`.
+    ///
+    /// Draw order per child is fixed: tournament indices, the crossover
+    /// coin, per-gene blend draws (when crossing), then per-gene
+    /// mutation coins — so a fixed seed yields the same trajectory no
+    /// matter which entry point drives the breeding loop.
+    pub fn breed(
+        &self,
+        rng: &mut Rng,
+        bounds: &Bounds,
+        population: &[Vec<f64>],
+        better: &dyn Fn(usize, usize) -> bool,
+    ) -> Vec<f64> {
+        let widths = bounds.widths();
+        let p1 = self.tournament_by(rng, population, better).to_vec();
+        let p2 = self.tournament_by(rng, population, better).to_vec();
+        let mut child: Vec<f64> = if rng.next_f64() < self.crossover_rate {
+            // BLX-α blend crossover.
+            p1.iter()
+                .zip(&p2)
+                .map(|(a, b)| {
+                    let lo = a.min(*b);
+                    let hi = a.max(*b);
+                    let d = hi - lo;
+                    rng.uniform(lo - self.blend_alpha * d, hi + self.blend_alpha * d)
+                })
+                .collect()
+        } else {
+            p1
+        };
+        for (d, (gene, w)) in child.iter_mut().zip(&widths).enumerate() {
+            if rng.next_f64() < self.mutation_rate {
+                // Mostly local Gaussian steps, with an occasional
+                // uniform redraw so a converged population can still
+                // jump between faces of the design cube (Eq. 9's saddle
+                // has competing corner optima).
+                if rng.next_f64() < 0.2 {
+                    *gene = rng.uniform(bounds.lower()[d], bounds.upper()[d]);
+                } else {
+                    *gene += self.mutation_sigma * w * rng.normal();
+                }
+            }
+        }
+        bounds.clamp(&child)
     }
 
     /// Shared GA body over a *population-level* evaluator: each
@@ -158,13 +214,15 @@ impl GeneticAlgorithm {
     {
         self.validate()?;
         let mut rng = Rng::new(self.seed);
-        let widths = bounds.widths();
 
         let mut population: Vec<Vec<f64>> = (0..self.population_size)
             .map(|_| bounds.sample(&mut rng))
             .collect();
         let mut fitness: Vec<f64> = evaluate(&population);
-        let mut evaluations = self.population_size;
+        // Count the points actually handed to the evaluator, so the
+        // bookkeeping can never drift from what the objective saw — the
+        // property the trait-default-vs-batch regression test pins.
+        let mut evaluations = population.len();
 
         for _gen in 0..self.generations {
             // Rank current population (descending fitness).
@@ -177,42 +235,14 @@ impl GeneticAlgorithm {
                 .map(|&i| population[i].clone())
                 .collect();
 
+            let better = |a: usize, b: usize| fitness[a] > fitness[b];
             while next.len() < self.population_size {
-                let p1 = self.tournament(&mut rng, &population, &fitness).to_vec();
-                let p2 = self.tournament(&mut rng, &population, &fitness).to_vec();
-                let mut child: Vec<f64> = if rng.next_f64() < self.crossover_rate {
-                    // BLX-α blend crossover.
-                    p1.iter()
-                        .zip(&p2)
-                        .map(|(a, b)| {
-                            let lo = a.min(*b);
-                            let hi = a.max(*b);
-                            let d = hi - lo;
-                            rng.uniform(lo - self.blend_alpha * d, hi + self.blend_alpha * d)
-                        })
-                        .collect()
-                } else {
-                    p1
-                };
-                for (d, (gene, w)) in child.iter_mut().zip(&widths).enumerate() {
-                    if rng.next_f64() < self.mutation_rate {
-                        // Mostly local Gaussian steps, with an occasional
-                        // uniform redraw so a converged population can
-                        // still jump between faces of the design cube
-                        // (Eq. 9's saddle has competing corner optima).
-                        if rng.next_f64() < 0.2 {
-                            *gene = rng.uniform(bounds.lower()[d], bounds.upper()[d]);
-                        } else {
-                            *gene += self.mutation_sigma * w * rng.normal();
-                        }
-                    }
-                }
-                next.push(bounds.clamp(&child));
+                next.push(self.breed(&mut rng, bounds, &population, &better));
             }
 
             population = next;
             fitness = evaluate(&population);
-            evaluations += self.population_size;
+            evaluations += population.len();
         }
 
         let (best_idx, best_val) = fitness
@@ -345,6 +375,76 @@ mod tests {
             .maximize_batch(&bounds, &f)
             .unwrap();
         assert_eq!(per_point, batched);
+    }
+
+    #[test]
+    fn batch_default_and_override_agree_on_evaluation_bookkeeping() {
+        // A delegate that inherits the *trait default* maximize_batch
+        // (which forwards to per-point maximize) while running the same
+        // GA search underneath. The GA's whole-generation override must
+        // report exactly the same `evaluations` — both paths hand the
+        // evaluator the same points, and the bookkeeping counts those
+        // points, not an assumed population size.
+        struct DefaultBatchPath(GeneticAlgorithm);
+        impl Optimizer for DefaultBatchPath {
+            fn maximize<F: Fn(&[f64]) -> f64 + Sync>(
+                &self,
+                bounds: &Bounds,
+                f: F,
+            ) -> Result<OptimResult> {
+                self.0.maximize(bounds, f)
+            }
+        }
+
+        let bounds = Bounds::symmetric(3, 1.0).unwrap();
+        let f =
+            |x: &[f64]| 2.0 - (x[0] - 0.6).powi(2) - (x[1] + 0.2).powi(2) - (x[2] - 0.9).powi(2);
+        let ga = GeneticAlgorithm::new().seed(9).generations(15);
+        let via_default = DefaultBatchPath(ga.clone())
+            .maximize_batch(&bounds, &f)
+            .unwrap();
+        let via_override = ga.maximize_batch(&bounds, &f).unwrap();
+        assert_eq!(
+            via_default.evaluations, via_override.evaluations,
+            "trait default and GA override drifted on evaluation counts"
+        );
+        assert_eq!(via_default, via_override);
+        // The count is the exact number of generation-sized batches the
+        // evaluator scored: initial population + one per generation.
+        assert_eq!(via_default.evaluations, 60 * (15 + 1));
+    }
+
+    #[test]
+    fn breed_reproduces_the_scalar_trajectory() {
+        // Driving `breed` by hand with the scalar fitness preference must
+        // retrace maximize()'s exact RNG stream: same seed, same children.
+        let bounds = Bounds::symmetric(2, 1.0).unwrap();
+        let ga = GeneticAlgorithm::new().seed(21).generations(1);
+        let f = |x: &[f64]| -(x[0] * x[0]) - x[1] * x[1];
+        let result = ga.maximize(&bounds, f).unwrap();
+
+        let mut rng = Rng::new(21);
+        let population: Vec<Vec<f64>> = (0..60).map(|_| bounds.sample(&mut rng)).collect();
+        let fitness: Vec<f64> = population.iter().map(|x| f(x)).collect();
+        let mut order: Vec<usize> = (0..population.len()).collect();
+        order.sort_by(|&a, &b| fitness[b].total_cmp(&fitness[a]));
+        let mut next: Vec<Vec<f64>> = order
+            .iter()
+            .take(2)
+            .map(|&i| population[i].clone())
+            .collect();
+        let better = |a: usize, b: usize| fitness[a] > fitness[b];
+        while next.len() < 60 {
+            next.push(ga.breed(&mut rng, &bounds, &population, &better));
+        }
+        let (best_idx, best_val) = next
+            .iter()
+            .map(|x| f(x))
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap();
+        assert_eq!(result.x, next[best_idx]);
+        assert_eq!(result.value, best_val);
     }
 
     #[test]

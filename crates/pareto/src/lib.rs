@@ -1,0 +1,40 @@
+//! Multi-objective Pareto design-space exploration and adaptive
+//! sequential DOE for the WSN energy-harvesting reproduction.
+//!
+//! The paper's flow (and this workspace's [`wsn_dse::DseFlow`]) answers
+//! a scalar question — maximise one response over the Table V space.
+//! Every production question is a trade-off: sink goodput vs fleet
+//! lifetime vs collision rate vs worst-node starvation. This crate
+//! supplies the missing layer:
+//!
+//! * [`MultiObjective`] / [`ObjectiveSpec`] — vector-valued objectives
+//!   with a named, sense-tagged axis per response
+//!   ([`NodeObjectives`] here; the fleet implementation lives in
+//!   `wsn-net`, which depends on this crate);
+//! * [`Nsga2`] and the dominance toolbox ([`dominates`],
+//!   [`non_dominated_sort`], [`crowding_distances`],
+//!   [`crowding_prune`]) — NSGA-II reusing the scalar GA's variation
+//!   operator, deterministic and bit-identical at any `--jobs`;
+//! * [`ParetoDseFlow`] — the end-to-end flow: D-optimal seed, adaptive
+//!   acquisition rounds blending prediction uncertainty with predicted
+//!   merit, NSGA-II over the fitted surfaces, simulator-validated
+//!   front, all memoised in the shared [`wsn_dse::SimPool`] /
+//!   [`wsn_dse::EvalCache`];
+//! * [`ParetoReport`] — the deterministic JSON/Display report.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod flow;
+mod nsga;
+mod objective;
+mod report;
+
+pub use flow::ParetoDseFlow;
+pub use nsga::{crowding_distances, crowding_prune, dominates, non_dominated_sort, Nsga2};
+pub use objective::{MultiObjective, NodeObjectives, ObjectiveSense, ObjectiveSpec};
+pub use report::{EvaluatedPoint, FrontPoint, ParetoReport, ParetoRound};
+pub use wsn_dse::DseError;
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, DseError>;

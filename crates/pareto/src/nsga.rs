@@ -1,0 +1,341 @@
+//! NSGA-II machinery: Pareto dominance, fast non-dominated sorting,
+//! crowding distances and a multi-objective genetic search that reuses
+//! the scalar GA's variation operator ([`GeneticAlgorithm::breed`]) —
+//! same seeded RNG streams, same draw discipline, deterministic
+//! tie-breaks everywhere, so fronts are bit-identical at any `--jobs`.
+//!
+//! All functions here operate in **maximisation space**: minimised axes
+//! must be sign-flipped before sorting (see
+//! [`ObjectiveSense::to_max`](crate::ObjectiveSense::to_max)).
+
+use numkit::rng::Rng;
+use optim::{Bounds, GeneticAlgorithm};
+
+/// A whole-generation batch evaluator: coded points in, one objective
+/// vector (maximisation space) out per point, in input order.
+pub type BatchEval<'a> = dyn Fn(&[Vec<f64>]) -> Vec<Vec<f64>> + 'a;
+
+/// `true` when `a` Pareto-dominates `b` in maximisation space: `a` is
+/// at least as good on every axis and strictly better on at least one.
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut strictly = false;
+    for (&x, &y) in a.iter().zip(b) {
+        if x < y {
+            return false;
+        }
+        if x > y {
+            strictly = true;
+        }
+    }
+    strictly
+}
+
+/// Fast non-dominated sort: partitions `0..values.len()` into fronts,
+/// best first. Front 0 is the non-dominated set; every member of front
+/// `i > 0` is dominated by at least one member of front `i - 1` and by
+/// nobody in a later front. Within a front, indices stay in ascending
+/// order, so the output is a pure function of `values`.
+pub fn non_dominated_sort(values: &[Vec<f64>]) -> Vec<Vec<usize>> {
+    let n = values.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut dominated_by: Vec<usize> = vec![0; n]; // how many dominate i
+    let mut dominates_set: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if dominates(&values[i], &values[j]) {
+                dominates_set[i].push(j);
+                dominated_by[j] += 1;
+            } else if dominates(&values[j], &values[i]) {
+                dominates_set[j].push(i);
+                dominated_by[i] += 1;
+            }
+        }
+    }
+    let mut fronts: Vec<Vec<usize>> = Vec::new();
+    let mut current: Vec<usize> = (0..n).filter(|&i| dominated_by[i] == 0).collect();
+    while !current.is_empty() {
+        let mut next: Vec<usize> = Vec::new();
+        for &i in &current {
+            for &j in &dominates_set[i] {
+                dominated_by[j] -= 1;
+                if dominated_by[j] == 0 {
+                    next.push(j);
+                }
+            }
+        }
+        next.sort_unstable();
+        fronts.push(std::mem::replace(&mut current, next));
+    }
+    fronts
+}
+
+/// Crowding distance of every member of `front` (parallel to `front`):
+/// per-objective extremes get `f64::INFINITY`, interior points the sum
+/// of normalised neighbour gaps. Sorting ties break on index, so the
+/// distances are deterministic even with duplicated vectors.
+pub fn crowding_distances(front: &[usize], values: &[Vec<f64>]) -> Vec<f64> {
+    let n = front.len();
+    let mut distance = vec![0.0_f64; n];
+    if n == 0 {
+        return distance;
+    }
+    if n <= 2 {
+        return vec![f64::INFINITY; n];
+    }
+    let m = values[front[0]].len();
+    // `axis` indexes into the inner objective vectors, not `values`
+    // itself, so an iterator over `values` cannot replace it.
+    #[allow(clippy::needless_range_loop)]
+    for axis in 0..m {
+        // Positions into `front`, ordered by this axis (index tie-break).
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            values[front[a]][axis]
+                .total_cmp(&values[front[b]][axis])
+                .then(front[a].cmp(&front[b]))
+        });
+        let lo = values[front[order[0]]][axis];
+        let hi = values[front[order[n - 1]]][axis];
+        distance[order[0]] = f64::INFINITY;
+        distance[order[n - 1]] = f64::INFINITY;
+        let span = hi - lo;
+        if span <= 0.0 {
+            continue;
+        }
+        for w in 1..(n - 1) {
+            let gap = values[front[order[w + 1]]][axis] - values[front[order[w - 1]]][axis];
+            distance[order[w]] += gap / span;
+        }
+    }
+    distance
+}
+
+/// Keeps at most `cap` members of `front` by descending crowding
+/// distance (boundary points carry `INFINITY`, so per-objective
+/// extremes are always retained), ties broken on ascending index. The
+/// survivors are returned in ascending index order.
+pub fn crowding_prune(front: &[usize], values: &[Vec<f64>], cap: usize) -> Vec<usize> {
+    if front.len() <= cap {
+        return front.to_vec();
+    }
+    let distance = crowding_distances(front, values);
+    let mut order: Vec<usize> = (0..front.len()).collect();
+    order.sort_by(|&a, &b| {
+        distance[b]
+            .total_cmp(&distance[a])
+            .then(front[a].cmp(&front[b]))
+    });
+    let mut kept: Vec<usize> = order[..cap].iter().map(|&p| front[p]).collect();
+    kept.sort_unstable();
+    kept
+}
+
+/// NSGA-II over a cheap batch evaluator (in this workspace: fitted
+/// response surfaces, so generations cost microseconds, not
+/// simulations).
+///
+/// The variation operator is exactly the scalar GA's
+/// [`GeneticAlgorithm::breed`] — tournament selection under the crowded
+/// comparison (rank, then crowding distance), BLX-α crossover, Gaussian
+/// mutation — driven by one `SplitMix64` stream seeded from
+/// [`seed`](Self::seed). Everything downstream of the evaluator is
+/// sequential and tie-broken on indices, so the returned front is a
+/// pure function of `(bounds, evaluate, seed)`.
+#[derive(Debug, Clone)]
+pub struct Nsga2 {
+    ga: GeneticAlgorithm,
+    population: usize,
+    generations: usize,
+    seed: u64,
+}
+
+impl Default for Nsga2 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Nsga2 {
+    /// Defaults: population 48, 60 generations, seed 12.
+    pub fn new() -> Self {
+        Nsga2 {
+            ga: GeneticAlgorithm::new(),
+            population: 48,
+            generations: 60,
+            seed: 12,
+        }
+    }
+
+    /// Sets the population size (minimum 4).
+    pub fn population(mut self, n: usize) -> Self {
+        self.population = n.max(4);
+        self
+    }
+
+    /// Sets the number of generations.
+    pub fn generations(mut self, g: usize) -> Self {
+        self.generations = g;
+        self
+    }
+
+    /// Seeds the RNG stream.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Runs the search. `evaluate` maps a whole generation of points to
+    /// their objective vectors **in maximisation space**; it sees each
+    /// generation exactly once, fully assembled, mirroring the scalar
+    /// GA's batch path. Returns the final non-dominated set as
+    /// `(point, max-space values)` pairs, deduplicated on the shared
+    /// cache grid and ordered by discovery index.
+    pub fn run(&self, bounds: &Bounds, evaluate: &BatchEval<'_>) -> Vec<(Vec<f64>, Vec<f64>)> {
+        let n = self.population;
+        let mut rng = Rng::new(self.seed);
+        let mut pop: Vec<Vec<f64>> = (0..n).map(|_| bounds.sample(&mut rng)).collect();
+        let mut vals = evaluate(&pop);
+        for _ in 0..self.generations {
+            let (rank, crowd) = rank_and_crowd(&vals);
+            let better = |a: usize, b: usize| {
+                rank[a] < rank[b] || (rank[a] == rank[b] && crowd[a] > crowd[b])
+            };
+            let mut children: Vec<Vec<f64>> = Vec::with_capacity(n);
+            while children.len() < n {
+                children.push(self.ga.breed(&mut rng, bounds, &pop, &better));
+            }
+            let child_vals = evaluate(&children);
+            pop.extend(children);
+            vals.extend(child_vals);
+            // Environmental selection back down to `n`: whole fronts
+            // first, the splitting front pruned by crowding distance.
+            let fronts = non_dominated_sort(&vals);
+            let mut keep: Vec<usize> = Vec::with_capacity(n);
+            for front in &fronts {
+                if keep.len() + front.len() <= n {
+                    keep.extend(front.iter().copied());
+                } else {
+                    keep.extend(crowding_prune(front, &vals, n - keep.len()));
+                    break;
+                }
+            }
+            keep.sort_unstable();
+            pop = keep.iter().map(|&i| pop[i].clone()).collect();
+            vals = keep.iter().map(|&i| vals[i].clone()).collect();
+        }
+        let fronts = non_dominated_sort(&vals);
+        let mut out: Vec<(Vec<f64>, Vec<f64>)> = Vec::new();
+        let mut seen: std::collections::HashSet<Vec<i64>> = std::collections::HashSet::new();
+        if let Some(front) = fronts.first() {
+            for &i in front {
+                if seen.insert(grid_key(&pop[i])) {
+                    out.push((pop[i].clone(), vals[i].clone()));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Per-point (front rank, crowding distance within its front).
+fn rank_and_crowd(values: &[Vec<f64>]) -> (Vec<usize>, Vec<f64>) {
+    let fronts = non_dominated_sort(values);
+    let mut rank = vec![0_usize; values.len()];
+    let mut crowd = vec![0.0_f64; values.len()];
+    for (r, front) in fronts.iter().enumerate() {
+        let d = crowding_distances(front, values);
+        for (pos, &i) in front.iter().enumerate() {
+            rank[i] = r;
+            crowd[i] = d[pos];
+        }
+    }
+    (rank, crowd)
+}
+
+/// Coordinates quantised to the shared cache grid (1e-6), the same
+/// resolution [`wsn_dse::EvalKey`] uses, so "the same point" means the
+/// same thing to the NSGA dedup and to the evaluation cache.
+pub(crate) fn grid_key(coords: &[f64]) -> Vec<i64> {
+    coords
+        .iter()
+        .map(|&x| {
+            let q = (x * 1e6).round();
+            if q == 0.0 {
+                0
+            } else {
+                q as i64
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn front_values() -> Vec<Vec<f64>> {
+        vec![
+            vec![1.0, 5.0],
+            vec![3.0, 3.0],
+            vec![5.0, 1.0],
+            vec![0.5, 4.0], // dominated by 0
+            vec![2.0, 2.0], // dominated by 1
+        ]
+    }
+
+    #[test]
+    fn dominance_is_strict_and_irreflexive() {
+        assert!(dominates(&[1.0, 2.0], &[1.0, 1.0]));
+        assert!(!dominates(&[1.0, 2.0], &[1.0, 2.0]));
+        assert!(!dominates(&[2.0, 1.0], &[1.0, 2.0]));
+        assert!(!dominates(&[1.0, 1.0], &[1.0, 2.0]));
+    }
+
+    #[test]
+    fn sorting_partitions_into_expected_fronts() {
+        let fronts = non_dominated_sort(&front_values());
+        assert_eq!(fronts[0], vec![0, 1, 2]);
+        assert_eq!(fronts[1], vec![3, 4]);
+        assert_eq!(fronts.len(), 2);
+    }
+
+    #[test]
+    fn boundary_points_survive_pruning() {
+        let values = front_values();
+        let front = vec![0, 1, 2];
+        let kept = crowding_prune(&front, &values, 2);
+        // The per-objective extremes (0 and 2) carry infinite distance.
+        assert_eq!(kept, vec![0, 2]);
+    }
+
+    #[test]
+    fn nsga_front_is_deterministic_and_non_dominated() {
+        // Maximise (x, -x²): the front is the whole [0, upper] arc.
+        let bounds = Bounds::new(vec![-1.0], vec![1.0]).expect("valid bounds");
+        let eval = |pop: &[Vec<f64>]| {
+            pop.iter()
+                .map(|p| vec![p[0], -p[0] * p[0]])
+                .collect::<Vec<_>>()
+        };
+        let nsga = Nsga2::new().population(16).generations(20).seed(7);
+        let a = nsga.run(&bounds, &eval);
+        let b = Nsga2::new()
+            .population(16)
+            .generations(20)
+            .seed(7)
+            .run(&bounds, &eval);
+        assert_eq!(a, b, "fixed seed must reproduce the front bit-identically");
+        assert!(!a.is_empty());
+        for (i, (_, vi)) in a.iter().enumerate() {
+            for (j, (_, vj)) in a.iter().enumerate() {
+                assert!(
+                    i == j || !dominates(vj, vi),
+                    "front member {i} is dominated"
+                );
+            }
+        }
+    }
+}

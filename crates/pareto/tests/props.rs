@@ -1,0 +1,132 @@
+//! Property-based tests for the NSGA-II machinery: non-dominated
+//! sorting refines the Pareto partial order, crowding-distance pruning
+//! keeps per-objective boundary points, and the search itself is a pure
+//! function of its seed.
+
+use optim::Bounds;
+use proptest::prelude::*;
+use wsn_pareto::{crowding_distances, crowding_prune, dominates, non_dominated_sort, Nsga2};
+
+/// Checks every sorting invariant on one value set.
+fn assert_sort_invariants(values: &[Vec<f64>]) {
+    let fronts = non_dominated_sort(values);
+    // The fronts partition the index set.
+    let mut seen: Vec<usize> = fronts.iter().flatten().copied().collect();
+    seen.sort_unstable();
+    prop_assert_eq!(seen, (0..values.len()).collect::<Vec<_>>());
+    // Rank of every index.
+    let mut rank = vec![0_usize; values.len()];
+    for (r, front) in fronts.iter().enumerate() {
+        for &i in front {
+            rank[i] = r;
+        }
+    }
+    for i in 0..values.len() {
+        for j in 0..values.len() {
+            if dominates(&values[j], &values[i]) {
+                // A dominator always sits in a strictly earlier front: no
+                // front member is dominated by a member of its own front
+                // or of a later one.
+                prop_assert!(
+                    rank[j] < rank[i],
+                    "dominator {} (front {}) not before {} (front {})",
+                    j,
+                    rank[j],
+                    i,
+                    rank[i]
+                );
+            }
+        }
+    }
+    // Every member of front r > 0 is dominated by someone one front up.
+    for r in 1..fronts.len() {
+        for &i in &fronts[r] {
+            prop_assert!(
+                fronts[r - 1]
+                    .iter()
+                    .any(|&j| dominates(&values[j], &values[i])),
+                "front {} member {} has no dominator in front {}",
+                r,
+                i,
+                r - 1
+            );
+        }
+    }
+}
+
+proptest! {
+    /// Sorting is a partial-order refinement on random 3-objective sets.
+    #[test]
+    fn sorting_refines_dominance_3d(
+        values in prop::collection::vec(prop::collection::vec(0.0..10.0f64, 3), 1..24)
+    ) {
+        assert_sort_invariants(&values);
+    }
+
+    /// Same invariants on 2-objective sets (more dominance, deeper
+    /// front stacks).
+    #[test]
+    fn sorting_refines_dominance_2d(
+        values in prop::collection::vec(prop::collection::vec(0.0..4.0f64, 2), 1..24)
+    ) {
+        assert_sort_invariants(&values);
+    }
+
+    /// Crowding-distance pruning always keeps the per-objective boundary
+    /// points of the front it prunes, and returns a sorted subset.
+    #[test]
+    fn pruning_keeps_boundary_points(
+        values in prop::collection::vec(prop::collection::vec(0.0..10.0f64, 2), 4..24),
+        cap in 2usize..8,
+    ) {
+        let fronts = non_dominated_sort(&values);
+        let front = &fronts[0];
+        let kept = crowding_prune(front, &values, cap);
+        prop_assert_eq!(kept.len(), front.len().min(cap));
+        prop_assert!(kept.windows(2).all(|w| w[0] < w[1]), "not sorted: {:?}", kept);
+        prop_assert!(kept.iter().all(|i| front.contains(i)));
+        if front.len() <= cap {
+            prop_assert_eq!(&kept, front);
+        } else {
+            let distances = crowding_distances(front, &values);
+            for (pos, &i) in front.iter().enumerate() {
+                if distances[pos] == f64::INFINITY
+                    && distances.iter().filter(|&&d| d == f64::INFINITY).count() <= cap
+                {
+                    prop_assert!(
+                        kept.contains(&i),
+                        "boundary member {} dropped by cap {}",
+                        i,
+                        cap
+                    );
+                }
+            }
+        }
+    }
+
+    /// The NSGA-II front is a pure function of the seed, feasible, and
+    /// internally non-dominated.
+    #[test]
+    fn nsga_front_is_seeded_and_non_dominated(seed in 0u64..12) {
+        let bounds = Bounds::symmetric(2, 1.0).expect("valid bounds");
+        // Maximise (x+y, -(x²+y²)): a curved trade-off arc.
+        let eval = |pop: &[Vec<f64>]| {
+            pop.iter()
+                .map(|p| vec![p[0] + p[1], -(p[0] * p[0] + p[1] * p[1])])
+                .collect::<Vec<_>>()
+        };
+        let nsga = Nsga2::new().population(16).generations(15).seed(seed);
+        let a = nsga.run(&bounds, &eval);
+        let b = Nsga2::new().population(16).generations(15).seed(seed).run(&bounds, &eval);
+        prop_assert_eq!(&a, &b);
+        prop_assert!(!a.is_empty());
+        for (x, _) in &a {
+            prop_assert!(bounds.contains(x));
+        }
+        for (i, (_, vi)) in a.iter().enumerate() {
+            for (j, (_, vj)) in a.iter().enumerate() {
+                prop_assert!(i == j || !dominates(vj, vi));
+            }
+        }
+    }
+}

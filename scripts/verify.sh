@@ -87,6 +87,32 @@ cmp "$FLEET_DIR/fleet-dse-dyn.json" "$FLEET_DIR/fleet-dse-smat.json"
 echo "== linalg gate: hot-path bench smoke (asserts backend agreement) =="
 target/release/linalg_hot_path --quick --out "$FLEET_DIR/BENCH_linalg.json"
 
+echo "== pareto gate: NSGA-II invariants + flow determinism =="
+cargo test -q --offline -p wsn-pareto
+
+echo "== pareto gate: bit-identical front report at --jobs 1/2/8 =="
+PARETO_ARGS="pareto --horizon 900 --json"
+for jobs in 1 2 8; do
+  # shellcheck disable=SC2086
+  target/release/wsn_dse $PARETO_ARGS --jobs "$jobs" \
+    > "$FLEET_DIR/pareto-jobs$jobs.json"
+done
+cmp "$FLEET_DIR/pareto-jobs1.json" "$FLEET_DIR/pareto-jobs2.json"
+cmp "$FLEET_DIR/pareto-jobs1.json" "$FLEET_DIR/pareto-jobs8.json"
+# The adaptive driver and the fleet flow obey the same discipline.
+for jobs in 1 8; do
+  # shellcheck disable=SC2086
+  target/release/wsn_dse $PARETO_ARGS --adaptive --budget 14 --jobs "$jobs" \
+    > "$FLEET_DIR/pareto-adaptive$jobs.json"
+  target/release/wsn_dse pareto --fleet --nodes 3 --horizon 900 --json \
+    --jobs "$jobs" > "$FLEET_DIR/pareto-fleet$jobs.json"
+done
+cmp "$FLEET_DIR/pareto-adaptive1.json" "$FLEET_DIR/pareto-adaptive8.json"
+cmp "$FLEET_DIR/pareto-fleet1.json" "$FLEET_DIR/pareto-fleet8.json"
+
+echo "== pareto gate: convergence bench smoke (adaptive beats the fixed plan) =="
+target/release/pareto_convergence --quick --out "$FLEET_DIR/BENCH_pareto.json"
+
 echo "== robustness gate: chaos harness + corrupted-cache recovery =="
 cargo test -q --offline -p wsn-dse --test chaos
 cargo test -q --offline -p wsn-dse --lib -- \
@@ -98,6 +124,18 @@ cargo test -q --offline -p wsn-dse --lib -- \
 echo "== robustness gate: warm cache run is byte-identical to cold =="
 CACHE_DIR="$FLEET_DIR/evalcache"
 strip_cache() { sed -E 's/"cache":\{[^}]*\},?//' "$1"; }
+# The pareto flow shares the persistent cache discipline: a warm rerun
+# must reproduce the cold report outside the cache counters.
+# shellcheck disable=SC2086
+target/release/wsn_dse $PARETO_ARGS --jobs 2 \
+  --cache-dir "$FLEET_DIR/paretocache" > "$FLEET_DIR/pareto-cold.json"
+# shellcheck disable=SC2086
+target/release/wsn_dse $PARETO_ARGS --jobs 8 \
+  --cache-dir "$FLEET_DIR/paretocache" > "$FLEET_DIR/pareto-warm.json"
+cmp <(strip_cache "$FLEET_DIR/pareto-cold.json") \
+    <(strip_cache "$FLEET_DIR/pareto-warm.json")
+cmp <(strip_cache "$FLEET_DIR/pareto-cold.json") \
+    <(strip_cache "$FLEET_DIR/pareto-jobs1.json")
 target/release/wsn_dse run --horizon 900 --json --jobs 2 \
   --cache-dir "$CACHE_DIR" > "$FLEET_DIR/cache-cold.json"
 target/release/wsn_dse run --horizon 900 --json --jobs 8 \
@@ -152,6 +190,16 @@ cmp <(strip_cache "$FLEET_DIR/served-run-cold.json") \
 target/release/wsn_client --addr "$ADDR" network --nodes 4 --horizon 900 --dse \
   > "$FLEET_DIR/served-fleet-dse.json"
 cmp "$FLEET_DIR/served-fleet-dse.json" "$FLEET_DIR/fleet-dse-smat.json"
+# The served pareto front must match the CLI's, single-node and fleet,
+# outside the shared-cache counters.
+target/release/wsn_client --addr "$ADDR" pareto --horizon 900 \
+  > "$FLEET_DIR/served-pareto.json"
+cmp <(strip_cache "$FLEET_DIR/served-pareto.json") \
+    <(strip_cache "$FLEET_DIR/pareto-jobs1.json")
+target/release/wsn_client --addr "$ADDR" pareto --fleet --nodes 3 --horizon 900 \
+  > "$FLEET_DIR/served-pareto-fleet.json"
+cmp <(strip_cache "$FLEET_DIR/served-pareto-fleet.json") \
+    <(strip_cache "$FLEET_DIR/pareto-fleet1.json")
 # Warm pass: same answer again, now served from the shared cache.
 target/release/wsn_client --addr "$ADDR" run --horizon 900 \
   > "$FLEET_DIR/served-run-warm.json"

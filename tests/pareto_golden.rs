@@ -1,0 +1,142 @@
+//! Golden-file test for the Pareto front report JSON schema.
+//!
+//! The report is assembled from fixed, simulation-free inputs, so its
+//! serialisation is a pure function of the report code. Any change to
+//! `ParetoReport::to_json` — a renamed field, a dropped zero, a
+//! reordered key — shows up as a diff against the checked-in golden
+//! line.
+//!
+//! Regenerate after an *intentional* schema change with:
+//!
+//! ```text
+//! REGEN_GOLDEN=1 cargo test -p wsn-pareto --test pareto_golden
+//! ```
+
+use wsn_dse::CacheStats;
+use wsn_node::NodeConfig;
+use wsn_pareto::{
+    EvaluatedPoint, FrontPoint, ObjectiveSense, ObjectiveSpec, ParetoReport, ParetoRound,
+};
+
+/// A fully deterministic report: no simulation, no clock, no threads.
+fn golden_report() -> ParetoReport {
+    ParetoReport {
+        mode: "single".to_owned(),
+        adaptive: true,
+        seed: 12,
+        budget: 18,
+        objectives: vec![
+            ObjectiveSpec::new("tx_per_hour", ObjectiveSense::Maximize),
+            ObjectiveSpec::new("final_voltage", ObjectiveSense::Maximize),
+            ObjectiveSpec::new("energy_consumed_j", ObjectiveSense::Minimize),
+        ],
+        evaluated: vec![
+            EvaluatedPoint {
+                round: 0,
+                coded: vec![-1.0, -1.0, -1.0],
+                objectives: vec![320.0, 2.75, 1.25],
+            },
+            EvaluatedPoint {
+                round: 0,
+                coded: vec![1.0, 1.0, 1.0],
+                objectives: vec![410.0, 2.5, 1.5],
+            },
+            EvaluatedPoint {
+                round: 1,
+                coded: vec![0.5, -0.25, 0.0],
+                objectives: vec![505.0, 2.6, 1.4],
+            },
+            EvaluatedPoint {
+                round: 2,
+                coded: vec![1.0, -1.0, -0.5],
+                objectives: vec![640.0, 2.55, 1.45],
+            },
+        ],
+        rounds: vec![
+            ParetoRound {
+                round: 0,
+                points_added: 2,
+                model_terms: 4,
+                hypervolume: 0.375,
+                best_scalar: 410.0,
+            },
+            ParetoRound {
+                round: 1,
+                points_added: 1,
+                model_terms: 4,
+                hypervolume: 0.5,
+                best_scalar: 505.0,
+            },
+            ParetoRound {
+                round: 2,
+                points_added: 1,
+                model_terms: 7,
+                hypervolume: 0.625,
+                best_scalar: 640.0,
+            },
+        ],
+        surface_r2: vec![0.95, 0.88, 0.91],
+        front: vec![
+            FrontPoint {
+                config: NodeConfig::sa_optimised(),
+                coded: vec![1.0, -1.0, -0.5],
+                objectives: vec![640.0, 2.55, 1.45],
+                predicted: vec![655.0, 2.56, 1.44],
+                dominated: 2,
+            },
+            FrontPoint {
+                config: NodeConfig::original(),
+                coded: vec![-1.0, -1.0, -1.0],
+                objectives: vec![320.0, 2.75, 1.25],
+                predicted: vec![318.5, 2.74, 1.26],
+                dominated: 0,
+            },
+        ],
+        best_scalar: 640.0,
+        cache: CacheStats {
+            entries: 18,
+            hits: 24,
+            misses: 18,
+            inserts: 18,
+            disk_loads: 0,
+            quarantined: 0,
+        },
+    }
+}
+
+#[test]
+fn pareto_json_matches_the_golden_file() {
+    let json = golden_report().to_json();
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/data/pareto_report_golden.json"
+    );
+    if std::env::var("REGEN_GOLDEN").is_ok() {
+        std::fs::write(path, format!("{json}\n")).expect("golden file writable");
+    }
+    let golden = std::fs::read_to_string(path).expect("golden file present");
+    assert_eq!(
+        json,
+        golden.trim_end(),
+        "ParetoReport::to_json drifted from the golden schema \
+         (REGEN_GOLDEN=1 to accept an intentional change)"
+    );
+}
+
+#[test]
+fn pareto_json_keeps_cache_and_sense_fields_explicit() {
+    let json = golden_report().to_json();
+    // The cache object is always present with every counter spelled
+    // out, and stays flat so verify.sh's strip_cache regex can remove
+    // it when comparing cold/warm and served/CLI outputs.
+    assert!(json.contains(
+        "\"cache\":{\"entries\":18,\"hits\":24,\"misses\":18,\"inserts\":18,\
+         \"disk_loads\":0,\"quarantined\":0}"
+    ));
+    // Each objective carries its sense, so a front consumer never has
+    // to guess which way an axis points.
+    assert_eq!(json.matches("\"sense\":\"maximize\"").count(), 2);
+    assert_eq!(json.matches("\"sense\":\"minimize\"").count(), 1);
+    // Per-point vectors and dominated counts are on every front member.
+    assert_eq!(json.matches("\"dominated\":").count(), 2);
+}
